@@ -1,0 +1,82 @@
+// DLS protocol-cost bench (extension): convergence rounds, local-estimate
+// work, and resulting throughput of the decentralized scheduler as the
+// network grows, with slotted ALOHA as the zero-coordination floor and
+// centralized RLE as the coordinated reference.
+#include <cstdio>
+
+#include "channel/params.hpp"
+#include "mathx/stats.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/aloha.hpp"
+#include "sched/dls.hpp"
+#include "sched/rle.hpp"
+#include "sim/exact_metrics.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fadesched;
+  util::CliParser cli("dls_convergence",
+                      "decentralized scheduling cost and quality vs N");
+  auto& num_seeds = cli.AddInt("seeds", 5, "topologies per point");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+
+  util::CsvTable table({"num_links", "dls_rounds", "dls_estimates_per_link",
+                        "dls_throughput", "aloha_throughput",
+                        "rle_throughput", "dls_expected_failed",
+                        "aloha_expected_failed"});
+  const sched::DlsScheduler dls;
+  const sched::AlohaScheduler aloha;
+  const sched::RleScheduler rle;
+  for (std::size_t n : {100, 200, 400, 800}) {
+    mathx::RunningStats rounds;
+    mathx::RunningStats estimates;
+    mathx::RunningStats dls_tput;
+    mathx::RunningStats aloha_tput;
+    mathx::RunningStats rle_tput;
+    mathx::RunningStats dls_failed;
+    mathx::RunningStats aloha_failed;
+    for (long long seed = 1; seed <= num_seeds; ++seed) {
+      rng::Xoshiro256 gen(static_cast<std::uint64_t>(seed));
+      const net::LinkSet links = net::MakeUniformScenario(n, {}, gen);
+      sched::DlsStats stats;
+      const auto dls_result = dls.ScheduleWithStats(links, params, stats);
+      rounds.Add(static_cast<double>(stats.rounds_used));
+      estimates.Add(static_cast<double>(stats.estimates) /
+                    static_cast<double>(n));
+      const auto dls_metrics =
+          sim::ComputeExpectedMetrics(links, params, dls_result.schedule);
+      dls_tput.Add(dls_metrics.expected_throughput);
+      dls_failed.Add(dls_metrics.expected_failed);
+      const auto aloha_result = aloha.Schedule(links, params);
+      const auto aloha_metrics =
+          sim::ComputeExpectedMetrics(links, params, aloha_result.schedule);
+      aloha_tput.Add(aloha_metrics.expected_throughput);
+      aloha_failed.Add(aloha_metrics.expected_failed);
+      rle_tput.Add(sim::ComputeExpectedMetrics(
+                       links, params, rle.Schedule(links, params).schedule)
+                       .expected_throughput);
+    }
+    util::CsvRowBuilder(table)
+        .Add(n)
+        .Add(util::FormatDouble(rounds.Mean(), 1))
+        .Add(util::FormatDouble(estimates.Mean(), 1))
+        .Add(util::FormatDouble(dls_tput.Mean(), 2))
+        .Add(util::FormatDouble(aloha_tput.Mean(), 2))
+        .Add(util::FormatDouble(rle_tput.Mean(), 2))
+        .Add(util::FormatDouble(dls_failed.Mean(), 3))
+        .Add(util::FormatDouble(aloha_failed.Mean(), 3))
+        .Commit();
+    std::fprintf(stderr, "[dls] n=%zu done\n", n);
+  }
+  std::printf("# Decentralized scheduling: DLS protocol cost vs ALOHA floor "
+              "and RLE reference (alpha=3, eps=0.01)\n");
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\n%s\n", table.ToPrettyString().c_str());
+  return 0;
+}

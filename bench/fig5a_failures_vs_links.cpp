@@ -1,0 +1,32 @@
+// Fig. 5(a) reproduction: number of failed transmissions per slot vs the
+// number of links, for the two fading-resistant schedulers (LDP, RLE) and
+// the two fading-susceptible baselines (ApproxLogN, ApproxDiversity).
+//
+// Paper setup (§V): 500×500 region, link lengths U[5,20], ε = 0.01,
+// γ_th = 1, λ = 1, α = 3. Expected shape: LDP/RLE ≈ 0 failures; the
+// baselines' failures grow with N.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fadesched;
+  bench::FigureFlags flags;
+  if (!bench::ParseFigureFlags(
+          argc, argv, "fig5a_failures_vs_links",
+          "failed transmissions vs number of links (paper Fig. 5a)", flags)) {
+    return 0;
+  }
+  const auto table = bench::RunSweep(
+      "num_links", {100, 200, 300, 400, 500},
+      {"ldp", "rle", "approx_logn", "approx_diversity", "graph_greedy"},
+      flags,
+      [](double x) {
+        sim::ExperimentPoint point;
+        point.num_links = static_cast<std::size_t>(x);
+        point.channel.alpha = 3.0;
+        return point;
+      });
+  bench::PrintFigure(
+      "Fig 5(a): failed transmissions vs #links (alpha=3, eps=0.01)", table,
+      flags.csv_only);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fig. 6(b) reproduction: throughput vs the path-loss exponent α at fixed
+// N. Paper's claims: throughput grows with α for both LDP (smaller
+// squares ⇒ more concurrent links) and RLE (smaller elimination radius),
+// with RLE > LDP throughout.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fadesched;
+  bench::FigureFlags flags;
+  if (!bench::ParseFigureFlags(
+          argc, argv, "fig6b_throughput_vs_alpha",
+          "delivered throughput vs path-loss exponent (paper Fig. 6b)",
+          flags)) {
+    return 0;
+  }
+  const auto table = bench::RunSweep(
+      "alpha", {2.5, 3.0, 3.5, 4.0, 4.5}, {"ldp", "rle", "fading_greedy", "dls"},
+      flags, [](double alpha) {
+        sim::ExperimentPoint point;
+        point.num_links = 300;
+        point.channel.alpha = alpha;
+        return point;
+      });
+  bench::PrintFigure("Fig 6(b): throughput vs alpha (N=300, eps=0.01)", table,
+                     flags.csv_only);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared scaffolding for the figure-reproduction binaries: CLI flags for
+// scale control, a sweep driver, and uniform printing.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+
+namespace fadesched::bench {
+
+struct FigureFlags {
+  long long seeds = 5;      ///< topologies per sweep point
+  long long trials = 1000;  ///< fading realizations per instance
+  long long threads = 0;    ///< simulator threads (0 = hardware)
+  bool csv_only = false;    ///< suppress the pretty table
+};
+
+/// Registers the shared flags; returns false if the program should exit
+/// (help requested or malformed input).
+inline bool ParseFigureFlags(int argc, char** argv, const std::string& name,
+                             const std::string& description,
+                             FigureFlags& flags) {
+  util::CliParser cli(name, description);
+  auto& seeds = cli.AddInt("seeds", flags.seeds, "topologies per point");
+  auto& trials = cli.AddInt("trials", flags.trials,
+                            "fading realizations per instance");
+  auto& threads = cli.AddInt("threads", flags.threads,
+                             "simulator threads (0 = hardware)");
+  auto& csv_only = cli.AddBool("csv-only", flags.csv_only,
+                               "print raw CSV without the aligned table");
+  if (!cli.Parse(argc, argv)) return false;
+  flags.seeds = seeds;
+  flags.trials = trials;
+  flags.threads = threads;
+  flags.csv_only = csv_only;
+  return true;
+}
+
+/// Runs one sweep: for each x in `xs`, builds the experiment point and
+/// appends one row per algorithm.
+inline util::CsvTable RunSweep(
+    const std::string& x_name, const std::vector<double>& xs,
+    const std::vector<std::string>& algorithms, const FigureFlags& flags,
+    const std::function<sim::ExperimentPoint(double)>& make_point) {
+  sim::ExperimentConfig config;
+  config.algorithms = algorithms;
+  config.num_seeds = static_cast<std::size_t>(flags.seeds);
+  config.trials = static_cast<std::size_t>(flags.trials);
+
+  util::ThreadPool pool(flags.threads <= 0
+                            ? 0u
+                            : static_cast<unsigned>(flags.threads));
+  util::CsvTable table = sim::MakeSummaryTable(x_name);
+  for (double x : xs) {
+    util::Stopwatch watch;
+    const auto summaries =
+        sim::RunExperimentPoint(make_point(x), config, pool);
+    sim::AppendSummaryRows(table, x, summaries);
+    std::fprintf(stderr, "[%s] %s=%g done in %.1fs\n", x_name.c_str(),
+                 x_name.c_str(), x, watch.Seconds());
+  }
+  return table;
+}
+
+/// Prints the result in both machine (CSV) and human (aligned) form.
+inline void PrintFigure(const std::string& title, const util::CsvTable& table,
+                        bool csv_only) {
+  std::printf("# %s\n", title.c_str());
+  std::fputs(table.ToString().c_str(), stdout);
+  if (!csv_only) {
+    std::printf("\n%s\n", table.ToPrettyString().c_str());
+  }
+}
+
+}  // namespace fadesched::bench

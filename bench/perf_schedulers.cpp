@@ -1,0 +1,73 @@
+// google-benchmark: scheduler wall-time scaling with instance size.
+#include <benchmark/benchmark.h>
+
+#include "channel/params.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/registry.hpp"
+
+namespace {
+
+using namespace fadesched;
+
+net::LinkSet MakeInstance(std::size_t n) {
+  rng::Xoshiro256 gen(1234);
+  net::UniformScenarioParams params;
+  // Grow the region with sqrt(N) to hold density constant across sizes.
+  params.region_size = 500.0 * std::sqrt(static_cast<double>(n) / 300.0);
+  return net::MakeUniformScenario(n, params, gen);
+}
+
+void RunScheduler(benchmark::State& state, const char* name) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const net::LinkSet links = MakeInstance(n);
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  const auto scheduler = sched::MakeScheduler(name);
+  std::size_t scheduled = 0;
+  for (auto _ : state) {
+    const auto result = scheduler->Schedule(links, params);
+    scheduled = result.schedule.size();
+    benchmark::DoNotOptimize(result.claimed_rate);
+  }
+  state.counters["links_scheduled"] = static_cast<double>(scheduled);
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_Ldp(benchmark::State& state) { RunScheduler(state, "ldp"); }
+void BM_Rle(benchmark::State& state) { RunScheduler(state, "rle"); }
+void BM_ApproxLogN(benchmark::State& state) {
+  RunScheduler(state, "approx_logn");
+}
+void BM_ApproxDiversity(benchmark::State& state) {
+  RunScheduler(state, "approx_diversity");
+}
+void BM_FadingGreedy(benchmark::State& state) {
+  RunScheduler(state, "fading_greedy");
+}
+void BM_Dls(benchmark::State& state) { RunScheduler(state, "dls"); }
+
+BENCHMARK(BM_Ldp)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_Rle)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_ApproxLogN)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_ApproxDiversity)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+BENCHMARK(BM_FadingGreedy)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+BENCHMARK(BM_Dls)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+void BM_ExactBranchAndBound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const net::LinkSet links = MakeInstance(n);
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.05;
+  const auto scheduler = sched::MakeScheduler("exact_bb");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->Schedule(links, params).claimed_rate);
+  }
+}
+BENCHMARK(BM_ExactBranchAndBound)->DenseRange(10, 22, 4);
+
+}  // namespace

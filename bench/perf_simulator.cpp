@@ -1,0 +1,61 @@
+// google-benchmark: Monte-Carlo simulator throughput (trials/second) as a
+// function of schedule size and thread count.
+#include <benchmark/benchmark.h>
+
+#include "channel/params.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace fadesched;
+
+void BM_SimulateSchedule(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  rng::Xoshiro256 gen(7);
+  const net::LinkSet links = net::MakeUniformScenario(m, {}, gen);
+  net::Schedule schedule;
+  for (net::LinkId i = 0; i < links.Size(); ++i) schedule.push_back(i);
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  util::ThreadPool pool(1);
+  sim::SimOptions options;
+  options.trials = 200;
+  for (auto _ : state) {
+    const auto result =
+        sim::SimulateSchedule(links, params, schedule, options, pool);
+    benchmark::DoNotOptimize(result.failed_per_trial.Mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+// UseRealTime: the trials run on pool threads, so the main thread's CPU
+// time is near zero and would make google-benchmark over-iterate wildly.
+BENCHMARK(BM_SimulateSchedule)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->UseRealTime();
+
+void BM_SimulateThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  rng::Xoshiro256 gen(8);
+  const net::LinkSet links = net::MakeUniformScenario(64, {}, gen);
+  net::Schedule schedule;
+  for (net::LinkId i = 0; i < links.Size(); ++i) schedule.push_back(i);
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  util::ThreadPool pool(threads);
+  sim::SimOptions options;
+  options.trials = 1000;
+  for (auto _ : state) {
+    const auto result =
+        sim::SimulateSchedule(links, params, schedule, options, pool);
+    benchmark::DoNotOptimize(result.throughput_per_trial.Mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+BENCHMARK(BM_SimulateThreads)->DenseRange(1, 4, 1)->UseRealTime();
+
+}  // namespace

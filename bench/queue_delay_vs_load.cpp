@@ -1,0 +1,69 @@
+// Queue-dynamics bench (extension): mean backlog, delivery delay, and
+// per-transmission failure rate as offered load grows, per scheduler.
+//
+// A deliberately honest experiment: when only the *backlogged* links are
+// rescheduled each slot, the active subsets are sparse at moderate loads,
+// so the aggressive deterministic baseline delivers more and queues less
+// despite its fading failures — per-slot capacity dominates queue
+// stability. The fading-resistance guarantee buys per-transmission
+// reliability (every scheduled packet arrives with prob ≥ 1−ε, relevant
+// for deadline traffic), not raw queue throughput. The failure-rate
+// column makes the trade explicit.
+#include <cstdio>
+
+#include "channel/params.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/registry.hpp"
+#include "sim/queue_sim.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fadesched;
+  util::CliParser cli("queue_delay_vs_load",
+                      "queueing delay vs offered load (extension)");
+  auto& num_links = cli.AddInt("links", 150, "links in the network");
+  auto& num_slots = cli.AddInt("slots", 1500, "simulated slots");
+  auto& seed = cli.AddInt("seed", 5, "topology seed");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+
+  rng::Xoshiro256 gen(static_cast<std::uint64_t>(seed));
+  const net::LinkSet links = net::MakeUniformScenario(
+      static_cast<std::size_t>(num_links), {}, gen);
+
+  util::CsvTable table({"arrival_prob", "algorithm", "mean_backlog",
+                        "mean_delay_slots", "delivered", "failure_rate_pct"});
+  for (double load : {0.005, 0.01, 0.02, 0.04, 0.08}) {
+    for (const char* name :
+         {"ldp", "rle", "fading_greedy", "approx_diversity"}) {
+      const auto scheduler = sched::MakeScheduler(name);
+      sim::QueueSimOptions options;
+      options.num_slots = static_cast<std::size_t>(num_slots);
+      options.warmup_slots = options.num_slots / 5;
+      options.arrival_probability = load;
+      const sim::QueueSimResult result =
+          sim::RunQueueSimulation(links, params, *scheduler, options);
+      util::CsvRowBuilder(table)
+          .Add(util::FormatDouble(load, 3))
+          .Add(std::string(name))
+          .Add(util::FormatDouble(result.backlog.Mean(), 1))
+          .Add(util::FormatDouble(result.delay_slots.Mean(), 1))
+          .Add(static_cast<long long>(result.delivered))
+          .Add(util::FormatDouble(100.0 * result.FailureRate(), 2))
+          .Commit();
+    }
+    std::fprintf(stderr, "[queue] load=%g done\n", load);
+  }
+  std::printf("# Queue dynamics: backlog/delay vs offered load "
+              "(N=%lld, alpha=3, eps=0.01, %lld slots)\n",
+              static_cast<long long>(num_links),
+              static_cast<long long>(num_slots));
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\n%s\n", table.ToPrettyString().c_str());
+  return 0;
+}

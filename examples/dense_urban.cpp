@@ -1,0 +1,74 @@
+// Dense-urban scenario: clustered hotspots and heterogeneous data rates —
+// the weighted objective where LDP's rate-aware square selection matters.
+// Also demonstrates scenario persistence and ILP export for cross-checking
+// with an external MIP solver.
+//
+//   ./examples/dense_urban [--links 300] [--clusters 6] [--out-dir /tmp]
+#include <cstdio>
+
+#include "core/fadesched.hpp"
+#include "rng/distributions.hpp"
+#include "sched/ilp_export.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fadesched;
+
+  util::CliParser cli("dense_urban",
+                      "clustered, rate-heterogeneous topology with "
+                      "scenario + ILP export");
+  auto& num_links = cli.AddInt("links", 300, "number of links");
+  auto& clusters = cli.AddInt("clusters", 6, "number of hotspots");
+  auto& seed = cli.AddInt("seed", 11, "topology seed");
+  auto& out_dir = cli.AddString("out-dir", "/tmp", "artifact directory");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  // Clustered geometry with per-link rates drawn from U[0.5, 4].
+  rng::Xoshiro256 gen(static_cast<std::uint64_t>(seed));
+  net::ClusteredScenarioParams cp;
+  cp.num_clusters = static_cast<std::size_t>(clusters);
+  const net::LinkSet geometry = net::MakeClusteredScenario(
+      static_cast<std::size_t>(num_links), cp, gen);
+  net::LinkSet links;
+  for (net::LinkId i = 0; i < geometry.Size(); ++i) {
+    net::Link link = geometry.At(i);
+    link.rate = rng::UniformRange(gen, 0.5, 4.0);
+    links.Add(link);
+  }
+
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+
+  std::printf("dense urban: %zu links around %lld hotspots, rates in "
+              "[0.5, 4.0]\n\n",
+              links.Size(), static_cast<long long>(clusters));
+
+  const core::Problem problem(links, params);
+  util::CsvTable table(
+      {"algorithm", "scheduled", "claimed", "expected_delivered", "feasible"});
+  for (const char* name : {"ldp", "ldp_two_sided", "rle", "fading_greedy",
+                           "dls", "approx_diversity"}) {
+    const core::Solution solution = problem.Solve(name);
+    util::CsvRowBuilder(table)
+        .Add(std::string(name))
+        .Add(solution.schedule.size())
+        .Add(util::FormatDouble(solution.claimed_rate, 1))
+        .Add(util::FormatDouble(solution.expected_throughput, 2))
+        .Add(std::string(solution.fading_feasible ? "yes" : "no"))
+        .Commit();
+  }
+  std::fputs(table.ToPrettyString().c_str(), stdout);
+
+  // Persist the instance and its ILP form for external tooling.
+  const std::string scenario_path = out_dir + "/dense_urban_links.csv";
+  const std::string ilp_path = out_dir + "/dense_urban.lp";
+  net::SaveLinkSet(links, scenario_path);
+  sched::WriteIlpFile(links, params, ilp_path);
+  std::printf("\nartifacts:\n  scenario: %s\n  ILP (formulas (20)-(22)): %s\n",
+              scenario_path.c_str(), ilp_path.c_str());
+  std::printf("Feed the .lp file to any MIP solver to cross-check the exact "
+              "optimum against sched::BranchAndBoundScheduler.\n");
+  return 0;
+}

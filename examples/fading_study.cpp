@@ -1,0 +1,90 @@
+// Fading channel study: a microscope on the Rayleigh model itself.
+// For a single victim/interferer pair it traces the closed-form success
+// probability (Theorem 3.1) against a Monte-Carlo estimate as the
+// interferer approaches, and prints an SINR histogram at one geometry.
+//
+//   ./examples/fading_study [--alpha 3.0] [--trials 100000]
+#include <cmath>
+#include <cstdio>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "mathx/histogram.hpp"
+#include "net/link_set.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fadesched;
+
+  util::CliParser cli("fading_study",
+                      "closed-form vs Monte-Carlo success probability for a "
+                      "victim/interferer pair");
+  auto& alpha = cli.AddDouble("alpha", 3.0, "path-loss exponent");
+  auto& trials = cli.AddInt("trials", 100000, "Monte-Carlo trials per point");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  channel::ChannelParams params;
+  params.alpha = alpha;
+
+  std::printf("victim link: (0,0) -> (1,0); interferer approaches along the "
+              "x-axis (alpha=%s)\n\n",
+              util::FormatDouble(alpha).c_str());
+
+  util::CsvTable table({"interferer_distance", "closed_form_success",
+                        "monte_carlo_success", "interference_factor",
+                        "informed_at_eps_1pct"});
+  for (double gap : {2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 40.0, 80.0}) {
+    net::LinkSet links;
+    links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+    links.Add(net::Link{{gap, 0}, {gap + 1, 0}, 1.0});
+    const channel::InterferenceCalculator calc(links, params);
+    const net::Schedule schedule{0, 1};
+    const double closed_form =
+        channel::SuccessProbability(calc, schedule, 0);
+
+    sim::SimOptions options;
+    options.trials = static_cast<std::size_t>(trials);
+    options.seed = static_cast<std::uint64_t>(gap * 100);
+    const sim::SimResult sim_result =
+        sim::SimulateSchedule(links, params, schedule, options);
+
+    util::CsvRowBuilder(table)
+        .Add(util::FormatDouble(gap, 1))
+        .Add(util::FormatDouble(closed_form, 5))
+        .Add(util::FormatDouble(sim_result.link_success_rate[0], 5))
+        .Add(util::FormatDouble(calc.Factor(1, 0), 6))
+        .Add(std::string(channel::LinkIsInformed(calc, schedule, 0) ? "yes"
+                                                                    : "no"))
+        .Commit();
+  }
+  std::fputs(table.ToPrettyString().c_str(), stdout);
+
+  // SINR distribution at a moderate geometry: exponential signal over
+  // exponential interference has a heavy lower tail — the reason the
+  // deterministic mean-SINR test is misleading.
+  const double gap = 5.0;
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{gap, 0}, {gap + 1, 0}, 1.0});
+  rng::Xoshiro256 gen(99);
+  mathx::Histogram hist(0.0, 10.0, 20);
+  const double signal_mean = params.MeanPower(1.0);
+  const double interference_mean = params.MeanPower(gap - 1.0);
+  for (int i = 0; i < 200000; ++i) {
+    const double signal = rng::Exponential(gen, signal_mean);
+    const double interference = rng::Exponential(gen, interference_mean);
+    hist.Add(signal / interference / (signal_mean / interference_mean));
+  }
+  std::printf("\nSINR / mean-SINR distribution at interferer distance %s "
+              "(deterministic model assumes a point mass at 1.0):\n%s",
+              util::FormatDouble(gap, 1).c_str(), hist.ToAscii(48).c_str());
+  std::printf("\nPr(SINR < mean-SINR) empirically: %.3f — the mass below the "
+              "deterministic operating point is what the baselines ignore.\n",
+              hist.EmpiricalCdf(1.0));
+  return 0;
+}

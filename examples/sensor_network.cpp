@@ -1,0 +1,62 @@
+// Sensor-network scenario — the paper's motivating application for RLE:
+// sensors periodically report readings at a common data rate, so the
+// uniform-rate special case applies. The example compares every scheduler
+// on one topology and shows why the deterministic-SINR baselines are a
+// bad idea on a fading channel.
+//
+//   ./examples/sensor_network [--sensors 400] [--alpha 3.0] [--trials 5000]
+#include <cstdio>
+
+#include "core/fadesched.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fadesched;
+
+  util::CliParser cli("sensor_network",
+                      "uniform-rate sensor reporting: all schedulers compared");
+  auto& sensors = cli.AddInt("sensors", 400, "number of sensor links");
+  auto& alpha = cli.AddDouble("alpha", 3.0, "path-loss exponent");
+  auto& trials = cli.AddInt("trials", 5000, "Monte-Carlo trials");
+  auto& seed = cli.AddInt("seed", 7, "topology seed");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  rng::Xoshiro256 gen(static_cast<std::uint64_t>(seed));
+  const net::LinkSet links = net::MakeUniformScenario(
+      static_cast<std::size_t>(sensors), {}, gen);
+  channel::ChannelParams params;
+  params.alpha = alpha;
+
+  std::printf("sensor network: %zu uniform-rate links in 500x500, alpha=%s\n\n",
+              links.Size(), util::FormatDouble(alpha).c_str());
+
+  const core::Problem problem(links, params);
+  util::CsvTable table({"algorithm", "scheduled", "claimed", "delivered",
+                        "failures_per_slot", "min_success_prob", "feasible"});
+  for (const std::string& name : sched::KnownSchedulers()) {
+    if (util::StartsWith(name, "exact")) continue;  // 2^400 — no thanks
+    const core::Solution solution = problem.Solve(name);
+    sim::SimOptions sim_options;
+    sim_options.trials = static_cast<std::size_t>(trials);
+    const sim::SimResult sim_result =
+        sim::SimulateSchedule(links, params, solution.schedule, sim_options);
+    util::CsvRowBuilder(table)
+        .Add(name)
+        .Add(solution.schedule.size())
+        .Add(util::FormatDouble(solution.claimed_rate, 1))
+        .Add(util::FormatDouble(sim_result.throughput_per_trial.Mean(), 2))
+        .Add(util::FormatDouble(sim_result.failed_per_trial.Mean(), 3))
+        .Add(util::FormatDouble(solution.min_success_probability, 4))
+        .Add(std::string(solution.fading_feasible ? "yes" : "no"))
+        .Commit();
+  }
+  std::fputs(table.ToPrettyString().c_str(), stdout);
+  std::printf(
+      "\nReading the table: the fading-resistant schedulers (ldp, rle, dls,\n"
+      "fading_greedy) keep min_success_prob >= 1-eps and lose essentially\n"
+      "nothing of what they claim; approx_logn / approx_diversity claim\n"
+      "much more rate but burn a chunk of it in failed transmissions.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Deterministic (non-fading) SINR model — the feasibility rule the
+// ApproxLogN [14] and ApproxDiversity [15] baselines are built on.
+//
+// Here the received power is taken to be exactly its mean P·d^{-α}, so a
+// link decodes iff
+//
+//   d_jj^{-α} / Σ_{i∈P\j} d_ij^{-α} ≥ γ_th                 (SINR test)
+//
+// equivalently  Σ affectance a_ij ≤ 1  with  a_ij = γ_th (d_jj/d_ij)^α.
+// Under actual Rayleigh fading such schedules fail with substantial
+// probability — the paper's Fig. 5 measures exactly that gap.
+#pragma once
+
+#include <span>
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::channel {
+
+class DeterministicSinr {
+ public:
+  DeterministicSinr(const net::LinkSet& links, const ChannelParams& params);
+
+  [[nodiscard]] const net::LinkSet& Links() const { return *links_; }
+  [[nodiscard]] const ChannelParams& Params() const { return params_; }
+
+  /// Affectance of link i's sender on link j: γ_th·(d_jj/d_ij)^α, 0 for i==j.
+  [[nodiscard]] double Affectance(net::LinkId interferer,
+                                  net::LinkId victim) const;
+
+  /// Noise affectance γ_th·N₀/(P·d_jj^{-α}); with noise the decode test
+  /// becomes NoiseAffectance + Σ affectance ≤ 1.
+  [[nodiscard]] double NoiseAffectance(net::LinkId victim) const;
+
+  /// Σ affectance from the schedule on `victim`.
+  [[nodiscard]] double SumAffectance(std::span<const net::LinkId> schedule,
+                                     net::LinkId victim) const;
+
+  /// Mean-value SINR of `victim` under `schedule` (∞ if no interferer
+  /// and no noise).
+  [[nodiscard]] double MeanSinr(std::span<const net::LinkId> schedule,
+                                net::LinkId victim) const;
+
+  /// Deterministic decode test: SumAffectance ≤ 1 (⇔ mean SINR ≥ γ_th).
+  [[nodiscard]] bool LinkDecodes(std::span<const net::LinkId> schedule,
+                                 net::LinkId victim) const;
+
+  /// All links decode under the deterministic model.
+  [[nodiscard]] bool ScheduleIsFeasible(
+      std::span<const net::LinkId> schedule) const;
+
+ private:
+  const net::LinkSet* links_;
+  ChannelParams params_;
+};
+
+}  // namespace fadesched::channel

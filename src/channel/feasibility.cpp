@@ -1,0 +1,62 @@
+#include "channel/feasibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::channel {
+
+double SuccessProbability(const InterferenceCalculator& calc,
+                          std::span<const net::LinkId> schedule,
+                          net::LinkId victim) {
+  FS_DCHECK(std::find(schedule.begin(), schedule.end(), victim) !=
+            schedule.end());
+  return std::exp(-(calc.NoiseFactor(victim) +
+                    calc.SumFactor(schedule, victim)));
+}
+
+bool LinkIsInformed(const InterferenceCalculator& calc,
+                    std::span<const net::LinkId> schedule,
+                    net::LinkId victim) {
+  return calc.NoiseFactor(victim) + calc.SumFactor(schedule, victim) <=
+         calc.Params().FeasibilityBudget();
+}
+
+bool ScheduleIsFeasible(const InterferenceCalculator& calc,
+                        std::span<const net::LinkId> schedule) {
+  return std::all_of(schedule.begin(), schedule.end(),
+                     [&](net::LinkId j) {
+                       return LinkIsInformed(calc, schedule, j);
+                     });
+}
+
+std::vector<LinkFeasibility> AnalyzeSchedule(
+    const InterferenceCalculator& calc,
+    std::span<const net::LinkId> schedule) {
+  const double budget = calc.Params().FeasibilityBudget();
+  std::vector<LinkFeasibility> out;
+  out.reserve(schedule.size());
+  for (net::LinkId j : schedule) {
+    LinkFeasibility entry;
+    entry.link = j;
+    entry.noise_factor = calc.NoiseFactor(j);
+    entry.sum_factor = calc.SumFactor(schedule, j);
+    entry.success_probability =
+        std::exp(-(entry.noise_factor + entry.sum_factor));
+    entry.informed = entry.noise_factor + entry.sum_factor <= budget;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+double InformedRate(const InterferenceCalculator& calc,
+                    std::span<const net::LinkId> schedule) {
+  double total = 0.0;
+  for (const auto& entry : AnalyzeSchedule(calc, schedule)) {
+    if (entry.informed) total += calc.Links().Rate(entry.link);
+  }
+  return total;
+}
+
+}  // namespace fadesched::channel

@@ -1,0 +1,51 @@
+// Fading-resistant feasibility (Corollary 3.1) and the exact success
+// probability (Theorem 3.1).
+//
+// Because ln Pr(X_j ≥ γ_th) = −Σ f_ij, the closed-form probability is
+// exp(−Σ f_ij): the feasibility threshold and the probability are two
+// views of the same sum, which the tests cross-check against Monte-Carlo.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "channel/interference.hpp"
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::channel {
+
+/// Exact Pr(X_victim ≥ γ_th) when `schedule` transmits (Theorem 3.1).
+/// `victim` must be a member of `schedule`.
+double SuccessProbability(const InterferenceCalculator& calc,
+                          std::span<const net::LinkId> schedule,
+                          net::LinkId victim);
+
+/// True iff Σ_{i∈schedule\victim} f_i,victim ≤ γ_ε (Corollary 3.1).
+bool LinkIsInformed(const InterferenceCalculator& calc,
+                    std::span<const net::LinkId> schedule,
+                    net::LinkId victim);
+
+/// True iff *every* link of the schedule is informed — the paper's
+/// definition of a feasible schedule.
+bool ScheduleIsFeasible(const InterferenceCalculator& calc,
+                        std::span<const net::LinkId> schedule);
+
+/// Per-link report for diagnostics and examples.
+struct LinkFeasibility {
+  net::LinkId link = 0;
+  double noise_factor = 0.0;     ///< γ_th·N₀/(P·d_jj^{-α}) (0 when N₀ = 0)
+  double sum_factor = 0.0;       ///< Σ f_ij from the rest of the schedule
+  double success_probability = 0.0;
+  bool informed = false;          ///< noise_factor + sum_factor ≤ γ_ε
+};
+std::vector<LinkFeasibility> AnalyzeSchedule(
+    const InterferenceCalculator& calc,
+    std::span<const net::LinkId> schedule);
+
+/// Total rate of informed links (the paper's throughput objective value
+/// for a schedule, judged by the fading-resistant criterion).
+double InformedRate(const InterferenceCalculator& calc,
+                    std::span<const net::LinkId> schedule);
+
+}  // namespace fadesched::channel

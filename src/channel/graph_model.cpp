@@ -1,0 +1,41 @@
+#include "channel/graph_model.hpp"
+
+#include "util/check.hpp"
+
+namespace fadesched::channel {
+
+GraphInterference::GraphInterference(const net::LinkSet& links,
+                                     GraphModelParams params)
+    : links_(&links), params_(params) {
+  FS_CHECK_MSG(params_.range_factor >= 1.0,
+               "interference range must cover at least the link itself");
+}
+
+bool GraphInterference::Conflict(net::LinkId a, net::LinkId b) const {
+  FS_DCHECK(a < links_->Size() && b < links_->Size());
+  if (a == b) return false;
+  const double range_a = params_.range_factor * links_->Length(a);
+  const double range_b = params_.range_factor * links_->Length(b);
+  return geom::Distance(links_->Sender(b), links_->Receiver(a)) < range_a ||
+         geom::Distance(links_->Sender(a), links_->Receiver(b)) < range_b;
+}
+
+bool GraphInterference::ScheduleIsIndependent(
+    std::span<const net::LinkId> schedule) const {
+  for (std::size_t x = 0; x < schedule.size(); ++x) {
+    for (std::size_t y = x + 1; y < schedule.size(); ++y) {
+      if (Conflict(schedule[x], schedule[y])) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t GraphInterference::Degree(net::LinkId link) const {
+  std::size_t degree = 0;
+  for (net::LinkId other = 0; other < links_->Size(); ++other) {
+    if (Conflict(link, other)) ++degree;
+  }
+  return degree;
+}
+
+}  // namespace fadesched::channel

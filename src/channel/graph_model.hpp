@@ -1,0 +1,49 @@
+// Graph-based (protocol) interference model — the classic abstraction the
+// paper's related work (§VI-A) argues against: two links conflict iff
+// either sender is within an interference range of the other's receiver,
+// and any set of pairwise non-conflicting links is deemed schedulable.
+// The model ignores accumulated far-field interference entirely, which is
+// exactly why graph-model schedules break down under the (deterministic
+// or fading) SINR models.
+#pragma once
+
+#include <span>
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::channel {
+
+struct GraphModelParams {
+  /// Interference range as a multiple of the victim link's own length:
+  /// sender s_i conflicts with receiver r_j iff
+  /// d(s_i, r_j) < range_factor · d_jj. The conventional "protocol model"
+  /// choice is a small constant ≥ 1.
+  double range_factor = 2.0;
+};
+
+class GraphInterference {
+ public:
+  GraphInterference(const net::LinkSet& links, GraphModelParams params);
+
+  [[nodiscard]] const net::LinkSet& Links() const { return *links_; }
+  [[nodiscard]] const GraphModelParams& Params() const { return params_; }
+
+  /// True iff links a and b conflict (either direction's sender is inside
+  /// the other receiver's interference range). Symmetric by construction;
+  /// a link never conflicts with itself.
+  [[nodiscard]] bool Conflict(net::LinkId a, net::LinkId b) const;
+
+  /// True iff the schedule is an independent set of the conflict graph.
+  [[nodiscard]] bool ScheduleIsIndependent(
+      std::span<const net::LinkId> schedule) const;
+
+  /// Number of conflict-graph neighbours of `link` within the whole set.
+  [[nodiscard]] std::size_t Degree(net::LinkId link) const;
+
+ private:
+  const net::LinkSet* links_;
+  GraphModelParams params_;
+};
+
+}  // namespace fadesched::channel

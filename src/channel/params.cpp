@@ -1,0 +1,31 @@
+#include "channel/params.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::channel {
+
+double ChannelParams::GammaEpsilon() const {
+  // ln(1/(1-ε)) = -log1p(-ε), computed stably for small ε.
+  return -std::log1p(-epsilon);
+}
+
+double ChannelParams::FeasibilityBudget() const {
+  return GammaEpsilon() * (1.0 + kFeasibilitySlack);
+}
+
+double ChannelParams::MeanPower(double distance) const {
+  FS_DCHECK(distance > 0.0);
+  return tx_power * std::pow(distance, -alpha);
+}
+
+void ChannelParams::Validate() const {
+  FS_CHECK_MSG(alpha > 2.0, "path-loss exponent must satisfy alpha > 2");
+  FS_CHECK_MSG(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+  FS_CHECK_MSG(gamma_th > 0.0, "gamma_th must be positive");
+  FS_CHECK_MSG(tx_power > 0.0, "tx_power must be positive");
+  FS_CHECK_MSG(noise_power >= 0.0, "noise_power must be non-negative");
+}
+
+}  // namespace fadesched::channel

@@ -1,0 +1,45 @@
+// Channel model parameters shared by every algorithm and the simulator.
+//
+// The Rayleigh-fading model (paper §II): the power received at r_j from
+// s_i is exponentially distributed with mean P·d_ij^{-α}. A link decodes
+// iff SINR ≥ γ_th; it is *informed* iff Pr(SINR < γ_th) ≤ ε. Corollary 3.1
+// turns that probabilistic test into the linear constraint
+// Σ f_ij ≤ γ_ε = ln(1/(1-ε)).
+#pragma once
+
+namespace fadesched::channel {
+
+/// Relative slack applied to feasibility thresholds so that analytically
+/// tight constructions (e.g. the Knapsack reduction at Σw == W, whose
+/// interference sum equals γ_ε exactly) are not rejected by floating-point
+/// round-trip error. Physically meaningless: 1e-9 relative on ε.
+inline constexpr double kFeasibilitySlack = 1e-9;
+
+struct ChannelParams {
+  double tx_power = 1.0;    ///< P — common transmit power
+  double alpha = 3.0;       ///< α — path-loss exponent (> 2)
+  double gamma_th = 1.0;    ///< γ_th — SINR decoding threshold
+  double epsilon = 0.01;    ///< ε — acceptable outage probability
+
+  /// N₀ — ambient noise power. The paper argues N₀ is negligible and sets
+  /// it to 0 (Formula (8)); we support it exactly: with noise the success
+  /// probability gains a factor exp(−γ_th·N₀/(P·d_jj^{-α})), i.e. every
+  /// receiver pays a fixed "noise factor" out of its γ_ε budget.
+  double noise_power = 0.0;
+
+  /// γ_ε = ln(1/(1-ε)) (Corollary 3.1).
+  [[nodiscard]] double GammaEpsilon() const;
+
+  /// γ_ε with the numeric slack — the budget every feasibility comparison
+  /// in the library tests against, so schedulers and checkers agree on
+  /// boundary cases.
+  [[nodiscard]] double FeasibilityBudget() const;
+
+  /// Mean received power P·d^{-α} at distance d.
+  [[nodiscard]] double MeanPower(double distance) const;
+
+  /// Throws CheckFailure unless α > 2, 0 < ε < 1, γ_th > 0, P > 0.
+  void Validate() const;
+};
+
+}  // namespace fadesched::channel

@@ -1,0 +1,18 @@
+// Umbrella header: include everything a typical application needs.
+#pragma once
+
+#include "channel/deterministic.hpp"     // IWYU pragma: export
+#include "channel/feasibility.hpp"       // IWYU pragma: export
+#include "channel/interference.hpp"      // IWYU pragma: export
+#include "channel/params.hpp"            // IWYU pragma: export
+#include "core/problem.hpp"              // IWYU pragma: export
+#include "core/version.hpp"              // IWYU pragma: export
+#include "net/link_set.hpp"              // IWYU pragma: export
+#include "net/scenario.hpp"              // IWYU pragma: export
+#include "net/scenario_io.hpp"           // IWYU pragma: export
+#include "net/topology_stats.hpp"        // IWYU pragma: export
+#include "sched/registry.hpp"            // IWYU pragma: export
+#include "sched/scheduler.hpp"           // IWYU pragma: export
+#include "sim/exact_metrics.hpp"         // IWYU pragma: export
+#include "sim/experiment.hpp"            // IWYU pragma: export
+#include "sim/monte_carlo.hpp"           // IWYU pragma: export

@@ -1,0 +1,46 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "sched/registry.hpp"
+#include "sim/exact_metrics.hpp"
+
+namespace fadesched::core {
+
+Problem::Problem(net::LinkSet links, channel::ChannelParams params)
+    : links_(std::move(links)), params_(params) {
+  params_.Validate();
+}
+
+Solution Problem::Solve(const std::string& algorithm) const {
+  return Solve(*sched::MakeScheduler(algorithm));
+}
+
+Solution Problem::Solve(const sched::Scheduler& scheduler) const {
+  sched::ScheduleResult result = scheduler.Schedule(links_, params_);
+  return Evaluate(std::move(result.schedule), scheduler.Name());
+}
+
+Solution Problem::Evaluate(net::Schedule schedule, std::string label) const {
+  std::sort(schedule.begin(), schedule.end());
+  const channel::InterferenceCalculator calc(links_, params_);
+  const sim::ExpectedMetrics expected =
+      sim::ComputeExpectedMetrics(links_, params_, schedule);
+
+  Solution solution;
+  solution.algorithm = std::move(label);
+  solution.claimed_rate = links_.TotalRate(schedule);
+  solution.fading_feasible = channel::ScheduleIsFeasible(calc, schedule);
+  solution.expected_throughput = expected.expected_throughput;
+  solution.expected_failed = expected.expected_failed;
+  for (double p : expected.link_success_probability) {
+    solution.min_success_probability =
+        std::min(solution.min_success_probability, p);
+  }
+  solution.schedule = std::move(schedule);
+  return solution;
+}
+
+}  // namespace fadesched::core

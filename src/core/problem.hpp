@@ -1,0 +1,53 @@
+// Top-level facade: a Fading-R-LS problem instance and one-call solving.
+//
+// Quickstart:
+//   fadesched::core::Problem problem(std::move(links), params);
+//   auto solution = problem.Solve("rle");
+//   // solution.schedule, solution.expected_throughput, ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+#include "sched/scheduler.hpp"
+
+namespace fadesched::core {
+
+struct Solution {
+  net::Schedule schedule;
+  std::string algorithm;
+  double claimed_rate = 0.0;          ///< Σ λ of the scheduled links
+  bool fading_feasible = false;       ///< Corollary 3.1 holds for all links
+  double expected_throughput = 0.0;   ///< Σ λ_j·Pr(j decodes) (Theorem 3.1)
+  double expected_failed = 0.0;       ///< Σ (1 − Pr(j decodes))
+  double min_success_probability = 1.0;  ///< worst link's Pr(decodes)
+};
+
+class Problem {
+ public:
+  /// Validates the channel parameters on construction.
+  Problem(net::LinkSet links, channel::ChannelParams params);
+
+  [[nodiscard]] const net::LinkSet& Links() const { return links_; }
+  [[nodiscard]] const channel::ChannelParams& Params() const { return params_; }
+
+  /// Runs a registered scheduler (see sched::KnownSchedulers()) and
+  /// evaluates the result under the fading model.
+  [[nodiscard]] Solution Solve(const std::string& algorithm) const;
+
+  /// Runs an externally constructed scheduler.
+  [[nodiscard]] Solution Solve(const sched::Scheduler& scheduler) const;
+
+  /// Evaluates an arbitrary schedule under the fading model (useful for
+  /// hand-crafted or externally computed schedules).
+  [[nodiscard]] Solution Evaluate(net::Schedule schedule,
+                                  std::string label) const;
+
+ private:
+  net::LinkSet links_;
+  channel::ChannelParams params_;
+};
+
+}  // namespace fadesched::core

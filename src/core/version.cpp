@@ -1,0 +1,9 @@
+#include "core/version.hpp"
+
+namespace fadesched::core {
+
+const char* VersionString() { return "1.0.0"; }
+
+Version LibraryVersion() { return Version{1, 0, 0}; }
+
+}  // namespace fadesched::core

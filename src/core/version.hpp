@@ -1,0 +1,16 @@
+// Library version information.
+#pragma once
+
+namespace fadesched::core {
+
+/// Semantic version string, e.g. "1.0.0".
+const char* VersionString();
+
+struct Version {
+  int major = 0;
+  int minor = 0;
+  int patch = 0;
+};
+Version LibraryVersion();
+
+}  // namespace fadesched::core

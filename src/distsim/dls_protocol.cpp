@@ -1,0 +1,201 @@
+#include "distsim/dls_protocol.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::distsim {
+namespace {
+
+constexpr std::uint64_t kBeaconTag = 1;
+constexpr std::uint64_t kTimerBeacon = 1;
+constexpr std::uint64_t kTimerDecide = 2;
+
+// Beacon payload layout.
+enum PayloadField : std::size_t {
+  kSenderX = 0,
+  kSenderY,
+  kLinkLength,
+  kTxPower,
+  kEstimate,
+  kViolating,
+  kPayloadSize,
+};
+
+struct Shared {
+  const net::LinkSet* links = nullptr;
+  channel::ChannelParams params;
+  DlsProtocolOptions options;
+  std::uint32_t total_rounds = 0;
+};
+
+class LinkAgent final : public Node {
+ public:
+  LinkAgent(const Shared* shared, net::LinkId link, rng::Xoshiro256 coin)
+      : shared_(shared), link_(link), coin_(coin) {}
+
+  [[nodiscard]] bool Active() const { return active_; }
+
+  void OnStart(Context& ctx) override {
+    // Noise consumes budget permanently; hopeless links never contend.
+    noise_factor_ = NoiseFactor();
+    if (noise_factor_ > GammaEps()) {
+      active_ = false;
+      return;
+    }
+    ctx.SetTimer(0.0, kTimerBeacon);
+  }
+
+  void OnMessage(Context&, const Message& message) override {
+    if (message.tag != kBeaconTag || !active_) return;
+    FS_CHECK(message.data.size() == kPayloadSize);
+    // Interference factor of the beaconing sender on *our* receiver,
+    // computed purely from local knowledge plus the beacon contents.
+    const geom::Vec2 their_sender{message.data[kSenderX],
+                                  message.data[kSenderY]};
+    const double d_ij = geom::Distance(
+        their_sender, shared_->links->Receiver(link_));
+    if (d_ij <= 0.0) return;  // degenerate co-location; ignore the beacon
+    const double d_jj = shared_->links->Length(link_);
+    const double my_power = shared_->links->EffectiveTxPower(
+        link_, shared_->params.tx_power);
+    const double factor = std::log1p(
+        shared_->params.gamma_th * (message.data[kTxPower] / my_power) *
+        std::pow(d_jj / d_ij, shared_->params.alpha));
+    round_sum_ += factor;
+    if (message.data[kViolating] > 0.5) {
+      heard_violator_estimates_.push_back(
+          {message.data[kEstimate], message.from});
+    }
+  }
+
+  void OnTimer(Context& ctx, std::uint64_t timer_id) override {
+    if (!active_) return;
+    if (timer_id == kTimerBeacon) {
+      round_sum_ = 0.0;
+      heard_violator_estimates_.clear();
+      const geom::Vec2 sender = shared_->links->Sender(link_);
+      ctx.BroadcastLocal(
+          kBeaconTag,
+          {sender.x, sender.y, shared_->links->Length(link_),
+           shared_->links->EffectiveTxPower(link_, shared_->params.tx_power),
+           estimate_, violating_ ? 1.0 : 0.0});
+      ctx.SetTimer(0.8 * shared_->options.round_duration, kTimerDecide);
+      return;
+    }
+    FS_CHECK(timer_id == kTimerDecide);
+    estimate_ = noise_factor_ + round_sum_;
+    violating_ = estimate_ > GammaEps();
+    if (violating_) {
+      if (round_ < shared_->options.contention_rounds) {
+        // Randomized back-off, mirroring sched/dls.cpp.
+        const double overload = estimate_ / GammaEps();
+        const double p = std::min(
+            1.0, shared_->options.backoff_probability *
+                     (1.0 - 1.0 / overload) * 2.0);
+        if (rng::UniformUnit(coin_) < p) {
+          active_ = false;
+          return;
+        }
+      } else {
+        // Resolution: withdraw iff locally the worst violator (stale-by-
+        // one-round estimates; ties broken toward the higher id).
+        bool is_worst = true;
+        for (const auto& [their_estimate, their_id] :
+             heard_violator_estimates_) {
+          if (their_estimate > estimate_ ||
+              (their_estimate == estimate_ && their_id > ctx.Self())) {
+            is_worst = false;
+            break;
+          }
+        }
+        if (is_worst) {
+          active_ = false;
+          return;
+        }
+      }
+    }
+    ++round_;
+    if (round_ < shared_->total_rounds) {
+      ctx.SetTimer(0.2 * shared_->options.round_duration, kTimerBeacon);
+    } else if (violating_) {
+      // Terminal self-prune: a still-violating agent withdraws, which by
+      // interference monotonicity leaves every survivor satisfied.
+      active_ = false;
+    }
+  }
+
+ private:
+  [[nodiscard]] double GammaEps() const {
+    return shared_->params.GammaEpsilon();
+  }
+  [[nodiscard]] double NoiseFactor() const {
+    if (shared_->params.noise_power == 0.0) return 0.0;
+    const double signal =
+        shared_->links->EffectiveTxPower(link_, shared_->params.tx_power) *
+        std::pow(shared_->links->Length(link_), -shared_->params.alpha);
+    return shared_->params.gamma_th * shared_->params.noise_power / signal;
+  }
+
+  const Shared* shared_;
+  net::LinkId link_;
+  rng::Xoshiro256 coin_;
+  bool active_ = true;
+  bool violating_ = false;
+  double estimate_ = 0.0;
+  double noise_factor_ = 0.0;
+  double round_sum_ = 0.0;
+  std::uint32_t round_ = 0;
+  std::vector<std::pair<double, NodeId>> heard_violator_estimates_;
+};
+
+}  // namespace
+
+DlsProtocolResult RunDlsProtocol(const net::LinkSet& links,
+                                 const channel::ChannelParams& params,
+                                 const DlsProtocolOptions& options) {
+  params.Validate();
+  FS_CHECK_MSG(options.round_duration > 0.0, "round duration must be > 0");
+  FS_CHECK_MSG(options.contention_rounds + options.resolution_rounds > 0,
+               "need at least one round");
+
+  Shared shared;
+  shared.links = &links;
+  shared.params = params;
+  shared.options = options;
+  shared.total_rounds =
+      options.contention_rounds + options.resolution_rounds;
+
+  EventSimulator::Options sim_options;
+  sim_options.broadcast_radius = options.broadcast_radius;
+  // Keep all delivery inside the beacon phase: the worst-case propagation
+  // must complete before the decision timer at 0.8·T fires.
+  sim_options.fixed_latency = 1e-4 * options.round_duration;
+  sim_options.propagation_delay_per_unit =
+      0.5 * options.round_duration / std::max(1.0, options.broadcast_radius);
+  EventSimulator sim(sim_options);
+
+  std::vector<LinkAgent*> agents;
+  rng::Xoshiro256 master(options.seed);
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    auto agent = std::make_unique<LinkAgent>(&shared, i, master);
+    master.Jump();
+    agents.push_back(agent.get());
+    sim.AddNode(std::move(agent), links.Sender(i));
+  }
+
+  DlsProtocolResult result;
+  result.sim_stats = sim.Run(
+      (static_cast<double>(shared.total_rounds) + 1.0) *
+      options.round_duration);
+  result.rounds = shared.total_rounds;
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    if (agents[i]->Active()) result.schedule.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace fadesched::distsim

@@ -1,0 +1,99 @@
+#include "distsim/event_sim.hpp"
+
+#include "util/check.hpp"
+
+namespace fadesched::distsim {
+
+EventSimulator::EventSimulator(Options options) : options_(options) {
+  FS_CHECK_MSG(options_.propagation_delay_per_unit >= 0.0,
+               "negative propagation delay");
+  FS_CHECK_MSG(options_.fixed_latency >= 0.0, "negative fixed latency");
+  FS_CHECK_MSG(options_.broadcast_radius > 0.0,
+               "broadcast radius must be positive");
+}
+
+EventSimulator::~EventSimulator() = default;
+
+NodeId EventSimulator::AddNode(std::unique_ptr<Node> node,
+                               geom::Vec2 position) {
+  FS_CHECK_MSG(node != nullptr, "null node");
+  nodes_.push_back(std::move(node));
+  positions_.push_back(position);
+  return nodes_.size() - 1;
+}
+
+geom::Vec2 EventSimulator::Position(NodeId id) const {
+  FS_CHECK(id < positions_.size());
+  return positions_[id];
+}
+
+void EventSimulator::Schedule(Event event) {
+  event.sequence = next_sequence_++;
+  queue_.push(std::move(event));
+}
+
+SimStats EventSimulator::Run(Time until) {
+  FS_CHECK_MSG(until >= 0.0, "negative horizon");
+  stats_ = SimStats{};
+  now_ = 0.0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    Context ctx(*this, id);
+    nodes_[id]->OnStart(ctx);
+  }
+  while (!queue_.empty()) {
+    FS_CHECK_MSG(stats_.events_processed < options_.max_events,
+                 "event cap exceeded — runaway protocol?");
+    const Event event = queue_.top();
+    if (event.at > until) break;
+    queue_.pop();
+    now_ = event.at;
+    ++stats_.events_processed;
+    Context ctx(*this, event.target);
+    if (event.is_timer) {
+      ++stats_.timers_fired;
+      nodes_[event.target]->OnTimer(ctx, event.timer_id);
+    } else {
+      ++stats_.messages_delivered;
+      nodes_[event.target]->OnMessage(ctx, event.message);
+    }
+  }
+  stats_.end_time = now_;
+  return stats_;
+}
+
+void Context::Send(NodeId to, std::uint64_t tag, std::vector<double> data) {
+  FS_CHECK(to < sim_.nodes_.size());
+  const double distance = geom::Distance(sim_.Position(self_),
+                                         sim_.Position(to));
+  EventSimulator::Event event;
+  event.at = sim_.now_ + sim_.options_.fixed_latency +
+             sim_.options_.propagation_delay_per_unit * distance;
+  event.is_timer = false;
+  event.target = to;
+  event.message = Message{self_, to, tag, std::move(data)};
+  ++sim_.stats_.messages_sent;
+  sim_.Schedule(std::move(event));
+}
+
+void Context::BroadcastLocal(std::uint64_t tag, std::vector<double> data) {
+  const geom::Vec2 origin = sim_.Position(self_);
+  for (NodeId to = 0; to < sim_.nodes_.size(); ++to) {
+    if (to == self_) continue;
+    if (geom::Distance(origin, sim_.Position(to)) <=
+        sim_.options_.broadcast_radius) {
+      Send(to, tag, data);  // copies payload per recipient
+    }
+  }
+}
+
+void Context::SetTimer(Time delay, std::uint64_t timer_id) {
+  FS_CHECK_MSG(delay >= 0.0, "negative timer delay");
+  EventSimulator::Event event;
+  event.at = sim_.now_ + delay;
+  event.is_timer = true;
+  event.timer_id = timer_id;
+  event.target = self_;
+  sim_.Schedule(std::move(event));
+}
+
+}  // namespace fadesched::distsim

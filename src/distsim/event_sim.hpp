@@ -1,0 +1,133 @@
+// Discrete-event simulator for distributed protocols.
+//
+// The DLS scheduler (sched/dls.*) models the *outcome* of a decentralized
+// contention protocol; this module supplies the machinery to run such a
+// protocol for real: nodes with positions, point-to-point and local-
+// broadcast messages with distance-dependent propagation delay, per-node
+// timers, and a deterministic event queue (ties broken by sequence
+// number, so runs are bit-reproducible).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace fadesched::distsim {
+
+using NodeId = std::size_t;
+using Time = double;
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t tag = 0;          ///< protocol-defined message kind
+  std::vector<double> data;       ///< protocol-defined payload
+};
+
+class Context;
+
+/// Protocol behaviour attached to one node. Callbacks run sequentially in
+/// global event order; a node only touches its own state plus the Context.
+class Node {
+ public:
+  virtual ~Node() = default;
+  /// Called once at t = 0 before any message.
+  virtual void OnStart(Context& ctx) = 0;
+  virtual void OnMessage(Context& ctx, const Message& message) = 0;
+  virtual void OnTimer(Context& ctx, std::uint64_t timer_id) = 0;
+};
+
+struct SimStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t timers_fired = 0;
+  std::uint64_t events_processed = 0;
+  Time end_time = 0.0;
+};
+
+struct EventSimOptions {
+  /// Seconds of propagation per distance unit (plus fixed latency).
+  double propagation_delay_per_unit = 1e-3;
+  double fixed_latency = 1e-3;
+  /// Local broadcast reaches nodes within this radius of the sender.
+  double broadcast_radius = 100.0;
+  /// Safety cap on total events (runaway-protocol guard).
+  std::uint64_t max_events = 10'000'000;
+};
+
+class EventSimulator {
+ public:
+  using Options = EventSimOptions;
+
+  explicit EventSimulator(Options options = {});
+  ~EventSimulator();
+  EventSimulator(const EventSimulator&) = delete;
+  EventSimulator& operator=(const EventSimulator&) = delete;
+
+  /// Registers a node; ids are dense and assigned in call order.
+  NodeId AddNode(std::unique_ptr<Node> node, geom::Vec2 position);
+
+  [[nodiscard]] std::size_t NumNodes() const { return nodes_.size(); }
+  [[nodiscard]] geom::Vec2 Position(NodeId id) const;
+
+  /// Runs OnStart on every node then processes events until the queue is
+  /// empty or `until` is reached, whichever is first.
+  SimStats Run(Time until);
+
+ private:
+  friend class Context;
+
+  struct Event {
+    Time at = 0.0;
+    std::uint64_t sequence = 0;  ///< FIFO tie-break for equal timestamps
+    bool is_timer = false;
+    std::uint64_t timer_id = 0;
+    Message message;
+    NodeId target = 0;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void Schedule(Event event);
+
+  Options options_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<geom::Vec2> positions_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_sequence_ = 0;
+  Time now_ = 0.0;
+  SimStats stats_;
+};
+
+/// Per-callback handle a node uses to interact with the world.
+class Context {
+ public:
+  Context(EventSimulator& sim, NodeId self) : sim_(sim), self_(self) {}
+
+  [[nodiscard]] Time Now() const { return sim_.now_; }
+  [[nodiscard]] NodeId Self() const { return self_; }
+  [[nodiscard]] geom::Vec2 Position() const { return sim_.Position(self_); }
+  [[nodiscard]] std::size_t NumNodes() const { return sim_.NumNodes(); }
+
+  /// Unicast; arrives after fixed latency + distance·propagation delay.
+  void Send(NodeId to, std::uint64_t tag, std::vector<double> data);
+
+  /// Delivers to every node within the broadcast radius (excluding self).
+  void BroadcastLocal(std::uint64_t tag, std::vector<double> data);
+
+  /// Fires OnTimer(timer_id) on this node after `delay`.
+  void SetTimer(Time delay, std::uint64_t timer_id);
+
+ private:
+  EventSimulator& sim_;
+  NodeId self_;
+};
+
+}  // namespace fadesched::distsim

@@ -1,0 +1,39 @@
+#include "geom/grid.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::geom {
+
+SquareGrid::SquareGrid(Vec2 origin, double cell_size)
+    : origin_(origin), cell_size_(cell_size) {
+  FS_CHECK_MSG(cell_size > 0.0, "grid cell size must be positive");
+  FS_CHECK_MSG(std::isfinite(cell_size), "grid cell size must be finite");
+}
+
+CellIndex SquareGrid::CellOf(Vec2 p) const {
+  return CellIndex{
+      static_cast<std::int64_t>(std::floor((p.x - origin_.x) / cell_size_)),
+      static_cast<std::int64_t>(std::floor((p.y - origin_.y) / cell_size_))};
+}
+
+int SquareGrid::ColorOf(CellIndex cell) {
+  // Euclidean (non-negative) mod 2 for possibly negative indices.
+  const int pa = static_cast<int>(((cell.a % 2) + 2) % 2);
+  const int pb = static_cast<int>(((cell.b % 2) + 2) % 2);
+  return pa + 2 * pb;
+}
+
+Vec2 SquareGrid::CellLow(CellIndex cell) const {
+  return Vec2{origin_.x + cell_size_ * static_cast<double>(cell.a),
+              origin_.y + cell_size_ * static_cast<double>(cell.b)};
+}
+
+std::int64_t SquareGrid::ChebyshevDistance(CellIndex x, CellIndex y) {
+  const std::int64_t da = x.a > y.a ? x.a - y.a : y.a - x.a;
+  const std::int64_t db = x.b > y.b ? x.b - y.b : y.b - x.b;
+  return da > db ? da : db;
+}
+
+}  // namespace fadesched::geom

@@ -1,0 +1,66 @@
+// Uniform square grid over a bounding region with the paper's 2×2
+// 4-colouring (Fig. 2(a)): colour(a, b) = (a mod 2) + 2·(b mod 2).
+//
+// LDP partitions the plane into squares of side β_k and concurrently
+// schedules at most one link per same-colour square; two squares sharing a
+// colour are at least 2 grid steps apart in each axis, which is what the
+// interference bound in Theorem 4.1 relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace fadesched::geom {
+
+/// Integer cell coordinate in the grid.
+struct CellIndex {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  friend constexpr bool operator==(CellIndex lhs, CellIndex rhs) {
+    return lhs.a == rhs.a && lhs.b == rhs.b;
+  }
+};
+
+class SquareGrid {
+ public:
+  /// Grid anchored at `origin` with square side `cell_size` (> 0).
+  SquareGrid(Vec2 origin, double cell_size);
+
+  [[nodiscard]] double CellSize() const { return cell_size_; }
+  [[nodiscard]] Vec2 Origin() const { return origin_; }
+
+  /// Cell containing point `p` (points exactly on a boundary go to the
+  /// higher-index cell, consistently).
+  [[nodiscard]] CellIndex CellOf(Vec2 p) const;
+
+  /// 2×2 colouring in {0, 1, 2, 3}; same colour ⇒ cell indices differ by a
+  /// multiple of 2 in each axis.
+  [[nodiscard]] static int ColorOf(CellIndex cell);
+
+  /// Lower corner of a cell.
+  [[nodiscard]] Vec2 CellLow(CellIndex cell) const;
+
+  /// Chebyshev distance between cells in grid units.
+  [[nodiscard]] static std::int64_t ChebyshevDistance(CellIndex x, CellIndex y);
+
+ private:
+  Vec2 origin_;
+  double cell_size_;
+};
+
+/// Hash for CellIndex, for unordered_map-based bucketing.
+struct CellIndexHash {
+  std::size_t operator()(CellIndex c) const noexcept {
+    // 2D -> 1D mix (64-bit splitmix-style finalizer over packed halves).
+    std::uint64_t h = static_cast<std::uint64_t>(c.a) * 0x9e3779b97f4a7c15ULL ^
+                      static_cast<std::uint64_t>(c.b) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace fadesched::geom

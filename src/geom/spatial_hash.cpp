@@ -1,0 +1,42 @@
+#include "geom/spatial_hash.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::geom {
+
+SpatialHash::SpatialHash(std::span<const Vec2> points, double bucket_size)
+    : points_(points.begin(), points.end()),
+      grid_(Vec2{0.0, 0.0}, bucket_size) {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    buckets_[grid_.CellOf(points_[i])].push_back(i);
+  }
+}
+
+std::vector<std::size_t> SpatialHash::QueryRadius(Vec2 center,
+                                                  double radius) const {
+  std::vector<std::size_t> out;
+  ForEachInRadius(center, radius, [&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+void SpatialHash::ForEachInRadius(
+    Vec2 center, double radius,
+    const std::function<void(std::size_t)>& visit) const {
+  FS_CHECK_MSG(radius >= 0.0, "negative query radius");
+  const double r2 = radius * radius;
+  const CellIndex lo = grid_.CellOf(Vec2{center.x - radius, center.y - radius});
+  const CellIndex hi = grid_.CellOf(Vec2{center.x + radius, center.y + radius});
+  for (std::int64_t a = lo.a; a <= hi.a; ++a) {
+    for (std::int64_t b = lo.b; b <= hi.b; ++b) {
+      auto it = buckets_.find(CellIndex{a, b});
+      if (it == buckets_.end()) continue;
+      for (std::size_t i : it->second) {
+        if (SquaredDistance(points_[i], center) <= r2) visit(i);
+      }
+    }
+  }
+}
+
+}  // namespace fadesched::geom

@@ -1,0 +1,41 @@
+// Spatial hash index for radius queries over a static point set.
+//
+// RLE removes all senders within radius c1·d_ii of the picked receiver —
+// with N up to thousands, a bucketed index turns that from O(N) per pick
+// into (expected) output-sensitive time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/grid.hpp"
+#include "geom/vec2.hpp"
+
+namespace fadesched::geom {
+
+class SpatialHash {
+ public:
+  /// Builds an index over `points` with the given bucket size. Indices
+  /// into the original span are what queries return.
+  SpatialHash(std::span<const Vec2> points, double bucket_size);
+
+  [[nodiscard]] std::size_t NumPoints() const { return points_.size(); }
+
+  /// All point indices within `radius` of `center` (inclusive).
+  [[nodiscard]] std::vector<std::size_t> QueryRadius(Vec2 center,
+                                                     double radius) const;
+
+  /// Visit point indices within `radius` of `center` without allocating.
+  void ForEachInRadius(Vec2 center, double radius,
+                       const std::function<void(std::size_t)>& visit) const;
+
+ private:
+  std::vector<Vec2> points_;
+  SquareGrid grid_;
+  std::unordered_map<CellIndex, std::vector<std::size_t>, CellIndexHash> buckets_;
+};
+
+}  // namespace fadesched::geom

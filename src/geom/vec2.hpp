@@ -1,0 +1,53 @@
+// 2D point/vector type used throughout the geometric algorithms.
+#pragma once
+
+#include <cmath>
+
+namespace fadesched::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  [[nodiscard]] constexpr double Dot(Vec2 other) const {
+    return x * other.x + y * other.y;
+  }
+  [[nodiscard]] constexpr double SquaredNorm() const { return x * x + y * y; }
+  [[nodiscard]] double Norm() const { return std::hypot(x, y); }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+/// Squared distance (cheaper; used in radius queries).
+constexpr double SquaredDistance(Vec2 a, Vec2 b) {
+  return (a - b).SquaredNorm();
+}
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec2 lo;
+  Vec2 hi;
+
+  [[nodiscard]] constexpr bool Contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  [[nodiscard]] constexpr double Width() const { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double Height() const { return hi.y - lo.y; }
+
+  /// Grow to include `p`.
+  void Extend(Vec2 p) {
+    lo.x = p.x < lo.x ? p.x : lo.x;
+    lo.y = p.y < lo.y ? p.y : lo.y;
+    hi.x = p.x > hi.x ? p.x : hi.x;
+    hi.y = p.y > hi.y ? p.y : hi.y;
+  }
+};
+
+}  // namespace fadesched::geom

@@ -1,0 +1,76 @@
+#include "mathx/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace fadesched::mathx {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_buckets)
+    : lo_(lo), hi_(hi), counts_(num_buckets, 0) {
+  FS_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  FS_CHECK_MSG(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (value - lo_) / (hi_ - lo_);
+  auto index = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  index = std::min(index, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[index];
+}
+
+std::size_t Histogram::BucketCount(std::size_t index) const {
+  FS_CHECK(index < counts_.size());
+  return counts_[index];
+}
+
+double Histogram::BucketLow(std::size_t index) const {
+  FS_CHECK(index < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(index);
+}
+
+double Histogram::BucketHigh(std::size_t index) const {
+  return BucketLow(index) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::EmpiricalCdf(double value) const {
+  std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  std::size_t at_or_below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (BucketHigh(i) <= value) {
+      at_or_below += counts_[i];
+    }
+  }
+  return static_cast<double>(at_or_below) / static_cast<double>(in_range);
+}
+
+std::string Histogram::ToAscii(std::size_t max_bar_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar = counts_[i] * max_bar_width / peak;
+    os << '[' << util::FormatDouble(BucketLow(i), 3) << ", "
+       << util::FormatDouble(BucketHigh(i), 3) << ") "
+       << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow: " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace fadesched::mathx

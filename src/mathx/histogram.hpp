@@ -1,0 +1,42 @@
+// Fixed-width histogram over a closed range, used to summarize SINR and
+// interference-factor distributions in the examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fadesched::mathx {
+
+class Histogram {
+ public:
+  /// Buckets of equal width cover [lo, hi); values outside land in the
+  /// underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t num_buckets);
+
+  void Add(double value);
+
+  [[nodiscard]] std::size_t TotalCount() const { return total_; }
+  [[nodiscard]] std::size_t Underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t Overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t NumBuckets() const { return counts_.size(); }
+  [[nodiscard]] std::size_t BucketCount(std::size_t index) const;
+  [[nodiscard]] double BucketLow(std::size_t index) const;
+  [[nodiscard]] double BucketHigh(std::size_t index) const;
+
+  /// Fraction of in-range samples at or below `value` (empirical CDF).
+  [[nodiscard]] double EmpiricalCdf(double value) const;
+
+  /// ASCII bar rendering, one line per bucket.
+  [[nodiscard]] std::string ToAscii(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fadesched::mathx

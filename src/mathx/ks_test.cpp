@@ -1,0 +1,54 @@
+#include "mathx/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fadesched::mathx {
+
+double KsStatistic(std::span<const double> sample,
+                   const std::function<double(double)>& cdf) {
+  FS_CHECK_MSG(!sample.empty(), "KS statistic of empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    FS_CHECK_MSG(f >= -1e-12 && f <= 1.0 + 1e-12,
+                 "reference CDF out of [0, 1]");
+    const double above = (static_cast<double>(i) + 1.0) / n - f;
+    const double below = f - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+  return d;
+}
+
+double KsPValue(double statistic, std::size_t n) {
+  FS_CHECK_MSG(n > 0, "KS p-value needs a sample size");
+  FS_CHECK_MSG(statistic >= 0.0, "negative KS statistic");
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double lambda =
+      (sqrt_n + 0.12 + 0.11 / sqrt_n) * statistic;  // Stephens correction
+  if (lambda < 1e-6) return 1.0;
+  // Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2 k² λ²}.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+bool KsTestPasses(std::span<const double> sample,
+                  const std::function<double(double)>& cdf, double alpha) {
+  FS_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  return KsPValue(KsStatistic(sample, cdf), sample.size()) >= alpha;
+}
+
+}  // namespace fadesched::mathx

@@ -1,0 +1,27 @@
+// One-sample Kolmogorov–Smirnov goodness-of-fit test — the statistical
+// backbone of the RNG/distribution validation tests. Moment checks catch
+// gross errors; KS catches shape errors (e.g. a subtly wrong inverse-CDF
+// transform) that leave the first two moments intact.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace fadesched::mathx {
+
+/// D_n = sup |F_empirical − F| for an arbitrary (continuous) reference
+/// CDF. The sample is copied and sorted internally.
+double KsStatistic(std::span<const double> sample,
+                   const std::function<double(double)>& cdf);
+
+/// Asymptotic two-sided p-value for the KS statistic at sample size n
+/// (Kolmogorov distribution with the Stephens small-sample correction).
+double KsPValue(double statistic, std::size_t n);
+
+/// Convenience: true iff the sample is NOT rejected at significance
+/// `alpha` against the reference CDF.
+bool KsTestPasses(std::span<const double> sample,
+                  const std::function<double(double)>& cdf,
+                  double alpha = 0.01);
+
+}  // namespace fadesched::mathx

@@ -1,0 +1,69 @@
+#include "mathx/special.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::mathx {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 1e-14;
+
+// Series representation: P(a,x) = e^{-x} x^a / Γ(a) · Σ x^n / (a)_{n+1}.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a,x) = 1 − P(a,x) (modified Lentz).
+double GammaQContinuedFraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  FS_CHECK_MSG(a > 0.0, "gamma shape must be positive");
+  FS_CHECK_MSG(x >= 0.0, "negative argument to incomplete gamma");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double GammaCdf(double x, double shape, double scale) {
+  FS_CHECK_MSG(scale > 0.0, "gamma scale must be positive");
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(shape, x / scale);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / 1.4142135623730950488);
+}
+
+}  // namespace fadesched::mathx

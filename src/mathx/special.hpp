@@ -1,0 +1,18 @@
+// Special functions needed by the statistical validation layer.
+#pragma once
+
+namespace fadesched::mathx {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x)/Γ(a) for a > 0,
+/// x ≥ 0 — the CDF of Gamma(shape a, scale 1). Series expansion for
+/// x < a+1, continued fraction otherwise (Numerical-Recipes style),
+/// accurate to ~1e-12.
+double RegularizedGammaP(double a, double x);
+
+/// CDF of Gamma(shape, scale) at x.
+double GammaCdf(double x, double shape, double scale);
+
+/// Standard normal CDF Φ(x).
+double NormalCdf(double x);
+
+}  // namespace fadesched::mathx

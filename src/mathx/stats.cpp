@@ -1,0 +1,91 @@
+#include "mathx/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::mathx {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::StdError() const {
+  if (count_ < 2) return 0.0;
+  return StdDev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::ConfidenceHalfWidth95() const {
+  return 1.959963984540054 * StdError();
+}
+
+double Percentile(std::span<const double> sorted_values, double q) {
+  FS_CHECK_MSG(!sorted_values.empty(), "percentile of empty sample");
+  FS_CHECK(q >= 0.0 && q <= 1.0);
+  FS_DCHECK(std::is_sorted(sorted_values.begin(), sorted_values.end()));
+  if (sorted_values.size() == 1) return sorted_values[0];
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+BootstrapCi BootstrapMeanCi(std::span<const double> values, double confidence,
+                            std::size_t resamples, rng::Xoshiro256& gen) {
+  FS_CHECK_MSG(!values.empty(), "bootstrap of empty sample");
+  FS_CHECK(confidence > 0.0 && confidence < 1.0);
+  FS_CHECK(resamples >= 2);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += values[rng::UniformIndex(gen, values.size())];
+    }
+    means.push_back(sum / static_cast<double>(values.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  return BootstrapCi{Percentile(means, tail), Percentile(means, 1.0 - tail)};
+}
+
+}  // namespace fadesched::mathx

@@ -1,0 +1,53 @@
+// Online and batch statistics used by the simulator and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::mathx {
+
+/// Welford's online mean/variance accumulator; numerically stable and
+/// mergeable (parallel reduction across simulator threads).
+class RunningStats {
+ public:
+  void Add(double value);
+
+  /// Merge another accumulator (Chan et al. parallel combination).
+  void Merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t Count() const { return count_; }
+  [[nodiscard]] double Mean() const;
+  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double Variance() const;
+  [[nodiscard]] double StdDev() const;
+  /// Standard error of the mean; 0 for fewer than 2 samples.
+  [[nodiscard]] double StdError() const;
+  [[nodiscard]] double Min() const { return min_; }
+  [[nodiscard]] double Max() const { return max_; }
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ConfidenceHalfWidth95() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); q in [0, 1].
+double Percentile(std::span<const double> sorted_values, double q);
+
+/// Bootstrap confidence interval for the sample mean.
+struct BootstrapCi {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+BootstrapCi BootstrapMeanCi(std::span<const double> values, double confidence,
+                            std::size_t resamples, rng::Xoshiro256& gen);
+
+}  // namespace fadesched::mathx

@@ -1,0 +1,44 @@
+// Compensated (Neumaier) summation.
+//
+// Interference-factor sums mix values spanning many orders of magnitude
+// (near links vs the far-field tail), so accumulation error matters when
+// checking feasibility against the tight γ_ε = ln(1/(1-ε)) threshold.
+#pragma once
+
+#include <cmath>
+
+namespace fadesched::mathx {
+
+class NeumaierSum {
+ public:
+  void Add(double value) {
+    const double t = sum_ + value;
+    if (std::abs(sum_) >= std::abs(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  [[nodiscard]] double Total() const { return sum_ + compensation_; }
+
+  void Reset() {
+    sum_ = 0.0;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Sum a range with compensation.
+template <typename It>
+double CompensatedSum(It begin, It end) {
+  NeumaierSum acc;
+  for (It it = begin; it != end; ++it) acc.Add(static_cast<double>(*it));
+  return acc.Total();
+}
+
+}  // namespace fadesched::mathx

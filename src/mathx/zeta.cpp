@@ -1,0 +1,40 @@
+#include "mathx/zeta.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::mathx {
+
+double RiemannZeta(double s) {
+  FS_CHECK_MSG(s > 1.0, "RiemannZeta requires s > 1");
+  // Euler–Maclaurin: sum_{k=1}^{N-1} k^-s + N^-s/2 + N^{1-s}/(s-1)
+  //                  + sum of Bernoulli correction terms.
+  constexpr int kCutoff = 32;
+  double sum = 0.0;
+  for (int k = 1; k < kCutoff; ++k) {
+    sum += std::pow(static_cast<double>(k), -s);
+  }
+  const double n = static_cast<double>(kCutoff);
+  sum += 0.5 * std::pow(n, -s);
+  sum += std::pow(n, 1.0 - s) / (s - 1.0);
+
+  // Correction terms B_{2j}/(2j)! * (s)(s+1)...(s+2j-2) * N^{-s-2j+1}.
+  // Bernoulli numbers B2=1/6, B4=-1/30, B6=1/42, B8=-1/30.
+  static constexpr double kBernoulliOverFact[] = {
+      1.0 / 12.0,        // B2/2!
+      -1.0 / 720.0,      // B4/4!
+      1.0 / 30240.0,     // B6/6!
+      -1.0 / 1209600.0,  // B8/8!
+  };
+  double rising = s;  // s (s+1) ... accumulated across terms
+  double power = std::pow(n, -s - 1.0);
+  for (int j = 0; j < 4; ++j) {
+    sum += kBernoulliOverFact[j] * rising * power;
+    rising *= (s + 2.0 * j + 1.0) * (s + 2.0 * j + 2.0);
+    power /= n * n;
+  }
+  return sum;
+}
+
+}  // namespace fadesched::mathx

@@ -1,0 +1,15 @@
+// Riemann zeta for real arguments s > 1.
+//
+// LDP's square size and RLE's elimination radius both depend on ζ(α−1)
+// (Formulas (37) and (59) of the paper), so we need ζ on (1, ∞) with a
+// few digits of accuracy — Euler–Maclaurin with a modest cutoff delivers
+// ~1e-12 everywhere we use it.
+#pragma once
+
+namespace fadesched::mathx {
+
+/// ζ(s) for s > 1. Throws CheckFailure for s <= 1 (the series diverges and
+/// the paper's constants are only defined for α > 2, i.e. s = α−1 > 1).
+double RiemannZeta(double s);
+
+}  // namespace fadesched::mathx

@@ -1,0 +1,24 @@
+// TDMA frame construction by conflict-graph colouring — the classic
+// graph-model answer to "schedule all links in few slots" (each colour
+// class is one slot of pairwise non-conflicting links).
+//
+// Welsh–Powell greedy colouring (descending degree) uses at most
+// Δ_G + 1 colours for maximum conflict degree Δ_G. Because the conflict
+// graph ignores accumulated interference, these frames are typically NOT
+// Corollary-3.1 feasible — the multislot bench puts that trade (shorter
+// frame, failed transmissions) next to the fading-resistant frames.
+#pragma once
+
+#include "channel/graph_model.hpp"
+#include "multislot/multislot.hpp"
+
+namespace fadesched::multislot {
+
+/// Builds a frame whose slots are the colour classes of a Welsh–Powell
+/// greedy colouring of the conflict graph. Every link appears exactly
+/// once; slots are ordered by descending size.
+Frame ColorConflictGraph(const net::LinkSet& links,
+                         const channel::ChannelParams& params,
+                         const channel::GraphModelParams& graph_params = {});
+
+}  // namespace fadesched::multislot

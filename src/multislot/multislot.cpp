@@ -1,0 +1,96 @@
+#include "multislot/multislot.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "sched/registry.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::multislot {
+
+double Frame::RateWeightedCompletion(const net::LinkSet& links) const {
+  double weighted = 0.0;
+  double total_rate = 0.0;
+  for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+    for (net::LinkId id : slots[slot]) {
+      weighted += links.Rate(id) * static_cast<double>(slot + 1);
+      total_rate += links.Rate(id);
+    }
+  }
+  return total_rate > 0.0 ? weighted / total_rate : 0.0;
+}
+
+Frame ScheduleAllLinks(const net::LinkSet& links,
+                       const channel::ChannelParams& params,
+                       const sched::Scheduler& one_shot,
+                       const MultiSlotOptions& options) {
+  params.Validate();
+  Frame frame;
+  frame.algorithm = one_shot.Name();
+  if (links.Empty()) return frame;
+
+  // remaining[k] = original id of the k-th link still unscheduled.
+  std::vector<net::LinkId> remaining(links.Size());
+  for (net::LinkId i = 0; i < links.Size(); ++i) remaining[i] = i;
+
+  while (!remaining.empty()) {
+    FS_CHECK_MSG(frame.slots.size() < options.max_slots,
+                 "multi-slot frame exceeded max_slots");
+    const net::LinkSet sub = links.Subset(remaining);
+    net::Schedule local = one_shot.Schedule(sub, params).schedule;
+    if (local.empty()) {
+      // Defensive progress guarantee: a singleton slot is always feasible
+      // (no interferer, noise-free model).
+      local.push_back(0);
+    }
+    // Map subset-local ids back to original ids; record the slot.
+    net::Schedule slot;
+    slot.reserve(local.size());
+    for (net::LinkId sub_id : local) {
+      FS_CHECK(sub_id < remaining.size());
+      slot.push_back(remaining[sub_id]);
+    }
+    std::sort(slot.begin(), slot.end());
+    frame.slots.push_back(slot);
+
+    // Remove the scheduled links (local ids are unique; erase by flag to
+    // stay O(remaining)).
+    std::vector<char> gone(remaining.size(), 0);
+    for (net::LinkId sub_id : local) gone[sub_id] = 1;
+    std::vector<net::LinkId> next;
+    next.reserve(remaining.size() - local.size());
+    for (std::size_t k = 0; k < remaining.size(); ++k) {
+      if (!gone[k]) next.push_back(remaining[k]);
+    }
+    remaining = std::move(next);
+  }
+  return frame;
+}
+
+Frame ScheduleAllLinks(const net::LinkSet& links,
+                       const channel::ChannelParams& params,
+                       const std::string& one_shot_name,
+                       const MultiSlotOptions& options) {
+  const sched::SchedulerPtr scheduler = sched::MakeScheduler(one_shot_name);
+  return ScheduleAllLinks(links, params, *scheduler, options);
+}
+
+bool FrameIsValid(const net::LinkSet& links,
+                  const channel::ChannelParams& params, const Frame& frame) {
+  const channel::InterferenceCalculator calc(links, params);
+  std::vector<char> seen(links.Size(), 0);
+  std::size_t scheduled = 0;
+  for (const net::Schedule& slot : frame.slots) {
+    if (!channel::ScheduleIsFeasible(calc, slot)) return false;
+    for (net::LinkId id : slot) {
+      if (id >= links.Size() || seen[id]) return false;
+      seen[id] = 1;
+      ++scheduled;
+    }
+  }
+  return scheduled == links.Size();
+}
+
+}  // namespace fadesched::multislot

@@ -1,0 +1,62 @@
+// Multi-slot scheduling — the paper's stated future work (§VII): instead
+// of maximizing one slot's throughput, schedule *every* link using as few
+// slots as possible (minimum makespan / minimum frame length).
+//
+// We implement the natural repeated-application construction: run a
+// one-shot scheduler on the remaining links, commit its schedule as the
+// next slot, remove those links, repeat. With a one-shot scheduler whose
+// slots are Corollary-3.1 feasible, every slot of the frame is feasible;
+// with a ρ-approximate one-shot scheduler this is the classic
+// maximum-coverage-style O(ρ·log N) frame-length heuristic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+#include "sched/scheduler.hpp"
+
+namespace fadesched::multislot {
+
+struct Frame {
+  /// One feasible schedule per slot, in transmission order; every link id
+  /// appears in exactly one slot.
+  std::vector<net::Schedule> slots;
+  std::string algorithm;
+
+  [[nodiscard]] std::size_t NumSlots() const { return slots.size(); }
+
+  /// Mean slot index (1-based) at which a link transmits, weighted by
+  /// rate — a latency proxy: lower is better for delay-sensitive traffic.
+  [[nodiscard]] double RateWeightedCompletion(const net::LinkSet& links) const;
+};
+
+struct MultiSlotOptions {
+  /// Hard cap against pathological non-progress; hit only if the one-shot
+  /// scheduler returns an empty schedule on a non-empty set, in which case
+  /// the frame builder force-schedules one link per slot instead.
+  std::size_t max_slots = 100000;
+};
+
+/// Builds a frame by repeatedly applying `one_shot` to the unscheduled
+/// remainder. Guarantees progress (at least one link per slot) and
+/// termination; throws CheckFailure only if max_slots is exhausted.
+Frame ScheduleAllLinks(const net::LinkSet& links,
+                       const channel::ChannelParams& params,
+                       const sched::Scheduler& one_shot,
+                       const MultiSlotOptions& options = {});
+
+/// Convenience overload resolving the one-shot scheduler by registry name.
+Frame ScheduleAllLinks(const net::LinkSet& links,
+                       const channel::ChannelParams& params,
+                       const std::string& one_shot_name,
+                       const MultiSlotOptions& options = {});
+
+/// True iff every slot is Corollary-3.1 feasible and the slots partition
+/// the full link set (each link exactly once).
+bool FrameIsValid(const net::LinkSet& links,
+                  const channel::ChannelParams& params, const Frame& frame);
+
+}  // namespace fadesched::multislot

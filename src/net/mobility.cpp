@@ -1,0 +1,63 @@
+#include "net/mobility.hpp"
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::net {
+
+RandomWaypointMobility::RandomWaypointMobility(LinkSet initial,
+                                               MobilityParams params,
+                                               rng::Xoshiro256 gen)
+    : links_(std::move(initial)), params_(params), gen_(gen) {
+  FS_CHECK_MSG(params_.region_size > 0.0, "region must be positive");
+  FS_CHECK_MSG(params_.min_speed > 0.0 &&
+                   params_.max_speed >= params_.min_speed,
+               "speeds must satisfy 0 < min <= max");
+  FS_CHECK_MSG(params_.repick_probability > 0.0 &&
+                   params_.repick_probability <= 1.0,
+               "repick probability must be in (0, 1]");
+  walkers_.resize(links_.Size());
+  for (std::size_t i = 0; i < walkers_.size(); ++i) PickWaypoint(i);
+}
+
+void RandomWaypointMobility::PickWaypoint(std::size_t index) {
+  walkers_[index].target =
+      geom::Vec2{rng::UniformRange(gen_, 0.0, params_.region_size),
+                 rng::UniformRange(gen_, 0.0, params_.region_size)};
+  walkers_[index].speed =
+      rng::UniformRange(gen_, params_.min_speed, params_.max_speed);
+}
+
+void RandomWaypointMobility::Step() {
+  LinkSet next;
+  for (LinkId i = 0; i < links_.Size(); ++i) {
+    Link link = links_.At(i);
+    Walker& walker = walkers_[i];
+    const geom::Vec2 to_target = walker.target - link.sender;
+    const double distance = to_target.Norm();
+    if (distance <= walker.speed) {
+      // Arrived: snap to the waypoint, then (probabilistically) re-pick.
+      const geom::Vec2 shift = to_target;
+      link.sender = link.sender + shift;
+      link.receiver = link.receiver + shift;
+      if (rng::UniformUnit(gen_) < params_.repick_probability) {
+        PickWaypoint(i);
+      }
+    } else {
+      const geom::Vec2 shift = to_target * (walker.speed / distance);
+      link.sender = link.sender + shift;
+      link.receiver = link.receiver + shift;
+    }
+    next.Add(link);
+  }
+  links_ = std::move(next);
+  ++steps_;
+}
+
+void RandomWaypointMobility::Advance(std::size_t count) {
+  for (std::size_t s = 0; s < count; ++s) Step();
+}
+
+}  // namespace fadesched::net

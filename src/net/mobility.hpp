@@ -1,0 +1,61 @@
+// Node mobility — the physical origin of the fading the paper models.
+//
+// The intro motivates Rayleigh fading with "fluctuations in signal
+// strength due to mobility in a multi-path propagation environment". This
+// module supplies the slow-timescale half of that story: a random-waypoint
+// process that drifts each link (sender and receiver move together,
+// keeping the link's length) across the region, so that a schedule
+// computed at time t degrades as the topology it was computed for walks
+// away. The mobility bench measures how often one must reschedule.
+#pragma once
+
+#include <vector>
+
+#include "net/link_set.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::net {
+
+struct MobilityParams {
+  double region_size = 500.0;  ///< nodes bounce inside [0, size]²
+  double min_speed = 0.5;      ///< distance units per step
+  double max_speed = 2.0;
+  /// Chance per step that a *paused* node picks a new waypoint.
+  double repick_probability = 1.0;
+};
+
+/// Random-waypoint mobility over a LinkSet. Each link moves as a rigid
+/// pair (sender and receiver translate together): link lengths — and with
+/// them g(L) and every scheduler constant — stay invariant while the
+/// interference geometry changes.
+class RandomWaypointMobility {
+ public:
+  RandomWaypointMobility(LinkSet initial, MobilityParams params,
+                         rng::Xoshiro256 gen);
+
+  [[nodiscard]] const LinkSet& Current() const { return links_; }
+  [[nodiscard]] std::size_t StepsTaken() const { return steps_; }
+
+  /// Advances every link by one time step toward its waypoint; picks a
+  /// new waypoint (and speed) on arrival.
+  void Step();
+
+  /// Advances by `count` steps.
+  void Advance(std::size_t count);
+
+ private:
+  struct Walker {
+    geom::Vec2 target;  ///< waypoint for the link's *sender*
+    double speed = 1.0;
+  };
+
+  void PickWaypoint(std::size_t index);
+
+  LinkSet links_;
+  MobilityParams params_;
+  rng::Xoshiro256 gen_;
+  std::vector<Walker> walkers_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace fadesched::net

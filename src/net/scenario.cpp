@@ -1,0 +1,100 @@
+#include "net/scenario.hpp"
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::net {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+geom::Vec2 ReceiverAt(geom::Vec2 sender, double length, double angle) {
+  return geom::Vec2{sender.x + length * std::cos(angle),
+                    sender.y + length * std::sin(angle)};
+}
+
+}  // namespace
+
+LinkSet MakeUniformScenario(std::size_t num_links,
+                            const UniformScenarioParams& params,
+                            rng::Xoshiro256& gen) {
+  FS_CHECK(params.region_size > 0.0);
+  FS_CHECK(params.min_link_length > 0.0);
+  FS_CHECK(params.max_link_length >= params.min_link_length);
+  FS_CHECK(params.rate > 0.0);
+  LinkSet links;
+  for (std::size_t i = 0; i < num_links; ++i) {
+    const geom::Vec2 sender{rng::UniformRange(gen, 0.0, params.region_size),
+                            rng::UniformRange(gen, 0.0, params.region_size)};
+    const double length = rng::UniformRange(gen, params.min_link_length,
+                                            params.max_link_length);
+    const double angle = rng::UniformRange(gen, 0.0, kTwoPi);
+    links.Add(Link{sender, ReceiverAt(sender, length, angle), params.rate});
+  }
+  return links;
+}
+
+LinkSet MakeWeightedScenario(std::size_t num_links,
+                             const WeightedScenarioParams& params,
+                             rng::Xoshiro256& gen) {
+  FS_CHECK(params.min_rate > 0.0);
+  FS_CHECK(params.max_rate >= params.min_rate);
+  LinkSet base = MakeUniformScenario(num_links, params.base, gen);
+  LinkSet links;
+  for (LinkId i = 0; i < base.Size(); ++i) {
+    Link link = base.At(i);
+    link.rate = rng::UniformRange(gen, params.min_rate, params.max_rate);
+    links.Add(link);
+  }
+  return links;
+}
+
+LinkSet MakeClusteredScenario(std::size_t num_links,
+                              const ClusteredScenarioParams& params,
+                              rng::Xoshiro256& gen) {
+  FS_CHECK(params.num_clusters > 0);
+  FS_CHECK(params.cluster_stddev > 0.0);
+  std::vector<geom::Vec2> centers;
+  centers.reserve(params.num_clusters);
+  for (std::size_t c = 0; c < params.num_clusters; ++c) {
+    centers.push_back(
+        geom::Vec2{rng::UniformRange(gen, 0.0, params.region_size),
+                   rng::UniformRange(gen, 0.0, params.region_size)});
+  }
+  LinkSet links;
+  for (std::size_t i = 0; i < num_links; ++i) {
+    const geom::Vec2 center = centers[rng::UniformIndex(gen, centers.size())];
+    const geom::Vec2 sender{
+        center.x + params.cluster_stddev * rng::StandardNormal(gen),
+        center.y + params.cluster_stddev * rng::StandardNormal(gen)};
+    const double length = rng::UniformRange(gen, params.min_link_length,
+                                            params.max_link_length);
+    const double angle = rng::UniformRange(gen, 0.0, kTwoPi);
+    links.Add(Link{sender, ReceiverAt(sender, length, angle), params.rate});
+  }
+  return links;
+}
+
+LinkSet MakeDiverseLengthScenario(std::size_t num_links,
+                                  const DiverseLengthScenarioParams& params,
+                                  rng::Xoshiro256& gen) {
+  FS_CHECK(params.length_octaves >= 1);
+  FS_CHECK(params.min_link_length > 0.0);
+  LinkSet links;
+  for (std::size_t i = 0; i < num_links; ++i) {
+    const geom::Vec2 sender{rng::UniformRange(gen, 0.0, params.region_size),
+                            rng::UniformRange(gen, 0.0, params.region_size)};
+    // Pick an octave uniformly, then a length uniform inside it, so every
+    // magnitude class gets similar mass regardless of scale.
+    const auto octave = rng::UniformIndex(gen, params.length_octaves);
+    const double lo = params.min_link_length * std::pow(2.0, static_cast<double>(octave));
+    const double length = rng::UniformRange(gen, lo, 2.0 * lo);
+    const double angle = rng::UniformRange(gen, 0.0, kTwoPi);
+    links.Add(Link{sender, ReceiverAt(sender, length, angle), params.rate});
+  }
+  return links;
+}
+
+}  // namespace fadesched::net

@@ -1,0 +1,67 @@
+// Synthetic topology generators.
+//
+// The paper's evaluation (§V) places each sender uniformly at random in a
+// 500×500 square and each receiver at distance U[5, 20] in a uniformly
+// random direction, with every rate λ_i = 1. UniformScenario reproduces
+// exactly that; the clustered and heterogeneous-rate generators exercise
+// the algorithms beyond the paper's single layout.
+#pragma once
+
+#include "net/link_set.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::net {
+
+/// Paper §V layout parameters.
+struct UniformScenarioParams {
+  double region_size = 500.0;  ///< side of the deployment square
+  double min_link_length = 5.0;
+  double max_link_length = 20.0;
+  double rate = 1.0;           ///< common data rate λ
+};
+
+/// Senders uniform in the square, receivers at U[min,max] length in a
+/// random direction (receivers may fall slightly outside the region, as in
+/// the paper's description).
+LinkSet MakeUniformScenario(std::size_t num_links,
+                            const UniformScenarioParams& params,
+                            rng::Xoshiro256& gen);
+
+/// Like the paper layout but with per-link rates drawn from U[min_rate,
+/// max_rate] — exercises the weighted objective (LDP's general case).
+struct WeightedScenarioParams {
+  UniformScenarioParams base;
+  double min_rate = 0.5;
+  double max_rate = 4.0;
+};
+LinkSet MakeWeightedScenario(std::size_t num_links,
+                             const WeightedScenarioParams& params,
+                             rng::Xoshiro256& gen);
+
+/// Senders clustered around `num_clusters` uniformly placed hotspots with
+/// Gaussian spread — a harsher interference regime (dense cells).
+struct ClusteredScenarioParams {
+  double region_size = 500.0;
+  std::size_t num_clusters = 5;
+  double cluster_stddev = 25.0;
+  double min_link_length = 5.0;
+  double max_link_length = 20.0;
+  double rate = 1.0;
+};
+LinkSet MakeClusteredScenario(std::size_t num_links,
+                              const ClusteredScenarioParams& params,
+                              rng::Xoshiro256& gen);
+
+/// Link lengths spread over several binary orders of magnitude so the
+/// length diversity g(L) is large — stresses LDP's class partitioning.
+struct DiverseLengthScenarioParams {
+  double region_size = 2000.0;
+  double min_link_length = 1.0;
+  std::size_t length_octaves = 8;  ///< lengths up to min·2^octaves
+  double rate = 1.0;
+};
+LinkSet MakeDiverseLengthScenario(std::size_t num_links,
+                                  const DiverseLengthScenarioParams& params,
+                                  rng::Xoshiro256& gen);
+
+}  // namespace fadesched::net

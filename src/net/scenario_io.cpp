@@ -1,0 +1,61 @@
+#include "net/scenario_io.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace fadesched::net {
+
+util::CsvTable ToCsv(const LinkSet& links) {
+  // The tx_power column is only materialized when some link overrides the
+  // channel default, keeping paper-model files minimal and backwards
+  // compatible.
+  const bool with_power = !links.HasUniformTxPower();
+  std::vector<std::string> header{"sx", "sy", "rx", "ry", "rate"};
+  if (with_power) header.push_back("tx_power");
+  util::CsvTable table(header);
+  for (LinkId i = 0; i < links.Size(); ++i) {
+    util::CsvRowBuilder row(table);
+    row.Add(util::FormatDouble(links.Sender(i).x, 12))
+        .Add(util::FormatDouble(links.Sender(i).y, 12))
+        .Add(util::FormatDouble(links.Receiver(i).x, 12))
+        .Add(util::FormatDouble(links.Receiver(i).y, 12))
+        .Add(util::FormatDouble(links.Rate(i), 12));
+    if (with_power) row.Add(util::FormatDouble(links.TxPower(i), 12));
+    row.Commit();
+  }
+  return table;
+}
+
+LinkSet FromCsv(const util::CsvTable& table) {
+  LinkSet links;
+  for (std::size_t row = 0; row < table.NumRows(); ++row) {
+    Link link;
+    link.sender = geom::Vec2{table.CellAsDouble(row, "sx"),
+                             table.CellAsDouble(row, "sy")};
+    link.receiver = geom::Vec2{table.CellAsDouble(row, "rx"),
+                               table.CellAsDouble(row, "ry")};
+    link.rate = table.CellAsDouble(row, "rate");
+    if (table.HasColumn("tx_power")) {
+      link.tx_power = table.CellAsDouble(row, "tx_power");
+    }
+    links.Add(link);
+  }
+  return links;
+}
+
+void SaveLinkSet(const LinkSet& links, const std::string& path) {
+  std::ofstream out(path);
+  FS_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  ToCsv(links).Write(out);
+  FS_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+LinkSet LoadLinkSet(const std::string& path) {
+  std::ifstream in(path);
+  FS_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+  return FromCsv(util::CsvTable::Parse(in));
+}
+
+}  // namespace fadesched::net

@@ -1,0 +1,21 @@
+// CSV persistence for LinkSet (columns: sx, sy, rx, ry, rate).
+#pragma once
+
+#include <string>
+
+#include "net/link_set.hpp"
+#include "util/csv.hpp"
+
+namespace fadesched::net {
+
+/// Serialize a LinkSet into a CSV table.
+util::CsvTable ToCsv(const LinkSet& links);
+
+/// Parse a LinkSet from a CSV table; validates columns and values.
+LinkSet FromCsv(const util::CsvTable& table);
+
+/// File round-trips; throw CheckFailure on I/O errors.
+void SaveLinkSet(const LinkSet& links, const std::string& path);
+LinkSet LoadLinkSet(const std::string& path);
+
+}  // namespace fadesched::net

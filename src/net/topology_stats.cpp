@@ -1,0 +1,79 @@
+#include "net/topology_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace fadesched::net {
+
+int LengthMagnitude(double length, double shortest_length) {
+  FS_CHECK(length > 0.0 && shortest_length > 0.0);
+  // floor(log2(d/δ)); clamp tiny negative FP error at d == δ.
+  const double h = std::floor(std::log2(length / shortest_length));
+  return static_cast<int>(std::max(0.0, h));
+}
+
+std::vector<int> LengthDiversitySet(const LinkSet& links) {
+  FS_CHECK_MSG(!links.Empty(), "diversity of empty link set");
+  const double shortest = links.MinLength();
+  std::set<int> magnitudes;
+  for (double length : links.Lengths()) {
+    magnitudes.insert(LengthMagnitude(length, shortest));
+  }
+  return {magnitudes.begin(), magnitudes.end()};
+}
+
+std::size_t LengthDiversity(const LinkSet& links) {
+  return LengthDiversitySet(links).size();
+}
+
+double DistanceRatio(const LinkSet& links) {
+  FS_CHECK_MSG(links.Size() >= 1, "distance ratio of empty link set");
+  std::vector<geom::Vec2> nodes;
+  nodes.reserve(2 * links.Size());
+  nodes.insert(nodes.end(), links.Senders().begin(), links.Senders().end());
+  nodes.insert(nodes.end(), links.Receivers().begin(), links.Receivers().end());
+  double min_d2 = std::numeric_limits<double>::infinity();
+  double max_d2 = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const double d2 = geom::SquaredDistance(nodes[i], nodes[j]);
+      if (d2 <= 0.0) continue;  // coincident nodes carry no scale info
+      min_d2 = std::min(min_d2, d2);
+      max_d2 = std::max(max_d2, d2);
+    }
+  }
+  FS_CHECK_MSG(std::isfinite(min_d2), "all nodes coincident");
+  return std::sqrt(max_d2 / min_d2);
+}
+
+std::vector<LinkId> OneSidedLengthClass(const LinkSet& links, int magnitude) {
+  FS_CHECK_MSG(!links.Empty(), "length class of empty link set");
+  const double shortest = links.MinLength();
+  const double upper = std::ldexp(shortest, magnitude + 1);  // 2^{h+1}·δ
+  std::vector<LinkId> out;
+  for (LinkId i = 0; i < links.Size(); ++i) {
+    if (links.Length(i) < upper) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<LinkId> TwoSidedLengthClass(const LinkSet& links, int magnitude) {
+  FS_CHECK_MSG(!links.Empty(), "length class of empty link set");
+  const double shortest = links.MinLength();
+  const double lower = std::ldexp(shortest, magnitude);      // 2^h·δ
+  const double upper = std::ldexp(shortest, magnitude + 1);  // 2^{h+1}·δ
+  std::vector<LinkId> out;
+  for (LinkId i = 0; i < links.Size(); ++i) {
+    const double len = links.Length(i);
+    // The shortest link itself (len == δ, magnitude 0) must land in class
+    // 0 despite `len >= lower` being an exact FP comparison.
+    if (len >= lower && len < upper) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace fadesched::net

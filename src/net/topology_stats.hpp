@@ -1,0 +1,38 @@
+// Topology statistics from the paper's analysis:
+//
+//  * length diversity g(L) (Definition 4.1) — the number of binary
+//    magnitudes of link lengths; LDP's approximation factor is O(g(L)),
+//  * Δ — ratio of the maximum to the minimum node distance, which bounds
+//    RLE's factor in the abstract,
+//  * per-class membership used by LDP and ApproxLogN.
+#pragma once
+
+#include <vector>
+
+#include "net/link_set.hpp"
+
+namespace fadesched::net {
+
+/// The set of magnitudes h = floor(log2(d(l)/δ)) realized by L, ascending,
+/// where δ is the shortest link length (so the first element is 0).
+std::vector<int> LengthDiversitySet(const LinkSet& links);
+
+/// g(L) = |G(L)|.
+std::size_t LengthDiversity(const LinkSet& links);
+
+/// Magnitude h of one link relative to the shortest length δ.
+int LengthMagnitude(double length, double shortest_length);
+
+/// Δ = (max pairwise node distance) / (min pairwise node distance) over
+/// all senders and receivers. O(n²); intended for analysis and tests.
+double DistanceRatio(const LinkSet& links);
+
+/// Ids of links with length < 2^{h+1}·δ — LDP's one-sided class L_k
+/// (Formula (36)); contains every shorter class as a subset.
+std::vector<LinkId> OneSidedLengthClass(const LinkSet& links, int magnitude);
+
+/// Ids of links with 2^h·δ ≤ length < 2^{h+1}·δ — the two-sided class used
+/// by the ApproxLogN baseline [14].
+std::vector<LinkId> TwoSidedLengthClass(const LinkSet& links, int magnitude);
+
+}  // namespace fadesched::net

@@ -1,0 +1,46 @@
+#include "power/assignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::power {
+
+const char* PolicyName(PowerPolicy policy) {
+  switch (policy) {
+    case PowerPolicy::kUniform: return "uniform";
+    case PowerPolicy::kLinear: return "linear";
+    case PowerPolicy::kSquareRoot: return "sqrt";
+  }
+  return "?";
+}
+
+net::LinkSet AssignPower(const net::LinkSet& links,
+                         const channel::ChannelParams& params,
+                         PowerPolicy policy, double max_power) {
+  params.Validate();
+  FS_CHECK_MSG(max_power > 0.0, "max_power must be positive");
+  net::LinkSet out;
+  if (links.Empty()) return out;
+
+  const double exponent = policy == PowerPolicy::kLinear ? params.alpha
+                          : policy == PowerPolicy::kSquareRoot
+                              ? params.alpha / 2.0
+                              : 0.0;
+  // Normalize so the longest link gets exactly max_power.
+  const double longest = links.MaxLength();
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    net::Link link = links.At(i);
+    if (policy == PowerPolicy::kUniform) {
+      link.tx_power = 0.0;  // channel default
+    } else {
+      link.tx_power =
+          max_power * std::pow(links.Length(i) / longest, exponent);
+    }
+    out.Add(link);
+  }
+  return out;
+}
+
+}  // namespace fadesched::power

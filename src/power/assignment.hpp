@@ -1,0 +1,38 @@
+// Transmit power assignment policies — the power-control extension.
+//
+// The paper (like [14], [15]) assumes a common transmit power P. The
+// SINR-scheduling literature the paper builds on also studies oblivious
+// power assignments that depend only on the link's own length:
+//
+//   uniform      P_i = P                         (the paper's model)
+//   linear       P_i ∝ d_ii^α                    (exact path-loss compensation)
+//   square-root  P_i ∝ d_ii^{α/2}                (the "mean" assignment;
+//                known to dominate both extremes for SINR scheduling,
+//                cf. Fanghänel–Kesselheim–Vöcking)
+//
+// Assignments are normalized so the maximum per-link power equals
+// `max_power`, modelling a hardware power cap.
+#pragma once
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::power {
+
+enum class PowerPolicy {
+  kUniform,
+  kLinear,
+  kSquareRoot,
+};
+
+/// Human-readable policy name ("uniform", "linear", "sqrt").
+const char* PolicyName(PowerPolicy policy);
+
+/// Returns a copy of `links` with per-link tx_power set according to
+/// `policy`, scaled so the largest assigned power equals `max_power`.
+/// kUniform clears all overrides (every link uses the channel default).
+net::LinkSet AssignPower(const net::LinkSet& links,
+                         const channel::ChannelParams& params,
+                         PowerPolicy policy, double max_power);
+
+}  // namespace fadesched::power

@@ -1,0 +1,31 @@
+// SplitMix64 (Steele, Lea & Flood) — used only to expand user seeds into
+// the 256-bit state of xoshiro256++, per the xoshiro authors' guidance.
+#pragma once
+
+#include <cstdint>
+
+namespace fadesched::rng {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // UniformRandomBitGenerator interface.
+  constexpr std::uint64_t operator()() { return Next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fadesched::rng

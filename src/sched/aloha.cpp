@@ -1,0 +1,46 @@
+#include "sched/aloha.hpp"
+
+#include <algorithm>
+
+#include "channel/graph_model.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+
+AlohaScheduler::AlohaScheduler(AlohaOptions options) : options_(options) {
+  FS_CHECK_MSG(options_.transmit_probability <= 1.0,
+               "transmit probability cannot exceed 1");
+  FS_CHECK_MSG(options_.auto_scale > 0.0, "auto_scale must be positive");
+}
+
+ScheduleResult AlohaScheduler::Schedule(
+    const net::LinkSet& links, const channel::ChannelParams& params) const {
+  params.Validate();
+  if (links.Empty()) return FinalizeResult(links, {}, Name());
+
+  double p = options_.transmit_probability;
+  if (p <= 0.0) {
+    // Auto mode: p = k / (1 + mean conflict degree), the standard
+    // contention-scaled choice. Degree comes from the protocol model,
+    // which is all an uncoordinated node could plausibly estimate.
+    const channel::GraphInterference graph(links, {});
+    double total_degree = 0.0;
+    for (net::LinkId i = 0; i < links.Size(); ++i) {
+      total_degree += static_cast<double>(graph.Degree(i));
+    }
+    const double mean_degree =
+        total_degree / static_cast<double>(links.Size());
+    p = std::min(1.0, options_.auto_scale / (1.0 + mean_degree));
+  }
+
+  rng::Xoshiro256 gen(options_.seed);
+  net::Schedule schedule;
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    if (rng::UniformUnit(gen) < p) schedule.push_back(i);
+  }
+  return FinalizeResult(links, std::move(schedule), Name());
+}
+
+}  // namespace fadesched::sched

@@ -1,0 +1,38 @@
+// Slotted-ALOHA-style random access — the zero-coordination baseline for
+// the decentralized (DLS) extension. Every link independently decides to
+// transmit with probability p, with no sensing and no message exchange at
+// all. The classic result is that the optimal p scales like 1/contention;
+// we expose both a fixed p and an automatic 1/⟨local density⟩ choice.
+//
+// ALOHA makes no feasibility promise of any kind — it is the floor any
+// coordinated scheme must beat, which is exactly its role in the benches.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.hpp"
+
+namespace fadesched::sched {
+
+struct AlohaOptions {
+  /// Transmit probability. <= 0 selects automatically as
+  /// min(1, k / average conflict degree) with k = auto_scale.
+  double transmit_probability = -1.0;
+  double auto_scale = 1.0;
+  std::uint64_t seed = 0xa10a5eedULL;
+};
+
+class AlohaScheduler final : public Scheduler {
+ public:
+  explicit AlohaScheduler(AlohaOptions options = {});
+
+  [[nodiscard]] std::string Name() const override { return "aloha"; }
+  [[nodiscard]] ScheduleResult Schedule(
+      const net::LinkSet& links,
+      const channel::ChannelParams& params) const override;
+
+ private:
+  AlohaOptions options_;
+};
+
+}  // namespace fadesched::sched

@@ -1,0 +1,61 @@
+#include "sched/approx_logn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "channel/deterministic.hpp"
+#include "net/topology_stats.hpp"
+#include "sched/constants.hpp"
+#include "sched/grid_select.hpp"
+
+namespace fadesched::sched {
+
+ScheduleResult ApproxLogNScheduler::Schedule(
+    const net::LinkSet& links, const channel::ChannelParams& params) const {
+  if (links.Empty()) return FinalizeResult(links, {}, Name());
+
+  const channel::DeterministicSinr sinr(links, params);
+  channel::ChannelParams effective = params;
+  effective.gamma_th *= links.TxPowerRatio(params.tx_power);
+  const double delta = links.MinLength();
+  const geom::Vec2 origin = links.BoundingBox().lo;
+
+  net::Schedule best;
+  double best_rate = -1.0;
+  for (int magnitude : net::LengthDiversitySet(links)) {
+    std::vector<net::LinkId> clazz =
+        net::TwoSidedLengthClass(links, magnitude);
+    // Noise extension mirroring LDP: the deterministic decode test with
+    // N₀ > 0 is noise-affectance + Σ affectance ≤ 1, so the class's grid
+    // is sized from the budget left after its worst noise affectance.
+    double class_budget = 1.0;
+    if (params.noise_power > 0.0) {
+      std::vector<net::LinkId> viable;
+      double worst_noise = 0.0;
+      for (net::LinkId id : clazz) {
+        const double noise = sinr.NoiseAffectance(id);
+        if (noise >= 1.0) continue;
+        worst_noise = std::max(worst_noise, noise);
+        viable.push_back(id);
+      }
+      clazz = std::move(viable);
+      class_budget = 1.0 - worst_noise;
+    }
+    if (clazz.empty()) continue;
+    const double rho = ApproxLogNRhoForBudget(effective, class_budget);
+    const double cell = std::ldexp(delta, magnitude + 1) * rho;
+    const geom::SquareGrid grid(origin, cell);
+    for (net::Schedule& candidate :
+         BestLinkPerColoredCell(links, clazz, grid)) {
+      const double rate = links.TotalRate(candidate);
+      if (rate > best_rate) {
+        best_rate = rate;
+        best = std::move(candidate);
+      }
+    }
+  }
+  return FinalizeResult(links, std::move(best), Name());
+}
+
+}  // namespace fadesched::sched

@@ -1,0 +1,25 @@
+// ApproxLogN — the O(g(L)) scheduler of Goussevskaia, Oswald & Wattenhofer
+// (MobiHoc'07), the paper's first comparison baseline.
+//
+// Structurally LDP's ancestor: two-sided length classes
+// 2^h δ ≤ d < 2^{h+1} δ, a square grid per class, a 4-colouring, one link
+// per same-colour square. The crucial difference is the feasibility model:
+// the square side ρ_k = 2^{h+1}·δ·ρ with ρ = (8 ζ(α−1) γ_th)^{1/α} is
+// derived from the *deterministic* SINR test (mean received powers), with
+// no outage budget — so under Rayleigh fading its schedules fail a
+// substantial fraction of transmissions (the paper's Fig. 5).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace fadesched::sched {
+
+class ApproxLogNScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string Name() const override { return "approx_logn"; }
+  [[nodiscard]] ScheduleResult Schedule(
+      const net::LinkSet& links,
+      const channel::ChannelParams& params) const override;
+};
+
+}  // namespace fadesched::sched

@@ -1,0 +1,61 @@
+#include "sched/constants.hpp"
+
+#include <cmath>
+
+#include "mathx/zeta.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+
+double LdpBetaForBudget(const channel::ChannelParams& params, double budget) {
+  params.Validate();
+  FS_CHECK_MSG(budget > 0.0, "interference budget must be positive");
+  const double zeta = mathx::RiemannZeta(params.alpha - 1.0);
+  return std::pow(8.0 * zeta * params.gamma_th / budget, 1.0 / params.alpha);
+}
+
+double LdpBeta(const channel::ChannelParams& params) {
+  return LdpBetaForBudget(params, params.GammaEpsilon());
+}
+
+double RleC1(const channel::ChannelParams& params, double c2) {
+  params.Validate();
+  FS_CHECK_MSG(c2 > 0.0 && c2 < 1.0, "RLE c2 must be in (0, 1)");
+  const double zeta = mathx::RiemannZeta(params.alpha - 1.0);
+  return std::sqrt(2.0) *
+             std::pow(12.0 * zeta * params.gamma_th /
+                          (params.GammaEpsilon() * (1.0 - c2)),
+                      1.0 / params.alpha) +
+         1.0;
+}
+
+double LdpPerSquareBound(const channel::ChannelParams& params) {
+  const double beta = LdpBeta(params);
+  const double denom = std::log1p(
+      1.0 / (std::pow(2.0 * beta, params.alpha) * params.gamma_th));
+  return std::ceil(params.GammaEpsilon() / denom);
+}
+
+double ApproxLogNRhoForBudget(const channel::ChannelParams& params,
+                              double budget) {
+  params.Validate();
+  FS_CHECK_MSG(budget > 0.0, "affectance budget must be positive");
+  const double zeta = mathx::RiemannZeta(params.alpha - 1.0);
+  return std::pow(8.0 * zeta * params.gamma_th / budget, 1.0 / params.alpha);
+}
+
+double ApproxLogNRho(const channel::ChannelParams& params) {
+  return ApproxLogNRhoForBudget(params, 1.0);
+}
+
+double ApproxDiversityC1(const channel::ChannelParams& params, double c2) {
+  params.Validate();
+  FS_CHECK_MSG(c2 > 0.0 && c2 < 1.0, "c2 must be in (0, 1)");
+  const double zeta = mathx::RiemannZeta(params.alpha - 1.0);
+  return std::sqrt(2.0) *
+             std::pow(12.0 * zeta * params.gamma_th / (1.0 - c2),
+                      1.0 / params.alpha) +
+         1.0;
+}
+
+}  // namespace fadesched::sched

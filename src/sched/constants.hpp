@@ -1,0 +1,39 @@
+// The paper's derived constants, kept in one place so the algorithms, the
+// tests, and the ablation benches all agree on them.
+#pragma once
+
+#include "channel/params.hpp"
+
+namespace fadesched::sched {
+
+/// LDP grid factor β = (8 ζ(α−1) γ_th / γ_ε)^{1/α}   (Formula (37)).
+/// The square side for class h is β_k = 2^{h+1}·β·δ.
+double LdpBeta(const channel::ChannelParams& params);
+
+/// Formula (37) with an explicit interference budget in place of γ_ε —
+/// used when ambient noise consumes part of the budget (the class budget
+/// becomes γ_ε − max noise factor of the class).
+double LdpBetaForBudget(const channel::ChannelParams& params, double budget);
+
+/// RLE elimination radius factor
+/// c1 = √2 (12 ζ(α−1) γ_th / (γ_ε (1−c2)))^{1/α} + 1   (Formula (59)).
+double RleC1(const channel::ChannelParams& params, double c2);
+
+/// Per-square link bound u = ⌈γ_ε / ln(1 + 1/(2^α β^α γ_th))⌉ from the
+/// LDP approximation proof (Formula (49)).
+double LdpPerSquareBound(const channel::ChannelParams& params);
+
+/// ApproxLogN's deterministic-model grid factor ρ = (8 ζ(α−1) γ_th)^{1/α}
+/// — LDP's β with the affectance budget 1 in place of γ_ε.
+double ApproxLogNRho(const channel::ChannelParams& params);
+
+/// ApproxLogN's ρ with an explicit affectance budget (1 − class noise
+/// affectance when N₀ > 0).
+double ApproxLogNRhoForBudget(const channel::ChannelParams& params,
+                              double budget);
+
+/// ApproxDiversity's deterministic elimination radius factor — RLE's c1
+/// with the affectance budget 1 in place of γ_ε.
+double ApproxDiversityC1(const channel::ChannelParams& params, double c2);
+
+}  // namespace fadesched::sched

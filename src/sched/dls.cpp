@@ -1,0 +1,127 @@
+#include "sched/dls.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "channel/interference.hpp"
+#include "geom/spatial_hash.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+
+DlsScheduler::DlsScheduler(DlsOptions options) : options_(options) {
+  FS_CHECK_MSG(options_.backoff_probability > 0.0 &&
+                   options_.backoff_probability <= 1.0,
+               "backoff probability must be in (0, 1]");
+  FS_CHECK_MSG(options_.max_rounds >= 1, "need at least one round");
+}
+
+ScheduleResult DlsScheduler::Schedule(
+    const net::LinkSet& links, const channel::ChannelParams& params) const {
+  DlsStats stats;
+  return ScheduleWithStats(links, params, stats);
+}
+
+ScheduleResult DlsScheduler::ScheduleWithStats(const net::LinkSet& links,
+                                               const channel::ChannelParams& params,
+                                               DlsStats& stats) const {
+  stats = DlsStats{};
+  if (links.Empty()) return FinalizeResult(links, {}, Name());
+
+  const channel::InterferenceCalculator calc(links, params);
+  const double gamma_eps = params.GammaEpsilon();
+  const std::size_t n = links.Size();
+  const bool unlimited = options_.sensing_radius_factor <= 0.0;
+
+  const geom::SpatialHash sender_index(links.Senders(),
+                                       std::max(1.0, links.MaxLength()));
+
+  // Local interference estimate for link j against the current candidate
+  // set, restricted to the sensing radius.
+  auto local_estimate = [&](net::LinkId j, const std::vector<char>& active) {
+    const double radius =
+        unlimited ? std::numeric_limits<double>::infinity()
+                  : options_.sensing_radius_factor * links.Length(j);
+    // Noise is locally observable, so it is always part of the estimate.
+    ++stats.estimates;
+    double sum = calc.NoiseFactor(j);
+    if (unlimited) {
+      for (net::LinkId i = 0; i < n; ++i) {
+        if (active[i] && i != j) sum += calc.Factor(i, j);
+      }
+    } else {
+      sender_index.ForEachInRadius(links.Receiver(j), radius,
+                                   [&](std::size_t i) {
+                                     if (active[i] && i != j) {
+                                       sum += calc.Factor(i, j);
+                                     }
+                                   });
+    }
+    return sum;
+  };
+
+  // Every link derives its own RNG stream from the shared seed, mirroring
+  // per-node randomness in a real deployment.
+  std::vector<rng::Xoshiro256> coins;
+  coins.reserve(n);
+  {
+    rng::Xoshiro256 master(options_.seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      coins.push_back(master);
+      master.Jump();
+    }
+  }
+
+  std::vector<char> active(n, 1);
+  std::vector<double> estimate(n, 0.0);
+  for (std::uint32_t round = 0; round < options_.max_rounds; ++round) {
+    stats.rounds_used = round + 1;
+    bool any_violation = false;
+    for (net::LinkId j = 0; j < n; ++j) {
+      estimate[j] = active[j] ? local_estimate(j, active) : 0.0;
+      if (active[j] && estimate[j] > gamma_eps) any_violation = true;
+    }
+    if (!any_violation) break;
+    // Synchronous update: all links decide on the same snapshot.
+    for (net::LinkId j = 0; j < n; ++j) {
+      if (!active[j] || estimate[j] <= gamma_eps) continue;
+      const double overload = estimate[j] / gamma_eps;  // > 1
+      const double p = std::min(
+          1.0, options_.backoff_probability * (1.0 - 1.0 / overload) * 2.0);
+      if (rng::UniformUnit(coins[j]) < p) {
+        active[j] = 0;
+        ++stats.backoffs;
+      }
+    }
+  }
+
+  // Final local pruning: repeatedly drop the worst violator until every
+  // survivor's local estimate fits the budget. Guarantees termination and
+  // (for unlimited sensing) exact Corollary 3.1 feasibility.
+  for (;;) {
+    net::LinkId worst = n;
+    double worst_excess = 0.0;
+    for (net::LinkId j = 0; j < n; ++j) {
+      if (!active[j]) continue;
+      const double excess = local_estimate(j, active) - gamma_eps;
+      if (excess > worst_excess) {
+        worst_excess = excess;
+        worst = j;
+      }
+    }
+    if (worst == n) break;
+    active[worst] = 0;
+    ++stats.pruned;
+  }
+
+  net::Schedule schedule;
+  for (net::LinkId j = 0; j < n; ++j) {
+    if (active[j]) schedule.push_back(j);
+  }
+  return FinalizeResult(links, std::move(schedule), Name());
+}
+
+}  // namespace fadesched::sched

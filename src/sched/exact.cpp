@@ -1,0 +1,146 @@
+#include "sched/exact.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "channel/interference.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+// Per-link noise factors (all zero in the paper's N₀ = 0 setting).
+std::vector<double> NoiseFactors(const net::LinkSet& links,
+                                 const channel::ChannelParams& params) {
+  const channel::InterferenceCalculator calc(links, params);
+  std::vector<double> noise(links.Size(), 0.0);
+  for (net::LinkId j = 0; j < links.Size(); ++j) {
+    noise[j] = calc.NoiseFactor(j);
+  }
+  return noise;
+}
+
+// Feasibility of an explicit subset via the dense factor matrix.
+bool SubsetFeasible(const channel::InterferenceMatrix& matrix,
+                    const std::vector<double>& noise,
+                    const std::vector<net::LinkId>& subset, double gamma_eps) {
+  for (net::LinkId j : subset) {
+    if (noise[j] + matrix.SumFactor(subset, j) > gamma_eps) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BruteForceScheduler::BruteForceScheduler(ExactOptions options)
+    : options_(options) {}
+
+ScheduleResult BruteForceScheduler::Schedule(
+    const net::LinkSet& links, const channel::ChannelParams& params) const {
+  if (links.Empty()) return FinalizeResult(links, {}, Name());
+  const std::size_t n = links.Size();
+  FS_CHECK_MSG(n <= options_.max_links,
+               "instance too large for brute force; raise ExactOptions::max_links");
+  const channel::InterferenceMatrix matrix(links, params);
+  const std::vector<double> noise = NoiseFactors(links, params);
+  const double gamma_eps = params.FeasibilityBudget();
+
+  net::Schedule best;
+  double best_rate = 0.0;
+  std::vector<net::LinkId> subset;
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    subset.clear();
+    double rate = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        subset.push_back(i);
+        rate += links.Rate(i);
+      }
+    }
+    if (rate <= best_rate) continue;  // cannot improve; skip feasibility
+    if (SubsetFeasible(matrix, noise, subset, gamma_eps)) {
+      best = subset;
+      best_rate = rate;
+    }
+  }
+  return FinalizeResult(links, std::move(best), Name());
+}
+
+BranchAndBoundScheduler::BranchAndBoundScheduler(ExactOptions options)
+    : options_(options) {}
+
+ScheduleResult BranchAndBoundScheduler::Schedule(
+    const net::LinkSet& links, const channel::ChannelParams& params) const {
+  if (links.Empty()) return FinalizeResult(links, {}, Name());
+  const std::size_t n = links.Size();
+  FS_CHECK_MSG(n <= options_.max_links,
+               "instance too large for branch and bound; raise ExactOptions::max_links");
+  const channel::InterferenceMatrix matrix(links, params);
+  const double gamma_eps = params.FeasibilityBudget();
+
+  // Branch in descending rate order so high-value links are decided early
+  // and the optimistic bound tightens fast.
+  std::vector<net::LinkId> order(n);
+  std::iota(order.begin(), order.end(), net::LinkId{0});
+  std::sort(order.begin(), order.end(), [&](net::LinkId a, net::LinkId b) {
+    if (links.Rate(a) != links.Rate(b)) return links.Rate(a) > links.Rate(b);
+    return a < b;
+  });
+  // suffix_rate[k] = Σ rates of order[k..n).
+  std::vector<double> suffix_rate(n + 1, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    suffix_rate[k] = suffix_rate[k + 1] + links.Rate(order[k]);
+  }
+
+  net::Schedule best;
+  double best_rate = 0.0;
+  net::Schedule chosen;
+  // acc[j] = noise factor + Σ f from `chosen` onto receiver j; seeding
+  // with noise keeps the include test exact under N₀ > 0.
+  std::vector<double> acc = NoiseFactors(links, params);
+  double chosen_rate = 0.0;
+
+  // Recursive lambda over the decision index.
+  auto dfs = [&](auto&& self, std::size_t k) -> void {
+    if (chosen_rate + suffix_rate[k] <= best_rate) return;  // bound prune
+    if (k == n) {
+      // All members within budget by construction of the include branch.
+      best = chosen;
+      best_rate = chosen_rate;
+      return;
+    }
+    const net::LinkId link = order[k];
+
+    // Include branch (if the candidate itself and all chosen members stay
+    // within budget — monotonicity makes this a complete test).
+    if (acc[link] <= gamma_eps) {
+      bool fits = true;
+      for (net::LinkId member : chosen) {
+        if (acc[member] + matrix.Factor(link, member) > gamma_eps) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != link) acc[j] += matrix.Factor(link, j);
+        }
+        chosen.push_back(link);
+        chosen_rate += links.Rate(link);
+        self(self, k + 1);
+        chosen_rate -= links.Rate(link);
+        chosen.pop_back();
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != link) acc[j] -= matrix.Factor(link, j);
+        }
+      }
+    }
+    // Exclude branch.
+    self(self, k + 1);
+  };
+  dfs(dfs, 0);
+  return FinalizeResult(links, std::move(best), Name());
+}
+
+}  // namespace fadesched::sched

@@ -1,0 +1,55 @@
+// Exact solvers for small instances — Fading-R-LS is NP-hard
+// (Theorem 3.2), so these are exponential by necessity. They exist to
+// measure the *empirical* approximation ratios of LDP/RLE against the true
+// optimum, which the paper only bounds analytically.
+//
+// Key structural fact both solvers exploit: the accumulated interference
+// factor on a receiver is monotone in the schedule, so once any chosen
+// member's budget is blown, every superset is infeasible — a sound prune.
+#pragma once
+
+#include <cstddef>
+
+#include "sched/scheduler.hpp"
+
+namespace fadesched::sched {
+
+struct ExactOptions {
+  /// Hard cap on instance size; beyond this the solver refuses to run
+  /// (2^N subsets) rather than silently taking hours.
+  std::size_t max_links = 26;
+};
+
+/// Plain 2^N enumeration with the monotone prune implicit (every subset is
+/// checked directly). Simple enough to serve as the oracle for testing the
+/// branch-and-bound solver.
+class BruteForceScheduler final : public Scheduler {
+ public:
+  explicit BruteForceScheduler(ExactOptions options = {});
+
+  [[nodiscard]] std::string Name() const override { return "exact_brute_force"; }
+  [[nodiscard]] ScheduleResult Schedule(
+      const net::LinkSet& links,
+      const channel::ChannelParams& params) const override;
+
+ private:
+  ExactOptions options_;
+};
+
+/// Depth-first branch and bound: branches on link inclusion in descending
+/// rate order, prunes on (a) infeasible partial schedules (monotonicity)
+/// and (b) optimistic bound current + remaining ≤ incumbent.
+class BranchAndBoundScheduler final : public Scheduler {
+ public:
+  explicit BranchAndBoundScheduler(ExactOptions options = {});
+
+  [[nodiscard]] std::string Name() const override { return "exact_bb"; }
+  [[nodiscard]] ScheduleResult Schedule(
+      const net::LinkSet& links,
+      const channel::ChannelParams& params) const override;
+
+ private:
+  ExactOptions options_;
+};
+
+}  // namespace fadesched::sched

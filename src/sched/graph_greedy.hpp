@@ -1,0 +1,34 @@
+// GraphGreedy — greedy maximal independent set on the protocol-model
+// conflict graph (the Greedy Maximal Scheduling family of §VI-A, e.g.
+// Lin & Shroff). Links are taken in descending rate order and kept iff
+// they conflict with no previously kept link.
+//
+// This is the paper's implicit third strawman: it ignores not just fading
+// but *all* accumulated interference, so under the Rayleigh channel its
+// failure rate is the worst of the three model families — the benches
+// quantify that ordering (graph < deterministic-SINR < fading-aware).
+#pragma once
+
+#include "channel/graph_model.hpp"
+#include "sched/scheduler.hpp"
+
+namespace fadesched::sched {
+
+struct GraphGreedyOptions {
+  channel::GraphModelParams graph;
+};
+
+class GraphGreedyScheduler final : public Scheduler {
+ public:
+  explicit GraphGreedyScheduler(GraphGreedyOptions options = {});
+
+  [[nodiscard]] std::string Name() const override { return "graph_greedy"; }
+  [[nodiscard]] ScheduleResult Schedule(
+      const net::LinkSet& links,
+      const channel::ChannelParams& params) const override;
+
+ private:
+  GraphGreedyOptions options_;
+};
+
+}  // namespace fadesched::sched

@@ -1,0 +1,61 @@
+#include "sched/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "channel/interference.hpp"
+
+namespace fadesched::sched {
+
+ScheduleResult FadingGreedyScheduler::Schedule(
+    const net::LinkSet& links, const channel::ChannelParams& params) const {
+  if (links.Empty()) return FinalizeResult(links, {}, Name());
+
+  const channel::InterferenceCalculator calc(links, params);
+  const double gamma_eps = params.FeasibilityBudget();
+  const std::size_t n = links.Size();
+
+  // Descending rate; break rate ties by shorter length (easier to keep
+  // feasible), then by id.
+  std::vector<net::LinkId> order(n);
+  std::iota(order.begin(), order.end(), net::LinkId{0});
+  std::sort(order.begin(), order.end(), [&](net::LinkId a, net::LinkId b) {
+    if (links.Rate(a) != links.Rate(b)) return links.Rate(a) > links.Rate(b);
+    if (links.Length(a) != links.Length(b)) {
+      return links.Length(a) < links.Length(b);
+    }
+    return a < b;
+  });
+
+  // acc[j] = noise factor + Σ f_ij from the current schedule onto
+  // receiver j, maintained incrementally so each candidate test is
+  // O(|schedule|). Seeding with the noise factor makes links that cannot
+  // decode even alone fail the budget test immediately.
+  std::vector<double> acc(n, 0.0);
+  for (net::LinkId j = 0; j < n; ++j) acc[j] = calc.NoiseFactor(j);
+  net::Schedule schedule;
+  for (net::LinkId candidate : order) {
+    // The candidate itself must stay within budget...
+    if (acc[candidate] > gamma_eps) continue;
+    // ...and must not push any current member over budget.
+    bool fits = true;
+    for (net::LinkId member : schedule) {
+      if (acc[member] + calc.Factor(candidate, member) > gamma_eps) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) continue;
+    // Commit: the new sender now interferes with every other receiver
+    // (current members and future candidates alike).
+    for (net::LinkId j = 0; j < n; ++j) {
+      if (j == candidate) continue;
+      acc[j] += calc.Factor(candidate, j);
+    }
+    schedule.push_back(candidate);
+  }
+  return FinalizeResult(links, std::move(schedule), Name());
+}
+
+}  // namespace fadesched::sched

@@ -1,0 +1,21 @@
+// FadingGreedy — a natural fading-resistant reference heuristic (not from
+// the paper): visit links by descending rate and add each one iff the
+// schedule stays feasible under Corollary 3.1 for *every* member.
+//
+// No approximation guarantee, but it is a strong practical competitor and
+// gives the benches a third fading-resistant series.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace fadesched::sched {
+
+class FadingGreedyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string Name() const override { return "fading_greedy"; }
+  [[nodiscard]] ScheduleResult Schedule(
+      const net::LinkSet& links,
+      const channel::ChannelParams& params) const override;
+};
+
+}  // namespace fadesched::sched

@@ -1,0 +1,45 @@
+#include "sched/grid_select.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+
+std::array<net::Schedule, 4> BestLinkPerColoredCell(
+    const net::LinkSet& links, std::span<const net::LinkId> clazz,
+    const geom::SquareGrid& grid) {
+  // Best (max-rate) link per cell; first-seen wins ties so the result is
+  // independent of input permutation given ascending ids.
+  std::unordered_map<geom::CellIndex, net::LinkId, geom::CellIndexHash> best;
+  for (net::LinkId id : clazz) {
+    FS_CHECK(id < links.Size());
+    const geom::CellIndex cell = grid.CellOf(links.Receiver(id));
+    auto [it, inserted] = best.emplace(cell, id);
+    if (!inserted && links.Rate(id) > links.Rate(it->second)) {
+      it->second = id;
+    }
+  }
+  std::array<net::Schedule, 4> by_color;
+  for (const auto& [cell, id] : best) {
+    by_color[geom::SquareGrid::ColorOf(cell)].push_back(id);
+  }
+  return by_color;
+}
+
+std::size_t ArgMaxRate(const net::LinkSet& links,
+                       std::span<const net::Schedule> candidates) {
+  FS_CHECK(!candidates.empty());
+  std::size_t best = 0;
+  double best_rate = links.TotalRate(candidates[0]);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double rate = links.TotalRate(candidates[i]);
+    if (rate > best_rate) {
+      best = i;
+      best_rate = rate;
+    }
+  }
+  return best;
+}
+
+}  // namespace fadesched::sched

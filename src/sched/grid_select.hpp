@@ -1,0 +1,26 @@
+// Shared machinery for grid-and-colour schedulers (LDP and ApproxLogN):
+// bucket a class's receivers into grid cells and, per colour, keep the
+// highest-rate link in every same-colour cell.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "geom/grid.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::sched {
+
+/// For each colour c in {0,1,2,3}, the schedule that keeps, in every grid
+/// cell of colour c, the highest-rate link of `clazz` whose *receiver*
+/// lies in that cell (Algorithm 1, lines 4–7).
+std::array<net::Schedule, 4> BestLinkPerColoredCell(
+    const net::LinkSet& links, std::span<const net::LinkId> clazz,
+    const geom::SquareGrid& grid);
+
+/// Index (0..3) of the schedule with the highest total rate; ties go to
+/// the lower colour for determinism.
+std::size_t ArgMaxRate(const net::LinkSet& links,
+                       std::span<const net::Schedule> candidates);
+
+}  // namespace fadesched::sched

@@ -1,0 +1,70 @@
+#include "sched/ilp_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "channel/interference.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace fadesched::sched {
+
+std::string FormatIlp(const net::LinkSet& links,
+                      const channel::ChannelParams& params) {
+  const channel::InterferenceCalculator calc(links, params);
+  const double gamma_eps = params.GammaEpsilon();
+  const std::size_t n = links.Size();
+
+  std::ostringstream os;
+  os << "\\ Fading-R-LS ILP (paper formulas (20)-(22))\n";
+  os << "\\ links=" << n << " alpha=" << util::FormatDouble(params.alpha)
+     << " gamma_th=" << util::FormatDouble(params.gamma_th)
+     << " epsilon=" << util::FormatDouble(params.epsilon)
+     << " gamma_eps=" << util::FormatDouble(gamma_eps, 12) << "\n";
+  os << "Maximize\n obj:";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << (i == 0 ? " " : " + ") << util::FormatDouble(links.Rate(i), 12)
+       << " x" << i;
+  }
+  os << "\nSubject To\n";
+  for (std::size_t j = 0; j < n; ++j) {
+    // Σ_i f_ij x_i + M_j x_j ≤ γ_ε + M_j  with the tight
+    // M_j = max(0, Σ_i f_ij − γ_ε).
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != j) total += calc.Factor(i, j);
+    }
+    const double big_m = std::max(0.0, total - gamma_eps);
+    os << " inf" << j << ":";
+    bool first = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      const double f = calc.Factor(i, j);
+      if (f == 0.0) continue;
+      os << (first ? " " : " + ") << util::FormatDouble(f, 12) << " x" << i;
+      first = false;
+    }
+    if (big_m > 0.0) {
+      os << (first ? " " : " + ") << util::FormatDouble(big_m, 12) << " x" << j;
+      first = false;
+    }
+    if (first) os << " 0 x" << j;  // degenerate: no interference at all
+    os << " <= " << util::FormatDouble(gamma_eps + big_m, 12) << "\n";
+  }
+  os << "Binary\n";
+  for (std::size_t i = 0; i < n; ++i) os << " x" << i << "\n";
+  os << "End\n";
+  return os.str();
+}
+
+void WriteIlpFile(const net::LinkSet& links,
+                  const channel::ChannelParams& params,
+                  const std::string& path) {
+  std::ofstream out(path);
+  FS_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  out << FormatIlp(links, params);
+  FS_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+}  // namespace fadesched::sched

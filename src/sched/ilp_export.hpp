@@ -1,0 +1,29 @@
+// ILP export — the paper's integer-program formulation (Formulas (20)–(22)):
+//
+//   max  Σ λ_i x_i
+//   s.t. Σ_i f_ij x_i ≤ γ_ε + M (1 − x_j)      ∀ j
+//        x_i ∈ {0, 1}
+//
+// Emitted in CPLEX LP file format so any off-the-shelf MIP solver can
+// cross-check our exact branch-and-bound solver. The big-M per constraint
+// is the tight choice M_j = Σ_i f_ij − γ_ε (the worst the left side can
+// exceed the budget by).
+#pragma once
+
+#include <string>
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::sched {
+
+/// Renders the ILP as LP-format text.
+std::string FormatIlp(const net::LinkSet& links,
+                      const channel::ChannelParams& params);
+
+/// Writes the LP file; throws CheckFailure on I/O failure.
+void WriteIlpFile(const net::LinkSet& links,
+                  const channel::ChannelParams& params,
+                  const std::string& path);
+
+}  // namespace fadesched::sched

@@ -1,0 +1,182 @@
+#include "sched/ilp_parse.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+// Variable token "x<digits>" -> index.
+std::size_t ParseVarIndex(std::string_view token) {
+  FS_CHECK_MSG(token.size() >= 2 && token[0] == 'x',
+               "expected variable token, got '" + std::string(token) + "'");
+  const auto parsed = util::ParseInt(token.substr(1));
+  FS_CHECK_MSG(parsed.has_value() && *parsed >= 0,
+               "malformed variable token '" + std::string(token) + "'");
+  return static_cast<std::size_t>(*parsed);
+}
+
+// Parses "c0 x0 + c1 x1 - c2 x2" into (index, coefficient) pairs.
+// A term may omit the coefficient ("x3" == 1·x3).
+std::vector<std::pair<std::size_t, double>> ParseLinearExpr(
+    std::string_view expr) {
+  std::vector<std::pair<std::size_t, double>> terms;
+  std::istringstream is{std::string(expr)};
+  std::string token;
+  double sign = 1.0;
+  double pending_coeff = 1.0;
+  bool have_coeff = false;
+  while (is >> token) {
+    if (token == "+") {
+      sign = 1.0;
+      continue;
+    }
+    if (token == "-") {
+      sign = -1.0;
+      continue;
+    }
+    if (token[0] == 'x') {
+      const std::size_t index = ParseVarIndex(token);
+      terms.emplace_back(index, sign * (have_coeff ? pending_coeff : 1.0));
+      sign = 1.0;
+      pending_coeff = 1.0;
+      have_coeff = false;
+      continue;
+    }
+    const auto value = util::ParseDouble(token);
+    FS_CHECK_MSG(value.has_value(),
+                 "unexpected token in linear expression: '" + token + "'");
+    FS_CHECK_MSG(!have_coeff, "two consecutive numeric tokens");
+    pending_coeff = *value;
+    have_coeff = true;
+  }
+  FS_CHECK_MSG(!have_coeff, "dangling coefficient without variable");
+  return terms;
+}
+
+}  // namespace
+
+ParsedIlp ParseIlpText(const std::string& text) {
+  ParsedIlp ilp;
+  enum class Section { kNone, kObjective, kConstraints, kBinary, kEnd };
+  Section section = Section::kNone;
+
+  std::istringstream lines(text);
+  std::string raw;
+  std::vector<std::pair<std::size_t, double>> objective_terms;
+  while (std::getline(lines, raw)) {
+    std::string_view line = util::Trim(raw);
+    if (line.empty() || line[0] == '\\') continue;
+    if (line == "Maximize") {
+      section = Section::kObjective;
+      continue;
+    }
+    if (line == "Subject To") {
+      section = Section::kConstraints;
+      continue;
+    }
+    if (line == "Binary") {
+      section = Section::kBinary;
+      continue;
+    }
+    if (line == "End") {
+      section = Section::kEnd;
+      continue;
+    }
+    switch (section) {
+      case Section::kObjective: {
+        const auto colon = line.find(':');
+        FS_CHECK_MSG(colon != std::string_view::npos,
+                     "objective line missing label");
+        const auto terms = ParseLinearExpr(line.substr(colon + 1));
+        objective_terms.insert(objective_terms.end(), terms.begin(),
+                               terms.end());
+        break;
+      }
+      case Section::kConstraints: {
+        const auto colon = line.find(':');
+        FS_CHECK_MSG(colon != std::string_view::npos,
+                     "constraint line missing label");
+        ParsedConstraint constraint;
+        constraint.name = std::string(util::Trim(line.substr(0, colon)));
+        const auto le = line.find("<=");
+        FS_CHECK_MSG(le != std::string_view::npos,
+                     "only <= constraints are supported");
+        constraint.terms =
+            ParseLinearExpr(line.substr(colon + 1, le - colon - 1));
+        const auto rhs = util::ParseDouble(line.substr(le + 2));
+        FS_CHECK_MSG(rhs.has_value(), "malformed constraint RHS");
+        constraint.rhs = *rhs;
+        ilp.constraints.push_back(std::move(constraint));
+        break;
+      }
+      case Section::kBinary: {
+        ilp.binaries.push_back(ParseVarIndex(line));
+        break;
+      }
+      case Section::kNone:
+      case Section::kEnd:
+        FS_CHECK_MSG(false, "unexpected content outside sections: '" +
+                                std::string(line) + "'");
+    }
+  }
+  FS_CHECK_MSG(section == Section::kEnd, "LP file missing End marker");
+
+  // Materialize the objective vector.
+  std::size_t max_index = 0;
+  for (const auto& [index, coeff] : objective_terms) {
+    max_index = std::max(max_index, index);
+  }
+  for (const auto& constraint : ilp.constraints) {
+    for (const auto& [index, coeff] : constraint.terms) {
+      max_index = std::max(max_index, index);
+    }
+  }
+  for (std::size_t index : ilp.binaries) {
+    max_index = std::max(max_index, index);
+  }
+  ilp.num_variables = objective_terms.empty() && ilp.binaries.empty()
+                          ? 0
+                          : max_index + 1;
+  ilp.objective.assign(ilp.num_variables, 0.0);
+  for (const auto& [index, coeff] : objective_terms) {
+    ilp.objective[index] += coeff;
+  }
+  return ilp;
+}
+
+double SolveParsedIlpExhaustive(const ParsedIlp& ilp,
+                                std::size_t max_variables) {
+  const std::size_t n = ilp.num_variables;
+  FS_CHECK_MSG(n <= max_variables,
+               "parsed ILP too large for exhaustive solving");
+  FS_CHECK_MSG(ilp.binaries.size() == n,
+               "exhaustive solver requires all variables binary");
+  double best = 0.0;  // all-zero assignment is always feasible here
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    double objective = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) objective += ilp.objective[i];
+    }
+    if (objective <= best) continue;
+    bool feasible = true;
+    for (const auto& constraint : ilp.constraints) {
+      double lhs = 0.0;
+      for (const auto& [index, coeff] : constraint.terms) {
+        if (mask & (std::size_t{1} << index)) lhs += coeff;
+      }
+      // Tolerance mirrors the feasibility slack used by the schedulers.
+      if (lhs > constraint.rhs * (1.0 + 1e-9) + 1e-15) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) best = objective;
+  }
+  return best;
+}
+
+}  // namespace fadesched::sched

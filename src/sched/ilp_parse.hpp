@@ -1,0 +1,44 @@
+// Minimal CPLEX-LP parser for the subset emitted by ilp_export — enough
+// to round-trip our own files and solve them with an independent
+// exhaustive solver, validating the export end-to-end without an external
+// MIP dependency.
+//
+// Supported grammar (exactly what FormatIlp produces):
+//   \ comments
+//   Maximize   obj: c0 x0 + c1 x1 + ...
+//   Subject To name: a x0 + b x1 ... <= rhs
+//   Binary     x0 \n x1 ...
+//   End
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fadesched::sched {
+
+struct ParsedConstraint {
+  std::string name;
+  /// (variable index, coefficient) pairs on the left-hand side.
+  std::vector<std::pair<std::size_t, double>> terms;
+  double rhs = 0.0;  ///< right side of "<="
+};
+
+struct ParsedIlp {
+  std::size_t num_variables = 0;
+  /// Objective coefficient per variable (maximization).
+  std::vector<double> objective;
+  std::vector<ParsedConstraint> constraints;
+  /// Variables declared Binary (we require all of them to be).
+  std::vector<std::size_t> binaries;
+};
+
+/// Parses LP text; throws CheckFailure on anything outside the grammar.
+ParsedIlp ParseIlpText(const std::string& text);
+
+/// Exhaustively maximizes the parsed 0/1 program (2^n subsets; refuses
+/// n > max_variables). Returns the optimal objective value.
+double SolveParsedIlpExhaustive(const ParsedIlp& ilp,
+                                std::size_t max_variables = 24);
+
+}  // namespace fadesched::sched

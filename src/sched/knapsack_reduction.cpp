@@ -1,0 +1,88 @@
+#include "sched/knapsack_reduction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+
+ReducedInstance ReduceKnapsackToFadingRLS(const KnapsackInstance& knapsack,
+                                          const channel::ChannelParams& params) {
+  params.Validate();
+  FS_CHECK_MSG(!knapsack.items.empty(), "empty knapsack instance");
+  FS_CHECK_MSG(knapsack.capacity > 0.0, "capacity must be positive");
+  const double gamma_eps = params.GammaEpsilon();
+  const double n = static_cast<double>(knapsack.items.size());
+
+  // Sender position per item (Formula (23)): x_i chosen so the factor on
+  // the probe receiver at the origin is exactly γ_ε·w_i/W.
+  std::vector<geom::Vec2> senders;
+  double total_value = 0.0;
+  for (const KnapsackItem& item : knapsack.items) {
+    FS_CHECK_MSG(item.weight > 0.0, "item weights must be positive");
+    FS_CHECK_MSG(item.weight <= knapsack.capacity,
+                 "item heavier than the capacity cannot be reduced");
+    FS_CHECK_MSG(item.value >= 0.0, "item values must be non-negative");
+    const double x = std::pow(
+        std::expm1(gamma_eps * item.weight / knapsack.capacity) /
+            params.gamma_th,
+        -1.0 / params.alpha);
+    senders.push_back(geom::Vec2{x, 0.0});
+    total_value += item.value;
+  }
+  const geom::Vec2 probe_sender{0.0, 1.0};
+
+  // d_min over all sender pairs, probe included (Formula (25)).
+  std::vector<geom::Vec2> all_senders = senders;
+  all_senders.push_back(probe_sender);
+  double d_min = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < all_senders.size(); ++i) {
+    for (std::size_t j = i + 1; j < all_senders.size(); ++j) {
+      d_min = std::min(d_min, geom::Distance(all_senders[i], all_senders[j]));
+    }
+  }
+  FS_CHECK_MSG(d_min > 0.0,
+               "coincident senders: item weights must be strictly distinct");
+
+  const double delta =
+      d_min / (std::pow(std::expm1(gamma_eps / (n + 1.0)) / params.gamma_th,
+                        -1.0 / params.alpha) +
+               1.0);
+
+  ReducedInstance out;
+  for (std::size_t i = 0; i < knapsack.items.size(); ++i) {
+    // Items of value 0 keep a tiny positive rate so LinkSet accepts them;
+    // 0-value items never change the optimum.
+    const double rate = std::max(knapsack.items[i].value, 1e-12);
+    out.links.Add(net::Link{senders[i],
+                            senders[i] + geom::Vec2{delta, 0.0}, rate});
+  }
+  out.probe_rate = 2.0 * total_value;
+  FS_CHECK_MSG(out.probe_rate > 0.0, "all item values are zero");
+  out.probe_link = out.links.Add(
+      net::Link{probe_sender, geom::Vec2{0.0, 0.0}, out.probe_rate});
+  return out;
+}
+
+double SolveKnapsackExact(const KnapsackInstance& knapsack) {
+  FS_CHECK_MSG(knapsack.capacity >= 0.0, "negative capacity");
+  const auto capacity = static_cast<long long>(knapsack.capacity);
+  FS_CHECK_MSG(static_cast<double>(capacity) == knapsack.capacity,
+               "DP oracle needs integer capacity");
+  std::vector<double> best(static_cast<std::size_t>(capacity) + 1, 0.0);
+  for (const KnapsackItem& item : knapsack.items) {
+    const auto weight = static_cast<long long>(item.weight);
+    FS_CHECK_MSG(static_cast<double>(weight) == item.weight && weight >= 0,
+                 "DP oracle needs non-negative integer weights");
+    if (weight > capacity) continue;
+    for (long long w = capacity; w >= weight; --w) {
+      best[w] = std::max(best[w], best[w - weight] + item.value);
+    }
+  }
+  return best[static_cast<std::size_t>(capacity)];
+}
+
+}  // namespace fadesched::sched

@@ -1,0 +1,52 @@
+// Executable form of the NP-hardness reduction (Theorem 3.2):
+// Knapsack → Fading-R-LS.
+//
+// Given items (value p_i, weight w_i) and capacity W, the construction
+// places one sender per item on the x-axis so that its interference
+// factor on a probe link (s_{n+1} at (0,1), r_{n+1} at the origin) equals
+// exactly γ_ε·w_i/W, pairs each item sender with a receiver at offset δ
+// chosen small enough that item links always decode, and gives the probe
+// link rate 2·Σp. Then
+//
+//   max throughput of the Fading-R-LS instance = 2·Σp + knapsack optimum,
+//
+// which the tests verify against an exact DP knapsack solver and the
+// exact Fading-R-LS branch-and-bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::sched {
+
+struct KnapsackItem {
+  double value = 0.0;   // p_i
+  double weight = 0.0;  // w_i
+};
+
+struct KnapsackInstance {
+  std::vector<KnapsackItem> items;
+  double capacity = 0.0;  // W
+};
+
+struct ReducedInstance {
+  net::LinkSet links;      ///< item links 0..n-1, probe link n
+  net::LinkId probe_link;  ///< index of link n+1 (the capacity gadget)
+  double probe_rate;       ///< λ_{n+1} = 2·Σ p
+};
+
+/// Builds the Fading-R-LS instance of Theorem 3.2. Item weights must be
+/// positive and strictly distinct (coincident senders would break the
+/// geometric construction); weights must not exceed the capacity.
+ReducedInstance ReduceKnapsackToFadingRLS(const KnapsackInstance& knapsack,
+                                          const channel::ChannelParams& params);
+
+/// Exact 0/1-knapsack optimum via DP over integer weights. Weights and
+/// capacity must be integers given as doubles (the reduction itself allows
+/// real weights; the DP oracle is for testing).
+double SolveKnapsackExact(const KnapsackInstance& knapsack);
+
+}  // namespace fadesched::sched

@@ -1,0 +1,83 @@
+#include "sched/ldp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "channel/interference.hpp"
+#include "net/topology_stats.hpp"
+#include "sched/constants.hpp"
+#include "sched/grid_select.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+
+LdpScheduler::LdpScheduler(LdpOptions options) : options_(options) {
+  FS_CHECK_MSG(options_.beta_scale > 0.0, "beta_scale must be positive");
+}
+
+std::string LdpScheduler::Name() const {
+  if (options_.two_sided_classes) return "ldp_two_sided";
+  return "ldp";
+}
+
+ScheduleResult LdpScheduler::Schedule(
+    const net::LinkSet& links, const channel::ChannelParams& params) const {
+  if (links.Empty()) return FinalizeResult(links, {}, Name());
+
+  const channel::InterferenceCalculator calc(links, params);
+  const double gamma_eps = params.GammaEpsilon();
+  // Power-control extension: bounding f_ij by the uniform-power formula
+  // with γ_th inflated by the max/min power ratio keeps Theorem 4.1 valid
+  // for heterogeneous transmit powers.
+  channel::ChannelParams effective = params;
+  effective.gamma_th *= links.TxPowerRatio(params.tx_power);
+  const double delta = links.MinLength();
+  // Anchor every per-class grid at the same corner so candidates are
+  // comparable and results deterministic.
+  const geom::Vec2 origin = links.BoundingBox().lo;
+
+  net::Schedule best;
+  double best_rate = -1.0;
+  for (int magnitude : net::LengthDiversitySet(links)) {
+    std::vector<net::LinkId> clazz =
+        options_.two_sided_classes
+            ? net::TwoSidedLengthClass(links, magnitude)
+            : net::OneSidedLengthClass(links, magnitude);
+    // With ambient noise (N₀ > 0, an extension of the paper's model) each
+    // receiver pays a fixed noise factor out of its γ_ε budget. Drop links
+    // that cannot be informed even alone, and size the class's squares
+    // from the budget left after the class's worst noise factor so
+    // Theorem 4.1 still guarantees feasibility.
+    double class_budget = gamma_eps;
+    if (params.noise_power > 0.0) {
+      std::vector<net::LinkId> viable;
+      double worst_noise = 0.0;
+      for (net::LinkId id : clazz) {
+        const double noise = calc.NoiseFactor(id);
+        if (noise >= gamma_eps) continue;  // hopeless even alone
+        worst_noise = std::max(worst_noise, noise);
+        viable.push_back(id);
+      }
+      clazz = std::move(viable);
+      class_budget = gamma_eps - worst_noise;
+    }
+    if (clazz.empty()) continue;
+    const double beta =
+        LdpBetaForBudget(effective, class_budget) * options_.beta_scale;
+    // β_k = 2^{h+1}·β·δ (Formula (37) and the class construction (36)).
+    const double cell = std::ldexp(delta, magnitude + 1) * beta;
+    const geom::SquareGrid grid(origin, cell);
+    for (net::Schedule& candidate :
+         BestLinkPerColoredCell(links, clazz, grid)) {
+      const double rate = links.TotalRate(candidate);
+      if (rate > best_rate) {
+        best_rate = rate;
+        best = std::move(candidate);
+      }
+    }
+  }
+  return FinalizeResult(links, std::move(best), Name());
+}
+
+}  // namespace fadesched::sched

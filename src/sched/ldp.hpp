@@ -1,0 +1,42 @@
+// Link Diversity Partition (LDP) — Algorithm 1, the paper's primary
+// contribution for arbitrary data rates. O(g(L)) approximation.
+//
+// Sketch: let δ be the shortest link length and G(L) the realized length
+// magnitudes. For each magnitude h, take the *one-sided* class
+// L_h = {links with length < 2^{h+1} δ} (the paper's improvement over the
+// two-sided classes of [14]), partition the plane into squares of side
+// β_h = 2^{h+1}·β·δ with β = (8 ζ(α−1) γ_th / γ_ε)^{1/α}, 4-colour them,
+// and per colour keep the highest-rate link in every same-colour square.
+// Output the best of the 4·g(L) candidate schedules.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace fadesched::sched {
+
+struct LdpOptions {
+  /// Multiplier on the paper's square side β_k. 1.0 reproduces Formula
+  /// (37) exactly; the ablation bench sweeps this to probe how much
+  /// safety margin the constant carries.
+  double beta_scale = 1.0;
+
+  /// If true, use the two-sided classes of the ApproxLogN baseline
+  /// (2^h δ ≤ d < 2^{h+1} δ) instead of the paper's one-sided classes —
+  /// the knob behind the ablation in DESIGN.md.
+  bool two_sided_classes = false;
+};
+
+class LdpScheduler final : public Scheduler {
+ public:
+  explicit LdpScheduler(LdpOptions options = {});
+
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] ScheduleResult Schedule(
+      const net::LinkSet& links,
+      const channel::ChannelParams& params) const override;
+
+ private:
+  LdpOptions options_;
+};
+
+}  // namespace fadesched::sched

@@ -1,0 +1,48 @@
+#include "sched/registry.hpp"
+
+#include <memory>
+
+#include "sched/aloha.hpp"
+#include "sched/approx_diversity.hpp"
+#include "sched/approx_logn.hpp"
+#include "sched/dls.hpp"
+#include "sched/exact.hpp"
+#include "sched/graph_greedy.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ldp.hpp"
+#include "sched/rle.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+
+SchedulerPtr MakeScheduler(const std::string& name) {
+  if (name == "ldp") return std::make_unique<LdpScheduler>();
+  if (name == "ldp_two_sided") {
+    LdpOptions options;
+    options.two_sided_classes = true;
+    return std::make_unique<LdpScheduler>(options);
+  }
+  if (name == "rle") return std::make_unique<RleScheduler>();
+  if (name == "approx_logn") return std::make_unique<ApproxLogNScheduler>();
+  if (name == "approx_diversity") {
+    return std::make_unique<ApproxDiversityScheduler>();
+  }
+  if (name == "fading_greedy") return std::make_unique<FadingGreedyScheduler>();
+  if (name == "graph_greedy") return std::make_unique<GraphGreedyScheduler>();
+  if (name == "exact_brute_force") {
+    return std::make_unique<BruteForceScheduler>();
+  }
+  if (name == "exact_bb") return std::make_unique<BranchAndBoundScheduler>();
+  if (name == "dls") return std::make_unique<DlsScheduler>();
+  if (name == "aloha") return std::make_unique<AlohaScheduler>();
+  FS_CHECK_MSG(false, "unknown scheduler: " + name);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> KnownSchedulers() {
+  return {"ldp",          "ldp_two_sided",    "rle",
+          "approx_logn",  "approx_diversity", "graph_greedy",
+          "fading_greedy", "exact_brute_force", "exact_bb", "dls", "aloha"};
+}
+
+}  // namespace fadesched::sched

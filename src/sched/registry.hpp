@@ -1,0 +1,20 @@
+// Name-based scheduler factory so benches, examples, and the CLI surface
+// can select algorithms uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace fadesched::sched {
+
+/// Known names: "ldp", "ldp_two_sided", "rle", "approx_logn",
+/// "approx_diversity", "fading_greedy", "exact_brute_force", "exact_bb",
+/// "dls". Throws CheckFailure for unknown names.
+SchedulerPtr MakeScheduler(const std::string& name);
+
+/// All registered names, in a stable presentation order.
+std::vector<std::string> KnownSchedulers();
+
+}  // namespace fadesched::sched

@@ -1,0 +1,22 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+
+ScheduleResult FinalizeResult(const net::LinkSet& links, net::Schedule schedule,
+                              std::string algorithm) {
+  std::sort(schedule.begin(), schedule.end());
+  FS_CHECK_MSG(std::adjacent_find(schedule.begin(), schedule.end()) ==
+                   schedule.end(),
+               "schedule contains duplicate link ids");
+  ScheduleResult result;
+  result.claimed_rate = links.TotalRate(schedule);
+  result.schedule = std::move(schedule);
+  result.algorithm = std::move(algorithm);
+  return result;
+}
+
+}  // namespace fadesched::sched

@@ -1,0 +1,43 @@
+// Scheduler interface for the Fading-R-LS problem.
+//
+// A scheduler maps (link set, channel parameters) to a subset of links to
+// activate in one slot. The objective (paper §III) is the total data rate
+// of links that decode successfully; fading-resistant schedulers guarantee
+// Pr(failure) ≤ ε per scheduled link, baselines only guarantee decoding
+// under the deterministic mean-power model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::sched {
+
+struct ScheduleResult {
+  net::Schedule schedule;     ///< chosen link ids, ascending
+  double claimed_rate = 0.0;  ///< Σ λ over the schedule (the algorithm's objective)
+  std::string algorithm;      ///< name of the producing scheduler
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Computes a schedule. Implementations must accept an empty link set
+  /// (returning an empty schedule) and must not mutate shared state, so a
+  /// single instance can be reused across instances and threads.
+  [[nodiscard]] virtual ScheduleResult Schedule(
+      const net::LinkSet& links, const channel::ChannelParams& params) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// Normalizes a schedule: sorts ids ascending and fills claimed_rate.
+ScheduleResult FinalizeResult(const net::LinkSet& links, net::Schedule schedule,
+                              std::string algorithm);
+
+}  // namespace fadesched::sched

@@ -1,0 +1,23 @@
+#include "sim/exact_metrics.hpp"
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+
+namespace fadesched::sim {
+
+ExpectedMetrics ComputeExpectedMetrics(const net::LinkSet& links,
+                                       const channel::ChannelParams& params,
+                                       const net::Schedule& schedule) {
+  const channel::InterferenceCalculator calc(links, params);
+  ExpectedMetrics out;
+  out.link_success_probability.reserve(schedule.size());
+  for (net::LinkId j : schedule) {
+    const double p = channel::SuccessProbability(calc, schedule, j);
+    out.link_success_probability.push_back(p);
+    out.expected_failed += 1.0 - p;
+    out.expected_throughput += links.Rate(j) * p;
+  }
+  return out;
+}
+
+}  // namespace fadesched::sim

@@ -1,0 +1,32 @@
+// Closed-form expectations under the Rayleigh model (Theorem 3.1), the
+// analytic counterpart of the Monte-Carlo simulator:
+//
+//   Pr(link j decodes) = exp(−Σ_{i∈P\j} f_ij)
+//   E[#failed]         = Σ_j (1 − Pr(j decodes))
+//   E[throughput]      = Σ_j λ_j · Pr(j decodes)
+//
+// Per-link successes are NOT independent events (they share the same
+// interferers' fades), so only these expectations — not variances — follow
+// directly from the per-link marginal; the tests cross-check them against
+// the simulator.
+#pragma once
+
+#include <vector>
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::sim {
+
+struct ExpectedMetrics {
+  double expected_failed = 0.0;
+  double expected_throughput = 0.0;
+  /// Pr(decodes) per scheduled link, indexed like the schedule.
+  std::vector<double> link_success_probability;
+};
+
+ExpectedMetrics ComputeExpectedMetrics(const net::LinkSet& links,
+                                       const channel::ChannelParams& params,
+                                       const net::Schedule& schedule);
+
+}  // namespace fadesched::sim

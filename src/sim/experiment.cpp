@@ -1,0 +1,88 @@
+#include "sim/experiment.hpp"
+
+#include "rng/xoshiro256.hpp"
+#include "sched/registry.hpp"
+#include "sim/exact_metrics.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+namespace fadesched::sim {
+
+std::vector<AlgoSummary> RunExperimentPoint(const ExperimentPoint& point,
+                                            const ExperimentConfig& config,
+                                            util::ThreadPool& pool) {
+  FS_CHECK_MSG(!config.algorithms.empty(), "no algorithms requested");
+  FS_CHECK_MSG(config.num_seeds > 0, "need at least one seed");
+  point.channel.Validate();
+
+  std::vector<AlgoSummary> summaries;
+  std::vector<sched::SchedulerPtr> schedulers;
+  for (const std::string& name : config.algorithms) {
+    schedulers.push_back(sched::MakeScheduler(name));
+    AlgoSummary summary;
+    summary.algorithm = name;
+    summaries.push_back(std::move(summary));
+  }
+
+  for (std::size_t s = 0; s < config.num_seeds; ++s) {
+    rng::Xoshiro256 gen(config.base_seed + s);
+    const net::LinkSet links =
+        net::MakeUniformScenario(point.num_links, point.scenario, gen);
+    for (std::size_t a = 0; a < schedulers.size(); ++a) {
+      util::Stopwatch watch;
+      const sched::ScheduleResult result =
+          schedulers[a]->Schedule(links, point.channel);
+      const double sched_ms = watch.Milliseconds();
+
+      SimOptions sim_options;
+      sim_options.trials = config.trials;
+      // Decorrelate fading draws across seeds and algorithms.
+      sim_options.seed = (config.base_seed + s) * 1000003ULL + a;
+      const SimResult sim = SimulateSchedule(links, point.channel,
+                                             result.schedule, sim_options, pool);
+      const ExpectedMetrics expected =
+          ComputeExpectedMetrics(links, point.channel, result.schedule);
+
+      AlgoSummary& summary = summaries[a];
+      summary.scheduled_links.Add(static_cast<double>(result.schedule.size()));
+      summary.claimed_rate.Add(result.claimed_rate);
+      summary.measured_failed.Add(sim.failed_per_trial.Mean());
+      summary.measured_throughput.Add(sim.throughput_per_trial.Mean());
+      summary.expected_failed.Add(expected.expected_failed);
+      summary.expected_throughput.Add(expected.expected_throughput);
+      summary.runtime_ms.Add(sched_ms);
+    }
+  }
+  return summaries;
+}
+
+util::CsvTable MakeSummaryTable(const std::string& x_name) {
+  return util::CsvTable({x_name, "algorithm", "links_scheduled",
+                         "claimed_rate", "failed_mean", "failed_ci95",
+                         "throughput_mean", "throughput_ci95",
+                         "expected_failed", "expected_throughput",
+                         "sched_ms"});
+}
+
+void AppendSummaryRows(util::CsvTable& table, double x_value,
+                       const std::vector<AlgoSummary>& summaries) {
+  for (const AlgoSummary& s : summaries) {
+    util::CsvRowBuilder(table)
+        .Add(util::FormatDouble(x_value))
+        .Add(s.algorithm)
+        .Add(util::FormatDouble(s.scheduled_links.Mean(), 2))
+        .Add(util::FormatDouble(s.claimed_rate.Mean(), 2))
+        .Add(util::FormatDouble(s.measured_failed.Mean(), 3))
+        .Add(util::FormatDouble(s.measured_failed.ConfidenceHalfWidth95(), 3))
+        .Add(util::FormatDouble(s.measured_throughput.Mean(), 3))
+        .Add(util::FormatDouble(s.measured_throughput.ConfidenceHalfWidth95(), 3))
+        .Add(util::FormatDouble(s.expected_failed.Mean(), 3))
+        .Add(util::FormatDouble(s.expected_throughput.Mean(), 3))
+        .Add(util::FormatDouble(s.runtime_ms.Mean(), 3))
+        .Commit();
+  }
+}
+
+}  // namespace fadesched::sim

@@ -1,0 +1,60 @@
+// Queue-level (multi-slot) simulator — dynamics on top of the one-shot
+// problem. The paper's intro motivates link scheduling by throughput *and
+// delay*; this simulator measures both: packets arrive at links over time,
+// every slot the scheduler is invoked on the currently backlogged links,
+// scheduled transmissions succeed or fail under per-slot Rayleigh fading,
+// and delivered packets record their queueing delay.
+//
+// This is also where fading-susceptible schedulers hurt twice: a failed
+// transmission wastes the slot *and* keeps the packet queued.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/params.hpp"
+#include "mathx/stats.hpp"
+#include "net/link_set.hpp"
+#include "sched/scheduler.hpp"
+
+namespace fadesched::sim {
+
+struct QueueSimOptions {
+  std::size_t num_slots = 1000;
+  /// Per-link probability of one packet arriving each slot (Bernoulli).
+  double arrival_probability = 0.02;
+  std::uint64_t seed = 7;
+  /// Warm-up slots excluded from the delay/backlog statistics.
+  std::size_t warmup_slots = 100;
+};
+
+struct QueueSimResult {
+  /// Time-averaged total backlog (packets queued across all links),
+  /// measured after warm-up.
+  mathx::RunningStats backlog;
+  /// Queueing delay (slots from arrival to successful delivery) of
+  /// packets delivered after warm-up.
+  mathx::RunningStats delay_slots;
+  std::uint64_t arrivals = 0;            ///< packets generated (total)
+  std::uint64_t delivered = 0;           ///< packets delivered (total)
+  std::uint64_t failed_transmissions = 0;///< scheduled but not decoded
+  std::uint64_t scheduled_transmissions = 0;
+  std::uint64_t residual_backlog = 0;    ///< packets still queued at the end
+
+  /// Fraction of scheduled transmissions that failed under fading.
+  [[nodiscard]] double FailureRate() const {
+    return scheduled_transmissions == 0
+               ? 0.0
+               : static_cast<double>(failed_transmissions) /
+                     static_cast<double>(scheduled_transmissions);
+  }
+};
+
+/// Runs the slotted simulation. Deterministic given (options.seed,
+/// scheduler, links, params).
+QueueSimResult RunQueueSimulation(const net::LinkSet& links,
+                                  const channel::ChannelParams& params,
+                                  const sched::Scheduler& scheduler,
+                                  const QueueSimOptions& options);
+
+}  // namespace fadesched::sim

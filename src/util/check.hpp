@@ -1,0 +1,46 @@
+// Lightweight runtime checking macros.
+//
+// FS_CHECK is always on (used to validate API preconditions); FS_DCHECK
+// compiles out in NDEBUG builds (used on hot paths).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fadesched::util {
+
+/// Thrown when an FS_CHECK fails. Deriving from std::logic_error keeps the
+/// failure catchable in tests while signalling a programming error.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void RaiseCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace fadesched::util
+
+#define FS_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::fadesched::util::RaiseCheckFailure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FS_CHECK_MSG(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::fadesched::util::RaiseCheckFailure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define FS_DCHECK(expr) ((void)0)
+#else
+#define FS_DCHECK(expr) FS_CHECK(expr)
+#endif

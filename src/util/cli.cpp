@@ -1,0 +1,157 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace fadesched::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+long long& CliParser::AddInt(const std::string& name, long long default_value,
+                             const std::string& help) {
+  FS_CHECK_MSG(!flags_.count(name), "duplicate flag: " + name);
+  Flag flag;
+  flag.kind = Kind::kInt;
+  flag.help = help;
+  flag.int_value = default_value;
+  flag.default_repr = std::to_string(default_value);
+  order_.push_back(name);
+  return flags_.emplace(name, std::move(flag)).first->second.int_value;
+}
+
+double& CliParser::AddDouble(const std::string& name, double default_value,
+                             const std::string& help) {
+  FS_CHECK_MSG(!flags_.count(name), "duplicate flag: " + name);
+  Flag flag;
+  flag.kind = Kind::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  flag.default_repr = FormatDouble(default_value);
+  order_.push_back(name);
+  return flags_.emplace(name, std::move(flag)).first->second.double_value;
+}
+
+std::string& CliParser::AddString(const std::string& name,
+                                  std::string default_value,
+                                  const std::string& help) {
+  FS_CHECK_MSG(!flags_.count(name), "duplicate flag: " + name);
+  Flag flag;
+  flag.kind = Kind::kString;
+  flag.help = help;
+  flag.string_value = std::move(default_value);
+  flag.default_repr = flag.string_value;
+  order_.push_back(name);
+  return flags_.emplace(name, std::move(flag)).first->second.string_value;
+}
+
+bool& CliParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  FS_CHECK_MSG(!flags_.count(name), "duplicate flag: " + name);
+  Flag flag;
+  flag.kind = Kind::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flag.default_repr = default_value ? "true" : "false";
+  order_.push_back(name);
+  return flags_.emplace(name, std::move(flag)).first->second.bool_value;
+}
+
+bool CliParser::Assign(Flag& flag, const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kInt: {
+      auto parsed = ParseInt(value);
+      if (!parsed) return false;
+      flag.int_value = *parsed;
+      return true;
+    }
+    case Kind::kDouble: {
+      auto parsed = ParseDouble(value);
+      if (!parsed) return false;
+      flag.double_value = *parsed;
+      return true;
+    }
+    case Kind::kString:
+      flag.string_value = value;
+      return true;
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        flag.bool_value = false;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool CliParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stdout);
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), Usage().c_str());
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   Usage().c_str());
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n%s", name.c_str(),
+                     Usage().c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!Assign(flag, value)) {
+      std::fprintf(stderr, "malformed value for --%s: '%s'\n%s", name.c_str(),
+                   value.c_str(), Usage().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::Usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& name : order_) {
+    const Flag& flag = flags_.at(name);
+    os << "  --" << name << " (default: " << flag.default_repr << ")  "
+       << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fadesched::util

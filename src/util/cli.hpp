@@ -1,0 +1,58 @@
+// Tiny declarative command-line flag parser for examples and benches.
+//
+//   util::CliParser cli("quickstart", "Run a small scheduling demo");
+//   auto& n     = cli.AddInt("links", 200, "number of links");
+//   auto& alpha = cli.AddDouble("alpha", 3.0, "path-loss exponent");
+//   cli.Parse(argc, argv);   // exits with usage on --help / bad input
+//
+// Flags take the forms --name=value, --name value, and --flag for bools.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fadesched::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  long long& AddInt(const std::string& name, long long default_value,
+                    const std::string& help);
+  double& AddDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  std::string& AddString(const std::string& name, std::string default_value,
+                         const std::string& help);
+  bool& AddBool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parse argv. On --help prints usage and returns false; on malformed
+  /// input prints the error plus usage and returns false. Callers should
+  /// exit when this returns false.
+  [[nodiscard]] bool Parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string default_repr;
+    // Owned storage; stable addresses because flags live in a std::map.
+    long long int_value = 0;
+    double double_value = 0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  bool Assign(Flag& flag, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace fadesched::util

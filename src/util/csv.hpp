@@ -1,0 +1,72 @@
+// In-memory CSV table with typed cells, used for scenario I/O and for
+// printing benchmark series in a uniform shape.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fadesched::util {
+
+/// A rectangular table of string cells with a header row.
+///
+/// All mutation validates shape: every appended row must match the header
+/// width. Numeric accessors parse on demand and throw CheckFailure on
+/// malformed cells, which keeps scenario loading honest.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  [[nodiscard]] std::size_t NumRows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t NumCols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& Header() const { return header_; }
+
+  /// Index of a named column; throws if absent.
+  [[nodiscard]] std::size_t ColumnIndex(const std::string& name) const;
+  [[nodiscard]] bool HasColumn(const std::string& name) const;
+
+  void AppendRow(std::vector<std::string> row);
+
+  [[nodiscard]] const std::string& Cell(std::size_t row, std::size_t col) const;
+  [[nodiscard]] const std::string& Cell(std::size_t row, const std::string& col) const;
+  [[nodiscard]] double CellAsDouble(std::size_t row, const std::string& col) const;
+  [[nodiscard]] long long CellAsInt(std::size_t row, const std::string& col) const;
+
+  /// Serialize to RFC-4180-ish CSV (no quoting needed for our value set;
+  /// cells containing separators/quotes are quoted defensively).
+  void Write(std::ostream& os) const;
+  [[nodiscard]] std::string ToString() const;
+
+  /// Parse a table from CSV text; first line is the header.
+  static CsvTable Parse(std::istream& is);
+  static CsvTable ParseString(const std::string& text);
+
+  /// Render as an aligned human-readable table (for bench stdout).
+  [[nodiscard]] std::string ToPrettyString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience builder: appends typed cells and materializes rows.
+class CsvRowBuilder {
+ public:
+  explicit CsvRowBuilder(CsvTable& table) : table_(table) {}
+
+  CsvRowBuilder& Add(std::string value);
+  CsvRowBuilder& Add(double value);
+  CsvRowBuilder& Add(long long value);
+  CsvRowBuilder& Add(std::size_t value);
+  CsvRowBuilder& Add(int value);
+
+  /// Validates width and appends to the table.
+  void Commit();
+
+ private:
+  CsvTable& table_;
+  std::vector<std::string> cells_;
+};
+
+}  // namespace fadesched::util

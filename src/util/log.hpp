@@ -1,0 +1,49 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library itself logs sparingly (schedulers are silent on the hot
+// path); benches and examples use Info level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace fadesched::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit one log line (thread-safe; line-buffered to stderr).
+void LogMessage(LogLevel level, std::string_view msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace fadesched::util
+
+#define FS_LOG(level_name)                                             \
+  if (::fadesched::util::LogLevel::k##level_name <                     \
+      ::fadesched::util::GetLogLevel()) {                              \
+  } else                                                               \
+    ::fadesched::util::detail::LogLine(                                \
+        ::fadesched::util::LogLevel::k##level_name)

@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch used by benches and the experiment runner.
+#pragma once
+
+#include <chrono>
+
+namespace fadesched::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch; subsequent readings measure from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  [[nodiscard]] double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double Milliseconds() const { return Seconds() * 1e3; }
+  [[nodiscard]] double Microseconds() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fadesched::util

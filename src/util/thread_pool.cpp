@@ -1,0 +1,67 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fadesched::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelChunks(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& body) {
+  if (count == 0) return;
+  const std::size_t num_chunks =
+      std::min<std::size_t>(pool.NumThreads(), count);
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  const std::size_t base = count / num_chunks;
+  const std::size_t extra = count % num_chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    futures.push_back(pool.Submit([&body, c, begin, end] { body(c, begin, end); }));
+    begin = end;
+  }
+  FS_CHECK(begin == count);
+  for (auto& f : futures) f.get();  // rethrows the first failure
+}
+
+}  // namespace fadesched::util

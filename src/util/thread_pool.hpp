@@ -1,0 +1,65 @@
+// Fixed-size worker pool with a simple task queue.
+//
+// The Monte-Carlo simulator and the experiment runner submit coarse-grained
+// tasks (thousands of fading trials each), so a mutex-protected deque is
+// plenty; we do not need work stealing at this granularity.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fadesched::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1). Pass 0 to use the hardware
+  /// concurrency (at least 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned NumThreads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a task; the returned future observes its completion and
+  /// propagates exceptions.
+  template <typename F>
+  std::future<void> Submit(F&& task) {
+    auto packaged = std::make_shared<std::packaged_task<void()>>(
+        std::forward<F>(task));
+    std::future<void> result = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Splits [0, count) into roughly equal chunks and runs
+/// `body(chunk_index, begin, end)` on the pool, blocking until all chunks
+/// finish. Exceptions from any chunk are rethrown (first one wins).
+void ParallelChunks(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& body);
+
+}  // namespace fadesched::util

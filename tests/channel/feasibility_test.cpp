@@ -1,0 +1,175 @@
+#include "channel/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::channel {
+namespace {
+
+net::LinkSet TwoLinkLine(double gap) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{gap, 0}, {gap + 1, 0}, 1.0});
+  return links;
+}
+
+TEST(SuccessProbabilityTest, LoneLinkAlwaysSucceeds) {
+  const net::LinkSet links = TwoLinkLine(10.0);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  const std::vector<net::LinkId> schedule{0};
+  EXPECT_DOUBLE_EQ(SuccessProbability(calc, schedule, 0), 1.0);
+}
+
+TEST(SuccessProbabilityTest, MatchesTheorem31ClosedForm) {
+  // Two links: Pr(X_0 >= γ) = 1 / (1 + γ (d_00/d_10)^α).
+  const double gap = 10.0;
+  const net::LinkSet links = TwoLinkLine(gap);
+  ChannelParams params;
+  params.alpha = 3.0;
+  params.gamma_th = 1.5;
+  const InterferenceCalculator calc(links, params);
+  const std::vector<net::LinkId> schedule{0, 1};
+  const double d10 = gap - 1.0;  // sender 1 at x=gap, receiver 0 at x=1
+  const double expected = 1.0 / (1.0 + 1.5 * std::pow(1.0 / d10, 3.0));
+  EXPECT_NEAR(SuccessProbability(calc, schedule, 0), expected, 1e-12);
+}
+
+TEST(SuccessProbabilityTest, ProductOverMultipleInterferers) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{20, 0}, {21, 0}, 1.0});
+  links.Add(net::Link{{0, 30}, {0, 31}, 1.0});
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  const std::vector<net::LinkId> schedule{0, 1, 2};
+  const double p_pair_1 = SuccessProbability(calc, {schedule.begin(), 2}, 0);
+  // Independence in the closed form: three-way probability equals the
+  // product of the pairwise terms.
+  const std::vector<net::LinkId> pair_02{0, 2};
+  const double p_pair_2 = SuccessProbability(calc, pair_02, 0);
+  EXPECT_NEAR(SuccessProbability(calc, schedule, 0), p_pair_1 * p_pair_2,
+              1e-12);
+}
+
+TEST(SuccessProbabilityTest, EqualsExpOfMinusSumFactor) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(25, {}, gen);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  std::vector<net::LinkId> schedule;
+  for (net::LinkId i = 0; i < links.Size(); i += 3) schedule.push_back(i);
+  for (net::LinkId j : schedule) {
+    EXPECT_NEAR(SuccessProbability(calc, schedule, j),
+                std::exp(-calc.SumFactor(schedule, j)), 1e-12);
+  }
+}
+
+TEST(LinkIsInformedTest, EquivalentToCorollary31Threshold) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(30, {}, gen);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  std::vector<net::LinkId> schedule;
+  for (net::LinkId i = 0; i < links.Size(); ++i) schedule.push_back(i);
+  const double gamma_eps = params.GammaEpsilon();
+  for (net::LinkId j : schedule) {
+    const bool informed = LinkIsInformed(calc, schedule, j);
+    const double sum = calc.SumFactor(schedule, j);
+    EXPECT_EQ(informed, sum <= gamma_eps * (1.0 + 1e-12));
+    // Informed ⇔ success probability >= 1 − ε.
+    EXPECT_EQ(informed,
+              SuccessProbability(calc, schedule, j) >=
+                  (1.0 - params.epsilon) * (1.0 - 1e-9));
+  }
+}
+
+TEST(ScheduleIsFeasibleTest, SingletonsAlwaysFeasible) {
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(10, {}, gen);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    const std::vector<net::LinkId> single{i};
+    EXPECT_TRUE(ScheduleIsFeasible(calc, single));
+  }
+}
+
+TEST(ScheduleIsFeasibleTest, EmptyScheduleFeasible) {
+  const net::LinkSet links = TwoLinkLine(5.0);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  EXPECT_TRUE(ScheduleIsFeasible(calc, {}));
+}
+
+TEST(ScheduleIsFeasibleTest, AdjacentStrongInterferersInfeasible) {
+  // Two overlapping links blasting each other cannot both meet ε = 1%.
+  const net::LinkSet links = TwoLinkLine(1.5);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  const std::vector<net::LinkId> schedule{0, 1};
+  EXPECT_FALSE(ScheduleIsFeasible(calc, schedule));
+}
+
+TEST(ScheduleIsFeasibleTest, FarApartPairFeasible) {
+  // γ_ε ≈ 0.01 with ε = 1%: need γ(d_jj/d_ij)^α ≲ 0.01, i.e. gap ≳ 5·d_jj.
+  const net::LinkSet links = TwoLinkLine(60.0);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  const std::vector<net::LinkId> schedule{0, 1};
+  EXPECT_TRUE(ScheduleIsFeasible(calc, schedule));
+}
+
+TEST(ScheduleIsFeasibleTest, MonotoneUnderRemoval) {
+  // Dropping links never breaks feasibility (interference is additive).
+  rng::Xoshiro256 gen(4);
+  ChannelParams params;
+  params.epsilon = 0.1;  // looser budget so some multi-link sets pass
+  for (int trial = 0; trial < 10; ++trial) {
+    const net::LinkSet links = net::MakeUniformScenario(12, {}, gen);
+    const InterferenceCalculator calc(links, params);
+    std::vector<net::LinkId> schedule;
+    for (net::LinkId i = 0; i < links.Size(); i += 2) schedule.push_back(i);
+    if (!ScheduleIsFeasible(calc, schedule)) continue;
+    for (std::size_t drop = 0; drop < schedule.size(); ++drop) {
+      std::vector<net::LinkId> reduced = schedule;
+      reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(drop));
+      EXPECT_TRUE(ScheduleIsFeasible(calc, reduced));
+    }
+  }
+}
+
+TEST(AnalyzeScheduleTest, ReportsPerLinkNumbers) {
+  const net::LinkSet links = TwoLinkLine(10.0);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  const std::vector<net::LinkId> schedule{0, 1};
+  const auto report = AnalyzeSchedule(calc, schedule);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].link, 0u);
+  EXPECT_NEAR(report[0].sum_factor, calc.Factor(1, 0), 1e-15);
+  EXPECT_NEAR(report[0].success_probability,
+              std::exp(-report[0].sum_factor), 1e-15);
+}
+
+TEST(InformedRateTest, CountsOnlyInformedLinks) {
+  // Link 2 sits right next to link 0's receiver and gets crushed, but the
+  // far pair stays informed.
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 2.0});
+  links.Add(net::Link{{100, 0}, {101, 0}, 3.0});
+  links.Add(net::Link{{2, 0}, {2, 10}, 5.0});  // long link near link 0
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  const std::vector<net::LinkId> schedule{0, 1, 2};
+  const double informed = InformedRate(calc, schedule);
+  EXPECT_LT(informed, 10.0);
+  EXPECT_GE(informed, 0.0);
+}
+
+}  // namespace
+}  // namespace fadesched::channel

@@ -1,0 +1,93 @@
+#include "channel/graph_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::channel {
+namespace {
+
+net::LinkSet TwoLinkLine(double gap) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{gap, 0}, {gap + 1, 0}, 1.0});
+  return links;
+}
+
+TEST(GraphModelTest, SelfConflictIsFalse) {
+  const net::LinkSet links = TwoLinkLine(10.0);
+  const GraphInterference graph(links, {});
+  EXPECT_FALSE(graph.Conflict(0, 0));
+}
+
+TEST(GraphModelTest, CloseLinksConflict) {
+  // Receiver 0 at x=1, sender 1 at x=2 with range 2·d_00 = 2: conflict.
+  const net::LinkSet links = TwoLinkLine(2.0);
+  const GraphInterference graph(links, {});
+  EXPECT_TRUE(graph.Conflict(0, 1));
+}
+
+TEST(GraphModelTest, FarLinksDoNotConflict) {
+  const net::LinkSet links = TwoLinkLine(10.0);
+  const GraphInterference graph(links, {});
+  EXPECT_FALSE(graph.Conflict(0, 1));
+}
+
+TEST(GraphModelTest, ConflictIsSymmetric) {
+  rng::Xoshiro256 gen(1);
+  net::UniformScenarioParams sp;
+  sp.region_size = 100.0;
+  const net::LinkSet links = net::MakeUniformScenario(50, sp, gen);
+  const GraphInterference graph(links, {});
+  for (net::LinkId a = 0; a < links.Size(); ++a) {
+    for (net::LinkId b = a + 1; b < links.Size(); ++b) {
+      EXPECT_EQ(graph.Conflict(a, b), graph.Conflict(b, a));
+    }
+  }
+}
+
+TEST(GraphModelTest, RangeFactorWidensConflicts) {
+  const net::LinkSet links = TwoLinkLine(4.0);
+  GraphModelParams narrow;
+  narrow.range_factor = 1.0;
+  GraphModelParams wide;
+  wide.range_factor = 5.0;
+  EXPECT_FALSE(GraphInterference(links, narrow).Conflict(0, 1));
+  EXPECT_TRUE(GraphInterference(links, wide).Conflict(0, 1));
+}
+
+TEST(GraphModelTest, RangeBelowOneRejected) {
+  const net::LinkSet links = TwoLinkLine(4.0);
+  GraphModelParams bad;
+  bad.range_factor = 0.5;
+  EXPECT_THROW(GraphInterference(links, bad), util::CheckFailure);
+}
+
+TEST(GraphModelTest, IndependentSetDetection) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{1.5, 0}, {2.5, 0}, 1.0});  // conflicts with 0
+  links.Add(net::Link{{100, 0}, {101, 0}, 1.0});  // isolated
+  const GraphInterference graph(links, {});
+  const std::vector<net::LinkId> clash{0, 1};
+  const std::vector<net::LinkId> fine{0, 2};
+  EXPECT_FALSE(graph.ScheduleIsIndependent(clash));
+  EXPECT_TRUE(graph.ScheduleIsIndependent(fine));
+  EXPECT_TRUE(graph.ScheduleIsIndependent({}));
+}
+
+TEST(GraphModelTest, DegreeCountsNeighbours) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{1.5, 0}, {2.5, 0}, 1.0});
+  links.Add(net::Link{{3.0, 0}, {4.0, 0}, 1.0});
+  links.Add(net::Link{{500, 0}, {501, 0}, 1.0});
+  const GraphInterference graph(links, {});
+  EXPECT_GE(graph.Degree(1), 1u);   // at least one of its neighbours
+  EXPECT_EQ(graph.Degree(3), 0u);   // isolated
+}
+
+}  // namespace
+}  // namespace fadesched::channel

@@ -1,0 +1,128 @@
+// Tests for the ambient-noise extension (N₀ > 0). The paper sets N₀ = 0
+// (Formula (8)); with noise, the exact closed form gains the factor
+// exp(−γ_th·N₀/(P·d_jj^{-α})) and every feasibility budget shrinks by the
+// corresponding noise factor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/deterministic.hpp"
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::channel {
+namespace {
+
+ChannelParams NoisyParams(double noise) {
+  ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.05;
+  params.noise_power = noise;
+  return params;
+}
+
+net::LinkSet OneLink(double length) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {length, 0}, 1.0});
+  return links;
+}
+
+TEST(NoiseFactorTest, ZeroNoiseIsZero) {
+  const net::LinkSet links = OneLink(5.0);
+  const InterferenceCalculator calc(links, NoisyParams(0.0));
+  EXPECT_DOUBLE_EQ(calc.NoiseFactor(0), 0.0);
+}
+
+TEST(NoiseFactorTest, MatchesFormula) {
+  const net::LinkSet links = OneLink(5.0);
+  ChannelParams params = NoisyParams(1e-3);
+  params.gamma_th = 2.0;
+  params.tx_power = 4.0;
+  const InterferenceCalculator calc(links, params);
+  // γ·N₀·d^α/P = 2·1e-3·125/4.
+  EXPECT_NEAR(calc.NoiseFactor(0), 2.0 * 1e-3 * 125.0 / 4.0, 1e-15);
+}
+
+TEST(NoiseFactorTest, GrowsWithLinkLength) {
+  const auto params = NoisyParams(1e-4);
+  const net::LinkSet short_links = OneLink(2.0);
+  const net::LinkSet long_links = OneLink(10.0);
+  const InterferenceCalculator calc_short(short_links, params);
+  const InterferenceCalculator calc_long(long_links, params);
+  EXPECT_GT(calc_long.NoiseFactor(0), calc_short.NoiseFactor(0));
+}
+
+TEST(NoiseSuccessProbabilityTest, LoneLinkPaysExactlyTheNoiseFactor) {
+  const net::LinkSet links = OneLink(5.0);
+  const auto params = NoisyParams(1e-3);
+  const InterferenceCalculator calc(links, params);
+  const net::Schedule schedule{0};
+  EXPECT_NEAR(SuccessProbability(calc, schedule, 0),
+              std::exp(-calc.NoiseFactor(0)), 1e-15);
+}
+
+TEST(NoiseSuccessProbabilityTest, HopelessLinkNotInformedEvenAlone) {
+  // Pick N₀ so the noise factor alone exceeds γ_ε.
+  const net::LinkSet links = OneLink(10.0);
+  ChannelParams params = NoisyParams(0.0);
+  const double gamma_eps = params.GammaEpsilon();
+  params.noise_power =
+      2.0 * gamma_eps * params.MeanPower(10.0) / params.gamma_th;
+  const InterferenceCalculator calc(links, params);
+  const net::Schedule schedule{0};
+  EXPECT_FALSE(LinkIsInformed(calc, schedule, 0));
+}
+
+TEST(NoiseSuccessProbabilityTest, MonteCarloMatchesClosedForm) {
+  rng::Xoshiro256 gen(1);
+  net::UniformScenarioParams sp;
+  sp.region_size = 150.0;
+  const net::LinkSet links = net::MakeUniformScenario(10, sp, gen);
+  // Noise on the order of the weakest desired signal: visible effect.
+  ChannelParams params = NoisyParams(0.2 * ChannelParams{}.MeanPower(20.0));
+  const InterferenceCalculator calc(links, params);
+  net::Schedule schedule;
+  for (net::LinkId i = 0; i < links.Size(); ++i) schedule.push_back(i);
+
+  sim::SimOptions options;
+  options.trials = 50000;
+  const sim::SimResult result =
+      sim::SimulateSchedule(links, params, schedule, options);
+  for (std::size_t k = 0; k < schedule.size(); ++k) {
+    EXPECT_NEAR(result.link_success_rate[k],
+                SuccessProbability(calc, schedule, schedule[k]), 0.02)
+        << "link " << k;
+  }
+}
+
+TEST(NoiseDeterministicTest, NoiseAffectanceLowersMeanSinr) {
+  const net::LinkSet links = OneLink(5.0);
+  const DeterministicSinr noiseless(links, NoisyParams(0.0));
+  const DeterministicSinr noisy(links, NoisyParams(1e-3));
+  const net::Schedule lone{0};
+  EXPECT_TRUE(std::isinf(noiseless.MeanSinr(lone, 0)));
+  EXPECT_TRUE(std::isfinite(noisy.MeanSinr(lone, 0)));
+  EXPECT_GT(noisy.NoiseAffectance(0), 0.0);
+}
+
+TEST(NoiseDeterministicTest, StrongNoiseBlocksDecoding) {
+  const net::LinkSet links = OneLink(5.0);
+  ChannelParams params = NoisyParams(0.0);
+  params.noise_power = 2.0 * params.MeanPower(5.0) / params.gamma_th;
+  const DeterministicSinr sinr(links, params);
+  const net::Schedule lone{0};
+  EXPECT_FALSE(sinr.LinkDecodes(lone, 0));
+}
+
+TEST(NoiseValidationTest, NegativeNoiseRejected) {
+  ChannelParams params;
+  params.noise_power = -1.0;
+  EXPECT_THROW(params.Validate(), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::channel

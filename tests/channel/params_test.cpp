@@ -1,0 +1,78 @@
+#include "channel/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::channel {
+namespace {
+
+TEST(ChannelParamsTest, DefaultsAreValid) {
+  ChannelParams params;
+  EXPECT_NO_THROW(params.Validate());
+}
+
+TEST(ChannelParamsTest, GammaEpsilonMatchesDefinition) {
+  ChannelParams params;
+  params.epsilon = 0.01;
+  EXPECT_NEAR(params.GammaEpsilon(), std::log(1.0 / 0.99), 1e-15);
+}
+
+TEST(ChannelParamsTest, GammaEpsilonSmallEpsilonApproximation) {
+  // ln(1/(1-ε)) ≈ ε for small ε; verifies the log1p evaluation is stable.
+  ChannelParams params;
+  params.epsilon = 1e-9;
+  EXPECT_NEAR(params.GammaEpsilon(), 1e-9, 1e-15);
+}
+
+TEST(ChannelParamsTest, GammaEpsilonMonotoneInEpsilon) {
+  ChannelParams lo;
+  lo.epsilon = 0.01;
+  ChannelParams hi;
+  hi.epsilon = 0.2;
+  EXPECT_LT(lo.GammaEpsilon(), hi.GammaEpsilon());
+}
+
+TEST(ChannelParamsTest, MeanPowerFollowsPathLoss) {
+  ChannelParams params;
+  params.tx_power = 2.0;
+  params.alpha = 3.0;
+  EXPECT_DOUBLE_EQ(params.MeanPower(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(params.MeanPower(2.0), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(params.MeanPower(10.0), 2.0 / 1000.0);
+}
+
+TEST(ChannelParamsTest, MeanPowerAmplifiesBelowUnitDistance) {
+  ChannelParams params;
+  EXPECT_GT(params.MeanPower(0.5), params.tx_power);
+}
+
+TEST(ChannelParamsTest, AlphaAtMostTwoRejected) {
+  ChannelParams params;
+  params.alpha = 2.0;
+  EXPECT_THROW(params.Validate(), util::CheckFailure);
+  params.alpha = 1.5;
+  EXPECT_THROW(params.Validate(), util::CheckFailure);
+}
+
+TEST(ChannelParamsTest, EpsilonBoundsEnforced) {
+  ChannelParams params;
+  params.epsilon = 0.0;
+  EXPECT_THROW(params.Validate(), util::CheckFailure);
+  params.epsilon = 1.0;
+  EXPECT_THROW(params.Validate(), util::CheckFailure);
+}
+
+TEST(ChannelParamsTest, NonPositiveThresholdAndPowerRejected) {
+  ChannelParams params;
+  params.gamma_th = 0.0;
+  EXPECT_THROW(params.Validate(), util::CheckFailure);
+  params.gamma_th = 1.0;
+  params.tx_power = -1.0;
+  EXPECT_THROW(params.Validate(), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::channel

@@ -1,0 +1,147 @@
+#include "distsim/dls_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/dls.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::distsim {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(DlsProtocolTest, EmptyNetworkIsTrivial) {
+  const DlsProtocolResult result =
+      RunDlsProtocol(net::LinkSet{}, PaperParams());
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(result.sim_stats.messages_sent, 0u);
+}
+
+TEST(DlsProtocolTest, LoneLinkStaysActive) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  const DlsProtocolResult result = RunDlsProtocol(links, PaperParams());
+  EXPECT_EQ(result.schedule, net::Schedule{0});
+}
+
+TEST(DlsProtocolTest, GlobalRadiusYieldsFeasibleSchedule) {
+  // With a broadcast radius covering the whole region the terminal
+  // self-prune guarantees Corollary 3.1 feasibility.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+    const auto params = PaperParams();
+    const DlsProtocolResult result = RunDlsProtocol(links, params);
+    const channel::InterferenceCalculator calc(links, params);
+    EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule))
+        << "seed=" << seed;
+    EXPECT_GT(result.schedule.size(), 0u);
+  }
+}
+
+TEST(DlsProtocolTest, DeterministicForSeed) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  const DlsProtocolResult a = RunDlsProtocol(links, PaperParams());
+  const DlsProtocolResult b = RunDlsProtocol(links, PaperParams());
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.sim_stats.messages_sent, b.sim_stats.messages_sent);
+}
+
+TEST(DlsProtocolTest, MessageCostScalesWithDensityAndRounds) {
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  DlsProtocolOptions few;
+  few.contention_rounds = 2;
+  few.resolution_rounds = 2;
+  DlsProtocolOptions many;
+  many.contention_rounds = 10;
+  many.resolution_rounds = 10;
+  const auto cost_few =
+      RunDlsProtocol(links, PaperParams(), few).sim_stats.messages_sent;
+  const auto cost_many =
+      RunDlsProtocol(links, PaperParams(), many).sim_stats.messages_sent;
+  EXPECT_GT(cost_many, cost_few);
+}
+
+TEST(DlsProtocolTest, SmallRadiusSendsFewerMessages) {
+  rng::Xoshiro256 gen(4);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  DlsProtocolOptions global;
+  DlsProtocolOptions local;
+  local.broadcast_radius = 100.0;
+  const auto global_cost =
+      RunDlsProtocol(links, PaperParams(), global).sim_stats.messages_sent;
+  const auto local_cost =
+      RunDlsProtocol(links, PaperParams(), local).sim_stats.messages_sent;
+  EXPECT_LT(local_cost, global_cost);
+}
+
+TEST(DlsProtocolTest, ValidUniqueIds) {
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(120, {}, gen);
+  const DlsProtocolResult result = RunDlsProtocol(links, PaperParams());
+  std::set<net::LinkId> seen;
+  for (net::LinkId id : result.schedule) {
+    EXPECT_LT(id, links.Size());
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(DlsProtocolTest, ComparableToModelledDls) {
+  // The protocol and the aggregate model should land in the same ballpark
+  // of schedule sizes (both are randomized; require within a 3x band).
+  rng::Xoshiro256 gen(6);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const auto params = PaperParams();
+  const DlsProtocolResult protocol = RunDlsProtocol(links, params);
+  sched::DlsOptions model_options;
+  model_options.sensing_radius_factor = 0.0;  // genie
+  const auto model =
+      sched::DlsScheduler(model_options).Schedule(links, params);
+  ASSERT_GT(model.schedule.size(), 0u);
+  const double ratio = static_cast<double>(protocol.schedule.size()) /
+                       static_cast<double>(model.schedule.size());
+  EXPECT_GT(ratio, 1.0 / 3.0);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(DlsProtocolTest, NoisyLinksSelfExclude) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {3, 0}, 1.0});       // short: survives noise
+  links.Add(net::Link{{1000, 0}, {1018, 0}, 1.0}); // long: hopeless
+  channel::ChannelParams params = PaperParams();
+  params.epsilon = 0.05;
+  params.noise_power =
+      1.5 * params.GammaEpsilon() * params.MeanPower(18.0) / params.gamma_th;
+  const DlsProtocolResult result = RunDlsProtocol(links, params);
+  EXPECT_EQ(result.schedule, net::Schedule{0});
+}
+
+TEST(DlsProtocolTest, InvalidOptionsRejected) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  DlsProtocolOptions bad;
+  bad.round_duration = 0.0;
+  EXPECT_THROW(RunDlsProtocol(links, PaperParams(), bad),
+               util::CheckFailure);
+  bad = DlsProtocolOptions{};
+  bad.contention_rounds = 0;
+  bad.resolution_rounds = 0;
+  EXPECT_THROW(RunDlsProtocol(links, PaperParams(), bad),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::distsim

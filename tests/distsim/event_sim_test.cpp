@@ -1,0 +1,175 @@
+#include "distsim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fadesched::distsim {
+namespace {
+
+/// Scripted node that records everything it observes.
+class Recorder final : public Node {
+ public:
+  struct Observation {
+    Time at;
+    bool is_timer;
+    std::uint64_t tag_or_timer;
+    NodeId from = 0;
+    std::vector<double> data;
+  };
+
+  void OnStart(Context&) override {}
+  void OnMessage(Context& ctx, const Message& message) override {
+    log.push_back({ctx.Now(), false, message.tag, message.from, message.data});
+  }
+  void OnTimer(Context& ctx, std::uint64_t timer_id) override {
+    log.push_back({ctx.Now(), true, timer_id, 0, {}});
+  }
+
+  std::vector<Observation> log;
+};
+
+/// Node whose OnStart runs a caller-provided script.
+class Scripted final : public Node {
+ public:
+  explicit Scripted(std::function<void(Context&)> on_start)
+      : on_start_(std::move(on_start)) {}
+  void OnStart(Context& ctx) override { on_start_(ctx); }
+  void OnMessage(Context&, const Message&) override {}
+  void OnTimer(Context&, std::uint64_t) override {}
+
+ private:
+  std::function<void(Context&)> on_start_;
+};
+
+TEST(EventSimTest, MessageArrivesWithPropagationDelay) {
+  EventSimulator::Options options;
+  options.fixed_latency = 0.5;
+  options.propagation_delay_per_unit = 0.1;
+  EventSimulator sim(options);
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  const NodeId receiver = sim.AddNode(std::move(recorder), {10.0, 0.0});
+  sim.AddNode(std::make_unique<Scripted>([receiver](Context& ctx) {
+                ctx.Send(receiver, 42, {1.5});
+              }),
+              {0.0, 0.0});
+  sim.Run(100.0);
+  ASSERT_EQ(rec->log.size(), 1u);
+  EXPECT_FALSE(rec->log[0].is_timer);
+  EXPECT_EQ(rec->log[0].tag_or_timer, 42u);
+  EXPECT_EQ(rec->log[0].from, 1u);
+  // delay = 0.5 + 10·0.1 = 1.5.
+  EXPECT_NEAR(rec->log[0].at, 1.5, 1e-12);
+  EXPECT_EQ(rec->log[0].data, std::vector<double>{1.5});
+}
+
+TEST(EventSimTest, TimerFiresAtRequestedTime) {
+  EventSimulator sim;
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  // Recorder with a self-starting timer.
+  class TimerNode final : public Node {
+   public:
+    explicit TimerNode(Recorder* sink) : sink_(sink) {}
+    void OnStart(Context& ctx) override { ctx.SetTimer(2.25, 9); }
+    void OnMessage(Context&, const Message&) override {}
+    void OnTimer(Context& ctx, std::uint64_t id) override {
+      sink_->log.push_back({ctx.Now(), true, id, 0, {}});
+    }
+
+   private:
+    Recorder* sink_;
+  };
+  sim.AddNode(std::make_unique<TimerNode>(rec), {0, 0});
+  sim.AddNode(std::move(recorder), {1, 1});
+  const SimStats stats = sim.Run(10.0);
+  ASSERT_EQ(rec->log.size(), 1u);
+  EXPECT_TRUE(rec->log[0].is_timer);
+  EXPECT_NEAR(rec->log[0].at, 2.25, 1e-12);
+  EXPECT_EQ(stats.timers_fired, 1u);
+}
+
+TEST(EventSimTest, BroadcastRespectsRadius) {
+  EventSimulator::Options options;
+  options.broadcast_radius = 15.0;
+  EventSimulator sim(options);
+  auto near = std::make_unique<Recorder>();
+  auto far = std::make_unique<Recorder>();
+  Recorder* near_ptr = near.get();
+  Recorder* far_ptr = far.get();
+  sim.AddNode(std::move(near), {10.0, 0.0});
+  sim.AddNode(std::move(far), {100.0, 0.0});
+  sim.AddNode(std::make_unique<Scripted>([](Context& ctx) {
+                ctx.BroadcastLocal(7, {});
+              }),
+              {0.0, 0.0});
+  sim.Run(10.0);
+  EXPECT_EQ(near_ptr->log.size(), 1u);
+  EXPECT_TRUE(far_ptr->log.empty());
+}
+
+TEST(EventSimTest, EventOrderIsDeterministicForEqualTimes) {
+  // Two zero-distance messages sent in order must arrive in order.
+  EventSimulator::Options options;
+  options.fixed_latency = 1.0;
+  options.propagation_delay_per_unit = 0.0;
+  EventSimulator sim(options);
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  const NodeId receiver = sim.AddNode(std::move(recorder), {0, 0});
+  sim.AddNode(std::make_unique<Scripted>([receiver](Context& ctx) {
+                ctx.Send(receiver, 1, {});
+                ctx.Send(receiver, 2, {});
+                ctx.Send(receiver, 3, {});
+              }),
+              {0, 0});
+  sim.Run(10.0);
+  ASSERT_EQ(rec->log.size(), 3u);
+  EXPECT_EQ(rec->log[0].tag_or_timer, 1u);
+  EXPECT_EQ(rec->log[1].tag_or_timer, 2u);
+  EXPECT_EQ(rec->log[2].tag_or_timer, 3u);
+}
+
+TEST(EventSimTest, HorizonCutsOffLateEvents) {
+  EventSimulator::Options options;
+  options.fixed_latency = 5.0;
+  EventSimulator sim(options);
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  const NodeId receiver = sim.AddNode(std::move(recorder), {0, 0});
+  sim.AddNode(std::make_unique<Scripted>([receiver](Context& ctx) {
+                ctx.Send(receiver, 1, {});
+              }),
+              {0, 0});
+  sim.Run(1.0);  // horizon before the 5s delivery
+  EXPECT_TRUE(rec->log.empty());
+}
+
+TEST(EventSimTest, StatsCountSendsAndDeliveries) {
+  EventSimulator sim;
+  auto recorder = std::make_unique<Recorder>();
+  const NodeId receiver = sim.AddNode(std::move(recorder), {0, 0});
+  sim.AddNode(std::make_unique<Scripted>([receiver](Context& ctx) {
+                ctx.Send(receiver, 1, {});
+                ctx.Send(receiver, 2, {});
+              }),
+              {0, 0});
+  const SimStats stats = sim.Run(10.0);
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.messages_delivered, 2u);
+  EXPECT_EQ(stats.events_processed, 2u);
+}
+
+TEST(EventSimTest, InvalidInputsRejected) {
+  EventSimulator sim;
+  EXPECT_THROW(sim.AddNode(nullptr, {0, 0}), util::CheckFailure);
+  EventSimulator::Options bad;
+  bad.broadcast_radius = 0.0;
+  EXPECT_THROW(EventSimulator{bad}, util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::distsim

@@ -1,0 +1,116 @@
+#include "geom/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::geom {
+namespace {
+
+TEST(SquareGridTest, CellOfBasics) {
+  const SquareGrid grid({0.0, 0.0}, 10.0);
+  EXPECT_EQ(grid.CellOf({5.0, 5.0}), (CellIndex{0, 0}));
+  EXPECT_EQ(grid.CellOf({15.0, 25.0}), (CellIndex{1, 2}));
+  EXPECT_EQ(grid.CellOf({-5.0, -15.0}), (CellIndex{-1, -2}));
+}
+
+TEST(SquareGridTest, BoundaryGoesToHigherCell) {
+  const SquareGrid grid({0.0, 0.0}, 10.0);
+  EXPECT_EQ(grid.CellOf({10.0, 0.0}), (CellIndex{1, 0}));
+}
+
+TEST(SquareGridTest, OriginOffsetRespected) {
+  const SquareGrid grid({5.0, 5.0}, 10.0);
+  EXPECT_EQ(grid.CellOf({4.0, 4.0}), (CellIndex{-1, -1}));
+  EXPECT_EQ(grid.CellOf({6.0, 6.0}), (CellIndex{0, 0}));
+}
+
+TEST(SquareGridTest, CellLowInvertsCellOf) {
+  const SquareGrid grid({2.0, 3.0}, 4.0);
+  const CellIndex cell{3, -2};
+  const Vec2 low = grid.CellLow(cell);
+  EXPECT_EQ(grid.CellOf(low), cell);
+  EXPECT_EQ(grid.CellOf(low + Vec2{3.999, 3.999}), cell);
+}
+
+TEST(SquareGridTest, InvalidCellSizeRejected) {
+  EXPECT_THROW(SquareGrid({0.0, 0.0}, 0.0), util::CheckFailure);
+  EXPECT_THROW(SquareGrid({0.0, 0.0}, -2.0), util::CheckFailure);
+}
+
+TEST(SquareGridTest, FourColorsCoverZeroToThree) {
+  EXPECT_EQ(SquareGrid::ColorOf({0, 0}), 0);
+  EXPECT_EQ(SquareGrid::ColorOf({1, 0}), 1);
+  EXPECT_EQ(SquareGrid::ColorOf({0, 1}), 2);
+  EXPECT_EQ(SquareGrid::ColorOf({1, 1}), 3);
+}
+
+TEST(SquareGridTest, ColorIsPeriodicWithPeriodTwo) {
+  for (std::int64_t a = -4; a <= 4; ++a) {
+    for (std::int64_t b = -4; b <= 4; ++b) {
+      EXPECT_EQ(SquareGrid::ColorOf({a, b}), SquareGrid::ColorOf({a + 2, b}));
+      EXPECT_EQ(SquareGrid::ColorOf({a, b}), SquareGrid::ColorOf({a, b + 2}));
+    }
+  }
+}
+
+TEST(SquareGridTest, SameColorImpliesEvenIndexDifference) {
+  // The LDP feasibility proof needs same-colour cells to be >= 2 grid
+  // steps apart in each axis.
+  for (std::int64_t a1 = -3; a1 <= 3; ++a1) {
+    for (std::int64_t b1 = -3; b1 <= 3; ++b1) {
+      for (std::int64_t a2 = -3; a2 <= 3; ++a2) {
+        for (std::int64_t b2 = -3; b2 <= 3; ++b2) {
+          if (SquareGrid::ColorOf({a1, b1}) == SquareGrid::ColorOf({a2, b2})) {
+            EXPECT_EQ((a1 - a2) % 2, 0);
+            EXPECT_EQ((b1 - b2) % 2, 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SquareGridTest, AdjacentCellsNeverShareColor) {
+  for (std::int64_t a = -3; a <= 3; ++a) {
+    for (std::int64_t b = -3; b <= 3; ++b) {
+      const int color = SquareGrid::ColorOf({a, b});
+      EXPECT_NE(color, SquareGrid::ColorOf({a + 1, b}));
+      EXPECT_NE(color, SquareGrid::ColorOf({a, b + 1}));
+      EXPECT_NE(color, SquareGrid::ColorOf({a + 1, b + 1}));
+    }
+  }
+}
+
+TEST(SquareGridTest, ChebyshevDistance) {
+  EXPECT_EQ(SquareGrid::ChebyshevDistance({0, 0}, {3, -4}), 4);
+  EXPECT_EQ(SquareGrid::ChebyshevDistance({2, 2}, {2, 2}), 0);
+  EXPECT_EQ(SquareGrid::ChebyshevDistance({-1, 0}, {1, 0}), 2);
+}
+
+TEST(SquareGridTest, NegativeCoordinatesColorStable) {
+  // Euclidean mod must keep colours consistent across the origin.
+  EXPECT_EQ(SquareGrid::ColorOf({-2, -2}), SquareGrid::ColorOf({0, 0}));
+  EXPECT_EQ(SquareGrid::ColorOf({-1, 0}), SquareGrid::ColorOf({1, 0}));
+  EXPECT_EQ(SquareGrid::ColorOf({0, -1}), SquareGrid::ColorOf({0, 1}));
+}
+
+TEST(SquareGridTest, RandomPointsRoundTripThroughCellLow) {
+  rng::Xoshiro256 gen(21);
+  const SquareGrid grid({-7.5, 3.25}, 2.5);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec2 p{rng::UniformRange(gen, -100.0, 100.0),
+                 rng::UniformRange(gen, -100.0, 100.0)};
+    const CellIndex cell = grid.CellOf(p);
+    const Vec2 low = grid.CellLow(cell);
+    EXPECT_GE(p.x, low.x - 1e-9);
+    EXPECT_LT(p.x, low.x + grid.CellSize() + 1e-9);
+    EXPECT_GE(p.y, low.y - 1e-9);
+    EXPECT_LT(p.y, low.y + grid.CellSize() + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::geom

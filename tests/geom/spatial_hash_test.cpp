@@ -1,0 +1,105 @@
+#include "geom/spatial_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::geom {
+namespace {
+
+std::vector<std::size_t> BruteForceRadius(const std::vector<Vec2>& points,
+                                          Vec2 center, double radius) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (Distance(points[i], center) <= radius) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(SpatialHashTest, EmptyIndexReturnsNothing) {
+  const std::vector<Vec2> points;
+  const SpatialHash index(points, 1.0);
+  EXPECT_TRUE(index.QueryRadius({0.0, 0.0}, 100.0).empty());
+}
+
+TEST(SpatialHashTest, SinglePointHitAndMiss) {
+  const std::vector<Vec2> points{{1.0, 1.0}};
+  const SpatialHash index(points, 1.0);
+  EXPECT_EQ(index.QueryRadius({1.0, 1.0}, 0.0).size(), 1u);
+  EXPECT_EQ(index.QueryRadius({5.0, 5.0}, 1.0).size(), 0u);
+}
+
+TEST(SpatialHashTest, RadiusBoundaryInclusive) {
+  const std::vector<Vec2> points{{3.0, 0.0}};
+  const SpatialHash index(points, 1.0);
+  EXPECT_EQ(index.QueryRadius({0.0, 0.0}, 3.0).size(), 1u);
+  EXPECT_EQ(index.QueryRadius({0.0, 0.0}, 2.999).size(), 0u);
+}
+
+TEST(SpatialHashTest, NegativeRadiusRejected) {
+  const std::vector<Vec2> points{{0.0, 0.0}};
+  const SpatialHash index(points, 1.0);
+  EXPECT_THROW(index.QueryRadius({0.0, 0.0}, -1.0), util::CheckFailure);
+}
+
+class SpatialHashPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpatialHashPropertyTest, MatchesBruteForceOnRandomSets) {
+  const double bucket_size = GetParam();
+  rng::Xoshiro256 gen(static_cast<std::uint64_t>(bucket_size * 1000) + 17);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back(Vec2{rng::UniformRange(gen, -50.0, 50.0),
+                          rng::UniformRange(gen, -50.0, 50.0)});
+  }
+  const SpatialHash index(points, bucket_size);
+  for (int q = 0; q < 50; ++q) {
+    const Vec2 center{rng::UniformRange(gen, -60.0, 60.0),
+                      rng::UniformRange(gen, -60.0, 60.0)};
+    const double radius = rng::UniformRange(gen, 0.0, 30.0);
+    auto got = index.QueryRadius(center, radius);
+    auto want = BruteForceRadius(points, center, radius);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "bucket=" << bucket_size << " radius=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketSizes, SpatialHashPropertyTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 100.0));
+
+TEST(SpatialHashTest, ForEachVisitsSameSetAsQuery) {
+  rng::Xoshiro256 gen(9);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(Vec2{rng::UniformRange(gen, 0.0, 20.0),
+                          rng::UniformRange(gen, 0.0, 20.0)});
+  }
+  const SpatialHash index(points, 3.0);
+  std::vector<std::size_t> visited;
+  index.ForEachInRadius({10.0, 10.0}, 5.0,
+                        [&](std::size_t i) { visited.push_back(i); });
+  auto queried = index.QueryRadius({10.0, 10.0}, 5.0);
+  std::sort(visited.begin(), visited.end());
+  std::sort(queried.begin(), queried.end());
+  EXPECT_EQ(visited, queried);
+}
+
+TEST(SpatialHashTest, DuplicatePointsAllReported) {
+  const std::vector<Vec2> points{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const SpatialHash index(points, 1.0);
+  EXPECT_EQ(index.QueryRadius({1.0, 1.0}, 0.1).size(), 3u);
+}
+
+TEST(SpatialHashTest, NumPointsReported) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {1.0, 1.0}};
+  const SpatialHash index(points, 1.0);
+  EXPECT_EQ(index.NumPoints(), 2u);
+}
+
+}  // namespace
+}  // namespace fadesched::geom

@@ -1,0 +1,78 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fadesched::geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2Test, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+}
+
+TEST(Vec2Test, DistanceIsSymmetric) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{6.0, 8.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 10.0);
+  EXPECT_DOUBLE_EQ(Distance(b, a), 10.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 100.0);
+}
+
+TEST(Vec2Test, DistanceToSelfIsZero) {
+  const Vec2 a{1.5, -2.5};
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(Vec2Test, TriangleInequalityHolds) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 7.0};
+  const Vec2 c{-4.0, 2.0};
+  EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-12);
+}
+
+TEST(AabbTest, ContainsInteriorAndBoundary) {
+  const Aabb box{{0.0, 0.0}, {2.0, 3.0}};
+  EXPECT_TRUE(box.Contains({1.0, 1.0}));
+  EXPECT_TRUE(box.Contains({0.0, 0.0}));
+  EXPECT_TRUE(box.Contains({2.0, 3.0}));
+  EXPECT_FALSE(box.Contains({2.1, 1.0}));
+  EXPECT_FALSE(box.Contains({1.0, -0.1}));
+}
+
+TEST(AabbTest, WidthHeight) {
+  const Aabb box{{-1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(box.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 2.0);
+}
+
+TEST(AabbTest, ExtendGrowsToCoverPoint) {
+  Aabb box{{0.0, 0.0}, {1.0, 1.0}};
+  box.Extend({-2.0, 5.0});
+  EXPECT_TRUE(box.Contains({-2.0, 5.0}));
+  EXPECT_TRUE(box.Contains({0.5, 0.5}));
+  EXPECT_DOUBLE_EQ(box.lo.x, -2.0);
+  EXPECT_DOUBLE_EQ(box.hi.y, 5.0);
+}
+
+TEST(AabbTest, ExtendWithInteriorPointIsNoOp) {
+  Aabb box{{0.0, 0.0}, {2.0, 2.0}};
+  box.Extend({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 2.0);
+}
+
+}  // namespace
+}  // namespace fadesched::geom

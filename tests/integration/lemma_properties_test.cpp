@@ -1,0 +1,155 @@
+// Empirical checks of the paper's supporting lemmas on real scheduler
+// output — the analysis layer between the algorithms and the main
+// theorems.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "channel/feasibility.hpp"
+#include "geom/grid.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "net/topology_stats.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/constants.hpp"
+#include "sched/rle.hpp"
+#include "sched/ldp.hpp"
+
+namespace fadesched {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(Lemma41Test, RlePickedSendersArePairwiseSeparated) {
+  // Lemma 4.1: senders picked after link i are pairwise at least
+  // (c1−1)·d_ii apart. Equivalent pairwise form: any two picked links a, b
+  // satisfy d(s_a, s_b) ≥ (c1−1)·min(len_a, len_b).
+  const auto params = PaperParams();
+  const double c1 = sched::RleC1(params, sched::RleOptions{}.c2);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+    const auto schedule =
+        sched::RleScheduler().Schedule(links, params).schedule;
+    for (std::size_t x = 0; x < schedule.size(); ++x) {
+      for (std::size_t y = x + 1; y < schedule.size(); ++y) {
+        const net::LinkId a = schedule[x];
+        const net::LinkId b = schedule[y];
+        const double min_len = std::min(links.Length(a), links.Length(b));
+        EXPECT_GE(geom::Distance(links.Sender(a), links.Sender(b)),
+                  (c1 - 1.0) * min_len - 1e-9)
+            << "seed=" << seed << " links " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(Lemma42Test, FeasibleScheduleSenderDensityBounded) {
+  // Lemma 4.2: in a feasible schedule, the number of other senders within
+  // distance k·d_ii of s_i is at most ((e^{γε}−1)/γ_th)·(1+k)^α.
+  const auto params = PaperParams();
+  const double budget_count =
+      (std::exp(params.GammaEpsilon()) - 1.0) / params.gamma_th;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+    const auto schedule =
+        sched::RleScheduler().Schedule(links, params).schedule;
+    const channel::InterferenceCalculator calc(links, params);
+    ASSERT_TRUE(channel::ScheduleIsFeasible(calc, schedule));
+    for (net::LinkId i : schedule) {
+      for (double k : {1.0, 2.0, 4.0, 8.0}) {
+        std::size_t within = 0;
+        for (net::LinkId j : schedule) {
+          if (j == i) continue;
+          if (geom::Distance(links.Sender(i), links.Sender(j)) <=
+              k * links.Length(i)) {
+            ++within;
+          }
+        }
+        const double bound =
+            budget_count * std::pow(1.0 + k, params.alpha);
+        EXPECT_LE(static_cast<double>(within), bound + 1e-9)
+            << "seed=" << seed << " link " << i << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Theorem42CountingTest, FeasibleSchedulePerSquareBound) {
+  // The counting step of Theorem 4.2: a feasible schedule places at most
+  // u = ⌈γ_ε / ln(1 + 1/(2^α β^α γ_th))⌉ receivers of length class k in
+  // any β_k-square.
+  const auto params = PaperParams();
+  const double u = sched::LdpPerSquareBound(params);
+  const double beta = sched::LdpBeta(params);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+    const auto params_copy = params;
+    const auto schedule =
+        sched::RleScheduler().Schedule(links, params_copy).schedule;
+    const double delta = links.MinLength();
+    for (int magnitude : net::LengthDiversitySet(links)) {
+      const double cell = std::ldexp(delta, magnitude + 1) * beta;
+      const geom::SquareGrid grid(links.BoundingBox().lo, cell);
+      std::unordered_map<geom::CellIndex, std::size_t, geom::CellIndexHash>
+          counts;
+      for (net::LinkId id : schedule) {
+        if (net::LengthMagnitude(links.Length(id), delta) != magnitude) {
+          continue;
+        }
+        ++counts[grid.CellOf(links.Receiver(id))];
+      }
+      for (const auto& [cell_index, count] : counts) {
+        EXPECT_LE(static_cast<double>(count), u)
+            << "seed=" << seed << " magnitude=" << magnitude;
+      }
+    }
+  }
+}
+
+TEST(LdpStructureTest, AtMostOneLinkPerSameColorSquare) {
+  // Algorithm 1's defining structural invariant, on real output: the
+  // selected links' receivers occupy pairwise distinct squares of one
+  // colour in the winning class's grid. We verify the weaker
+  // colour-agnostic form that is independent of which (k, j) won: all
+  // receivers in distinct cells at *some* class's grid granularity.
+  const auto params = PaperParams();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+    const auto schedule =
+        sched::LdpScheduler().Schedule(links, params).schedule;
+    const double delta = links.MinLength();
+    const double beta = sched::LdpBeta(params);
+    bool some_grid_separates = false;
+    for (int magnitude : net::LengthDiversitySet(links)) {
+      const double cell = std::ldexp(delta, magnitude + 1) * beta;
+      const geom::SquareGrid grid(links.BoundingBox().lo, cell);
+      std::set<std::pair<std::int64_t, std::int64_t>> cells;
+      int color = -1;
+      bool ok = true;
+      for (net::LinkId id : schedule) {
+        const auto c = grid.CellOf(links.Receiver(id));
+        if (!cells.insert({c.a, c.b}).second) ok = false;
+        const int this_color = geom::SquareGrid::ColorOf(c);
+        if (color == -1) color = this_color;
+        ok &= (color == this_color);
+      }
+      some_grid_separates |= ok;
+    }
+    EXPECT_TRUE(some_grid_separates) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fadesched

@@ -1,0 +1,137 @@
+// Cross-cutting tests of the paper's §V evaluation claims, at reduced
+// scale so the suite stays fast. The full-scale versions are the bench
+// binaries (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/registry.hpp"
+#include "sim/exact_metrics.hpp"
+#include "sim/experiment.hpp"
+
+namespace fadesched {
+namespace {
+
+sim::ExperimentConfig QuickConfig(std::vector<std::string> algorithms) {
+  sim::ExperimentConfig config;
+  config.algorithms = std::move(algorithms);
+  config.num_seeds = 4;
+  config.trials = 400;
+  return config;
+}
+
+TEST(PaperPropertiesTest, Fig5FadingResistantVsSusceptible) {
+  // Fig. 5's headline: LDP/RLE have (almost) no failed transmissions,
+  // the deterministic baselines have many.
+  util::ThreadPool pool(2);
+  sim::ExperimentPoint point;
+  point.num_links = 300;
+  const auto summaries = RunExperimentPoint(
+      point,
+      QuickConfig({"ldp", "rle", "approx_logn", "approx_diversity"}), pool);
+  const double ldp_failed = summaries[0].measured_failed.Mean();
+  const double rle_failed = summaries[1].measured_failed.Mean();
+  const double logn_failed = summaries[2].measured_failed.Mean();
+  const double diversity_failed = summaries[3].measured_failed.Mean();
+  EXPECT_LT(ldp_failed, 0.2);
+  EXPECT_LT(rle_failed, 0.2);
+  EXPECT_GT(logn_failed, 5.0 * std::max(ldp_failed, 1e-3));
+  EXPECT_GT(diversity_failed, 5.0 * std::max(rle_failed, 1e-3));
+}
+
+TEST(PaperPropertiesTest, Fig5aFailuresGrowWithLinkCount) {
+  // For the fading-susceptible baselines, more links ⇒ more failures.
+  util::ThreadPool pool(2);
+  sim::ExperimentPoint small;
+  small.num_links = 100;
+  sim::ExperimentPoint large;
+  large.num_links = 500;
+  const auto cfg = QuickConfig({"approx_diversity"});
+  const double failed_small =
+      RunExperimentPoint(small, cfg, pool)[0].measured_failed.Mean();
+  const double failed_large =
+      RunExperimentPoint(large, cfg, pool)[0].measured_failed.Mean();
+  EXPECT_GT(failed_large, failed_small);
+}
+
+TEST(PaperPropertiesTest, Fig5bFailuresShrinkWithAlpha) {
+  // Higher α attenuates remote interferers faster ⇒ fewer failures for
+  // the baselines (paper's observation on Fig. 5(b)).
+  util::ThreadPool pool(2);
+  sim::ExperimentPoint lo;
+  lo.num_links = 300;
+  lo.channel.alpha = 2.5;
+  sim::ExperimentPoint hi;
+  hi.num_links = 300;
+  hi.channel.alpha = 4.5;
+  const auto cfg = QuickConfig({"approx_logn"});
+  const double failed_lo =
+      RunExperimentPoint(lo, cfg, pool)[0].measured_failed.Mean();
+  const double failed_hi =
+      RunExperimentPoint(hi, cfg, pool)[0].measured_failed.Mean();
+  EXPECT_GT(failed_lo, failed_hi);
+}
+
+TEST(PaperPropertiesTest, Fig6RleOutperformsLdpOnThroughput) {
+  util::ThreadPool pool(2);
+  sim::ExperimentPoint point;
+  point.num_links = 300;
+  const auto summaries =
+      RunExperimentPoint(point, QuickConfig({"ldp", "rle"}), pool);
+  EXPECT_GT(summaries[1].measured_throughput.Mean(),
+            summaries[0].measured_throughput.Mean());
+}
+
+TEST(PaperPropertiesTest, Fig6aThroughputGrowsWithLinkCount) {
+  util::ThreadPool pool(2);
+  sim::ExperimentPoint small;
+  small.num_links = 50;
+  sim::ExperimentPoint large;
+  large.num_links = 400;
+  const auto cfg = QuickConfig({"rle"});
+  const double tput_small =
+      RunExperimentPoint(small, cfg, pool)[0].measured_throughput.Mean();
+  const double tput_large =
+      RunExperimentPoint(large, cfg, pool)[0].measured_throughput.Mean();
+  EXPECT_GT(tput_large, tput_small);
+}
+
+TEST(PaperPropertiesTest, Fig6bThroughputGrowsWithAlpha) {
+  util::ThreadPool pool(2);
+  sim::ExperimentPoint lo;
+  lo.num_links = 300;
+  lo.channel.alpha = 2.5;
+  sim::ExperimentPoint hi;
+  hi.num_links = 300;
+  hi.channel.alpha = 4.5;
+  const auto cfg = QuickConfig({"ldp", "rle"});
+  const auto at_lo = RunExperimentPoint(lo, cfg, pool);
+  const auto at_hi = RunExperimentPoint(hi, cfg, pool);
+  EXPECT_GT(at_hi[0].measured_throughput.Mean(),
+            at_lo[0].measured_throughput.Mean());  // LDP
+  EXPECT_GT(at_hi[1].measured_throughput.Mean(),
+            at_lo[1].measured_throughput.Mean());  // RLE
+}
+
+TEST(PaperPropertiesTest, BaselinesClaimMoreButDeliverProportionallyLess) {
+  // The deterministic baselines *schedule* more rate than LDP/RLE but
+  // deliver a smaller fraction of it under fading.
+  util::ThreadPool pool(2);
+  sim::ExperimentPoint point;
+  point.num_links = 400;
+  const auto summaries = RunExperimentPoint(
+      point, QuickConfig({"rle", "approx_diversity"}), pool);
+  const auto& rle = summaries[0];
+  const auto& diversity = summaries[1];
+  EXPECT_GT(diversity.claimed_rate.Mean(), rle.claimed_rate.Mean());
+  const double rle_delivery_ratio =
+      rle.measured_throughput.Mean() / rle.claimed_rate.Mean();
+  const double diversity_delivery_ratio =
+      diversity.measured_throughput.Mean() / diversity.claimed_rate.Mean();
+  EXPECT_GT(rle_delivery_ratio, 0.985);  // 1−ε with slack
+  EXPECT_LT(diversity_delivery_ratio, rle_delivery_ratio);
+}
+
+}  // namespace
+}  // namespace fadesched

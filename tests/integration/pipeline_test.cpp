@@ -1,0 +1,123 @@
+// End-to-end tests of the public facade: generate → persist → load →
+// solve → evaluate → simulate, the path a downstream user follows.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/fadesched.hpp"
+#include "sched/rle.hpp"
+#include "util/check.hpp"
+
+namespace fadesched {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.gamma_th = 1.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(PipelineTest, VersionIsConsistent) {
+  const auto v = core::LibraryVersion();
+  const std::string expected = std::to_string(v.major) + "." +
+                               std::to_string(v.minor) + "." +
+                               std::to_string(v.patch);
+  EXPECT_EQ(core::VersionString(), expected);
+}
+
+TEST(PipelineTest, SolveEvaluatesScheduleConsistently) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const core::Problem problem(links, PaperParams());
+  const core::Solution solution = problem.Solve("rle");
+  EXPECT_EQ(solution.algorithm, "rle");
+  EXPECT_TRUE(solution.fading_feasible);
+  EXPECT_GT(solution.schedule.size(), 0u);
+  EXPECT_NEAR(solution.claimed_rate,
+              links.TotalRate(solution.schedule), 1e-12);
+  // Feasible ⇒ every link's success probability ≥ 1−ε.
+  EXPECT_GE(solution.min_success_probability, 0.99 - 1e-9);
+  // Expected throughput within [claimed·(1−ε), claimed].
+  EXPECT_LE(solution.expected_throughput, solution.claimed_rate + 1e-9);
+  EXPECT_GE(solution.expected_throughput,
+            solution.claimed_rate * (1.0 - 0.011));
+}
+
+TEST(PipelineTest, SaveLoadSolveIsIdentical) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(120, {}, gen);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fadesched_pipeline.csv")
+          .string();
+  net::SaveLinkSet(links, path);
+  const net::LinkSet loaded = net::LoadLinkSet(path);
+  std::remove(path.c_str());
+
+  const core::Problem original(links, PaperParams());
+  const core::Problem reloaded(loaded, PaperParams());
+  EXPECT_EQ(original.Solve("ldp").schedule, reloaded.Solve("ldp").schedule);
+  EXPECT_EQ(original.Solve("rle").schedule, reloaded.Solve("rle").schedule);
+}
+
+TEST(PipelineTest, EvaluateAcceptsHandCraftedSchedule) {
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(50, {}, gen);
+  const core::Problem problem(links, PaperParams());
+  const core::Solution lone = problem.Evaluate({7}, "manual");
+  EXPECT_EQ(lone.algorithm, "manual");
+  EXPECT_TRUE(lone.fading_feasible);
+  EXPECT_DOUBLE_EQ(lone.min_success_probability, 1.0);
+  EXPECT_DOUBLE_EQ(lone.expected_failed, 0.0);
+}
+
+TEST(PipelineTest, SolutionAgreesWithSimulator) {
+  rng::Xoshiro256 gen(4);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  const auto params = PaperParams();
+  const core::Problem problem(links, params);
+  const core::Solution solution = problem.Solve("ldp");
+  sim::SimOptions options;
+  options.trials = 20000;
+  const sim::SimResult sim_result =
+      sim::SimulateSchedule(links, params, solution.schedule, options);
+  EXPECT_NEAR(sim_result.failed_per_trial.Mean(), solution.expected_failed,
+              5.0 * sim_result.failed_per_trial.StdError() + 1e-6);
+  EXPECT_NEAR(sim_result.throughput_per_trial.Mean(),
+              solution.expected_throughput,
+              5.0 * sim_result.throughput_per_trial.StdError() + 1e-6);
+}
+
+TEST(PipelineTest, SolveByExternallyConstructedScheduler) {
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(80, {}, gen);
+  const core::Problem problem(links, PaperParams());
+  sched::RleOptions options;
+  options.c2 = 0.3;
+  const sched::RleScheduler rle(options);
+  const core::Solution solution = problem.Solve(rle);
+  EXPECT_TRUE(solution.fading_feasible);
+}
+
+TEST(PipelineTest, InvalidChannelRejectedAtConstruction) {
+  rng::Xoshiro256 gen(6);
+  const net::LinkSet links = net::MakeUniformScenario(10, {}, gen);
+  channel::ChannelParams bad;
+  bad.alpha = 1.5;
+  EXPECT_THROW(core::Problem(links, bad), util::CheckFailure);
+}
+
+TEST(PipelineTest, BaselineSolutionReportsInfeasibility) {
+  rng::Xoshiro256 gen(7);
+  const net::LinkSet links = net::MakeUniformScenario(400, {}, gen);
+  const core::Problem problem(links, PaperParams());
+  const core::Solution solution = problem.Solve("approx_diversity");
+  EXPECT_FALSE(solution.fading_feasible);
+  EXPECT_LT(solution.min_success_probability, 0.99);
+  EXPECT_GT(solution.expected_failed, 0.0);
+}
+
+}  // namespace
+}  // namespace fadesched

@@ -1,0 +1,122 @@
+#include "mathx/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mathx/special.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::mathx {
+namespace {
+
+constexpr std::size_t kSample = 20000;
+
+std::vector<double> Draw(std::function<double(rng::Xoshiro256&)> sampler,
+                         std::uint64_t seed, std::size_t n = kSample) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = sampler(gen);
+  return out;
+}
+
+TEST(KsStatisticTest, PerfectFitIsSmall) {
+  // Deterministic quantile sample {(i+0.5)/n} against U(0,1).
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back((i + 0.5) / 1000.0);
+  const double d = KsStatistic(sample, [](double x) { return x; });
+  EXPECT_LT(d, 0.001);
+}
+
+TEST(KsStatisticTest, GrossMismatchIsLarge) {
+  std::vector<double> sample(500, 0.9);  // point mass vs U(0,1)
+  const double d = KsStatistic(sample, [](double x) { return x; });
+  EXPECT_GT(d, 0.85);
+}
+
+TEST(KsPValueTest, LimitsBehave) {
+  EXPECT_NEAR(KsPValue(0.0, 100), 1.0, 1e-9);
+  EXPECT_LT(KsPValue(0.5, 1000), 1e-6);
+  EXPECT_GT(KsPValue(0.01, 100), 0.9);
+}
+
+TEST(KsGoodnessTest, UniformDrawsPass) {
+  const auto sample =
+      Draw([](rng::Xoshiro256& g) { return rng::UniformUnit(g); }, 11);
+  EXPECT_TRUE(KsTestPasses(sample, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  }));
+}
+
+TEST(KsGoodnessTest, ExponentialDrawsPass) {
+  const double mean = 2.5;
+  const auto sample = Draw(
+      [mean](rng::Xoshiro256& g) { return rng::Exponential(g, mean); }, 12);
+  EXPECT_TRUE(KsTestPasses(sample, [mean](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / mean);
+  }));
+}
+
+TEST(KsGoodnessTest, GammaDrawsPassForSeveralShapes) {
+  for (double shape : {0.5, 1.0, 3.0, 8.0}) {
+    const double scale = 1.7;
+    const auto sample = Draw(
+        [shape, scale](rng::Xoshiro256& g) {
+          return rng::GammaSample(g, shape, scale);
+        },
+        static_cast<std::uint64_t>(shape * 100) + 13);
+    EXPECT_TRUE(KsTestPasses(sample, [shape, scale](double x) {
+      return GammaCdf(x, shape, scale);
+    })) << "shape=" << shape;
+  }
+}
+
+TEST(KsGoodnessTest, NormalDrawsPass) {
+  const auto sample =
+      Draw([](rng::Xoshiro256& g) { return rng::StandardNormal(g); }, 14);
+  EXPECT_TRUE(KsTestPasses(sample, [](double x) { return NormalCdf(x); }));
+}
+
+TEST(KsGoodnessTest, RayleighAmplitudePasses) {
+  const double sigma = 0.8;
+  const auto sample = Draw(
+      [sigma](rng::Xoshiro256& g) { return rng::RayleighAmplitude(g, sigma); },
+      15);
+  EXPECT_TRUE(KsTestPasses(sample, [sigma](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x * x / (2.0 * sigma * sigma));
+  }));
+}
+
+TEST(KsGoodnessTest, WrongDistributionIsRejected) {
+  // Exponential draws tested against a uniform CDF must fail decisively.
+  const auto sample = Draw(
+      [](rng::Xoshiro256& g) { return rng::Exponential(g, 1.0); }, 16);
+  EXPECT_FALSE(KsTestPasses(sample, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  }));
+}
+
+TEST(KsGoodnessTest, SubtlyWrongMeanIsRejected) {
+  // 10% mean error is invisible to eyeball checks; KS at n=20k sees it.
+  const auto sample = Draw(
+      [](rng::Xoshiro256& g) { return rng::Exponential(g, 1.1); }, 17);
+  EXPECT_FALSE(KsTestPasses(sample, [](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x);
+  }));
+}
+
+TEST(KsTest, InvalidInputsRejected) {
+  std::vector<double> empty;
+  EXPECT_THROW(KsStatistic(empty, [](double) { return 0.5; }),
+               util::CheckFailure);
+  EXPECT_THROW(KsPValue(0.1, 0), util::CheckFailure);
+  std::vector<double> sample{0.5};
+  EXPECT_THROW(KsTestPasses(sample, [](double x) { return x; }, 0.0),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::mathx

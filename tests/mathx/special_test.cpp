@@ -1,0 +1,73 @@
+#include "mathx/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::mathx {
+namespace {
+
+TEST(RegularizedGammaPTest, ShapeOneIsExponentialCdf) {
+  // P(1, x) = 1 − e^{−x}.
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaPTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.5, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(2.5, 1000.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaPTest, ShapeTwoClosedForm) {
+  // P(2, x) = 1 − (1 + x) e^{−x}.
+  for (double x : {0.5, 2.0, 6.0}) {
+    EXPECT_NEAR(RegularizedGammaP(2.0, x), 1.0 - (1.0 + x) * std::exp(-x),
+                1e-12);
+  }
+}
+
+TEST(RegularizedGammaPTest, HalfShapeIsErf) {
+  // P(1/2, x) = erf(√x).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaPTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.3) {
+    const double p = RegularizedGammaP(3.7, x);
+    EXPECT_GE(p, prev - 1e-15);
+    prev = p;
+  }
+}
+
+TEST(RegularizedGammaPTest, InvalidInputsRejected) {
+  EXPECT_THROW(RegularizedGammaP(0.0, 1.0), util::CheckFailure);
+  EXPECT_THROW(RegularizedGammaP(1.0, -1.0), util::CheckFailure);
+}
+
+TEST(GammaCdfTest, ScaleHandling) {
+  // Gamma(shape 2, scale 3) at x equals P(2, x/3).
+  EXPECT_NEAR(GammaCdf(6.0, 2.0, 3.0), RegularizedGammaP(2.0, 2.0), 1e-14);
+  EXPECT_DOUBLE_EQ(GammaCdf(-1.0, 2.0, 3.0), 0.0);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(5.0), 1.0, 1e-6);
+}
+
+TEST(NormalCdfTest, Symmetry) {
+  for (double x : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(NormalCdf(x) + NormalCdf(-x), 1.0, 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::mathx

@@ -1,0 +1,156 @@
+#include "mathx/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::mathx {
+namespace {
+
+TEST(RunningStatsTest, EmptyAccumulator) {
+  RunningStats stats;
+  EXPECT_EQ(stats.Count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.StdError(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_EQ(stats.Count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 3.0);
+}
+
+TEST(RunningStatsTest, MatchesClosedFormOnSmallSample) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  // Sample variance with n-1: Σ(x-5)² = 32, 32/7.
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  std::vector<double> values;
+  rng::Xoshiro256 gen(77);
+  for (int i = 0; i < 1000; ++i) values.push_back(rng::UniformUnit(gen));
+
+  RunningStats whole;
+  for (double v : values) whole.Add(v);
+
+  RunningStats left;
+  RunningStats right;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 400 ? left : right).Add(values[i]);
+  }
+  left.Merge(right);
+
+  EXPECT_EQ(left.Count(), whole.Count());
+  EXPECT_NEAR(left.Mean(), whole.Mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.Min(), whole.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), whole.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySidesIsIdentity) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats empty;
+  RunningStats copy = a;
+  copy.Merge(empty);
+  EXPECT_DOUBLE_EQ(copy.Mean(), a.Mean());
+  RunningStats other;
+  other.Merge(a);
+  EXPECT_DOUBLE_EQ(other.Mean(), a.Mean());
+  EXPECT_EQ(other.Count(), a.Count());
+}
+
+TEST(RunningStatsTest, ConfidenceShrinksWithSamples) {
+  rng::Xoshiro256 gen(5);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.Add(rng::UniformUnit(gen));
+  for (int i = 0; i < 10000; ++i) large.Add(rng::UniformUnit(gen));
+  EXPECT_LT(large.ConfidenceHalfWidth95(), small.ConfidenceHalfWidth95());
+}
+
+TEST(RunningStatsTest, NumericallyStableAroundLargeOffset) {
+  // Classic Welford stress: values 1e9 + {1,2,3}; naive two-pass with
+  // float accumulation of squares fails, Welford must not.
+  RunningStats stats;
+  stats.Add(1e9 + 1.0);
+  stats.Add(1e9 + 2.0);
+  stats.Add(1e9 + 3.0);
+  EXPECT_NEAR(stats.Variance(), 1.0, 1e-6);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenPoints) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v{3.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  std::vector<double> v{4.2};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.7), 4.2);
+}
+
+TEST(PercentileTest, EmptySampleThrows) {
+  std::vector<double> v;
+  EXPECT_THROW(Percentile(v, 0.5), util::CheckFailure);
+}
+
+TEST(BootstrapTest, CiContainsTrueMeanOfTightSample) {
+  std::vector<double> values(200, 5.0);
+  rng::Xoshiro256 gen(3);
+  const BootstrapCi ci = BootstrapMeanCi(values, 0.95, 200, gen);
+  EXPECT_DOUBLE_EQ(ci.lower, 5.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 5.0);
+}
+
+TEST(BootstrapTest, CiBracketsSampleMean) {
+  rng::Xoshiro256 gen(4);
+  std::vector<double> values;
+  double sum = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng::UniformUnit(gen));
+    sum += values.back();
+  }
+  const double mean = sum / 500.0;
+  const BootstrapCi ci = BootstrapMeanCi(values, 0.95, 500, gen);
+  EXPECT_LE(ci.lower, mean);
+  EXPECT_GE(ci.upper, mean);
+  EXPECT_LT(ci.upper - ci.lower, 0.2);
+}
+
+TEST(BootstrapTest, InvalidArgumentsRejected) {
+  std::vector<double> values{1.0};
+  rng::Xoshiro256 gen(6);
+  std::vector<double> empty;
+  EXPECT_THROW(BootstrapMeanCi(empty, 0.95, 10, gen), util::CheckFailure);
+  EXPECT_THROW(BootstrapMeanCi(values, 1.5, 10, gen), util::CheckFailure);
+  EXPECT_THROW(BootstrapMeanCi(values, 0.95, 1, gen), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::mathx

@@ -1,0 +1,59 @@
+#include "mathx/summation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fadesched::mathx {
+namespace {
+
+TEST(NeumaierSumTest, EmptySumIsZero) {
+  NeumaierSum sum;
+  EXPECT_DOUBLE_EQ(sum.Total(), 0.0);
+}
+
+TEST(NeumaierSumTest, SimpleAddition) {
+  NeumaierSum sum;
+  sum.Add(1.5);
+  sum.Add(2.5);
+  EXPECT_DOUBLE_EQ(sum.Total(), 4.0);
+}
+
+TEST(NeumaierSumTest, RecoversCancellationNaiveSumLoses) {
+  // 1.0 + 1e100 + 1.0 - 1e100 = 2 exactly; naive summation returns 0.
+  NeumaierSum sum;
+  sum.Add(1.0);
+  sum.Add(1e100);
+  sum.Add(1.0);
+  sum.Add(-1e100);
+  EXPECT_DOUBLE_EQ(sum.Total(), 2.0);
+}
+
+TEST(NeumaierSumTest, ManySmallOntoLarge) {
+  // Adding 1e8 copies of 1e-8 onto 1.0 should give ~2.0 with compensation;
+  // scaled down for test speed: 1e6 copies of 1e-6.
+  NeumaierSum sum;
+  sum.Add(1.0);
+  for (int i = 0; i < 1000000; ++i) sum.Add(1e-6);
+  EXPECT_NEAR(sum.Total(), 2.0, 1e-9);
+}
+
+TEST(NeumaierSumTest, ResetClearsState) {
+  NeumaierSum sum;
+  sum.Add(5.0);
+  sum.Reset();
+  EXPECT_DOUBLE_EQ(sum.Total(), 0.0);
+}
+
+TEST(CompensatedSumTest, MatchesManualSum) {
+  std::vector<double> values{0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(CompensatedSum(values.begin(), values.end()), 1.0, 1e-15);
+}
+
+TEST(CompensatedSumTest, EmptyRange) {
+  std::vector<double> values;
+  EXPECT_DOUBLE_EQ(CompensatedSum(values.begin(), values.end()), 0.0);
+}
+
+}  // namespace
+}  // namespace fadesched::mathx

@@ -1,0 +1,65 @@
+#include "mathx/zeta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::mathx {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(RiemannZetaTest, ZetaTwoIsPiSquaredOverSix) {
+  EXPECT_NEAR(RiemannZeta(2.0), kPi * kPi / 6.0, 1e-10);
+}
+
+TEST(RiemannZetaTest, ZetaFourIsPiFourthOverNinety) {
+  EXPECT_NEAR(RiemannZeta(4.0), std::pow(kPi, 4) / 90.0, 1e-10);
+}
+
+TEST(RiemannZetaTest, ZetaSixIsPiSixthOver945) {
+  EXPECT_NEAR(RiemannZeta(6.0), std::pow(kPi, 6) / 945.0, 1e-10);
+}
+
+TEST(RiemannZetaTest, AperyConstant) {
+  EXPECT_NEAR(RiemannZeta(3.0), 1.2020569031595942854, 1e-10);
+}
+
+TEST(RiemannZetaTest, ZetaOnePointFive) {
+  EXPECT_NEAR(RiemannZeta(1.5), 2.6123753486854883, 1e-9);
+}
+
+TEST(RiemannZetaTest, NonIntegerArgument) {
+  EXPECT_NEAR(RiemannZeta(2.5), 1.3414872572509171, 1e-10);
+}
+
+TEST(RiemannZetaTest, LargeArgumentApproachesOne) {
+  EXPECT_NEAR(RiemannZeta(30.0), 1.0 + std::pow(2.0, -30.0), 1e-12);
+}
+
+TEST(RiemannZetaTest, StrictlyDecreasingOnDomain) {
+  double prev = RiemannZeta(1.1);
+  for (double s = 1.3; s < 10.0; s += 0.2) {
+    const double value = RiemannZeta(s);
+    EXPECT_LT(value, prev) << "at s=" << s;
+    prev = value;
+  }
+}
+
+TEST(RiemannZetaTest, DivergentArgumentRejected) {
+  EXPECT_THROW(RiemannZeta(1.0), util::CheckFailure);
+  EXPECT_THROW(RiemannZeta(0.5), util::CheckFailure);
+  EXPECT_THROW(RiemannZeta(-2.0), util::CheckFailure);
+}
+
+TEST(RiemannZetaTest, NearPoleStillFinite) {
+  // ζ(1+δ) ≈ 1/δ + γ; check against that expansion loosely.
+  const double s = 1.001;
+  const double euler_gamma = 0.5772156649015329;
+  EXPECT_NEAR(RiemannZeta(s), 1.0 / (s - 1.0) + euler_gamma, 1e-3);
+}
+
+}  // namespace
+}  // namespace fadesched::mathx

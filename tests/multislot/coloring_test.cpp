@@ -1,0 +1,106 @@
+#include "multislot/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::multislot {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  return params;
+}
+
+TEST(ColoringTest, EmptyLinkSet) {
+  const Frame frame = ColorConflictGraph(net::LinkSet{}, PaperParams());
+  EXPECT_EQ(frame.NumSlots(), 0u);
+  EXPECT_EQ(frame.algorithm, "graph_coloring");
+}
+
+TEST(ColoringTest, IsolatedLinksShareOneSlot) {
+  net::LinkSet links;
+  for (int i = 0; i < 8; ++i) {
+    const double x = 5000.0 * i;
+    links.Add(net::Link{{x, 0}, {x + 1, 0}, 1.0});
+  }
+  const Frame frame = ColorConflictGraph(links, PaperParams());
+  ASSERT_EQ(frame.NumSlots(), 1u);
+  EXPECT_EQ(frame.slots[0].size(), 8u);
+}
+
+TEST(ColoringTest, CliqueNeedsOneSlotEach) {
+  // Stacked links all conflict pairwise: slots == links.
+  net::LinkSet links;
+  for (int i = 0; i < 5; ++i) {
+    links.Add(net::Link{{0, 0.1 * i}, {5, 0.1 * i}, 1.0});
+  }
+  const Frame frame = ColorConflictGraph(links, PaperParams());
+  EXPECT_EQ(frame.NumSlots(), 5u);
+}
+
+TEST(ColoringTest, EveryLinkExactlyOnce) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(250, {}, gen);
+  const Frame frame = ColorConflictGraph(links, PaperParams());
+  std::set<net::LinkId> seen;
+  for (const auto& slot : frame.slots) {
+    for (net::LinkId id : slot) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(seen.size(), links.Size());
+}
+
+TEST(ColoringTest, SlotsAreIndependentSets) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const channel::GraphModelParams graph_params;
+  const Frame frame =
+      ColorConflictGraph(links, PaperParams(), graph_params);
+  const channel::GraphInterference graph(links, graph_params);
+  for (const auto& slot : frame.slots) {
+    EXPECT_TRUE(graph.ScheduleIsIndependent(slot));
+  }
+}
+
+TEST(ColoringTest, ColorCountBoundedByMaxDegreePlusOne) {
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  const channel::GraphModelParams graph_params;
+  const channel::GraphInterference graph(links, graph_params);
+  std::size_t max_degree = 0;
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    max_degree = std::max(max_degree, graph.Degree(i));
+  }
+  const Frame frame =
+      ColorConflictGraph(links, PaperParams(), graph_params);
+  EXPECT_LE(frame.NumSlots(), max_degree + 1);
+}
+
+TEST(ColoringTest, ShorterFrameThanFadingResistantButNotFeasible) {
+  // The whole point of the comparison: graph colouring drains in far
+  // fewer slots, but its slots violate the fading criterion.
+  rng::Xoshiro256 gen(4);
+  const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+  const auto params = PaperParams();
+  const Frame colored = ColorConflictGraph(links, params);
+  const Frame rle = ScheduleAllLinks(links, params, "rle");
+  EXPECT_LT(colored.NumSlots(), rle.NumSlots());
+  EXPECT_FALSE(FrameIsValid(links, params, colored));
+  EXPECT_TRUE(FrameIsValid(links, params, rle));
+}
+
+TEST(ColoringTest, SlotsSortedBySizeDescending) {
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(120, {}, gen);
+  const Frame frame = ColorConflictGraph(links, PaperParams());
+  for (std::size_t s = 1; s < frame.NumSlots(); ++s) {
+    EXPECT_GE(frame.slots[s - 1].size(), frame.slots[s].size());
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::multislot

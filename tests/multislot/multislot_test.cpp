@@ -1,0 +1,147 @@
+#include "multislot/multislot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/rle.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::multislot {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(MultiSlotTest, EmptyLinkSetYieldsEmptyFrame) {
+  const Frame frame =
+      ScheduleAllLinks(net::LinkSet{}, PaperParams(), "rle");
+  EXPECT_EQ(frame.NumSlots(), 0u);
+  EXPECT_EQ(frame.algorithm, "rle");
+}
+
+TEST(MultiSlotTest, SingleLinkOneSlot) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  const Frame frame = ScheduleAllLinks(links, PaperParams(), "rle");
+  ASSERT_EQ(frame.NumSlots(), 1u);
+  EXPECT_EQ(frame.slots[0], net::Schedule{0});
+}
+
+TEST(MultiSlotTest, EveryLinkScheduledExactlyOnce) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const Frame frame = ScheduleAllLinks(links, PaperParams(), "rle");
+  std::set<net::LinkId> seen;
+  for (const auto& slot : frame.slots) {
+    for (net::LinkId id : slot) {
+      EXPECT_TRUE(seen.insert(id).second) << "link scheduled twice: " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), links.Size());
+}
+
+class MultiSlotFeasibilityTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MultiSlotFeasibilityTest, AllSlotsFeasibleAndFrameValid) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  const auto params = PaperParams();
+  const Frame frame = ScheduleAllLinks(links, params, GetParam());
+  EXPECT_TRUE(FrameIsValid(links, params, frame)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(FadingResistantSchedulers, MultiSlotFeasibilityTest,
+                         ::testing::Values("ldp", "rle", "fading_greedy",
+                                           "dls"));
+
+TEST(MultiSlotTest, BaselineFrameFlaggedInvalidUnderFading) {
+  // Deterministic-SINR slots violate Corollary 3.1 on dense instances, and
+  // FrameIsValid must say so.
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(400, {}, gen);
+  const auto params = PaperParams();
+  const Frame frame = ScheduleAllLinks(links, params, "approx_diversity");
+  EXPECT_FALSE(FrameIsValid(links, params, frame));
+}
+
+TEST(MultiSlotTest, FewerSlotsThanLinks) {
+  // Any scheduler that packs more than one link per slot on average beats
+  // the trivial one-link-per-slot frame.
+  rng::Xoshiro256 gen(4);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  const Frame frame = ScheduleAllLinks(links, PaperParams(), "rle");
+  EXPECT_LT(frame.NumSlots(), links.Size());
+  EXPECT_GT(frame.NumSlots(), 1u);
+}
+
+TEST(MultiSlotTest, GreedyNeedsFewerSlotsThanLdp) {
+  // Empirical anchor mirroring the one-shot throughput ordering.
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const auto params = PaperParams();
+  const Frame greedy = ScheduleAllLinks(links, params, "fading_greedy");
+  const Frame ldp = ScheduleAllLinks(links, params, "ldp");
+  EXPECT_LT(greedy.NumSlots(), ldp.NumSlots());
+}
+
+TEST(MultiSlotTest, RateWeightedCompletionBasics) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{100, 0}, {101, 0}, 3.0});
+  Frame frame;
+  frame.slots = {{0}, {1}};
+  // Completion: link 0 at slot 1 (rate 1), link 1 at slot 2 (rate 3):
+  // (1·1 + 3·2)/4 = 1.75.
+  EXPECT_DOUBLE_EQ(frame.RateWeightedCompletion(links), 1.75);
+}
+
+TEST(MultiSlotTest, CompletionOfEmptyFrameIsZero) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  const Frame frame;
+  EXPECT_DOUBLE_EQ(frame.RateWeightedCompletion(links), 0.0);
+}
+
+TEST(MultiSlotTest, MaxSlotsGuardThrows) {
+  rng::Xoshiro256 gen(6);
+  const net::LinkSet links = net::MakeUniformScenario(50, {}, gen);
+  MultiSlotOptions options;
+  options.max_slots = 2;  // cannot possibly drain 50 links in 2 slots here
+  EXPECT_THROW(ScheduleAllLinks(links, PaperParams(), "ldp", options),
+               util::CheckFailure);
+}
+
+TEST(MultiSlotTest, DeterministicPerSchedulerAndInstance) {
+  rng::Xoshiro256 gen(7);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  const auto params = PaperParams();
+  const Frame a = ScheduleAllLinks(links, params, "rle");
+  const Frame b = ScheduleAllLinks(links, params, "rle");
+  ASSERT_EQ(a.NumSlots(), b.NumSlots());
+  for (std::size_t s = 0; s < a.NumSlots(); ++s) {
+    EXPECT_EQ(a.slots[s], b.slots[s]);
+  }
+}
+
+TEST(MultiSlotTest, ExternallyConstructedSchedulerOverload) {
+  rng::Xoshiro256 gen(8);
+  const net::LinkSet links = net::MakeUniformScenario(60, {}, gen);
+  sched::RleOptions options;
+  options.c2 = 0.2;
+  const sched::RleScheduler rle(options);
+  const Frame frame = ScheduleAllLinks(links, PaperParams(), rle);
+  EXPECT_TRUE(FrameIsValid(links, PaperParams(), frame));
+}
+
+}  // namespace
+}  // namespace fadesched::multislot

@@ -1,0 +1,116 @@
+#include "net/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/scenario.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::net {
+namespace {
+
+LinkSet SmallTopology(std::uint64_t seed, std::size_t n = 30) {
+  rng::Xoshiro256 gen(seed);
+  return MakeUniformScenario(n, {}, gen);
+}
+
+TEST(MobilityTest, LinkLengthsInvariantUnderMotion) {
+  // Sender and receiver move rigidly, so every length — and with it the
+  // length diversity driving LDP — must stay exactly fixed.
+  const LinkSet initial = SmallTopology(1);
+  RandomWaypointMobility mob(initial, {}, rng::Xoshiro256(7));
+  mob.Advance(200);
+  const LinkSet& moved = mob.Current();
+  ASSERT_EQ(moved.Size(), initial.Size());
+  for (LinkId i = 0; i < initial.Size(); ++i) {
+    EXPECT_NEAR(moved.Length(i), initial.Length(i), 1e-9);
+  }
+}
+
+TEST(MobilityTest, NodesActuallyMove) {
+  const LinkSet initial = SmallTopology(2);
+  RandomWaypointMobility mob(initial, {}, rng::Xoshiro256(8));
+  mob.Advance(50);
+  double total_displacement = 0.0;
+  for (LinkId i = 0; i < initial.Size(); ++i) {
+    total_displacement +=
+        geom::Distance(mob.Current().Sender(i), initial.Sender(i));
+  }
+  EXPECT_GT(total_displacement / static_cast<double>(initial.Size()), 10.0);
+}
+
+TEST(MobilityTest, StepDisplacementBoundedBySpeed) {
+  const LinkSet initial = SmallTopology(3);
+  MobilityParams params;
+  params.min_speed = 0.5;
+  params.max_speed = 2.0;
+  RandomWaypointMobility mob(initial, params, rng::Xoshiro256(9));
+  LinkSet before = mob.Current();
+  mob.Step();
+  for (LinkId i = 0; i < before.Size(); ++i) {
+    EXPECT_LE(geom::Distance(mob.Current().Sender(i), before.Sender(i)),
+              params.max_speed + 1e-9);
+  }
+}
+
+TEST(MobilityTest, SendersStayNearRegion) {
+  // Waypoints live inside the region; after a long walk every sender must
+  // be inside it (receivers can lag by one link length).
+  const LinkSet initial = SmallTopology(4);
+  MobilityParams params;
+  RandomWaypointMobility mob(initial, params, rng::Xoshiro256(10));
+  mob.Advance(2000);
+  for (LinkId i = 0; i < mob.Current().Size(); ++i) {
+    const geom::Vec2 s = mob.Current().Sender(i);
+    EXPECT_GE(s.x, -50.0);
+    EXPECT_LE(s.x, params.region_size + 50.0);
+    EXPECT_GE(s.y, -50.0);
+    EXPECT_LE(s.y, params.region_size + 50.0);
+  }
+}
+
+TEST(MobilityTest, DeterministicForSeed) {
+  const LinkSet initial = SmallTopology(5);
+  RandomWaypointMobility a(initial, {}, rng::Xoshiro256(11));
+  RandomWaypointMobility b(initial, {}, rng::Xoshiro256(11));
+  a.Advance(100);
+  b.Advance(100);
+  for (LinkId i = 0; i < initial.Size(); ++i) {
+    EXPECT_EQ(a.Current().Sender(i), b.Current().Sender(i));
+  }
+}
+
+TEST(MobilityTest, StepsTakenCounts) {
+  RandomWaypointMobility mob(SmallTopology(6), {}, rng::Xoshiro256(12));
+  EXPECT_EQ(mob.StepsTaken(), 0u);
+  mob.Advance(17);
+  EXPECT_EQ(mob.StepsTaken(), 17u);
+}
+
+TEST(MobilityTest, InvalidParamsRejected) {
+  MobilityParams bad;
+  bad.min_speed = 0.0;
+  EXPECT_THROW(
+      RandomWaypointMobility(SmallTopology(7), bad, rng::Xoshiro256(1)),
+      util::CheckFailure);
+  bad = MobilityParams{};
+  bad.max_speed = 0.1;  // < min
+  EXPECT_THROW(
+      RandomWaypointMobility(SmallTopology(7), bad, rng::Xoshiro256(1)),
+      util::CheckFailure);
+}
+
+TEST(MobilityTest, RatesAndPowersPreserved) {
+  rng::Xoshiro256 gen(8);
+  LinkSet initial = MakeWeightedScenario(20, {}, gen);
+  RandomWaypointMobility mob(initial, {}, rng::Xoshiro256(13));
+  mob.Advance(30);
+  for (LinkId i = 0; i < initial.Size(); ++i) {
+    EXPECT_DOUBLE_EQ(mob.Current().Rate(i), initial.Rate(i));
+    EXPECT_DOUBLE_EQ(mob.Current().TxPower(i), initial.TxPower(i));
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::net

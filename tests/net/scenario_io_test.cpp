@@ -1,0 +1,86 @@
+#include "net/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::net {
+namespace {
+
+TEST(ScenarioIoTest, CsvHasExpectedColumns) {
+  LinkSet links;
+  links.Add(Link{{1, 2}, {3, 4}, 5.0});
+  const util::CsvTable table = ToCsv(links);
+  EXPECT_EQ(table.Header(),
+            (std::vector<std::string>{"sx", "sy", "rx", "ry", "rate"}));
+  EXPECT_EQ(table.NumRows(), 1u);
+}
+
+TEST(ScenarioIoTest, TableRoundTripPreservesValues) {
+  rng::Xoshiro256 gen(1);
+  const LinkSet links = MakeUniformScenario(50, {}, gen);
+  const LinkSet parsed = FromCsv(ToCsv(links));
+  ASSERT_EQ(parsed.Size(), links.Size());
+  for (LinkId i = 0; i < links.Size(); ++i) {
+    EXPECT_NEAR(parsed.Sender(i).x, links.Sender(i).x, 1e-9);
+    EXPECT_NEAR(parsed.Sender(i).y, links.Sender(i).y, 1e-9);
+    EXPECT_NEAR(parsed.Receiver(i).x, links.Receiver(i).x, 1e-9);
+    EXPECT_NEAR(parsed.Receiver(i).y, links.Receiver(i).y, 1e-9);
+    EXPECT_NEAR(parsed.Rate(i), links.Rate(i), 1e-9);
+  }
+}
+
+TEST(ScenarioIoTest, FileRoundTrip) {
+  rng::Xoshiro256 gen(2);
+  const LinkSet links = MakeUniformScenario(20, {}, gen);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fadesched_io_test.csv")
+          .string();
+  SaveLinkSet(links, path);
+  const LinkSet loaded = LoadLinkSet(path);
+  EXPECT_EQ(loaded.Size(), links.Size());
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadLinkSet("/nonexistent/dir/links.csv"), util::CheckFailure);
+}
+
+TEST(ScenarioIoTest, UnwritablePathThrows) {
+  rng::Xoshiro256 gen(3);
+  const LinkSet links = MakeUniformScenario(2, {}, gen);
+  EXPECT_THROW(SaveLinkSet(links, "/nonexistent/dir/links.csv"),
+               util::CheckFailure);
+}
+
+TEST(ScenarioIoTest, MalformedCsvRejected) {
+  const util::CsvTable bad =
+      util::CsvTable::ParseString("sx,sy,rx,ry,rate\n1,2,3,four,5\n");
+  EXPECT_THROW(FromCsv(bad), util::CheckFailure);
+}
+
+TEST(ScenarioIoTest, MissingColumnRejected) {
+  const util::CsvTable bad = util::CsvTable::ParseString("sx,sy\n1,2\n");
+  EXPECT_THROW(FromCsv(bad), util::CheckFailure);
+}
+
+TEST(ScenarioIoTest, InvalidLinkDataRejectedOnLoad) {
+  // Zero-length link (sender == receiver) must fail LinkSet validation.
+  const util::CsvTable bad =
+      util::CsvTable::ParseString("sx,sy,rx,ry,rate\n1,1,1,1,1\n");
+  EXPECT_THROW(FromCsv(bad), util::CheckFailure);
+}
+
+TEST(ScenarioIoTest, EmptyLinkSetRoundTrips) {
+  const LinkSet empty;
+  const LinkSet parsed = FromCsv(ToCsv(empty));
+  EXPECT_TRUE(parsed.Empty());
+}
+
+}  // namespace
+}  // namespace fadesched::net

@@ -1,0 +1,162 @@
+#include "net/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::net {
+namespace {
+
+TEST(UniformScenarioTest, ProducesRequestedCount) {
+  rng::Xoshiro256 gen(1);
+  const LinkSet links = MakeUniformScenario(250, {}, gen);
+  EXPECT_EQ(links.Size(), 250u);
+}
+
+TEST(UniformScenarioTest, SendersInsideRegion) {
+  rng::Xoshiro256 gen(2);
+  UniformScenarioParams params;
+  params.region_size = 100.0;
+  const LinkSet links = MakeUniformScenario(500, params, gen);
+  for (const auto& s : links.Senders()) {
+    EXPECT_GE(s.x, 0.0);
+    EXPECT_LT(s.x, 100.0);
+    EXPECT_GE(s.y, 0.0);
+    EXPECT_LT(s.y, 100.0);
+  }
+}
+
+TEST(UniformScenarioTest, LinkLengthsWithinPaperBounds) {
+  // Paper §V: lengths uniform in [5, 20].
+  rng::Xoshiro256 gen(3);
+  const LinkSet links = MakeUniformScenario(500, {}, gen);
+  for (double len : links.Lengths()) {
+    EXPECT_GE(len, 5.0 - 1e-9);
+    EXPECT_LT(len, 20.0 + 1e-9);
+  }
+}
+
+TEST(UniformScenarioTest, RatesAreUniformlyOne) {
+  rng::Xoshiro256 gen(4);
+  const LinkSet links = MakeUniformScenario(100, {}, gen);
+  EXPECT_TRUE(links.HasUniformRates());
+  EXPECT_DOUBLE_EQ(links.Rate(0), 1.0);
+}
+
+TEST(UniformScenarioTest, DeterministicPerSeed) {
+  rng::Xoshiro256 gen_a(5);
+  rng::Xoshiro256 gen_b(5);
+  const LinkSet a = MakeUniformScenario(50, {}, gen_a);
+  const LinkSet b = MakeUniformScenario(50, {}, gen_b);
+  for (LinkId i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(a.Sender(i), b.Sender(i));
+    EXPECT_EQ(a.Receiver(i), b.Receiver(i));
+  }
+}
+
+TEST(UniformScenarioTest, DifferentSeedsDiffer) {
+  rng::Xoshiro256 gen_a(6);
+  rng::Xoshiro256 gen_b(7);
+  const LinkSet a = MakeUniformScenario(10, {}, gen_a);
+  const LinkSet b = MakeUniformScenario(10, {}, gen_b);
+  EXPECT_NE(a.Sender(0), b.Sender(0));
+}
+
+TEST(UniformScenarioTest, ZeroLinksIsEmpty) {
+  rng::Xoshiro256 gen(8);
+  EXPECT_TRUE(MakeUniformScenario(0, {}, gen).Empty());
+}
+
+TEST(UniformScenarioTest, InvalidParamsRejected) {
+  rng::Xoshiro256 gen(9);
+  UniformScenarioParams params;
+  params.min_link_length = 20.0;
+  params.max_link_length = 5.0;
+  EXPECT_THROW(MakeUniformScenario(10, params, gen), util::CheckFailure);
+}
+
+TEST(WeightedScenarioTest, RatesSpanRequestedRange) {
+  rng::Xoshiro256 gen(10);
+  WeightedScenarioParams params;
+  params.min_rate = 2.0;
+  params.max_rate = 8.0;
+  const LinkSet links = MakeWeightedScenario(300, params, gen);
+  EXPECT_FALSE(links.HasUniformRates());
+  for (double r : links.Rates()) {
+    EXPECT_GE(r, 2.0);
+    EXPECT_LT(r, 8.0);
+  }
+}
+
+TEST(WeightedScenarioTest, GeometryStillPaperShaped) {
+  rng::Xoshiro256 gen(11);
+  const LinkSet links = MakeWeightedScenario(100, {}, gen);
+  for (double len : links.Lengths()) {
+    EXPECT_GE(len, 5.0 - 1e-9);
+    EXPECT_LT(len, 20.0 + 1e-9);
+  }
+}
+
+TEST(ClusteredScenarioTest, ProducesRequestedCount) {
+  rng::Xoshiro256 gen(12);
+  const LinkSet links = MakeClusteredScenario(123, {}, gen);
+  EXPECT_EQ(links.Size(), 123u);
+}
+
+TEST(ClusteredScenarioTest, IsDenserThanUniform) {
+  // Mean nearest-neighbour distance between senders should be clearly
+  // smaller in the clustered layout than in the uniform one.
+  auto mean_nn = [](const LinkSet& links) {
+    double total = 0.0;
+    for (LinkId i = 0; i < links.Size(); ++i) {
+      double best = 1e30;
+      for (LinkId j = 0; j < links.Size(); ++j) {
+        if (i == j) continue;
+        best = std::min(best,
+                        geom::Distance(links.Sender(i), links.Sender(j)));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(links.Size());
+  };
+  rng::Xoshiro256 gen(13);
+  const LinkSet uniform = MakeUniformScenario(200, {}, gen);
+  ClusteredScenarioParams cp;
+  cp.cluster_stddev = 10.0;
+  const LinkSet clustered = MakeClusteredScenario(200, cp, gen);
+  EXPECT_LT(mean_nn(clustered), mean_nn(uniform));
+}
+
+TEST(ClusteredScenarioTest, InvalidClusterCountRejected) {
+  rng::Xoshiro256 gen(14);
+  ClusteredScenarioParams params;
+  params.num_clusters = 0;
+  EXPECT_THROW(MakeClusteredScenario(10, params, gen), util::CheckFailure);
+}
+
+TEST(DiverseLengthScenarioTest, CoversManyOctaves) {
+  rng::Xoshiro256 gen(15);
+  DiverseLengthScenarioParams params;
+  params.length_octaves = 6;
+  const LinkSet links = MakeDiverseLengthScenario(600, params, gen);
+  // With 100 links per octave on average, min and max length must span
+  // at least a factor 2^4.
+  EXPECT_GT(links.MaxLength() / links.MinLength(), 16.0);
+}
+
+TEST(DiverseLengthScenarioTest, LengthsRespectOctaveBounds) {
+  rng::Xoshiro256 gen(16);
+  DiverseLengthScenarioParams params;
+  params.min_link_length = 2.0;
+  params.length_octaves = 3;
+  const LinkSet links = MakeDiverseLengthScenario(200, params, gen);
+  for (double len : links.Lengths()) {
+    EXPECT_GE(len, 2.0 - 1e-9);
+    EXPECT_LT(len, 2.0 * std::pow(2.0, 3.0) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::net

@@ -1,0 +1,126 @@
+#include "net/topology_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::net {
+namespace {
+
+LinkSet LinksWithLengths(std::initializer_list<double> lengths) {
+  LinkSet links;
+  double y = 0.0;
+  for (double len : lengths) {
+    links.Add(Link{{0.0, y}, {len, y}, 1.0});
+    y += 1000.0;  // spread rows out; only lengths matter here
+  }
+  return links;
+}
+
+TEST(LengthMagnitudeTest, ShortestLinkIsMagnitudeZero) {
+  EXPECT_EQ(LengthMagnitude(5.0, 5.0), 0);
+}
+
+TEST(LengthMagnitudeTest, PowersOfTwo) {
+  EXPECT_EQ(LengthMagnitude(10.0, 5.0), 1);
+  EXPECT_EQ(LengthMagnitude(20.0, 5.0), 2);
+  EXPECT_EQ(LengthMagnitude(19.99, 5.0), 1);
+}
+
+TEST(LengthMagnitudeTest, InvalidInputsRejected) {
+  EXPECT_THROW(LengthMagnitude(0.0, 5.0), util::CheckFailure);
+  EXPECT_THROW(LengthMagnitude(5.0, 0.0), util::CheckFailure);
+}
+
+TEST(LengthDiversityTest, SingleLengthHasDiversityOne) {
+  const LinkSet links = LinksWithLengths({7.0, 7.0, 7.0});
+  EXPECT_EQ(LengthDiversity(links), 1u);
+  EXPECT_EQ(LengthDiversitySet(links), (std::vector<int>{0}));
+}
+
+TEST(LengthDiversityTest, PaperRangeHasSmallDiversity) {
+  // Lengths in [5, 20] span two binary octaves, so g(L) <= 2.
+  rng::Xoshiro256 gen(1);
+  const LinkSet links = MakeUniformScenario(400, {}, gen);
+  EXPECT_LE(LengthDiversity(links), 2u);
+  EXPECT_GE(LengthDiversity(links), 1u);
+}
+
+TEST(LengthDiversityTest, SparseMagnitudesListedExactly) {
+  const LinkSet links = LinksWithLengths({1.0, 2.5, 40.0});
+  // magnitudes: 0 (1.0), 1 (2.5), 5 (40 -> floor(log2 40) = 5).
+  EXPECT_EQ(LengthDiversitySet(links), (std::vector<int>{0, 1, 5}));
+  EXPECT_EQ(LengthDiversity(links), 3u);
+}
+
+TEST(LengthDiversityTest, EmptySetThrows) {
+  const LinkSet empty;
+  EXPECT_THROW(LengthDiversity(empty), util::CheckFailure);
+}
+
+TEST(OneSidedLengthClassTest, ContainsAllShorterLinks) {
+  const LinkSet links = LinksWithLengths({1.0, 1.5, 3.0, 9.0});
+  // δ = 1. Class h=0: length < 2 -> {0, 1}. Class h=1: < 4 -> {0, 1, 2}.
+  // Class h=3: < 16 -> all.
+  EXPECT_EQ(OneSidedLengthClass(links, 0), (std::vector<LinkId>{0, 1}));
+  EXPECT_EQ(OneSidedLengthClass(links, 1), (std::vector<LinkId>{0, 1, 2}));
+  EXPECT_EQ(OneSidedLengthClass(links, 3), (std::vector<LinkId>{0, 1, 2, 3}));
+}
+
+TEST(TwoSidedLengthClassTest, DisjointPartition) {
+  const LinkSet links = LinksWithLengths({1.0, 1.5, 3.0, 9.0});
+  EXPECT_EQ(TwoSidedLengthClass(links, 0), (std::vector<LinkId>{0, 1}));
+  EXPECT_EQ(TwoSidedLengthClass(links, 1), (std::vector<LinkId>{2}));
+  EXPECT_EQ(TwoSidedLengthClass(links, 2), (std::vector<LinkId>{}));
+  EXPECT_EQ(TwoSidedLengthClass(links, 3), (std::vector<LinkId>{3}));
+}
+
+TEST(TwoSidedLengthClassTest, UnionOverMagnitudesCoversEverything) {
+  rng::Xoshiro256 gen(2);
+  DiverseLengthScenarioParams params;
+  const LinkSet links = MakeDiverseLengthScenario(200, params, gen);
+  std::size_t total = 0;
+  for (int h : LengthDiversitySet(links)) {
+    total += TwoSidedLengthClass(links, h).size();
+  }
+  EXPECT_EQ(total, links.Size());
+}
+
+TEST(OneSidedClassTest, SupersetOfTwoSided) {
+  rng::Xoshiro256 gen(3);
+  DiverseLengthScenarioParams params;
+  const LinkSet links = MakeDiverseLengthScenario(150, params, gen);
+  for (int h : LengthDiversitySet(links)) {
+    const auto one = OneSidedLengthClass(links, h);
+    const auto two = TwoSidedLengthClass(links, h);
+    for (LinkId id : two) {
+      EXPECT_NE(std::find(one.begin(), one.end(), id), one.end());
+    }
+  }
+}
+
+TEST(DistanceRatioTest, TwoLinksKnownRatio) {
+  LinkSet links;
+  links.Add(Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(Link{{10, 0}, {11, 0}, 1.0});
+  // Nodes at x = 0, 1, 10, 11: min pairwise distance 1, max 11.
+  EXPECT_DOUBLE_EQ(DistanceRatio(links), 11.0);
+}
+
+TEST(DistanceRatioTest, AtLeastOne) {
+  rng::Xoshiro256 gen(4);
+  const LinkSet links = MakeUniformScenario(30, {}, gen);
+  EXPECT_GE(DistanceRatio(links), 1.0);
+}
+
+TEST(DistanceRatioTest, IgnoresCoincidentNodes) {
+  LinkSet links;
+  links.Add(Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(Link{{0, 0}, {0, 2}, 1.0});  // shares a sender position
+  EXPECT_DOUBLE_EQ(DistanceRatio(links), std::sqrt(5.0));
+}
+
+}  // namespace
+}  // namespace fadesched::net

@@ -1,0 +1,151 @@
+#include "rng/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::rng {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(UniformUnitTest, InHalfOpenUnitInterval) {
+  Xoshiro256 gen(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = UniformUnit(gen);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformUnitTest, MeanAndVarianceMatchUniform) {
+  Xoshiro256 gen(2);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = UniformUnit(gen);
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(UniformRangeTest, StaysInRange) {
+  Xoshiro256 gen(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = UniformRange(gen, -2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(UniformRangeTest, DegenerateRangeReturnsLo) {
+  Xoshiro256 gen(4);
+  EXPECT_DOUBLE_EQ(UniformRange(gen, 3.0, 3.0), 3.0);
+}
+
+TEST(UniformIndexTest, CoversAllResidues) {
+  Xoshiro256 gen(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[UniformIndex(gen, 7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(UniformIndexTest, BoundOneAlwaysZero) {
+  Xoshiro256 gen(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(UniformIndex(gen, 1), 0u);
+}
+
+TEST(ExponentialTest, MeanMatches) {
+  Xoshiro256 gen(7);
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += Exponential(gen, 2.5);
+  EXPECT_NEAR(sum / kSamples, 2.5, 0.05);
+}
+
+TEST(ExponentialTest, VarianceIsMeanSquared) {
+  Xoshiro256 gen(8);
+  const double mean = 1.7;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = Exponential(gen, mean);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / kSamples;
+  const double var = sum_sq / kSamples - m * m;
+  EXPECT_NEAR(var, mean * mean, 0.1);
+}
+
+TEST(ExponentialTest, AlwaysNonNegativeAndFinite) {
+  Xoshiro256 gen(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = Exponential(gen, 0.001);
+    EXPECT_GE(x, 0.0);
+    EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(ExponentialTest, SurvivalFunctionMatchesCdf) {
+  // Pr(X > mean) should be e^{-1}.
+  Xoshiro256 gen(10);
+  int above = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (Exponential(gen, 3.0) > 3.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kSamples, std::exp(-1.0), 0.005);
+}
+
+TEST(RayleighAmplitudeTest, SquaredIsExponentialWithMeanTwoSigmaSq) {
+  // |h|² of a Rayleigh(σ) amplitude is Exp with mean 2σ² — the identity
+  // the fading channel model is built on.
+  Xoshiro256 gen(11);
+  const double sigma = 0.8;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double a = RayleighAmplitude(gen, sigma);
+    sum_sq += a * a;
+  }
+  EXPECT_NEAR(sum_sq / kSamples, 2.0 * sigma * sigma, 0.02);
+}
+
+TEST(RayleighAmplitudeTest, MeanMatchesSigmaSqrtPiOverTwo) {
+  Xoshiro256 gen(12);
+  const double sigma = 1.3;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += RayleighAmplitude(gen, sigma);
+  EXPECT_NEAR(sum / kSamples, sigma * std::sqrt(3.14159265358979 / 2.0), 0.01);
+}
+
+TEST(StandardNormalTest, FirstTwoMoments) {
+  Xoshiro256 gen(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = StandardNormal(gen);
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(StandardNormalTest, SymmetricTails) {
+  Xoshiro256 gen(14);
+  int pos = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (StandardNormal(gen) > 0.0) ++pos;
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / kSamples, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace fadesched::rng

@@ -1,0 +1,129 @@
+#include "sched/aloha.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/dls.hpp"
+#include "sim/exact_metrics.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(AlohaTest, EmptyInstance) {
+  EXPECT_TRUE(
+      AlohaScheduler().Schedule(net::LinkSet{}, PaperParams()).schedule.empty());
+}
+
+TEST(AlohaTest, FixedProbabilityOneTransmitsEverything) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(50, {}, gen);
+  AlohaOptions options;
+  options.transmit_probability = 1.0;
+  const auto result = AlohaScheduler(options).Schedule(links, PaperParams());
+  EXPECT_EQ(result.schedule.size(), links.Size());
+}
+
+TEST(AlohaTest, FixedProbabilityRoughlyProportional) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(1000, {}, gen);
+  AlohaOptions options;
+  options.transmit_probability = 0.3;
+  const auto result = AlohaScheduler(options).Schedule(links, PaperParams());
+  EXPECT_NEAR(static_cast<double>(result.schedule.size()), 300.0, 60.0);
+}
+
+TEST(AlohaTest, DeterministicForSeed) {
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  const AlohaScheduler aloha;
+  EXPECT_EQ(aloha.Schedule(links, PaperParams()).schedule,
+            aloha.Schedule(links, PaperParams()).schedule);
+}
+
+TEST(AlohaTest, AutoProbabilityShrinksWithDensity) {
+  // Denser networks → larger conflict degree → fewer links transmit
+  // (as a fraction of N).
+  AlohaOptions options;  // auto mode
+  rng::Xoshiro256 gen(4);
+  net::UniformScenarioParams sparse;
+  sparse.region_size = 2000.0;
+  net::UniformScenarioParams dense;
+  dense.region_size = 120.0;
+  const net::LinkSet sparse_links =
+      net::MakeUniformScenario(300, sparse, gen);
+  const net::LinkSet dense_links = net::MakeUniformScenario(300, dense, gen);
+  const AlohaScheduler aloha(options);
+  const double sparse_frac =
+      static_cast<double>(
+          aloha.Schedule(sparse_links, PaperParams()).schedule.size()) /
+      300.0;
+  const double dense_frac =
+      static_cast<double>(
+          aloha.Schedule(dense_links, PaperParams()).schedule.size()) /
+      300.0;
+  EXPECT_GT(sparse_frac, dense_frac);
+}
+
+TEST(AlohaTest, ReliabilityFloorBelowDls) {
+  // ALOHA is the uncoordinated floor: on the paper workload its expected
+  // failures exceed DLS's (which coordinates via sensing) by a wide
+  // margin.
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+  const auto params = PaperParams();
+  const auto aloha = AlohaScheduler().Schedule(links, params);
+  const auto dls = DlsScheduler().Schedule(links, params);
+  const double aloha_failed =
+      sim::ComputeExpectedMetrics(links, params, aloha.schedule)
+          .expected_failed;
+  const double dls_failed =
+      sim::ComputeExpectedMetrics(links, params, dls.schedule).expected_failed;
+  EXPECT_GT(aloha_failed, 3.0 * std::max(dls_failed, 1e-3));
+}
+
+TEST(AlohaTest, InvalidOptionsRejected) {
+  AlohaOptions bad;
+  bad.transmit_probability = 1.5;
+  EXPECT_THROW(AlohaScheduler{bad}, util::CheckFailure);
+  bad = AlohaOptions{};
+  bad.auto_scale = 0.0;
+  EXPECT_THROW(AlohaScheduler{bad}, util::CheckFailure);
+}
+
+TEST(DlsStatsTest, StatsPopulatedAndConsistent) {
+  rng::Xoshiro256 gen(6);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const DlsScheduler dls;
+  DlsStats stats;
+  const auto result = dls.ScheduleWithStats(links, PaperParams(), stats);
+  EXPECT_GE(stats.rounds_used, 1u);
+  EXPECT_LE(stats.rounds_used, DlsOptions{}.max_rounds);
+  EXPECT_GT(stats.estimates, 0u);
+  // Everyone not scheduled either backed off or was pruned or was never
+  // violating (withdrew links = backoffs + pruned ≤ N − scheduled).
+  EXPECT_LE(stats.backoffs + stats.pruned,
+            links.Size() - result.schedule.size());
+}
+
+TEST(DlsStatsTest, ScheduleMatchesScheduleWithStats) {
+  rng::Xoshiro256 gen(7);
+  const net::LinkSet links = net::MakeUniformScenario(120, {}, gen);
+  const DlsScheduler dls;
+  DlsStats stats;
+  EXPECT_EQ(dls.Schedule(links, PaperParams()).schedule,
+            dls.ScheduleWithStats(links, PaperParams(), stats).schedule);
+}
+
+}  // namespace
+}  // namespace fadesched::sched

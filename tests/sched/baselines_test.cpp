@@ -1,0 +1,127 @@
+// Tests for the deterministic-SINR baselines (ApproxLogN [14] and
+// ApproxDiversity [15]) — including the paper's central comparison claim:
+// their schedules decode under the mean-power model but violate the
+// fading-resistant criterion on dense instances.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "channel/deterministic.hpp"
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/approx_diversity.hpp"
+#include "sched/approx_logn.hpp"
+#include "sched/ldp.hpp"
+#include "sched/rle.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.gamma_th = 1.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(ApproxLogNTest, EmptyInstance) {
+  const auto result =
+      ApproxLogNScheduler().Schedule(net::LinkSet{}, PaperParams());
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(result.algorithm, "approx_logn");
+}
+
+TEST(ApproxLogNTest, SingleLinkScheduled) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  const auto result = ApproxLogNScheduler().Schedule(links, PaperParams());
+  EXPECT_EQ(result.schedule, net::Schedule{0});
+}
+
+TEST(ApproxLogNTest, SchedulesAreDeterministicallyFeasible) {
+  // Theorem-level property of [14]: the schedule decodes under the
+  // deterministic SINR model.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+    const auto params = PaperParams();
+    const auto result = ApproxLogNScheduler().Schedule(links, params);
+    const channel::DeterministicSinr sinr(links, params);
+    EXPECT_TRUE(sinr.ScheduleIsFeasible(result.schedule)) << "seed=" << seed;
+  }
+}
+
+TEST(ApproxDiversityTest, SchedulesAreDeterministicallyFeasible) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+    const auto params = PaperParams();
+    const auto result = ApproxDiversityScheduler().Schedule(links, params);
+    const channel::DeterministicSinr sinr(links, params);
+    EXPECT_TRUE(sinr.ScheduleIsFeasible(result.schedule)) << "seed=" << seed;
+  }
+}
+
+TEST(ApproxDiversityTest, EmptyAndSingle) {
+  const ApproxDiversityScheduler sched;
+  EXPECT_TRUE(sched.Schedule(net::LinkSet{}, PaperParams()).schedule.empty());
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  EXPECT_EQ(sched.Schedule(links, PaperParams()).schedule, net::Schedule{0});
+}
+
+TEST(ApproxDiversityTest, InvalidOptionsRejected) {
+  ApproxDiversityOptions bad;
+  bad.c2 = 1.5;
+  EXPECT_THROW(ApproxDiversityScheduler{bad}, util::CheckFailure);
+}
+
+TEST(BaselinesTest, ScheduleMoreLinksThanFadingResistantCounterparts) {
+  // The baselines ignore the outage budget, so they pack denser — that is
+  // exactly why they fail under fading (paper Fig. 5 vs Fig. 6).
+  rng::Xoshiro256 gen(42);
+  const net::LinkSet links = net::MakeUniformScenario(400, {}, gen);
+  const auto params = PaperParams();
+  const auto ldp = LdpScheduler().Schedule(links, params);
+  const auto rle = RleScheduler().Schedule(links, params);
+  const auto logn = ApproxLogNScheduler().Schedule(links, params);
+  const auto diversity = ApproxDiversityScheduler().Schedule(links, params);
+  EXPECT_GT(logn.schedule.size(), ldp.schedule.size());
+  EXPECT_GT(diversity.schedule.size(), rle.schedule.size());
+}
+
+TEST(BaselinesTest, FadingSusceptibleOnDenseInstances) {
+  // On a dense instance the baseline schedules violate Corollary 3.1 —
+  // the paper's core comparison claim.
+  rng::Xoshiro256 gen(43);
+  const net::LinkSet links = net::MakeUniformScenario(400, {}, gen);
+  const auto params = PaperParams();
+  const channel::InterferenceCalculator calc(links, params);
+  const auto logn = ApproxLogNScheduler().Schedule(links, params);
+  const auto diversity = ApproxDiversityScheduler().Schedule(links, params);
+  EXPECT_FALSE(channel::ScheduleIsFeasible(calc, logn.schedule));
+  EXPECT_FALSE(channel::ScheduleIsFeasible(calc, diversity.schedule));
+}
+
+TEST(BaselinesTest, UniqueValidIds) {
+  rng::Xoshiro256 gen(44);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const ApproxLogNScheduler logn;
+  const ApproxDiversityScheduler diversity;
+  for (const Scheduler* scheduler :
+       std::initializer_list<const Scheduler*>{&logn, &diversity}) {
+    const auto result = scheduler->Schedule(links, PaperParams());
+    std::set<net::LinkId> seen;
+    for (net::LinkId id : result.schedule) {
+      EXPECT_LT(id, links.Size());
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::sched

@@ -1,0 +1,100 @@
+#include "sched/constants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/zeta.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.gamma_th = 1.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(LdpBetaTest, MatchesFormula37) {
+  const auto params = PaperParams();
+  const double zeta = mathx::RiemannZeta(2.0);
+  const double expected =
+      std::pow(8.0 * zeta * 1.0 / params.GammaEpsilon(), 1.0 / 3.0);
+  EXPECT_NEAR(LdpBeta(params), expected, 1e-12);
+}
+
+TEST(LdpBetaTest, PaperParametersGiveBetaAroundEleven) {
+  // Sanity anchor: α=3, γ=1, ε=0.01 ⇒ β = (8·ζ(2)/γ_ε)^{1/3} ≈ 10.9.
+  EXPECT_NEAR(LdpBeta(PaperParams()), 10.93, 0.05);
+}
+
+TEST(LdpBetaTest, LooserEpsilonShrinksSquares) {
+  auto tight = PaperParams();
+  auto loose = PaperParams();
+  loose.epsilon = 0.2;
+  EXPECT_LT(LdpBeta(loose), LdpBeta(tight));
+}
+
+TEST(LdpBetaTest, HigherAlphaShrinksSquares) {
+  // Paper §V observation: larger α ⇒ smaller partitioned squares ⇒ more
+  // concurrent links.
+  auto a3 = PaperParams();
+  auto a5 = PaperParams();
+  a5.alpha = 5.0;
+  EXPECT_LT(LdpBeta(a5), LdpBeta(a3));
+}
+
+TEST(RleC1Test, MatchesFormula59) {
+  const auto params = PaperParams();
+  const double c2 = 0.5;
+  const double zeta = mathx::RiemannZeta(2.0);
+  const double expected =
+      std::sqrt(2.0) * std::pow(12.0 * zeta / (params.GammaEpsilon() * 0.5),
+                                1.0 / 3.0) +
+      1.0;
+  EXPECT_NEAR(RleC1(params, c2), expected, 1e-12);
+}
+
+TEST(RleC1Test, AlwaysGreaterThanOne) {
+  for (double c2 : {0.1, 0.5, 0.9}) {
+    EXPECT_GT(RleC1(PaperParams(), c2), 1.0);
+  }
+}
+
+TEST(RleC1Test, GrowsAsC2ApproachesOne) {
+  // Leaving less budget for future picks forces a larger clear-out radius.
+  const auto params = PaperParams();
+  EXPECT_LT(RleC1(params, 0.2), RleC1(params, 0.8));
+}
+
+TEST(RleC1Test, InvalidC2Rejected) {
+  EXPECT_THROW(RleC1(PaperParams(), 0.0), util::CheckFailure);
+  EXPECT_THROW(RleC1(PaperParams(), 1.0), util::CheckFailure);
+  EXPECT_THROW(RleC1(PaperParams(), -0.5), util::CheckFailure);
+}
+
+TEST(LdpPerSquareBoundTest, PositiveInteger) {
+  const double u = LdpPerSquareBound(PaperParams());
+  EXPECT_GE(u, 1.0);
+  EXPECT_DOUBLE_EQ(u, std::ceil(u));
+}
+
+TEST(ApproxLogNRhoTest, NoOutageBudgetMakesSquaresSmaller) {
+  // ρ = β·γ_ε^{1/α} < β since γ_ε < 1 — the baseline packs links denser.
+  const auto params = PaperParams();
+  EXPECT_LT(ApproxLogNRho(params), LdpBeta(params));
+  const double expected =
+      LdpBeta(params) * std::pow(params.GammaEpsilon(), 1.0 / params.alpha);
+  EXPECT_NEAR(ApproxLogNRho(params), expected, 1e-9);
+}
+
+TEST(ApproxDiversityC1Test, SmallerThanFadingAwareRadius) {
+  const auto params = PaperParams();
+  EXPECT_LT(ApproxDiversityC1(params, 0.5), RleC1(params, 0.5));
+}
+
+}  // namespace
+}  // namespace fadesched::sched

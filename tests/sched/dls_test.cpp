@@ -1,0 +1,123 @@
+#include "sched/dls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(DlsTest, EmptyInstance) {
+  EXPECT_TRUE(
+      DlsScheduler().Schedule(net::LinkSet{}, PaperParams()).schedule.empty());
+}
+
+TEST(DlsTest, SingleLinkScheduled) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  EXPECT_EQ(DlsScheduler().Schedule(links, PaperParams()).schedule,
+            net::Schedule{0});
+}
+
+TEST(DlsTest, UnlimitedSensingGuaranteesFeasibility) {
+  DlsOptions options;
+  options.sensing_radius_factor = 0.0;  // genie configuration
+  const DlsScheduler dls(options);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+    const auto params = PaperParams();
+    const auto result = dls.Schedule(links, params);
+    const channel::InterferenceCalculator calc(links, params);
+    EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule))
+        << "seed=" << seed;
+  }
+}
+
+TEST(DlsTest, WideSensingRadiusIsNearlyFeasible) {
+  // With a generous (finite) sensing radius, the unseen far-field tail is
+  // small; allow a tiny relative violation.
+  DlsOptions options;
+  options.sensing_radius_factor = 40.0;
+  const DlsScheduler dls(options);
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(250, {}, gen);
+  const auto params = PaperParams();
+  const auto result = dls.Schedule(links, params);
+  const channel::InterferenceCalculator calc(links, params);
+  for (net::LinkId j : result.schedule) {
+    EXPECT_LE(calc.SumFactor(result.schedule, j),
+              params.GammaEpsilon() * 1.25)
+        << "link " << j;
+  }
+}
+
+TEST(DlsTest, DeterministicForFixedSeed) {
+  rng::Xoshiro256 gen(4);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  const DlsScheduler dls;
+  EXPECT_EQ(dls.Schedule(links, PaperParams()).schedule,
+            dls.Schedule(links, PaperParams()).schedule);
+}
+
+TEST(DlsTest, DifferentProtocolSeedsMayDiffer) {
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  DlsOptions a;
+  a.seed = 1;
+  DlsOptions b;
+  b.seed = 2;
+  const auto sched_a = DlsScheduler(a).Schedule(links, PaperParams());
+  const auto sched_b = DlsScheduler(b).Schedule(links, PaperParams());
+  // Randomized backoff: schedules are valid either way; sizes should be in
+  // the same ballpark (within 3x).
+  EXPECT_GT(sched_a.schedule.size(), 0u);
+  EXPECT_GT(sched_b.schedule.size(), 0u);
+  EXPECT_LT(sched_a.schedule.size(), 3 * sched_b.schedule.size() + 3);
+}
+
+TEST(DlsTest, UniqueValidIds) {
+  rng::Xoshiro256 gen(6);
+  const net::LinkSet links = net::MakeUniformScenario(120, {}, gen);
+  const auto result = DlsScheduler().Schedule(links, PaperParams());
+  std::set<net::LinkId> seen;
+  for (net::LinkId id : result.schedule) {
+    EXPECT_LT(id, links.Size());
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(DlsTest, InvalidOptionsRejected) {
+  DlsOptions bad;
+  bad.backoff_probability = 0.0;
+  EXPECT_THROW(DlsScheduler{bad}, util::CheckFailure);
+  bad.backoff_probability = 0.5;
+  bad.max_rounds = 0;
+  EXPECT_THROW(DlsScheduler{bad}, util::CheckFailure);
+}
+
+TEST(DlsTest, IsolatedLinksAllSurvive) {
+  net::LinkSet links;
+  for (int i = 0; i < 12; ++i) {
+    const double x = 2000.0 * i;
+    links.Add(net::Link{{x, 0}, {x + 1, 0}, 1.0});
+  }
+  const auto result = DlsScheduler().Schedule(links, PaperParams());
+  EXPECT_EQ(result.schedule.size(), 12u);
+}
+
+}  // namespace
+}  // namespace fadesched::sched

@@ -1,0 +1,147 @@
+#include "sched/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ldp.hpp"
+#include "sched/rle.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+channel::ChannelParams PaperParams(double epsilon = 0.05) {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = epsilon;  // slightly loose so small optima are non-trivial
+  return params;
+}
+
+net::LinkSet SmallInstance(std::uint64_t seed, std::size_t n) {
+  rng::Xoshiro256 gen(seed);
+  net::UniformScenarioParams sp;
+  sp.region_size = 120.0;  // dense enough that conflicts actually occur
+  return net::MakeUniformScenario(n, sp, gen);
+}
+
+TEST(BruteForceTest, EmptyInstance) {
+  const auto result =
+      BruteForceScheduler().Schedule(net::LinkSet{}, PaperParams());
+  EXPECT_TRUE(result.schedule.empty());
+}
+
+TEST(BruteForceTest, SingleLink) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  const auto result = BruteForceScheduler().Schedule(links, PaperParams());
+  EXPECT_EQ(result.schedule, net::Schedule{0});
+}
+
+TEST(BruteForceTest, TwoConflictingLinksPicksHeavier) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  links.Add(net::Link{{0, 2}, {5, 2}, 3.0});  // conflicts, heavier
+  const auto result = BruteForceScheduler().Schedule(links, PaperParams());
+  EXPECT_EQ(result.schedule, net::Schedule{1});
+  EXPECT_DOUBLE_EQ(result.claimed_rate, 3.0);
+}
+
+TEST(BruteForceTest, TwoIndependentLinksPicksBoth) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{500, 0}, {501, 0}, 1.0});
+  const auto result = BruteForceScheduler().Schedule(links, PaperParams());
+  EXPECT_EQ(result.schedule, (net::Schedule{0, 1}));
+}
+
+TEST(BruteForceTest, OversizedInstanceRejected) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(30, {}, gen);
+  ExactOptions options;
+  options.max_links = 20;
+  EXPECT_THROW(BruteForceScheduler(options).Schedule(links, PaperParams()),
+               util::CheckFailure);
+}
+
+TEST(BruteForceTest, ResultIsFeasible) {
+  const net::LinkSet links = SmallInstance(2, 12);
+  const auto params = PaperParams();
+  const auto result = BruteForceScheduler().Schedule(links, params);
+  const channel::InterferenceCalculator calc(links, params);
+  EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule));
+}
+
+class ExactAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactAgreementTest, BranchAndBoundMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const net::LinkSet links = SmallInstance(seed, 13);
+  const auto params = PaperParams();
+  const auto bf = BruteForceScheduler().Schedule(links, params);
+  const auto bb = BranchAndBoundScheduler().Schedule(links, params);
+  EXPECT_NEAR(bf.claimed_rate, bb.claimed_rate, 1e-9) << "seed=" << seed;
+  const channel::InterferenceCalculator calc(links, params);
+  EXPECT_TRUE(channel::ScheduleIsFeasible(calc, bb.schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_P(ExactAgreementTest, BranchAndBoundMatchesOnWeightedInstances) {
+  const std::uint64_t seed = GetParam();
+  rng::Xoshiro256 gen(seed + 100);
+  net::WeightedScenarioParams wp;
+  wp.base.region_size = 120.0;
+  const net::LinkSet links = net::MakeWeightedScenario(12, wp, gen);
+  const auto params = PaperParams();
+  const auto bf = BruteForceScheduler().Schedule(links, params);
+  const auto bb = BranchAndBoundScheduler().Schedule(links, params);
+  EXPECT_NEAR(bf.claimed_rate, bb.claimed_rate, 1e-9);
+}
+
+TEST(ExactOptimalityTest, DominatesEveryHeuristic) {
+  // The optimum upper-bounds the claimed rate of every *feasible*
+  // heuristic schedule.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const net::LinkSet links = SmallInstance(seed, 14);
+    const auto params = PaperParams();
+    const auto optimal = BranchAndBoundScheduler().Schedule(links, params);
+    const auto ldp = LdpScheduler().Schedule(links, params);
+    const auto rle = RleScheduler().Schedule(links, params);
+    const auto greedy = FadingGreedyScheduler().Schedule(links, params);
+    EXPECT_GE(optimal.claimed_rate, ldp.claimed_rate - 1e-9);
+    EXPECT_GE(optimal.claimed_rate, rle.claimed_rate - 1e-9);
+    EXPECT_GE(optimal.claimed_rate, greedy.claimed_rate - 1e-9);
+  }
+}
+
+TEST(BranchAndBoundTest, HandlesAllLinksCompatible) {
+  // Widely separated links: the optimum is everything.
+  net::LinkSet links;
+  for (int i = 0; i < 10; ++i) {
+    const double x = 1000.0 * i;
+    links.Add(net::Link{{x, 0}, {x + 1, 0}, 1.0});
+  }
+  const auto result = BranchAndBoundScheduler().Schedule(links, PaperParams());
+  EXPECT_EQ(result.schedule.size(), 10u);
+}
+
+TEST(BranchAndBoundTest, HandlesAllLinksMutuallyExclusive) {
+  // Links stacked on top of each other: only one survives, the heaviest.
+  net::LinkSet links;
+  for (int i = 0; i < 8; ++i) {
+    links.Add(net::Link{{0, static_cast<double>(i)},
+                        {5, static_cast<double>(i)},
+                        1.0 + i});
+  }
+  const auto result = BranchAndBoundScheduler().Schedule(links, PaperParams());
+  ASSERT_EQ(result.schedule.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.claimed_rate, 8.0);
+}
+
+}  // namespace
+}  // namespace fadesched::sched

@@ -1,0 +1,97 @@
+#include "sched/grid_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+TEST(BestLinkPerColoredCellTest, EmptyClassYieldsEmptySchedules) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  const geom::SquareGrid grid({0, 0}, 10.0);
+  const auto by_color = BestLinkPerColoredCell(links, {}, grid);
+  for (const auto& schedule : by_color) EXPECT_TRUE(schedule.empty());
+}
+
+TEST(BestLinkPerColoredCellTest, OneLinkLandsInItsReceiverColor) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {15, 5}, 1.0});  // receiver in cell (1,0)
+  const geom::SquareGrid grid({0, 0}, 10.0);
+  const std::vector<net::LinkId> clazz{0};
+  const auto by_color = BestLinkPerColoredCell(links, clazz, grid);
+  const int color = geom::SquareGrid::ColorOf(grid.CellOf(links.Receiver(0)));
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(by_color[c].size(), c == color ? 1u : 0u);
+  }
+}
+
+TEST(BestLinkPerColoredCellTest, HighestRatePerCellWins) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {2, 2}, 1.0});
+  links.Add(net::Link{{1, 0}, {3, 3}, 5.0});  // same cell, higher rate
+  links.Add(net::Link{{2, 0}, {4, 4}, 2.0});  // same cell, middle rate
+  const geom::SquareGrid grid({0, 0}, 10.0);
+  const std::vector<net::LinkId> clazz{0, 1, 2};
+  const auto by_color = BestLinkPerColoredCell(links, clazz, grid);
+  ASSERT_EQ(by_color[0].size(), 1u);
+  EXPECT_EQ(by_color[0][0], 1u);
+}
+
+TEST(BestLinkPerColoredCellTest, AtMostOneLinkPerCell) {
+  rng::Xoshiro256 gen(4);
+  const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+  std::vector<net::LinkId> clazz(links.Size());
+  std::iota(clazz.begin(), clazz.end(), net::LinkId{0});
+  const geom::SquareGrid grid({0, 0}, 50.0);
+  const auto by_color = BestLinkPerColoredCell(links, clazz, grid);
+  for (const auto& schedule : by_color) {
+    std::set<std::pair<std::int64_t, std::int64_t>> cells;
+    for (net::LinkId id : schedule) {
+      const auto cell = grid.CellOf(links.Receiver(id));
+      EXPECT_TRUE(cells.insert({cell.a, cell.b}).second)
+          << "two links share a cell";
+    }
+  }
+}
+
+TEST(BestLinkPerColoredCellTest, ColorsPartitionTheSelection) {
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  std::vector<net::LinkId> clazz(links.Size());
+  std::iota(clazz.begin(), clazz.end(), net::LinkId{0});
+  const geom::SquareGrid grid({0, 0}, 80.0);
+  const auto by_color = BestLinkPerColoredCell(links, clazz, grid);
+  std::set<net::LinkId> all;
+  for (int c = 0; c < 4; ++c) {
+    for (net::LinkId id : by_color[c]) {
+      EXPECT_TRUE(all.insert(id).second) << "link in two colors";
+      EXPECT_EQ(geom::SquareGrid::ColorOf(grid.CellOf(links.Receiver(id))), c);
+    }
+  }
+}
+
+TEST(ArgMaxRateTest, PicksHighestTotal) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{5, 0}, {6, 0}, 2.0});
+  links.Add(net::Link{{9, 0}, {10, 0}, 4.0});
+  const std::vector<net::Schedule> candidates{{0, 1}, {2}, {0}};
+  EXPECT_EQ(ArgMaxRate(links, candidates), 1u);  // rate 4 beats 3 and 1
+}
+
+TEST(ArgMaxRateTest, TieGoesToFirst) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 2.0});
+  links.Add(net::Link{{5, 0}, {6, 0}, 2.0});
+  const std::vector<net::Schedule> candidates{{0}, {1}};
+  EXPECT_EQ(ArgMaxRate(links, candidates), 0u);
+}
+
+}  // namespace
+}  // namespace fadesched::sched

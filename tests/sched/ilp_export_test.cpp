@@ -1,0 +1,98 @@
+#include "sched/ilp_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+net::LinkSet ThreeLinks() {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.5});
+  links.Add(net::Link{{20, 0}, {21, 0}, 2.0});
+  links.Add(net::Link{{0, 20}, {0, 21}, 3.0});
+  return links;
+}
+
+TEST(IlpExportTest, ContainsStructuralSections) {
+  const std::string lp = FormatIlp(ThreeLinks(), channel::ChannelParams{});
+  EXPECT_NE(lp.find("Maximize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+}
+
+TEST(IlpExportTest, ObjectiveListsEveryRate) {
+  const std::string lp = FormatIlp(ThreeLinks(), channel::ChannelParams{});
+  EXPECT_NE(lp.find("1.5 x0"), std::string::npos);
+  EXPECT_NE(lp.find("2 x1"), std::string::npos);
+  EXPECT_NE(lp.find("3 x2"), std::string::npos);
+}
+
+TEST(IlpExportTest, OneConstraintAndOneBinaryPerLink) {
+  const std::string lp = FormatIlp(ThreeLinks(), channel::ChannelParams{});
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NE(lp.find(" inf" + std::to_string(j) + ":"), std::string::npos);
+    EXPECT_NE(lp.find(" x" + std::to_string(j) + "\n"), std::string::npos);
+  }
+}
+
+TEST(IlpExportTest, ConstraintCoefficientMatchesInterferenceFactor) {
+  const net::LinkSet links = ThreeLinks();
+  const channel::ChannelParams params;
+  const channel::InterferenceCalculator calc(links, params);
+  const std::string lp = FormatIlp(links, params);
+  // Constraint row for victim 0 must carry coefficient f_{1,0} on x1.
+  const std::string expected =
+      util::FormatDouble(calc.Factor(1, 0), 12) + " x1";
+  EXPECT_NE(lp.find(expected), std::string::npos) << lp;
+}
+
+TEST(IlpExportTest, RhsCarriesGammaEpsilonPlusBigM) {
+  const net::LinkSet links = ThreeLinks();
+  channel::ChannelParams params;
+  const std::string lp = FormatIlp(links, params);
+  EXPECT_NE(lp.find("<="), std::string::npos);
+  // With these well separated links the interference sums are far below
+  // γ_ε, so big-M degenerates to 0 and the RHS is exactly γ_ε.
+  const std::string rhs = util::FormatDouble(params.GammaEpsilon(), 12);
+  EXPECT_NE(lp.find("<= " + rhs), std::string::npos) << lp;
+}
+
+TEST(IlpExportTest, FileWriteRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fadesched_ilp_test.lp")
+          .string();
+  WriteIlpFile(ThreeLinks(), channel::ChannelParams{}, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("Maximize"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IlpExportTest, UnwritablePathThrows) {
+  EXPECT_THROW(WriteIlpFile(ThreeLinks(), channel::ChannelParams{},
+                            "/nonexistent/dir/out.lp"),
+               util::CheckFailure);
+}
+
+TEST(IlpExportTest, ScalesToRealisticInstances) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  const std::string lp = FormatIlp(links, channel::ChannelParams{});
+  EXPECT_NE(lp.find("x99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fadesched::sched

@@ -1,0 +1,117 @@
+#include "sched/ilp_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/exact.hpp"
+#include "sched/ilp_export.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+TEST(IlpParseTest, ParsesHandWrittenProgram) {
+  const std::string lp =
+      "\\ comment\n"
+      "Maximize\n"
+      " obj: 2 x0 + 3 x1 + x2\n"
+      "Subject To\n"
+      " c0: 1 x0 + 1 x1 <= 1\n"
+      " c1: 0.5 x2 <= 2\n"
+      "Binary\n"
+      " x0\n"
+      " x1\n"
+      " x2\n"
+      "End\n";
+  const ParsedIlp ilp = ParseIlpText(lp);
+  EXPECT_EQ(ilp.num_variables, 3u);
+  EXPECT_DOUBLE_EQ(ilp.objective[0], 2.0);
+  EXPECT_DOUBLE_EQ(ilp.objective[1], 3.0);
+  EXPECT_DOUBLE_EQ(ilp.objective[2], 1.0);
+  ASSERT_EQ(ilp.constraints.size(), 2u);
+  EXPECT_EQ(ilp.constraints[0].name, "c0");
+  EXPECT_DOUBLE_EQ(ilp.constraints[0].rhs, 1.0);
+  EXPECT_EQ(ilp.binaries.size(), 3u);
+}
+
+TEST(IlpParseTest, ExhaustiveSolverKnownOptimum) {
+  // x0 and x1 exclusive (<=1 knapsack), x2 free: best = 3 + 1 = 4.
+  const std::string lp =
+      "Maximize\n obj: 2 x0 + 3 x1 + x2\n"
+      "Subject To\n c0: 1 x0 + 1 x1 <= 1\n"
+      "Binary\n x0\n x1\n x2\nEnd\n";
+  EXPECT_DOUBLE_EQ(SolveParsedIlpExhaustive(ParseIlpText(lp)), 4.0);
+}
+
+TEST(IlpParseTest, NegativeCoefficientsSupported) {
+  const std::string lp =
+      "Maximize\n obj: 5 x0 + 4 x1\n"
+      "Subject To\n c0: 2 x0 - 1 x1 <= 1\n"
+      "Binary\n x0\n x1\nEnd\n";
+  // x0 alone violates (2 > 1); x0+x1 gives lhs 1 <= 1 -> 9.
+  EXPECT_DOUBLE_EQ(SolveParsedIlpExhaustive(ParseIlpText(lp)), 9.0);
+}
+
+TEST(IlpParseTest, ImplicitUnitCoefficient) {
+  const std::string lp =
+      "Maximize\n obj: x0\n"
+      "Subject To\n c0: x0 <= 0\n"
+      "Binary\n x0\nEnd\n";
+  EXPECT_DOUBLE_EQ(SolveParsedIlpExhaustive(ParseIlpText(lp)), 0.0);
+}
+
+TEST(IlpParseTest, MissingEndRejected) {
+  EXPECT_THROW(ParseIlpText("Maximize\n obj: x0\nBinary\n x0\n"),
+               util::CheckFailure);
+}
+
+TEST(IlpParseTest, EqualityConstraintRejected) {
+  EXPECT_THROW(
+      ParseIlpText("Maximize\n obj: x0\nSubject To\n c0: x0 = 1\n"
+                   "Binary\n x0\nEnd\n"),
+      util::CheckFailure);
+}
+
+TEST(IlpParseTest, GarbageTokenRejected) {
+  EXPECT_THROW(
+      ParseIlpText("Maximize\n obj: banana x0\nBinary\n x0\nEnd\n"),
+      util::CheckFailure);
+}
+
+class IlpRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpRoundTripTest, ExportParseSolveMatchesBranchAndBound) {
+  // End-to-end validation of the exporter: the independently parsed and
+  // exhaustively solved LP file must have the same optimum as our branch
+  // and bound on the original instance.
+  rng::Xoshiro256 gen(GetParam());
+  net::UniformScenarioParams sp;
+  sp.region_size = 120.0;
+  const net::LinkSet links = net::MakeUniformScenario(12, sp, gen);
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.05;
+
+  const std::string lp = FormatIlp(links, params);
+  const ParsedIlp parsed = ParseIlpText(lp);
+  ASSERT_EQ(parsed.num_variables, links.Size());
+  const double via_lp = SolveParsedIlpExhaustive(parsed);
+  const double via_bb =
+      BranchAndBoundScheduler().Schedule(links, params).claimed_rate;
+  EXPECT_NEAR(via_lp, via_bb, 1e-6) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpRoundTripTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(IlpParseTest, OversizedProgramRejected) {
+  ParsedIlp big;
+  big.num_variables = 30;
+  big.objective.assign(30, 1.0);
+  for (std::size_t i = 0; i < 30; ++i) big.binaries.push_back(i);
+  EXPECT_THROW(SolveParsedIlpExhaustive(big, 24), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::sched

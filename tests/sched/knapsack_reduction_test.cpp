@@ -1,0 +1,165 @@
+// Executable validation of Theorem 3.2: the Knapsack → Fading-R-LS
+// reduction maps optima exactly (max throughput = 2·Σp + knapsack optimum)
+// on every brute-forceable instance.
+#include "sched/knapsack_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/exact.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+channel::ChannelParams ReductionParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.gamma_th = 1.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(KnapsackDpTest, KnownSmallInstance) {
+  // Items (value, weight): (60,10), (100,20), (120,30); W = 50 -> 220.
+  KnapsackInstance knap;
+  knap.items = {{60, 10}, {100, 20}, {120, 30}};
+  knap.capacity = 50;
+  EXPECT_DOUBLE_EQ(SolveKnapsackExact(knap), 220.0);
+}
+
+TEST(KnapsackDpTest, NothingFits) {
+  KnapsackInstance knap;
+  knap.items = {{10, 8}, {7, 9}};
+  knap.capacity = 5;
+  EXPECT_DOUBLE_EQ(SolveKnapsackExact(knap), 0.0);
+}
+
+TEST(KnapsackDpTest, EverythingFits) {
+  KnapsackInstance knap;
+  knap.items = {{1, 1}, {2, 1}, {3, 1}};
+  knap.capacity = 10;
+  EXPECT_DOUBLE_EQ(SolveKnapsackExact(knap), 6.0);
+}
+
+TEST(KnapsackDpTest, NonIntegerInputsRejected) {
+  KnapsackInstance knap;
+  knap.items = {{1.0, 1.5}};
+  knap.capacity = 5;
+  EXPECT_THROW(SolveKnapsackExact(knap), util::CheckFailure);
+}
+
+TEST(ReductionTest, GeometryMatchesConstruction) {
+  KnapsackInstance knap;
+  knap.items = {{5, 2}, {8, 3}};
+  knap.capacity = 5;
+  const auto params = ReductionParams();
+  const ReducedInstance reduced = ReduceKnapsackToFadingRLS(knap, params);
+  ASSERT_EQ(reduced.links.Size(), 3u);
+  EXPECT_EQ(reduced.probe_link, 2u);
+  EXPECT_DOUBLE_EQ(reduced.probe_rate, 2.0 * 13.0);
+  // Probe link: sender (0,1), receiver (0,0), length 1.
+  EXPECT_DOUBLE_EQ(reduced.links.Length(reduced.probe_link), 1.0);
+  // Item senders on the x-axis.
+  for (net::LinkId i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(reduced.links.Sender(i).y, 0.0);
+    EXPECT_GT(reduced.links.Sender(i).x, 0.0);
+  }
+}
+
+TEST(ReductionTest, ItemFactorOnProbeEqualsScaledWeight) {
+  // The defining property of the sender placement (Formula (23)):
+  // f_{i, probe} = γ_ε · w_i / W.
+  KnapsackInstance knap;
+  knap.items = {{5, 2}, {8, 3}, {4, 4}};
+  knap.capacity = 6;
+  const auto params = ReductionParams();
+  const ReducedInstance reduced = ReduceKnapsackToFadingRLS(knap, params);
+  const channel::InterferenceCalculator calc(reduced.links, params);
+  for (std::size_t i = 0; i < knap.items.size(); ++i) {
+    const double expected =
+        params.GammaEpsilon() * knap.items[i].weight / knap.capacity;
+    EXPECT_NEAR(calc.Factor(i, reduced.probe_link), expected, 1e-12)
+        << "item " << i;
+  }
+}
+
+TEST(ReductionTest, ItemLinksDecodeUnderFullActivation) {
+  // δ is chosen so every item link survives even when *all* senders are
+  // active (the inequality (31) budget).
+  KnapsackInstance knap;
+  knap.items = {{5, 2}, {8, 3}, {4, 4}, {9, 5}};
+  knap.capacity = 10;
+  const auto params = ReductionParams();
+  const ReducedInstance reduced = ReduceKnapsackToFadingRLS(knap, params);
+  const channel::InterferenceCalculator calc(reduced.links, params);
+  net::Schedule everything;
+  for (net::LinkId i = 0; i < reduced.links.Size(); ++i) {
+    everything.push_back(i);
+  }
+  for (std::size_t i = 0; i < knap.items.size(); ++i) {
+    EXPECT_TRUE(channel::LinkIsInformed(calc, everything, i)) << "item " << i;
+  }
+}
+
+TEST(ReductionTest, EqualWeightsRejected) {
+  KnapsackInstance knap;
+  knap.items = {{5, 3}, {8, 3}};  // coincident senders
+  knap.capacity = 6;
+  EXPECT_THROW(ReduceKnapsackToFadingRLS(knap, ReductionParams()),
+               util::CheckFailure);
+}
+
+TEST(ReductionTest, OverweightItemRejected) {
+  KnapsackInstance knap;
+  knap.items = {{5, 11}};
+  knap.capacity = 10;
+  EXPECT_THROW(ReduceKnapsackToFadingRLS(knap, ReductionParams()),
+               util::CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence itself, on random brute-forceable instances.
+// ---------------------------------------------------------------------------
+
+class ReductionEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReductionEquivalenceTest, OptimaMapExactly) {
+  rng::Xoshiro256 gen(GetParam());
+  KnapsackInstance knap;
+  const std::size_t n = 3 + rng::UniformIndex(gen, 4);  // 3..6 items
+  knap.capacity = 20;
+  std::set<double> used_weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    double weight;
+    do {
+      weight = static_cast<double>(1 + rng::UniformIndex(gen, 15));
+    } while (!used_weights.insert(weight).second);
+    const double value = static_cast<double>(1 + rng::UniformIndex(gen, 30));
+    knap.items.push_back({value, weight});
+  }
+
+  const auto params = ReductionParams();
+  const ReducedInstance reduced = ReduceKnapsackToFadingRLS(knap, params);
+  const double fading_opt =
+      BranchAndBoundScheduler().Schedule(reduced.links, params).claimed_rate;
+  const double knap_opt = SolveKnapsackExact(knap);
+
+  double total_value = 0.0;
+  for (const auto& item : knap.items) total_value += item.value;
+  EXPECT_NEAR(fading_opt, 2.0 * total_value + knap_opt, 1e-6)
+      << "seed=" << GetParam() << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace fadesched::sched

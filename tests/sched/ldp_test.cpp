@@ -1,0 +1,175 @@
+#include "sched/ldp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+channel::ChannelParams MakeParams(double alpha, double epsilon) {
+  channel::ChannelParams params;
+  params.alpha = alpha;
+  params.epsilon = epsilon;
+  return params;
+}
+
+TEST(LdpTest, EmptyInstanceYieldsEmptySchedule) {
+  const LdpScheduler ldp;
+  const auto result = ldp.Schedule(net::LinkSet{}, MakeParams(3.0, 0.01));
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_DOUBLE_EQ(result.claimed_rate, 0.0);
+  EXPECT_EQ(result.algorithm, "ldp");
+}
+
+TEST(LdpTest, SingleLinkAlwaysScheduled) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 3.0});
+  const LdpScheduler ldp;
+  const auto result = ldp.Schedule(links, MakeParams(3.0, 0.01));
+  EXPECT_EQ(result.schedule, net::Schedule{0});
+  EXPECT_DOUBLE_EQ(result.claimed_rate, 3.0);
+}
+
+TEST(LdpTest, ScheduleIdsAreValidAndUnique) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const auto result = LdpScheduler().Schedule(links, MakeParams(3.0, 0.01));
+  std::set<net::LinkId> seen;
+  for (net::LinkId id : result.schedule) {
+    EXPECT_LT(id, links.Size());
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(LdpTest, DeterministicAcrossCalls) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  const LdpScheduler ldp;
+  const auto a = ldp.Schedule(links, MakeParams(3.0, 0.01));
+  const auto b = ldp.Schedule(links, MakeParams(3.0, 0.01));
+  EXPECT_EQ(a.schedule, b.schedule);
+}
+
+TEST(LdpTest, ClaimedRateMatchesScheduleSum) {
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeWeightedScenario(100, {}, gen);
+  const auto result = LdpScheduler().Schedule(links, MakeParams(3.0, 0.01));
+  EXPECT_NEAR(result.claimed_rate, links.TotalRate(result.schedule), 1e-12);
+}
+
+TEST(LdpTest, InvalidOptionsRejected) {
+  LdpOptions options;
+  options.beta_scale = 0.0;
+  EXPECT_THROW(LdpScheduler{options}, util::CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1 (feasibility) as a property test across the parameter grid
+// the paper evaluates: every LDP schedule satisfies Corollary 3.1.
+// ---------------------------------------------------------------------------
+
+using GridParam = std::tuple<std::size_t /*links*/, double /*alpha*/,
+                             double /*epsilon*/, std::uint64_t /*seed*/>;
+
+class LdpFeasibilityTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(LdpFeasibilityTest, ScheduleSatisfiesCorollary31) {
+  const auto [n, alpha, epsilon, seed] = GetParam();
+  rng::Xoshiro256 gen(seed);
+  const net::LinkSet links = net::MakeUniformScenario(n, {}, gen);
+  const auto params = MakeParams(alpha, epsilon);
+  const auto result = LdpScheduler().Schedule(links, params);
+  const channel::InterferenceCalculator calc(links, params);
+  EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule))
+      << "n=" << n << " alpha=" << alpha << " eps=" << epsilon
+      << " seed=" << seed << " scheduled=" << result.schedule.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, LdpFeasibilityTest,
+    ::testing::Combine(::testing::Values(50, 150, 400),
+                       ::testing::Values(2.5, 3.0, 4.0, 4.5),
+                       ::testing::Values(0.01, 0.05),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(LdpFeasibilityTest, HoldsOnClusteredTopologies) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeClusteredScenario(200, {}, gen);
+    const auto params = MakeParams(3.0, 0.01);
+    const auto result = LdpScheduler().Schedule(links, params);
+    const channel::InterferenceCalculator calc(links, params);
+    EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule))
+        << "seed=" << seed;
+  }
+}
+
+TEST(LdpFeasibilityTest, HoldsOnDiverseLengthTopologies) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeDiverseLengthScenario(150, {}, gen);
+    const auto params = MakeParams(3.0, 0.01);
+    const auto result = LdpScheduler().Schedule(links, params);
+    const channel::InterferenceCalculator calc(links, params);
+    EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule))
+        << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's claimed improvement: one-sided classes admit at least the
+// rate of the two-sided classes of [14] (every two-sided class is a subset
+// of the one-sided class at the same magnitude, over the same grid).
+// ---------------------------------------------------------------------------
+
+TEST(LdpClassAblationTest, OneSidedNeverWorseThanTwoSided) {
+  LdpOptions two_sided;
+  two_sided.two_sided_classes = true;
+  const LdpScheduler one(LdpOptions{});
+  const LdpScheduler two(two_sided);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeWeightedScenario(200, {}, gen);
+    const auto params = MakeParams(3.0, 0.01);
+    const auto rate_one = one.Schedule(links, params).claimed_rate;
+    const auto rate_two = two.Schedule(links, params).claimed_rate;
+    EXPECT_GE(rate_one, rate_two - 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(LdpClassAblationTest, TwoSidedVariantAlsoFeasible) {
+  LdpOptions options;
+  options.two_sided_classes = true;
+  const LdpScheduler ldp(options);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+    const auto params = MakeParams(3.0, 0.01);
+    const auto result = ldp.Schedule(links, params);
+    const channel::InterferenceCalculator calc(links, params);
+    EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule));
+  }
+}
+
+TEST(LdpTest, LargerBetaScaleSchedulesNoMoreLinks) {
+  // Bigger squares ⇒ fewer same-colour cells ⇒ at most as many links.
+  rng::Xoshiro256 gen(7);
+  const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+  const auto params = MakeParams(3.0, 0.01);
+  LdpOptions wide;
+  wide.beta_scale = 2.0;
+  const auto base = LdpScheduler().Schedule(links, params);
+  const auto scaled = LdpScheduler(wide).Schedule(links, params);
+  EXPECT_LE(scaled.schedule.size(), base.schedule.size());
+}
+
+}  // namespace
+}  // namespace fadesched::sched

@@ -1,0 +1,59 @@
+#include "sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+TEST(RegistryTest, AllKnownNamesConstruct) {
+  for (const std::string& name : KnownSchedulers()) {
+    const SchedulerPtr scheduler = MakeScheduler(name);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_EQ(scheduler->Name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameThrows) {
+  EXPECT_THROW(MakeScheduler("definitely_not_a_scheduler"),
+               util::CheckFailure);
+  EXPECT_THROW(MakeScheduler(""), util::CheckFailure);
+}
+
+TEST(RegistryTest, KnownListIsNonTrivial) {
+  const auto names = KnownSchedulers();
+  EXPECT_GE(names.size(), 8u);
+}
+
+TEST(RegistryTest, EveryRegisteredSchedulerRunsOnSmallInstance) {
+  rng::Xoshiro256 gen(1);
+  net::UniformScenarioParams sp;
+  sp.region_size = 200.0;
+  const net::LinkSet links = net::MakeUniformScenario(12, sp, gen);
+  channel::ChannelParams params;
+  for (const std::string& name : KnownSchedulers()) {
+    const auto result = MakeScheduler(name)->Schedule(links, params);
+    EXPECT_EQ(result.algorithm, name);
+    EXPECT_GE(result.claimed_rate, 0.0) << name;
+    for (net::LinkId id : result.schedule) {
+      EXPECT_LT(id, links.Size()) << name;
+    }
+  }
+}
+
+TEST(RegistryTest, SchedulersAreStatelessAcrossCalls) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet a = net::MakeUniformScenario(30, {}, gen);
+  const net::LinkSet b = net::MakeUniformScenario(30, {}, gen);
+  channel::ChannelParams params;
+  const SchedulerPtr ldp = MakeScheduler("ldp");
+  const auto first_a = ldp->Schedule(a, params).schedule;
+  (void)ldp->Schedule(b, params);  // interleave another instance
+  EXPECT_EQ(ldp->Schedule(a, params).schedule, first_a);
+}
+
+}  // namespace
+}  // namespace fadesched::sched

@@ -1,0 +1,179 @@
+#include "sched/rle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/constants.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sched {
+namespace {
+
+channel::ChannelParams MakeParams(double alpha, double epsilon) {
+  channel::ChannelParams params;
+  params.alpha = alpha;
+  params.epsilon = epsilon;
+  return params;
+}
+
+TEST(RleTest, EmptyInstanceYieldsEmptySchedule) {
+  const RleScheduler rle;
+  const auto result = rle.Schedule(net::LinkSet{}, MakeParams(3.0, 0.01));
+  EXPECT_TRUE(result.schedule.empty());
+}
+
+TEST(RleTest, SingleLinkScheduled) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {5, 0}, 1.0});
+  const auto result = RleScheduler().Schedule(links, MakeParams(3.0, 0.01));
+  EXPECT_EQ(result.schedule, net::Schedule{0});
+}
+
+TEST(RleTest, ShortestLinkIsAlwaysPicked) {
+  // The first pick is the globally shortest link; it can never be
+  // eliminated before being considered.
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  net::LinkId shortest = 0;
+  for (net::LinkId i = 1; i < links.Size(); ++i) {
+    if (links.Length(i) < links.Length(shortest)) shortest = i;
+  }
+  const auto result = RleScheduler().Schedule(links, MakeParams(3.0, 0.01));
+  EXPECT_NE(std::find(result.schedule.begin(), result.schedule.end(), shortest),
+            result.schedule.end());
+}
+
+TEST(RleTest, DeterministicAcrossCalls) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  const RleScheduler rle;
+  EXPECT_EQ(rle.Schedule(links, MakeParams(3.0, 0.01)).schedule,
+            rle.Schedule(links, MakeParams(3.0, 0.01)).schedule);
+}
+
+TEST(RleTest, ScheduleIdsValidAndUnique) {
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  const auto result = RleScheduler().Schedule(links, MakeParams(3.0, 0.01));
+  std::set<net::LinkId> seen;
+  for (net::LinkId id : result.schedule) {
+    EXPECT_LT(id, links.Size());
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(RleTest, InvalidOptionsRejected) {
+  RleOptions bad;
+  bad.c2 = 0.0;
+  EXPECT_THROW(RleScheduler{bad}, util::CheckFailure);
+  bad.c2 = 1.0;
+  EXPECT_THROW(RleScheduler{bad}, util::CheckFailure);
+  bad.c2 = 0.5;
+  bad.c1_scale = -1.0;
+  EXPECT_THROW(RleScheduler{bad}, util::CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.3 (feasibility) as a property test over the paper's parameter
+// grid and several c2 splits.
+// ---------------------------------------------------------------------------
+
+using GridParam = std::tuple<std::size_t, double /*alpha*/, double /*eps*/,
+                             double /*c2*/, std::uint64_t /*seed*/>;
+
+class RleFeasibilityTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(RleFeasibilityTest, ScheduleSatisfiesCorollary31) {
+  const auto [n, alpha, epsilon, c2, seed] = GetParam();
+  rng::Xoshiro256 gen(seed);
+  const net::LinkSet links = net::MakeUniformScenario(n, {}, gen);
+  const auto params = MakeParams(alpha, epsilon);
+  RleOptions options;
+  options.c2 = c2;
+  const auto result = RleScheduler(options).Schedule(links, params);
+  const channel::InterferenceCalculator calc(links, params);
+  EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule))
+      << "n=" << n << " alpha=" << alpha << " eps=" << epsilon
+      << " c2=" << c2 << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, RleFeasibilityTest,
+    ::testing::Combine(::testing::Values(50, 150, 400),
+                       ::testing::Values(2.5, 3.0, 4.5),
+                       ::testing::Values(0.01, 0.05),
+                       ::testing::Values(0.25, 0.5, 0.75),
+                       ::testing::Values(1, 2)));
+
+TEST(RleFeasibilityTest, HoldsOnClusteredTopologies) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeClusteredScenario(200, {}, gen);
+    const auto params = MakeParams(3.0, 0.01);
+    const auto result = RleScheduler().Schedule(links, params);
+    const channel::InterferenceCalculator calc(links, params);
+    EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule));
+  }
+}
+
+TEST(RleFeasibilityTest, HoldsOnDiverseLengthTopologies) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeDiverseLengthScenario(150, {}, gen);
+    const auto params = MakeParams(3.0, 0.01);
+    const auto result = RleScheduler().Schedule(links, params);
+    const channel::InterferenceCalculator calc(links, params);
+    EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule));
+  }
+}
+
+TEST(RleTest, SmallerC1ScaleSchedulesAtLeastAsManyLinks) {
+  // Shrinking the clear-out radius leaves more candidates alive. (It may
+  // void the feasibility proof — that is what the ablation bench probes.)
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(300, {}, gen);
+  const auto params = MakeParams(3.0, 0.01);
+  RleOptions tight;
+  tight.c1_scale = 0.5;
+  const auto base = RleScheduler().Schedule(links, params);
+  const auto shrunk = RleScheduler(tight).Schedule(links, params);
+  EXPECT_GE(shrunk.schedule.size(), base.schedule.size());
+}
+
+TEST(RleTest, EveryUnscheduledLinkWasEliminatedForAReason) {
+  // Reconstruct the elimination trace: every link outside the schedule
+  // must either be inside some picked link's clear-out radius or have
+  // accumulated factor above c2·γ_ε at the time the algorithm finished.
+  rng::Xoshiro256 gen(6);
+  const net::LinkSet links = net::MakeUniformScenario(120, {}, gen);
+  const auto params = MakeParams(3.0, 0.01);
+  RleOptions options;
+  const auto result = RleScheduler(options).Schedule(links, params);
+  const channel::InterferenceCalculator calc(links, params);
+  const double c1 = RleC1(params, options.c2);
+  std::set<net::LinkId> picked(result.schedule.begin(), result.schedule.end());
+  for (net::LinkId j = 0; j < links.Size(); ++j) {
+    if (picked.count(j)) continue;
+    bool near_some_pick = false;
+    for (net::LinkId i : result.schedule) {
+      if (geom::Distance(links.Sender(j), links.Receiver(i)) <=
+          c1 * links.Length(i)) {
+        near_some_pick = true;
+        break;
+      }
+    }
+    const double acc = calc.SumFactor(result.schedule, j);
+    EXPECT_TRUE(near_some_pick || acc > options.c2 * params.GammaEpsilon())
+        << "link " << j << " was eliminated with no cause";
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::sched

@@ -1,0 +1,106 @@
+#include "sim/exact_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/rle.hpp"
+
+namespace fadesched::sim {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+net::LinkSet TwoLinkLine(double gap) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{gap, 0}, {gap + 1, 0}, 2.0});
+  return links;
+}
+
+TEST(ExactMetricsTest, EmptySchedule) {
+  const net::LinkSet links = TwoLinkLine(10.0);
+  const ExpectedMetrics m = ComputeExpectedMetrics(links, PaperParams(), {});
+  EXPECT_DOUBLE_EQ(m.expected_failed, 0.0);
+  EXPECT_DOUBLE_EQ(m.expected_throughput, 0.0);
+  EXPECT_TRUE(m.link_success_probability.empty());
+}
+
+TEST(ExactMetricsTest, LoneLinkIsCertain) {
+  const net::LinkSet links = TwoLinkLine(10.0);
+  const ExpectedMetrics m = ComputeExpectedMetrics(links, PaperParams(), {1});
+  ASSERT_EQ(m.link_success_probability.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.link_success_probability[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.expected_failed, 0.0);
+  EXPECT_DOUBLE_EQ(m.expected_throughput, 2.0);
+}
+
+TEST(ExactMetricsTest, TwoLinkClosedForm) {
+  const double gap = 6.0;
+  const net::LinkSet links = TwoLinkLine(gap);
+  const auto params = PaperParams();
+  const net::Schedule schedule{0, 1};
+  const ExpectedMetrics m = ComputeExpectedMetrics(links, params, schedule);
+  const double p0 = 1.0 / (1.0 + std::pow(1.0 / (gap - 1.0), 3.0));
+  const double p1 = 1.0 / (1.0 + std::pow(1.0 / (gap + 1.0), 3.0));
+  EXPECT_NEAR(m.link_success_probability[0], p0, 1e-12);
+  EXPECT_NEAR(m.link_success_probability[1], p1, 1e-12);
+  EXPECT_NEAR(m.expected_failed, (1.0 - p0) + (1.0 - p1), 1e-12);
+  EXPECT_NEAR(m.expected_throughput, 1.0 * p0 + 2.0 * p1, 1e-12);
+}
+
+TEST(ExactMetricsTest, ThroughputBoundedByClaimedRate) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeWeightedScenario(30, {}, gen);
+  net::Schedule schedule;
+  for (net::LinkId i = 0; i < links.Size(); i += 3) schedule.push_back(i);
+  const ExpectedMetrics m =
+      ComputeExpectedMetrics(links, PaperParams(), schedule);
+  EXPECT_LE(m.expected_throughput, links.TotalRate(schedule) + 1e-12);
+  EXPECT_GE(m.expected_throughput, 0.0);
+}
+
+TEST(ExactMetricsTest, FeasibleScheduleHasExpectedFailureBelowEpsilonEach) {
+  // Corollary 3.1: informed ⇒ per-link failure ≤ ε, so E[#failed] ≤ ε·m.
+  // RLE's output is feasible by Theorem 4.3, so it supplies the schedule.
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  const auto params = PaperParams();
+  const channel::InterferenceCalculator calc(links, params);
+  const net::Schedule schedule =
+      sched::RleScheduler().Schedule(links, params).schedule;
+  ASSERT_TRUE(channel::ScheduleIsFeasible(calc, schedule));
+  ASSERT_GE(schedule.size(), 2u);
+  const ExpectedMetrics m = ComputeExpectedMetrics(links, params, schedule);
+  EXPECT_LE(m.expected_failed,
+            params.epsilon * static_cast<double>(schedule.size()) + 1e-9);
+}
+
+TEST(ExactMetricsTest, AddingInterfererNeverHelps) {
+  // Monotonicity: success probabilities only drop when the schedule grows.
+  rng::Xoshiro256 gen(3);
+  net::UniformScenarioParams sp;
+  sp.region_size = 150.0;
+  const net::LinkSet links = net::MakeUniformScenario(10, sp, gen);
+  const auto params = PaperParams();
+  net::Schedule small{0, 1, 2};
+  net::Schedule big{0, 1, 2, 3, 4};
+  const ExpectedMetrics ms = ComputeExpectedMetrics(links, params, small);
+  const ExpectedMetrics mb = ComputeExpectedMetrics(links, params, big);
+  for (std::size_t k = 0; k < small.size(); ++k) {
+    EXPECT_LE(mb.link_success_probability[k],
+              ms.link_success_probability[k] + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::sim

@@ -1,0 +1,161 @@
+#include "sim/queue_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/registry.hpp"
+#include "sched/rle.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::sim {
+namespace {
+
+channel::ChannelParams PaperParams() {
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+  params.epsilon = 0.01;
+  return params;
+}
+
+TEST(QueueSimTest, EmptyLinkSetIsTrivial) {
+  const sched::RleScheduler rle;
+  const QueueSimResult result =
+      RunQueueSimulation(net::LinkSet{}, PaperParams(), rle, {});
+  EXPECT_EQ(result.arrivals, 0u);
+  EXPECT_EQ(result.delivered, 0u);
+}
+
+TEST(QueueSimTest, ZeroArrivalsNothingHappens) {
+  rng::Xoshiro256 gen(1);
+  const net::LinkSet links = net::MakeUniformScenario(50, {}, gen);
+  QueueSimOptions options;
+  options.arrival_probability = 0.0;
+  options.num_slots = 200;
+  const sched::RleScheduler rle;
+  const QueueSimResult result =
+      RunQueueSimulation(links, PaperParams(), rle, options);
+  EXPECT_EQ(result.arrivals, 0u);
+  EXPECT_EQ(result.scheduled_transmissions, 0u);
+  EXPECT_DOUBLE_EQ(result.backlog.Mean(), 0.0);
+}
+
+TEST(QueueSimTest, ConservationOfPackets) {
+  rng::Xoshiro256 gen(2);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  QueueSimOptions options;
+  options.num_slots = 400;
+  options.arrival_probability = 0.02;
+  const sched::RleScheduler rle;
+  const QueueSimResult result =
+      RunQueueSimulation(links, PaperParams(), rle, options);
+  EXPECT_EQ(result.arrivals, result.delivered + result.residual_backlog);
+}
+
+TEST(QueueSimTest, DeterministicForSeed) {
+  rng::Xoshiro256 gen(3);
+  const net::LinkSet links = net::MakeUniformScenario(60, {}, gen);
+  QueueSimOptions options;
+  options.num_slots = 300;
+  const sched::RleScheduler rle;
+  const QueueSimResult a =
+      RunQueueSimulation(links, PaperParams(), rle, options);
+  const QueueSimResult b =
+      RunQueueSimulation(links, PaperParams(), rle, options);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.backlog.Mean(), b.backlog.Mean());
+  EXPECT_DOUBLE_EQ(a.delay_slots.Mean(), b.delay_slots.Mean());
+}
+
+TEST(QueueSimTest, FadingResistantSchedulerRarelyFails) {
+  rng::Xoshiro256 gen(4);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  QueueSimOptions options;
+  options.num_slots = 500;
+  options.arrival_probability = 0.01;
+  const sched::RleScheduler rle;
+  const QueueSimResult result =
+      RunQueueSimulation(links, PaperParams(), rle, options);
+  ASSERT_GT(result.scheduled_transmissions, 0u);
+  EXPECT_LT(result.FailureRate(), 0.02);  // per-transmission failure ≤~ε
+}
+
+TEST(QueueSimTest, BaselineFailsMoreOftenThanRle) {
+  rng::Xoshiro256 gen(5);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  QueueSimOptions options;
+  options.num_slots = 400;
+  options.arrival_probability = 0.05;
+  const auto rle = sched::MakeScheduler("rle");
+  const auto baseline = sched::MakeScheduler("approx_diversity");
+  const QueueSimResult r_rle =
+      RunQueueSimulation(links, PaperParams(), *rle, options);
+  const QueueSimResult r_base =
+      RunQueueSimulation(links, PaperParams(), *baseline, options);
+  EXPECT_GT(r_base.FailureRate(), 3.0 * std::max(r_rle.FailureRate(), 1e-4));
+}
+
+TEST(QueueSimTest, HigherLoadMeansLongerQueues) {
+  rng::Xoshiro256 gen(6);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  const sched::RleScheduler rle;
+  QueueSimOptions light;
+  light.num_slots = 400;
+  light.arrival_probability = 0.005;
+  QueueSimOptions heavy = light;
+  heavy.arrival_probability = 0.08;
+  const QueueSimResult r_light =
+      RunQueueSimulation(links, PaperParams(), rle, light);
+  const QueueSimResult r_heavy =
+      RunQueueSimulation(links, PaperParams(), rle, heavy);
+  EXPECT_GT(r_heavy.backlog.Mean(), r_light.backlog.Mean());
+}
+
+TEST(QueueSimTest, BetterSchedulerGivesShorterDelay) {
+  // fading_greedy schedules ~3x the links per slot vs LDP; under the same
+  // load its queues must drain faster.
+  rng::Xoshiro256 gen(7);
+  const net::LinkSet links = net::MakeUniformScenario(150, {}, gen);
+  QueueSimOptions options;
+  options.num_slots = 500;
+  options.arrival_probability = 0.03;
+  const auto greedy = sched::MakeScheduler("fading_greedy");
+  const auto ldp = sched::MakeScheduler("ldp");
+  const QueueSimResult r_greedy =
+      RunQueueSimulation(links, PaperParams(), *greedy, options);
+  const QueueSimResult r_ldp =
+      RunQueueSimulation(links, PaperParams(), *ldp, options);
+  EXPECT_LT(r_greedy.backlog.Mean(), r_ldp.backlog.Mean());
+}
+
+TEST(QueueSimTest, InvalidOptionsRejected) {
+  rng::Xoshiro256 gen(8);
+  const net::LinkSet links = net::MakeUniformScenario(10, {}, gen);
+  const sched::RleScheduler rle;
+  QueueSimOptions bad;
+  bad.arrival_probability = 1.5;
+  EXPECT_THROW(RunQueueSimulation(links, PaperParams(), rle, bad),
+               util::CheckFailure);
+  bad = QueueSimOptions{};
+  bad.warmup_slots = bad.num_slots;
+  EXPECT_THROW(RunQueueSimulation(links, PaperParams(), rle, bad),
+               util::CheckFailure);
+}
+
+TEST(QueueSimTest, DelayAtLeastZeroAndBoundedBySimLength) {
+  rng::Xoshiro256 gen(9);
+  const net::LinkSet links = net::MakeUniformScenario(80, {}, gen);
+  QueueSimOptions options;
+  options.num_slots = 300;
+  const sched::RleScheduler rle;
+  const QueueSimResult result =
+      RunQueueSimulation(links, PaperParams(), rle, options);
+  if (result.delay_slots.Count() > 0) {
+    EXPECT_GE(result.delay_slots.Min(), 0.0);
+    EXPECT_LT(result.delay_slots.Max(),
+              static_cast<double>(options.num_slots));
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::sim

@@ -1,0 +1,49 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fadesched::util {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(FS_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(FS_CHECK(false), CheckFailure);
+}
+
+TEST(CheckTest, FailureMessageContainsExpression) {
+  try {
+    FS_CHECK(2 < 1);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, FailureMessageContainsCustomMessage) {
+  try {
+    FS_CHECK_MSG(false, "custom context");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckFailureIsLogicError) {
+  EXPECT_THROW(FS_CHECK(false), std::logic_error);
+}
+
+TEST(CheckTest, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  FS_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace fadesched::util

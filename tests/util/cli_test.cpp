@@ -1,0 +1,121 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace fadesched::util {
+namespace {
+
+bool ParseArgs(CliParser& cli, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return cli.Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParserTest, DefaultsSurviveEmptyArgv) {
+  CliParser cli("t", "test");
+  auto& n = cli.AddInt("n", 5, "count");
+  auto& x = cli.AddDouble("x", 1.5, "value");
+  EXPECT_TRUE(ParseArgs(cli, {}));
+  EXPECT_EQ(n, 5);
+  EXPECT_DOUBLE_EQ(x, 1.5);
+}
+
+TEST(CliParserTest, EqualsFormAssigns) {
+  CliParser cli("t", "test");
+  auto& n = cli.AddInt("n", 0, "count");
+  EXPECT_TRUE(ParseArgs(cli, {"--n=42"}));
+  EXPECT_EQ(n, 42);
+}
+
+TEST(CliParserTest, SpaceFormAssigns) {
+  CliParser cli("t", "test");
+  auto& x = cli.AddDouble("x", 0.0, "value");
+  EXPECT_TRUE(ParseArgs(cli, {"--x", "2.25"}));
+  EXPECT_DOUBLE_EQ(x, 2.25);
+}
+
+TEST(CliParserTest, StringFlag) {
+  CliParser cli("t", "test");
+  auto& s = cli.AddString("algo", "ldp", "algorithm");
+  EXPECT_TRUE(ParseArgs(cli, {"--algo=rle"}));
+  EXPECT_EQ(s, "rle");
+}
+
+TEST(CliParserTest, BareBoolFlagSetsTrue) {
+  CliParser cli("t", "test");
+  auto& v = cli.AddBool("verbose", false, "verbosity");
+  EXPECT_TRUE(ParseArgs(cli, {"--verbose"}));
+  EXPECT_TRUE(v);
+}
+
+TEST(CliParserTest, BoolAcceptsExplicitValues) {
+  CliParser cli("t", "test");
+  auto& v = cli.AddBool("verbose", true, "verbosity");
+  EXPECT_TRUE(ParseArgs(cli, {"--verbose=false"}));
+  EXPECT_FALSE(v);
+}
+
+TEST(CliParserTest, UnknownFlagFails) {
+  CliParser cli("t", "test");
+  EXPECT_FALSE(ParseArgs(cli, {"--nope=1"}));
+}
+
+TEST(CliParserTest, MalformedIntFails) {
+  CliParser cli("t", "test");
+  cli.AddInt("n", 0, "count");
+  EXPECT_FALSE(ParseArgs(cli, {"--n=abc"}));
+}
+
+TEST(CliParserTest, MissingValueFails) {
+  CliParser cli("t", "test");
+  cli.AddInt("n", 0, "count");
+  EXPECT_FALSE(ParseArgs(cli, {"--n"}));
+}
+
+TEST(CliParserTest, PositionalArgumentFails) {
+  CliParser cli("t", "test");
+  EXPECT_FALSE(ParseArgs(cli, {"positional"}));
+}
+
+TEST(CliParserTest, HelpReturnsFalse) {
+  CliParser cli("t", "test");
+  EXPECT_FALSE(ParseArgs(cli, {"--help"}));
+}
+
+TEST(CliParserTest, DuplicateFlagNameRejected) {
+  CliParser cli("t", "test");
+  cli.AddInt("n", 0, "count");
+  EXPECT_THROW(cli.AddDouble("n", 0.0, "dup"), CheckFailure);
+}
+
+TEST(CliParserTest, UsageListsFlagsWithDefaults) {
+  CliParser cli("prog", "description");
+  cli.AddInt("links", 100, "number of links");
+  const std::string usage = cli.Usage();
+  EXPECT_NE(usage.find("--links"), std::string::npos);
+  EXPECT_NE(usage.find("100"), std::string::npos);
+  EXPECT_NE(usage.find("number of links"), std::string::npos);
+}
+
+TEST(CliParserTest, MultipleFlagsInOneInvocation) {
+  CliParser cli("t", "test");
+  auto& n = cli.AddInt("n", 0, "");
+  auto& x = cli.AddDouble("x", 0.0, "");
+  auto& s = cli.AddString("s", "", "");
+  EXPECT_TRUE(ParseArgs(cli, {"--n=1", "--x", "2", "--s=three"}));
+  EXPECT_EQ(n, 1);
+  EXPECT_DOUBLE_EQ(x, 2.0);
+  EXPECT_EQ(s, "three");
+}
+
+TEST(CliParserTest, LaterOccurrenceWins) {
+  CliParser cli("t", "test");
+  auto& n = cli.AddInt("n", 0, "");
+  EXPECT_TRUE(ParseArgs(cli, {"--n=1", "--n=2"}));
+  EXPECT_EQ(n, 2);
+}
+
+}  // namespace
+}  // namespace fadesched::util

@@ -1,0 +1,103 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fadesched::util {
+namespace {
+
+TEST(SplitTest, SplitsOnSeparator) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(SplitTest, LeadingAndTrailingSeparators) {
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(SplitTest, EmptyStringYieldsSingleEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, NoSeparatorYieldsWholeString) {
+  EXPECT_EQ(Split("hello", ','), (std::vector<std::string>{"hello"}));
+}
+
+TEST(TrimTest, StripsBothEnds) { EXPECT_EQ(Trim("  abc \t"), "abc"); }
+
+TEST(TrimTest, AllWhitespaceBecomesEmpty) { EXPECT_EQ(Trim(" \t\n "), ""); }
+
+TEST(TrimTest, NoWhitespaceUnchanged) { EXPECT_EQ(Trim("abc"), "abc"); }
+
+TEST(TrimTest, InteriorWhitespacePreserved) {
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(ParseIntTest, ParsesPlainInteger) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+}
+
+TEST(ParseIntTest, ParsesNegative) { EXPECT_EQ(ParseInt("-7").value(), -7); }
+
+TEST(ParseIntTest, AllowsSurroundingWhitespace) {
+  EXPECT_EQ(ParseInt(" 13 ").value(), 13);
+}
+
+TEST(ParseIntTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseInt("42x").has_value());
+}
+
+TEST(ParseIntTest, RejectsEmpty) { EXPECT_FALSE(ParseInt("").has_value()); }
+
+TEST(ParseIntTest, RejectsFloat) { EXPECT_FALSE(ParseInt("1.5").has_value()); }
+
+TEST(ParseDoubleTest, ParsesDecimal) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+}
+
+TEST(ParseDoubleTest, ParsesScientific) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1e-3").value(), 1e-3);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+}
+
+TEST(ParseDoubleTest, RejectsPartialParse) {
+  EXPECT_FALSE(ParseDouble("1.5kg").has_value());
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(JoinTest, SingleItemNoSeparator) { EXPECT_EQ(Join({"x"}, ","), "x"); }
+
+TEST(JoinTest, EmptyListYieldsEmpty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.25), "1.25");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(FormatDoubleTest, NegativeValues) {
+  EXPECT_EQ(FormatDouble(-2.5), "-2.5");
+}
+
+TEST(FormatDoubleTest, ZeroIsPlainZero) { EXPECT_EQ(FormatDouble(0.0), "0"); }
+
+}  // namespace
+}  // namespace fadesched::util

@@ -1,0 +1,112 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fadesched::util {
+namespace {
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.NumThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ExplicitThreadCountHonored) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.NumThreads(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmittedTaskRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  pool.Submit([&value] { value = 7; }).get();
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter, 500);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsWithoutDeadlock) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // destructor joins; queued tasks may or may not run, but no hang
+  SUCCEED();
+}
+
+TEST(ParallelChunksTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1003;
+  std::vector<std::atomic<int>> touched(kCount);
+  ParallelChunks(pool, kCount,
+                 [&](std::size_t, std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) ++touched[i];
+                 });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(touched[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelChunksTest, ZeroCountIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelChunks(pool, 0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelChunksTest, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  ParallelChunks(pool, 3, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      sum += static_cast<int>(i);
+    }
+  });
+  EXPECT_EQ(sum, 0 + 1 + 2);
+}
+
+TEST(ParallelChunksTest, ExceptionInChunkRethrown) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelChunks(pool, 10,
+                              [](std::size_t, std::size_t begin, std::size_t) {
+                                if (begin == 0) {
+                                  throw std::runtime_error("chunk failure");
+                                }
+                              }),
+               std::runtime_error);
+}
+
+TEST(ParallelChunksTest, ChunkIndicesAreDense) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(3);
+  ParallelChunks(pool, 300, [&](std::size_t chunk, std::size_t, std::size_t) {
+    ++seen[chunk];
+  });
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(seen[c], 1);
+}
+
+}  // namespace
+}  // namespace fadesched::util

@@ -1,0 +1,261 @@
+// fadesched_cli — command-line front end for the library.
+//
+//   fadesched_cli generate --type uniform --links 300 --seed 1 --out l.csv
+//   fadesched_cli info     --in l.csv
+//   fadesched_cli solve    --in l.csv --algorithm rle [--alpha 3] [--slots]
+//   fadesched_cli simulate --in l.csv --algorithm rle --trials 10000
+//   fadesched_cli ilp      --in l.csv --out problem.lp
+//
+// Every subcommand accepts --help.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/fadesched.hpp"
+#include "multislot/multislot.hpp"
+#include "rng/distributions.hpp"
+#include "sched/ilp_export.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace fadesched;
+
+void AddChannelFlags(util::CliParser& cli, double*& alpha, double*& epsilon,
+                     double*& gamma_th, double*& noise) {
+  alpha = &cli.AddDouble("alpha", 3.0, "path-loss exponent (> 2)");
+  epsilon = &cli.AddDouble("epsilon", 0.01, "acceptable outage probability");
+  gamma_th = &cli.AddDouble("gamma-th", 1.0, "SINR decoding threshold");
+  noise = &cli.AddDouble("noise", 0.0, "ambient noise power N0 (0 = paper)");
+}
+
+channel::ChannelParams MakeChannel(double alpha, double epsilon,
+                                   double gamma_th, double noise) {
+  channel::ChannelParams params;
+  params.alpha = alpha;
+  params.epsilon = epsilon;
+  params.gamma_th = gamma_th;
+  params.noise_power = noise;
+  params.Validate();
+  return params;
+}
+
+int RunGenerate(int argc, char** argv) {
+  util::CliParser cli("fadesched_cli generate", "write a scenario CSV");
+  auto& type = cli.AddString("type", "uniform",
+                             "uniform | clustered | weighted | diverse");
+  auto& links = cli.AddInt("links", 300, "number of links");
+  auto& seed = cli.AddInt("seed", 1, "generator seed");
+  auto& region = cli.AddDouble("region", 500.0, "deployment square side");
+  auto& out = cli.AddString("out", "links.csv", "output path");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  rng::Xoshiro256 gen(static_cast<std::uint64_t>(seed));
+  net::LinkSet result;
+  const auto n = static_cast<std::size_t>(links);
+  if (type == "uniform") {
+    net::UniformScenarioParams p;
+    p.region_size = region;
+    result = net::MakeUniformScenario(n, p, gen);
+  } else if (type == "clustered") {
+    net::ClusteredScenarioParams p;
+    p.region_size = region;
+    result = net::MakeClusteredScenario(n, p, gen);
+  } else if (type == "weighted") {
+    net::WeightedScenarioParams p;
+    p.base.region_size = region;
+    result = net::MakeWeightedScenario(n, p, gen);
+  } else if (type == "diverse") {
+    net::DiverseLengthScenarioParams p;
+    p.region_size = region;
+    result = net::MakeDiverseLengthScenario(n, p, gen);
+  } else {
+    std::fprintf(stderr, "unknown --type '%s'\n", type.c_str());
+    return 1;
+  }
+  net::SaveLinkSet(result, out);
+  std::printf("wrote %zu links to %s\n", result.Size(), out.c_str());
+  return 0;
+}
+
+int RunInfo(int argc, char** argv) {
+  util::CliParser cli("fadesched_cli info", "topology statistics");
+  auto& in = cli.AddString("in", "links.csv", "scenario CSV");
+  if (!cli.Parse(argc, argv)) return 1;
+  const net::LinkSet links = net::LoadLinkSet(in);
+  FS_CHECK_MSG(!links.Empty(), "scenario is empty");
+  const geom::Aabb box = links.BoundingBox();
+  std::printf("links:            %zu\n", links.Size());
+  std::printf("bounding box:     [%.1f, %.1f] x [%.1f, %.1f]\n", box.lo.x,
+              box.hi.x, box.lo.y, box.hi.y);
+  std::printf("link lengths:     [%.2f, %.2f]\n", links.MinLength(),
+              links.MaxLength());
+  std::printf("length diversity: g(L) = %zu\n", net::LengthDiversity(links));
+  std::printf("uniform rates:    %s\n",
+              links.HasUniformRates() ? "yes" : "no");
+  if (links.Size() <= 2000) {
+    std::printf("distance ratio:   Delta = %.1f\n", net::DistanceRatio(links));
+  }
+  return 0;
+}
+
+int RunSolve(int argc, char** argv) {
+  util::CliParser cli("fadesched_cli solve", "schedule one slot (or a frame)");
+  auto& in = cli.AddString("in", "links.csv", "scenario CSV");
+  auto& algorithm = cli.AddString("algorithm", "rle",
+                                  "scheduler name (see `list`)");
+  auto& slots = cli.AddBool("slots", false,
+                            "schedule ALL links across multiple slots");
+  double *alpha, *epsilon, *gamma_th, *noise;
+  AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
+  if (!cli.Parse(argc, argv)) return 1;
+
+  const net::LinkSet links = net::LoadLinkSet(in);
+  const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
+  if (slots) {
+    const multislot::Frame frame =
+        multislot::ScheduleAllLinks(links, params, algorithm);
+    std::printf("frame: %zu slots for %zu links (%s)\n", frame.NumSlots(),
+                links.Size(), algorithm.c_str());
+    std::printf("rate-weighted completion slot: %.2f\n",
+                frame.RateWeightedCompletion(links));
+    std::printf("all slots fading-feasible: %s\n",
+                multislot::FrameIsValid(links, params, frame) ? "yes" : "no");
+    for (std::size_t s = 0; s < frame.NumSlots() && s < 10; ++s) {
+      std::printf("  slot %zu: %zu links\n", s + 1, frame.slots[s].size());
+    }
+    if (frame.NumSlots() > 10) std::printf("  ...\n");
+    return 0;
+  }
+  const core::Problem problem(links, params);
+  const core::Solution solution = problem.Solve(algorithm);
+  std::printf("algorithm:             %s\n", solution.algorithm.c_str());
+  std::printf("links scheduled:       %zu / %zu\n", solution.schedule.size(),
+              links.Size());
+  std::printf("claimed rate:          %.3f\n", solution.claimed_rate);
+  std::printf("fading feasible:       %s\n",
+              solution.fading_feasible ? "yes" : "no");
+  std::printf("expected throughput:   %.3f\n", solution.expected_throughput);
+  std::printf("expected failures:     %.4f\n", solution.expected_failed);
+  std::printf("min success prob:      %.4f\n",
+              solution.min_success_probability);
+  std::printf("schedule:");
+  for (net::LinkId id : solution.schedule) {
+    std::printf(" %zu", id);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunSimulate(int argc, char** argv) {
+  util::CliParser cli("fadesched_cli simulate",
+                      "Monte-Carlo fading simulation of a schedule");
+  auto& in = cli.AddString("in", "links.csv", "scenario CSV");
+  auto& algorithm = cli.AddString("algorithm", "rle", "scheduler name");
+  auto& trials = cli.AddInt("trials", 10000, "fading realizations");
+  auto& sim_seed = cli.AddInt("sim-seed", 42, "simulator seed");
+  auto& threads = cli.AddInt("threads", 0, "simulator threads (0 = hw)");
+  double *alpha, *epsilon, *gamma_th, *noise;
+  AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
+  if (!cli.Parse(argc, argv)) return 1;
+
+  const net::LinkSet links = net::LoadLinkSet(in);
+  const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
+  const core::Problem problem(links, params);
+  const core::Solution solution = problem.Solve(algorithm);
+
+  sim::SimOptions options;
+  options.trials = static_cast<std::size_t>(trials);
+  options.seed = static_cast<std::uint64_t>(sim_seed);
+  options.threads = threads <= 0 ? 0 : static_cast<unsigned>(threads);
+  const sim::SimResult result =
+      sim::SimulateSchedule(links, params, solution.schedule, options);
+
+  std::printf("schedule (%s): %zu links, claimed %.3f\n",
+              algorithm.c_str(), solution.schedule.size(),
+              solution.claimed_rate);
+  std::printf("measured throughput:  %.4f ± %.4f (95%% CI)\n",
+              result.throughput_per_trial.Mean(),
+              result.throughput_per_trial.ConfidenceHalfWidth95());
+  std::printf("expected throughput:  %.4f (closed form)\n",
+              solution.expected_throughput);
+  std::printf("measured failures:    %.4f ± %.4f per slot\n",
+              result.failed_per_trial.Mean(),
+              result.failed_per_trial.ConfidenceHalfWidth95());
+  std::printf("expected failures:    %.4f (closed form)\n",
+              solution.expected_failed);
+  return 0;
+}
+
+int RunIlp(int argc, char** argv) {
+  util::CliParser cli("fadesched_cli ilp",
+                      "export the instance as a CPLEX-LP integer program");
+  auto& in = cli.AddString("in", "links.csv", "scenario CSV");
+  auto& out = cli.AddString("out", "problem.lp", "LP output path");
+  double *alpha, *epsilon, *gamma_th, *noise;
+  AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
+  if (!cli.Parse(argc, argv)) return 1;
+  const net::LinkSet links = net::LoadLinkSet(in);
+  const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
+  sched::WriteIlpFile(links, params, out);
+  std::printf("wrote ILP (%zu binaries) to %s\n", links.Size(), out.c_str());
+  return 0;
+}
+
+int RunList() {
+  std::printf("registered schedulers:\n");
+  for (const std::string& name : sched::KnownSchedulers()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+void PrintTopLevelUsage() {
+  std::fputs(
+      "fadesched_cli — fading-resistant link scheduling toolbox\n"
+      "\n"
+      "subcommands:\n"
+      "  generate   write a synthetic scenario CSV\n"
+      "  info       topology statistics of a scenario\n"
+      "  solve      schedule one slot (--slots for a full frame)\n"
+      "  simulate   Monte-Carlo fading simulation of a schedule\n"
+      "  ilp        export the ILP (paper formulas (20)-(22))\n"
+      "  list       registered scheduler names\n"
+      "\n"
+      "run `fadesched_cli <subcommand> --help` for flags.\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintTopLevelUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so subcommand parsers see their own flags as argv[1..].
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  try {
+    if (command == "generate") return RunGenerate(sub_argc, sub_argv);
+    if (command == "info") return RunInfo(sub_argc, sub_argv);
+    if (command == "solve") return RunSolve(sub_argc, sub_argv);
+    if (command == "simulate") return RunSimulate(sub_argc, sub_argv);
+    if (command == "ilp") return RunIlp(sub_argc, sub_argv);
+    if (command == "list") return RunList();
+    if (command == "--help" || command == "-h" || command == "help") {
+      PrintTopLevelUsage();
+      return 0;
+    }
+  } catch (const fadesched::util::CheckFailure& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown subcommand '%s'\n\n", command.c_str());
+  PrintTopLevelUsage();
+  return 1;
+}
