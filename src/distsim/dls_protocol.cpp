@@ -1,8 +1,11 @@
 #include "distsim/dls_protocol.hpp"
 
 #include <cmath>
+#include <map>
 #include <vector>
 
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256.hpp"
 #include "util/check.hpp"
@@ -30,6 +33,7 @@ struct Shared {
   channel::ChannelParams params;
   DlsProtocolOptions options;
   std::uint32_t total_rounds = 0;
+  bool robust = false;  ///< hardened estimator active
 };
 
 class LinkAgent final : public Node {
@@ -38,6 +42,7 @@ class LinkAgent final : public Node {
       : shared_(shared), link_(link), coin_(coin) {}
 
   [[nodiscard]] bool Active() const { return active_; }
+  [[nodiscard]] bool SilentPruned() const { return silent_pruned_; }
 
   void OnStart(Context& ctx) override {
     // Noise consumes budget permanently; hopeless links never contend.
@@ -65,7 +70,12 @@ class LinkAgent final : public Node {
     const double factor = std::log1p(
         shared_->params.gamma_th * (message.data[kTxPower] / my_power) *
         std::pow(d_jj / d_ij, shared_->params.alpha));
-    round_sum_ += factor;
+    if (shared_->robust) {
+      neighbors_[message.from] = NeighborRecord{factor, round_};
+      ++heard_this_round_;
+    } else {
+      round_sum_ += factor;
+    }
     if (message.data[kViolating] > 0.5) {
       heard_violator_estimates_.push_back(
           {message.data[kEstimate], message.from});
@@ -76,6 +86,7 @@ class LinkAgent final : public Node {
     if (!active_) return;
     if (timer_id == kTimerBeacon) {
       round_sum_ = 0.0;
+      heard_this_round_ = 0;
       heard_violator_estimates_.clear();
       const geom::Vec2 sender = shared_->links->Sender(link_);
       ctx.BroadcastLocal(
@@ -87,7 +98,26 @@ class LinkAgent final : public Node {
       return;
     }
     FS_CHECK(timer_id == kTimerDecide);
-    estimate_ = noise_factor_ + round_sum_;
+    if (shared_->robust) {
+      if (heard_this_round_ == 0) {
+        ++silent_rounds_;
+      } else {
+        silent_rounds_ = 0;
+        heard_any_ever_ = true;
+      }
+      // Total silence from a previously heard neighbourhood means we are
+      // cut off from the control plane: withdraw rather than transmit on
+      // top of invisible contenders.
+      if (heard_any_ever_ &&
+          silent_rounds_ >= shared_->options.max_silent_rounds) {
+        active_ = false;
+        silent_pruned_ = true;
+        return;
+      }
+      estimate_ = noise_factor_ + RobustInterferenceSum();
+    } else {
+      estimate_ = noise_factor_ + round_sum_;
+    }
     violating_ = estimate_ > GammaEps();
     if (violating_) {
       if (round_ < shared_->options.contention_rounds) {
@@ -129,6 +159,32 @@ class LinkAgent final : public Node {
   }
 
  private:
+  struct NeighborRecord {
+    double factor = 0.0;              ///< last-heard interference factor
+    std::uint32_t last_heard = 0;     ///< round it was last heard in
+  };
+
+  /// Hardened estimate: fresh factors count fully; a silent neighbour's
+  /// last factor decays geometrically per missed round (it may have
+  /// withdrawn — or its beacon may have been lost) and is forgotten after
+  /// max_silent_rounds misses. Ordered map iteration keeps the summation
+  /// order — and thus the floating-point result — deterministic.
+  [[nodiscard]] double RobustInterferenceSum() {
+    double sum = 0.0;
+    for (auto it = neighbors_.begin(); it != neighbors_.end();) {
+      const std::uint32_t misses = round_ - it->second.last_heard;
+      if (misses > shared_->options.max_silent_rounds) {
+        it = neighbors_.erase(it);
+        continue;
+      }
+      sum += it->second.factor *
+             std::pow(shared_->options.estimate_decay,
+                      static_cast<double>(misses));
+      ++it;
+    }
+    return sum;
+  }
+
   [[nodiscard]] double GammaEps() const {
     return shared_->params.GammaEpsilon();
   }
@@ -145,22 +201,38 @@ class LinkAgent final : public Node {
   rng::Xoshiro256 coin_;
   bool active_ = true;
   bool violating_ = false;
+  bool silent_pruned_ = false;
+  bool heard_any_ever_ = false;
   double estimate_ = 0.0;
   double noise_factor_ = 0.0;
   double round_sum_ = 0.0;
   std::uint32_t round_ = 0;
+  std::uint32_t silent_rounds_ = 0;
+  std::size_t heard_this_round_ = 0;
   std::vector<std::pair<double, NodeId>> heard_violator_estimates_;
+  std::map<NodeId, NeighborRecord> neighbors_;
 };
 
 }  // namespace
+
+void DlsProtocolOptions::Validate() const {
+  FS_CHECK_MSG(round_duration > 0.0, "round duration must be > 0");
+  FS_CHECK_MSG(contention_rounds + resolution_rounds > 0,
+               "need at least one round");
+  FS_CHECK_MSG(backoff_probability >= 0.0 && backoff_probability <= 1.0,
+               "backoff probability must be in [0, 1]");
+  FS_CHECK_MSG(broadcast_radius > 0.0, "broadcast radius must be > 0");
+  FS_CHECK_MSG(estimate_decay >= 0.0 && estimate_decay <= 1.0,
+               "estimate decay must be in [0, 1]");
+  FS_CHECK_MSG(max_silent_rounds > 0, "max silent rounds must be > 0");
+  fault.Validate();
+}
 
 DlsProtocolResult RunDlsProtocol(const net::LinkSet& links,
                                  const channel::ChannelParams& params,
                                  const DlsProtocolOptions& options) {
   params.Validate();
-  FS_CHECK_MSG(options.round_duration > 0.0, "round duration must be > 0");
-  FS_CHECK_MSG(options.contention_rounds + options.resolution_rounds > 0,
-               "need at least one round");
+  options.Validate();
 
   Shared shared;
   shared.links = &links;
@@ -168,6 +240,10 @@ DlsProtocolResult RunDlsProtocol(const net::LinkSet& links,
   shared.options = options;
   shared.total_rounds =
       options.contention_rounds + options.resolution_rounds;
+  shared.robust =
+      options.robust == DlsProtocolOptions::RobustMode::kOn ||
+      (options.robust == DlsProtocolOptions::RobustMode::kAuto &&
+       options.fault.Enabled());
 
   EventSimulator::Options sim_options;
   sim_options.broadcast_radius = options.broadcast_radius;
@@ -177,6 +253,7 @@ DlsProtocolResult RunDlsProtocol(const net::LinkSet& links,
   sim_options.propagation_delay_per_unit =
       0.5 * options.round_duration / std::max(1.0, options.broadcast_radius);
   EventSimulator sim(sim_options);
+  sim.InstallFaultPlan(options.fault);
 
   std::vector<LinkAgent*> agents;
   rng::Xoshiro256 master(options.seed);
@@ -187,13 +264,32 @@ DlsProtocolResult RunDlsProtocol(const net::LinkSet& links,
     sim.AddNode(std::move(agent), links.Sender(i));
   }
 
-  DlsProtocolResult result;
-  result.sim_stats = sim.Run(
+  const Time horizon =
       (static_cast<double>(shared.total_rounds) + 1.0) *
-      options.round_duration);
+      options.round_duration;
+  DlsProtocolResult result;
+  result.sim_stats = sim.Run(horizon);
   result.rounds = shared.total_rounds;
+  result.beacons_lost = result.sim_stats.messages_dropped +
+                        result.sim_stats.messages_crash_dropped;
   for (net::LinkId i = 0; i < links.Size(); ++i) {
-    if (agents[i]->Active()) result.schedule.push_back(i);
+    // A node that is down at the horizon cannot transmit, whatever its
+    // protocol state says; one that crashed and recovered keeps its slot.
+    if (agents[i]->Active() && !options.fault.CrashedAt(i, horizon)) {
+      result.schedule.push_back(i);
+    }
+    if (agents[i]->SilentPruned()) ++result.agents_silent_pruned;
+    if (options.fault.EverCrashedBefore(i, horizon)) ++result.agents_crashed;
+  }
+  if (!result.schedule.empty()) {
+    const channel::InterferenceCalculator calc(links, params);
+    std::size_t violating = 0;
+    for (net::LinkId id : result.schedule) {
+      if (!channel::LinkIsInformed(calc, result.schedule, id)) ++violating;
+    }
+    result.residual_violation_rate =
+        static_cast<double>(violating) /
+        static_cast<double>(result.schedule.size());
   }
   return result;
 }

@@ -17,6 +17,18 @@
 // monotonicity of interference the surviving set satisfies every
 // survivor's local constraint — with a broadcast radius covering the
 // deployment that is exactly Corollary 3.1 feasibility.
+//
+// Fault tolerance: a FaultPlan in the options injects beacon loss, radius
+// fading, node crashes, and timer jitter (see fault_injection.hpp). When
+// any fault channel is active (or robust mode is forced on) the agents
+// switch to a hardened estimator: a neighbour that falls silent keeps
+// contributing its last-heard interference factor, geometrically decayed
+// per missed round, instead of vanishing instantly; and an agent that
+// hears nothing at all for `max_silent_rounds` consecutive rounds —
+// having heard neighbours before — assumes it is cut off from the control
+// plane and self-prunes conservatively. With an all-zero plan the legacy
+// estimator runs unchanged, and the protocol output is bit-identical to
+// the fault-free implementation.
 #pragma once
 
 #include <cstdint>
@@ -36,12 +48,40 @@ struct DlsProtocolOptions {
   /// Radius of the local broadcast (absolute distance). Agents outside it
   /// are invisible to each other.
   double broadcast_radius = 1500.0;
+
+  /// Control-plane fault model; the all-zero default injects nothing.
+  FaultPlan fault;
+
+  /// kAuto hardens the estimator iff `fault` is enabled; kOn/kOff force it.
+  enum class RobustMode { kAuto, kOff, kOn };
+  RobustMode robust = RobustMode::kAuto;
+
+  /// Hardened estimator: per-missed-round decay of a silent neighbour's
+  /// last-heard interference factor (in [0, 1]).
+  double estimate_decay = 0.6;
+  /// A silent neighbour is forgotten — and a totally isolated agent
+  /// self-prunes — after this many consecutive silent rounds.
+  std::uint32_t max_silent_rounds = 3;
+
+  /// Throws CheckFailure unless durations/radius are positive, there is at
+  /// least one round, probabilities and the decay are in [0, 1], the
+  /// silent-round limit is non-zero, and the fault plan validates.
+  void Validate() const;
 };
 
 struct DlsProtocolResult {
   net::Schedule schedule;      ///< link ids still active at the end
   SimStats sim_stats;          ///< messages / events / simulated time
   std::uint32_t rounds = 0;    ///< rounds actually executed
+
+  // Degradation metrics (all zero on fault-free runs).
+  std::uint64_t beacons_lost = 0;        ///< dropped + lost to crashes
+  std::size_t agents_crashed = 0;        ///< agents down at any point
+  std::size_t agents_silent_pruned = 0;  ///< isolated agents that withdrew
+  /// Fraction of the surviving schedule violating Corollary 3.1 — the
+  /// residual infeasibility the faults caused (0 on fault-free runs with a
+  /// covering broadcast radius).
+  double residual_violation_rate = 0.0;
 };
 
 /// Runs the protocol over the given links and returns the surviving

@@ -1,15 +1,24 @@
 #include "distsim/event_sim.hpp"
 
+#include <cmath>
+
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace fadesched::distsim {
 
-EventSimulator::EventSimulator(Options options) : options_(options) {
-  FS_CHECK_MSG(options_.propagation_delay_per_unit >= 0.0,
+void EventSimOptions::Validate() const {
+  FS_CHECK_MSG(propagation_delay_per_unit >= 0.0 &&
+                   std::isfinite(propagation_delay_per_unit),
                "negative propagation delay");
-  FS_CHECK_MSG(options_.fixed_latency >= 0.0, "negative fixed latency");
-  FS_CHECK_MSG(options_.broadcast_radius > 0.0,
-               "broadcast radius must be positive");
+  FS_CHECK_MSG(fixed_latency >= 0.0 && std::isfinite(fixed_latency),
+               "negative fixed latency");
+  FS_CHECK_MSG(broadcast_radius > 0.0, "broadcast radius must be positive");
+  FS_CHECK_MSG(max_events > 0, "event cap must be positive");
+}
+
+EventSimulator::EventSimulator(Options options) : options_(options) {
+  options_.Validate();
 }
 
 EventSimulator::~EventSimulator() = default;
@@ -27,6 +36,14 @@ geom::Vec2 EventSimulator::Position(NodeId id) const {
   return positions_[id];
 }
 
+void EventSimulator::InstallFaultPlan(const FaultPlan& plan) {
+  plan.Validate();
+  fault_plan_ = plan;
+  // An inert plan never constructs an injector, so the fault-free path is
+  // bit-identical to a simulator with no plan installed at all.
+  faults_ = plan.Enabled() ? std::make_unique<FaultInjector>(plan) : nullptr;
+}
+
 void EventSimulator::Schedule(Event event) {
   event.sequence = next_sequence_++;
   queue_.push(std::move(event));
@@ -36,24 +53,58 @@ SimStats EventSimulator::Run(Time until) {
   FS_CHECK_MSG(until >= 0.0, "negative horizon");
   stats_ = SimStats{};
   now_ = 0.0;
+  // Restart the fault stream so repeated Run() calls fault identically.
+  if (faults_) faults_ = std::make_unique<FaultInjector>(fault_plan_);
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     Context ctx(*this, id);
     nodes_[id]->OnStart(ctx);
   }
   while (!queue_.empty()) {
-    FS_CHECK_MSG(stats_.events_processed < options_.max_events,
-                 "event cap exceeded — runaway protocol?");
+    if (stats_.events_processed >= options_.max_events) {
+      stats_.truncated = true;
+      FS_LOG(Warn) << "event cap (" << options_.max_events
+                   << ") hit at t=" << now_
+                   << " — truncating run (runaway protocol?)";
+      break;
+    }
     const Event event = queue_.top();
     if (event.at > until) break;
     queue_.pop();
     now_ = event.at;
     ++stats_.events_processed;
-    Context ctx(*this, event.target);
     if (event.is_timer) {
+      // A timer owned by a crashed node is deferred to its recovery (the
+      // node wakes with stale state) or dropped if the crash is permanent.
+      if (faults_ && fault_plan_.CrashedAt(event.target, now_)) {
+        const Time recovery = fault_plan_.RecoveryTime(event.target, now_);
+        if (std::isfinite(recovery)) {
+          ++stats_.timers_deferred;
+          Event deferred = event;
+          deferred.at = recovery;
+          Schedule(std::move(deferred));
+        } else {
+          ++stats_.timers_dropped;
+        }
+        continue;
+      }
       ++stats_.timers_fired;
+      Context ctx(*this, event.target);
       nodes_[event.target]->OnTimer(ctx, event.timer_id);
     } else {
+      // Faults are consulted at delivery time, in global event order, so
+      // the dedicated fault stream is consumed deterministically.
+      if (faults_) {
+        if (fault_plan_.CrashedAt(event.target, now_)) {
+          ++stats_.messages_crash_dropped;
+          continue;
+        }
+        if (faults_->RollMessageDrop()) {
+          ++stats_.messages_dropped;
+          continue;
+        }
+      }
       ++stats_.messages_delivered;
+      Context ctx(*this, event.target);
       nodes_[event.target]->OnMessage(ctx, event.message);
     }
   }
@@ -77,10 +128,14 @@ void Context::Send(NodeId to, std::uint64_t tag, std::vector<double> data) {
 
 void Context::BroadcastLocal(std::uint64_t tag, std::vector<double> data) {
   const geom::Vec2 origin = sim_.Position(self_);
+  const double radius =
+      sim_.faults_
+          ? sim_.faults_->BroadcastRadius(sim_.options_.broadcast_radius,
+                                          sim_.now_)
+          : sim_.options_.broadcast_radius;
   for (NodeId to = 0; to < sim_.nodes_.size(); ++to) {
     if (to == self_) continue;
-    if (geom::Distance(origin, sim_.Position(to)) <=
-        sim_.options_.broadcast_radius) {
+    if (geom::Distance(origin, sim_.Position(to)) <= radius) {
       Send(to, tag, data);  // copies payload per recipient
     }
   }
@@ -89,7 +144,8 @@ void Context::BroadcastLocal(std::uint64_t tag, std::vector<double> data) {
 void Context::SetTimer(Time delay, std::uint64_t timer_id) {
   FS_CHECK_MSG(delay >= 0.0, "negative timer delay");
   EventSimulator::Event event;
-  event.at = sim_.now_ + delay;
+  event.at = sim_.now_ + delay +
+             (sim_.faults_ ? sim_.faults_->RollTimerJitter() : 0.0);
   event.is_timer = true;
   event.timer_id = timer_id;
   event.target = self_;

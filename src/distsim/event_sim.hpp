@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "distsim/fault_injection.hpp"
 #include "geom/vec2.hpp"
 
 namespace fadesched::distsim {
@@ -45,6 +46,14 @@ struct SimStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t timers_fired = 0;
   std::uint64_t events_processed = 0;
+  /// Degradation counters (all zero without an installed fault plan).
+  std::uint64_t messages_dropped = 0;       ///< lost to random drops
+  std::uint64_t messages_crash_dropped = 0; ///< target was down at delivery
+  std::uint64_t timers_deferred = 0;        ///< fired late, after recovery
+  std::uint64_t timers_dropped = 0;         ///< owner permanently crashed
+  /// True iff the run stopped at max_events instead of draining the queue
+  /// or reaching the horizon.
+  bool truncated = false;
   Time end_time = 0.0;
 };
 
@@ -56,6 +65,10 @@ struct EventSimOptions {
   double broadcast_radius = 100.0;
   /// Safety cap on total events (runaway-protocol guard).
   std::uint64_t max_events = 10'000'000;
+
+  /// Throws CheckFailure unless delays are finite and non-negative, the
+  /// radius is positive, and the event cap is non-zero.
+  void Validate() const;
 };
 
 class EventSimulator {
@@ -72,6 +85,12 @@ class EventSimulator {
 
   [[nodiscard]] std::size_t NumNodes() const { return nodes_.size(); }
   [[nodiscard]] geom::Vec2 Position(NodeId id) const;
+
+  /// Installs a fault plan consulted at every delivery, broadcast, and
+  /// timer fire. Must be called before Run(). Each Run() restarts the
+  /// fault stream from the plan's seed, so repeated runs fault
+  /// identically. An all-zero plan is exactly a no-op.
+  void InstallFaultPlan(const FaultPlan& plan);
 
   /// Runs OnStart on every node then processes events until the queue is
   /// empty or `until` is reached, whichever is first.
@@ -98,6 +117,8 @@ class EventSimulator {
   void Schedule(Event event);
 
   Options options_;
+  FaultPlan fault_plan_;
+  std::unique_ptr<FaultInjector> faults_;  ///< null until faults installed
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<geom::Vec2> positions_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;

@@ -1,0 +1,113 @@
+#include "distsim/fault_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::distsim {
+
+bool FaultPlan::Enabled() const {
+  return drop_probability > 0.0 || radius_shrink_per_round > 0.0 ||
+         timer_jitter > 0.0 || !crashes.empty();
+}
+
+bool FaultPlan::CrashedAt(NodeId node, Time at) const {
+  for (const CrashWindow& w : crashes) {
+    if (w.node == node && at >= w.begin && at < w.end) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::EverCrashedBefore(NodeId node, Time horizon) const {
+  for (const CrashWindow& w : crashes) {
+    if (w.node == node && w.begin < horizon) return true;
+  }
+  return false;
+}
+
+Time FaultPlan::RecoveryTime(NodeId node, Time at) const {
+  // Windows may overlap; the node is only up again once no window covers
+  // the candidate recovery instant.
+  Time recovery = at;
+  bool covered = true;
+  while (covered) {
+    covered = false;
+    for (const CrashWindow& w : crashes) {
+      if (w.node == node && recovery >= w.begin && recovery < w.end) {
+        recovery = w.end;
+        covered = std::isfinite(recovery);
+        if (!covered) return recovery;  // permanent crash
+      }
+    }
+  }
+  FS_CHECK_MSG(recovery > at, "RecoveryTime called on a live node");
+  return recovery;
+}
+
+double FaultPlan::RadiusFactor(Time at) const {
+  if (radius_shrink_per_round <= 0.0) return 1.0;
+  const double rounds_elapsed = std::floor(at / round_period);
+  return std::max(min_radius_factor,
+                  1.0 - radius_shrink_per_round * rounds_elapsed);
+}
+
+void FaultPlan::Validate() const {
+  FS_CHECK_MSG(drop_probability >= 0.0 && drop_probability <= 1.0,
+               "drop probability must be in [0, 1]");
+  FS_CHECK_MSG(radius_shrink_per_round >= 0.0 &&
+                   radius_shrink_per_round <= 1.0,
+               "radius shrink per round must be in [0, 1]");
+  FS_CHECK_MSG(min_radius_factor > 0.0 && min_radius_factor <= 1.0,
+               "min radius factor must be in (0, 1]");
+  FS_CHECK_MSG(round_period > 0.0, "round period must be positive");
+  FS_CHECK_MSG(timer_jitter >= 0.0 && std::isfinite(timer_jitter),
+               "timer jitter must be finite and non-negative");
+  for (const CrashWindow& w : crashes) {
+    FS_CHECK_MSG(w.begin >= 0.0, "crash window must start at t >= 0");
+    FS_CHECK_MSG(w.begin < w.end, "crash window must have begin < end");
+  }
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), enabled_(plan.Enabled()), stream_(plan.seed) {
+  plan_.Validate();
+}
+
+bool FaultInjector::RollMessageDrop() {
+  if (plan_.drop_probability <= 0.0) return false;
+  return rng::UniformUnit(stream_) < plan_.drop_probability;
+}
+
+double FaultInjector::RollTimerJitter() {
+  if (plan_.timer_jitter <= 0.0) return 0.0;
+  return plan_.timer_jitter * rng::UniformUnit(stream_);
+}
+
+std::vector<CrashWindow> SampleCrashWindows(std::size_t num_nodes,
+                                            double crash_fraction,
+                                            Time horizon,
+                                            Time outage_duration,
+                                            std::uint64_t seed) {
+  FS_CHECK_MSG(crash_fraction >= 0.0 && crash_fraction <= 1.0,
+               "crash fraction must be in [0, 1]");
+  FS_CHECK_MSG(horizon > 0.0, "horizon must be positive");
+  std::vector<CrashWindow> crashes;
+  rng::Xoshiro256 gen(seed);
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    const double roll = rng::UniformUnit(gen);
+    const double begin = rng::UniformRange(gen, 0.0, horizon);
+    if (roll >= crash_fraction) continue;  // draws consumed either way
+    CrashWindow w;
+    w.node = node;
+    w.begin = begin;
+    w.end = outage_duration > 0.0
+                ? begin + outage_duration
+                : std::numeric_limits<double>::infinity();
+    crashes.push_back(w);
+  }
+  return crashes;
+}
+
+}  // namespace fadesched::distsim

@@ -1,0 +1,118 @@
+// Deterministic fault injection for the discrete-event layer.
+//
+// A FaultPlan describes how the control plane misbehaves: per-message
+// delivery drops, per-round shrinkage of the local-broadcast radius
+// (control-channel fading), scheduled node crash/recovery windows, and
+// bounded timer jitter. The plan is pure data; a FaultInjector pairs it
+// with a dedicated xoshiro256++ stream that is consumed strictly in
+// global event order. Because the event loop is sequential, a faulted run
+// is bit-reproducible for a fixed (plan, seed) regardless of how many
+// threads the surrounding experiment uses — the same guarantee the
+// Monte-Carlo simulator gives via per-trial streams.
+//
+// An all-zero plan (the default) is inert: no stream draws are consumed
+// and the simulator's behaviour is bit-identical to a fault-free run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::distsim {
+
+// Shared with event_sim.hpp (identical alias redeclaration is well-formed;
+// this header sits below event_sim.hpp in the include order).
+using NodeId = std::size_t;
+using Time = double;
+
+/// One scheduled outage: the node is down for t ∈ [begin, end). An
+/// infinite `end` models a permanent crash.
+struct CrashWindow {
+  NodeId node = 0;
+  Time begin = 0.0;
+  Time end = std::numeric_limits<double>::infinity();
+};
+
+struct FaultPlan {
+  /// Probability that any single message delivery is silently lost.
+  double drop_probability = 0.0;
+
+  /// Fraction of the nominal broadcast radius lost per elapsed round
+  /// (`round_period` simulated seconds), modelling a slowly fading
+  /// control channel. The radius never shrinks below
+  /// `min_radius_factor`·nominal.
+  double radius_shrink_per_round = 0.0;
+  double min_radius_factor = 0.1;
+  double round_period = 1.0;
+
+  /// Upper bound on the uniform extra delay added to every timer.
+  double timer_jitter = 0.0;
+
+  /// Seed of the dedicated fault stream (independent of protocol seeds).
+  std::uint64_t seed = 0xbadfade5ULL;
+
+  std::vector<CrashWindow> crashes;
+
+  /// True iff any fault channel is active. Inert plans short-circuit every
+  /// consultation, so they are exactly free.
+  [[nodiscard]] bool Enabled() const;
+
+  /// True iff `node` is down at time `at`.
+  [[nodiscard]] bool CrashedAt(NodeId node, Time at) const;
+
+  /// True iff `node` has a crash window starting before `horizon`.
+  [[nodiscard]] bool EverCrashedBefore(NodeId node, Time horizon) const;
+
+  /// End of the crash window covering `at` (the recovery instant), or
+  /// +infinity for a permanent crash. Precondition: CrashedAt(node, at).
+  [[nodiscard]] Time RecoveryTime(NodeId node, Time at) const;
+
+  /// Multiplier in (0, 1] applied to the broadcast radius at time `at`.
+  [[nodiscard]] double RadiusFactor(Time at) const;
+
+  /// Throws CheckFailure unless probabilities are in [0,1], jitter and
+  /// window bounds are non-negative, and every window has begin < end.
+  void Validate() const;
+};
+
+/// Runtime companion of a FaultPlan: owns the fault stream and draws from
+/// it in consultation order. The EventSimulator creates one per Run(), so
+/// repeated runs of the same simulator are identically faulted.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  [[nodiscard]] const FaultPlan& Plan() const { return plan_; }
+  [[nodiscard]] bool Enabled() const { return enabled_; }
+
+  /// True iff this delivery should be lost. Draws from the stream only
+  /// when drop_probability > 0, keeping inert plans draw-free.
+  bool RollMessageDrop();
+
+  /// Extra delay in [0, timer_jitter] for one timer (0 without a draw when
+  /// jitter is disabled).
+  double RollTimerJitter();
+
+  [[nodiscard]] double BroadcastRadius(double nominal, Time at) const {
+    return nominal * plan_.RadiusFactor(at);
+  }
+
+ private:
+  FaultPlan plan_;
+  bool enabled_ = false;
+  rng::Xoshiro256 stream_;
+};
+
+/// Deterministically samples crash windows for a bench/CLI sweep: each of
+/// the `num_nodes` nodes independently crashes with probability
+/// `crash_fraction` at a uniform time in [0, horizon); the outage lasts
+/// `outage_duration` seconds, or forever when `outage_duration` <= 0.
+std::vector<CrashWindow> SampleCrashWindows(std::size_t num_nodes,
+                                            double crash_fraction,
+                                            Time horizon,
+                                            Time outage_duration,
+                                            std::uint64_t seed);
+
+}  // namespace fadesched::distsim

@@ -1,5 +1,6 @@
 #include "net/scenario_io.hpp"
 
+#include <cmath>
 #include <fstream>
 
 #include "util/check.hpp"
@@ -30,17 +31,36 @@ util::CsvTable ToCsv(const LinkSet& links) {
 
 LinkSet FromCsv(const util::CsvTable& table) {
   LinkSet links;
+  const bool with_power = table.HasColumn("tx_power");
   for (std::size_t row = 0; row < table.NumRows(); ++row) {
+    // Every malformed-value failure names the 1-based data row, so a bad
+    // line in a thousand-link scenario file is findable.
+    const std::string where = "scenario row " + std::to_string(row + 1);
+    const auto cell = [&](const char* col) {
+      const auto parsed = util::ParseDouble(table.Cell(row, col));
+      FS_CHECK_MSG(parsed.has_value(),
+                   where + ": malformed value in column " + col);
+      FS_CHECK_MSG(std::isfinite(*parsed),
+                   where + ": non-finite value in column " + col);
+      return *parsed;
+    };
     Link link;
-    link.sender = geom::Vec2{table.CellAsDouble(row, "sx"),
-                             table.CellAsDouble(row, "sy")};
-    link.receiver = geom::Vec2{table.CellAsDouble(row, "rx"),
-                               table.CellAsDouble(row, "ry")};
-    link.rate = table.CellAsDouble(row, "rate");
-    if (table.HasColumn("tx_power")) {
-      link.tx_power = table.CellAsDouble(row, "tx_power");
+    link.sender = geom::Vec2{cell("sx"), cell("sy")};
+    link.receiver = geom::Vec2{cell("rx"), cell("ry")};
+    link.rate = cell("rate");
+    FS_CHECK_MSG(link.rate > 0.0, where + ": rate must be positive");
+    if (with_power) {
+      link.tx_power = cell("tx_power");
+      FS_CHECK_MSG(link.tx_power >= 0.0,
+                   where + ": tx_power must be non-negative");
     }
-    links.Add(link);
+    try {
+      links.Add(link);
+    } catch (const util::CheckFailure& e) {
+      // Re-raise LinkSet's own validation (e.g. zero-length links) with
+      // the row attached.
+      throw util::CheckFailure(where + ": " + e.what());
+    }
   }
   return links;
 }

@@ -25,8 +25,7 @@ SimResult SimulateSchedule(const net::LinkSet& links,
                            const SimOptions& options,
                            util::ThreadPool& pool) {
   params.Validate();
-  options.fading.Validate();
-  FS_CHECK_MSG(options.trials > 0, "need at least one trial");
+  options.Validate();
   const std::size_t m = schedule.size();
 
   SimResult result;

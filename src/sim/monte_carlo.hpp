@@ -30,6 +30,12 @@ struct SimOptions {
   unsigned threads = 0;
   /// Channel realization model; defaults to the paper's Rayleigh fading.
   FadingOptions fading;
+
+  /// Throws CheckFailure unless trials > 0 and the fading options validate.
+  void Validate() const {
+    FS_CHECK_MSG(trials > 0, "need at least one trial");
+    fading.Validate();
+  }
 };
 
 struct SimResult {

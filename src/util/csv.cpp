@@ -128,10 +128,17 @@ CsvTable CsvTable::Parse(std::istream& is) {
                "empty CSV input: no header line");
   if (!line.empty() && line.back() == '\r') line.pop_back();
   CsvTable table(parse_line(line));
+  std::size_t row_number = 0;  // 1-based data rows, header excluded
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (Trim(line).empty()) continue;
-    table.AppendRow(parse_line(line));
+    ++row_number;
+    std::vector<std::string> cells = parse_line(line);
+    FS_CHECK_MSG(cells.size() == table.NumCols(),
+                 "CSV row " + std::to_string(row_number) + ": expected " +
+                     std::to_string(table.NumCols()) + " columns, got " +
+                     std::to_string(cells.size()));
+    table.AppendRow(std::move(cells));
   }
   return table;
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "channel/feasibility.hpp"
@@ -141,6 +143,146 @@ TEST(DlsProtocolTest, InvalidOptionsRejected) {
   bad.resolution_rounds = 0;
   EXPECT_THROW(RunDlsProtocol(links, PaperParams(), bad),
                util::CheckFailure);
+  bad = DlsProtocolOptions{};
+  bad.backoff_probability = 1.5;
+  EXPECT_THROW(bad.Validate(), util::CheckFailure);
+  bad = DlsProtocolOptions{};
+  bad.broadcast_radius = 0.0;
+  EXPECT_THROW(bad.Validate(), util::CheckFailure);
+  bad = DlsProtocolOptions{};
+  bad.estimate_decay = 1.5;
+  EXPECT_THROW(bad.Validate(), util::CheckFailure);
+  bad = DlsProtocolOptions{};
+  bad.max_silent_rounds = 0;
+  EXPECT_THROW(bad.Validate(), util::CheckFailure);
+  bad = DlsProtocolOptions{};
+  bad.fault.drop_probability = 2.0;
+  EXPECT_THROW(bad.Validate(), util::CheckFailure);
+}
+
+// Golden outputs captured from the pre-fault-injection implementation
+// (n = 80 uniform scenario, paper parameters, default protocol options).
+// The fault layer must leave the fault-free path bit-identical: the same
+// schedule AND the same message count, with or without an all-zero
+// FaultPlan installed.
+struct Golden {
+  std::uint64_t scenario_seed;
+  std::uint64_t messages_sent;
+  net::Schedule schedule;
+};
+
+const Golden kGoldens[] = {
+    {1, 38552, {3, 5, 7, 18, 20, 34, 38, 42, 49, 50, 55, 57, 63, 69, 73, 74,
+                78}},
+    {2, 35866, {7, 11, 13, 15, 18, 19, 22, 32, 41, 42, 44, 50, 61, 73, 78}},
+    {3, 32785, {3, 5, 10, 13, 23, 29, 31, 42, 48, 50, 55, 64, 74, 77}},
+};
+
+TEST(DlsProtocolTest, FaultFreeRunMatchesPreFaultGoldens) {
+  for (const Golden& golden : kGoldens) {
+    rng::Xoshiro256 gen(golden.scenario_seed);
+    const net::LinkSet links = net::MakeUniformScenario(80, {}, gen);
+
+    const DlsProtocolResult plain = RunDlsProtocol(links, PaperParams());
+    EXPECT_EQ(plain.schedule, golden.schedule)
+        << "seed=" << golden.scenario_seed;
+    EXPECT_EQ(plain.sim_stats.messages_sent, golden.messages_sent)
+        << "seed=" << golden.scenario_seed;
+    EXPECT_EQ(plain.beacons_lost, 0u);
+    EXPECT_EQ(plain.agents_crashed, 0u);
+    EXPECT_EQ(plain.agents_silent_pruned, 0u);
+    EXPECT_DOUBLE_EQ(plain.residual_violation_rate, 0.0);
+
+    // Installing an all-zero plan must change nothing, bit for bit.
+    DlsProtocolOptions inert;
+    inert.fault = FaultPlan{};
+    const DlsProtocolResult with_plan =
+        RunDlsProtocol(links, PaperParams(), inert);
+    EXPECT_EQ(with_plan.schedule, golden.schedule);
+    EXPECT_EQ(with_plan.sim_stats.messages_sent, golden.messages_sent);
+  }
+}
+
+TEST(DlsProtocolTest, FaultedRunIsDeterministic) {
+  rng::Xoshiro256 gen(7);
+  const net::LinkSet links = net::MakeUniformScenario(80, {}, gen);
+  DlsProtocolOptions options;
+  options.fault.drop_probability = 0.25;
+  options.fault.timer_jitter = 0.01;
+  options.fault.crashes = SampleCrashWindows(80, 0.1, 25.0, 5.0, 99);
+  const DlsProtocolResult a = RunDlsProtocol(links, PaperParams(), options);
+  const DlsProtocolResult b = RunDlsProtocol(links, PaperParams(), options);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.sim_stats.messages_sent, b.sim_stats.messages_sent);
+  EXPECT_EQ(a.beacons_lost, b.beacons_lost);
+  EXPECT_EQ(a.agents_crashed, b.agents_crashed);
+  EXPECT_EQ(a.agents_silent_pruned, b.agents_silent_pruned);
+  EXPECT_DOUBLE_EQ(a.residual_violation_rate, b.residual_violation_rate);
+  EXPECT_GT(a.beacons_lost, 0u);
+  EXPECT_GT(a.agents_crashed, 0u);
+}
+
+TEST(DlsProtocolTest, PermanentlyCrashedAgentNeverScheduled) {
+  rng::Xoshiro256 gen(8);
+  const net::LinkSet links = net::MakeUniformScenario(60, {}, gen);
+  // First find a link the fault-free run schedules, then crash it.
+  const DlsProtocolResult healthy = RunDlsProtocol(links, PaperParams());
+  ASSERT_FALSE(healthy.schedule.empty());
+  const net::LinkId victim = healthy.schedule.front();
+  DlsProtocolOptions options;
+  options.fault.crashes.push_back(
+      CrashWindow{victim, 0.0, std::numeric_limits<double>::infinity()});
+  const DlsProtocolResult result =
+      RunDlsProtocol(links, PaperParams(), options);
+  for (const net::LinkId id : result.schedule) EXPECT_NE(id, victim);
+  EXPECT_EQ(result.agents_crashed, 1u);
+}
+
+TEST(DlsProtocolTest, BeaconLossIsCountedUnderDrops) {
+  rng::Xoshiro256 gen(9);
+  const net::LinkSet links = net::MakeUniformScenario(60, {}, gen);
+  DlsProtocolOptions options;
+  options.fault.drop_probability = 0.5;
+  const DlsProtocolResult result =
+      RunDlsProtocol(links, PaperParams(), options);
+  EXPECT_GT(result.beacons_lost, 0u);
+  // Roughly half the beacons should vanish; allow a generous band.
+  const double lost_fraction =
+      static_cast<double>(result.beacons_lost) /
+      static_cast<double>(result.sim_stats.messages_sent);
+  EXPECT_GT(lost_fraction, 0.35);
+  EXPECT_LT(lost_fraction, 0.65);
+}
+
+TEST(DlsProtocolTest, ForcedRobustModeStillFeasibleWithoutFaults) {
+  // The hardened estimator only ever over-estimates interference (silent
+  // neighbours decay instead of vanishing), so the terminal self-prune
+  // argument still yields a Corollary 3.1-feasible schedule.
+  rng::Xoshiro256 gen(10);
+  const net::LinkSet links = net::MakeUniformScenario(100, {}, gen);
+  const auto params = PaperParams();
+  DlsProtocolOptions options;
+  options.robust = DlsProtocolOptions::RobustMode::kOn;
+  const DlsProtocolResult result = RunDlsProtocol(links, params, options);
+  EXPECT_GT(result.schedule.size(), 0u);
+  const channel::InterferenceCalculator calc(links, params);
+  EXPECT_TRUE(channel::ScheduleIsFeasible(calc, result.schedule));
+  EXPECT_DOUBLE_EQ(result.residual_violation_rate, 0.0);
+}
+
+TEST(DlsProtocolTest, IsolatedAgentsSelfPruneUnderRadiusCollapse) {
+  // The control channel fades hard: after a few rounds the broadcast
+  // radius collapses to 1% and agents that used to hear neighbours go
+  // deaf. The hardened estimator should conservatively withdraw them.
+  rng::Xoshiro256 gen(11);
+  const net::LinkSet links = net::MakeUniformScenario(80, {}, gen);
+  DlsProtocolOptions options;
+  options.fault.radius_shrink_per_round = 0.3;
+  options.fault.min_radius_factor = 0.01;
+  options.fault.round_period = options.round_duration;
+  const DlsProtocolResult result =
+      RunDlsProtocol(links, PaperParams(), options);
+  EXPECT_GT(result.agents_silent_pruned, 0u);
 }
 
 }  // namespace

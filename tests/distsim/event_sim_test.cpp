@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -169,6 +171,213 @@ TEST(EventSimTest, InvalidInputsRejected) {
   EventSimulator::Options bad;
   bad.broadcast_radius = 0.0;
   EXPECT_THROW(EventSimulator{bad}, util::CheckFailure);
+  bad = EventSimulator::Options{};
+  bad.fixed_latency = -1.0;
+  EXPECT_THROW(bad.Validate(), util::CheckFailure);
+  bad = EventSimulator::Options{};
+  bad.propagation_delay_per_unit = -0.5;
+  EXPECT_THROW(bad.Validate(), util::CheckFailure);
+  bad = EventSimulator::Options{};
+  bad.max_events = 0;
+  EXPECT_THROW(bad.Validate(), util::CheckFailure);
+}
+
+/// Node that re-arms its own timer forever — a runaway protocol.
+class Rearming final : public Node {
+ public:
+  void OnStart(Context& ctx) override { ctx.SetTimer(0.1, 0); }
+  void OnMessage(Context&, const Message&) override {}
+  void OnTimer(Context& ctx, std::uint64_t) override { ctx.SetTimer(0.1, 0); }
+};
+
+TEST(EventSimTest, EventCapTruncatesInsteadOfRunningAway) {
+  EventSimulator::Options options;
+  options.max_events = 25;
+  EventSimulator sim(options);
+  sim.AddNode(std::make_unique<Rearming>(), {0, 0});
+  const SimStats stats = sim.Run(1e9);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.events_processed, 25u);
+}
+
+TEST(EventSimTest, WellBehavedRunIsNotTruncated) {
+  EventSimulator sim;
+  auto recorder = std::make_unique<Recorder>();
+  const NodeId receiver = sim.AddNode(std::move(recorder), {0, 0});
+  sim.AddNode(std::make_unique<Scripted>([receiver](Context& ctx) {
+                ctx.Send(receiver, 1, {});
+              }),
+              {0, 0});
+  const SimStats stats = sim.Run(10.0);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.messages_delivered, 1u);
+}
+
+TEST(EventSimTest, DropProbabilityOneLosesEveryMessage) {
+  EventSimulator sim;
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  const NodeId receiver = sim.AddNode(std::move(recorder), {0, 0});
+  sim.AddNode(std::make_unique<Scripted>([receiver](Context& ctx) {
+                for (std::uint64_t tag = 0; tag < 5; ++tag) {
+                  ctx.Send(receiver, tag, {});
+                }
+              }),
+              {0, 0});
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  sim.InstallFaultPlan(plan);
+  const SimStats stats = sim.Run(10.0);
+  EXPECT_EQ(stats.messages_sent, 5u);
+  EXPECT_EQ(stats.messages_dropped, 5u);
+  EXPECT_EQ(stats.messages_delivered, 0u);
+  EXPECT_TRUE(rec->log.empty());
+}
+
+TEST(EventSimTest, AllZeroPlanChangesNothing) {
+  const auto run = [](bool install_inert_plan) {
+    EventSimulator sim;
+    auto recorder = std::make_unique<Recorder>();
+    Recorder* rec = recorder.get();
+    const NodeId receiver = sim.AddNode(std::move(recorder), {3.0, 4.0});
+    sim.AddNode(std::make_unique<Scripted>([receiver](Context& ctx) {
+                  ctx.Send(receiver, 11, {2.5});
+                  ctx.BroadcastLocal(12, {});
+                }),
+                {0, 0});
+    if (install_inert_plan) sim.InstallFaultPlan(FaultPlan{});
+    const SimStats stats = sim.Run(10.0);
+    return std::pair{stats, rec->log.size()};
+  };
+  const auto [plain, plain_log] = run(false);
+  const auto [inert, inert_log] = run(true);
+  EXPECT_EQ(plain.messages_delivered, inert.messages_delivered);
+  EXPECT_EQ(plain.events_processed, inert.events_processed);
+  EXPECT_EQ(plain.end_time, inert.end_time);
+  EXPECT_EQ(plain_log, inert_log);
+  EXPECT_EQ(inert.messages_dropped, 0u);
+}
+
+TEST(EventSimTest, MessagesToCrashedTargetAreDropped) {
+  EventSimulator::Options options;
+  options.fixed_latency = 1.0;
+  options.propagation_delay_per_unit = 0.0;
+  EventSimulator sim(options);
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  const NodeId receiver = sim.AddNode(std::move(recorder), {0, 0});
+  sim.AddNode(std::make_unique<Scripted>([receiver](Context& ctx) {
+                ctx.Send(receiver, 1, {});  // arrives t=1, inside the outage
+              }),
+              {0, 0});
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{receiver, 0.5, 2.0});
+  sim.InstallFaultPlan(plan);
+  const SimStats stats = sim.Run(10.0);
+  EXPECT_EQ(stats.messages_crash_dropped, 1u);
+  EXPECT_EQ(stats.messages_delivered, 0u);
+  EXPECT_TRUE(rec->log.empty());
+}
+
+/// Sets one timer at a fixed delay and records when it actually fires.
+class OneTimer final : public Node {
+ public:
+  explicit OneTimer(double delay) : delay_(delay) {}
+  void OnStart(Context& ctx) override { ctx.SetTimer(delay_, 1); }
+  void OnMessage(Context&, const Message&) override {}
+  void OnTimer(Context& ctx, std::uint64_t) override {
+    fired_at.push_back(ctx.Now());
+  }
+
+  std::vector<Time> fired_at;
+
+ private:
+  double delay_;
+};
+
+TEST(EventSimTest, TimerOfCrashedNodeIsDeferredToRecovery) {
+  EventSimulator sim;
+  auto node = std::make_unique<OneTimer>(1.0);
+  OneTimer* ptr = node.get();
+  const NodeId owner = sim.AddNode(std::move(node), {0, 0});
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{owner, 0.5, 3.0});
+  sim.InstallFaultPlan(plan);
+  const SimStats stats = sim.Run(10.0);
+  EXPECT_EQ(stats.timers_deferred, 1u);
+  EXPECT_EQ(stats.timers_fired, 1u);
+  ASSERT_EQ(ptr->fired_at.size(), 1u);
+  EXPECT_NEAR(ptr->fired_at[0], 3.0, 1e-12);  // woke at the recovery instant
+}
+
+TEST(EventSimTest, TimerOfPermanentlyCrashedNodeIsDropped) {
+  EventSimulator sim;
+  auto node = std::make_unique<OneTimer>(1.0);
+  OneTimer* ptr = node.get();
+  const NodeId owner = sim.AddNode(std::move(node), {0, 0});
+  FaultPlan plan;
+  plan.crashes.push_back(
+      CrashWindow{owner, 0.5, std::numeric_limits<double>::infinity()});
+  sim.InstallFaultPlan(plan);
+  const SimStats stats = sim.Run(10.0);
+  EXPECT_EQ(stats.timers_dropped, 1u);
+  EXPECT_EQ(stats.timers_fired, 0u);
+  EXPECT_TRUE(ptr->fired_at.empty());
+}
+
+TEST(EventSimTest, TimerJitterIsBoundedAndReproducible) {
+  const auto fire_time = [] {
+    EventSimulator sim;
+    auto node = std::make_unique<OneTimer>(1.0);
+    OneTimer* ptr = node.get();
+    sim.AddNode(std::move(node), {0, 0});
+    FaultPlan plan;
+    plan.timer_jitter = 0.5;
+    sim.InstallFaultPlan(plan);
+    sim.Run(10.0);
+    return ptr->fired_at.at(0);
+  };
+  const double first = fire_time();
+  EXPECT_GE(first, 1.0);
+  EXPECT_LT(first, 1.5);
+  EXPECT_DOUBLE_EQ(first, fire_time());
+}
+
+/// Broadcasts once at t = 0 and once from a timer at t = `later`.
+class TwoBroadcasts final : public Node {
+ public:
+  explicit TwoBroadcasts(double later) : later_(later) {}
+  void OnStart(Context& ctx) override {
+    ctx.BroadcastLocal(1, {});
+    ctx.SetTimer(later_, 0);
+  }
+  void OnMessage(Context&, const Message&) override {}
+  void OnTimer(Context& ctx, std::uint64_t) override {
+    ctx.BroadcastLocal(2, {});
+  }
+
+ private:
+  double later_;
+};
+
+TEST(EventSimTest, BroadcastRadiusShrinksAsRoundsPass) {
+  EventSimulator::Options options;
+  options.broadcast_radius = 100.0;
+  EventSimulator sim(options);
+  auto recorder = std::make_unique<Recorder>();
+  Recorder* rec = recorder.get();
+  sim.AddNode(std::move(recorder), {60.0, 0.0});
+  sim.AddNode(std::make_unique<TwoBroadcasts>(2.5), {0, 0});
+  FaultPlan plan;
+  plan.radius_shrink_per_round = 0.5;
+  plan.round_period = 1.0;
+  plan.min_radius_factor = 0.1;
+  sim.InstallFaultPlan(plan);
+  sim.Run(10.0);
+  // t=0: factor 1.0 → radius 100 reaches the node at 60. t=2.5: two rounds
+  // elapsed → factor max(0.1, 1 − 0.5·2) = 0.1 → radius 10 does not.
+  ASSERT_EQ(rec->log.size(), 1u);
+  EXPECT_EQ(rec->log[0].tag_or_timer, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+#include "distsim/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace fadesched::distsim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FaultPlanTest, DefaultPlanIsInert) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.Enabled());
+  plan.Validate();
+  EXPECT_DOUBLE_EQ(plan.RadiusFactor(123.0), 1.0);
+  EXPECT_FALSE(plan.CrashedAt(0, 5.0));
+}
+
+TEST(FaultPlanTest, AnyChannelEnablesThePlan) {
+  FaultPlan plan;
+  plan.drop_probability = 0.1;
+  EXPECT_TRUE(plan.Enabled());
+  plan = FaultPlan{};
+  plan.radius_shrink_per_round = 0.05;
+  EXPECT_TRUE(plan.Enabled());
+  plan = FaultPlan{};
+  plan.timer_jitter = 0.01;
+  EXPECT_TRUE(plan.Enabled());
+  plan = FaultPlan{};
+  plan.crashes.push_back(CrashWindow{0, 1.0, 2.0});
+  EXPECT_TRUE(plan.Enabled());
+}
+
+TEST(FaultPlanTest, CrashWindowsCoverHalfOpenIntervals) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{3, 1.0, 2.0});
+  EXPECT_FALSE(plan.CrashedAt(3, 0.999));
+  EXPECT_TRUE(plan.CrashedAt(3, 1.0));
+  EXPECT_TRUE(plan.CrashedAt(3, 1.999));
+  EXPECT_FALSE(plan.CrashedAt(3, 2.0));
+  EXPECT_FALSE(plan.CrashedAt(4, 1.5));  // other nodes unaffected
+  EXPECT_TRUE(plan.EverCrashedBefore(3, 1.5));
+  EXPECT_FALSE(plan.EverCrashedBefore(3, 0.5));
+  EXPECT_FALSE(plan.EverCrashedBefore(4, 10.0));
+}
+
+TEST(FaultPlanTest, RecoveryTimeChainsOverlappingWindows) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{0, 1.0, 3.0});
+  plan.crashes.push_back(CrashWindow{0, 2.5, 4.0});
+  EXPECT_DOUBLE_EQ(plan.RecoveryTime(0, 1.5), 4.0);
+}
+
+TEST(FaultPlanTest, PermanentCrashRecoversNever) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{0, 1.0, kInf});
+  EXPECT_TRUE(plan.CrashedAt(0, 1e12));
+  EXPECT_TRUE(std::isinf(plan.RecoveryTime(0, 2.0)));
+}
+
+TEST(FaultPlanTest, RadiusShrinksPerRoundDownToFloor) {
+  FaultPlan plan;
+  plan.radius_shrink_per_round = 0.25;
+  plan.min_radius_factor = 0.3;
+  plan.round_period = 2.0;
+  EXPECT_DOUBLE_EQ(plan.RadiusFactor(0.0), 1.0);   // round 0
+  EXPECT_DOUBLE_EQ(plan.RadiusFactor(1.9), 1.0);   // still round 0
+  EXPECT_DOUBLE_EQ(plan.RadiusFactor(2.0), 0.75);  // round 1
+  EXPECT_DOUBLE_EQ(plan.RadiusFactor(4.5), 0.5);   // round 2
+  EXPECT_DOUBLE_EQ(plan.RadiusFactor(100.0), 0.3); // clamped at the floor
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadFields) {
+  FaultPlan plan;
+  plan.drop_probability = 1.5;
+  EXPECT_THROW(plan.Validate(), util::CheckFailure);
+  plan = FaultPlan{};
+  plan.radius_shrink_per_round = -0.1;
+  EXPECT_THROW(plan.Validate(), util::CheckFailure);
+  plan = FaultPlan{};
+  plan.min_radius_factor = 0.0;
+  EXPECT_THROW(plan.Validate(), util::CheckFailure);
+  plan = FaultPlan{};
+  plan.round_period = 0.0;
+  EXPECT_THROW(plan.Validate(), util::CheckFailure);
+  plan = FaultPlan{};
+  plan.timer_jitter = -1.0;
+  EXPECT_THROW(plan.Validate(), util::CheckFailure);
+  plan = FaultPlan{};
+  plan.crashes.push_back(CrashWindow{0, 2.0, 1.0});  // begin >= end
+  EXPECT_THROW(plan.Validate(), util::CheckFailure);
+}
+
+TEST(FaultInjectorTest, ExtremeDropProbabilitiesAreDeterministic) {
+  FaultPlan always;
+  always.drop_probability = 1.0;
+  FaultInjector drop_all(always);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(drop_all.RollMessageDrop());
+
+  FaultPlan never;
+  never.timer_jitter = 0.5;  // enabled, but dropping disabled
+  FaultInjector drop_none(never);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(drop_none.RollMessageDrop());
+}
+
+TEST(FaultInjectorTest, SameSeedSameDrawSequence) {
+  FaultPlan plan;
+  plan.drop_probability = 0.5;
+  plan.timer_jitter = 0.25;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.RollMessageDrop(), b.RollMessageDrop());
+    EXPECT_DOUBLE_EQ(a.RollTimerJitter(), b.RollTimerJitter());
+  }
+}
+
+TEST(FaultInjectorTest, JitterIsBounded) {
+  FaultPlan plan;
+  plan.timer_jitter = 0.125;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 500; ++i) {
+    const double jitter = injector.RollTimerJitter();
+    EXPECT_GE(jitter, 0.0);
+    EXPECT_LT(jitter, 0.125);
+  }
+}
+
+TEST(SampleCrashWindowsTest, DeterministicAndFractionMonotone) {
+  const auto a = SampleCrashWindows(100, 0.2, 25.0, 0.0, 7);
+  const auto b = SampleCrashWindows(100, 0.2, 25.0, 0.0, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_DOUBLE_EQ(a[i].begin, b[i].begin);
+  }
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_LT(a.size(), 100u);
+  // Raising the fraction only adds crashed nodes (draws are per-node).
+  const auto more = SampleCrashWindows(100, 0.6, 25.0, 0.0, 7);
+  EXPECT_GT(more.size(), a.size());
+  std::size_t matched = 0;
+  for (const auto& w : a) {
+    for (const auto& m : more) {
+      if (m.node == w.node) { ++matched; break; }
+    }
+  }
+  EXPECT_EQ(matched, a.size());
+}
+
+TEST(SampleCrashWindowsTest, OutageDurationAndBounds) {
+  const auto windows = SampleCrashWindows(50, 1.0, 10.0, 2.5, 3);
+  ASSERT_EQ(windows.size(), 50u);
+  for (const auto& w : windows) {
+    EXPECT_GE(w.begin, 0.0);
+    EXPECT_LT(w.begin, 10.0);
+    EXPECT_DOUBLE_EQ(w.end, w.begin + 2.5);
+  }
+  const auto permanent = SampleCrashWindows(10, 1.0, 10.0, 0.0, 3);
+  for (const auto& w : permanent) EXPECT_TRUE(std::isinf(w.end));
+  EXPECT_THROW(SampleCrashWindows(10, 1.5, 10.0, 0.0, 3),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::distsim

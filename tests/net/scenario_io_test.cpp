@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <string>
 
 #include "net/scenario.hpp"
 #include "rng/xoshiro256.hpp"
@@ -80,6 +81,53 @@ TEST(ScenarioIoTest, EmptyLinkSetRoundTrips) {
   const LinkSet empty;
   const LinkSet parsed = FromCsv(ToCsv(empty));
   EXPECT_TRUE(parsed.Empty());
+}
+
+TEST(ScenarioIoTest, MalformedRowsNameTheOffendingRow) {
+  // Every rejection must point at the 1-based data row so a bad line in a
+  // large scenario file is findable. The first data row is row 1.
+  struct Case {
+    const char* name;
+    const char* csv;
+    const char* expected_fragment;
+  };
+  const Case cases[] = {
+      {"malformed number",
+       "sx,sy,rx,ry,rate\n0,0,1,0,1\n1,zzz,2,0,1\n",
+       "scenario row 2: malformed value in column sy"},
+      {"nan coordinate",
+       "sx,sy,rx,ry,rate\nnan,0,1,0,1\n",
+       "scenario row 1: non-finite value in column sx"},
+      {"inf coordinate",
+       "sx,sy,rx,ry,rate\n0,0,inf,0,1\n",
+       "scenario row 1: non-finite value in column rx"},
+      {"negative rate",
+       "sx,sy,rx,ry,rate\n0,0,1,0,1\n0,1,1,1,-2\n",
+       "scenario row 2: rate must be positive"},
+      {"zero rate",
+       "sx,sy,rx,ry,rate\n0,0,1,0,0\n",
+       "scenario row 1: rate must be positive"},
+      {"infinite rate",
+       "sx,sy,rx,ry,rate\n0,0,1,0,inf\n",
+       "scenario row 1: non-finite value in column rate"},
+      {"zero-length link",
+       "sx,sy,rx,ry,rate\n0,0,1,0,1\n0,0,1,0,1\n5,5,5,5,1\n",
+       "scenario row 3"},
+      {"negative tx_power",
+       "sx,sy,rx,ry,rate,tx_power\n0,0,1,0,1,-3\n",
+       "scenario row 1: tx_power must be non-negative"},
+  };
+  for (const Case& c : cases) {
+    const util::CsvTable table = util::CsvTable::ParseString(c.csv);
+    try {
+      FromCsv(table);
+      FAIL() << c.name << ": expected CheckFailure";
+    } catch (const util::CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expected_fragment),
+                std::string::npos)
+          << c.name << ": got \"" << e.what() << '"';
+    }
+  }
 }
 
 }  // namespace

@@ -188,5 +188,15 @@ TEST(MonteCarloTest, InvalidScheduleIdRejected) {
                util::CheckFailure);
 }
 
+TEST(MonteCarloTest, OptionsValidateCatchesBadFields) {
+  SimOptions options;
+  options.Validate();  // defaults are fine
+  options.trials = 0;
+  EXPECT_THROW(options.Validate(), util::CheckFailure);
+  options = SimOptions{};
+  options.fading.nakagami_m = -1.0;
+  EXPECT_THROW(options.Validate(), util::CheckFailure);
+}
+
 }  // namespace
 }  // namespace fadesched::sim

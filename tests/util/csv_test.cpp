@@ -95,6 +95,19 @@ TEST(CsvTableTest, ParseEmptyInputThrows) {
   EXPECT_THROW(CsvTable::ParseString(""), CheckFailure);
 }
 
+TEST(CsvTableTest, ParseNamesRowOnWidthMismatch) {
+  // Blank lines don't count: the short line below is data row 2.
+  try {
+    CsvTable::ParseString("a,b\n1,2\n\n3\n");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CSV row 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 2 columns, got 1"), std::string::npos)
+        << what;
+  }
+}
+
 TEST(CsvTableTest, PrettyStringContainsAlignedHeader) {
   const std::string pretty = SampleTable().ToPrettyString();
   EXPECT_NE(pretty.find("name"), std::string::npos);

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace fadesched::util {
@@ -44,15 +46,37 @@ TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
-TEST(ThreadPoolTest, DestructorDrainsWithoutDeadlock) {
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillWorkers) {
+  // A task's exception belongs to its future; the worker thread must
+  // survive and keep serving the queue.
+  ThreadPool pool(1);
+  auto bad = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter, 50);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  // WorkerLoop only exits once the queue is empty AND stop is set, so
+  // every submitted task runs before the destructor returns — even tasks
+  // still queued when the destructor fires.
   std::atomic<int> counter{0};
   {
-    ThreadPool pool(2);
-    for (int i = 0; i < 16; ++i) {
+    ThreadPool pool(1);
+    // Head task holds the single worker so the rest pile up in the queue.
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    for (int i = 0; i < 100; ++i) {
       pool.Submit([&counter] { ++counter; });
     }
-  }  // destructor joins; queued tasks may or may not run, but no hang
-  SUCCEED();
+  }  // destructor joins after the drain
+  EXPECT_EQ(counter, 100);
 }
 
 TEST(ParallelChunksTest, CoversEveryIndexExactlyOnce) {

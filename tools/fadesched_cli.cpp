@@ -4,6 +4,7 @@
 //   fadesched_cli info     --in l.csv
 //   fadesched_cli solve    --in l.csv --algorithm rle [--alpha 3] [--slots]
 //   fadesched_cli simulate --in l.csv --algorithm rle --trials 10000
+//   fadesched_cli fault-inject --in l.csv --drop 0.3 --crash-fraction 0.1
 //   fadesched_cli ilp      --in l.csv --out problem.lp
 //
 // Every subcommand accepts --help.
@@ -12,8 +13,10 @@
 #include <string>
 
 #include "core/fadesched.hpp"
+#include "distsim/dls_protocol.hpp"
 #include "multislot/multislot.hpp"
 #include "rng/distributions.hpp"
+#include "sched/feedback.hpp"
 #include "sched/ilp_export.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -190,6 +193,77 @@ int RunSimulate(int argc, char** argv) {
   return 0;
 }
 
+int RunFaultInject(int argc, char** argv) {
+  util::CliParser cli(
+      "fadesched_cli fault-inject",
+      "run the distributed DLS protocol under control-plane faults");
+  auto& in = cli.AddString("in", "links.csv", "scenario CSV");
+  auto& drop = cli.AddDouble("drop", 0.0, "per-beacon drop probability");
+  auto& crash_fraction =
+      cli.AddDouble("crash-fraction", 0.0, "fraction of agents that crash");
+  auto& outage = cli.AddDouble(
+      "outage", 0.0, "crash outage in seconds (<= 0 = permanent)");
+  auto& radius_shrink = cli.AddDouble(
+      "radius-shrink", 0.0, "broadcast-radius loss per round (fading)");
+  auto& jitter = cli.AddDouble("jitter", 0.0, "max timer jitter (seconds)");
+  auto& fault_seed = cli.AddInt("fault-seed", 1, "fault stream seed");
+  auto& retry = cli.AddBool(
+      "retry", false, "run the feedback retry layer on the survivors");
+  auto& max_attempts =
+      cli.AddInt("max-attempts", 8, "retry attempts before blacklisting");
+  double *alpha, *epsilon, *gamma_th, *noise;
+  AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
+  if (!cli.Parse(argc, argv)) return 1;
+
+  const net::LinkSet links = net::LoadLinkSet(in);
+  const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
+
+  distsim::DlsProtocolOptions options;
+  options.fault.drop_probability = drop;
+  options.fault.radius_shrink_per_round = radius_shrink;
+  options.fault.timer_jitter = jitter;
+  options.fault.seed = static_cast<std::uint64_t>(fault_seed);
+  const double horizon =
+      (options.contention_rounds + options.resolution_rounds + 1.0) *
+      options.round_duration;
+  options.fault.crashes = distsim::SampleCrashWindows(
+      links.Size(), crash_fraction, horizon, outage,
+      static_cast<std::uint64_t>(fault_seed) * 977);
+
+  const auto result = distsim::RunDlsProtocol(links, params, options);
+  std::printf("links scheduled:        %zu / %zu\n", result.schedule.size(),
+              links.Size());
+  std::printf("beacons sent:           %llu\n",
+              static_cast<unsigned long long>(result.sim_stats.messages_sent));
+  std::printf("beacons lost:           %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(result.beacons_lost),
+              result.sim_stats.messages_sent == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(result.beacons_lost) /
+                        static_cast<double>(result.sim_stats.messages_sent));
+  std::printf("agents crashed:         %zu\n", result.agents_crashed);
+  std::printf("agents silent-pruned:   %zu\n", result.agents_silent_pruned);
+  std::printf("residual violation rate: %.4f\n",
+              result.residual_violation_rate);
+
+  if (retry) {
+    sched::FeedbackOptions fb_options;
+    fb_options.max_attempts = static_cast<std::uint32_t>(max_attempts);
+    const auto fb =
+        sched::RunFeedbackSchedule(links, params, result.schedule, fb_options);
+    std::printf("retry delivered:        %zu / %zu links (rate fraction "
+                "%.3f)\n", fb.delivered_links, result.schedule.size(),
+                fb.delivered_rate_fraction);
+    std::printf("retry blacklisted:      %zu\n", fb.blacklisted_links);
+    std::printf("retry slots used:       %zu\n", fb.slots_used);
+    if (fb.delay_slots.Count() > 0) {
+      std::printf("delivery delay (slots): mean %.2f, max %.0f\n",
+                  fb.delay_slots.Mean(), fb.delay_slots.Max());
+    }
+  }
+  return 0;
+}
+
 int RunIlp(int argc, char** argv) {
   util::CliParser cli("fadesched_cli ilp",
                       "export the instance as a CPLEX-LP integer program");
@@ -222,6 +296,7 @@ void PrintTopLevelUsage() {
       "  info       topology statistics of a scenario\n"
       "  solve      schedule one slot (--slots for a full frame)\n"
       "  simulate   Monte-Carlo fading simulation of a schedule\n"
+      "  fault-inject  distributed DLS under control-plane faults\n"
       "  ilp        export the ILP (paper formulas (20)-(22))\n"
       "  list       registered scheduler names\n"
       "\n"
@@ -245,6 +320,7 @@ int main(int argc, char** argv) {
     if (command == "info") return RunInfo(sub_argc, sub_argv);
     if (command == "solve") return RunSolve(sub_argc, sub_argv);
     if (command == "simulate") return RunSimulate(sub_argc, sub_argv);
+    if (command == "fault-inject") return RunFaultInject(sub_argc, sub_argv);
     if (command == "ilp") return RunIlp(sub_argc, sub_argv);
     if (command == "list") return RunList();
     if (command == "--help" || command == "-h" || command == "help") {
