@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
                       "scale the derived constants below the provable values");
   auto& num_seeds = cli.AddInt("seeds", 8, "topologies per point");
   auto& num_links = cli.AddInt("links", 300, "links per topology");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -82,5 +83,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(num_links));
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

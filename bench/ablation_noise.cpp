@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
                       "ambient noise sweep (extension; paper sets N0=0)");
   auto& num_seeds = cli.AddInt("seeds", 8, "topologies per point");
   auto& num_links = cli.AddInt("links", 300, "links per topology");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   util::CsvTable table({"noise_rel_budget", "algorithm", "links_scheduled",
                         "expected_throughput", "expected_failed"});
@@ -60,5 +61,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(num_links));
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

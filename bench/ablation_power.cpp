@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
                       "oblivious power-assignment policies (extension)");
   auto& num_seeds = cli.AddInt("seeds", 8, "topologies per point");
   auto& num_links = cli.AddInt("links", 250, "links per topology");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -78,5 +79,6 @@ int main(int argc, char** argv) {
               "max power = channel P)\n");
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

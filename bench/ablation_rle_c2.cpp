@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   util::CliParser cli("ablation_rle_c2", "RLE budget-split (c2) ablation");
   auto& num_seeds = cli.AddInt("seeds", 10, "topologies per c2 value");
   auto& num_links = cli.AddInt("links", 300, "links per topology");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -68,5 +69,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(num_links));
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   util::CliParser cli("dls_protocol_cost",
                       "message-passing DLS: cost vs N and sensing radius");
   auto& num_seeds = cli.AddInt("seeds", 3, "topologies per cell");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -68,5 +69,6 @@ int main(int argc, char** argv) {
               "radius (alpha=3, eps=0.01)\n");
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

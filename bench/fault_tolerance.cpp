@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   auto& outage = cli.AddDouble("outage", 0.0,
                                "crash outage seconds (<= 0 = permanent)");
   auto& csv_only = cli.AddBool("csv-only", false, "suppress pretty table");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -90,5 +91,6 @@ int main(int argc, char** argv) {
               "(alpha=3, eps=0.01, n=%zu)\n", n);
   std::fputs(table.ToString().c_str(), stdout);
   if (!csv_only) std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

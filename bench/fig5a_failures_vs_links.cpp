@@ -13,10 +13,10 @@ int main(int argc, char** argv) {
   if (!bench::ParseFigureFlags(
           argc, argv, "fig5a_failures_vs_links",
           "failed transmissions vs number of links (paper Fig. 5a)", flags)) {
-    return 0;
+    return flags.exit_code;
   }
-  const auto table = bench::RunSweep(
-      "num_links", {100, 200, 300, 400, 500},
+  const auto result = bench::RunSweep(
+      "fig5a_failures_vs_links", "num_links", {100, 200, 300, 400, 500},
       {"ldp", "rle", "approx_logn", "approx_diversity", "graph_greedy"},
       flags,
       [](double x) {
@@ -25,8 +25,7 @@ int main(int argc, char** argv) {
         point.channel.alpha = 3.0;
         return point;
       });
-  bench::PrintFigure(
-      "Fig 5(a): failed transmissions vs #links (alpha=3, eps=0.01)", table,
-      flags.csv_only);
-  return 0;
+  return bench::FinishFigure(
+      "Fig 5(a): failed transmissions vs #links (alpha=3, eps=0.01)", result,
+      flags);
 }

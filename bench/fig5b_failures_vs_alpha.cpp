@@ -11,10 +11,10 @@ int main(int argc, char** argv) {
           argc, argv, "fig5b_failures_vs_alpha",
           "failed transmissions vs path-loss exponent (paper Fig. 5b)",
           flags)) {
-    return 0;
+    return flags.exit_code;
   }
-  const auto table = bench::RunSweep(
-      "alpha", {2.5, 3.0, 3.5, 4.0, 4.5},
+  const auto result = bench::RunSweep(
+      "fig5b_failures_vs_alpha", "alpha", {2.5, 3.0, 3.5, 4.0, 4.5},
       {"ldp", "rle", "approx_logn", "approx_diversity", "graph_greedy"},
       flags,
       [](double alpha) {
@@ -23,8 +23,7 @@ int main(int argc, char** argv) {
         point.channel.alpha = alpha;
         return point;
       });
-  bench::PrintFigure(
-      "Fig 5(b): failed transmissions vs alpha (N=300, eps=0.01)", table,
-      flags.csv_only);
-  return 0;
+  return bench::FinishFigure(
+      "Fig 5(b): failed transmissions vs alpha (N=300, eps=0.01)", result,
+      flags);
 }

@@ -11,17 +11,16 @@ int main(int argc, char** argv) {
   if (!bench::ParseFigureFlags(
           argc, argv, "fig6a_throughput_vs_links",
           "delivered throughput vs number of links (paper Fig. 6a)", flags)) {
-    return 0;
+    return flags.exit_code;
   }
-  const auto table = bench::RunSweep(
-      "num_links", {100, 200, 300, 400, 500},
+  const auto result = bench::RunSweep(
+      "fig6a_throughput_vs_links", "num_links", {100, 200, 300, 400, 500},
       {"ldp", "rle", "fading_greedy", "dls"}, flags, [](double x) {
         sim::ExperimentPoint point;
         point.num_links = static_cast<std::size_t>(x);
         point.channel.alpha = 3.0;
         return point;
       });
-  bench::PrintFigure("Fig 6(a): throughput vs #links (alpha=3, eps=0.01)",
-                     table, flags.csv_only);
-  return 0;
+  return bench::FinishFigure(
+      "Fig 6(a): throughput vs #links (alpha=3, eps=0.01)", result, flags);
 }

@@ -11,17 +11,17 @@ int main(int argc, char** argv) {
           argc, argv, "fig6b_throughput_vs_alpha",
           "delivered throughput vs path-loss exponent (paper Fig. 6b)",
           flags)) {
-    return 0;
+    return flags.exit_code;
   }
-  const auto table = bench::RunSweep(
-      "alpha", {2.5, 3.0, 3.5, 4.0, 4.5}, {"ldp", "rle", "fading_greedy", "dls"},
+  const auto result = bench::RunSweep(
+      "fig6b_throughput_vs_alpha", "alpha", {2.5, 3.0, 3.5, 4.0, 4.5},
+      {"ldp", "rle", "fading_greedy", "dls"},
       flags, [](double alpha) {
         sim::ExperimentPoint point;
         point.num_links = 300;
         point.channel.alpha = alpha;
         return point;
       });
-  bench::PrintFigure("Fig 6(b): throughput vs alpha (N=300, eps=0.01)", table,
-                     flags.csv_only);
-  return 0;
+  return bench::FinishFigure(
+      "Fig 6(b): throughput vs alpha (N=300, eps=0.01)", result, flags);
 }

@@ -1,16 +1,25 @@
 // Shared scaffolding for the figure-reproduction binaries: CLI flags for
-// scale control, a sweep driver, and uniform printing.
+// scale control, the crash-safe sweep driver, and uniform printing.
+//
+// Every sweep bench runs through sim::RunExperimentSweep, so all of them
+// inherit checkpoint/resume (--checkpoint/--resume), atomic CSV output
+// (--out), per-seed watchdog deadlines (--seed-deadline), bounded retries
+// (--retries), and graceful SIGINT/SIGTERM shutdown (exit code 3 after
+// checkpointing). --crash-after-point is a fault drill: the process
+// SIGKILLs itself right after the given point's checkpoint is persisted,
+// so kill-and-resume can be exercised from CI and the shell.
 #pragma once
 
+#include <csignal>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
-#include "util/stopwatch.hpp"
+#include "util/error.hpp"
 
 namespace fadesched::bench {
 
@@ -19,10 +28,19 @@ struct FigureFlags {
   long long trials = 1000;  ///< fading realizations per instance
   long long threads = 0;    ///< simulator threads (0 = hardware)
   bool csv_only = false;    ///< suppress the pretty table
+  std::string out;          ///< atomic CSV output path ("" = stdout only)
+  std::string checkpoint;   ///< checkpoint path ("" = no checkpointing)
+  bool resume = false;      ///< resume from --checkpoint if present
+  bool keep_checkpoint = false;     ///< keep checkpoint after success
+  double seed_deadline = 0.0;       ///< per-seed watchdog (seconds; 0 = off)
+  long long retries = 1;            ///< transient-failure retries per seed
+  bool deterministic = false;       ///< zero the runtime column (diffable CSV)
+  long long crash_after_point = -1; ///< fault drill: SIGKILL after point N
+  int exit_code = 0;        ///< valid when ParseFigureFlags returns false
 };
 
 /// Registers the shared flags; returns false if the program should exit
-/// (help requested or malformed input).
+/// (help requested or malformed input) with flags.exit_code as status.
 inline bool ParseFigureFlags(int argc, char** argv, const std::string& name,
                              const std::string& description,
                              FigureFlags& flags) {
@@ -34,48 +52,124 @@ inline bool ParseFigureFlags(int argc, char** argv, const std::string& name,
                              "simulator threads (0 = hardware)");
   auto& csv_only = cli.AddBool("csv-only", flags.csv_only,
                                "print raw CSV without the aligned table");
-  if (!cli.Parse(argc, argv)) return false;
+  auto& out = cli.AddString("out", "", "write the CSV here (atomic)");
+  auto& checkpoint = cli.AddString(
+      "checkpoint", "", "sweep checkpoint file (enables crash-safe resume)");
+  auto& resume = cli.AddBool("resume", false,
+                             "resume from --checkpoint if it exists");
+  auto& keep = cli.AddBool("keep-checkpoint", false,
+                           "keep the checkpoint after a successful run");
+  auto& deadline = cli.AddDouble(
+      "seed-deadline", 0.0, "per-seed watchdog deadline in seconds (0 = off)");
+  auto& retries = cli.AddInt(
+      "retries", 1, "retries per seed for transient failures");
+  auto& deterministic = cli.AddBool(
+      "deterministic", false,
+      "record sched_ms as 0 so reruns produce byte-identical CSV");
+  auto& crash_after = cli.AddInt(
+      "crash-after-point", -1,
+      "fault drill: SIGKILL this process after point N checkpoints");
+  if (!cli.Parse(argc, argv)) {
+    flags.exit_code = cli.UsageExitCode();
+    return false;
+  }
   flags.seeds = seeds;
   flags.trials = trials;
   flags.threads = threads;
   flags.csv_only = csv_only;
+  flags.out = out;
+  flags.checkpoint = checkpoint;
+  flags.resume = resume;
+  flags.keep_checkpoint = keep;
+  flags.seed_deadline = deadline;
+  flags.retries = retries;
+  flags.deterministic = deterministic;
+  flags.crash_after_point = crash_after;
   return true;
 }
 
-/// Runs one sweep: for each x in `xs`, builds the experiment point and
-/// appends one row per algorithm.
-inline util::CsvTable RunSweep(
-    const std::string& x_name, const std::vector<double>& xs,
-    const std::vector<std::string>& algorithms, const FigureFlags& flags,
+/// Runs one sweep through the crash-safe driver: for each x in `xs`,
+/// builds the experiment point and appends one row per algorithm,
+/// checkpointing as configured. `name` keys the checkpoint fingerprint.
+inline sim::SweepResult RunSweep(
+    const std::string& name, const std::string& x_name,
+    const std::vector<double>& xs, const std::vector<std::string>& algorithms,
+    const FigureFlags& flags,
     const std::function<sim::ExperimentPoint(double)>& make_point) {
-  sim::ExperimentConfig config;
-  config.algorithms = algorithms;
-  config.num_seeds = static_cast<std::size_t>(flags.seeds);
-  config.trials = static_cast<std::size_t>(flags.trials);
+  sim::SweepSpec spec;
+  spec.name = name;
+  spec.x_name = x_name;
+  spec.xs = xs;
+  spec.make_point = make_point;
 
-  util::ThreadPool pool(flags.threads <= 0
-                            ? 0u
-                            : static_cast<unsigned>(flags.threads));
-  util::CsvTable table = sim::MakeSummaryTable(x_name);
-  for (double x : xs) {
-    util::Stopwatch watch;
-    const auto summaries =
-        sim::RunExperimentPoint(make_point(x), config, pool);
-    sim::AppendSummaryRows(table, x, summaries);
-    std::fprintf(stderr, "[%s] %s=%g done in %.1fs\n", x_name.c_str(),
-                 x_name.c_str(), x, watch.Seconds());
+  sim::SweepOptions options;
+  options.config.algorithms = algorithms;
+  options.config.num_seeds = static_cast<std::size_t>(flags.seeds);
+  options.config.trials = static_cast<std::size_t>(flags.trials);
+  options.config.threads =
+      flags.threads <= 0 ? 0u : static_cast<unsigned>(flags.threads);
+  options.retry.max_attempts = static_cast<std::size_t>(flags.retries) + 1;
+  options.retry.seed_deadline_seconds = flags.seed_deadline;
+  options.checkpoint_path = flags.checkpoint;
+  options.resume = flags.resume;
+  options.keep_checkpoint = flags.keep_checkpoint;
+  options.out_path = flags.out;
+  options.deterministic = flags.deterministic;
+  if (flags.crash_after_point >= 0) {
+    const auto crash_point = static_cast<std::size_t>(flags.crash_after_point);
+    options.after_checkpoint = [crash_point](std::size_t point,
+                                             std::size_t /*seeds_done*/,
+                                             bool complete) {
+      if (complete && point == crash_point) {
+        std::fprintf(stderr, "[drill] SIGKILL after point %zu checkpoint\n",
+                     point);
+        std::raise(SIGKILL);
+      }
+    };
   }
-  return table;
+  return sim::RunExperimentSweep(spec, options);
 }
 
-/// Prints the result in both machine (CSV) and human (aligned) form.
-inline void PrintFigure(const std::string& title, const util::CsvTable& table,
-                        bool csv_only) {
+/// Prints the result in both machine (CSV) and human (aligned) form, and
+/// writes it atomically to `out` when given.
+inline void EmitTable(const std::string& title, const util::CsvTable& table,
+                      bool csv_only, const std::string& out) {
   std::printf("# %s\n", title.c_str());
   std::fputs(table.ToString().c_str(), stdout);
   if (!csv_only) {
     std::printf("\n%s\n", table.ToPrettyString().c_str());
   }
+  if (!out.empty()) table.Save(out);
+}
+
+/// Back-compat shim for benches that build their own tables.
+inline void PrintFigure(const std::string& title, const util::CsvTable& table,
+                        bool csv_only) {
+  EmitTable(title, table, csv_only, "");
+}
+
+/// Prints the sweep outcome and returns the bench's process exit code
+/// (0, or 3 when the sweep was interrupted). Degraded seeds are reported
+/// on stderr so a clean-looking CSV cannot hide them. The sweep driver
+/// already wrote --out atomically.
+inline int FinishFigure(const std::string& title,
+                        const sim::SweepResult& result,
+                        const FigureFlags& flags) {
+  EmitTable(title, result.table, flags.csv_only, "");
+  if (result.failed_seeds > 0 || result.timed_out_seeds > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu seed(s) failed (%zu timed out) and were "
+                 "excluded from the aggregates\n",
+                 result.failed_seeds, result.timed_out_seeds);
+  }
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: %zu/%zu points complete; checkpoint %s\n",
+                 result.points_completed, result.points_total,
+                 flags.checkpoint.empty() ? "disabled — rerun from scratch"
+                                          : flags.checkpoint.c_str());
+  }
+  return result.ExitCode();
 }
 
 }  // namespace fadesched::bench

@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   auto& num_links = cli.AddInt("links", 200, "links in the network");
   auto& num_steps = cli.AddInt("steps", 200, "mobility steps to simulate");
   auto& num_seeds = cli.AddInt("seeds", 5, "independent runs");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -76,5 +77,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(num_links));
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

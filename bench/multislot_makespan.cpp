@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   util::CliParser cli("multislot_makespan",
                       "slots to schedule all links (paper's future work)");
   auto& num_seeds = cli.AddInt("seeds", 5, "topologies per point");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -59,5 +60,6 @@ int main(int argc, char** argv) {
               "(alpha=3, eps=0.01)\n");
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   auto& num_links = cli.AddInt("links", 150, "links in the network");
   auto& num_slots = cli.AddInt("slots", 1500, "simulated slots");
   auto& seed = cli.AddInt("seed", 5, "topology seed");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -65,5 +66,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(num_slots));
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   auto& num_seeds = cli.AddInt("seeds", 20, "instances per size");
   auto& max_links = cli.AddInt("max-links", 16, "largest instance size");
   auto& epsilon = cli.AddDouble("epsilon", 0.05, "outage budget");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -71,5 +72,6 @@ int main(int argc, char** argv) {
               util::FormatDouble(epsilon).c_str());
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

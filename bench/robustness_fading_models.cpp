@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
                       "Rayleigh-calibrated schedules under other channels");
   auto& num_seeds = cli.AddInt("seeds", 5, "topologies per cell");
   auto& trials = cli.AddInt("trials", 4000, "fading realizations");
-  if (!cli.Parse(argc, argv)) return 0;
+  auto& out_path = cli.AddString("out", "", "write the CSV here (atomic)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   channel::ChannelParams params;
   params.alpha = 3.0;
@@ -82,5 +83,6 @@ int main(int argc, char** argv) {
               "fading models (N=300, alpha=3, eps=0.01)\n");
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n%s\n", table.ToPrettyString().c_str());
+  if (!out_path.empty()) table.Save(out_path);
   return 0;
 }

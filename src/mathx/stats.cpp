@@ -39,6 +39,17 @@ void RunningStats::Merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats RunningStats::FromRawMoments(std::size_t count, double mean,
+                                          double m2, double min, double max) {
+  RunningStats stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 double RunningStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::Variance() const {

@@ -31,6 +31,18 @@ class RunningStats {
   /// Half-width of the normal-approximation 95% confidence interval.
   [[nodiscard]] double ConfidenceHalfWidth95() const;
 
+  /// Raw Welford moments, exposed for exact (bit-identical) checkpoint
+  /// serialization. M2 is the sum of squared deviations from the mean.
+  [[nodiscard]] double RawMean() const { return mean_; }
+  [[nodiscard]] double RawM2() const { return m2_; }
+
+  /// Rebuilds an accumulator from previously captured raw moments.
+  /// Continuing to Add() after restoring produces bit-identical state to
+  /// an accumulator that never round-tripped — the basis of crash-safe
+  /// sweep resume.
+  static RunningStats FromRawMoments(std::size_t count, double mean,
+                                     double m2, double min, double max);
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

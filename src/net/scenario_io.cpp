@@ -66,10 +66,9 @@ LinkSet FromCsv(const util::CsvTable& table) {
 }
 
 void SaveLinkSet(const LinkSet& links, const std::string& path) {
-  std::ofstream out(path);
-  FS_CHECK_MSG(out.good(), "cannot open for writing: " + path);
-  ToCsv(links).Write(out);
-  FS_CHECK_MSG(out.good(), "write failed: " + path);
+  // Atomic (temp → fsync → rename): an interrupted save can never leave a
+  // truncated scenario that parses as a smaller topology.
+  ToCsv(links).Save(path);
 }
 
 LinkSet LoadLinkSet(const std::string& path) {

@@ -1,10 +1,10 @@
 #include "sched/ilp_export.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 
 #include "channel/interference.hpp"
+#include "util/atomic_io.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
 
@@ -61,10 +61,8 @@ std::string FormatIlp(const net::LinkSet& links,
 void WriteIlpFile(const net::LinkSet& links,
                   const channel::ChannelParams& params,
                   const std::string& path) {
-  std::ofstream out(path);
-  FS_CHECK_MSG(out.good(), "cannot open for writing: " + path);
-  out << FormatIlp(links, params);
-  FS_CHECK_MSG(out.good(), "write failed: " + path);
+  // Atomic write: a killed export never leaves a half-written LP file.
+  util::AtomicWriteFile(path, FormatIlp(links, params));
 }
 
 }  // namespace fadesched::sched

@@ -1,0 +1,260 @@
+#include "sim/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/atomic_io.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::sim {
+namespace {
+
+// The seven AlgoSummary accumulators, in serialization order.
+constexpr const char* kStatNames[] = {
+    "scheduled_links",   "claimed_rate",        "measured_failed",
+    "measured_throughput", "expected_failed",   "expected_throughput",
+    "runtime_ms",
+};
+
+mathx::RunningStats* StatsField(AlgoSummary& s, std::size_t i) {
+  mathx::RunningStats* fields[] = {
+      &s.scheduled_links,   &s.claimed_rate,        &s.measured_failed,
+      &s.measured_throughput, &s.expected_failed,   &s.expected_throughput,
+      &s.runtime_ms,
+  };
+  return fields[i];
+}
+
+const mathx::RunningStats* StatsField(const AlgoSummary& s, std::size_t i) {
+  return StatsField(const_cast<AlgoSummary&>(s), i);
+}
+
+/// C99 hex-float literal: exact double round-trip, locale-independent.
+std::string HexDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+double ParseHexDouble(const std::string& token) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == token.c_str()) {
+    throw util::FatalError("checkpoint: malformed double '" + token + "'");
+  }
+  return value;
+}
+
+/// Pulls the next whitespace-separated token; throws on EOF.
+std::string NextToken(std::istringstream& is, const char* what) {
+  std::string token;
+  if (!(is >> token)) {
+    throw util::FatalError(std::string("checkpoint: truncated while reading ") +
+                           what);
+  }
+  return token;
+}
+
+std::size_t NextSize(std::istringstream& is, const char* what) {
+  const std::string token = NextToken(is, what);
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == token.c_str()) {
+    throw util::FatalError(std::string("checkpoint: malformed count for ") +
+                           what + ": '" + token + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+void ExpectToken(std::istringstream& is, const char* expected) {
+  const std::string token = NextToken(is, expected);
+  if (token != expected) {
+    throw util::FatalError("checkpoint: expected '" + std::string(expected) +
+                           "', found '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::string SweepCheckpoint::Serialize() const {
+  std::ostringstream os;
+  os << "fadesched-sweep-checkpoint " << kFormatVersion << "\n";
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016" PRIx64, fingerprint);
+  os << "fingerprint " << fp << "\n";
+  os << "points " << points.size() << "\n";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const PointCheckpoint& point = points[p];
+    os << "point " << p << " " << HexDouble(point.x) << " seeds_done "
+       << point.seeds_done << " failed " << point.failed_seeds
+       << " timed_out " << point.timed_out_seeds << " complete "
+       << (point.complete ? 1 : 0) << "\n";
+    os << "algos " << point.summaries.size() << "\n";
+    for (const AlgoSummary& summary : point.summaries) {
+      os << "algo " << summary.algorithm << "\n";
+      for (std::size_t i = 0; i < 7; ++i) {
+        const mathx::RunningStats* stats = StatsField(summary, i);
+        os << "stat " << kStatNames[i] << " " << stats->Count() << " "
+           << HexDouble(stats->RawMean()) << " " << HexDouble(stats->RawM2())
+           << " " << HexDouble(stats->Min()) << " " << HexDouble(stats->Max())
+           << "\n";
+      }
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+SweepCheckpoint SweepCheckpoint::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  ExpectToken(is, "fadesched-sweep-checkpoint");
+  const std::size_t version = NextSize(is, "format version");
+  if (version != static_cast<std::size_t>(kFormatVersion)) {
+    throw util::FatalError(
+        "checkpoint: unsupported format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  SweepCheckpoint checkpoint;
+  ExpectToken(is, "fingerprint");
+  {
+    const std::string token = NextToken(is, "fingerprint");
+    char* end = nullptr;
+    checkpoint.fingerprint = std::strtoull(token.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') {
+      throw util::FatalError("checkpoint: malformed fingerprint '" + token +
+                             "'");
+    }
+  }
+  ExpectToken(is, "points");
+  const std::size_t num_points = NextSize(is, "point count");
+  checkpoint.points.resize(num_points);
+  for (std::size_t p = 0; p < num_points; ++p) {
+    PointCheckpoint& point = checkpoint.points[p];
+    ExpectToken(is, "point");
+    const std::size_t index = NextSize(is, "point index");
+    if (index != p) {
+      throw util::FatalError("checkpoint: point index out of order");
+    }
+    point.x = ParseHexDouble(NextToken(is, "point x"));
+    ExpectToken(is, "seeds_done");
+    point.seeds_done = NextSize(is, "seeds_done");
+    ExpectToken(is, "failed");
+    point.failed_seeds = NextSize(is, "failed seeds");
+    ExpectToken(is, "timed_out");
+    point.timed_out_seeds = NextSize(is, "timed out seeds");
+    ExpectToken(is, "complete");
+    point.complete = NextSize(is, "complete flag") != 0;
+    ExpectToken(is, "algos");
+    const std::size_t num_algos = NextSize(is, "algo count");
+    point.summaries.resize(num_algos);
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      AlgoSummary& summary = point.summaries[a];
+      ExpectToken(is, "algo");
+      summary.algorithm = NextToken(is, "algorithm name");
+      for (std::size_t i = 0; i < 7; ++i) {
+        ExpectToken(is, "stat");
+        const std::string name = NextToken(is, "stat name");
+        if (name != kStatNames[i]) {
+          throw util::FatalError("checkpoint: expected stat '" +
+                                 std::string(kStatNames[i]) + "', found '" +
+                                 name + "'");
+        }
+        const std::size_t count = NextSize(is, "stat count");
+        const double mean = ParseHexDouble(NextToken(is, "stat mean"));
+        const double m2 = ParseHexDouble(NextToken(is, "stat m2"));
+        const double min = ParseHexDouble(NextToken(is, "stat min"));
+        const double max = ParseHexDouble(NextToken(is, "stat max"));
+        *StatsField(summary, i) =
+            mathx::RunningStats::FromRawMoments(count, mean, m2, min, max);
+      }
+    }
+  }
+  ExpectToken(is, "end");
+  return checkpoint;
+}
+
+void SweepCheckpoint::Save(const std::string& path) const {
+  util::AtomicWriteFile(path, Serialize());
+}
+
+bool SweepCheckpoint::Load(const std::string& path,
+                           std::uint64_t expected_fingerprint,
+                           SweepCheckpoint& out) {
+  if (!util::FileExists(path)) return false;
+  out = Deserialize(util::ReadFileToString(path));
+  if (out.fingerprint != expected_fingerprint) {
+    throw util::FatalError(
+        "checkpoint '" + path +
+        "' was written under a different sweep configuration "
+        "(fingerprint mismatch); delete it or rerun with the original "
+        "flags to resume");
+  }
+  return true;
+}
+
+std::uint64_t FingerprintInit() { return 0xcbf29ce484222325ULL; }
+
+std::uint64_t FingerprintMix64(std::uint64_t h, std::uint64_t value) {
+  // FNV-1a over the 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t FingerprintMixDouble(std::uint64_t h, double value) {
+  // Bit pattern, not numeric value: distinguishes -0.0/0.0 and NaNs,
+  // which is fine — configs are authored as literals.
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return FingerprintMix64(h, bits);
+}
+
+std::uint64_t FingerprintMixString(std::uint64_t h, const std::string& text) {
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // Length terminator so {"ab","c"} and {"a","bc"} differ.
+  return FingerprintMix64(h, text.size());
+}
+
+std::uint64_t FingerprintSweep(const std::string& sweep_name,
+                               const std::vector<double>& xs,
+                               const ExperimentConfig& config,
+                               const std::vector<ExperimentPoint>& points) {
+  std::uint64_t h = FingerprintInit();
+  h = FingerprintMix64(h, SweepCheckpoint::kFormatVersion);
+  h = FingerprintMixString(h, sweep_name);
+  h = FingerprintMix64(h, xs.size());
+  for (const double x : xs) h = FingerprintMixDouble(h, x);
+  h = FingerprintMix64(h, config.algorithms.size());
+  for (const std::string& algo : config.algorithms) {
+    h = FingerprintMixString(h, algo);
+  }
+  h = FingerprintMix64(h, config.num_seeds);
+  h = FingerprintMix64(h, config.base_seed);
+  h = FingerprintMix64(h, config.trials);
+  h = FingerprintMix64(h, static_cast<std::uint64_t>(config.fading.model));
+  h = FingerprintMixDouble(h, config.fading.nakagami_m);
+  h = FingerprintMixDouble(h, config.fading.shadowing_sigma_db);
+  for (const ExperimentPoint& point : points) {
+    h = FingerprintMix64(h, point.num_links);
+    h = FingerprintMixDouble(h, point.channel.tx_power);
+    h = FingerprintMixDouble(h, point.channel.alpha);
+    h = FingerprintMixDouble(h, point.channel.gamma_th);
+    h = FingerprintMixDouble(h, point.channel.epsilon);
+    h = FingerprintMixDouble(h, point.channel.noise_power);
+    h = FingerprintMixDouble(h, point.scenario.region_size);
+    h = FingerprintMixDouble(h, point.scenario.min_link_length);
+    h = FingerprintMixDouble(h, point.scenario.max_link_length);
+    h = FingerprintMixDouble(h, point.scenario.rate);
+  }
+  return h;
+}
+
+}  // namespace fadesched::sim

@@ -38,6 +38,7 @@ std::vector<AlgoSummary> RunExperimentPoint(const ExperimentPoint& point,
 
       SimOptions sim_options;
       sim_options.trials = config.trials;
+      sim_options.fading = config.fading;
       // Decorrelate fading draws across seeds and algorithms.
       sim_options.seed = (config.base_seed + s) * 1000003ULL + a;
       const SimResult sim = SimulateSchedule(links, point.channel,

@@ -14,6 +14,7 @@
 #include "channel/params.hpp"
 #include "mathx/stats.hpp"
 #include "net/scenario.hpp"
+#include "sim/fading_models.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,6 +32,7 @@ struct ExperimentConfig {
   std::uint64_t base_seed = 1;
   std::size_t trials = 1000;        ///< fading realizations per instance
   unsigned threads = 0;             ///< 0 = hardware concurrency
+  FadingOptions fading;             ///< channel realization model
 };
 
 /// Per-algorithm aggregation across seeds; each RunningStats sample is one

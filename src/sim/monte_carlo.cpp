@@ -7,6 +7,7 @@
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace fadesched::sim {
 namespace {
@@ -67,12 +68,24 @@ SimResult SimulateSchedule(const net::LinkSet& links,
   std::vector<ChunkAccumulator> chunks(std::max<std::size_t>(num_chunks, 1));
   for (auto& chunk : chunks) chunk.success_count.assign(m, 0);
 
+  // Watchdog: the first chunk to observe an expired deadline raises the
+  // shared cancel flag so every other chunk bails at its next poll — the
+  // whole simulation stops close to the deadline, not just one chunk.
+  std::atomic<bool> cancelled{false};
+
   util::ParallelChunks(
       pool, options.trials,
       [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
         ChunkAccumulator& acc = chunks[chunk_index];
         std::vector<double> power(m * m);
         for (std::size_t trial = begin; trial < end; ++trial) {
+          if ((trial - begin) % 32 == 0 &&
+              (cancelled.load(std::memory_order_relaxed) ||
+               options.deadline.Expired())) {
+            cancelled.store(true, std::memory_order_relaxed);
+            throw util::TimeoutError(
+                "Monte-Carlo simulation exceeded its watchdog deadline");
+          }
           // Stream keyed by (seed, trial): thread-count invariant.
           rng::Xoshiro256 gen(master_seed ^
                               (0x9e3779b97f4a7c15ULL * (trial + 1)));

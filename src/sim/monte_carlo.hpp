@@ -19,6 +19,7 @@
 #include "sim/fading_models.hpp"
 #include "mathx/stats.hpp"
 #include "net/link_set.hpp"
+#include "util/deadline.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fadesched::sim {
@@ -30,6 +31,12 @@ struct SimOptions {
   unsigned threads = 0;
   /// Channel realization model; defaults to the paper's Rayleigh fading.
   FadingOptions fading;
+
+  /// Watchdog: trial chunks poll this deadline and abort the whole
+  /// simulation with HarnessError(kTimeout) once it expires. Disabled by
+  /// default. Timed-out runs produce NO partial result — the harness
+  /// records the seed as failed instead.
+  util::Deadline deadline;
 
   /// Throws CheckFailure unless trials > 0 and the fading options validate.
   void Validate() const {

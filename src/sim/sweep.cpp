@@ -1,0 +1,288 @@
+#include "sim/sweep.hpp"
+
+#include <cstdio>
+#include <exception>
+
+#include "rng/xoshiro256.hpp"
+#include "sched/registry.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/exact_metrics.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/atomic_io.hpp"
+#include "util/check.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+#include "util/signal_guard.hpp"
+#include "util/stopwatch.hpp"
+
+namespace fadesched::sim {
+namespace {
+
+/// One seed's measurements for one algorithm, held back from the shared
+/// summaries until the whole seed succeeds — a seed that times out or
+/// fails halfway contributes nothing, keeping aggregates well-defined.
+struct SeedSample {
+  double scheduled_links = 0.0;
+  double claimed_rate = 0.0;
+  double measured_failed = 0.0;
+  double measured_throughput = 0.0;
+  double expected_failed = 0.0;
+  double expected_throughput = 0.0;
+  double runtime_ms = 0.0;
+};
+
+/// Runs every algorithm on one seed's topology. Throws on timeout
+/// (watchdog), interruption, or any scheduler/simulator error.
+std::vector<SeedSample> RunOneSeed(
+    const ExperimentPoint& point, const ExperimentConfig& config,
+    const std::vector<sched::SchedulerPtr>& schedulers, std::size_t seed_index,
+    const util::Deadline& deadline, bool deterministic,
+    util::ThreadPool& pool) {
+  rng::Xoshiro256 gen(config.base_seed + seed_index);
+  const net::LinkSet links =
+      net::MakeUniformScenario(point.num_links, point.scenario, gen);
+
+  std::vector<SeedSample> samples(schedulers.size());
+  for (std::size_t a = 0; a < schedulers.size(); ++a) {
+    if (deadline.Expired()) {
+      throw util::TimeoutError("seed " + std::to_string(seed_index) +
+                               " exceeded its watchdog deadline");
+    }
+    if (util::ShutdownRequested()) {
+      throw util::InterruptedError("shutdown requested");
+    }
+    util::Stopwatch watch;
+    const sched::ScheduleResult result =
+        schedulers[a]->Schedule(links, point.channel);
+    const double sched_ms = watch.Milliseconds();
+
+    SimOptions sim_options;
+    sim_options.trials = config.trials;
+    sim_options.fading = config.fading;
+    sim_options.deadline = deadline;
+    // Decorrelate fading draws across seeds and algorithms — the exact
+    // formula RunExperimentPoint uses, so both drivers agree.
+    sim_options.seed = (config.base_seed + seed_index) * 1000003ULL + a;
+    const SimResult sim = SimulateSchedule(links, point.channel,
+                                           result.schedule, sim_options, pool);
+    const ExpectedMetrics expected =
+        ComputeExpectedMetrics(links, point.channel, result.schedule);
+
+    SeedSample& sample = samples[a];
+    sample.scheduled_links = static_cast<double>(result.schedule.size());
+    sample.claimed_rate = result.claimed_rate;
+    sample.measured_failed = sim.failed_per_trial.Mean();
+    sample.measured_throughput = sim.throughput_per_trial.Mean();
+    sample.expected_failed = expected.expected_failed;
+    sample.expected_throughput = expected.expected_throughput;
+    sample.runtime_ms = deterministic ? 0.0 : sched_ms;
+  }
+  return samples;
+}
+
+void MergeSeed(std::vector<AlgoSummary>& summaries,
+               const std::vector<SeedSample>& samples) {
+  for (std::size_t a = 0; a < summaries.size(); ++a) {
+    AlgoSummary& summary = summaries[a];
+    const SeedSample& sample = samples[a];
+    summary.scheduled_links.Add(sample.scheduled_links);
+    summary.claimed_rate.Add(sample.claimed_rate);
+    summary.measured_failed.Add(sample.measured_failed);
+    summary.measured_throughput.Add(sample.measured_throughput);
+    summary.expected_failed.Add(sample.expected_failed);
+    summary.expected_throughput.Add(sample.expected_throughput);
+    summary.runtime_ms.Add(sample.runtime_ms);
+  }
+}
+
+std::vector<AlgoSummary> FreshSummaries(
+    const std::vector<std::string>& algorithms) {
+  std::vector<AlgoSummary> summaries;
+  summaries.reserve(algorithms.size());
+  for (const std::string& name : algorithms) {
+    AlgoSummary summary;
+    summary.algorithm = name;
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+}  // namespace
+
+int SweepResult::ExitCode() const {
+  return interrupted ? util::kExitInterrupted : util::kExitOk;
+}
+
+SweepResult RunExperimentSweep(const SweepSpec& spec,
+                               const SweepOptions& options) {
+  FS_CHECK_MSG(!spec.xs.empty(), "sweep has no x values");
+  FS_CHECK_MSG(static_cast<bool>(spec.make_point), "sweep has no make_point");
+  FS_CHECK_MSG(!options.config.algorithms.empty(), "no algorithms requested");
+  FS_CHECK_MSG(options.config.num_seeds > 0, "need at least one seed");
+  FS_CHECK_MSG(options.retry.max_attempts > 0, "need at least one attempt");
+
+  // Materialize every point up front: the fingerprint must cover the full
+  // sweep so resuming after editing the point lambda is refused.
+  std::vector<ExperimentPoint> points;
+  points.reserve(spec.xs.size());
+  for (const double x : spec.xs) {
+    points.push_back(spec.make_point(x));
+    points.back().channel.Validate();
+  }
+  std::uint64_t fingerprint =
+      FingerprintSweep(spec.name, spec.xs, options.config, points);
+  fingerprint =
+      FingerprintMix64(fingerprint, options.deterministic ? 1u : 0u);
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  SweepCheckpoint checkpoint;
+  checkpoint.fingerprint = fingerprint;
+
+  SweepResult result;
+  result.points_total = spec.xs.size();
+
+  if (checkpointing && options.resume &&
+      SweepCheckpoint::Load(options.checkpoint_path, fingerprint,
+                            checkpoint)) {
+    FS_CHECK_MSG(checkpoint.points.size() == spec.xs.size(),
+                 "checkpoint point count mismatch");
+    for (const PointCheckpoint& point : checkpoint.points) {
+      if (point.complete) ++result.points_resumed;
+      result.seeds_resumed += point.seeds_done;
+      result.failed_seeds += point.failed_seeds;
+      result.timed_out_seeds += point.timed_out_seeds;
+    }
+  }
+  checkpoint.points.resize(spec.xs.size());
+
+  const auto persist = [&](std::size_t point_index, bool point_complete) {
+    if (!checkpointing) return;
+    checkpoint.Save(options.checkpoint_path);
+    if (options.after_checkpoint) {
+      options.after_checkpoint(point_index,
+                               checkpoint.points[point_index].seeds_done,
+                               point_complete);
+    }
+  };
+
+  util::ThreadPool pool(options.config.threads);
+  util::ScopedSignalGuard signal_guard;
+
+  const auto flush_partial = [&] {
+    if (!options.out_path.empty()) result.table.Save(options.out_path);
+  };
+
+  result.table = MakeSummaryTable(spec.x_name);
+  for (std::size_t p = 0; p < spec.xs.size(); ++p) {
+    const double x = spec.xs[p];
+    PointCheckpoint& point_state = checkpoint.points[p];
+    point_state.x = x;
+
+    if (point_state.complete) {
+      // Restored from checkpoint: re-emit rows from the stored aggregates;
+      // FormatDouble of bit-identical doubles yields bit-identical cells.
+      AppendSummaryRows(result.table, x, point_state.summaries);
+      ++result.points_completed;
+      std::fprintf(stderr, "[%s] %s=%g resumed from checkpoint\n",
+                   spec.x_name.c_str(), spec.x_name.c_str(), x);
+      continue;
+    }
+
+    util::Stopwatch point_watch;
+    const ExperimentPoint& point = points[p];
+    std::vector<sched::SchedulerPtr> schedulers;
+    for (const std::string& name : options.config.algorithms) {
+      schedulers.push_back(sched::MakeScheduler(name));
+    }
+    if (point_state.summaries.empty()) {
+      point_state.summaries = FreshSummaries(options.config.algorithms);
+    }
+
+    for (std::size_t s = point_state.seeds_done;
+         s < options.config.num_seeds; ++s) {
+      if (util::ShutdownRequested()) {
+        persist(p, false);
+        flush_partial();
+        result.interrupted = true;
+        return result;
+      }
+
+      bool seed_ok = false;
+      for (std::size_t attempt = 1; attempt <= options.retry.max_attempts;
+           ++attempt) {
+        const util::Deadline deadline =
+            util::Deadline::After(options.retry.seed_deadline_seconds);
+        try {
+          const std::vector<SeedSample> samples =
+              RunOneSeed(point, options.config, schedulers, s, deadline,
+                         options.deterministic, pool);
+          MergeSeed(point_state.summaries, samples);
+          seed_ok = true;
+          break;
+        } catch (...) {
+          const util::ErrorKind kind =
+              util::ClassifyException(std::current_exception());
+          if (kind == util::ErrorKind::kFatal) throw;
+          if (kind == util::ErrorKind::kInterrupted) {
+            persist(p, false);
+            flush_partial();
+            result.interrupted = true;
+            return result;
+          }
+          std::string what = "(unknown)";
+          try {
+            throw;
+          } catch (const std::exception& e) {
+            what = e.what();
+          } catch (...) {
+          }
+          if (kind == util::ErrorKind::kTimeout) {
+            std::fprintf(stderr,
+                         "[%s] %s=%g seed %zu timed out; recording as "
+                         "failed\n",
+                         spec.x_name.c_str(), spec.x_name.c_str(), x, s);
+            ++result.timed_out_seeds;
+            ++point_state.timed_out_seeds;
+            break;  // never retry a watchdog timeout
+          }
+          // Transient: retry with the remaining budget, else degrade.
+          if (attempt < options.retry.max_attempts) {
+            std::fprintf(stderr,
+                         "[%s] %s=%g seed %zu transient failure "
+                         "(attempt %zu/%zu): %s\n",
+                         spec.x_name.c_str(), spec.x_name.c_str(), x, s,
+                         attempt, options.retry.max_attempts, what.c_str());
+            ++result.retried_seeds;
+          } else {
+            std::fprintf(stderr,
+                         "[%s] %s=%g seed %zu failed after %zu attempts: "
+                         "%s\n",
+                         spec.x_name.c_str(), spec.x_name.c_str(), x, s,
+                         options.retry.max_attempts, what.c_str());
+          }
+        }
+      }
+      if (!seed_ok) {
+        ++result.failed_seeds;
+        ++point_state.failed_seeds;
+      }
+      point_state.seeds_done = s + 1;
+      persist(p, false);
+    }
+
+    point_state.complete = true;
+    persist(p, true);
+    AppendSummaryRows(result.table, x, point_state.summaries);
+    ++result.points_completed;
+    std::fprintf(stderr, "[%s] %s=%g done in %.1fs\n", spec.x_name.c_str(),
+                 spec.x_name.c_str(), x, point_watch.Seconds());
+  }
+
+  flush_partial();
+  if (checkpointing && !options.keep_checkpoint) {
+    util::RemoveFile(options.checkpoint_path);
+  }
+  return result;
+}
+
+}  // namespace fadesched::sim

@@ -1,0 +1,100 @@
+// Crash-safe, resumable sweep driver — the harness every figure bench
+// runs on.
+//
+// RunExperimentSweep executes RunExperimentPoint-style work (points ×
+// seeds × algorithms) with the robustness layer the fire-and-forget loop
+// lacked:
+//
+//   * checkpoint/resume: progress is persisted atomically after every
+//     completed seed; a killed sweep resumes from the checkpoint and
+//     re-aggregates bit-identically to an uninterrupted run (guarded by a
+//     config fingerprint so a changed sweep refuses a stale checkpoint);
+//   * watchdog + bounded retries: each seed runs under an optional
+//     deadline; transient failures are retried, timeouts and exhausted
+//     retries degrade to a recorded failed_seeds count instead of
+//     aborting the sweep, and fatal errors (programming bugs) still
+//     abort loudly;
+//   * graceful shutdown: SIGINT/SIGTERM checkpoints, flushes the partial
+//     CSV atomically, and reports "interrupted" so callers can exit with
+//     the distinct status code 3.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/csv.hpp"
+
+namespace fadesched::sim {
+
+/// What to sweep: one experiment point per x value.
+struct SweepSpec {
+  /// Stable sweep identifier (e.g. the bench name); part of the
+  /// checkpoint fingerprint so two different benches cannot consume each
+  /// other's checkpoints.
+  std::string name;
+  std::string x_name;
+  std::vector<double> xs;
+  std::function<ExperimentPoint(double)> make_point;
+};
+
+/// Bounded-retry + watchdog policy, applied per seed.
+struct RetryPolicy {
+  /// Total attempts per seed (first run + retries). Only transient
+  /// errors are retried; timeouts and fatal errors never are.
+  std::size_t max_attempts = 2;
+  /// Per-seed watchdog deadline in seconds; 0 disables the watchdog.
+  double seed_deadline_seconds = 0.0;
+};
+
+struct SweepOptions {
+  ExperimentConfig config;
+  RetryPolicy retry;
+
+  /// Checkpoint file; empty disables checkpointing. The file is written
+  /// atomically after every completed seed and removed after a fully
+  /// successful sweep unless keep_checkpoint is set.
+  std::string checkpoint_path;
+  /// Resume from checkpoint_path if it exists. A checkpoint written
+  /// under a different configuration refuses to load (fatal error).
+  bool resume = false;
+  bool keep_checkpoint = false;
+
+  /// Final CSV destination (atomic write); empty = caller handles the
+  /// table. On interruption the partial table is still flushed here.
+  std::string out_path;
+
+  /// Record scheduler runtimes as 0 so the output CSV is byte-identical
+  /// across runs — required by the kill-and-resume golden test and any
+  /// caller diffing CSVs. Folded into the checkpoint fingerprint.
+  bool deterministic = false;
+
+  /// Fault-drill/test hook, invoked after every checkpoint persist with
+  /// (point_index, seeds_done, point_complete). The kill-and-resume
+  /// test SIGKILLs itself from here.
+  std::function<void(std::size_t, std::size_t, bool)> after_checkpoint;
+};
+
+struct SweepResult {
+  util::CsvTable table;
+  bool interrupted = false;         ///< stopped on SIGINT/SIGTERM
+  std::size_t points_total = 0;
+  std::size_t points_completed = 0; ///< includes resumed points
+  std::size_t points_resumed = 0;   ///< complete before this run started
+  std::size_t seeds_resumed = 0;    ///< seeds restored from checkpoint
+  std::size_t failed_seeds = 0;     ///< degraded, excluded from aggregates
+  std::size_t timed_out_seeds = 0;  ///< subset of failed: watchdog fired
+  std::size_t retried_seeds = 0;    ///< transient failures that retried
+
+  /// 0 on success (even with degraded seeds), 3 when interrupted.
+  [[nodiscard]] int ExitCode() const;
+};
+
+/// Runs the sweep. Throws HarnessError(kFatal) for unrecoverable
+/// conditions (corrupt/mismatched checkpoint, programming errors);
+/// everything else is absorbed into the result counters.
+SweepResult RunExperimentSweep(const SweepSpec& spec,
+                               const SweepOptions& options);
+
+}  // namespace fadesched::sim

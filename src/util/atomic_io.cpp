@@ -1,0 +1,95 @@
+#include "util/atomic_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fadesched::util {
+namespace {
+
+[[noreturn]] void ThrowIo(const std::string& action, const std::string& path) {
+  throw TransientError(action + " failed for '" + path +
+                       "': " + std::strerror(errno));
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+/// Best-effort: some filesystems reject O_DIRECTORY fsync; the data file
+/// is already synced, so we ignore failures here.
+void SyncParentDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void AtomicWriteFile(const std::string& path, std::string_view content) {
+  // The temp name embeds the pid so two concurrent writers (e.g. a bench
+  // and its resume) cannot clobber each other's scratch file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) ThrowIo("open", tmp);
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      ThrowIo("write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    ThrowIo("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    ThrowIo("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    ThrowIo("rename", path);
+  }
+  SyncParentDir(path);
+}
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw TransientError("cannot open for reading: '" + path + "'");
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) throw TransientError("read failed: '" + path + "'");
+  return os.str();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool RemoveFile(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+}  // namespace fadesched::util

@@ -1,0 +1,31 @@
+// Crash-safe file writes: write-temp → fsync → rename.
+//
+// Every CSV/JSON/LP emitter in the repo goes through AtomicWriteFile so a
+// crash, OOM-kill, or SIGKILL mid-write can never leave a truncated file
+// that masquerades as a complete result. The rename is atomic on POSIX,
+// so readers observe either the old content or the new content, never a
+// prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fadesched::util {
+
+/// Writes `content` to `path` atomically: the data lands in a temporary
+/// file in the same directory, is fsync'd, and is renamed over `path`.
+/// Throws HarnessError (transient) on any I/O failure; the temporary is
+/// unlinked on error.
+void AtomicWriteFile(const std::string& path, std::string_view content);
+
+/// Reads a whole file; throws HarnessError (transient) if it cannot be
+/// opened or read.
+std::string ReadFileToString(const std::string& path);
+
+/// True iff `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Best-effort unlink; returns true if the file was removed.
+bool RemoveFile(const std::string& path);
+
+}  // namespace fadesched::util

@@ -92,15 +92,18 @@ bool CliParser::Assign(Flag& flag, const std::string& value) {
 }
 
 bool CliParser::Parse(int argc, const char* const* argv) {
+  status_ = ParseStatus::kOk;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::fputs(Usage().c_str(), stdout);
+      status_ = ParseStatus::kHelp;
       return false;
     }
     if (!StartsWith(arg, "--")) {
       std::fprintf(stderr, "unexpected positional argument: %s\n%s",
                    arg.c_str(), Usage().c_str());
+      status_ = ParseStatus::kError;
       return false;
     }
     std::string body = arg.substr(2);
@@ -119,6 +122,7 @@ bool CliParser::Parse(int argc, const char* const* argv) {
     if (it == flags_.end()) {
       std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
                    Usage().c_str());
+      status_ = ParseStatus::kError;
       return false;
     }
     Flag& flag = it->second;
@@ -130,6 +134,7 @@ bool CliParser::Parse(int argc, const char* const* argv) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "flag --%s expects a value\n%s", name.c_str(),
                      Usage().c_str());
+        status_ = ParseStatus::kError;
         return false;
       }
       value = argv[++i];
@@ -137,10 +142,15 @@ bool CliParser::Parse(int argc, const char* const* argv) {
     if (!Assign(flag, value)) {
       std::fprintf(stderr, "malformed value for --%s: '%s'\n%s", name.c_str(),
                    value.c_str(), Usage().c_str());
+      status_ = ParseStatus::kError;
       return false;
     }
   }
   return true;
+}
+
+int CliParser::UsageExitCode() const {
+  return status_ == ParseStatus::kHelp ? 0 : 2;
 }
 
 std::string CliParser::Usage() const {

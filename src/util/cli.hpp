@@ -27,10 +27,20 @@ class CliParser {
   bool& AddBool(const std::string& name, bool default_value,
                 const std::string& help);
 
+  /// Why the last Parse() returned false (help is a successful exit;
+  /// malformed input is a usage error).
+  enum class ParseStatus { kOk, kHelp, kError };
+
   /// Parse argv. On --help prints usage and returns false; on malformed
   /// input prints the error plus usage and returns false. Callers should
-  /// exit when this returns false.
+  /// exit when this returns false, using UsageExitCode() as the status.
   [[nodiscard]] bool Parse(int argc, const char* const* argv);
+
+  [[nodiscard]] ParseStatus Status() const { return status_; }
+
+  /// Process exit code after a failed Parse(): 0 when the user asked for
+  /// --help, 2 (usage error) otherwise.
+  [[nodiscard]] int UsageExitCode() const;
 
   [[nodiscard]] std::string Usage() const;
 
@@ -51,6 +61,7 @@ class CliParser {
 
   std::string program_;
   std::string description_;
+  ParseStatus status_ = ParseStatus::kOk;
   std::map<std::string, Flag> flags_;
   std::vector<std::string> order_;
 };

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/atomic_io.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
 
@@ -88,6 +89,10 @@ std::string CsvTable::ToString() const {
   std::ostringstream os;
   Write(os);
   return os.str();
+}
+
+void CsvTable::Save(const std::string& path) const {
+  AtomicWriteFile(path, ToString());
 }
 
 CsvTable CsvTable::Parse(std::istream& is) {

@@ -38,6 +38,10 @@ class CsvTable {
   void Write(std::ostream& os) const;
   [[nodiscard]] std::string ToString() const;
 
+  /// Write the CSV to `path` atomically (temp → fsync → rename), so an
+  /// interrupted run can never leave a truncated table on disk.
+  void Save(const std::string& path) const;
+
   /// Parse a table from CSV text; first line is the header.
   static CsvTable Parse(std::istream& is);
   static CsvTable ParseString(const std::string& text);

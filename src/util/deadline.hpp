@@ -1,0 +1,52 @@
+// Monotonic watchdog deadline for cooperative cancellation.
+//
+// C++ cannot preempt a compute thread, so deadlines are enforced at
+// checkpoints the workload already passes (per trial chunk, between
+// schedulers). A default-constructed Deadline is disabled and never
+// expires, so hot loops can check unconditionally.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace fadesched::util {
+
+class Deadline {
+ public:
+  /// Disabled deadline: Expired() is always false.
+  Deadline() = default;
+
+  /// Deadline `seconds` from now on the steady clock. Non-positive
+  /// seconds yields a disabled deadline (convenient for "0 = no limit"
+  /// flags).
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds > 0.0) {
+      d.enabled_ = true;
+      d.due_ = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool Enabled() const { return enabled_; }
+
+  [[nodiscard]] bool Expired() const {
+    return enabled_ && std::chrono::steady_clock::now() >= due_;
+  }
+
+  /// Seconds until expiry; +inf when disabled, clamped at 0 when past due.
+  [[nodiscard]] double RemainingSeconds() const {
+    if (!enabled_) return std::numeric_limits<double>::infinity();
+    const auto left = std::chrono::duration<double>(
+        due_ - std::chrono::steady_clock::now());
+    return left.count() > 0.0 ? left.count() : 0.0;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point due_{};
+};
+
+}  // namespace fadesched::util

@@ -1,0 +1,44 @@
+#include "util/error.hpp"
+
+#include <new>
+
+namespace fadesched::util {
+
+const char* ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTransient: return "transient";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kInterrupted: return "interrupted";
+    case ErrorKind::kFatal: return "fatal";
+  }
+  return "?";
+}
+
+ErrorKind ClassifyException(const std::exception_ptr& error) {
+  if (!error) return ErrorKind::kFatal;
+  try {
+    std::rethrow_exception(error);
+  } catch (const HarnessError& e) {
+    return e.kind();
+  } catch (const std::bad_alloc&) {
+    return ErrorKind::kTransient;
+  } catch (const std::logic_error&) {
+    return ErrorKind::kFatal;
+  } catch (...) {
+    return ErrorKind::kTransient;
+  }
+}
+
+int ExitCodeForError(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTimeout:
+    case ErrorKind::kInterrupted:
+      return kExitInterrupted;
+    case ErrorKind::kTransient:
+    case ErrorKind::kFatal:
+      return kExitRuntime;
+  }
+  return kExitRuntime;
+}
+
+}  // namespace fadesched::util

@@ -1,0 +1,73 @@
+// Structured error taxonomy for the experiment harness.
+//
+// Long-running sweeps need to tell three failure classes apart: transient
+// errors (I/O hiccups, OOM — worth retrying), timeouts (a watchdog
+// deadline fired — record and move on), and fatal errors (programming
+// bugs, corrupted inputs — abort loudly). A fourth kind, interrupted,
+// marks cooperative SIGINT/SIGTERM shutdown so callers can exit with a
+// distinct status after checkpointing.
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace fadesched::util {
+
+enum class ErrorKind {
+  kTransient,    ///< retryable: I/O failure, allocation pressure
+  kTimeout,      ///< a watchdog deadline expired
+  kInterrupted,  ///< cooperative shutdown (SIGINT/SIGTERM)
+  kFatal,        ///< programming error or corrupted state; do not retry
+};
+
+/// Stable lowercase name ("transient", "timeout", ...).
+const char* ErrorKindName(ErrorKind kind);
+
+/// Exception carrying its taxonomy kind, thrown throughout the harness.
+class HarnessError : public std::runtime_error {
+ public:
+  HarnessError(ErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Convenience constructors so call sites read as intent.
+inline HarnessError TransientError(const std::string& what) {
+  return HarnessError(ErrorKind::kTransient, what);
+}
+inline HarnessError TimeoutError(const std::string& what) {
+  return HarnessError(ErrorKind::kTimeout, what);
+}
+inline HarnessError InterruptedError(const std::string& what) {
+  return HarnessError(ErrorKind::kInterrupted, what);
+}
+inline HarnessError FatalError(const std::string& what) {
+  return HarnessError(ErrorKind::kFatal, what);
+}
+
+/// Classifies an in-flight exception for the retry policy: HarnessError
+/// reports its own kind; std::bad_alloc is transient (memory pressure may
+/// clear); std::logic_error (including CheckFailure) is a programming
+/// error, hence fatal; anything else defaults to transient so one odd
+/// seed cannot abort a sweep.
+ErrorKind ClassifyException(const std::exception_ptr& error);
+
+/// Process exit codes shared by the CLI and every bench binary.
+/// 0 success, 1 runtime failure, 2 usage error, 3 timeout/interrupted.
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitRuntime = 1,
+  kExitUsage = 2,
+  kExitInterrupted = 3,
+};
+
+/// Exit code for a failure of the given kind (timeout/interrupted → 3,
+/// everything else → 1).
+int ExitCodeForError(ErrorKind kind);
+
+}  // namespace fadesched::util

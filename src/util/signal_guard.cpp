@@ -1,0 +1,53 @@
+#include "util/signal_guard.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace fadesched::util {
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+int g_guard_depth = 0;  // main-thread only
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+
+void HandleSignal(int signo) {
+  // Async-signal-safe: one atomic store, one syscall on the repeat path.
+  if (g_shutdown_requested.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: give up on graceful shutdown.
+    ::signal(signo, SIG_DFL);
+    ::raise(signo);
+  }
+}
+
+}  // namespace
+
+ScopedSignalGuard::ScopedSignalGuard() {
+  if (g_guard_depth++ > 0) return;
+  struct sigaction action{};
+  action.sa_handler = &HandleSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, &g_prev_int);
+  ::sigaction(SIGTERM, &action, &g_prev_term);
+}
+
+ScopedSignalGuard::~ScopedSignalGuard() {
+  if (--g_guard_depth > 0) return;
+  ::sigaction(SIGINT, &g_prev_int, nullptr);
+  ::sigaction(SIGTERM, &g_prev_term, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void ClearShutdownRequest() {
+  g_shutdown_requested.store(false, std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace fadesched::util

@@ -1,0 +1,34 @@
+// Cooperative SIGINT/SIGTERM handling for long-running sweeps.
+//
+// The handler only flips an atomic flag; the sweep driver polls it
+// between seeds, checkpoints, flushes partial CSVs atomically, and exits
+// with the distinct "interrupted" status. A second signal while the flag
+// is already set restores the default disposition, so a stuck shutdown
+// can still be killed the usual way.
+#pragma once
+
+namespace fadesched::util {
+
+/// RAII: installs SIGINT/SIGTERM handlers on construction and restores
+/// the previous dispositions on destruction. Nestable; only the
+/// outermost guard installs/restores.
+class ScopedSignalGuard {
+ public:
+  ScopedSignalGuard();
+  ~ScopedSignalGuard();
+
+  ScopedSignalGuard(const ScopedSignalGuard&) = delete;
+  ScopedSignalGuard& operator=(const ScopedSignalGuard&) = delete;
+};
+
+/// True once SIGINT or SIGTERM has been received (under an active guard).
+bool ShutdownRequested();
+
+/// Clears the flag (tests; or a driver that handled one interruption and
+/// wants to observe the next).
+void ClearShutdownRequest();
+
+/// For tests and drills: flips the same flag the handler would.
+void RequestShutdown();
+
+}  // namespace fadesched::util

@@ -42,6 +42,32 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+std::string TaskReport::Summary() const {
+  std::string text = std::to_string(failures.size()) + "/" +
+                     std::to_string(completed + failures.size()) +
+                     " tasks failed";
+  if (!failures.empty()) text += ": " + failures.front().message;
+  return text;
+}
+
+TaskReport WaitAll(std::vector<std::future<void>>& futures) {
+  TaskReport report;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      futures[i].get();
+      ++report.completed;
+    } catch (const std::exception& e) {
+      if (!report.first_error) report.first_error = std::current_exception();
+      report.failures.push_back({i, e.what()});
+    } catch (...) {
+      if (!report.first_error) report.first_error = std::current_exception();
+      report.failures.push_back({i, "(non-std exception)"});
+    }
+  }
+  futures.clear();
+  return report;
+}
+
 void ParallelChunks(
     ThreadPool& pool, std::size_t count,
     const std::function<void(std::size_t chunk, std::size_t begin,
@@ -61,7 +87,9 @@ void ParallelChunks(
     begin = end;
   }
   FS_CHECK(begin == count);
-  for (auto& f : futures) f.get();  // rethrows the first failure
+  // Draining every future before throwing keeps `body`'s captures alive
+  // until no worker can still touch them.
+  WaitAll(futures).Rethrow();
 }
 
 }  // namespace fadesched::util

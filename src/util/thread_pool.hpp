@@ -10,6 +10,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -54,9 +55,40 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// One failed pool task, by submission index.
+struct TaskFailure {
+  std::size_t index = 0;
+  std::string message;
+};
+
+/// Outcome summary for a batch of pool futures: how many completed, every
+/// failure's message, and the first exception for rethrow. Lets a retry
+/// policy inspect all errors without try/catching future::get at every
+/// call site.
+struct TaskReport {
+  std::size_t completed = 0;
+  std::vector<TaskFailure> failures;
+  std::exception_ptr first_error;
+
+  [[nodiscard]] bool AllOk() const { return failures.empty(); }
+
+  /// Rethrows the first failure, if any.
+  void Rethrow() const {
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// "3/8 tasks failed: <first message>" — for logs and error wrapping.
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Blocks on every future (so no task can outlive its captures), then
+/// reports the outcomes. Futures are consumed.
+TaskReport WaitAll(std::vector<std::future<void>>& futures);
+
 /// Splits [0, count) into roughly equal chunks and runs
-/// `body(chunk_index, begin, end)` on the pool, blocking until all chunks
-/// finish. Exceptions from any chunk are rethrown (first one wins).
+/// `body(chunk_index, begin, end)` on the pool, blocking until ALL chunks
+/// finish — even when one throws, so no chunk can dangle on unwound stack
+/// state. The first failure is then rethrown.
 void ParallelChunks(
     ThreadPool& pool, std::size_t count,
     const std::function<void(std::size_t chunk, std::size_t begin,

@@ -9,6 +9,7 @@
 #include "net/scenario.hpp"
 #include "rng/xoshiro256.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace fadesched::net {
 namespace {
@@ -55,8 +56,13 @@ TEST(ScenarioIoTest, MissingFileThrows) {
 TEST(ScenarioIoTest, UnwritablePathThrows) {
   rng::Xoshiro256 gen(3);
   const LinkSet links = MakeUniformScenario(2, {}, gen);
-  EXPECT_THROW(SaveLinkSet(links, "/nonexistent/dir/links.csv"),
-               util::CheckFailure);
+  // Atomic writes classify I/O failures as transient harness errors.
+  try {
+    SaveLinkSet(links, "/nonexistent/dir/links.csv");
+    FAIL() << "expected HarnessError";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTransient);
+  }
 }
 
 TEST(ScenarioIoTest, MalformedCsvRejected) {

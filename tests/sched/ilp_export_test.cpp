@@ -10,6 +10,7 @@
 #include "net/scenario.hpp"
 #include "rng/xoshiro256.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace fadesched::sched {
@@ -82,9 +83,14 @@ TEST(IlpExportTest, FileWriteRoundTrip) {
 }
 
 TEST(IlpExportTest, UnwritablePathThrows) {
-  EXPECT_THROW(WriteIlpFile(ThreeLinks(), channel::ChannelParams{},
-                            "/nonexistent/dir/out.lp"),
-               util::CheckFailure);
+  // Atomic writes classify I/O failures as transient harness errors.
+  try {
+    WriteIlpFile(ThreeLinks(), channel::ChannelParams{},
+                 "/nonexistent/dir/out.lp");
+    FAIL() << "expected HarnessError";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTransient);
+  }
 }
 
 TEST(IlpExportTest, ScalesToRealisticInstances) {

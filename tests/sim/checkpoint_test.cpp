@@ -1,0 +1,189 @@
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "mathx/stats.hpp"
+#include "util/atomic_io.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::sim {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "fadesched_checkpoint_" + name;
+}
+
+// Awkward, non-representable doubles so the hex-float round trip is
+// actually exercised.
+mathx::RunningStats AwkwardStats(double scale) {
+  mathx::RunningStats stats;
+  stats.Add(scale / 3.0);
+  stats.Add(scale * 0.1);
+  stats.Add(-scale / 7.0);
+  return stats;
+}
+
+bool BitIdentical(const mathx::RunningStats& a,
+                  const mathx::RunningStats& b) {
+  return a.Count() == b.Count() &&
+         std::memcmp(&a, &b, sizeof(mathx::RunningStats)) == 0;
+}
+
+SweepCheckpoint MakeCheckpoint() {
+  SweepCheckpoint ck;
+  ck.fingerprint = 0xdeadbeefcafef00dULL;
+  for (int p = 0; p < 2; ++p) {
+    PointCheckpoint point;
+    point.x = 100.0 * (p + 1) + 1.0 / 3.0;
+    point.seeds_done = 3 + static_cast<std::size_t>(p);
+    point.failed_seeds = static_cast<std::size_t>(p);
+    point.timed_out_seeds = static_cast<std::size_t>(p);
+    point.complete = p == 0;
+    for (const char* algo : {"ldp", "rle"}) {
+      AlgoSummary summary;
+      summary.algorithm = algo;
+      const double scale = algo[0] == 'l' ? 17.0 : 0.003;
+      summary.scheduled_links = AwkwardStats(scale);
+      summary.claimed_rate = AwkwardStats(scale * 2);
+      summary.measured_failed = AwkwardStats(scale * 3);
+      summary.measured_throughput = AwkwardStats(scale * 5);
+      summary.expected_failed = AwkwardStats(scale * 7);
+      summary.expected_throughput = AwkwardStats(scale * 11);
+      summary.runtime_ms = AwkwardStats(scale * 13);
+      point.summaries.push_back(summary);
+    }
+    ck.points.push_back(point);
+  }
+  return ck;
+}
+
+TEST(CheckpointTest, SerializeDeserializeIsExact) {
+  const SweepCheckpoint original = MakeCheckpoint();
+  const SweepCheckpoint restored =
+      SweepCheckpoint::Deserialize(original.Serialize());
+
+  EXPECT_EQ(restored.fingerprint, original.fingerprint);
+  ASSERT_EQ(restored.points.size(), original.points.size());
+  for (std::size_t p = 0; p < original.points.size(); ++p) {
+    const PointCheckpoint& a = original.points[p];
+    const PointCheckpoint& b = restored.points[p];
+    EXPECT_EQ(a.x, b.x);  // exact, not NEAR: hex floats round-trip bits
+    EXPECT_EQ(a.seeds_done, b.seeds_done);
+    EXPECT_EQ(a.failed_seeds, b.failed_seeds);
+    EXPECT_EQ(a.timed_out_seeds, b.timed_out_seeds);
+    EXPECT_EQ(a.complete, b.complete);
+    ASSERT_EQ(a.summaries.size(), b.summaries.size());
+    for (std::size_t s = 0; s < a.summaries.size(); ++s) {
+      EXPECT_EQ(a.summaries[s].algorithm, b.summaries[s].algorithm);
+      EXPECT_TRUE(BitIdentical(a.summaries[s].measured_failed,
+                               b.summaries[s].measured_failed));
+      EXPECT_TRUE(BitIdentical(a.summaries[s].measured_throughput,
+                               b.summaries[s].measured_throughput));
+      EXPECT_TRUE(BitIdentical(a.summaries[s].runtime_ms,
+                               b.summaries[s].runtime_ms));
+    }
+  }
+}
+
+TEST(CheckpointTest, SerializationIsDeterministic) {
+  const SweepCheckpoint ck = MakeCheckpoint();
+  EXPECT_EQ(ck.Serialize(), SweepCheckpoint::Deserialize(
+                                ck.Serialize()).Serialize());
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("roundtrip.ck");
+  const SweepCheckpoint original = MakeCheckpoint();
+  original.Save(path);
+
+  SweepCheckpoint loaded;
+  ASSERT_TRUE(SweepCheckpoint::Load(path, original.fingerprint, loaded));
+  EXPECT_EQ(loaded.Serialize(), original.Serialize());
+  util::RemoveFile(path);
+}
+
+TEST(CheckpointTest, LoadMissingFileReturnsFalse) {
+  SweepCheckpoint loaded;
+  EXPECT_FALSE(SweepCheckpoint::Load(TempPath("absent.ck"), 1, loaded));
+}
+
+TEST(CheckpointTest, LoadRefusesFingerprintMismatch) {
+  const std::string path = TempPath("stale.ck");
+  const SweepCheckpoint original = MakeCheckpoint();
+  original.Save(path);
+
+  SweepCheckpoint loaded;
+  try {
+    SweepCheckpoint::Load(path, original.fingerprint + 1, loaded);
+    FAIL() << "expected HarnessError";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kFatal);
+  }
+  util::RemoveFile(path);
+}
+
+TEST(CheckpointTest, CorruptInputIsFatal) {
+  for (const std::string text :
+       {std::string("not a checkpoint at all"), std::string(""),
+        std::string("fadesched-checkpoint v99\nfingerprint "
+                    "0000000000000000\npoints 0\nend\n"),
+        MakeCheckpoint().Serialize().substr(0, 80)}) {
+    try {
+      SweepCheckpoint::Deserialize(text);
+      FAIL() << "expected HarnessError for: " << text.substr(0, 40);
+    } catch (const util::HarnessError& e) {
+      EXPECT_EQ(e.kind(), util::ErrorKind::kFatal);
+    }
+  }
+}
+
+TEST(CheckpointTest, FingerprintIsSensitiveToEveryConfigKnob) {
+  ExperimentConfig config;
+  config.algorithms = {"ldp", "rle"};
+  config.num_seeds = 5;
+  config.trials = 1000;
+  std::vector<double> xs = {100, 200};
+  std::vector<ExperimentPoint> points(2);
+  points[0].num_links = 100;
+  points[1].num_links = 200;
+
+  const std::uint64_t base = FingerprintSweep("sweep", xs, config, points);
+  EXPECT_EQ(base, FingerprintSweep("sweep", xs, config, points));
+
+  EXPECT_NE(base, FingerprintSweep("other", xs, config, points));
+
+  auto tweaked = config;
+  tweaked.trials = 2000;
+  EXPECT_NE(base, FingerprintSweep("sweep", xs, tweaked, points));
+
+  tweaked = config;
+  tweaked.algorithms = {"rle", "ldp"};  // order matters
+  EXPECT_NE(base, FingerprintSweep("sweep", xs, tweaked, points));
+
+  tweaked = config;
+  tweaked.num_seeds = 6;
+  EXPECT_NE(base, FingerprintSweep("sweep", xs, tweaked, points));
+
+  auto other_points = points;
+  other_points[1].channel.alpha += 0.5;
+  EXPECT_NE(base, FingerprintSweep("sweep", xs, config, other_points));
+}
+
+TEST(CheckpointTest, StatsRestoreContinuesWelfordExactly) {
+  // Folding samples into restored moments must equal never having
+  // serialized at all — this is what makes resume bit-identical.
+  mathx::RunningStats live = AwkwardStats(3.7);
+  mathx::RunningStats restored = mathx::RunningStats::FromRawMoments(
+      live.Count(), live.RawMean(), live.RawM2(), live.Min(), live.Max());
+  for (double x : {0.9, -2.4, 1.0 / 9.0}) {
+    live.Add(x);
+    restored.Add(x);
+  }
+  EXPECT_TRUE(BitIdentical(live, restored));
+}
+
+}  // namespace
+}  // namespace fadesched::sim

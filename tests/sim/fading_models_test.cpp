@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
+#include "mathx/ks_test.hpp"
 #include "net/scenario.hpp"
 #include "rng/xoshiro256.hpp"
 #include "sched/rle.hpp"
@@ -95,6 +99,85 @@ TEST(DrawFadedPowerTest, InvalidOptionsRejected) {
   bad = FadingOptions{};
   bad.shadowing_sigma_db = -1.0;
   EXPECT_THROW(bad.Validate(), util::CheckFailure);
+}
+
+TEST(DrawFadedPowerTest, NakagamiMeanIsExactAcrossShapes) {
+  // All models are normalized to E[power] = mean; pin it per shape with a
+  // standard-error-scaled tolerance instead of one shared loose bound.
+  rng::Xoshiro256 gen(9);
+  const double mean = 2.0;
+  for (double m : {0.5, 1.0, 4.0}) {
+    FadingOptions options;
+    options.model = FadingModel::kNakagami;
+    options.nakagami_m = m;
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+      sum += DrawFadedPower(gen, mean, options);
+    }
+    // Var = mean²/m ⇒ SE = mean/√(m·n); allow 4 SE.
+    const double se = mean / std::sqrt(m * kSamples);
+    EXPECT_NEAR(sum / kSamples, mean, 4.0 * se) << "m=" << m;
+  }
+}
+
+TEST(DrawFadedPowerTest, ShadowedRayleighMeanIsExactAcrossSigmas) {
+  rng::Xoshiro256 gen(10);
+  const double mean = 2.0;
+  for (double sigma_db : {0.0, 6.0, 12.0}) {
+    FadingOptions options;
+    options.model = FadingModel::kShadowedRayleigh;
+    options.shadowing_sigma_db = sigma_db;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+      const double x = DrawFadedPower(gen, mean, options);
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double sample_mean = sum / kSamples;
+    const double sample_var =
+        sum_sq / kSamples - sample_mean * sample_mean;
+    const double se = std::sqrt(sample_var / kSamples);
+    EXPECT_NEAR(sample_mean, mean, 5.0 * se + 1e-12)
+        << "sigma_db=" << sigma_db;
+  }
+}
+
+TEST(DrawFadedPowerTest, NakagamiOneIsExponentialByKsTest) {
+  // Moment checks can't catch shape errors; KS against the full
+  // exponential CDF can. Nakagami m = 1 must *be* Rayleigh power.
+  rng::Xoshiro256 gen(11);
+  FadingOptions options;
+  options.model = FadingModel::kNakagami;
+  options.nakagami_m = 1.0;
+  const double mean = 1.7;
+  std::vector<double> sample(20000);
+  for (double& x : sample) x = DrawFadedPower(gen, mean, options);
+  EXPECT_TRUE(mathx::KsTestPasses(
+      sample, [mean](double x) { return 1.0 - std::exp(-x / mean); }));
+}
+
+TEST(DrawFadedPowerTest, RayleighPassesItsOwnKsTest) {
+  rng::Xoshiro256 gen(12);
+  const double mean = 0.8;
+  std::vector<double> sample(20000);
+  for (double& x : sample) x = DrawFadedPower(gen, mean, FadingOptions{});
+  EXPECT_TRUE(mathx::KsTestPasses(
+      sample, [mean](double x) { return 1.0 - std::exp(-x / mean); }));
+}
+
+TEST(DrawFadedPowerTest, SevereNakagamiIsNotExponential) {
+  // Negative control: the KS machinery must reject a genuinely different
+  // shape, otherwise the two tests above prove nothing.
+  rng::Xoshiro256 gen(13);
+  FadingOptions options;
+  options.model = FadingModel::kNakagami;
+  options.nakagami_m = 0.5;
+  const double mean = 1.0;
+  std::vector<double> sample(20000);
+  for (double& x : sample) x = DrawFadedPower(gen, mean, options);
+  EXPECT_FALSE(mathx::KsTestPasses(
+      sample, [mean](double x) { return 1.0 - std::exp(-x / mean); }));
 }
 
 TEST(FadingRobustnessTest, NakagamiOneMatchesRayleighClosedForm) {

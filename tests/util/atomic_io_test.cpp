@@ -1,0 +1,81 @@
+#include "util/atomic_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fadesched::util {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "fadesched_atomic_io_" + name;
+}
+
+TEST(AtomicIoTest, WriteThenReadRoundTrips) {
+  const std::string path = TempPath("roundtrip.txt");
+  const std::string content = "x,y\n1,2\n3,4\n";
+  AtomicWriteFile(path, content);
+  EXPECT_EQ(ReadFileToString(path), content);
+  EXPECT_TRUE(RemoveFile(path));
+}
+
+TEST(AtomicIoTest, OverwriteReplacesWholeContent) {
+  const std::string path = TempPath("overwrite.txt");
+  AtomicWriteFile(path, "a much longer first version of the file\n");
+  AtomicWriteFile(path, "short\n");
+  EXPECT_EQ(ReadFileToString(path), "short\n");
+  EXPECT_TRUE(RemoveFile(path));
+}
+
+TEST(AtomicIoTest, EmptyContentProducesEmptyFile) {
+  const std::string path = TempPath("empty.txt");
+  AtomicWriteFile(path, "");
+  EXPECT_EQ(ReadFileToString(path), "");
+  EXPECT_TRUE(RemoveFile(path));
+}
+
+TEST(AtomicIoTest, NoTemporaryLeftBehindAfterSuccess) {
+  const std::string path = TempPath("clean.txt");
+  AtomicWriteFile(path, "payload");
+  for (const auto& entry :
+       std::filesystem::directory_iterator(testing::TempDir())) {
+    EXPECT_EQ(entry.path().string().find("clean.txt.tmp"), std::string::npos)
+        << "stale temporary: " << entry.path();
+  }
+  EXPECT_TRUE(RemoveFile(path));
+}
+
+TEST(AtomicIoTest, WriteIntoMissingDirectoryIsTransient) {
+  const std::string path = TempPath("no_such_dir/file.txt");
+  try {
+    AtomicWriteFile(path, "data");
+    FAIL() << "expected HarnessError";
+  } catch (const HarnessError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTransient);
+  }
+}
+
+TEST(AtomicIoTest, ReadMissingFileIsTransient) {
+  try {
+    ReadFileToString(TempPath("does_not_exist.txt"));
+    FAIL() << "expected HarnessError";
+  } catch (const HarnessError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTransient);
+  }
+}
+
+TEST(AtomicIoTest, FileExistsAndRemove) {
+  const std::string path = TempPath("exists.txt");
+  EXPECT_FALSE(FileExists(path));
+  AtomicWriteFile(path, "x");
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path));
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(RemoveFile(path));
+}
+
+}  // namespace
+}  // namespace fadesched::util

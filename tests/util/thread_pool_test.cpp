@@ -123,6 +123,75 @@ TEST(ParallelChunksTest, ExceptionInChunkRethrown) {
                std::runtime_error);
 }
 
+TEST(WaitAllTest, AllTasksSucceed) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  const TaskReport report = WaitAll(futures);
+  EXPECT_TRUE(report.AllOk());
+  EXPECT_EQ(report.completed, 20u);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_NO_THROW(report.Rethrow());
+  EXPECT_EQ(counter, 20);
+}
+
+TEST(WaitAllTest, CollectsEveryFailureWithItsIndex) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(pool.Submit([i] {
+      if (i % 2 == 1) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    }));
+  }
+  const TaskReport report = WaitAll(futures);
+  EXPECT_FALSE(report.AllOk());
+  EXPECT_EQ(report.completed, 3u);
+  ASSERT_EQ(report.failures.size(), 3u);
+  EXPECT_EQ(report.failures[0].index, 1u);
+  EXPECT_EQ(report.failures[0].message, "task 1");
+  EXPECT_EQ(report.failures[1].index, 3u);
+  EXPECT_EQ(report.failures[2].index, 5u);
+  EXPECT_THROW(report.Rethrow(), std::runtime_error);
+  EXPECT_NE(report.Summary().find("3/6"), std::string::npos)
+      << report.Summary();
+  EXPECT_NE(report.Summary().find("task 1"), std::string::npos);
+}
+
+TEST(WaitAllTest, ParallelChunksDrainsSiblingsBeforeRethrow) {
+  // The first chunk fails instantly; the others keep writing to shared
+  // state for a while. ParallelChunks must wait for ALL chunks before
+  // rethrowing, or the still-running siblings would touch dead stack
+  // frames. `live` counts chunks still inside the body: it must be 0
+  // when the exception escapes.
+  ThreadPool pool(4);
+  std::atomic<int> live{0};
+  std::atomic<bool> saw_nonzero_after_throw{false};
+  try {
+    ParallelChunks(pool, 400,
+                   [&](std::size_t chunk, std::size_t, std::size_t) {
+                     ++live;
+                     if (chunk == 0) {
+                       --live;
+                       throw std::runtime_error("first chunk fails");
+                     }
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(30));
+                     --live;
+                   });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error&) {
+    if (live.load() != 0) saw_nonzero_after_throw = true;
+  }
+  EXPECT_FALSE(saw_nonzero_after_throw)
+      << "chunks were still running when the exception escaped";
+  EXPECT_EQ(live.load(), 0);
+}
+
 TEST(ParallelChunksTest, ChunkIndicesAreDense) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> seen(3);

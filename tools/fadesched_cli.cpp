@@ -6,11 +6,19 @@
 //   fadesched_cli simulate --in l.csv --algorithm rle --trials 10000
 //   fadesched_cli fault-inject --in l.csv --drop 0.3 --crash-fraction 0.1
 //   fadesched_cli ilp      --in l.csv --out problem.lp
+//   fadesched_cli sweep    --x links --xs 100,200,300 --algorithms ldp,rle \
+//                          --checkpoint sweep.ck --resume --out sweep.csv
 //
 // Every subcommand accepts --help.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 when a
+// watchdog deadline fired or the run was interrupted (SIGINT/SIGTERM
+// after checkpointing).
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/fadesched.hpp"
 #include "distsim/dls_protocol.hpp"
@@ -18,9 +26,12 @@
 #include "rng/distributions.hpp"
 #include "sched/feedback.hpp"
 #include "sched/ilp_export.hpp"
+#include "sim/sweep.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace {
@@ -54,7 +65,7 @@ int RunGenerate(int argc, char** argv) {
   auto& seed = cli.AddInt("seed", 1, "generator seed");
   auto& region = cli.AddDouble("region", 500.0, "deployment square side");
   auto& out = cli.AddString("out", "links.csv", "output path");
-  if (!cli.Parse(argc, argv)) return 1;
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   rng::Xoshiro256 gen(static_cast<std::uint64_t>(seed));
   net::LinkSet result;
@@ -87,7 +98,7 @@ int RunGenerate(int argc, char** argv) {
 int RunInfo(int argc, char** argv) {
   util::CliParser cli("fadesched_cli info", "topology statistics");
   auto& in = cli.AddString("in", "links.csv", "scenario CSV");
-  if (!cli.Parse(argc, argv)) return 1;
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
   const net::LinkSet links = net::LoadLinkSet(in);
   FS_CHECK_MSG(!links.Empty(), "scenario is empty");
   const geom::Aabb box = links.BoundingBox();
@@ -114,7 +125,7 @@ int RunSolve(int argc, char** argv) {
                             "schedule ALL links across multiple slots");
   double *alpha, *epsilon, *gamma_th, *noise;
   AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
-  if (!cli.Parse(argc, argv)) return 1;
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   const net::LinkSet links = net::LoadLinkSet(in);
   const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
@@ -161,9 +172,11 @@ int RunSimulate(int argc, char** argv) {
   auto& trials = cli.AddInt("trials", 10000, "fading realizations");
   auto& sim_seed = cli.AddInt("sim-seed", 42, "simulator seed");
   auto& threads = cli.AddInt("threads", 0, "simulator threads (0 = hw)");
+  auto& deadline = cli.AddDouble(
+      "deadline", 0.0, "watchdog deadline in seconds (0 = unlimited)");
   double *alpha, *epsilon, *gamma_th, *noise;
   AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
-  if (!cli.Parse(argc, argv)) return 1;
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   const net::LinkSet links = net::LoadLinkSet(in);
   const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
@@ -174,6 +187,7 @@ int RunSimulate(int argc, char** argv) {
   options.trials = static_cast<std::size_t>(trials);
   options.seed = static_cast<std::uint64_t>(sim_seed);
   options.threads = threads <= 0 ? 0 : static_cast<unsigned>(threads);
+  options.deadline = util::Deadline::After(deadline);
   const sim::SimResult result =
       sim::SimulateSchedule(links, params, solution.schedule, options);
 
@@ -213,7 +227,7 @@ int RunFaultInject(int argc, char** argv) {
       cli.AddInt("max-attempts", 8, "retry attempts before blacklisting");
   double *alpha, *epsilon, *gamma_th, *noise;
   AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
-  if (!cli.Parse(argc, argv)) return 1;
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
   const net::LinkSet links = net::LoadLinkSet(in);
   const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
@@ -271,12 +285,119 @@ int RunIlp(int argc, char** argv) {
   auto& out = cli.AddString("out", "problem.lp", "LP output path");
   double *alpha, *epsilon, *gamma_th, *noise;
   AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
-  if (!cli.Parse(argc, argv)) return 1;
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
   const net::LinkSet links = net::LoadLinkSet(in);
   const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
   sched::WriteIlpFile(links, params, out);
   std::printf("wrote ILP (%zu binaries) to %s\n", links.Size(), out.c_str());
   return 0;
+}
+
+int RunSweep(int argc, char** argv) {
+  util::CliParser cli(
+      "fadesched_cli sweep",
+      "crash-safe experiment sweep with checkpoint/resume");
+  auto& x_kind = cli.AddString("x", "links",
+                               "swept variable: links | alpha");
+  auto& xs_text = cli.AddString("xs", "100,200,300,400,500",
+                                "comma-separated x values");
+  auto& algorithms_text =
+      cli.AddString("algorithms", "ldp,rle", "comma-separated schedulers");
+  auto& seeds = cli.AddInt("seeds", 5, "topologies per point");
+  auto& trials = cli.AddInt("trials", 1000, "fading realizations per seed");
+  auto& threads = cli.AddInt("threads", 0, "simulator threads (0 = hw)");
+  auto& base_seed = cli.AddInt("base-seed", 1, "first topology seed");
+  auto& num_links = cli.AddInt(
+      "links", 300, "links per topology (when sweeping alpha)");
+  auto& checkpoint = cli.AddString(
+      "checkpoint", "", "checkpoint file (enables crash-safe resume)");
+  auto& resume = cli.AddBool("resume", false,
+                             "resume from --checkpoint if it exists");
+  auto& keep = cli.AddBool("keep-checkpoint", false,
+                           "keep the checkpoint after success");
+  auto& out = cli.AddString("out", "", "write the CSV here (atomic)");
+  auto& seed_deadline = cli.AddDouble(
+      "seed-deadline", 0.0, "per-seed watchdog deadline (seconds; 0 = off)");
+  auto& retries =
+      cli.AddInt("retries", 1, "retries per seed for transient failures");
+  auto& deterministic = cli.AddBool(
+      "deterministic", false,
+      "record sched_ms as 0 so reruns produce byte-identical CSV");
+  auto& crash_after = cli.AddInt(
+      "crash-after-point", -1,
+      "fault drill: SIGKILL this process after point N checkpoints");
+  double *alpha, *epsilon, *gamma_th, *noise;
+  AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  FS_CHECK_MSG(x_kind == "links" || x_kind == "alpha",
+               "--x must be 'links' or 'alpha'");
+  std::vector<double> xs;
+  for (const std::string& token : util::Split(xs_text, ',')) {
+    const auto value = util::ParseDouble(util::Trim(token));
+    FS_CHECK_MSG(value.has_value(), "malformed --xs value: '" + token + "'");
+    xs.push_back(*value);
+  }
+
+  sim::SweepSpec spec;
+  spec.name = "fadesched_cli sweep --x " + x_kind;
+  spec.x_name = x_kind == "links" ? "num_links" : "alpha";
+  spec.xs = xs;
+  const auto base_params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
+  const auto fixed_links = static_cast<std::size_t>(num_links);
+  const bool sweep_links = x_kind == "links";
+  spec.make_point = [base_params, fixed_links, sweep_links](double x) {
+    sim::ExperimentPoint point;
+    point.channel = base_params;
+    if (sweep_links) {
+      point.num_links = static_cast<std::size_t>(x);
+    } else {
+      point.num_links = fixed_links;
+      point.channel.alpha = x;
+    }
+    return point;
+  };
+
+  sim::SweepOptions options;
+  for (const std::string& token : util::Split(algorithms_text, ',')) {
+    options.config.algorithms.emplace_back(util::Trim(token));
+  }
+  options.config.num_seeds = static_cast<std::size_t>(seeds);
+  options.config.base_seed = static_cast<std::uint64_t>(base_seed);
+  options.config.trials = static_cast<std::size_t>(trials);
+  options.config.threads =
+      threads <= 0 ? 0u : static_cast<unsigned>(threads);
+  options.retry.max_attempts = static_cast<std::size_t>(retries) + 1;
+  options.retry.seed_deadline_seconds = seed_deadline;
+  options.checkpoint_path = checkpoint;
+  options.resume = resume;
+  options.keep_checkpoint = keep;
+  options.out_path = out;
+  options.deterministic = deterministic;
+  if (crash_after >= 0) {
+    const auto crash_point = static_cast<std::size_t>(crash_after);
+    options.after_checkpoint = [crash_point](std::size_t point,
+                                             std::size_t /*seeds_done*/,
+                                             bool complete) {
+      if (complete && point == crash_point) {
+        std::fprintf(stderr, "[drill] SIGKILL after point %zu checkpoint\n",
+                     point);
+        std::raise(SIGKILL);
+      }
+    };
+  }
+
+  const sim::SweepResult result = sim::RunExperimentSweep(spec, options);
+  std::fputs(result.table.ToString().c_str(), stdout);
+  if (result.failed_seeds > 0) {
+    std::fprintf(stderr, "warning: %zu seed(s) failed (%zu timed out)\n",
+                 result.failed_seeds, result.timed_out_seeds);
+  }
+  if (result.interrupted) {
+    std::fprintf(stderr, "interrupted: %zu/%zu points complete\n",
+                 result.points_completed, result.points_total);
+  }
+  return result.ExitCode();
 }
 
 int RunList() {
@@ -298,6 +419,7 @@ void PrintTopLevelUsage() {
       "  simulate   Monte-Carlo fading simulation of a schedule\n"
       "  fault-inject  distributed DLS under control-plane faults\n"
       "  ilp        export the ILP (paper formulas (20)-(22))\n"
+      "  sweep      crash-safe multi-point sweep (checkpoint/resume)\n"
       "  list       registered scheduler names\n"
       "\n"
       "run `fadesched_cli <subcommand> --help` for flags.\n",
@@ -309,7 +431,7 @@ void PrintTopLevelUsage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     PrintTopLevelUsage();
-    return 1;
+    return fadesched::util::kExitUsage;
   }
   const std::string command = argv[1];
   // Shift argv so subcommand parsers see their own flags as argv[1..].
@@ -322,16 +444,21 @@ int main(int argc, char** argv) {
     if (command == "simulate") return RunSimulate(sub_argc, sub_argv);
     if (command == "fault-inject") return RunFaultInject(sub_argc, sub_argv);
     if (command == "ilp") return RunIlp(sub_argc, sub_argv);
+    if (command == "sweep") return RunSweep(sub_argc, sub_argv);
     if (command == "list") return RunList();
     if (command == "--help" || command == "-h" || command == "help") {
       PrintTopLevelUsage();
       return 0;
     }
+  } catch (const fadesched::util::HarnessError& e) {
+    std::fprintf(stderr, "error (%s): %s\n",
+                 fadesched::util::ErrorKindName(e.kind()), e.what());
+    return fadesched::util::ExitCodeForError(e.kind());
   } catch (const fadesched::util::CheckFailure& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(stderr, "unknown subcommand '%s'\n\n", command.c_str());
   PrintTopLevelUsage();
-  return 1;
+  return fadesched::util::kExitUsage;
 }
