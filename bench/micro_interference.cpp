@@ -1,0 +1,270 @@
+// Microbenchmark: batched interference-matrix construction and factor
+// queries, across instance sizes. Emits BENCH_interference.json with the
+// serial-baseline vs tiled-build timings the engine's speedup claim rests
+// on, plus a ULP differential check of every path against the reference
+// calculator. With --check the exit code reflects ONLY that differential
+// check — timings are reported but never gate anything.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/batch_interference.hpp"
+#include "channel/interference.hpp"
+#include "mathx/ulp.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/greedy.hpp"
+#include "sched/rle.hpp"
+#include "util/atomic_io.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace fadesched;
+
+// The ULP budget for the fast kernel vs the reference expression; a real
+// formula divergence shows up orders of magnitude above this.
+constexpr std::uint64_t kUlpTolerance = 16;
+
+net::LinkSet MakeInstance(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  net::UniformScenarioParams params;
+  // Grow the region with sqrt(N) to hold density constant across sizes.
+  params.region_size = 500.0 * std::sqrt(static_cast<double>(n) / 300.0);
+  return net::MakeUniformScenario(n, params, gen);
+}
+
+double BestOf(int reps, const std::function<void()>& work) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch timer;
+    work();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+struct SizeReport {
+  std::size_t n = 0;
+  double serial_build_ms = 0.0;
+  double tiled_build_ms = 0.0;
+  double tiled_pool_build_ms = 0.0;
+  double calculator_ns_per_pair = 0.0;
+  double tables_ns_per_pair = 0.0;
+  double matrix_ns_per_pair = 0.0;
+  double rle_calculator_ms = 0.0;
+  double rle_tables_ms = 0.0;
+  double greedy_calculator_ms = 0.0;
+  double greedy_tables_ms = 0.0;
+  std::uint64_t max_ulp = 0;
+  std::size_t entries_checked = 0;
+};
+
+std::string Json(const std::vector<SizeReport>& reports, std::uint64_t seed,
+                 long long reps, unsigned threads, bool check_passed) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n";
+  out << "  \"benchmark\": \"micro_interference\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"threads\": " << threads << ",\n";
+  out << "  \"ulp_tolerance\": " << kUlpTolerance << ",\n";
+  out << "  \"differential_check_passed\": "
+      << (check_passed ? "true" : "false") << ",\n";
+  out << "  \"sizes\": [\n";
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    const SizeReport& r = reports[k];
+    out << "    {\n";
+    out << "      \"n\": " << r.n << ",\n";
+    out << "      \"build\": {\n";
+    out << "        \"serial_ms\": " << r.serial_build_ms << ",\n";
+    out << "        \"tiled_ms\": " << r.tiled_build_ms << ",\n";
+    out << "        \"tiled_pool_ms\": " << r.tiled_pool_build_ms << ",\n";
+    out << "        \"speedup_tiled_vs_serial\": "
+        << (r.tiled_build_ms > 0.0 ? r.serial_build_ms / r.tiled_build_ms
+                                   : 0.0)
+        << "\n";
+    out << "      },\n";
+    out << "      \"query\": {\n";
+    out << "        \"calculator_ns_per_pair\": " << r.calculator_ns_per_pair
+        << ",\n";
+    out << "        \"tables_ns_per_pair\": " << r.tables_ns_per_pair
+        << ",\n";
+    out << "        \"matrix_ns_per_pair\": " << r.matrix_ns_per_pair << "\n";
+    out << "      },\n";
+    out << "      \"schedule\": {\n";
+    out << "        \"rle_calculator_ms\": " << r.rle_calculator_ms << ",\n";
+    out << "        \"rle_tables_ms\": " << r.rle_tables_ms << ",\n";
+    out << "        \"greedy_calculator_ms\": " << r.greedy_calculator_ms
+        << ",\n";
+    out << "        \"greedy_tables_ms\": " << r.greedy_tables_ms << "\n";
+    out << "      },\n";
+    out << "      \"check\": {\n";
+    out << "        \"max_ulp\": " << r.max_ulp << ",\n";
+    out << "        \"entries_checked\": " << r.entries_checked << "\n";
+    out << "      }\n";
+    out << "    }" << (k + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("micro_interference",
+                      "Interference-matrix build/query microbenchmark; "
+                      "writes BENCH_interference.json");
+  std::string& sizes_flag =
+      cli.AddString("sizes", "100,500,2000,8000", "comma-separated N values");
+  long long& reps = cli.AddInt("reps", 3, "repetitions (best-of) per timing");
+  long long& threads =
+      cli.AddInt("threads", 0, "pool threads for the parallel build "
+                               "(0 = hardware concurrency)");
+  long long& seed = cli.AddInt("seed", 1234, "scenario seed");
+  std::string& out_path =
+      cli.AddString("out", "BENCH_interference.json", "output JSON path");
+  bool& check_only = cli.AddBool(
+      "check", false,
+      "exit nonzero iff the differential ULP check fails (never on timing)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  util::ThreadPool pool(static_cast<unsigned>(threads));
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+
+  std::vector<SizeReport> reports;
+  bool check_passed = true;
+  for (const std::string& token : util::Split(sizes_flag, ',')) {
+    const std::size_t n = static_cast<std::size_t>(std::stoull(token));
+    const net::LinkSet links =
+        MakeInstance(n, static_cast<std::uint64_t>(seed));
+    SizeReport report;
+    report.n = n;
+
+    report.serial_build_ms =
+        1e3 * BestOf(static_cast<int>(reps), [&] {
+          const channel::InterferenceMatrix matrix(links, params);
+        });
+    report.tiled_build_ms =
+        1e3 * BestOf(static_cast<int>(reps), [&] {
+          const channel::InterferenceMatrix matrix =
+              channel::BuildInterferenceMatrixTiled(links, params, {});
+        });
+    report.tiled_pool_build_ms =
+        1e3 * BestOf(static_cast<int>(reps), [&] {
+          channel::TiledBuildOptions options;
+          options.pool = &pool;
+          const channel::InterferenceMatrix matrix =
+              channel::BuildInterferenceMatrixTiled(links, params, options);
+        });
+
+    // Query timings: random pairs through each backend. The sink defeats
+    // dead-code elimination.
+    const channel::InterferenceCalculator calc(links, params);
+    const channel::InterferenceEngine tables(links, params, {});
+    channel::EngineOptions matrix_options;
+    matrix_options.backend = channel::FactorBackend::kMatrix;
+    const channel::InterferenceEngine matrix(links, params, matrix_options);
+    const std::size_t pairs = std::min<std::size_t>(n * n, 1u << 20);
+    std::vector<std::uint32_t> idx(2 * pairs);
+    rng::Xoshiro256 pair_gen(static_cast<std::uint64_t>(seed) ^ n);
+    for (auto& v : idx) {
+      v = static_cast<std::uint32_t>(pair_gen.Next() % n);
+    }
+    double sink = 0.0;
+    const auto time_queries = [&](const auto& factor_fn) {
+      return 1e9 *
+             BestOf(static_cast<int>(reps),
+                    [&] {
+                      for (std::size_t k = 0; k < pairs; ++k) {
+                        sink += factor_fn(idx[2 * k], idx[2 * k + 1]);
+                      }
+                    }) /
+             static_cast<double>(pairs);
+    };
+    report.calculator_ns_per_pair = time_queries(
+        [&](std::size_t i, std::size_t j) { return calc.Factor(i, j); });
+    report.tables_ns_per_pair = time_queries(
+        [&](std::size_t i, std::size_t j) { return tables.Factor(i, j); });
+    report.matrix_ns_per_pair = time_queries(
+        [&](std::size_t i, std::size_t j) { return matrix.Factor(i, j); });
+    if (sink == 0.12345) std::cerr << "";  // keep `sink` observable
+
+    // End-to-end schedule timings of the two engine-heavy schedulers on
+    // the reference path vs the fast tables (micro_schedulers has the
+    // full scheduler × backend grid).
+    const auto time_schedule = [&](const auto& make_scheduler) {
+      return 1e3 * BestOf(static_cast<int>(reps), [&] {
+        sink += static_cast<double>(
+            make_scheduler()->Schedule(links, params).schedule.size());
+      });
+    };
+    channel::EngineOptions calc_backend;
+    calc_backend.backend = channel::FactorBackend::kCalculator;
+    report.rle_calculator_ms = time_schedule([&] {
+      sched::RleOptions options;
+      options.interference = calc_backend;
+      return std::make_unique<sched::RleScheduler>(options);
+    });
+    report.rle_tables_ms = time_schedule(
+        [&] { return std::make_unique<sched::RleScheduler>(); });
+    report.greedy_calculator_ms = time_schedule([&] {
+      sched::FadingGreedyOptions options;
+      options.interference = calc_backend;
+      return std::make_unique<sched::FadingGreedyScheduler>(options);
+    });
+    report.greedy_tables_ms = time_schedule(
+        [&] { return std::make_unique<sched::FadingGreedyScheduler>(); });
+
+    // Differential check: tiled matrix and fast tables vs the reference
+    // calculator, over sampled entries (full coverage for small N).
+    const channel::InterferenceMatrix tiled =
+        channel::BuildInterferenceMatrixTiled(links, params, {});
+    const std::size_t samples = std::min<std::size_t>(n * n, 1u << 18);
+    rng::Xoshiro256 sample_gen(static_cast<std::uint64_t>(seed) + n);
+    for (std::size_t k = 0; k < samples; ++k) {
+      const std::size_t i = sample_gen.Next() % n;
+      const std::size_t j = sample_gen.Next() % n;
+      const double want = calc.Factor(i, j);
+      const std::uint64_t ulp_matrix =
+          mathx::UlpDistance(tiled.Factor(i, j), want);
+      const std::uint64_t ulp_tables =
+          mathx::UlpDistance(tables.Factor(i, j), want);
+      report.max_ulp = std::max({report.max_ulp, ulp_matrix, ulp_tables});
+    }
+    report.entries_checked = samples;
+    if (report.max_ulp > kUlpTolerance) {
+      check_passed = false;
+      std::cerr << "DIFFERENTIAL MISMATCH at n=" << n
+                << ": max ULP distance " << report.max_ulp << " > "
+                << kUlpTolerance << "\n";
+    }
+    reports.push_back(report);
+    std::cerr << "n=" << n << " serial=" << report.serial_build_ms
+              << "ms tiled=" << report.tiled_build_ms
+              << "ms pool=" << report.tiled_pool_build_ms
+              << "ms max_ulp=" << report.max_ulp << "\n";
+  }
+
+  util::AtomicWriteFile(
+      out_path, Json(reports, static_cast<std::uint64_t>(seed), reps,
+                     pool.NumThreads(), check_passed));
+  std::cout << "wrote " << out_path << "\n";
+  if (check_only && !check_passed) return 1;
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Microbenchmark: end-to-end scheduler wall time per interference backend
+// (reference calculator vs precomputed tables vs materialized matrix).
+// Emits BENCH_schedulers.json. Every run re-verifies the differential
+// guarantee — each scheduler must emit the identical schedule on every
+// backend — and with --check the exit code reflects only that, never a
+// timing.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/batch_interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/approx_diversity.hpp"
+#include "sched/approx_logn.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ldp.hpp"
+#include "sched/rle.hpp"
+#include "util/atomic_io.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace fadesched;
+
+net::LinkSet MakeInstance(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  net::UniformScenarioParams params;
+  params.region_size = 500.0 * std::sqrt(static_cast<double>(n) / 300.0);
+  return net::MakeUniformScenario(n, params, gen);
+}
+
+std::unique_ptr<sched::Scheduler> MakeNamed(
+    const std::string& name, const channel::EngineOptions& engine) {
+  if (name == "rle") {
+    sched::RleOptions options;
+    options.interference = engine;
+    return std::make_unique<sched::RleScheduler>(options);
+  }
+  if (name == "fading_greedy") {
+    sched::FadingGreedyOptions options;
+    options.interference = engine;
+    return std::make_unique<sched::FadingGreedyScheduler>(options);
+  }
+  if (name == "ldp") {
+    sched::LdpOptions options;
+    options.interference = engine;
+    return std::make_unique<sched::LdpScheduler>(options);
+  }
+  if (name == "approx_logn") {
+    sched::ApproxLogNOptions options;
+    options.interference = engine;
+    return std::make_unique<sched::ApproxLogNScheduler>(options);
+  }
+  if (name == "approx_diversity") {
+    sched::ApproxDiversityOptions options;
+    options.interference = engine;
+    return std::make_unique<sched::ApproxDiversityScheduler>(options);
+  }
+  std::cerr << "unknown scheduler: " << name << "\n";
+  std::exit(2);
+}
+
+struct BackendTiming {
+  const char* backend = "";
+  double schedule_ms = 0.0;
+};
+
+struct SchedulerReport {
+  std::string name;
+  std::size_t n = 0;
+  std::size_t scheduled = 0;
+  bool backends_agree = true;
+  std::vector<BackendTiming> timings;
+};
+
+std::string Json(const std::vector<SchedulerReport>& reports,
+                 std::uint64_t seed, long long reps, bool check_passed) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n";
+  out << "  \"benchmark\": \"micro_schedulers\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"differential_check_passed\": "
+      << (check_passed ? "true" : "false") << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    const SchedulerReport& r = reports[k];
+    out << "    {\n";
+    out << "      \"scheduler\": \"" << r.name << "\",\n";
+    out << "      \"n\": " << r.n << ",\n";
+    out << "      \"links_scheduled\": " << r.scheduled << ",\n";
+    out << "      \"backends_agree\": "
+        << (r.backends_agree ? "true" : "false") << ",\n";
+    out << "      \"timings_ms\": {";
+    for (std::size_t t = 0; t < r.timings.size(); ++t) {
+      out << "\"" << r.timings[t].backend
+          << "\": " << r.timings[t].schedule_ms
+          << (t + 1 < r.timings.size() ? ", " : "");
+    }
+    out << "}\n";
+    out << "    }" << (k + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("micro_schedulers",
+                      "Per-backend scheduler timings + differential "
+                      "verification; writes BENCH_schedulers.json");
+  std::string& sizes_flag =
+      cli.AddString("sizes", "100,500,2000", "comma-separated N values");
+  std::string& schedulers_flag = cli.AddString(
+      "schedulers", "rle,fading_greedy,ldp,approx_logn,approx_diversity",
+      "comma-separated scheduler names");
+  long long& reps = cli.AddInt("reps", 3, "repetitions (best-of) per timing");
+  long long& seed = cli.AddInt("seed", 1234, "scenario seed");
+  std::string& out_path =
+      cli.AddString("out", "BENCH_schedulers.json", "output JSON path");
+  bool& check_only = cli.AddBool(
+      "check", false,
+      "exit nonzero iff any backend changes a schedule (never on timing)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  channel::ChannelParams params;
+  params.alpha = 3.0;
+
+  struct Backend {
+    const char* label;
+    channel::FactorBackend backend;
+  };
+  const Backend backends[] = {
+      {"calculator", channel::FactorBackend::kCalculator},
+      {"tables", channel::FactorBackend::kTables},
+      {"matrix", channel::FactorBackend::kMatrix},
+  };
+
+  std::vector<SchedulerReport> reports;
+  bool check_passed = true;
+  for (const std::string& token : util::Split(sizes_flag, ',')) {
+    const std::size_t n = static_cast<std::size_t>(std::stoull(token));
+    const net::LinkSet links =
+        MakeInstance(n, static_cast<std::uint64_t>(seed));
+    for (const std::string& name : util::Split(schedulers_flag, ',')) {
+      SchedulerReport report;
+      report.name = name;
+      report.n = n;
+      net::Schedule reference;
+      for (const Backend& b : backends) {
+        channel::EngineOptions engine;
+        engine.backend = b.backend;
+        const auto scheduler = MakeNamed(name, engine);
+        net::Schedule schedule;
+        double best = std::numeric_limits<double>::infinity();
+        for (int r = 0; r < static_cast<int>(reps); ++r) {
+          util::Stopwatch timer;
+          schedule = scheduler->Schedule(links, params).schedule;
+          best = std::min(best, timer.Seconds());
+        }
+        report.timings.push_back({b.label, 1e3 * best});
+        if (b.backend == channel::FactorBackend::kCalculator) {
+          reference = schedule;
+          report.scheduled = schedule.size();
+        } else if (schedule != reference) {
+          report.backends_agree = false;
+          check_passed = false;
+          std::cerr << "DIFFERENTIAL MISMATCH: " << name << " n=" << n
+                    << " backend=" << b.label
+                    << " diverged from calculator path\n";
+        }
+      }
+      std::cerr << name << " n=" << n << " scheduled=" << report.scheduled
+                << (report.backends_agree ? "" : " MISMATCH") << "\n";
+      reports.push_back(std::move(report));
+    }
+  }
+
+  util::AtomicWriteFile(out_path,
+                        Json(reports, static_cast<std::uint64_t>(seed), reps,
+                             check_passed));
+  std::cout << "wrote " << out_path << "\n";
+  if (check_only && !check_passed) return 1;
+  return 0;
+}

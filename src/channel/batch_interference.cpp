@@ -1,0 +1,279 @@
+#include "channel/batch_interference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <optional>
+
+#include "geom/spatial_hash.hpp"
+#include "mathx/summation.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fadesched::channel {
+
+HalfPowerKernel::HalfPowerKernel(double alpha) : half_alpha_(alpha / 2.0) {
+  // Exponent on d² in quarter units: d²^(q/4) = d^(q/2) = d^α ⇒ q = 2α.
+  const double q_real = 2.0 * alpha;
+  const double q_round = std::round(q_real);
+  if (std::abs(q_real - q_round) < 1e-9 && q_round >= 1.0 && q_round <= 64.0) {
+    const int q = static_cast<int>(q_round);
+    whole_ = q / 4;
+    use_sqrt_ = ((q >> 1) & 1) != 0;
+    use_quarter_ = (q & 1) != 0;
+  } else {
+    generic_ = true;
+  }
+}
+
+InterferenceEngine::InterferenceEngine(const net::LinkSet& links,
+                                       const ChannelParams& params,
+                                       EngineOptions options)
+    : links_(&links),
+      options_(options),
+      calc_(links, params),  // validates params
+      det_(links, params),
+      kernel_(params.alpha),
+      n_(links.Size()) {
+  const ChannelParams& p = calc_.Params();
+  sender_x_.resize(n_);
+  sender_y_.resize(n_);
+  receiver_x_.resize(n_);
+  receiver_y_.resize(n_);
+  power_.resize(n_);
+  victim_coeff_.resize(n_);
+  noise_factor_.resize(n_);
+  for (net::LinkId j = 0; j < n_; ++j) {
+    const geom::Vec2 s = links.Sender(j);
+    const geom::Vec2 r = links.Receiver(j);
+    sender_x_[j] = s.x;
+    sender_y_[j] = s.y;
+    receiver_x_[j] = r.x;
+    receiver_y_[j] = r.y;
+    power_[j] = links.EffectiveTxPower(j, p.tx_power);
+    victim_coeff_[j] =
+        p.gamma_th * std::pow(links.Length(j), p.alpha) / power_[j];
+    noise_factor_[j] = calc_.NoiseFactor(j);
+  }
+  max_power_ =
+      n_ == 0 ? 0.0 : *std::max_element(power_.begin(), power_.end());
+
+  if (options_.backend == FactorBackend::kMatrix && n_ > 0) {
+    double slack = 0.0;
+    if (options_.affectance_matrix) {
+      affectance_data_ = BuildMatrixData(/*affectance=*/true, slack);
+    } else {
+      factor_matrix_ = std::make_unique<InterferenceMatrix>(
+          n_, BuildMatrixData(/*affectance=*/false, slack),
+          options_.cutoff_radius, slack);
+    }
+    certified_slack_ = slack;
+  }
+}
+
+double InterferenceEngine::Factor(net::LinkId interferer,
+                                  net::LinkId victim) const {
+  if (interferer == victim) return 0.0;
+  switch (options_.backend) {
+    case FactorBackend::kCalculator:
+      return calc_.Factor(interferer, victim);
+    case FactorBackend::kMatrix:
+      if (factor_matrix_) return factor_matrix_->Factor(interferer, victim);
+      if (!affectance_data_.empty()) {
+        return std::log1p(affectance_data_[victim * n_ + interferer]);
+      }
+      break;  // matrix elided (empty set) — fall through to tables
+    case FactorBackend::kTables:
+      break;
+  }
+  return std::log1p(FastAffectance(interferer, victim));
+}
+
+double InterferenceEngine::Affectance(net::LinkId interferer,
+                                      net::LinkId victim) const {
+  if (interferer == victim) return 0.0;
+  switch (options_.backend) {
+    case FactorBackend::kCalculator:
+      return det_.Affectance(interferer, victim);
+    case FactorBackend::kMatrix:
+      if (!affectance_data_.empty()) {
+        return affectance_data_[victim * n_ + interferer];
+      }
+      break;  // factor matrix materialized — recompute from tables
+    case FactorBackend::kTables:
+      break;
+  }
+  return FastAffectance(interferer, victim);
+}
+
+double InterferenceEngine::SumFactor(std::span<const net::LinkId> schedule,
+                                     net::LinkId victim) const {
+  mathx::NeumaierSum sum;
+  for (net::LinkId i : schedule) {
+    if (i == victim) continue;
+    sum.Add(Factor(i, victim));
+  }
+  return sum.Total();
+}
+
+double InterferenceEngine::FillTile(bool affectance,
+                                    const geom::SpatialHash* sender_index,
+                                    std::size_t row_begin, std::size_t row_end,
+                                    double* data) const {
+  double worst_slack = 0.0;
+  const double cutoff = options_.cutoff_radius;
+  for (std::size_t j = row_begin; j < row_end; ++j) {
+    double* row = data + j * n_;
+    const double coeff = victim_coeff_[j];
+    const double rx = receiver_x_[j];
+    const double ry = receiver_y_[j];
+    if (cutoff > 0.0) {
+      std::size_t in_range = 0;
+      sender_index->ForEachInRadius({rx, ry}, cutoff, [&](std::size_t i) {
+        if (i == j) return;
+        const double d2 = SquaredSenderReceiverDistance(i, j);
+        FS_CHECK_MSG(d2 > 0.0,
+                     "interfering sender coincides with victim receiver");
+        const double a = coeff * power_[i] / kernel_.DistPowAlpha(d2);
+        row[i] = affectance ? a : std::log1p(a);
+        ++in_range;
+      });
+      // Every skipped sender sits strictly beyond `cutoff` (the index's
+      // radius is inclusive), so its term is below the boundary value.
+      const std::size_t skipped = n_ - 1 - in_range;
+      if (skipped > 0) {
+        const double boundary =
+            coeff * max_power_ / kernel_.DistPowAlpha(cutoff * cutoff);
+        const double term = affectance ? boundary : std::log1p(boundary);
+        worst_slack =
+            std::max(worst_slack, static_cast<double>(skipped) * term);
+      }
+    } else {
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (i == j) continue;
+        const double dx = sender_x_[i] - rx;
+        const double dy = sender_y_[i] - ry;
+        const double d2 = dx * dx + dy * dy;
+        FS_CHECK_MSG(d2 > 0.0,
+                     "interfering sender coincides with victim receiver");
+        const double a = coeff * power_[i] / kernel_.DistPowAlpha(d2);
+        row[i] = affectance ? a : std::log1p(a);
+      }
+    }
+  }
+  return worst_slack;
+}
+
+std::vector<double> InterferenceEngine::BuildMatrixData(
+    bool affectance, double& certified_slack) const {
+  std::vector<double> data(n_ * n_, 0.0);
+  certified_slack = 0.0;
+  if (n_ == 0) return data;
+  std::optional<geom::SpatialHash> sender_index;
+  if (options_.cutoff_radius > 0.0) {
+    sender_index.emplace(links_->Senders(), options_.cutoff_radius);
+  }
+  const geom::SpatialHash* index = sender_index ? &*sender_index : nullptr;
+  const std::size_t tile = std::max<std::size_t>(1, options_.tile_rows);
+  const std::size_t num_tiles = (n_ + tile - 1) / tile;
+  std::vector<double> tile_slack(num_tiles, 0.0);
+  if (options_.pool == nullptr) {
+    for (std::size_t t = 0; t < num_tiles; ++t) {
+      const std::size_t row_begin = t * tile;
+      const std::size_t row_end = std::min(n_, row_begin + tile);
+      tile_slack[t] =
+          FillTile(affectance, index, row_begin, row_end, data.data());
+    }
+  } else {
+    // Tiles own disjoint row ranges, so workers never write the same
+    // element and the result is identical for any thread count.
+    std::vector<std::future<void>> futures;
+    futures.reserve(num_tiles);
+    for (std::size_t t = 0; t < num_tiles; ++t) {
+      futures.push_back(options_.pool->Submit([this, affectance, index, t,
+                                               tile, &data, &tile_slack] {
+        const std::size_t row_begin = t * tile;
+        const std::size_t row_end = std::min(n_, row_begin + tile);
+        tile_slack[t] =
+            FillTile(affectance, index, row_begin, row_end, data.data());
+      }));
+    }
+    util::WaitAll(futures).Rethrow();
+  }
+  certified_slack =
+      *std::max_element(tile_slack.begin(), tile_slack.end());
+  return data;
+}
+
+InterferenceMatrix BuildInterferenceMatrixTiled(
+    const net::LinkSet& links, const ChannelParams& params,
+    const TiledBuildOptions& options) {
+  EngineOptions engine_options;
+  engine_options.backend = FactorBackend::kTables;
+  engine_options.pool = options.pool;
+  engine_options.tile_rows = options.tile_rows;
+  engine_options.cutoff_radius = options.cutoff_radius;
+  const InterferenceEngine engine(links, params, engine_options);
+  double slack = 0.0;
+  std::vector<double> data =
+      engine.BuildMatrixData(/*affectance=*/false, slack);
+  return InterferenceMatrix(links.Size(), std::move(data),
+                            options.cutoff_radius, slack);
+}
+
+IncrementalFeasibility::IncrementalFeasibility(const InterferenceEngine& engine,
+                                               Quantity quantity)
+    : engine_(&engine),
+      quantity_(quantity),
+      noise_(engine.noise_factor_),
+      sum_(engine.Size(), 0.0),
+      comp_(engine.Size(), 0.0) {}
+
+double IncrementalFeasibility::Term(net::LinkId i, net::LinkId j) const {
+  return quantity_ == Quantity::kFactor ? engine_->Factor(i, j)
+                                        : engine_->Affectance(i, j);
+}
+
+void IncrementalFeasibility::AddTerm(net::LinkId j, double value) {
+  const double t = sum_[j] + value;
+  if (std::abs(sum_[j]) >= std::abs(value)) {
+    comp_[j] += (sum_[j] - t) + value;
+  } else {
+    comp_[j] += (value - t) + sum_[j];
+  }
+  sum_[j] = t;
+}
+
+void IncrementalFeasibility::Add(net::LinkId interferer) {
+  for (net::LinkId j = 0; j < sum_.size(); ++j) {
+    if (j == interferer) continue;
+    AddTerm(j, Term(interferer, j));
+  }
+  active_.push_back(interferer);
+}
+
+void IncrementalFeasibility::Add(net::LinkId interferer,
+                                 std::span<const char> alive) {
+  for (net::LinkId j = 0; j < sum_.size(); ++j) {
+    if (j == interferer || !alive[j]) continue;
+    AddTerm(j, Term(interferer, j));
+  }
+  active_.push_back(interferer);
+}
+
+void IncrementalFeasibility::Remove(net::LinkId interferer) {
+  const auto it = std::find(active_.begin(), active_.end(), interferer);
+  FS_CHECK_MSG(it != active_.end(),
+               "Remove() of a link that was never Add()ed");
+  active_.erase(it);
+  for (net::LinkId j = 0; j < sum_.size(); ++j) {
+    if (j == interferer) continue;
+    AddTerm(j, -Term(interferer, j));
+  }
+}
+
+double IncrementalFeasibility::SumWith(net::LinkId extra,
+                                       net::LinkId victim) const {
+  return Sum(victim) + (extra == victim ? 0.0 : Term(extra, victim));
+}
+
+}  // namespace fadesched::channel

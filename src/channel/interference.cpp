@@ -65,12 +65,39 @@ double InterferenceCalculator::SumFactor(std::span<const net::LinkId> schedule,
 InterferenceMatrix::InterferenceMatrix(const net::LinkSet& links,
                                        const ChannelParams& params)
     : n_(links.Size()), data_(n_ * n_, 0.0) {
-  const InterferenceCalculator calc(links, params);
+  const InterferenceCalculator calc(links, params);  // validates params
+  const ChannelParams& p = calc.Params();
+  // Per-victim quantities (receiver position, own length, own power) are
+  // hoisted out of the inner loop; the per-entry expression is otherwise
+  // exactly InterferenceCalculator::Factor, so entries stay bit-identical
+  // to the on-demand path.
   for (net::LinkId j = 0; j < n_; ++j) {
+    const geom::Vec2 receiver = links.Receiver(j);
+    const double d_jj = links.Length(j);
+    const double victim_power = links.EffectiveTxPower(j, p.tx_power);
+    double* row = &data_[j * n_];
     for (net::LinkId i = 0; i < n_; ++i) {
-      if (i != j) data_[j * n_ + i] = calc.Factor(i, j);
+      if (i == j) continue;
+      const double d_ij = geom::Distance(links.Sender(i), receiver);
+      FS_CHECK_MSG(d_ij > 0.0,
+                   "interfering sender coincides with victim receiver");
+      const double power_ratio =
+          links.EffectiveTxPower(i, p.tx_power) / victim_power;
+      row[i] = std::log1p(p.gamma_th * power_ratio *
+                          std::pow(d_jj / d_ij, p.alpha));
     }
   }
+}
+
+InterferenceMatrix::InterferenceMatrix(std::size_t n, std::vector<double> data,
+                                       double cutoff_radius,
+                                       double certified_slack)
+    : n_(n),
+      data_(std::move(data)),
+      cutoff_radius_(cutoff_radius),
+      certified_slack_(certified_slack) {
+  FS_CHECK_MSG(data_.size() == n_ * n_,
+               "matrix data size does not match n*n");
 }
 
 double InterferenceMatrix::SumFactor(std::span<const net::LinkId> schedule,

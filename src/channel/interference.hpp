@@ -52,7 +52,18 @@ class InterferenceCalculator {
 /// moderate N (the exact solvers, DLS rounds, feasibility sweeps).
 class InterferenceMatrix {
  public:
+  /// Serial build, bit-identical to InterferenceCalculator::Factor (the
+  /// scalar baseline the microbenchmarks compare against). For the tiled
+  /// ThreadPool-parallel build see BuildInterferenceMatrixTiled in
+  /// batch_interference.hpp.
   InterferenceMatrix(const net::LinkSet& links, const ChannelParams& params);
+
+  /// Wraps externally built factor data (row-major, victim-major, n*n
+  /// entries) — the constructor the batched builders feed. When built
+  /// under a far-field cutoff, entries beyond `cutoff_radius` are 0 and
+  /// `certified_slack` bounds the per-victim mass neglected that way.
+  InterferenceMatrix(std::size_t n, std::vector<double> data,
+                     double cutoff_radius = 0.0, double certified_slack = 0.0);
 
   [[nodiscard]] std::size_t Size() const { return n_; }
   [[nodiscard]] double Factor(net::LinkId interferer, net::LinkId victim) const {
@@ -61,9 +72,18 @@ class InterferenceMatrix {
   [[nodiscard]] double SumFactor(std::span<const net::LinkId> schedule,
                                  net::LinkId victim) const;
 
+  /// Far-field cutoff radius this matrix was built with (0 = exact).
+  [[nodiscard]] double CutoffRadius() const { return cutoff_radius_; }
+
+  /// Certified upper bound on Σ of the entries zeroed by the cutoff for
+  /// any single victim (0 for exact builds).
+  [[nodiscard]] double CertifiedSlack() const { return certified_slack_; }
+
  private:
   std::size_t n_;
   std::vector<double> data_;
+  double cutoff_radius_ = 0.0;
+  double certified_slack_ = 0.0;
 };
 
 }  // namespace fadesched::channel

@@ -1,0 +1,35 @@
+// ULP (units-in-the-last-place) distance between doubles.
+//
+// The differential tests pin the batched interference engine against the
+// serial reference at the ULP level; a count of representable doubles
+// between two values is the right metric there, where relative epsilons
+// either over- or under-shoot near zero.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace fadesched::mathx {
+
+/// Number of representable doubles strictly between `a` and `b` plus one
+/// when they differ (0 for equal values; -0.0 and +0.0 count as equal).
+/// NaN or infinity on either side yields UINT64_MAX.
+inline std::uint64_t UlpDistance(double a, double b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  // Map the double line onto a monotone integer line: non-negative values
+  // keep their bit pattern, negative values are reflected below zero.
+  const auto ordered = [](double x) -> std::int64_t {
+    const auto bits = std::bit_cast<std::int64_t>(x);
+    return bits >= 0 ? bits : std::numeric_limits<std::int64_t>::min() - bits;
+  };
+  const std::int64_t ia = ordered(a);
+  const std::int64_t ib = ordered(b);
+  return ia >= ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                  : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+}  // namespace fadesched::mathx

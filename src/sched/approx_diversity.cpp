@@ -4,7 +4,7 @@
 #include <numeric>
 #include <vector>
 
-#include "channel/deterministic.hpp"
+#include "channel/batch_interference.hpp"
 #include "geom/spatial_hash.hpp"
 #include "sched/constants.hpp"
 #include "util/check.hpp"
@@ -21,7 +21,11 @@ ScheduleResult ApproxDiversityScheduler::Schedule(
     const net::LinkSet& links, const channel::ChannelParams& params) const {
   if (links.Empty()) return FinalizeResult(links, {}, Name());
 
-  const channel::DeterministicSinr sinr(links, params);
+  channel::EngineOptions engine_options = options_.interference;
+  // This scheduler's quantity is the deterministic affectance, so a
+  // materialized matrix must hold a_ij, not f_ij.
+  engine_options.affectance_matrix = true;
+  const channel::InterferenceEngine engine(links, params, engine_options);
   channel::ChannelParams effective = params;
   effective.gamma_th *= links.TxPowerRatio(params.tx_power);
   const double c1 = ApproxDiversityC1(effective, options_.c2);
@@ -40,12 +44,13 @@ ScheduleResult ApproxDiversityScheduler::Schedule(
                                        std::max(1e-9, c1 * links.MinLength()));
 
   std::vector<char> alive(n, 1);
-  // Accumulated affectance per receiver, seeded with the noise affectance
-  // (0 in the paper's N₀ = 0 setting); hopeless links drop up front.
-  std::vector<double> affectance(n, 0.0);
+  // Accumulated affectance per receiver (incremental Neumaier sums seeded
+  // with the noise affectance — 0 in the paper's N₀ = 0 setting);
+  // hopeless links drop up front.
+  channel::IncrementalFeasibility acc(
+      engine, channel::IncrementalFeasibility::Quantity::kAffectance);
   for (net::LinkId j = 0; j < n; ++j) {
-    affectance[j] = sinr.NoiseAffectance(j);
-    if (affectance[j] > options_.c2) alive[j] = 0;
+    if (acc.Sum(j) > options_.c2) alive[j] = 0;
   }
   net::Schedule picked;
 
@@ -59,10 +64,9 @@ ScheduleResult ApproxDiversityScheduler::Schedule(
 
     // Deterministic affectance budget: the decode test is Σ a ≤ 1.
     const double budget = options_.c2;
+    acc.Add(i, alive);
     for (net::LinkId j = 0; j < n; ++j) {
-      if (!alive[j]) continue;
-      affectance[j] += sinr.Affectance(i, j);
-      if (affectance[j] > budget) alive[j] = 0;
+      if (alive[j] && acc.Sum(j) > budget) alive[j] = 0;
     }
   }
   return FinalizeResult(links, std::move(picked), Name());

@@ -10,6 +10,7 @@
 // ApproxLogN it is fading-susceptible by construction.
 #pragma once
 
+#include "channel/batch_interference.hpp"
 #include "sched/scheduler.hpp"
 
 namespace fadesched::sched {
@@ -17,6 +18,11 @@ namespace fadesched::sched {
 struct ApproxDiversityOptions {
   /// Affectance budget split, analogous to RLE's c2.
   double c2 = 0.5;
+
+  /// How the elimination loop obtains affectances. With kMatrix the
+  /// engine materializes the affectance matrix (this scheduler's
+  /// quantity) rather than the Rayleigh factor matrix.
+  channel::EngineOptions interference;
 };
 
 class ApproxDiversityScheduler final : public Scheduler {

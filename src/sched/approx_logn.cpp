@@ -4,18 +4,25 @@
 #include <cmath>
 #include <vector>
 
-#include "channel/deterministic.hpp"
+#include "channel/batch_interference.hpp"
 #include "net/topology_stats.hpp"
 #include "sched/constants.hpp"
 #include "sched/grid_select.hpp"
 
 namespace fadesched::sched {
 
+ApproxLogNScheduler::ApproxLogNScheduler(ApproxLogNOptions options)
+    : options_(options) {}
+
 ScheduleResult ApproxLogNScheduler::Schedule(
     const net::LinkSet& links, const channel::ChannelParams& params) const {
   if (links.Empty()) return FinalizeResult(links, {}, Name());
 
-  const channel::DeterministicSinr sinr(links, params);
+  // Noise affectance and the Rayleigh noise factor share one formula, so
+  // the engine's precomputed noise table serves this deterministic-model
+  // baseline too.
+  const channel::InterferenceEngine engine(links, params,
+                                           options_.interference);
   channel::ChannelParams effective = params;
   effective.gamma_th *= links.TxPowerRatio(params.tx_power);
   const double delta = links.MinLength();
@@ -34,7 +41,7 @@ ScheduleResult ApproxLogNScheduler::Schedule(
       std::vector<net::LinkId> viable;
       double worst_noise = 0.0;
       for (net::LinkId id : clazz) {
-        const double noise = sinr.NoiseAffectance(id);
+        const double noise = engine.NoiseFactor(id);
         if (noise >= 1.0) continue;
         worst_noise = std::max(worst_noise, noise);
         viable.push_back(id);

@@ -10,16 +10,29 @@
 // substantial fraction of transmissions (the paper's Fig. 5).
 #pragma once
 
+#include "channel/batch_interference.hpp"
 #include "sched/scheduler.hpp"
 
 namespace fadesched::sched {
 
+struct ApproxLogNOptions {
+  /// Interference engine configuration. ApproxLogN only consumes the
+  /// per-link noise table (identical for every backend), so its schedule
+  /// never depends on the backend choice.
+  channel::EngineOptions interference;
+};
+
 class ApproxLogNScheduler final : public Scheduler {
  public:
+  explicit ApproxLogNScheduler(ApproxLogNOptions options = {});
+
   [[nodiscard]] std::string Name() const override { return "approx_logn"; }
   [[nodiscard]] ScheduleResult Schedule(
       const net::LinkSet& links,
       const channel::ChannelParams& params) const override;
+
+ private:
+  ApproxLogNOptions options_;
 };
 
 }  // namespace fadesched::sched

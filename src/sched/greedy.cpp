@@ -4,15 +4,19 @@
 #include <numeric>
 #include <vector>
 
-#include "channel/interference.hpp"
+#include "channel/batch_interference.hpp"
 
 namespace fadesched::sched {
+
+FadingGreedyScheduler::FadingGreedyScheduler(FadingGreedyOptions options)
+    : options_(options) {}
 
 ScheduleResult FadingGreedyScheduler::Schedule(
     const net::LinkSet& links, const channel::ChannelParams& params) const {
   if (links.Empty()) return FinalizeResult(links, {}, Name());
 
-  const channel::InterferenceCalculator calc(links, params);
+  const channel::InterferenceEngine engine(links, params,
+                                           options_.interference);
   const double gamma_eps = params.FeasibilityBudget();
   const std::size_t n = links.Size();
 
@@ -28,20 +32,20 @@ ScheduleResult FadingGreedyScheduler::Schedule(
     return a < b;
   });
 
-  // acc[j] = noise factor + Σ f_ij from the current schedule onto
-  // receiver j, maintained incrementally so each candidate test is
-  // O(|schedule|). Seeding with the noise factor makes links that cannot
-  // decode even alone fail the budget test immediately.
-  std::vector<double> acc(n, 0.0);
-  for (net::LinkId j = 0; j < n; ++j) acc[j] = calc.NoiseFactor(j);
+  // acc maintains noise factor + Σ f_ij from the current schedule onto
+  // every receiver j (per-receiver Neumaier sums), so each candidate test
+  // is O(|schedule|) cached additions through the engine's tables.
+  // Seeding with the noise factor makes links that cannot decode even
+  // alone fail the budget test immediately.
+  channel::IncrementalFeasibility acc(engine);
   net::Schedule schedule;
   for (net::LinkId candidate : order) {
     // The candidate itself must stay within budget...
-    if (acc[candidate] > gamma_eps) continue;
+    if (acc.Sum(candidate) > gamma_eps) continue;
     // ...and must not push any current member over budget.
     bool fits = true;
     for (net::LinkId member : schedule) {
-      if (acc[member] + calc.Factor(candidate, member) > gamma_eps) {
+      if (acc.SumWith(candidate, member) > gamma_eps) {
         fits = false;
         break;
       }
@@ -49,10 +53,7 @@ ScheduleResult FadingGreedyScheduler::Schedule(
     if (!fits) continue;
     // Commit: the new sender now interferes with every other receiver
     // (current members and future candidates alike).
-    for (net::LinkId j = 0; j < n; ++j) {
-      if (j == candidate) continue;
-      acc[j] += calc.Factor(candidate, j);
-    }
+    acc.Add(candidate);
     schedule.push_back(candidate);
   }
   return FinalizeResult(links, std::move(schedule), Name());

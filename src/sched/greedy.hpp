@@ -6,16 +6,28 @@
 // gives the benches a third fading-resistant series.
 #pragma once
 
+#include "channel/batch_interference.hpp"
 #include "sched/scheduler.hpp"
 
 namespace fadesched::sched {
 
+struct FadingGreedyOptions {
+  /// How factors are obtained for the membership tests. The differential
+  /// tests pin every backend to the same schedule.
+  channel::EngineOptions interference;
+};
+
 class FadingGreedyScheduler final : public Scheduler {
  public:
+  explicit FadingGreedyScheduler(FadingGreedyOptions options = {});
+
   [[nodiscard]] std::string Name() const override { return "fading_greedy"; }
   [[nodiscard]] ScheduleResult Schedule(
       const net::LinkSet& links,
       const channel::ChannelParams& params) const override;
+
+ private:
+  FadingGreedyOptions options_;
 };
 
 }  // namespace fadesched::sched

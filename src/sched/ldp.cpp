@@ -4,7 +4,7 @@
 #include <cmath>
 #include <vector>
 
-#include "channel/interference.hpp"
+#include "channel/batch_interference.hpp"
 #include "net/topology_stats.hpp"
 #include "sched/constants.hpp"
 #include "sched/grid_select.hpp"
@@ -25,7 +25,12 @@ ScheduleResult LdpScheduler::Schedule(
     const net::LinkSet& links, const channel::ChannelParams& params) const {
   if (links.Empty()) return FinalizeResult(links, {}, Name());
 
-  const channel::InterferenceCalculator calc(links, params);
+  // The engine's noise-factor table replaces per-class NoiseFactor
+  // re-derivation (a link appears in every one-sided class above its
+  // magnitude, so the paper's construction re-derived each factor
+  // O(g(L)) times).
+  const channel::InterferenceEngine engine(links, params,
+                                           options_.interference);
   const double gamma_eps = params.GammaEpsilon();
   // Power-control extension: bounding f_ij by the uniform-power formula
   // with γ_th inflated by the max/min power ratio keeps Theorem 4.1 valid
@@ -54,7 +59,7 @@ ScheduleResult LdpScheduler::Schedule(
       std::vector<net::LinkId> viable;
       double worst_noise = 0.0;
       for (net::LinkId id : clazz) {
-        const double noise = calc.NoiseFactor(id);
+        const double noise = engine.NoiseFactor(id);
         if (noise >= gamma_eps) continue;  // hopeless even alone
         worst_noise = std::max(worst_noise, noise);
         viable.push_back(id);

@@ -10,6 +10,7 @@
 // Output the best of the 4·g(L) candidate schedules.
 #pragma once
 
+#include "channel/batch_interference.hpp"
 #include "sched/scheduler.hpp"
 
 namespace fadesched::sched {
@@ -24,6 +25,11 @@ struct LdpOptions {
   /// (2^h δ ≤ d < 2^{h+1} δ) instead of the paper's one-sided classes —
   /// the knob behind the ablation in DESIGN.md.
   bool two_sided_classes = false;
+
+  /// Interference engine configuration. LDP only consumes the per-link
+  /// noise-factor table (filled identically for every backend), so its
+  /// schedule never depends on the backend choice.
+  channel::EngineOptions interference;
 };
 
 class LdpScheduler final : public Scheduler {

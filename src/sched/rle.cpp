@@ -4,7 +4,7 @@
 #include <numeric>
 #include <vector>
 
-#include "channel/interference.hpp"
+#include "channel/batch_interference.hpp"
 #include "geom/spatial_hash.hpp"
 #include "sched/constants.hpp"
 #include "util/check.hpp"
@@ -20,7 +20,8 @@ ScheduleResult RleScheduler::Schedule(
     const net::LinkSet& links, const channel::ChannelParams& params) const {
   if (links.Empty()) return FinalizeResult(links, {}, Name());
 
-  const channel::InterferenceCalculator calc(links, params);
+  const channel::InterferenceEngine engine(links, params,
+                                           options_.interference);
   const double gamma_eps = params.GammaEpsilon();
   // With per-link power control, every pairwise factor is bounded by the
   // uniform-power expression with γ_th inflated by the max/min power
@@ -46,15 +47,15 @@ ScheduleResult RleScheduler::Schedule(
                                        std::max(1e-9, c1 * links.MinLength()));
 
   std::vector<char> alive(n, 1);
-  // Accumulated budget consumption per receiver: seeded with the noise
-  // factor (0 in the paper's N₀ = 0 setting) so rule B naturally accounts
-  // for noise; links whose noise alone blows the rule-B budget can never
-  // be scheduled alongside anything and are dropped up front.
-  std::vector<double> acc(n, 0.0);
+  // Accumulated budget consumption per receiver, maintained by the
+  // incremental accumulator (per-receiver Neumaier sums seeded with the
+  // noise factor — 0 in the paper's N₀ = 0 setting — so rule B naturally
+  // accounts for noise). Links whose noise alone blows the rule-B budget
+  // can never be scheduled alongside anything and are dropped up front.
+  channel::IncrementalFeasibility acc(engine);
   const double rule_b_budget = options_.c2 * gamma_eps;
   for (net::LinkId j = 0; j < n; ++j) {
-    acc[j] = calc.NoiseFactor(j);
-    if (acc[j] > rule_b_budget) alive[j] = 0;
+    if (acc.Sum(j) > rule_b_budget) alive[j] = 0;
   }
   net::Schedule picked;
 
@@ -74,11 +75,11 @@ ScheduleResult RleScheduler::Schedule(
                                  });
 
     // Rule B (line 5): accumulate the new pick's factor on every surviving
-    // receiver and drop those whose budget from the picked set is blown.
+    // receiver — O(survivors) cached additions through the engine's tables
+    // — and drop those whose budget from the picked set is blown.
+    acc.Add(i, alive);
     for (net::LinkId j = 0; j < n; ++j) {
-      if (!alive[j]) continue;
-      acc[j] += calc.Factor(i, j);
-      if (acc[j] > rule_b_budget) alive[j] = 0;
+      if (alive[j] && acc.Sum(j) > rule_b_budget) alive[j] = 0;
     }
   }
   return FinalizeResult(links, std::move(picked), Name());

@@ -9,6 +9,7 @@
 // optimum by a constant.
 #pragma once
 
+#include "channel/batch_interference.hpp"
 #include "sched/scheduler.hpp"
 
 namespace fadesched::sched {
@@ -22,6 +23,10 @@ struct RleOptions {
   /// Multiplier on the derived elimination radius factor c1 (1.0 = paper's
   /// Formula (59)); the ablation bench probes the constant's slack.
   double c1_scale = 1.0;
+
+  /// How rule B obtains interference factors. The differential tests pin
+  /// every backend to the same schedule.
+  channel::EngineOptions interference;
 };
 
 class RleScheduler final : public Scheduler {

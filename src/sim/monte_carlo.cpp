@@ -4,6 +4,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "channel/batch_interference.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256.hpp"
 #include "util/check.hpp"
@@ -45,17 +46,14 @@ SimResult SimulateSchedule(const net::LinkSet& links,
 
   // Precompute mean powers: mean[i][j] = P_i·d(s_i, r_j)^{-α} over
   // scheduled pairs; row-major, i = interferer index, j = victim index
-  // (both are positions within `schedule`). P_i honours per-link transmit
-  // power overrides.
+  // (both are positions within `schedule`). The engine's half-power
+  // kernel and effective-power table honour per-link transmit power
+  // overrides and reject zero sender-receiver distances.
+  const channel::InterferenceEngine engine(links, params, {});
   std::vector<double> mean(m * m);
   for (std::size_t i = 0; i < m; ++i) {
-    const double tx =
-        links.EffectiveTxPower(schedule[i], params.tx_power);
     for (std::size_t j = 0; j < m; ++j) {
-      const double d =
-          geom::Distance(links.Sender(schedule[i]), links.Receiver(schedule[j]));
-      FS_CHECK_MSG(d > 0.0, "sender coincides with a scheduled receiver");
-      mean[i * m + j] = tx * std::pow(d, -params.alpha);
+      mean[i * m + j] = engine.MeanRxPower(schedule[i], schedule[j]);
     }
   }
 

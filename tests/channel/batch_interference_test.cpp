@@ -1,0 +1,318 @@
+#include "channel/batch_interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "mathx/ulp.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fadesched::channel {
+namespace {
+
+// The fast kernel reorders the floating-point expression, so engine
+// factors may differ from the calculator by rounding noise. Anything
+// beyond a handful of ULPs would indicate a real formula mismatch.
+constexpr std::uint64_t kUlpTolerance = 16;
+
+net::LinkSet RandomLinks(std::uint64_t seed, std::size_t n = 40) {
+  rng::Xoshiro256 gen(seed);
+  return net::MakeUniformScenario(n, {}, gen);
+}
+
+TEST(HalfPowerKernelTest, MatchesPowForQuarterIntegerAlphas) {
+  for (double alpha : {2.25, 2.5, 2.75, 3.0, 3.5, 4.0, 5.0, 6.0}) {
+    const HalfPowerKernel kernel(alpha);
+    for (double d : {0.3, 1.0, 7.5, 123.0, 4096.0}) {
+      const double got = kernel.DistPowAlpha(d * d);
+      const double want = std::pow(d, alpha);
+      EXPECT_LE(mathx::UlpDistance(got, want), kUlpTolerance)
+          << "alpha=" << alpha << " d=" << d << " got=" << got
+          << " want=" << want;
+    }
+  }
+}
+
+TEST(HalfPowerKernelTest, GenericAlphaFallsBackToPow) {
+  const double alpha = 2.87;  // not a quarter integer
+  const HalfPowerKernel kernel(alpha);
+  for (double d : {0.5, 2.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(kernel.DistPowAlpha(d * d),
+                     std::pow(d * d, alpha / 2.0));
+  }
+}
+
+TEST(BatchInterferenceTest, CalculatorBackendIsBitIdentical) {
+  const net::LinkSet links = RandomLinks(11);
+  ChannelParams params;
+  const InterferenceCalculator calc(links, params);
+  EngineOptions options;
+  options.backend = FactorBackend::kCalculator;
+  const InterferenceEngine engine(links, params, options);
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_DOUBLE_EQ(engine.Factor(i, j), calc.Factor(i, j));
+    }
+  }
+}
+
+TEST(BatchInterferenceTest, TablesBackendMatchesCalculatorToTheUlp) {
+  const net::LinkSet links = RandomLinks(12);
+  ChannelParams params;
+  params.alpha = 3.0;
+  params.gamma_th = 2.0;
+  const InterferenceCalculator calc(links, params);
+  const InterferenceEngine engine(links, params, {});
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_LE(mathx::UlpDistance(engine.Factor(i, j), calc.Factor(i, j)),
+                kUlpTolerance)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(BatchInterferenceTest, MatrixBackendMatchesCalculatorToTheUlp) {
+  const net::LinkSet links = RandomLinks(13);
+  ChannelParams params;
+  params.alpha = 4.0;
+  const InterferenceCalculator calc(links, params);
+  EngineOptions options;
+  options.backend = FactorBackend::kMatrix;
+  const InterferenceEngine engine(links, params, options);
+  ASSERT_NE(engine.FactorMatrix(), nullptr);
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_LE(mathx::UlpDistance(engine.Factor(i, j), calc.Factor(i, j)),
+                kUlpTolerance);
+    }
+  }
+}
+
+TEST(BatchInterferenceTest, AffectanceMatchesDeterministicSinr) {
+  const net::LinkSet links = RandomLinks(14);
+  ChannelParams params;
+  const DeterministicSinr sinr(links, params);
+  const InterferenceEngine engine(links, params, {});
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_LE(
+          mathx::UlpDistance(engine.Affectance(i, j), sinr.Affectance(i, j)),
+          kUlpTolerance);
+    }
+  }
+}
+
+TEST(BatchInterferenceTest, NoiseFactorIsExactAcrossBackends) {
+  const net::LinkSet links = RandomLinks(15);
+  ChannelParams params;
+  params.noise_power = 1e-6;
+  const InterferenceCalculator calc(links, params);
+  for (FactorBackend backend : {FactorBackend::kCalculator,
+                                FactorBackend::kTables,
+                                FactorBackend::kMatrix}) {
+    EngineOptions options;
+    options.backend = backend;
+    const InterferenceEngine engine(links, params, options);
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_DOUBLE_EQ(engine.NoiseFactor(j), calc.NoiseFactor(j));
+    }
+  }
+}
+
+TEST(BatchInterferenceTest, MeanRxPowerMatchesPathLossFormula) {
+  const net::LinkSet links = RandomLinks(16, 20);
+  ChannelParams params;
+  params.alpha = 3.0;
+  const InterferenceEngine engine(links, params, {});
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      const double d = geom::Distance(links.Sender(i), links.Receiver(j));
+      const double want =
+          links.EffectiveTxPower(i, params.tx_power) * std::pow(d, -3.0);
+      EXPECT_LE(mathx::UlpDistance(engine.MeanRxPower(i, j), want),
+                kUlpTolerance);
+    }
+  }
+}
+
+TEST(BatchInterferenceTest, MeanRxPowerRejectsCoincidentSenderReceiver) {
+  net::LinkSet links;
+  links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+  links.Add(net::Link{{1, 0}, {2, 0}, 1.0});  // sender 1 on receiver 0
+  ChannelParams params;
+  const InterferenceEngine engine(links, params, {});
+  EXPECT_THROW(static_cast<void>(engine.MeanRxPower(1, 0)),
+               util::CheckFailure);
+}
+
+TEST(TiledBuildTest, MatchesSerialMatrixToTheUlp) {
+  const net::LinkSet links = RandomLinks(17, 60);
+  ChannelParams params;
+  const InterferenceMatrix serial(links, params);
+  const InterferenceMatrix tiled =
+      BuildInterferenceMatrixTiled(links, params, {});
+  ASSERT_EQ(tiled.Size(), serial.Size());
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_LE(mathx::UlpDistance(tiled.Factor(i, j), serial.Factor(i, j)),
+                kUlpTolerance);
+    }
+  }
+}
+
+TEST(TiledBuildTest, PoolAndTileSizeDoNotChangeBits) {
+  const net::LinkSet links = RandomLinks(18, 70);
+  ChannelParams params;
+  const InterferenceMatrix reference =
+      BuildInterferenceMatrixTiled(links, params, {});
+  util::ThreadPool pool(4);
+  for (std::size_t tile_rows : {1u, 7u, 16u, 128u}) {
+    TiledBuildOptions options;
+    options.pool = &pool;
+    options.tile_rows = tile_rows;
+    const InterferenceMatrix parallel =
+        BuildInterferenceMatrixTiled(links, params, options);
+    for (net::LinkId i = 0; i < links.Size(); ++i) {
+      for (net::LinkId j = 0; j < links.Size(); ++j) {
+        EXPECT_DOUBLE_EQ(parallel.Factor(i, j), reference.Factor(i, j))
+            << "tile_rows=" << tile_rows;
+      }
+    }
+  }
+}
+
+TEST(TiledBuildTest, GenerousCutoffKeepsEveryEntry) {
+  const net::LinkSet links = RandomLinks(19, 50);
+  ChannelParams params;
+  const InterferenceMatrix exact =
+      BuildInterferenceMatrixTiled(links, params, {});
+  TiledBuildOptions options;
+  options.cutoff_radius = 1e9;  // farther than any pair in the region
+  const InterferenceMatrix cut =
+      BuildInterferenceMatrixTiled(links, params, options);
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_DOUBLE_EQ(cut.Factor(i, j), exact.Factor(i, j));
+    }
+  }
+  EXPECT_DOUBLE_EQ(cut.CertifiedSlack(), 0.0);
+}
+
+TEST(TiledBuildTest, CertifiedSlackBoundsDiscardedInterference) {
+  const net::LinkSet links = RandomLinks(20, 80);
+  ChannelParams params;
+  const InterferenceMatrix exact =
+      BuildInterferenceMatrixTiled(links, params, {});
+  TiledBuildOptions options;
+  options.cutoff_radius = 150.0;  // drops a real share of the 500×500 region
+  const InterferenceMatrix cut =
+      BuildInterferenceMatrixTiled(links, params, options);
+  EXPECT_GT(cut.CertifiedSlack(), 0.0);
+  EXPECT_DOUBLE_EQ(cut.CutoffRadius(), 150.0);
+  std::vector<net::LinkId> all(links.Size());
+  std::iota(all.begin(), all.end(), net::LinkId{0});
+  for (net::LinkId j = 0; j < links.Size(); ++j) {
+    const double dropped = exact.SumFactor(all, j) - cut.SumFactor(all, j);
+    EXPECT_GE(dropped, -1e-12) << "cutoff must only remove interference";
+    EXPECT_LE(dropped, cut.CertifiedSlack() + 1e-12) << "victim " << j;
+  }
+}
+
+TEST(IncrementalFeasibilityTest, SumTracksEngineSumFactor) {
+  const net::LinkSet links = RandomLinks(21, 30);
+  ChannelParams params;
+  const InterferenceEngine engine(links, params, {});
+  IncrementalFeasibility acc(engine);
+  std::vector<net::LinkId> active;
+  for (net::LinkId i = 0; i < links.Size(); i += 2) {
+    acc.Add(i);
+    active.push_back(i);
+  }
+  for (net::LinkId j = 0; j < links.Size(); ++j) {
+    EXPECT_NEAR(acc.Sum(j),
+                engine.NoiseFactor(j) + engine.SumFactor(active, j), 1e-12);
+  }
+}
+
+TEST(IncrementalFeasibilityTest, RemoveUndoesAdd) {
+  const net::LinkSet links = RandomLinks(22, 25);
+  ChannelParams params;
+  const InterferenceEngine engine(links, params, {});
+  IncrementalFeasibility acc(engine);
+  acc.Add(0);
+  acc.Add(1);
+  std::vector<double> before(links.Size());
+  for (net::LinkId j = 0; j < links.Size(); ++j) before[j] = acc.Sum(j);
+  acc.Add(2);
+  acc.Remove(2);
+  for (net::LinkId j = 0; j < links.Size(); ++j) {
+    EXPECT_NEAR(acc.Sum(j), before[j], 1e-13) << "victim " << j;
+  }
+  EXPECT_EQ(acc.Active().size(), 2u);
+}
+
+TEST(IncrementalFeasibilityTest, RemoveWithoutAddThrows) {
+  const net::LinkSet links = RandomLinks(23, 10);
+  ChannelParams params;
+  const InterferenceEngine engine(links, params, {});
+  IncrementalFeasibility acc(engine);
+  EXPECT_THROW(acc.Remove(3), util::CheckFailure);
+}
+
+TEST(IncrementalFeasibilityTest, GatedAddSkipsDeadVictims) {
+  const net::LinkSet links = RandomLinks(24, 12);
+  ChannelParams params;
+  const InterferenceEngine engine(links, params, {});
+  IncrementalFeasibility acc(engine);
+  std::vector<char> alive(links.Size(), 1);
+  alive[3] = 0;
+  alive[7] = 0;
+  const double sum3 = acc.Sum(3);
+  const double sum7 = acc.Sum(7);
+  acc.Add(0, alive);
+  EXPECT_DOUBLE_EQ(acc.Sum(3), sum3);  // dead rows stay stale by contract
+  EXPECT_DOUBLE_EQ(acc.Sum(7), sum7);
+  EXPECT_GT(acc.Sum(1), engine.NoiseFactor(1));
+}
+
+TEST(IncrementalFeasibilityTest, SumWithPreviewsWithoutCommitting) {
+  const net::LinkSet links = RandomLinks(25, 15);
+  ChannelParams params;
+  const InterferenceEngine engine(links, params, {});
+  IncrementalFeasibility acc(engine);
+  acc.Add(0);
+  const double preview = acc.SumWith(1, 2);
+  EXPECT_NEAR(preview, acc.Sum(2) + engine.Factor(1, 2), 1e-15);
+  // The victim itself contributes nothing.
+  EXPECT_DOUBLE_EQ(acc.SumWith(2, 2), acc.Sum(2));
+  // No commit happened.
+  EXPECT_EQ(acc.Active().size(), 1u);
+}
+
+TEST(IncrementalFeasibilityTest, AffectanceQuantityUsesDeterministicModel) {
+  const net::LinkSet links = RandomLinks(26, 18);
+  ChannelParams params;
+  const DeterministicSinr sinr(links, params);
+  const InterferenceEngine engine(links, params, {});
+  IncrementalFeasibility acc(engine,
+                             IncrementalFeasibility::Quantity::kAffectance);
+  acc.Add(0);
+  acc.Add(5);
+  for (net::LinkId j = 0; j < links.Size(); ++j) {
+    if (j == 0 || j == 5) continue;
+    const double want = sinr.NoiseAffectance(j) + sinr.Affectance(0, j) +
+                        sinr.Affectance(5, j);
+    EXPECT_NEAR(acc.Sum(j), want, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::channel

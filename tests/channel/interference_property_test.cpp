@@ -1,0 +1,126 @@
+// Property tests for the Rayleigh interference factor (Corollary 3.1):
+// structural invariants that must hold on every instance, checked over
+// seeded random scenarios rather than hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "channel/batch_interference.hpp"
+#include "channel/interference.hpp"
+#include "mathx/ulp.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::channel {
+namespace {
+
+TEST(FactorPropertyTest, DiagonalIsZeroOnRandomScenarios) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    rng::Xoshiro256 gen(seed);
+    const net::LinkSet links = net::MakeUniformScenario(30, {}, gen);
+    ChannelParams params;
+    params.alpha = 2.5 + 0.25 * static_cast<double>(seed % 7);
+    const InterferenceEngine engine(links, params, {});
+    const InterferenceCalculator calc(links, params);
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_DOUBLE_EQ(engine.Factor(j, j), 0.0);
+      EXPECT_DOUBLE_EQ(calc.Factor(j, j), 0.0);
+    }
+  }
+}
+
+TEST(FactorPropertyTest, StrictlyDecreasingInSenderVictimDistance) {
+  // Fix the victim link and walk one interfering sender away from its
+  // receiver: f must fall strictly at every step, for several α.
+  for (double alpha : {2.5, 3.0, 3.75, 4.0}) {
+    ChannelParams params;
+    params.alpha = alpha;
+    double prev = std::numeric_limits<double>::infinity();
+    for (double gap = 3.0; gap <= 3000.0; gap *= 1.7) {
+      net::LinkSet links;
+      links.Add(net::Link{{0, 0}, {1, 0}, 1.0});
+      links.Add(net::Link{{gap, 0}, {gap + 1, 0}, 1.0});
+      const InterferenceEngine engine(links, params, {});
+      const double f = engine.Factor(1, 0);
+      EXPECT_LT(f, prev) << "alpha=" << alpha << " gap=" << gap;
+      EXPECT_GT(f, 0.0);
+      prev = f;
+    }
+  }
+}
+
+TEST(FactorPropertyTest, PowerRatioScalingMatchesClosedForm) {
+  // Corollary 3.1: f_ij = ln(1 + γ_th·(P_i/P_j)·(d_jj/d_ij)^α). Doubling
+  // the interferer's power must move the factor exactly to the closed form
+  // with the doubled ratio, for both the calculator and the fast tables.
+  ChannelParams params;
+  params.alpha = 3.0;
+  params.gamma_th = 1.5;
+  params.tx_power = 2.0;
+  for (double power_scale : {0.25, 0.5, 1.0, 2.0, 8.0}) {
+    net::LinkSet links;
+    links.Add(net::Link{{0, 0}, {4, 0}, 1.0, params.tx_power});
+    links.Add(net::Link{{30, 0}, {31, 0}, 1.0,
+                        power_scale * params.tx_power});
+    const double d_jj = 4.0;
+    const double d_ij = 30.0 - 4.0;
+    const double closed_form = std::log1p(
+        params.gamma_th * power_scale * std::pow(d_jj / d_ij, params.alpha));
+    const InterferenceCalculator calc(links, params);
+    const InterferenceEngine engine(links, params, {});
+    EXPECT_NEAR(calc.Factor(1, 0), closed_form, 1e-15 * closed_form + 1e-18);
+    EXPECT_NEAR(engine.Factor(1, 0), closed_form, 1e-15 * closed_form + 1e-18);
+  }
+}
+
+TEST(FactorPropertyTest, SumFactorIsPermutationInvariant) {
+  // Neumaier compensation makes the per-victim sum order-robust: any
+  // permutation of the schedule must agree to a couple of ULPs (plain
+  // left-to-right summation drifts far beyond that on 200 terms).
+  rng::Xoshiro256 gen(99);
+  const net::LinkSet links = net::MakeUniformScenario(200, {}, gen);
+  ChannelParams params;
+  const InterferenceEngine engine(links, params, {});
+  std::vector<net::LinkId> schedule(links.Size());
+  std::iota(schedule.begin(), schedule.end(), net::LinkId{0});
+  std::vector<double> reference(links.Size());
+  for (net::LinkId j = 0; j < links.Size(); ++j) {
+    reference[j] = engine.SumFactor(schedule, j);
+  }
+  rng::Xoshiro256 shuffle_gen(100);
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t k = schedule.size() - 1; k > 0; --k) {
+      const std::size_t swap_with = shuffle_gen.Next() % (k + 1);
+      std::swap(schedule[k], schedule[swap_with]);
+    }
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_LE(
+          mathx::UlpDistance(engine.SumFactor(schedule, j), reference[j]), 2u)
+          << "victim " << j << " round " << round;
+    }
+  }
+}
+
+TEST(FactorPropertyTest, FactorIsTheLogOnePlusAffectance) {
+  // The deterministic affectance is exactly the log1p argument of the
+  // Rayleigh factor — the identity that lets one engine serve both models.
+  rng::Xoshiro256 gen(7);
+  const net::LinkSet links = net::MakeUniformScenario(25, {}, gen);
+  ChannelParams params;
+  params.gamma_th = 2.0;
+  const InterferenceEngine engine(links, params, {});
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(engine.Factor(i, j),
+                       std::log1p(engine.Affectance(i, j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::channel

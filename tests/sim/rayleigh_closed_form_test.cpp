@@ -1,0 +1,81 @@
+// Monte-Carlo cross-check of Theorem 3.1: the empirical Rayleigh success
+// frequency of each scheduled link must sit within a 3σ binomial bound of
+// the closed-form product Pr(X_j ≥ γ_th) = exp(−Σ f_ij). This ties the
+// simulator's fading draws, the interference engine's mean-power table,
+// and the analytical formula together end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sched/greedy.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace fadesched::sim {
+namespace {
+
+void CheckScheduleAgainstClosedForm(const net::LinkSet& links,
+                                    const channel::ChannelParams& params,
+                                    const net::Schedule& schedule,
+                                    std::uint64_t sim_seed) {
+  ASSERT_FALSE(schedule.empty());
+  SimOptions options;
+  options.trials = 6000;
+  options.seed = sim_seed;
+  const SimResult result = SimulateSchedule(links, params, schedule, options);
+
+  const channel::InterferenceCalculator calc(links, params);
+  const double trials = static_cast<double>(options.trials);
+  for (std::size_t k = 0; k < schedule.size(); ++k) {
+    const double p =
+        channel::SuccessProbability(calc, schedule, schedule[k]);
+    // 3σ binomial bound with a tiny floor so p ≈ 1 keeps a usable margin.
+    const double sigma = std::sqrt(p * (1.0 - p) / trials);
+    EXPECT_NEAR(result.link_success_rate[k], p, 3.0 * sigma + 2e-3)
+        << "link " << schedule[k] << " (position " << k << ")";
+  }
+}
+
+TEST(RayleighClosedFormTest, GreedyScheduleMatchesTheorem31) {
+  rng::Xoshiro256 gen(31);
+  const net::LinkSet links = net::MakeUniformScenario(40, {}, gen);
+  channel::ChannelParams params;  // paper defaults: α=3, γ_th=1, ε=0.01
+  const net::Schedule schedule =
+      sched::FadingGreedyScheduler().Schedule(links, params).schedule;
+  CheckScheduleAgainstClosedForm(links, params, schedule, 777);
+}
+
+TEST(RayleighClosedFormTest, DenseScheduleWithRealOutageMatches) {
+  // A deliberately over-packed schedule (every fourth link, no feasibility
+  // filter) so success probabilities sit well below 1 and the binomial
+  // bound is exercised away from the boundary.
+  rng::Xoshiro256 gen(32);
+  const net::LinkSet links = net::MakeUniformScenario(60, {}, gen);
+  channel::ChannelParams params;
+  params.gamma_th = 0.5;
+  net::Schedule schedule;
+  for (net::LinkId id = 0; id < links.Size(); id += 4) {
+    schedule.push_back(id);
+  }
+  CheckScheduleAgainstClosedForm(links, params, schedule, 778);
+}
+
+TEST(RayleighClosedFormTest, HighAlphaChannelMatches) {
+  rng::Xoshiro256 gen(33);
+  const net::LinkSet links = net::MakeUniformScenario(50, {}, gen);
+  channel::ChannelParams params;
+  params.alpha = 4.0;
+  params.gamma_th = 2.0;
+  net::Schedule schedule;
+  for (net::LinkId id = 0; id < links.Size(); id += 5) {
+    schedule.push_back(id);
+  }
+  CheckScheduleAgainstClosedForm(links, params, schedule, 779);
+}
+
+}  // namespace
+}  // namespace fadesched::sim
