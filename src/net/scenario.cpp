@@ -97,4 +97,83 @@ LinkSet MakeDiverseLengthScenario(std::size_t num_links,
   return links;
 }
 
+LinkSet MakeNearFarScenario(std::size_t num_links,
+                            const NearFarScenarioParams& params,
+                            rng::Xoshiro256& gen) {
+  FS_CHECK(params.region_size > 0.0);
+  FS_CHECK(params.knot_radius > 0.0);
+  FS_CHECK(params.near_link_length > 0.0);
+  FS_CHECK(params.far_link_length > 0.0);
+  FS_CHECK(params.near_fraction >= 0.0 && params.near_fraction <= 1.0);
+  FS_CHECK(params.rate > 0.0);
+  const geom::Vec2 center{params.region_size / 2.0, params.region_size / 2.0};
+  const auto num_near = static_cast<std::size_t>(
+      params.near_fraction * static_cast<double>(num_links));
+  LinkSet links;
+  for (std::size_t i = 0; i < num_links; ++i) {
+    const double angle = rng::UniformRange(gen, 0.0, kTwoPi);
+    if (i < num_near) {
+      // Sender uniform in the knot disc (sqrt for area-uniform radius).
+      const double r = params.knot_radius *
+                       std::sqrt(rng::UniformRange(gen, 0.0, 1.0));
+      const double at = rng::UniformRange(gen, 0.0, kTwoPi);
+      const geom::Vec2 sender{center.x + r * std::cos(at),
+                              center.y + r * std::sin(at)};
+      links.Add(Link{sender, ReceiverAt(sender, params.near_link_length, angle),
+                     params.rate});
+    } else {
+      // Far links on a ring at 40% of the region size from the knot.
+      const double ring = 0.4 * params.region_size;
+      const double at = rng::UniformRange(gen, 0.0, kTwoPi);
+      const geom::Vec2 sender{center.x + ring * std::cos(at),
+                              center.y + ring * std::sin(at)};
+      links.Add(Link{sender, ReceiverAt(sender, params.far_link_length, angle),
+                     params.rate});
+    }
+  }
+  return links;
+}
+
+LinkSet MakeColinearScenario(std::size_t num_links,
+                             const ColinearScenarioParams& params,
+                             rng::Xoshiro256& gen) {
+  FS_CHECK(params.region_size > 0.0);
+  FS_CHECK(params.min_link_length > 0.0);
+  FS_CHECK(params.max_link_length >= params.min_link_length);
+  FS_CHECK(params.rate > 0.0);
+  const double y = params.region_size / 2.0;
+  LinkSet links;
+  for (std::size_t i = 0; i < num_links; ++i) {
+    const double sx = rng::UniformRange(gen, 0.0, params.region_size);
+    double length = rng::UniformRange(gen, params.min_link_length,
+                                      params.max_link_length);
+    if (rng::UniformRange(gen, 0.0, 1.0) < 0.5) length = -length;
+    links.Add(Link{geom::Vec2{sx, y}, geom::Vec2{sx + length, y},
+                   params.rate});
+  }
+  return links;
+}
+
+LinkSet MakeDuplicatePositionScenario(
+    std::size_t num_links, const DuplicatePositionScenarioParams& params,
+    rng::Xoshiro256& gen) {
+  FS_CHECK(params.duplicate_fraction >= 0.0 &&
+           params.duplicate_fraction <= 1.0);
+  LinkSet links = MakeUniformScenario(num_links, params.base, gen);
+  if (links.Size() < 2) return links;
+  // Overwrite a suffix of the set with copies of random earlier links by
+  // rebuilding; LinkSet is append-only, so copy-then-rebuild keeps the
+  // duplicate ids contiguous and the fuzz replay deterministic.
+  auto num_dupes = static_cast<std::size_t>(
+      params.duplicate_fraction * static_cast<double>(links.Size()));
+  if (num_dupes >= links.Size()) num_dupes = links.Size() - 1;
+  const std::size_t originals = links.Size() - num_dupes;
+  LinkSet result;
+  for (LinkId i = 0; i < originals; ++i) result.Add(links.At(i));
+  for (std::size_t d = 0; d < num_dupes; ++d) {
+    result.Add(links.At(rng::UniformIndex(gen, originals)));
+  }
+  return result;
+}
+
 }  // namespace fadesched::net

@@ -64,4 +64,46 @@ LinkSet MakeDiverseLengthScenario(std::size_t num_links,
                                   const DiverseLengthScenarioParams& params,
                                   rng::Xoshiro256& gen);
 
+/// Classic near-far stress: a dense knot of short links inside one small
+/// disc plus a ring of long "far" links around it, so far receivers see a
+/// concentrated interference mass and near receivers see strong mutual
+/// coupling. The hardest regime for feasibility bookkeeping.
+struct NearFarScenarioParams {
+  double region_size = 500.0;
+  double knot_radius = 15.0;        ///< disc holding the near knot
+  double near_link_length = 2.0;    ///< short links inside the knot
+  double far_link_length = 30.0;    ///< long links on the ring
+  double near_fraction = 0.5;       ///< share of links placed in the knot
+  double rate = 1.0;
+};
+LinkSet MakeNearFarScenario(std::size_t num_links,
+                            const NearFarScenarioParams& params,
+                            rng::Xoshiro256& gen);
+
+/// Every sender and receiver on one line (the Knapsack-gadget geometry of
+/// Theorem 3.2): distances degenerate to 1-D differences, exercising
+/// colinear/duplicate-distance tie handling in grid and elimination rules.
+struct ColinearScenarioParams {
+  double region_size = 500.0;
+  double min_link_length = 5.0;
+  double max_link_length = 20.0;
+  double rate = 1.0;
+};
+LinkSet MakeColinearScenario(std::size_t num_links,
+                             const ColinearScenarioParams& params,
+                             rng::Xoshiro256& gen);
+
+/// Uniform layout where a fraction of links is an exact byte-for-byte copy
+/// of an earlier link (shared sender AND receiver positions) — legal under
+/// the interference model (d_ij = d_jj > 0) and the sharpest test of
+/// deterministic tie-breaking, since duplicated links are fully
+/// interchangeable.
+struct DuplicatePositionScenarioParams {
+  UniformScenarioParams base;
+  double duplicate_fraction = 0.3;  ///< share of links copied from earlier ones
+};
+LinkSet MakeDuplicatePositionScenario(
+    std::size_t num_links, const DuplicatePositionScenarioParams& params,
+    rng::Xoshiro256& gen);
+
 }  // namespace fadesched::net

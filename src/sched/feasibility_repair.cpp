@@ -1,0 +1,35 @@
+#include "sched/feasibility_repair.hpp"
+
+#include <algorithm>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+
+namespace fadesched::sched {
+
+net::Schedule RepairToFeasible(const net::LinkSet& links,
+                               const channel::ChannelParams& params,
+                               net::Schedule schedule) {
+  if (schedule.empty()) return schedule;
+  const channel::InterferenceCalculator calc(links, params);
+  for (;;) {
+    bool any_violator = false;
+    net::LinkId worst = 0;
+    double worst_total = -1.0;
+    for (const channel::LinkFeasibility& lf :
+         channel::AnalyzeSchedule(calc, schedule)) {
+      if (lf.informed) continue;
+      const double total = lf.noise_factor + lf.sum_factor;
+      if (!any_violator || total > worst_total ||
+          (total == worst_total && lf.link > worst)) {
+        worst = lf.link;
+        worst_total = total;
+      }
+      any_violator = true;
+    }
+    if (!any_violator) return schedule;
+    schedule.erase(std::find(schedule.begin(), schedule.end(), worst));
+  }
+}
+
+}  // namespace fadesched::sched

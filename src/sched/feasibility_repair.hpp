@@ -1,0 +1,33 @@
+// Feasibility backstop for constructive schedulers.
+//
+// The grid constants of Theorem 4.1 (Formula (37)) bound same-colour
+// interference as if every link lay inside its grid square, but a class-h
+// link may stick out of its square by up to β_h/β (one-sided classes admit
+// any length < 2^{h+1}δ = β_h/β). The neglected term is a (1 − 1/β)^{−α}
+// factor on the nearest ring, negligible in the paper's regime (α ≈ 3–4,
+// where β ≈ 10) but fatal for large α, where ζ(α−1) → 1 erases the slack
+// in 8ζ(α−1) while β shrinks toward 2. Fuzzing found concrete 4-link
+// colinear counterexamples at α ≈ 7 (see tests/testing/corpus/).
+//
+// Rather than inflate β — which would change the construction everywhere,
+// including the regimes where the theorem is sound — schedulers call this
+// backstop on their final schedule: it deletes members until every
+// survivor is informed per Corollary 3.1. Removal only shrinks the
+// remaining sums, so the loop terminates with a feasible schedule and is
+// a no-op whenever the construction already delivers one.
+#pragma once
+
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::sched {
+
+/// Returns `schedule` pruned to Corollary-3.1 feasibility: while any
+/// member is not informed, the non-informed member with the largest
+/// noise+interference factor (ties to the higher id) is removed.
+/// Deterministic; returns the input unchanged when already feasible.
+net::Schedule RepairToFeasible(const net::LinkSet& links,
+                               const channel::ChannelParams& params,
+                               net::Schedule schedule);
+
+}  // namespace fadesched::sched

@@ -7,6 +7,7 @@
 #include "channel/batch_interference.hpp"
 #include "net/topology_stats.hpp"
 #include "sched/constants.hpp"
+#include "sched/feasibility_repair.hpp"
 #include "sched/grid_select.hpp"
 #include "util/check.hpp"
 
@@ -82,6 +83,12 @@ ScheduleResult LdpScheduler::Schedule(
       }
     }
   }
+  // Feasibility backstop: Formula (37) neglects that class-h links stick
+  // out of their squares by up to β_h/β, which breaks Theorem 4.1 for
+  // large α (fuzz-found counterexamples in tests/testing/corpus/). Prune
+  // rather than inflate β, so the paper's construction is untouched in
+  // the regimes where the theorem is sound.
+  best = RepairToFeasible(links, params, std::move(best));
   return FinalizeResult(links, std::move(best), Name());
 }
 

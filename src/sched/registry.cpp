@@ -39,10 +39,60 @@ SchedulerPtr MakeScheduler(const std::string& name) {
   return nullptr;  // unreachable
 }
 
+const std::vector<SchedulerContract>& RegisteredSchedulers() {
+  // name, fading_feasible, exact, nonempty_when_feasible, max_links,
+  // fuzz_cap.
+  //
+  // The flags are enforced per Schedule() call by the oracle harness, so
+  // they encode the *proved* guarantees, not observed behaviour:
+  //   * LDP keeps one link per occupied grid square (never empty) and its
+  //     construction is Corollary-3.1 feasible by Theorem 4.2.
+  //   * RLE picks the shortest remaining link first (never empty) and is
+  //     feasible by Theorem 4.3.
+  //   * FadingGreedy gates every admission on the feasibility oracle and
+  //     always admits a feasible singleton.
+  //   * The exact solvers search feasible subsets only; an empty optimum
+  //     happens iff no singleton is feasible.
+  //   * ApproxLogN / ApproxDiversity / GraphGreedy promise decoding only
+  //     under their own (deterministic SINR / conflict graph) models, so
+  //     no fading claim — but their constructions keep at least one link.
+  //   * DLS's pruning guarantee holds under the finite sensing-radius
+  //     approximation, and random back-off can empty the candidate set;
+  //     ALOHA promises nothing at all.
+  static const std::vector<SchedulerContract> kContracts = {
+      {"ldp", true, false, true, 0},
+      {"ldp_two_sided", true, false, true, 0},
+      {"rle", true, false, true, 0},
+      {"approx_logn", false, false, true, 0},
+      {"approx_diversity", false, false, true, 0},
+      {"graph_greedy", false, false, true, 0},
+      {"fading_greedy", true, false, true, 0},
+      // Brute force is O(2^N · N²) per run and the harness runs each
+      // scheduler ~12× per instance, so it fuzzes only tiny instances; the
+      // branch-and-bound solver prunes well and takes the full range.
+      {"exact_brute_force", true, true, true, ExactOptions{}.max_links, 12},
+      {"exact_bb", true, true, true, ExactOptions{}.max_links, 0},
+      {"dls", false, false, false, 0},
+      {"aloha", false, false, false, 0},
+  };
+  return kContracts;
+}
+
+const SchedulerContract& ContractFor(const std::string& name) {
+  for (const SchedulerContract& contract : RegisteredSchedulers()) {
+    if (contract.name == name) return contract;
+  }
+  FS_CHECK_MSG(false, "unknown scheduler: " + name);
+  return RegisteredSchedulers().front();  // unreachable
+}
+
 std::vector<std::string> KnownSchedulers() {
-  return {"ldp",          "ldp_two_sided",    "rle",
-          "approx_logn",  "approx_diversity", "graph_greedy",
-          "fading_greedy", "exact_brute_force", "exact_bb", "dls", "aloha"};
+  std::vector<std::string> names;
+  names.reserve(RegisteredSchedulers().size());
+  for (const SchedulerContract& contract : RegisteredSchedulers()) {
+    names.push_back(contract.name);
+  }
+  return names;
 }
 
 }  // namespace fadesched::sched

@@ -1,13 +1,47 @@
 // Name-based scheduler factory so benches, examples, and the CLI surface
-// can select algorithms uniformly.
+// can select algorithms uniformly — plus the machine-checkable contract
+// each scheduler publishes, which the oracle harness (src/testing)
+// enforces on fuzzed instances. Registering a scheduler here is what puts
+// it under fuzz coverage; there is no second list to update.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "sched/scheduler.hpp"
 
 namespace fadesched::sched {
+
+/// The promises a registered scheduler makes about its output. Every field
+/// is enforced mechanically by testing::OracleHarness, so a contract must
+/// only claim what the algorithm actually proves:
+///   * fading_feasible — every emitted schedule satisfies Corollary 3.1
+///     for every member (LDP/RLE constructions, the exact solvers, the
+///     feasibility-gated greedy). DLS is deliberately *not* flagged: its
+///     guarantee holds only under the sensing-radius approximation.
+///   * exact — claimed_rate equals the true optimum, so two exact solvers
+///     must agree and every other scheduler's informed rate is bounded by
+///     theirs.
+///   * nonempty_when_feasible — returns at least one link whenever some
+///     singleton schedule is feasible (the weakest consequence of any
+///     claimed approximation ratio; randomized back-off schemes cannot
+///     promise it).
+struct SchedulerContract {
+  std::string name;
+  bool fading_feasible = false;
+  bool exact = false;
+  bool nonempty_when_feasible = false;
+  /// Largest instance the scheduler accepts; 0 = unbounded. The exact
+  /// solvers refuse larger inputs (2^N subsets) rather than hanging.
+  std::size_t max_links = 0;
+  /// Largest instance the fuzz harness feeds this scheduler; 0 = no cap.
+  /// Distinct from max_links: brute force *accepts* N = 26 but costs 2^N
+  /// per run, and the harness re-runs each scheduler ~12× per instance
+  /// (determinism + five metamorphic transforms), so slow-but-correct
+  /// solvers opt into a smaller fuzzing window.
+  std::size_t fuzz_cap = 0;
+};
 
 /// Known names: "ldp", "ldp_two_sided", "rle", "approx_logn",
 /// "approx_diversity", "fading_greedy", "exact_brute_force", "exact_bb",
@@ -16,5 +50,13 @@ SchedulerPtr MakeScheduler(const std::string& name);
 
 /// All registered names, in a stable presentation order.
 std::vector<std::string> KnownSchedulers();
+
+/// Contracts for every registered scheduler, same order as
+/// KnownSchedulers(). The oracle harness iterates this list, so a newly
+/// registered scheduler is fuzz-covered automatically.
+const std::vector<SchedulerContract>& RegisteredSchedulers();
+
+/// Contract lookup by name; throws CheckFailure for unknown names.
+const SchedulerContract& ContractFor(const std::string& name);
 
 }  // namespace fadesched::sched

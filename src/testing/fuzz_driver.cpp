@@ -1,0 +1,108 @@
+#include "testing/fuzz_driver.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace fadesched::testing {
+namespace {
+
+std::string SanitizeForFilename(std::string text) {
+  for (char& c : text) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return text;
+}
+
+}  // namespace
+
+FuzzReport RunFuzz(const FuzzDriverOptions& options) {
+  const ScenarioFuzzer fuzzer(options.seed, options.fuzzer);
+  const OracleHarness harness(options.oracle);
+  FuzzReport report;
+  std::set<std::pair<std::string, std::string>> seen;  // (scheduler, check)
+
+  const auto log = [&](const std::string& message) {
+    if (options.log) options.log(message);
+  };
+
+  for (std::uint64_t index = 0; index < options.iterations; ++index) {
+    if (report.failures.size() >= options.max_failures) break;
+    const ScenarioCase scenario = fuzzer.Case(index);
+    const std::vector<Violation> violations = harness.CheckCase(scenario);
+    ++report.iterations_run;
+    if (options.log_every != 0 && (index + 1) % options.log_every == 0) {
+      std::ostringstream os;
+      os << "fuzz: " << (index + 1) << "/" << options.iterations
+         << " cases, " << report.failures.size() << " distinct failure(s)";
+      log(os.str());
+    }
+    if (violations.empty()) continue;
+    ++report.cases_with_violations;
+
+    for (const Violation& violation : violations) {
+      if (report.failures.size() >= options.max_failures) break;
+      if (!seen.insert({violation.scheduler, violation.check}).second) {
+        continue;  // already have a reproducer for this failure class
+      }
+      FuzzFailure failure;
+      failure.violation = violation;
+      failure.shrunk = violation.scenario;
+
+      if (options.shrink) {
+        // Reproduce = "the same (scheduler, check) class fires again".
+        // Exceptions count as reproducing only the "exception" class.
+        const auto predicate = [&](const ScenarioCase& candidate) {
+          std::vector<Violation> found;
+          try {
+            harness.CheckScheduler(sched::ContractFor(violation.scheduler),
+                                   candidate, found);
+          } catch (const std::exception&) {
+            return violation.check == "exception";
+          }
+          return std::any_of(found.begin(), found.end(),
+                             [&](const Violation& v) {
+                               return v.check == violation.check;
+                             });
+        };
+        // The shrinker demands a reproducing input; the violation carries
+        // a transformed instance when a metamorphic check fired, and that
+        // instance re-checked from scratch may map to a different check
+        // id — fall back to the unshrunk scenario in that case.
+        if (predicate(violation.scenario)) {
+          const ShrinkResult shrunk =
+              ShrinkScenario(violation.scenario, predicate, options.shrinker);
+          failure.shrunk = shrunk.scenario;
+        }
+      }
+      failure.shrunk_links = failure.shrunk.links.Size();
+
+      if (!options.corpus_dir.empty()) {
+        std::ostringstream name;
+        name << options.corpus_dir << "/shrunk-seed" << options.seed << "-i"
+             << index << "-" << SanitizeForFilename(violation.scheduler)
+             << "-" << SanitizeForFilename(violation.check) << ".scenario";
+        failure.corpus_path = name.str();
+        SaveScenarioFile(failure.shrunk, failure.corpus_path);
+      }
+
+      std::ostringstream os;
+      os << "fuzz FAILURE [" << violation.scheduler << "/" << violation.check
+         << "] at case " << index << ": " << violation.detail << " (shrunk to "
+         << failure.shrunk_links << " links"
+         << (failure.corpus_path.empty() ? ""
+                                         : ", wrote " + failure.corpus_path)
+         << ")";
+      log(os.str());
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  return report;
+}
+
+}  // namespace fadesched::testing

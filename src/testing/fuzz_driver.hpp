@@ -1,0 +1,53 @@
+// Fuzz driver: generate → oracle-check → shrink → persist, the loop
+// behind `fadesched_cli fuzz` and the fuzz regression tests.
+//
+// Violations are deduplicated by (scheduler, check) so one systematic bug
+// produces one shrunk reproducer instead of thousands, and the run keeps
+// scanning for *different* bugs until max_failures distinct ones exist.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testing/fuzzer.hpp"
+#include "testing/oracle.hpp"
+#include "testing/shrinker.hpp"
+
+namespace fadesched::testing {
+
+struct FuzzDriverOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 1000;
+  FuzzerOptions fuzzer;
+  OracleOptions oracle;
+  bool shrink = true;
+  ShrinkOptions shrinker;
+  /// Directory for shrunk `.scenario` reproducers; empty = don't write.
+  std::string corpus_dir;
+  /// Stop after this many distinct (scheduler, check) failures.
+  std::size_t max_failures = 8;
+  /// Progress sink (e.g. stderr); called every `log_every` iterations and
+  /// on every failure. Empty = silent.
+  std::function<void(const std::string&)> log;
+  std::uint64_t log_every = 500;
+};
+
+struct FuzzFailure {
+  Violation violation;      ///< first occurrence, original instance
+  ScenarioCase shrunk;      ///< minimal reproducer (== original if !shrink)
+  std::size_t shrunk_links = 0;
+  std::string corpus_path;  ///< file written under corpus_dir, if any
+};
+
+struct FuzzReport {
+  std::uint64_t iterations_run = 0;
+  std::uint64_t cases_with_violations = 0;
+  std::vector<FuzzFailure> failures;
+  [[nodiscard]] bool Ok() const { return failures.empty(); }
+};
+
+FuzzReport RunFuzz(const FuzzDriverOptions& options);
+
+}  // namespace fadesched::testing

@@ -1,0 +1,141 @@
+#include "testing/fuzzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <sstream>
+
+#include "net/scenario.hpp"
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::testing {
+namespace {
+
+constexpr TopologyKind kAllKinds[] = {
+    TopologyKind::kUniform,          TopologyKind::kClustered,
+    TopologyKind::kNearFar,          TopologyKind::kColinear,
+    TopologyKind::kDuplicatePosition, TopologyKind::kDiverseLength,
+};
+
+/// Log-uniform draw in [lo, hi] — equal mass per decade, which is how the
+/// interesting ε and γ_th regimes are distributed.
+double LogUniform(rng::Xoshiro256& gen, double lo, double hi) {
+  return std::exp(rng::UniformRange(gen, std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+const char* TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kUniform: return "uniform";
+    case TopologyKind::kClustered: return "clustered";
+    case TopologyKind::kNearFar: return "near_far";
+    case TopologyKind::kColinear: return "colinear";
+    case TopologyKind::kDuplicatePosition: return "duplicate_position";
+    case TopologyKind::kDiverseLength: return "diverse_length";
+  }
+  return "unknown";
+}
+
+ScenarioFuzzer::ScenarioFuzzer(std::uint64_t seed, FuzzerOptions options)
+    : seed_(seed), options_(options) {
+  FS_CHECK(options_.min_links >= 1);
+  FS_CHECK(options_.max_links >= options_.min_links);
+}
+
+ScenarioCase ScenarioFuzzer::Case(std::uint64_t index) const {
+  // Hash (seed, index) into an independent stream: two SplitMix64 rounds
+  // decorrelate adjacent indices before the xoshiro state expansion.
+  rng::SplitMix64 mix(seed_ ^ (0x517cc1b727220a95ULL * (index + 1)));
+  mix.Next();
+  rng::Xoshiro256 gen(mix.Next());
+
+  const auto kind = kAllKinds[rng::UniformIndex(gen, std::size(kAllKinds))];
+  const auto num_links =
+      options_.min_links +
+      rng::UniformIndex(gen, options_.max_links - options_.min_links + 1);
+  // Region scale sweeps dense (interference-bound) to sparse layouts.
+  const double region = LogUniform(gen, 60.0, 1500.0);
+
+  ScenarioCase result;
+  if (options_.extreme_params) {
+    result.params.alpha = rng::UniformRange(gen, 2.05, 8.0);
+    result.params.epsilon = LogUniform(gen, 1e-5, 0.5);
+    result.params.gamma_th = LogUniform(gen, 0.05, 20.0);
+    result.params.tx_power = LogUniform(gen, 0.1, 10.0);
+  }
+
+  const bool weighted =
+      options_.weighted_rates && rng::UniformUnit(gen) < 0.25;
+  switch (kind) {
+    case TopologyKind::kUniform: {
+      if (weighted) {
+        net::WeightedScenarioParams p;
+        p.base.region_size = region;
+        result.links = net::MakeWeightedScenario(num_links, p, gen);
+      } else {
+        net::UniformScenarioParams p;
+        p.region_size = region;
+        result.links = net::MakeUniformScenario(num_links, p, gen);
+      }
+      break;
+    }
+    case TopologyKind::kClustered: {
+      net::ClusteredScenarioParams p;
+      p.region_size = region;
+      p.num_clusters = 1 + rng::UniformIndex(gen, 4);
+      result.links = net::MakeClusteredScenario(num_links, p, gen);
+      break;
+    }
+    case TopologyKind::kNearFar: {
+      net::NearFarScenarioParams p;
+      p.region_size = region;
+      p.near_fraction = rng::UniformRange(gen, 0.2, 0.8);
+      result.links = net::MakeNearFarScenario(num_links, p, gen);
+      break;
+    }
+    case TopologyKind::kColinear: {
+      net::ColinearScenarioParams p;
+      p.region_size = region;
+      result.links = net::MakeColinearScenario(num_links, p, gen);
+      break;
+    }
+    case TopologyKind::kDuplicatePosition: {
+      net::DuplicatePositionScenarioParams p;
+      p.base.region_size = region;
+      p.duplicate_fraction = rng::UniformRange(gen, 0.1, 0.5);
+      result.links = net::MakeDuplicatePositionScenario(num_links, p, gen);
+      break;
+    }
+    case TopologyKind::kDiverseLength: {
+      net::DiverseLengthScenarioParams p;
+      p.region_size = std::max(region, 500.0);
+      p.length_octaves = 4 + rng::UniformIndex(gen, 5);
+      result.links = net::MakeDiverseLengthScenario(num_links, p, gen);
+      break;
+    }
+  }
+
+  if (options_.with_noise && rng::UniformUnit(gen) < 0.25) {
+    // Scale N₀ so the *longest* link's noise factor γ_th·N₀·d^α/P stays at
+    // most half the budget γ_ε: noisy regimes stress the noise paths
+    // without making every instance trivially infeasible.
+    const double d = result.links.MaxLength();
+    const double ceiling = 0.5 * result.params.GammaEpsilon() *
+                           result.params.tx_power /
+                           (result.params.gamma_th * std::pow(d, result.params.alpha));
+    result.params.noise_power = ceiling * rng::UniformUnit(gen);
+  }
+  result.params.Validate();
+
+  std::ostringstream os;
+  os << "fuzz seed=" << seed_ << " index=" << index << " topology="
+     << TopologyKindName(kind) << " n=" << result.links.Size();
+  result.description = os.str();
+  return result;
+}
+
+}  // namespace fadesched::testing

@@ -1,0 +1,132 @@
+#include "testing/metamorphic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::testing {
+namespace {
+
+std::vector<net::LinkId> IdentityMap(std::size_t n) {
+  std::vector<net::LinkId> map(n);
+  std::iota(map.begin(), map.end(), net::LinkId{0});
+  return map;
+}
+
+}  // namespace
+
+TransformedCase PermuteLinks(const ScenarioCase& base, std::uint64_t seed) {
+  const std::size_t n = base.links.Size();
+  // Fisher–Yates over the *positions*: order[k] = old id placed at new k.
+  std::vector<net::LinkId> order = IdentityMap(n);
+  rng::Xoshiro256 gen(seed);
+  for (std::size_t k = n; k > 1; --k) {
+    std::swap(order[k - 1], order[rng::UniformIndex(gen, k)]);
+  }
+  TransformedCase result;
+  result.scenario.params = base.params;
+  result.scenario.description = base.description + " | permuted";
+  result.relabel.assign(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.scenario.links.Add(base.links.At(order[k]));
+    result.relabel[order[k]] = k;
+  }
+  result.bitwise_invariant = true;
+  result.name = "permute";
+  return result;
+}
+
+TransformedCase RigidMotion(const ScenarioCase& base, double angle,
+                            double dx, double dy) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  geom::Vec2 pivot{0.0, 0.0};
+  if (!base.links.Empty()) {
+    const geom::Aabb box = base.links.BoundingBox();
+    pivot = geom::Vec2{(box.lo.x + box.hi.x) / 2.0,
+                       (box.lo.y + box.hi.y) / 2.0};
+  }
+  const auto move = [&](geom::Vec2 p) {
+    const geom::Vec2 q = p - pivot;
+    return geom::Vec2{pivot.x + c * q.x - s * q.y + dx,
+                      pivot.y + s * q.x + c * q.y + dy};
+  };
+  TransformedCase result;
+  result.scenario.params = base.params;
+  result.scenario.description = base.description + " | rigid-motion";
+  for (net::LinkId i = 0; i < base.links.Size(); ++i) {
+    net::Link link = base.links.At(i);
+    link.sender = move(link.sender);
+    link.receiver = move(link.receiver);
+    result.scenario.links.Add(link);
+  }
+  result.relabel = IdentityMap(base.links.Size());
+  result.name = "rigid_motion";
+  return result;
+}
+
+TransformedCase UniformScale(const ScenarioCase& base, double s) {
+  FS_CHECK(s > 0.0);
+  const double power_scale = std::pow(s, base.params.alpha);
+  TransformedCase result;
+  result.scenario.params = base.params;
+  result.scenario.params.tx_power *= power_scale;
+  result.scenario.description = base.description + " | scaled";
+  for (net::LinkId i = 0; i < base.links.Size(); ++i) {
+    net::Link link = base.links.At(i);
+    link.sender = link.sender * s;
+    link.receiver = link.receiver * s;
+    if (link.tx_power > 0.0) link.tx_power *= power_scale;
+    result.scenario.links.Add(link);
+  }
+  result.relabel = IdentityMap(base.links.Size());
+  result.name = "uniform_scale";
+  return result;
+}
+
+TransformedCase RelaxEpsilon(const ScenarioCase& base, double factor) {
+  FS_CHECK(factor > 1.0);
+  TransformedCase result;
+  result.scenario.links = base.links;
+  result.scenario.params = base.params;
+  result.scenario.params.epsilon =
+      std::min(base.params.epsilon * factor, 0.999);
+  result.scenario.description = base.description + " | epsilon-relaxed";
+  result.relabel = IdentityMap(base.links.Size());
+  result.bitwise_invariant = true;  // factors untouched, only the budget moves
+  result.relaxation =
+      result.scenario.params.epsilon > base.params.epsilon;
+  result.name = "relax_epsilon";
+  return result;
+}
+
+TransformedCase TightenGamma(const ScenarioCase& base, double factor) {
+  FS_CHECK(factor > 0.0 && factor < 1.0);
+  TransformedCase result;
+  result.scenario.links = base.links;
+  result.scenario.params = base.params;
+  result.scenario.params.gamma_th = base.params.gamma_th * factor;
+  result.scenario.description = base.description + " | gamma-tightened";
+  result.relabel = IdentityMap(base.links.Size());
+  result.relaxation = true;
+  result.name = "tighten_gamma";
+  return result;
+}
+
+net::Schedule MapSchedule(const net::Schedule& schedule,
+                          const std::vector<net::LinkId>& relabel) {
+  net::Schedule mapped;
+  mapped.reserve(schedule.size());
+  for (net::LinkId id : schedule) {
+    FS_CHECK(id < relabel.size());
+    mapped.push_back(relabel[id]);
+  }
+  std::sort(mapped.begin(), mapped.end());
+  return mapped;
+}
+
+}  // namespace fadesched::testing

@@ -1,0 +1,67 @@
+// Metamorphic transformations of a Fading-R-LS instance, each paired with
+// a *proved* relation on feasibility/objective that the oracle harness
+// asserts:
+//
+//   * Relabeling π        — interference factors are per-pair, so the
+//                           factor multiset is invariant; any schedule S
+//                           feasible before is feasible as π(S) after.
+//   * Rigid motion        — f_ij depends only on distances, which a
+//                           rotation + translation preserves (up to
+//                           last-ULP coordinate rounding).
+//   * Uniform scaling s   — with the α-consistent power rescale
+//                           P → P·s^α every ratio (d_jj/d_ij)^α, every
+//                           mean power P·d^{-α}, and every noise factor
+//                           is invariant.
+//   * ε relaxation        — γ_ε = ln(1/(1−ε)) grows with ε while every
+//                           f_ij is unchanged: feasible schedules stay
+//                           feasible and the optimum cannot decrease.
+//   * γ_th tightening (↓) — every f_ij = ln(1+γ_th·a) shrinks while γ_ε
+//                           is unchanged: feasible schedules stay
+//                           feasible and the optimum cannot decrease.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "testing/corpus.hpp"
+
+namespace fadesched::testing {
+
+/// A transformed instance plus the id mapping back to the original.
+struct TransformedCase {
+  ScenarioCase scenario;
+  /// new_id[old_id]; identity for the geometric/parameter transforms.
+  std::vector<net::LinkId> relabel;
+  /// True when the transform preserves every interference factor and
+  /// budget bit-for-bit (relabeling); geometric transforms perturb
+  /// coordinates in the last ULP and need a tolerance band instead.
+  bool bitwise_invariant = false;
+  /// True when the transform can only enlarge the feasible set (ε↑, γ_th↓):
+  /// feasibility of a fixed schedule must be preserved exactly, and any
+  /// optimum is monotone non-decreasing.
+  bool relaxation = false;
+  const char* name = "";
+};
+
+/// π drawn from the given generator seed; relabel[i] is link i's new id.
+TransformedCase PermuteLinks(const ScenarioCase& base, std::uint64_t seed);
+
+/// Rotation by `angle` about the bounding-box centre, then translation.
+TransformedCase RigidMotion(const ScenarioCase& base, double angle,
+                            double dx, double dy);
+
+/// All coordinates ×s, transmit power ×s^α (both the channel default and
+/// any per-link override), noise unchanged — the α-consistent rescale.
+TransformedCase UniformScale(const ScenarioCase& base, double s);
+
+/// ε → min(ε·factor, 0.999…) with factor > 1.
+TransformedCase RelaxEpsilon(const ScenarioCase& base, double factor);
+
+/// γ_th → γ_th·factor with factor < 1.
+TransformedCase TightenGamma(const ScenarioCase& base, double factor);
+
+/// Maps a schedule through `relabel` and re-sorts ascending.
+net::Schedule MapSchedule(const net::Schedule& schedule,
+                          const std::vector<net::LinkId>& relabel);
+
+}  // namespace fadesched::testing

@@ -1,0 +1,95 @@
+#include "testing/shrinker.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fadesched::testing {
+namespace {
+
+ScenarioCase WithLinks(const ScenarioCase& base,
+                       const std::vector<net::LinkId>& keep) {
+  ScenarioCase candidate;
+  candidate.params = base.params;
+  candidate.description = base.description;
+  candidate.links = base.links.Subset(keep);
+  return candidate;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkScenario(const ScenarioCase& failing,
+                            const FailurePredicate& predicate,
+                            const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.original_links = failing.links.Size();
+
+  std::vector<net::LinkId> kept(failing.links.Size());
+  std::iota(kept.begin(), kept.end(), net::LinkId{0});
+
+  const auto reproduces = [&](const std::vector<net::LinkId>& keep) {
+    ++result.evaluations;
+    return predicate(WithLinks(failing, keep));
+  };
+  FS_CHECK_MSG(predicate(failing),
+               "shrinker input does not reproduce the failure");
+
+  // ddmin over chunks: drop [i, i+chunk) and keep the rest; on success
+  // restart at the same granularity, otherwise advance, halving the chunk
+  // when a full sweep removes nothing.
+  std::size_t chunk = std::max<std::size_t>(1, kept.size() / 2);
+  bool out_of_budget = false;
+  while (chunk >= 1 && !out_of_budget) {
+    bool removed_any = false;
+    std::size_t i = 0;
+    while (i < kept.size()) {
+      if (result.evaluations >= options.max_evaluations) {
+        out_of_budget = true;
+        break;
+      }
+      std::vector<net::LinkId> candidate;
+      candidate.reserve(kept.size());
+      candidate.insert(candidate.end(), kept.begin(),
+                       kept.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t end = std::min(i + chunk, kept.size());
+      candidate.insert(candidate.end(),
+                       kept.begin() + static_cast<std::ptrdiff_t>(end),
+                       kept.end());
+      if (!candidate.empty() && reproduces(candidate)) {
+        kept = std::move(candidate);
+        removed_any = true;
+        // Keep i in place: the next chunk slid into this position.
+      } else {
+        i += chunk;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    } else {
+      chunk = std::min(chunk, std::max<std::size_t>(1, kept.size() / 2));
+    }
+  }
+  result.minimal = !out_of_budget;
+
+  ScenarioCase best = WithLinks(failing, kept);
+
+  // Best-effort noise removal: most bugs don't need the N₀ dimension.
+  if (best.params.noise_power > 0.0 &&
+      result.evaluations < options.max_evaluations) {
+    ScenarioCase quiet = best;
+    quiet.params.noise_power = 0.0;
+    ++result.evaluations;
+    if (predicate(quiet)) best = std::move(quiet);
+  }
+
+  best.description = failing.description + " | shrunk " +
+                     std::to_string(result.original_links) + "->" +
+                     std::to_string(best.links.Size()) + " links";
+  result.scenario = std::move(best);
+  return result;
+}
+
+}  // namespace fadesched::testing

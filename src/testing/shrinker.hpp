@@ -1,0 +1,46 @@
+// Failure shrinker: reduces a violating scenario to a (locally) minimal
+// reproducer by delta-debugging over the link set.
+//
+// Classic ddmin: try dropping large contiguous chunks first, halving the
+// chunk size on failure to reproduce, down to single links; iterate to a
+// fixpoint. The predicate decides "still violates", so the same shrinker
+// serves oracle violations, crashes, and hand-written repro conditions.
+// Channel parameters are left untouched — they are part of the bug's
+// identity — except for a final best-effort attempt to zero the ambient
+// noise, which removes one irrelevant dimension from most reproducers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "testing/corpus.hpp"
+
+namespace fadesched::testing {
+
+/// Returns true iff the candidate scenario still exhibits the failure.
+/// The predicate must tolerate any subset of the original links,
+/// including the empty set, and must not throw (wrap oracle calls).
+using FailurePredicate = std::function<bool(const ScenarioCase&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations; shrinking stops (keeping the
+  /// best reproducer so far) when exhausted.
+  std::size_t max_evaluations = 2000;
+};
+
+struct ShrinkResult {
+  ScenarioCase scenario;          ///< smallest reproducer found
+  std::size_t evaluations = 0;    ///< predicate calls spent
+  std::size_t original_links = 0;
+  /// True when no single link can be removed without losing the failure
+  /// (1-minimal); false when max_evaluations cut the search short.
+  bool minimal = false;
+};
+
+/// Shrinks `failing` under `predicate`. The input must itself satisfy the
+/// predicate (CheckFailure otherwise).
+ShrinkResult ShrinkScenario(const ScenarioCase& failing,
+                            const FailurePredicate& predicate,
+                            const ShrinkOptions& options = {});
+
+}  // namespace fadesched::testing

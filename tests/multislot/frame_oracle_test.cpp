@@ -1,0 +1,112 @@
+// Multislot invariants under the Corollary 3.1 oracle, on seeded fuzz
+// instances: frames built from fading-resistant one-shot schedulers must
+// be per-slot feasible, FrameIsValid must agree with a from-scratch
+// oracle re-check, and colouring frames must keep their structural
+// (partition) invariants even where per-slot feasibility is not promised.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "channel/feasibility.hpp"
+#include "channel/interference.hpp"
+#include "multislot/coloring.hpp"
+#include "multislot/multislot.hpp"
+#include "testing/fuzzer.hpp"
+
+namespace fadesched::multislot {
+namespace {
+
+using testing::ScenarioCase;
+using testing::ScenarioFuzzer;
+
+// Oracle re-check, independent of FrameIsValid's implementation: every
+// slot member informed, every link in exactly one slot.
+void ExpectFrameFeasible(const net::LinkSet& links,
+                         const channel::ChannelParams& params,
+                         const Frame& frame, const char* label) {
+  const channel::InterferenceCalculator calc(links, params);
+  std::set<net::LinkId> seen;
+  for (std::size_t s = 0; s < frame.slots.size(); ++s) {
+    for (const channel::LinkFeasibility& lf :
+         channel::AnalyzeSchedule(calc, frame.slots[s])) {
+      EXPECT_TRUE(lf.informed)
+          << label << ": slot " << s << " link " << lf.link << " not informed";
+    }
+    for (net::LinkId id : frame.slots[s]) {
+      EXPECT_TRUE(seen.insert(id).second)
+          << label << ": link " << id << " scheduled twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), links.Size()) << label << ": frame is not a cover";
+}
+
+void ExpectPartition(const net::LinkSet& links, const Frame& frame,
+                     const char* label) {
+  std::set<net::LinkId> seen;
+  for (const net::Schedule& slot : frame.slots) {
+    EXPECT_FALSE(slot.empty()) << label << ": empty slot";
+    for (net::LinkId id : slot) {
+      ASSERT_LT(id, links.Size()) << label;
+      EXPECT_TRUE(seen.insert(id).second) << label << ": duplicate " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), links.Size()) << label;
+}
+
+TEST(FrameOracleTest, FadingResistantFramesPassPerSlotOracle) {
+  const ScenarioFuzzer fuzzer(31);
+  for (std::uint64_t index = 0; index < 12; ++index) {
+    const ScenarioCase scenario = fuzzer.Case(index);
+    for (const char* name : {"ldp", "rle", "fading_greedy"}) {
+      const Frame frame =
+          ScheduleAllLinks(scenario.links, scenario.params, name);
+      ExpectFrameFeasible(scenario.links, scenario.params, frame, name);
+      EXPECT_TRUE(FrameIsValid(scenario.links, scenario.params, frame))
+          << name << " case " << index;
+    }
+  }
+}
+
+TEST(FrameOracleTest, FrameIsValidAgreesWithOracleOnColoringFrames) {
+  // Colouring frames are *not* promised feasible; what must hold is that
+  // FrameIsValid's verdict equals the independent oracle re-check.
+  const ScenarioFuzzer fuzzer(32);
+  std::size_t infeasible_seen = 0;
+  for (std::uint64_t index = 0; index < 20; ++index) {
+    const ScenarioCase scenario = fuzzer.Case(index);
+    const Frame frame = ColorConflictGraph(scenario.links, scenario.params);
+    ExpectPartition(scenario.links, frame, "coloring");
+
+    const channel::InterferenceCalculator calc(scenario.links,
+                                               scenario.params);
+    bool oracle_feasible = true;
+    for (const net::Schedule& slot : frame.slots) {
+      for (const channel::LinkFeasibility& lf :
+           channel::AnalyzeSchedule(calc, slot)) {
+        oracle_feasible = oracle_feasible && lf.informed;
+      }
+    }
+    EXPECT_EQ(FrameIsValid(scenario.links, scenario.params, frame),
+              oracle_feasible)
+        << "case " << index;
+    if (!oracle_feasible) ++infeasible_seen;
+  }
+  // The fuzzed set must actually exercise the interesting side: conflict
+  // graphs ignoring accumulated interference do fail the fading oracle.
+  EXPECT_GT(infeasible_seen, 0u);
+}
+
+TEST(FrameOracleTest, FrameDeterminismAcrossRebuilds) {
+  const ScenarioCase scenario = ScenarioFuzzer(33).Case(4);
+  for (const char* name : {"ldp", "rle"}) {
+    const Frame a = ScheduleAllLinks(scenario.links, scenario.params, name);
+    const Frame b = ScheduleAllLinks(scenario.links, scenario.params, name);
+    ASSERT_EQ(a.slots.size(), b.slots.size()) << name;
+    for (std::size_t s = 0; s < a.slots.size(); ++s) {
+      EXPECT_EQ(a.slots[s], b.slots[s]) << name << " slot " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::multislot

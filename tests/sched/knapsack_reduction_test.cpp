@@ -161,5 +161,80 @@ TEST_P(ReductionEquivalenceTest, OptimaMapExactly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalenceTest,
                          ::testing::Range<std::uint64_t>(1, 11));
 
+// ---------------------------------------------------------------------------
+// Both directions of the ⇔, pointwise on random subsets (not just at the
+// optimum): the probe link decodes together with item set S if and only
+// if S fits the knapsack.
+// ---------------------------------------------------------------------------
+
+class ReductionIffTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionIffTest, ProbeDecodesIffSubsetFitsCapacity) {
+  rng::Xoshiro256 gen(GetParam());
+  KnapsackInstance knap;
+  const std::size_t n = 4 + rng::UniformIndex(gen, 4);  // 4..7 items
+  knap.capacity = 25;
+  std::set<double> used_weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    double weight;
+    do {
+      weight = static_cast<double>(1 + rng::UniformIndex(gen, 20));
+    } while (!used_weights.insert(weight).second);
+    knap.items.push_back(
+        {static_cast<double>(1 + rng::UniformIndex(gen, 30)), weight});
+  }
+  const auto params = ReductionParams();
+  const ReducedInstance reduced = ReduceKnapsackToFadingRLS(knap, params);
+  const channel::InterferenceCalculator calc(reduced.links, params);
+
+  bool saw_fit = false;
+  bool saw_overflow = false;
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random item subset S (each item in with probability 1/2).
+    net::Schedule schedule;
+    double weight = 0.0;
+    double value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng::UniformIndex(gen, 2) == 0) continue;
+      schedule.push_back(i);
+      weight += knap.items[i].weight;
+      value += knap.items[i].value;
+    }
+    schedule.push_back(reduced.probe_link);
+    const bool fits = weight <= knap.capacity;
+    saw_fit = saw_fit || fits;
+    saw_overflow = saw_overflow || !fits;
+
+    double informed_rate = 0.0;
+    bool probe_informed = false;
+    bool items_informed = true;
+    for (const channel::LinkFeasibility& lf :
+         channel::AnalyzeSchedule(calc, schedule)) {
+      if (lf.link == reduced.probe_link) {
+        probe_informed = lf.informed;
+      } else {
+        items_informed = items_informed && lf.informed;
+      }
+      if (lf.informed) informed_rate += reduced.links.Rate(lf.link);
+    }
+    // (⇐) Item links always decode, whatever transmits alongside.
+    EXPECT_TRUE(items_informed) << "seed=" << GetParam();
+    // (⇔) The capacity gadget: probe informed exactly when S fits.
+    EXPECT_EQ(probe_informed, fits)
+        << "seed=" << GetParam() << " weight=" << weight;
+    // (⇒) A fitting subset therefore realizes rate 2·Σp + value(S), the
+    // schedule the optimum-mapping argument counts.
+    if (fits) {
+      EXPECT_NEAR(informed_rate, reduced.probe_rate + value, 1e-6);
+    }
+  }
+  // The sampled subsets must exercise both sides of the equivalence.
+  EXPECT_TRUE(saw_fit);
+  EXPECT_TRUE(saw_overflow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionIffTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
 }  // namespace
 }  // namespace fadesched::sched

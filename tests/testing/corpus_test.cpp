@@ -1,0 +1,133 @@
+// Round-trip and parse-error contract of the .scenario corpus format.
+#include "testing/corpus.hpp"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "testing/fuzzer.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::testing {
+namespace {
+
+ScenarioCase SampleCase() {
+  ScenarioCase scenario;
+  rng::Xoshiro256 gen(7);
+  net::UniformScenarioParams p;
+  p.region_size = 300.0;
+  scenario.links = net::MakeUniformScenario(9, p, gen);
+  scenario.params.alpha = 3.25;
+  scenario.params.epsilon = 0.015;
+  scenario.params.gamma_th = 1.5;
+  scenario.params.tx_power = 2.0;
+  scenario.params.noise_power = 1e-9;
+  scenario.description = "corpus round-trip sample";
+  return scenario;
+}
+
+TEST(CorpusTest, RoundTripIsBitIdentical) {
+  const ScenarioCase original = SampleCase();
+  const ScenarioCase reparsed = ParseScenario(FormatScenario(original));
+  ASSERT_EQ(reparsed.links.Size(), original.links.Size());
+  for (net::LinkId i = 0; i < original.links.Size(); ++i) {
+    EXPECT_EQ(reparsed.links.Sender(i).x, original.links.Sender(i).x);
+    EXPECT_EQ(reparsed.links.Sender(i).y, original.links.Sender(i).y);
+    EXPECT_EQ(reparsed.links.Receiver(i).x, original.links.Receiver(i).x);
+    EXPECT_EQ(reparsed.links.Receiver(i).y, original.links.Receiver(i).y);
+    EXPECT_EQ(reparsed.links.Rate(i), original.links.Rate(i));
+  }
+  EXPECT_EQ(reparsed.params.alpha, original.params.alpha);
+  EXPECT_EQ(reparsed.params.epsilon, original.params.epsilon);
+  EXPECT_EQ(reparsed.params.gamma_th, original.params.gamma_th);
+  EXPECT_EQ(reparsed.params.tx_power, original.params.tx_power);
+  EXPECT_EQ(reparsed.params.noise_power, original.params.noise_power);
+  EXPECT_EQ(reparsed.description, original.description);
+}
+
+TEST(CorpusTest, RoundTripsFuzzedExtremes) {
+  // Fuzz-generated instances carry 17-digit doubles, per-link powers, and
+  // weighted rates; every one must survive format -> parse bit-for-bit.
+  const ScenarioFuzzer fuzzer(11);
+  for (std::uint64_t index = 0; index < 30; ++index) {
+    const ScenarioCase original = fuzzer.Case(index);
+    const ScenarioCase reparsed = ParseScenario(FormatScenario(original));
+    ASSERT_EQ(reparsed.links.Size(), original.links.Size()) << index;
+    for (net::LinkId i = 0; i < original.links.Size(); ++i) {
+      ASSERT_EQ(reparsed.links.Receiver(i).x, original.links.Receiver(i).x);
+      ASSERT_EQ(reparsed.links.TxPower(i), original.links.TxPower(i));
+    }
+    ASSERT_EQ(reparsed.params.epsilon, original.params.epsilon) << index;
+  }
+}
+
+TEST(CorpusTest, SaveLoadFile) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "fadesched_corpus_test.scenario";
+  const ScenarioCase original = SampleCase();
+  SaveScenarioFile(original, path.string());
+  const ScenarioCase loaded = LoadScenarioFile(path.string());
+  EXPECT_EQ(loaded.links.Size(), original.links.Size());
+  EXPECT_EQ(loaded.params.alpha, original.params.alpha);
+  std::filesystem::remove(path);
+}
+
+std::string MessageOf(const std::string& text) {
+  try {
+    (void)ParseScenario(text);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// The loader's error positions are part of the format contract: external
+// tooling greps them, so the row/line numbering must stay stable.
+TEST(CorpusTest, ParseErrorsAreLineNumbered) {
+  EXPECT_NE(MessageOf("not a scenario\n").find("line 1"), std::string::npos);
+
+  const std::string bad_value =
+      "# fadesched scenario v1\n"
+      "alpha = not_a_number\n";
+  EXPECT_NE(MessageOf(bad_value).find("scenario file line 2"),
+            std::string::npos);
+
+  const std::string bad_key =
+      "# fadesched scenario v1\n"
+      "alpha = 3\n"
+      "bogus = 1\n";
+  EXPECT_NE(MessageOf(bad_key).find("scenario file line 3"),
+            std::string::npos);
+
+  const std::string missing_key =
+      "# fadesched scenario v1\n"
+      "alpha = 3\n"
+      "links:\n"
+      "sx,sy,rx,ry,rate\n";
+  EXPECT_NE(MessageOf(missing_key).find("missing key 'epsilon'"),
+            std::string::npos);
+
+  // A malformed link row reports its 1-based CSV row via scenario_io.
+  const std::string bad_row =
+      "# fadesched scenario v1\n"
+      "alpha = 3\nepsilon = 0.01\ngamma_th = 1\ntx_power = 1\n"
+      "noise_power = 0\n"
+      "links:\n"
+      "sx,sy,rx,ry,rate\n"
+      "0,0,1,0,1\n"
+      "5,5,oops,5,1\n";
+  const std::string message = MessageOf(bad_row);
+  EXPECT_NE(message.find("row 2"), std::string::npos) << message;
+}
+
+TEST(CorpusTest, RejectsMultilineDescription) {
+  ScenarioCase scenario = SampleCase();
+  scenario.description = "two\nlines";
+  EXPECT_THROW((void)FormatScenario(scenario), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::testing

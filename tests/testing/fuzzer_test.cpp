@@ -1,0 +1,78 @@
+// The fuzzer's determinism and coverage contract.
+#include "testing/fuzzer.hpp"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fadesched::testing {
+namespace {
+
+TEST(FuzzerTest, CaseIsPureInSeedAndIndex) {
+  const ScenarioFuzzer a(42);
+  const ScenarioFuzzer b(42);
+  for (std::uint64_t index : {0ULL, 1ULL, 17ULL, 999ULL}) {
+    const ScenarioCase ca = a.Case(index);
+    const ScenarioCase cb = b.Case(index);
+    ASSERT_EQ(ca.links.Size(), cb.links.Size());
+    for (net::LinkId i = 0; i < ca.links.Size(); ++i) {
+      ASSERT_EQ(ca.links.Sender(i).x, cb.links.Sender(i).x);
+      ASSERT_EQ(ca.links.Receiver(i).y, cb.links.Receiver(i).y);
+      ASSERT_EQ(ca.links.Rate(i), cb.links.Rate(i));
+    }
+    ASSERT_EQ(ca.params.alpha, cb.params.alpha);
+    ASSERT_EQ(ca.params.epsilon, cb.params.epsilon);
+    ASSERT_EQ(ca.description, cb.description);
+  }
+}
+
+TEST(FuzzerTest, DifferentSeedsDiffer) {
+  const ScenarioFuzzer a(1);
+  const ScenarioFuzzer b(2);
+  // Same index under different master seeds must not collide (the index
+  // hash folds the seed in, not just the counter).
+  EXPECT_NE(a.Case(5).params.alpha, b.Case(5).params.alpha);
+}
+
+TEST(FuzzerTest, NextWalksCaseSequence) {
+  ScenarioFuzzer fuzzer(9);
+  const ScenarioCase first = fuzzer.Next();
+  EXPECT_EQ(fuzzer.NextIndex(), 1u);
+  EXPECT_EQ(first.description, ScenarioFuzzer(9).Case(0).description);
+}
+
+TEST(FuzzerTest, RespectsSizeBoundsAndValidParams) {
+  FuzzerOptions options;
+  options.min_links = 3;
+  options.max_links = 7;
+  const ScenarioFuzzer fuzzer(5, options);
+  for (std::uint64_t index = 0; index < 200; ++index) {
+    const ScenarioCase scenario = fuzzer.Case(index);
+    ASSERT_GE(scenario.links.Size(), 3u) << index;
+    ASSERT_LE(scenario.links.Size(), 7u) << index;
+    ASSERT_NO_THROW(scenario.params.Validate()) << index;
+    // The noise regime must never produce born-dead instances where even
+    // the longest link alone busts the budget.
+    if (scenario.params.noise_power > 0.0) {
+      const double budget = scenario.params.FeasibilityBudget();
+      ASSERT_GT(budget, 0.0) << index;
+    }
+  }
+}
+
+TEST(FuzzerTest, CoversEveryTopologyFamily) {
+  const ScenarioFuzzer fuzzer(1);
+  std::set<std::string> seen;
+  for (std::uint64_t index = 0; index < 300; ++index) {
+    const std::string description = fuzzer.Case(index).description;
+    const auto topo = description.find("topology=");
+    ASSERT_NE(topo, std::string::npos);
+    seen.insert(description.substr(topo, description.find(' ', topo) - topo));
+  }
+  // All six families should appear within a few hundred draws.
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+}  // namespace
+}  // namespace fadesched::testing

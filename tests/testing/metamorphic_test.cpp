@@ -1,0 +1,143 @@
+// Direct unit checks of the metamorphic transforms: each claimed relation
+// is verified against the reference InterferenceCalculator on concrete
+// instances (the oracle harness then relies on these relations at scale).
+#include "testing/metamorphic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/interference.hpp"
+#include "mathx/ulp.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "testing/fuzzer.hpp"
+
+namespace fadesched::testing {
+namespace {
+
+ScenarioCase BaseCase(std::uint64_t index = 3) {
+  return ScenarioFuzzer(123).Case(index);
+}
+
+net::Schedule AllLinks(const ScenarioCase& scenario) {
+  net::Schedule all(scenario.links.Size());
+  for (net::LinkId i = 0; i < scenario.links.Size(); ++i) all[i] = i;
+  return all;
+}
+
+TEST(MetamorphicTest, PermuteIsBitwiseInvariantOnFactors) {
+  const ScenarioCase base = BaseCase();
+  const TransformedCase t = PermuteLinks(base, 99);
+  ASSERT_TRUE(t.bitwise_invariant);
+  ASSERT_FALSE(t.relaxation);
+  ASSERT_EQ(t.relabel.size(), base.links.Size());
+
+  const channel::InterferenceCalculator calc_b(base.links, base.params);
+  const channel::InterferenceCalculator calc_t(t.scenario.links,
+                                               t.scenario.params);
+  for (net::LinkId j = 0; j < base.links.Size(); ++j) {
+    for (net::LinkId i = 0; i < base.links.Size(); ++i) {
+      if (i == j) continue;
+      // Factors are per-ordered-pair; relabeling must move them verbatim.
+      EXPECT_EQ(calc_b.Factor(i, j),
+                calc_t.Factor(t.relabel[i], t.relabel[j]));
+    }
+    EXPECT_EQ(calc_b.NoiseFactor(j), calc_t.NoiseFactor(t.relabel[j]));
+  }
+}
+
+TEST(MetamorphicTest, PermuteRelabelIsAPermutation) {
+  const ScenarioCase base = BaseCase(7);
+  const TransformedCase t = PermuteLinks(base, 5);
+  std::vector<net::LinkId> sorted = t.relabel;
+  std::sort(sorted.begin(), sorted.end());
+  for (net::LinkId i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(MetamorphicTest, RigidMotionPreservesFactorsToLastUlps) {
+  const ScenarioCase base = BaseCase();
+  const TransformedCase t = RigidMotion(base, 1.1, -40.0, 12.5);
+  ASSERT_FALSE(t.relaxation);
+  const channel::InterferenceCalculator calc_b(base.links, base.params);
+  const channel::InterferenceCalculator calc_t(t.scenario.links,
+                                               t.scenario.params);
+  for (net::LinkId j = 0; j < base.links.Size(); ++j) {
+    for (net::LinkId i = 0; i < base.links.Size(); ++i) {
+      if (i == j) continue;
+      const double fb = calc_b.Factor(i, j);
+      const double ft = calc_t.Factor(i, j);
+      EXPECT_LT(std::abs(fb - ft),
+                1e-9 * std::max(1.0, std::abs(fb)))
+          << "factor (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(MetamorphicTest, UniformScaleWithPowerRescaleIsInvariant) {
+  ScenarioCase base = BaseCase(12);
+  const double s = 3.0;
+  const TransformedCase t = UniformScale(base, s);
+  // Coordinates scaled, powers scaled by s^alpha.
+  EXPECT_NEAR(t.scenario.params.tx_power,
+              base.params.tx_power * std::pow(s, base.params.alpha),
+              1e-9 * t.scenario.params.tx_power);
+  const channel::InterferenceCalculator calc_b(base.links, base.params);
+  const channel::InterferenceCalculator calc_t(t.scenario.links,
+                                               t.scenario.params);
+  for (net::LinkId j = 0; j < base.links.Size(); ++j) {
+    for (net::LinkId i = 0; i < base.links.Size(); ++i) {
+      if (i == j) continue;
+      const double fb = calc_b.Factor(i, j);
+      EXPECT_LT(std::abs(fb - calc_t.Factor(i, j)),
+                1e-9 * std::max(1.0, std::abs(fb)));
+    }
+    // Noise factors see P·d^{-α} with d and P^{1/α} scaled together.
+    const double nb = calc_b.NoiseFactor(j);
+    EXPECT_LT(std::abs(nb - calc_t.NoiseFactor(j)),
+              1e-9 * std::max(1.0, std::abs(nb)));
+  }
+}
+
+TEST(MetamorphicTest, RelaxEpsilonGrowsBudgetOnly) {
+  const ScenarioCase base = BaseCase();
+  const TransformedCase t = RelaxEpsilon(base, 3.0);
+  ASSERT_TRUE(t.relaxation);
+  EXPECT_GT(t.scenario.params.FeasibilityBudget(),
+            base.params.FeasibilityBudget());
+  const channel::InterferenceCalculator calc_b(base.links, base.params);
+  const channel::InterferenceCalculator calc_t(t.scenario.links,
+                                               t.scenario.params);
+  const net::Schedule all = AllLinks(base);
+  for (net::LinkId j : all) {
+    EXPECT_EQ(calc_b.SumFactor(all, j), calc_t.SumFactor(all, j));
+  }
+}
+
+TEST(MetamorphicTest, TightenGammaShrinksEveryFactor) {
+  const ScenarioCase base = BaseCase();
+  const TransformedCase t = TightenGamma(base, 0.25);
+  ASSERT_TRUE(t.relaxation);
+  EXPECT_EQ(t.scenario.params.FeasibilityBudget(),
+            base.params.FeasibilityBudget());
+  const channel::InterferenceCalculator calc_b(base.links, base.params);
+  const channel::InterferenceCalculator calc_t(t.scenario.links,
+                                               t.scenario.params);
+  for (net::LinkId j = 0; j < base.links.Size(); ++j) {
+    for (net::LinkId i = 0; i < base.links.Size(); ++i) {
+      if (i == j) continue;
+      EXPECT_LE(calc_t.Factor(i, j), calc_b.Factor(i, j));
+    }
+  }
+}
+
+TEST(MetamorphicTest, MapScheduleRelabelsAndSorts) {
+  const std::vector<net::LinkId> relabel = {3, 0, 2, 1};
+  const net::Schedule mapped = MapSchedule({0, 2, 3}, relabel);
+  EXPECT_EQ(mapped, (net::Schedule{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fadesched::testing

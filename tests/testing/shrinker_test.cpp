@@ -1,0 +1,105 @@
+// ddmin shrinker behaviour on synthetic predicates with known minima.
+#include "testing/shrinker.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace fadesched::testing {
+namespace {
+
+// 12 links on a line at x = 10·i; link i has length 1 + i so each keeps a
+// recognisable identity through subsetting.
+ScenarioCase LineCase(std::size_t n = 12) {
+  ScenarioCase scenario;
+  scenario.params.alpha = 3.0;
+  scenario.params.epsilon = 0.01;
+  scenario.params.gamma_th = 1.0;
+  scenario.params.tx_power = 1.0;
+  scenario.params.noise_power = 1e-6;
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Link link;
+    link.sender = {10.0 * static_cast<double>(i), 0.0};
+    link.receiver = {10.0 * static_cast<double>(i),
+                     1.0 + static_cast<double>(i)};
+    scenario.links.Add(link);
+  }
+  scenario.description = "shrinker line case";
+  return scenario;
+}
+
+bool HasLengths(const ScenarioCase& scenario, double a, double b) {
+  bool has_a = false;
+  bool has_b = false;
+  for (net::LinkId i = 0; i < scenario.links.Size(); ++i) {
+    const double len = scenario.links.Length(i);
+    if (std::abs(len - a) < 1e-9) has_a = true;
+    if (std::abs(len - b) < 1e-9) has_b = true;
+  }
+  return has_a && has_b;
+}
+
+TEST(ShrinkerTest, FindsTwoLinkCore) {
+  const ScenarioCase failing = LineCase();
+  // "Fails" iff links of length 4 and 9 are both present — the unique
+  // 1-minimal core is exactly that pair.
+  const auto predicate = [](const ScenarioCase& c) {
+    return HasLengths(c, 4.0, 9.0);
+  };
+  const ShrinkResult result = ShrinkScenario(failing, predicate, {});
+  EXPECT_TRUE(result.minimal);
+  EXPECT_EQ(result.scenario.links.Size(), 2u);
+  EXPECT_TRUE(HasLengths(result.scenario, 4.0, 9.0));
+  EXPECT_EQ(result.original_links, 12u);
+  // The channel parameters ride along untouched except the best-effort
+  // noise zeroing (the predicate ignores noise, so it is zeroed).
+  EXPECT_EQ(result.scenario.params.noise_power, 0.0);
+  EXPECT_NE(result.scenario.description.find("shrunk 12->2"),
+            std::string::npos);
+}
+
+TEST(ShrinkerTest, KeepsNoiseWhenItMatters) {
+  const ScenarioCase failing = LineCase();
+  const auto predicate = [](const ScenarioCase& c) {
+    return c.params.noise_power > 0.0 && HasLengths(c, 4.0, 4.0);
+  };
+  const ShrinkResult result = ShrinkScenario(failing, predicate, {});
+  EXPECT_EQ(result.scenario.links.Size(), 1u);
+  EXPECT_GT(result.scenario.params.noise_power, 0.0);
+}
+
+TEST(ShrinkerTest, SingleLinkCoreShrinksToOne) {
+  const ScenarioCase failing = LineCase();
+  const auto predicate = [](const ScenarioCase& c) {
+    return HasLengths(c, 7.0, 7.0);
+  };
+  const ShrinkResult result = ShrinkScenario(failing, predicate, {});
+  EXPECT_TRUE(result.minimal);
+  EXPECT_EQ(result.scenario.links.Size(), 1u);
+}
+
+TEST(ShrinkerTest, BudgetExhaustionKeepsBestSoFar) {
+  const ScenarioCase failing = LineCase();
+  ShrinkOptions options;
+  options.max_evaluations = 3;  // enough for at most one successful chop
+  const auto predicate = [](const ScenarioCase& c) {
+    return HasLengths(c, 4.0, 9.0);
+  };
+  const ShrinkResult result = ShrinkScenario(failing, predicate, options);
+  EXPECT_FALSE(result.minimal);
+  EXPECT_LE(result.scenario.links.Size(), 12u);
+  EXPECT_TRUE(HasLengths(result.scenario, 4.0, 9.0));
+  EXPECT_LE(result.evaluations, 4u);  // 3 in the loop + the noise attempt
+}
+
+TEST(ShrinkerTest, RejectsNonReproducingInput) {
+  const ScenarioCase failing = LineCase();
+  const auto predicate = [](const ScenarioCase&) { return false; };
+  EXPECT_THROW((void)ShrinkScenario(failing, predicate, {}),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace fadesched::testing

@@ -6,8 +6,9 @@
 //   fadesched_cli simulate --in l.csv --algorithm rle --trials 10000
 //   fadesched_cli fault-inject --in l.csv --drop 0.3 --crash-fraction 0.1
 //   fadesched_cli ilp      --in l.csv --out problem.lp
-//   fadesched_cli sweep    --x links --xs 100,200,300 --algorithms ldp,rle \
-//                          --checkpoint sweep.ck --resume --out sweep.csv
+//   fadesched_cli sweep    --x links --xs 100,200,300 --algorithms ldp,rle
+//                              [--checkpoint sweep.ck --resume] --out sweep.csv
+//   fadesched_cli fuzz     --seed 1 --iters 2000 [--corpus-dir repros]
 //
 // Every subcommand accepts --help.
 //
@@ -27,6 +28,7 @@
 #include "sched/feedback.hpp"
 #include "sched/ilp_export.hpp"
 #include "sim/sweep.hpp"
+#include "testing/fuzz_driver.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -400,6 +402,75 @@ int RunSweep(int argc, char** argv) {
   return result.ExitCode();
 }
 
+int RunFuzzCmd(int argc, char** argv) {
+  util::CliParser cli("fadesched_cli fuzz",
+                      "seed-driven metamorphic fuzzing of every scheduler");
+  auto& seed = cli.AddInt("seed", 1, "fuzzer seed (case = f(seed, index))");
+  auto& iters = cli.AddInt("iters", 2000, "number of generated instances");
+  auto& min_links = cli.AddInt("min-links", 2, "smallest instance size");
+  auto& max_links = cli.AddInt("max-links", 24, "largest instance size");
+  auto& check = cli.AddBool(
+      "check", true, "run oracle/metamorphic checks (false = generate only)");
+  auto& shrink = cli.AddBool("shrink", true, "ddmin-shrink failing instances");
+  auto& corpus_dir = cli.AddString(
+      "corpus-dir", "", "write shrunk .scenario reproducers here");
+  auto& schedulers = cli.AddString(
+      "schedulers", "", "comma-separated scheduler filter (empty = all)");
+  auto& exact_cap = cli.AddInt(
+      "exact-cap", 14, "cross-validate vs branch-and-bound when N <= cap");
+  auto& max_failures =
+      cli.AddInt("max-failures", 8, "stop after this many distinct failures");
+  auto& log_every = cli.AddInt("log-every", 500, "progress period (0 = off)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  testing::FuzzDriverOptions options;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.iterations = static_cast<std::uint64_t>(iters);
+  options.fuzzer.min_links = static_cast<std::size_t>(min_links);
+  options.fuzzer.max_links = static_cast<std::size_t>(max_links);
+  options.oracle.exact_cap = static_cast<std::size_t>(exact_cap);
+  options.shrink = shrink;
+  options.corpus_dir = corpus_dir;
+  options.max_failures = static_cast<std::size_t>(max_failures);
+  options.log_every = static_cast<std::uint64_t>(log_every);
+  options.log = [](const std::string& message) {
+    std::fprintf(stderr, "%s\n", message.c_str());
+  };
+  for (const std::string& name : util::Split(schedulers, ',')) {
+    if (!name.empty()) options.oracle.schedulers.push_back(name);
+  }
+
+  if (!check) {
+    // Generation-only smoke: exercise the generators and parameter space
+    // without the oracle (useful for profiling the fuzzer itself).
+    const testing::ScenarioFuzzer fuzzer(options.seed, options.fuzzer);
+    std::size_t total_links = 0;
+    for (std::uint64_t i = 0; i < options.iterations; ++i) {
+      total_links += fuzzer.Case(i).links.Size();
+    }
+    std::printf("generated %llu instances (%zu links total), checks off\n",
+                static_cast<unsigned long long>(options.iterations),
+                total_links);
+    return 0;
+  }
+
+  const testing::FuzzReport report = testing::RunFuzz(options);
+  std::printf("fuzz: %llu/%llu instances checked, %llu with violations, "
+              "%zu distinct failure class(es)\n",
+              static_cast<unsigned long long>(report.iterations_run),
+              static_cast<unsigned long long>(options.iterations),
+              static_cast<unsigned long long>(report.cases_with_violations),
+              report.failures.size());
+  for (const testing::FuzzFailure& failure : report.failures) {
+    std::printf("  [%s/%s] shrunk to %zu links%s%s\n",
+                failure.violation.scheduler.c_str(),
+                failure.violation.check.c_str(), failure.shrunk_links,
+                failure.corpus_path.empty() ? "" : " -> ",
+                failure.corpus_path.c_str());
+  }
+  return report.Ok() ? 0 : 1;
+}
+
 int RunList() {
   std::printf("registered schedulers:\n");
   for (const std::string& name : sched::KnownSchedulers()) {
@@ -420,6 +491,7 @@ void PrintTopLevelUsage() {
       "  fault-inject  distributed DLS under control-plane faults\n"
       "  ilp        export the ILP (paper formulas (20)-(22))\n"
       "  sweep      crash-safe multi-point sweep (checkpoint/resume)\n"
+      "  fuzz       metamorphic fuzzing + oracle checks, shrunk reproducers\n"
       "  list       registered scheduler names\n"
       "\n"
       "run `fadesched_cli <subcommand> --help` for flags.\n",
@@ -445,6 +517,7 @@ int main(int argc, char** argv) {
     if (command == "fault-inject") return RunFaultInject(sub_argc, sub_argv);
     if (command == "ilp") return RunIlp(sub_argc, sub_argv);
     if (command == "sweep") return RunSweep(sub_argc, sub_argv);
+    if (command == "fuzz") return RunFuzzCmd(sub_argc, sub_argv);
     if (command == "list") return RunList();
     if (command == "--help" || command == "-h" || command == "help") {
       PrintTopLevelUsage();
