@@ -1,0 +1,193 @@
+// Service-level benchmark: cold vs warm request latency through the
+// scenario/response cache, byte-determinism under a multi-worker batcher,
+// and admission-control shedding under overload. Emits BENCH_service.json.
+//
+// With --check the exit code gates the PR's serving claims:
+//   * warm (cached) serving ≥ 5× faster than cold at N = 2000 links,
+//   * zero byte-level response divergence across ≥ 4 worker threads,
+//   * a saturated queue sheds (status=shed, kind=transient, exit code 1).
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "service/protocol.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "testing/corpus.hpp"
+#include "util/atomic_io.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace fadesched;
+
+testing::ScenarioCase MakeCase(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  net::UniformScenarioParams scenario;
+  // Hold density constant across sizes so interference stays comparable.
+  scenario.region_size = 500.0 * std::sqrt(static_cast<double>(n) / 300.0);
+  testing::ScenarioCase out;
+  out.links = net::MakeUniformScenario(n, scenario, gen);
+  out.params.Validate();
+  return out;
+}
+
+service::SchedulingRequest MakeRequest(const testing::ScenarioCase& scenario,
+                                       const std::string& scheduler,
+                                       const std::string& id) {
+  service::SchedulingRequest request;
+  request.scenario = scenario;
+  request.scheduler = scheduler;
+  request.id = id;
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("service_throughput",
+                      "cold/warm cache latency, multi-worker determinism, "
+                      "and overload shedding of the scheduling service");
+  auto& n_links = cli.AddInt("links", 2000, "instance size for cold vs warm");
+  auto& scheduler = cli.AddString("scheduler", "rle", "scheduler under test");
+  auto& warm_reps = cli.AddInt("warm-reps", 20, "warm-path repetitions");
+  auto& det_workers = cli.AddInt("det-workers", 4,
+                                 "batcher workers for the determinism run");
+  auto& det_requests = cli.AddInt("det-requests", 200,
+                                  "requests in the determinism run");
+  auto& out_path = cli.AddString("out", "BENCH_service.json", "JSON output");
+  auto& check = cli.AddBool(
+      "check", false, "exit 1 unless speedup >= 5, zero divergence, and the "
+      "overloaded queue shed");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  // --- 1. Cold vs warm at N = n_links -------------------------------------
+  const testing::ScenarioCase big =
+      MakeCase(static_cast<std::size_t>(n_links), 20260805);
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  std::string cold_line, warm_line;
+  {
+    service::SchedulingService svc;  // fresh cache: first request is cold
+    const service::SchedulingRequest request =
+        MakeRequest(big, scheduler, "cold");
+    util::Stopwatch cold_timer;
+    service::SchedulingResponse response = svc.HandleNow(request);
+    cold_ms = cold_timer.Seconds() * 1e3;
+    if (!response.Ok()) {
+      std::fprintf(stderr, "cold request failed: %s\n",
+                   response.message.c_str());
+      return util::kExitRuntime;
+    }
+    cold_line = service::FormatResponseLine(response);
+
+    double best = cold_ms;
+    for (long long r = 0; r < warm_reps; ++r) {
+      util::Stopwatch warm_timer;
+      response = svc.HandleNow(request);
+      const double ms = warm_timer.Seconds() * 1e3;
+      if (r == 0 || ms < best) best = ms;
+      warm_line = service::FormatResponseLine(response);
+    }
+    warm_ms = best;
+  }
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  const bool deterministic_pair = cold_line == warm_line;
+
+  // --- 2. Byte-determinism under a multi-worker batcher -------------------
+  std::size_t det_mismatches = 0;
+  {
+    service::ServiceOptions options;
+    options.batcher.num_workers = static_cast<std::size_t>(det_workers);
+    service::SchedulingService svc(options);
+    constexpr std::size_t kPool = 8;
+    std::vector<testing::ScenarioCase> pool;
+    for (std::size_t i = 0; i < kPool; ++i) {
+      pool.push_back(MakeCase(80, 1000 + i));
+    }
+    std::vector<std::future<service::SchedulingResponse>> futures;
+    futures.reserve(static_cast<std::size_t>(det_requests));
+    for (long long i = 0; i < det_requests; ++i) {
+      const std::size_t p = static_cast<std::size_t>(i) % kPool;
+      futures.push_back(svc.Submit(
+          MakeRequest(pool[p], scheduler, "r" + std::to_string(p))));
+    }
+    std::vector<std::string> first(kPool);
+    for (long long i = 0; i < det_requests; ++i) {
+      const std::size_t p = static_cast<std::size_t>(i) % kPool;
+      const std::string line = service::FormatResponseLine(
+          futures[static_cast<std::size_t>(i)].get());
+      if (first[p].empty()) {
+        first[p] = line;
+      } else if (first[p] != line) {
+        ++det_mismatches;
+      }
+    }
+    svc.Drain();
+  }
+
+  // --- 3. Overload: a saturated queue must shed ---------------------------
+  std::size_t shed_count = 0;
+  int shed_exit_code = 0;
+  std::string shed_kind;
+  {
+    service::ServiceOptions options;
+    options.batcher.num_workers = 1;
+    options.batcher.queue_capacity = 8;
+    service::SchedulingService svc(options);
+    const testing::ScenarioCase slow = MakeCase(300, 7);
+    std::vector<std::future<service::SchedulingResponse>> futures;
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(svc.Submit(
+          MakeRequest(slow, scheduler, "o" + std::to_string(i))));
+    }
+    for (auto& future : futures) {
+      const service::SchedulingResponse response = future.get();
+      if (response.status == service::ResponseStatus::kShed) {
+        ++shed_count;
+        shed_exit_code = response.ExitCode();
+        shed_kind = util::ErrorKindName(response.error_kind);
+      }
+    }
+    svc.Drain();
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"links\": " << n_links << ",\n";
+  json << "  \"scheduler\": \"" << scheduler << "\",\n";
+  json.precision(4);
+  json << std::fixed;
+  json << "  \"cold_ms\": " << cold_ms << ",\n";
+  json << "  \"warm_ms\": " << warm_ms << ",\n";
+  json << "  \"warm_speedup\": " << speedup << ",\n";
+  json << "  \"cold_warm_bytes_identical\": "
+       << (deterministic_pair ? "true" : "false") << ",\n";
+  json << "  \"determinism\": {\"workers\": " << det_workers
+       << ", \"requests\": " << det_requests
+       << ", \"mismatches\": " << det_mismatches << "},\n";
+  json << "  \"overload\": {\"queue_capacity\": 8, \"submitted\": 64, "
+       << "\"shed\": " << shed_count << ", \"shed_error_kind\": \""
+       << shed_kind << "\", \"shed_exit_code\": " << shed_exit_code << "}\n";
+  json << "}\n";
+  util::AtomicWriteFile(out_path, json.str());
+  std::fputs(json.str().c_str(), stdout);
+
+  if (check) {
+    const bool ok = speedup >= 5.0 && deterministic_pair &&
+                    det_mismatches == 0 && shed_count > 0 &&
+                    shed_exit_code == util::kExitRuntime;
+    if (!ok) {
+      std::fprintf(stderr, "service_throughput --check FAILED\n");
+      return util::kExitRuntime;
+    }
+  }
+  return util::kExitOk;
+}

@@ -276,4 +276,30 @@ double IncrementalFeasibility::SumWith(net::LinkId extra,
   return Sum(victim) + (extra == victim ? 0.0 : Term(extra, victim));
 }
 
+const InterferenceEngine& ObtainEngine(
+    const net::LinkSet& links, const ChannelParams& params,
+    const EngineOptions& options, std::optional<InterferenceEngine>& local) {
+  const InterferenceEngine* shared = options.shared.get();
+  if (shared != nullptr && &shared->Links() == &links &&
+      shared->Params() == params) {
+    // The build-only knobs (pool, tile_rows) never change results, so only
+    // the result-bearing configuration must match for reuse to be exact.
+    // Cutoff and affectance shape only a materialized matrix; the other
+    // backends derive both quantities on the fly.
+    const EngineOptions& built = shared->Options();
+    if (built.backend == options.backend &&
+        (options.backend != FactorBackend::kMatrix ||
+         (built.cutoff_radius == options.cutoff_radius &&
+          built.affectance_matrix == options.affectance_matrix))) {
+      return *shared;
+    }
+  }
+  // Drop the rejected shared engine before building locally, so the local
+  // engine's stored options don't pin someone else's tables alive.
+  EngineOptions fresh = options;
+  fresh.shared.reset();
+  local.emplace(links, params, std::move(fresh));
+  return *local;
+}
+
 }  // namespace fadesched::channel

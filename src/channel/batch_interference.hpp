@@ -32,6 +32,7 @@
 #include <cmath>
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -85,8 +86,19 @@ enum class FactorBackend {
   kMatrix,      ///< materialized N×N matrix built tiled (optionally parallel)
 };
 
+class InterferenceEngine;
+
 struct EngineOptions {
   FactorBackend backend = FactorBackend::kTables;
+
+  /// Optional prebuilt engine (the serving cache's memoized state). A
+  /// scheduler consults it through ObtainEngine(): when the engine was
+  /// built over the *same* LinkSet object, the same channel parameters,
+  /// and the same backend/cutoff/affectance configuration, it is reused
+  /// and the O(N) table (or O(N²) matrix) build is skipped; any mismatch
+  /// falls back to a fresh local build. Engine construction is
+  /// deterministic, so reuse is bit-identical to rebuilding.
+  std::shared_ptr<const InterferenceEngine> shared;
 
   /// Workers for the kMatrix tiled build; nullptr = build tiles serially.
   util::ThreadPool* pool = nullptr;
@@ -127,6 +139,7 @@ class InterferenceEngine {
   [[nodiscard]] const net::LinkSet& Links() const { return *links_; }
   [[nodiscard]] const ChannelParams& Params() const { return calc_.Params(); }
   [[nodiscard]] FactorBackend Backend() const { return options_.backend; }
+  [[nodiscard]] const EngineOptions& Options() const { return options_; }
   [[nodiscard]] std::size_t Size() const { return n_; }
 
   /// f_ij = ln(1 + a_ij) through the configured backend; 0 on the diagonal.
@@ -265,5 +278,17 @@ class IncrementalFeasibility {
   std::vector<double> sum_, comp_;  // Neumaier state per receiver
   std::vector<net::LinkId> active_;
 };
+
+/// The scheduler-side entry point for engine reuse: returns
+/// `options.shared.get()` when that engine matches this exact (LinkSet
+/// object, channel parameters, backend, cutoff, affectance) configuration;
+/// otherwise constructs a fresh engine into `local` and returns that.
+/// Identity of the LinkSet is by address — the serving cache hands the
+/// scheduler the very LinkSet its memoized engine was built over, so a
+/// pointer compare is both cheap and sound.
+const InterferenceEngine& ObtainEngine(const net::LinkSet& links,
+                                       const ChannelParams& params,
+                                       const EngineOptions& options,
+                                       std::optional<InterferenceEngine>& local);
 
 }  // namespace fadesched::channel

@@ -40,6 +40,18 @@ struct ChannelParams {
 
   /// Throws CheckFailure unless α > 2, 0 < ε < 1, γ_th > 0, P > 0.
   void Validate() const;
+
+  /// Exact (bitwise-value) equality — the serving cache uses it to decide
+  /// whether a memoized InterferenceEngine may stand in for a rebuild, so
+  /// no tolerance is allowed.
+  friend bool operator==(const ChannelParams& a, const ChannelParams& b) {
+    return a.tx_power == b.tx_power && a.alpha == b.alpha &&
+           a.gamma_th == b.gamma_th && a.epsilon == b.epsilon &&
+           a.noise_power == b.noise_power;
+  }
+  friend bool operator!=(const ChannelParams& a, const ChannelParams& b) {
+    return !(a == b);
+  }
 };
 
 }  // namespace fadesched::channel

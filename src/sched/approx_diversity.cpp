@@ -23,9 +23,12 @@ ScheduleResult ApproxDiversityScheduler::Schedule(
 
   channel::EngineOptions engine_options = options_.interference;
   // This scheduler's quantity is the deterministic affectance, so a
-  // materialized matrix must hold a_ij, not f_ij.
+  // materialized matrix must hold a_ij, not f_ij (and a shared engine
+  // built for the factor quantity is rejected by ObtainEngine).
   engine_options.affectance_matrix = true;
-  const channel::InterferenceEngine engine(links, params, engine_options);
+  std::optional<channel::InterferenceEngine> local_engine;
+  const channel::InterferenceEngine& engine =
+      channel::ObtainEngine(links, params, engine_options, local_engine);
   channel::ChannelParams effective = params;
   effective.gamma_th *= links.TxPowerRatio(params.tx_power);
   const double c1 = ApproxDiversityC1(effective, options_.c2);

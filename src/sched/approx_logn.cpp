@@ -21,8 +21,9 @@ ScheduleResult ApproxLogNScheduler::Schedule(
   // Noise affectance and the Rayleigh noise factor share one formula, so
   // the engine's precomputed noise table serves this deterministic-model
   // baseline too.
-  const channel::InterferenceEngine engine(links, params,
-                                           options_.interference);
+  std::optional<channel::InterferenceEngine> local_engine;
+  const channel::InterferenceEngine& engine =
+      channel::ObtainEngine(links, params, options_.interference, local_engine);
   channel::ChannelParams effective = params;
   effective.gamma_th *= links.TxPowerRatio(params.tx_power);
   const double delta = links.MinLength();

@@ -15,8 +15,9 @@ ScheduleResult FadingGreedyScheduler::Schedule(
     const net::LinkSet& links, const channel::ChannelParams& params) const {
   if (links.Empty()) return FinalizeResult(links, {}, Name());
 
-  const channel::InterferenceEngine engine(links, params,
-                                           options_.interference);
+  std::optional<channel::InterferenceEngine> local_engine;
+  const channel::InterferenceEngine& engine =
+      channel::ObtainEngine(links, params, options_.interference, local_engine);
   const double gamma_eps = params.FeasibilityBudget();
   const std::size_t n = links.Size();
 

@@ -30,8 +30,9 @@ ScheduleResult LdpScheduler::Schedule(
   // re-derivation (a link appears in every one-sided class above its
   // magnitude, so the paper's construction re-derived each factor
   // O(g(L)) times).
-  const channel::InterferenceEngine engine(links, params,
-                                           options_.interference);
+  std::optional<channel::InterferenceEngine> local_engine;
+  const channel::InterferenceEngine& engine =
+      channel::ObtainEngine(links, params, options_.interference, local_engine);
   const double gamma_eps = params.GammaEpsilon();
   // Power-control extension: bounding f_ij by the uniform-power formula
   // with γ_th inflated by the max/min power ratio keeps Theorem 4.1 valid

@@ -1,6 +1,8 @@
 #include "sched/registry.hpp"
 
 #include <memory>
+#include <mutex>
+#include <utility>
 
 #include "sched/aloha.hpp"
 #include "sched/approx_diversity.hpp"
@@ -14,34 +16,34 @@
 #include "util/check.hpp"
 
 namespace fadesched::sched {
+namespace {
 
-SchedulerPtr MakeScheduler(const std::string& name) {
-  if (name == "ldp") return std::make_unique<LdpScheduler>();
-  if (name == "ldp_two_sided") {
-    LdpOptions options;
-    options.two_sided_classes = true;
-    return std::make_unique<LdpScheduler>(options);
-  }
-  if (name == "rle") return std::make_unique<RleScheduler>();
-  if (name == "approx_logn") return std::make_unique<ApproxLogNScheduler>();
-  if (name == "approx_diversity") {
-    return std::make_unique<ApproxDiversityScheduler>();
-  }
-  if (name == "fading_greedy") return std::make_unique<FadingGreedyScheduler>();
-  if (name == "graph_greedy") return std::make_unique<GraphGreedyScheduler>();
-  if (name == "exact_brute_force") {
-    return std::make_unique<BruteForceScheduler>();
-  }
-  if (name == "exact_bb") return std::make_unique<BranchAndBoundScheduler>();
-  if (name == "dls") return std::make_unique<DlsScheduler>();
-  if (name == "aloha") return std::make_unique<AlohaScheduler>();
-  FS_CHECK_MSG(false, "unknown scheduler: " + name);
-  return nullptr;  // unreachable
+struct Registry {
+  std::mutex mutex;
+  std::vector<SchedulerContract> contracts;
+  std::vector<SchedulerFactory> factories;  // parallel to contracts
+  std::size_t num_builtin = 0;
+};
+
+template <typename SchedulerT, typename OptionsT>
+SchedulerFactory EngineAwareFactory() {
+  return [](const channel::EngineOptions& engine) -> SchedulerPtr {
+    OptionsT options;
+    options.interference = engine;
+    return std::make_unique<SchedulerT>(options);
+  };
 }
 
-const std::vector<SchedulerContract>& RegisteredSchedulers() {
-  // name, fading_feasible, exact, nonempty_when_feasible, max_links,
-  // fuzz_cap.
+template <typename SchedulerT>
+SchedulerFactory EngineFreeFactory() {
+  return [](const channel::EngineOptions&) -> SchedulerPtr {
+    return std::make_unique<SchedulerT>();
+  };
+}
+
+void SeedBuiltins(Registry& registry) {
+  // contract = {name, fading_feasible, exact, nonempty_when_feasible,
+  // max_links, fuzz_cap}.
   //
   // The flags are enforced per Schedule() call by the oracle harness, so
   // they encode the *proved* guarantees, not observed behaviour:
@@ -59,40 +61,145 @@ const std::vector<SchedulerContract>& RegisteredSchedulers() {
   //   * DLS's pruning guarantee holds under the finite sensing-radius
   //     approximation, and random back-off can empty the candidate set;
   //     ALOHA promises nothing at all.
-  static const std::vector<SchedulerContract> kContracts = {
-      {"ldp", true, false, true, 0},
-      {"ldp_two_sided", true, false, true, 0},
-      {"rle", true, false, true, 0},
-      {"approx_logn", false, false, true, 0},
-      {"approx_diversity", false, false, true, 0},
-      {"graph_greedy", false, false, true, 0},
-      {"fading_greedy", true, false, true, 0},
-      // Brute force is O(2^N · N²) per run and the harness runs each
-      // scheduler ~12× per instance, so it fuzzes only tiny instances; the
-      // branch-and-bound solver prunes well and takes the full range.
-      {"exact_brute_force", true, true, true, ExactOptions{}.max_links, 12},
-      {"exact_bb", true, true, true, ExactOptions{}.max_links, 0},
-      {"dls", false, false, false, 0},
-      {"aloha", false, false, false, 0},
+  const auto add = [&registry](SchedulerContract contract,
+                               SchedulerFactory factory) {
+    registry.contracts.push_back(std::move(contract));
+    registry.factories.push_back(std::move(factory));
   };
-  return kContracts;
+  add({"ldp", true, false, true, 0, 0},
+      EngineAwareFactory<LdpScheduler, LdpOptions>());
+  add({"ldp_two_sided", true, false, true, 0, 0},
+      [](const channel::EngineOptions& engine) -> SchedulerPtr {
+        LdpOptions options;
+        options.two_sided_classes = true;
+        options.interference = engine;
+        return std::make_unique<LdpScheduler>(options);
+      });
+  add({"rle", true, false, true, 0, 0},
+      EngineAwareFactory<RleScheduler, RleOptions>());
+  add({"approx_logn", false, false, true, 0, 0},
+      EngineAwareFactory<ApproxLogNScheduler, ApproxLogNOptions>());
+  add({"approx_diversity", false, false, true, 0, 0},
+      EngineAwareFactory<ApproxDiversityScheduler, ApproxDiversityOptions>());
+  add({"graph_greedy", false, false, true, 0, 0},
+      EngineFreeFactory<GraphGreedyScheduler>());
+  add({"fading_greedy", true, false, true, 0, 0},
+      EngineAwareFactory<FadingGreedyScheduler, FadingGreedyOptions>());
+  // Brute force is O(2^N · N²) per run and the harness runs each
+  // scheduler ~12× per instance, so it fuzzes only tiny instances; the
+  // branch-and-bound solver prunes well and takes the full range.
+  add({"exact_brute_force", true, true, true, ExactOptions{}.max_links, 12},
+      EngineFreeFactory<BruteForceScheduler>());
+  add({"exact_bb", true, true, true, ExactOptions{}.max_links, 0},
+      EngineFreeFactory<BranchAndBoundScheduler>());
+  add({"dls", false, false, false, 0, 0}, EngineFreeFactory<DlsScheduler>());
+  add({"aloha", false, false, false, 0, 0},
+      EngineFreeFactory<AlohaScheduler>());
+  registry.num_builtin = registry.contracts.size();
+}
+
+Registry& GlobalRegistry() {
+  // Registry holds a mutex, so it cannot be returned from a factory;
+  // seed it in place under the same thread-safe static initialization.
+  static Registry registry;
+  static const bool seeded = (SeedBuiltins(registry), true);
+  (void)seeded;
+  return registry;
+}
+
+/// Index of `name`, or npos. Caller holds the registry mutex.
+std::size_t FindLocked(const Registry& registry, const std::string& name) {
+  for (std::size_t i = 0; i < registry.contracts.size(); ++i) {
+    if (registry.contracts[i].name == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+constexpr auto kNotFound = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+SchedulerPtr MakeScheduler(const std::string& name) {
+  return MakeScheduler(name, channel::EngineOptions{});
+}
+
+SchedulerPtr MakeScheduler(const std::string& name,
+                           const channel::EngineOptions& engine) {
+  Registry& registry = GlobalRegistry();
+  SchedulerFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    const std::size_t index = FindLocked(registry, name);
+    FS_CHECK_MSG(index != kNotFound, "unknown scheduler: " + name);
+    factory = registry.factories[index];
+  }
+  // Run the factory outside the lock; factories may be arbitrarily slow.
+  return factory(engine);
+}
+
+const std::vector<SchedulerContract>& RegisteredSchedulers() {
+  return GlobalRegistry().contracts;
 }
 
 const SchedulerContract& ContractFor(const std::string& name) {
-  for (const SchedulerContract& contract : RegisteredSchedulers()) {
-    if (contract.name == name) return contract;
-  }
-  FS_CHECK_MSG(false, "unknown scheduler: " + name);
-  return RegisteredSchedulers().front();  // unreachable
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const std::size_t index = FindLocked(registry, name);
+  FS_CHECK_MSG(index != kNotFound, "unknown scheduler: " + name);
+  return registry.contracts[index];
+}
+
+bool IsRegisteredScheduler(const std::string& name) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return FindLocked(registry, name) != kNotFound;
 }
 
 std::vector<std::string> KnownSchedulers() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
   std::vector<std::string> names;
-  names.reserve(RegisteredSchedulers().size());
-  for (const SchedulerContract& contract : RegisteredSchedulers()) {
+  names.reserve(registry.contracts.size());
+  for (const SchedulerContract& contract : registry.contracts) {
     names.push_back(contract.name);
   }
   return names;
+}
+
+void RegisterScheduler(SchedulerContract contract, SchedulerFactory factory) {
+  FS_CHECK_MSG(!contract.name.empty(), "scheduler name must be non-empty");
+  FS_CHECK_MSG(factory != nullptr, "scheduler factory must be non-null");
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  FS_CHECK_MSG(FindLocked(registry, contract.name) == kNotFound,
+               "duplicate scheduler name '" + contract.name +
+                   "': already registered — names resolve cached service "
+                   "responses, so shadowing is forbidden");
+  registry.contracts.push_back(std::move(contract));
+  registry.factories.push_back(std::move(factory));
+}
+
+void UnregisterScheduler(const std::string& name) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const std::size_t index = FindLocked(registry, name);
+  FS_CHECK_MSG(index != kNotFound, "unknown scheduler: " + name);
+  FS_CHECK_MSG(index >= registry.num_builtin,
+               "cannot unregister built-in scheduler '" + name + "'");
+  registry.contracts.erase(registry.contracts.begin() +
+                           static_cast<std::ptrdiff_t>(index));
+  registry.factories.erase(registry.factories.begin() +
+                           static_cast<std::ptrdiff_t>(index));
+}
+
+ScopedSchedulerRegistration::ScopedSchedulerRegistration(
+    SchedulerContract contract, SchedulerFactory factory)
+    : name_(contract.name) {
+  RegisterScheduler(std::move(contract), std::move(factory));
+}
+
+ScopedSchedulerRegistration::~ScopedSchedulerRegistration() {
+  UnregisterScheduler(name_);
 }
 
 }  // namespace fadesched::sched

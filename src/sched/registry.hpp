@@ -1,14 +1,24 @@
-// Name-based scheduler factory so benches, examples, and the CLI surface
-// can select algorithms uniformly — plus the machine-checkable contract
-// each scheduler publishes, which the oracle harness (src/testing)
-// enforces on fuzzed instances. Registering a scheduler here is what puts
-// it under fuzz coverage; there is no second list to update.
+// Name-based scheduler factory so benches, examples, the CLI surface, and
+// the scheduling service can select algorithms uniformly — plus the
+// machine-checkable contract each scheduler publishes, which the oracle
+// harness (src/testing) enforces on fuzzed instances. Registering a
+// scheduler here is what puts it under fuzz coverage; there is no second
+// list to update.
+//
+// The registry is a real table, not an if-chain: built-in schedulers are
+// seeded at first use and extensions register at runtime through
+// RegisterScheduler. Names are unique — registering a duplicate (built-in
+// or extension) throws instead of silently shadowing, because the serving
+// front-end resolves schedulers by name at request time and a shadowed
+// name would change what every cached response means.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "channel/batch_interference.hpp"
 #include "sched/scheduler.hpp"
 
 namespace fadesched::sched {
@@ -43,20 +53,64 @@ struct SchedulerContract {
   std::size_t fuzz_cap = 0;
 };
 
-/// Known names: "ldp", "ldp_two_sided", "rle", "approx_logn",
-/// "approx_diversity", "fading_greedy", "exact_brute_force", "exact_bb",
-/// "dls". Throws CheckFailure for unknown names.
+/// Builds a scheduler configured to obtain interference factors through
+/// `engine` — the options are threaded into the scheduler's own options
+/// struct where it has one (schedulers without an engine dependency ignore
+/// them). The service uses this to hand cached engine state to every
+/// algorithm it serves.
+using SchedulerFactory =
+    std::function<SchedulerPtr(const channel::EngineOptions& engine)>;
+
+/// Built-in names: "ldp", "ldp_two_sided", "rle", "approx_logn",
+/// "approx_diversity", "graph_greedy", "fading_greedy",
+/// "exact_brute_force", "exact_bb", "dls", "aloha". Throws CheckFailure
+/// for unknown names.
 SchedulerPtr MakeScheduler(const std::string& name);
 
-/// All registered names, in a stable presentation order.
+/// Same, but with explicit interference-engine options (e.g. a shared
+/// prebuilt engine from the serving cache, or a non-default backend).
+SchedulerPtr MakeScheduler(const std::string& name,
+                           const channel::EngineOptions& engine);
+
+/// All registered names, in registration order (built-ins first).
 std::vector<std::string> KnownSchedulers();
 
 /// Contracts for every registered scheduler, same order as
 /// KnownSchedulers(). The oracle harness iterates this list, so a newly
-/// registered scheduler is fuzz-covered automatically.
+/// registered scheduler is fuzz-covered automatically. The reference is
+/// invalidated by a subsequent RegisterScheduler, so registration must
+/// happen before the harness (or any concurrent reader) starts.
 const std::vector<SchedulerContract>& RegisteredSchedulers();
 
 /// Contract lookup by name; throws CheckFailure for unknown names.
 const SchedulerContract& ContractFor(const std::string& name);
+
+/// True iff `name` resolves to a registered scheduler.
+bool IsRegisteredScheduler(const std::string& name);
+
+/// Registers an extension scheduler. Throws CheckFailure when the contract
+/// name is empty or already taken — duplicate names must fail loudly, not
+/// shadow, because responses are cached and served by name.
+void RegisterScheduler(SchedulerContract contract, SchedulerFactory factory);
+
+/// Removes an extension scheduler registered via RegisterScheduler.
+/// Throws CheckFailure for unknown names and refuses to remove built-ins.
+void UnregisterScheduler(const std::string& name);
+
+/// RAII registration for tests and short-lived plug-ins: registers on
+/// construction, unregisters on destruction.
+class ScopedSchedulerRegistration {
+ public:
+  ScopedSchedulerRegistration(SchedulerContract contract,
+                              SchedulerFactory factory);
+  ~ScopedSchedulerRegistration();
+
+  ScopedSchedulerRegistration(const ScopedSchedulerRegistration&) = delete;
+  ScopedSchedulerRegistration& operator=(const ScopedSchedulerRegistration&) =
+      delete;
+
+ private:
+  std::string name_;
+};
 
 }  // namespace fadesched::sched

@@ -20,8 +20,9 @@ ScheduleResult RleScheduler::Schedule(
     const net::LinkSet& links, const channel::ChannelParams& params) const {
   if (links.Empty()) return FinalizeResult(links, {}, Name());
 
-  const channel::InterferenceEngine engine(links, params,
-                                           options_.interference);
+  std::optional<channel::InterferenceEngine> local_engine;
+  const channel::InterferenceEngine& engine =
+      channel::ObtainEngine(links, params, options_.interference, local_engine);
   const double gamma_eps = params.GammaEpsilon();
   // With per-link power control, every pairwise factor is bounded by the
   // uniform-power expression with γ_th inflated by the max/min power

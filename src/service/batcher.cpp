@@ -1,0 +1,178 @@
+#include "service/batcher.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+
+namespace {
+
+SchedulingResponse MakeFailure(ResponseStatus status, util::ErrorKind kind,
+                               std::string message, const std::string& id) {
+  SchedulingResponse response;
+  response.status = status;
+  response.error_kind = kind;
+  response.message = std::move(message);
+  response.id = id;
+  return response;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+RequestBatcher::RequestBatcher(Handler handler, BatcherOptions options,
+                               ServiceMetrics* metrics)
+    : handler_(std::move(handler)), options_(options), metrics_(metrics) {
+  FS_CHECK_MSG(handler_ != nullptr, "RequestBatcher needs a handler");
+  FS_CHECK_MSG(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RequestBatcher::~RequestBatcher() { Drain(); }
+
+std::future<SchedulingResponse> RequestBatcher::Submit(
+    SchedulingRequest request) {
+  std::promise<SchedulingResponse> promise;
+  std::future<SchedulingResponse> future = promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      if (metrics_ != nullptr) {
+        metrics_->rejected_draining.fetch_add(1, std::memory_order_relaxed);
+      }
+      promise.set_value(MakeFailure(
+          ResponseStatus::kShed, util::ErrorKind::kInterrupted,
+          "service draining — not accepting new requests", request.id));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      if (metrics_ != nullptr) {
+        metrics_->shed.fetch_add(1, std::memory_order_relaxed);
+      }
+      promise.set_value(MakeFailure(
+          ResponseStatus::kShed, util::ErrorKind::kTransient,
+          "queue full (" + std::to_string(options_.queue_capacity) +
+              " pending) — shed, retry later",
+          request.id));
+      return future;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->admitted.fetch_add(1, std::memory_order_relaxed);
+    }
+    Item item;
+    const double deadline_seconds = request.deadline_seconds > 0.0
+                                        ? request.deadline_seconds
+                                        : options_.default_deadline_seconds;
+    item.deadline = util::Deadline::After(deadline_seconds);
+    item.enqueued = std::chrono::steady_clock::now();
+    item.request = std::move(request);
+    item.promise = std::move(promise);
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+SchedulingResponse RequestBatcher::Execute(SchedulingRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void RequestBatcher::Reply(
+    Item& item, SchedulingResponse response,
+    std::chrono::steady_clock::time_point enqueued) const {
+  if (metrics_ != nullptr) {
+    metrics_->total_latency.Record(SecondsSince(enqueued));
+  }
+  item.promise.set_value(std::move(response));
+}
+
+void RequestBatcher::WorkerLoop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    if (metrics_ != nullptr) {
+      metrics_->queue_latency.Record(SecondsSince(item.enqueued));
+    }
+
+    if (item.deadline.Expired()) {
+      if (metrics_ != nullptr) {
+        metrics_->timed_out.fetch_add(1, std::memory_order_relaxed);
+      }
+      Reply(item,
+            MakeFailure(ResponseStatus::kTimeout, util::ErrorKind::kTimeout,
+                        "deadline expired while queued", item.request.id),
+            item.enqueued);
+      continue;
+    }
+
+    const auto service_start = std::chrono::steady_clock::now();
+    SchedulingResponse response;
+    try {
+      response = handler_(item.request);
+      response.id = item.request.id;
+    } catch (...) {
+      const util::ErrorKind kind =
+          util::ClassifyException(std::current_exception());
+      std::string what = "handler failed";
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+      }
+      response = MakeFailure(ResponseStatus::kError, kind, std::move(what),
+                             item.request.id);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->service_latency.Record(SecondsSince(service_start));
+      if (response.Ok()) {
+        metrics_->completed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        metrics_->failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    Reply(item, std::move(response), item.enqueued);
+  }
+}
+
+void RequestBatcher::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool RequestBatcher::Draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+std::size_t RequestBatcher::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace fadesched::service

@@ -1,0 +1,100 @@
+// Bounded MPMC request queue + worker pool with deadline-aware admission
+// control.
+//
+// Producers (the server's connection threads, the bench, tests) Submit()
+// requests; N workers pop and run the handler. Three admission outcomes,
+// mapped onto the util::error taxonomy so CLI callers inherit the
+// repo-wide exit-code contract:
+//
+//   * queue full  → kShed    (ErrorKind::kTransient, exit 1 — retry later)
+//   * draining    → kShed    (ErrorKind::kInterrupted, exit 3)
+//   * deadline passed while queued → kTimeout (ErrorKind::kTimeout, exit 3)
+//
+// Backpressure is shedding, not blocking: a full queue answers
+// immediately instead of stalling the producer, so one slow scenario
+// cannot wedge every connection. Every Submit() is answered exactly once
+// — shed/timeout responses are fulfilled without running the handler, and
+// handler exceptions are classified (util::ClassifyException) into kError
+// responses rather than propagating into a worker thread.
+//
+// Drain() stops admission, lets queued + in-flight requests complete, and
+// joins the workers; it is idempotent and also runs from the destructor.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+#include "util/deadline.hpp"
+
+namespace fadesched::service {
+
+struct BatcherOptions {
+  /// Worker threads executing the handler.
+  std::size_t num_workers = 4;
+  /// Queue slots; a Submit() beyond this sheds. Must be ≥ 1.
+  std::size_t queue_capacity = 256;
+  /// Applied to requests with deadline_seconds == 0; 0 = no deadline.
+  double default_deadline_seconds = 0.0;
+};
+
+class RequestBatcher {
+ public:
+  /// Executes one admitted request. Runs on worker threads; may throw
+  /// (classified into a kError response). Must not block indefinitely.
+  using Handler = std::function<SchedulingResponse(const SchedulingRequest&)>;
+
+  /// `metrics` may be null. Workers start immediately.
+  RequestBatcher(Handler handler, BatcherOptions options = {},
+                 ServiceMetrics* metrics = nullptr);
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueues and returns the eventual response. Shed/timeout outcomes
+  /// resolve the future with the corresponding status — the future never
+  /// carries an exception and is always fulfilled.
+  std::future<SchedulingResponse> Submit(SchedulingRequest request);
+
+  /// Submit + wait (convenience for synchronous callers).
+  SchedulingResponse Execute(SchedulingRequest request);
+
+  /// Stops admission, completes queued + in-flight work, joins workers.
+  /// Idempotent; safe to call concurrently with Submit().
+  void Drain();
+
+  [[nodiscard]] bool Draining() const;
+  [[nodiscard]] std::size_t QueueDepth() const;
+
+ private:
+  struct Item {
+    SchedulingRequest request;
+    std::promise<SchedulingResponse> promise;
+    util::Deadline deadline;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  void Reply(Item& item, SchedulingResponse response,
+             std::chrono::steady_clock::time_point enqueued) const;
+
+  Handler handler_;
+  BatcherOptions options_;
+  ServiceMetrics* metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool draining_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fadesched::service

@@ -1,0 +1,110 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/protocol.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw util::TransientError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void Client::ConnectUnix(const std::string& path) {
+  Close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw util::FatalError("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Close();
+    ThrowErrno("connect(" + path + ")");
+  }
+}
+
+void Client::ConnectTcp(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw util::FatalError("invalid address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Close();
+    ThrowErrno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+}
+
+void Client::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) throw util::FatalError("SendRaw on a disconnected client");
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("send");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::ReadLine() {
+  if (fd_ < 0) throw util::FatalError("ReadLine on a disconnected client");
+  char chunk[4096];
+  for (;;) {
+    const std::size_t line_end = buffer_.find('\n');
+    if (line_end != std::string::npos) {
+      std::string line = buffer_.substr(0, line_end);
+      buffer_.erase(0, line_end + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("recv");
+    }
+    if (n == 0) {
+      throw util::TransientError("connection closed before a response line");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+SchedulingResponse Client::Call(const SchedulingRequest& request) {
+  SendRaw(FormatRequestFrame(request));
+  return ParseResponseLine(ReadLine());
+}
+
+}  // namespace fadesched::service

@@ -1,0 +1,43 @@
+// Blocking line-protocol client: connect to a serve endpoint (Unix-domain
+// or TCP), send request frames, read response lines. Used by the loadgen,
+// the service bench, and the loopback tests; simple by design — one
+// in-flight request per connection.
+#pragma once
+
+#include <string>
+
+#include "service/request.hpp"
+
+namespace fadesched::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a Unix-domain socket path or "host:port". Throws
+  /// util::HarnessError (kTransient) on connection failure.
+  void ConnectUnix(const std::string& path);
+  void ConnectTcp(const std::string& host, int port);
+
+  [[nodiscard]] bool Connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one frame and blocks for the single response line. Throws
+  /// util::HarnessError on transport failure or malformed response.
+  SchedulingResponse Call(const SchedulingRequest& request);
+
+  /// Raw variants (the bench uses these to measure serialization
+  /// separately and the tests to send malformed frames).
+  void SendRaw(const std::string& bytes);
+  std::string ReadLine();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace fadesched::service

@@ -1,0 +1,188 @@
+#include "service/loadgen.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/request.hpp"
+#include "testing/fuzzer.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+
+namespace {
+
+std::vector<fadesched::testing::ScenarioCase> BuildPool(
+    const LoadgenOptions& options) {
+  fadesched::testing::FuzzerOptions fuzz;
+  fuzz.min_links = options.links;
+  fuzz.max_links = options.links;
+  // Keep the pool on the paper's parameter defaults and uniform rates —
+  // the loadgen measures the service, not scheduler edge cases.
+  fuzz.extreme_params = false;
+  fuzz.weighted_rates = false;
+  fuzz.with_noise = false;
+  fadesched::testing::ScenarioFuzzer fuzzer(options.seed, fuzz);
+  std::vector<fadesched::testing::ScenarioCase> pool;
+  pool.reserve(options.pool_size);
+  for (std::size_t i = 0; i < options.pool_size; ++i) {
+    pool.push_back(fuzzer.Case(i));
+  }
+  return pool;
+}
+
+}  // namespace
+
+std::string LoadgenReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"sent\": " << sent << ",\n";
+  out << "  \"ok\": " << ok << ",\n";
+  out << "  \"shed\": " << shed << ",\n";
+  out << "  \"timed_out\": " << timed_out << ",\n";
+  out << "  \"errors\": " << errors << ",\n";
+  out << "  \"transport_failures\": " << transport_failures << ",\n";
+  out << "  \"determinism_mismatches\": " << determinism_mismatches << ",\n";
+  out.precision(6);
+  out << std::fixed;
+  out << "  \"wall_seconds\": " << wall_seconds << ",\n";
+  out << "  \"throughput_rps\": " << throughput_rps << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+LoadgenReport RunLoadgen(const LoadgenOptions& options) {
+  FS_CHECK_MSG(options.num_requests > 0, "num_requests must be positive");
+  FS_CHECK_MSG(options.pool_size > 0, "pool_size must be positive");
+  const std::size_t connections =
+      options.connections > 0 ? options.connections : 1;
+
+  const std::vector<fadesched::testing::ScenarioCase> pool =
+      BuildPool(options);
+
+  // Pre-serialize every frame once: the loadgen should spend its time on
+  // the wire, not re-formatting %.17g doubles per request.
+  std::vector<std::string> frames(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    SchedulingRequest request;
+    request.scenario = pool[i];
+    request.scheduler = options.scheduler;
+    request.deadline_seconds = options.deadline_seconds;
+    request.id = "r" + std::to_string(i);
+    frames[i] = FormatRequestFrame(request);
+  }
+
+  // First OK response line seen per pool entry; later OKs must match.
+  std::vector<std::string> expected(pool.size());
+  std::mutex expected_mutex;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> ok{0}, shed{0}, timed_out{0}, errors{0},
+      transport{0}, mismatches{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  const bool open_loop = options.rate_per_sec > 0.0;
+  const double interarrival =
+      open_loop ? 1.0 / options.rate_per_sec : 0.0;
+
+  std::atomic<std::size_t> connect_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&] {
+      Client client;
+      try {
+        if (!options.unix_socket_path.empty()) {
+          client.ConnectUnix(options.unix_socket_path);
+        } else {
+          client.ConnectTcp(options.host, options.port);
+        }
+      } catch (const std::exception&) {
+        connect_failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= options.num_requests) return;
+        if (open_loop) {
+          // Global schedule: request i is released at start + i·Δ no
+          // matter which connection draws it.
+          const auto due =
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(i) * interarrival));
+          std::this_thread::sleep_until(due);
+        }
+        const std::size_t pool_index = i % pool.size();
+        std::string line;
+        try {
+          client.SendRaw(frames[pool_index]);
+          line = client.ReadLine();
+        } catch (const std::exception&) {
+          transport.fetch_add(1, std::memory_order_relaxed);
+          return;  // this connection is dead; others keep draining
+        }
+        SchedulingResponse response;
+        try {
+          response = ParseResponseLine(line);
+        } catch (const std::exception&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        switch (response.status) {
+          case ResponseStatus::kOk: {
+            ok.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(expected_mutex);
+            std::string& first = expected[pool_index];
+            if (first.empty()) {
+              first = line;
+            } else if (first != line) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case ResponseStatus::kShed:
+            shed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ResponseStatus::kTimeout:
+            timed_out.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ResponseStatus::kError:
+            errors.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  if (connect_failures.load() == connections) {
+    throw util::TransientError("loadgen could not connect to the endpoint");
+  }
+
+  LoadgenReport report;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  report.ok = ok.load();
+  report.shed = shed.load();
+  report.timed_out = timed_out.load();
+  report.errors = errors.load();
+  report.transport_failures = transport.load();
+  report.determinism_mismatches = mismatches.load();
+  report.sent = report.ok + report.shed + report.timed_out + report.errors;
+  report.throughput_rps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.sent) / report.wall_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace fadesched::service

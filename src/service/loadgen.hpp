@@ -1,0 +1,73 @@
+// Seeded load generator for the serve endpoint.
+//
+// A fixed pool of fuzzer-generated scenarios (pure in the seed) is
+// replayed across C concurrent connections, either closed-loop (each
+// connection fires its next request the moment the previous response
+// lands) or open-loop (requests are released on a fixed global schedule
+// of `rate_per_sec`, which keeps offered load constant even when the
+// server slows down — the correct way to demonstrate shedding).
+//
+// Because requests use the pool index as their wire id, every OK response
+// for pool entry k must be byte-identical across the whole run and across
+// connections — the loadgen records the first OK line per entry and counts
+// any later divergence in `determinism_mismatches`. CI asserts zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fadesched::service {
+
+struct LoadgenOptions {
+  /// Endpoint: non-empty unix_socket_path wins, else host:port.
+  std::string unix_socket_path;
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  std::size_t num_requests = 1000;
+  std::size_t connections = 4;
+
+  /// Distinct scenarios replayed round-robin; small pools stress the
+  /// cache's hit path, large pools its eviction path.
+  std::size_t pool_size = 16;
+  /// Links per generated scenario.
+  std::size_t links = 40;
+  std::uint64_t seed = 1;
+
+  std::string scheduler = "rle";
+  /// Per-request queue deadline forwarded on the wire; 0 = server default.
+  double deadline_seconds = 0.0;
+
+  /// 0 = closed loop; > 0 = open loop at this many requests/second.
+  double rate_per_sec = 0.0;
+};
+
+struct LoadgenReport {
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t timed_out = 0;
+  std::size_t errors = 0;
+  std::size_t transport_failures = 0;
+  /// OK responses whose bytes differ from the first OK response for the
+  /// same pool entry — must be zero for a deterministic server.
+  std::size_t determinism_mismatches = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+
+  /// True when every request was answered, none diverged, and no
+  /// transport failure occurred (shed/timeout are legitimate outcomes —
+  /// they indicate load, not breakage).
+  [[nodiscard]] bool Clean() const {
+    return determinism_mismatches == 0 && transport_failures == 0 &&
+           errors == 0;
+  }
+
+  [[nodiscard]] std::string ToJson() const;
+};
+
+/// Runs the load; throws util::HarnessError if no connection can be
+/// established at all.
+LoadgenReport RunLoadgen(const LoadgenOptions& options);
+
+}  // namespace fadesched::service

@@ -1,0 +1,83 @@
+// Service observability: lock-free counters + latency histograms, dumped
+// as JSON.
+//
+// Everything here is written on the request hot path, so the counters are
+// relaxed atomics and the histogram records into log-spaced atomic bins
+// (3 bins per octave from 1 µs, ~26% resolution over ~16 orders of
+// magnitude). Percentiles are derived from the bins at read time — an
+// approximation that is deterministic for a fixed set of samples, which
+// is what the smoke tests pin.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace fadesched::service {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one latency (thread-safe, wait-free).
+  void Record(double seconds);
+
+  [[nodiscard]] std::uint64_t Count() const;
+
+  /// Approximate percentile (p in [0, 1]) in seconds: the geometric
+  /// midpoint of the bin holding the p-quantile sample. 0 when empty.
+  [[nodiscard]] double Percentile(double p) const;
+
+  /// {"count": N, "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}
+  [[nodiscard]] std::string ToJson() const;
+
+ private:
+  // Bin 0 holds everything below 1 µs; the last bin everything above the
+  // covered range. 3 bins/octave × 96 bins spans 1 µs … ~4.3e3 s.
+  static constexpr int kBinsPerOctave = 3;
+  static constexpr int kNumBins = 96;
+  static int BinIndex(double seconds);
+  static double BinMidSeconds(int bin);
+
+  std::array<std::atomic<std::uint64_t>, kNumBins> bins_;
+};
+
+/// One counter per admission/execution/cache outcome. Monotonic; read
+/// with relaxed loads (snapshots need not be mutually consistent).
+struct ServiceMetrics {
+  // Admission control.
+  std::atomic<std::uint64_t> admitted{0};   ///< accepted into the queue
+  std::atomic<std::uint64_t> shed{0};       ///< rejected, queue full
+  std::atomic<std::uint64_t> rejected_draining{0};  ///< rejected, draining
+  std::atomic<std::uint64_t> timed_out{0};  ///< deadline passed in queue
+
+  // Execution.
+  std::atomic<std::uint64_t> completed{0};  ///< handler returned ok
+  std::atomic<std::uint64_t> failed{0};     ///< handler threw / error status
+
+  // Cache.
+  std::atomic<std::uint64_t> response_hits{0};
+  std::atomic<std::uint64_t> response_misses{0};
+  std::atomic<std::uint64_t> scenario_hits{0};
+  std::atomic<std::uint64_t> scenario_misses{0};
+  std::atomic<std::uint64_t> cache_evictions{0};
+  std::atomic<std::uint64_t> cache_collisions{0};
+
+  LatencyHistogram queue_latency;    ///< enqueue → worker pickup
+  LatencyHistogram service_latency;  ///< handler execution
+  LatencyHistogram total_latency;    ///< enqueue → response ready
+
+  ServiceMetrics() = default;
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  /// Full JSON document (counters + the three histograms).
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Atomic (temp → fsync → rename) JSON dump; throws HarnessError on I/O
+  /// failure.
+  void DumpJson(const std::string& path) const;
+};
+
+}  // namespace fadesched::service

@@ -1,0 +1,267 @@
+#include "service/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "testing/corpus.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+double ParseDouble(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    throw util::FatalError(std::string("malformed ") + what + " '" + text +
+                           "'");
+  }
+  return value;
+}
+
+bool IsToken(const std::string& text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') return false;
+  }
+  return true;
+}
+
+std::string Flatten(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// Splits "key=value"; throws naming the frame line on missing '='.
+std::pair<std::string, std::string> SplitKeyValue(const std::string& token,
+                                                  std::size_t frame_line) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw util::FatalError("request frame line " + std::to_string(frame_line) +
+                           ": expected key=value, got '" + token + "'");
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+ResponseStatus ParseStatusName(const std::string& name) {
+  if (name == "shed") return ResponseStatus::kShed;
+  if (name == "timeout") return ResponseStatus::kTimeout;
+  if (name == "error") return ResponseStatus::kError;
+  throw util::FatalError("malformed response status '" + name + "'");
+}
+
+util::ErrorKind ParseKindName(const std::string& name) {
+  if (name == "transient") return util::ErrorKind::kTransient;
+  if (name == "timeout") return util::ErrorKind::kTimeout;
+  if (name == "interrupted") return util::ErrorKind::kInterrupted;
+  if (name == "fatal") return util::ErrorKind::kFatal;
+  throw util::FatalError("malformed error kind '" + name + "'");
+}
+
+}  // namespace
+
+std::string FormatRequestFrame(const SchedulingRequest& request) {
+  if (!IsToken(request.id)) {
+    throw util::FatalError("request id must be a non-empty token without "
+                           "whitespace, got '" + request.id + "'");
+  }
+  if (!IsToken(request.scheduler)) {
+    throw util::FatalError("scheduler name must be a non-empty token without "
+                           "whitespace, got '" + request.scheduler + "'");
+  }
+  std::string frame = "REQUEST id=" + request.id +
+                      " scheduler=" + request.scheduler;
+  if (request.deadline_seconds > 0.0) {
+    frame += " deadline=" + FormatDouble(request.deadline_seconds);
+  }
+  frame += '\n';
+  std::string scenario = fadesched::testing::FormatScenario(request.scenario);
+  if (!scenario.empty() && scenario.back() != '\n') scenario += '\n';
+  frame += scenario;
+  frame += kFrameEnd;
+  frame += '\n';
+  return frame;
+}
+
+SchedulingRequest ParseRequestFrame(const std::string& frame) {
+  const std::size_t header_end = frame.find('\n');
+  if (header_end == std::string::npos) {
+    throw util::FatalError(
+        "request frame line 1: header is not newline-terminated");
+  }
+  const std::string header = frame.substr(0, header_end);
+  const std::vector<std::string> tokens = SplitTokens(header);
+  if (tokens.empty() || tokens[0] != "REQUEST") {
+    throw util::FatalError(
+        "request frame line 1: expected 'REQUEST id=... scheduler=...', got '" +
+        header + "'");
+  }
+
+  SchedulingRequest request;
+  request.scheduler.clear();
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    const auto [key, value] = SplitKeyValue(tokens[t], 1);
+    if (key == "id") {
+      request.id = value;
+    } else if (key == "scheduler") {
+      request.scheduler = value;
+    } else if (key == "deadline") {
+      request.deadline_seconds = ParseDouble(value, "deadline");
+      if (request.deadline_seconds < 0.0) {
+        throw util::FatalError(
+            "request frame line 1: deadline must be non-negative");
+      }
+    } else {
+      throw util::FatalError("request frame line 1: unknown header key '" +
+                             key + "'");
+    }
+  }
+  if (request.id.empty()) {
+    throw util::FatalError("request frame line 1: missing id=");
+  }
+  if (request.scheduler.empty()) {
+    throw util::FatalError("request frame line 1: missing scheduler=");
+  }
+
+  const std::string payload = frame.substr(header_end + 1);
+  try {
+    request.scenario = fadesched::testing::ParseScenario(payload);
+  } catch (const std::exception& e) {
+    // ParseScenario's message already names its own 1-based line/row; the
+    // payload starts at frame line 2.
+    throw util::FatalError(
+        std::string("request frame scenario payload (frame line 2 onward): ") +
+        e.what());
+  }
+  return request;
+}
+
+std::string FormatResponseLine(const SchedulingResponse& response) {
+  if (response.Ok()) {
+    std::string line = "OK id=" + response.id +
+                       " rate=" + FormatDouble(response.claimed_rate) +
+                       " schedule=";
+    if (response.schedule.empty()) {
+      line += '-';
+    } else {
+      for (std::size_t i = 0; i < response.schedule.size(); ++i) {
+        if (i > 0) line += ',';
+        line += std::to_string(response.schedule[i]);
+      }
+    }
+    return line;
+  }
+  return "ERR id=" + response.id +
+         " status=" + ResponseStatusName(response.status) +
+         " kind=" + util::ErrorKindName(response.error_kind) +
+         " msg=" + Flatten(response.message);
+}
+
+SchedulingResponse ParseResponseLine(const std::string& line) {
+  SchedulingResponse response;
+  const std::vector<std::string> tokens = SplitTokens(line);
+  if (tokens.empty()) throw util::FatalError("empty response line");
+
+  if (tokens[0] == "OK") {
+    response.status = ResponseStatus::kOk;
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+      const auto [key, value] = SplitKeyValue(tokens[t], 1);
+      if (key == "id") {
+        response.id = value;
+      } else if (key == "rate") {
+        response.claimed_rate = ParseDouble(value, "rate");
+      } else if (key == "schedule") {
+        if (value != "-") {
+          std::istringstream ids(value);
+          std::string piece;
+          while (std::getline(ids, piece, ',')) {
+            response.schedule.push_back(
+                static_cast<net::LinkId>(std::stoull(piece)));
+          }
+        }
+      } else {
+        throw util::FatalError("unknown response key '" + key + "'");
+      }
+    }
+    return response;
+  }
+
+  if (tokens[0] == "ERR") {
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+      const auto [key, value] = SplitKeyValue(tokens[t], 1);
+      if (key == "id") {
+        response.id = value;
+      } else if (key == "status") {
+        response.status = ParseStatusName(value);
+      } else if (key == "kind") {
+        response.error_kind = ParseKindName(value);
+      } else if (key == "msg") {
+        // msg= runs to end of line (it may contain spaces).
+        const std::size_t pos = line.find(" msg=");
+        response.message =
+            pos == std::string::npos ? value : line.substr(pos + 5);
+        break;
+      } else {
+        throw util::FatalError("unknown response key '" + key + "'");
+      }
+    }
+    if (response.status == ResponseStatus::kOk) {
+      throw util::FatalError("ERR response line missing status=: '" + line +
+                             "'");
+    }
+    return response;
+  }
+
+  throw util::FatalError("response line must start with OK or ERR, got '" +
+                         line + "'");
+}
+
+bool FrameAssembler::Feed(const std::string& line) {
+  if (done_) Reset();
+  ++lines_;
+  if (line == kFrameEnd) {
+    done_ = true;
+    return true;
+  }
+  frame_ += line;
+  frame_ += '\n';
+  return false;
+}
+
+SchedulingRequest FrameAssembler::Parse() const {
+  if (!done_) throw util::FatalError(Truncated());
+  return ParseRequestFrame(frame_);
+}
+
+std::string FrameAssembler::Truncated() const {
+  return "truncated request frame after " + std::to_string(lines_) +
+         " line(s) — missing END terminator";
+}
+
+void FrameAssembler::Reset() {
+  frame_.clear();
+  lines_ = 0;
+  done_ = false;
+}
+
+}  // namespace fadesched::service

@@ -1,0 +1,82 @@
+// Line-delimited wire protocol for the scheduling service. The payload is
+// the `.scenario` corpus format itself, so any checked-in fuzz reproducer
+// is directly servable and any served instance can be saved as a corpus
+// file.
+//
+// Request frame (client → server):
+//
+//   REQUEST id=<token> scheduler=<name> [deadline=<seconds>]
+//   # fadesched scenario v1
+//   ...                                  (testing::FormatScenario output)
+//   END
+//
+// Response (server → client), exactly one line per request:
+//
+//   OK id=<token> rate=<%.17g> schedule=<i,j,k|->
+//   ERR id=<token> status=<shed|timeout|error> kind=<taxonomy> msg=<...>
+//
+// Framing rules: the header names the request; the scenario payload runs
+// until a line that is exactly `END` (no scenario line can be `END` — the
+// format emits comments, `key = value` pairs, `links:` and CSV rows).
+// Parse errors name the 1-based line within the frame; scenario-payload
+// errors keep ParseScenario's own line/row numbers, offset-free, prefixed
+// with the frame position. Responses are single-line by construction
+// (messages have newlines flattened), which is what makes "byte-identical
+// response" checkable with a line compare.
+#pragma once
+
+#include <string>
+
+#include "service/request.hpp"
+
+namespace fadesched::service {
+
+/// Terminator line of a request frame.
+inline constexpr const char* kFrameEnd = "END";
+
+/// Serializes a request as a full frame (header + scenario + END), ready
+/// to write to a socket. Requires a non-empty id without spaces.
+std::string FormatRequestFrame(const SchedulingRequest& request);
+
+/// Parses a complete frame (header line through the line before END).
+/// Throws util::HarnessError (kFatal) naming the offending 1-based frame
+/// line on malformed input.
+SchedulingRequest ParseRequestFrame(const std::string& frame);
+
+/// Formats the single response line (no trailing newline). Deliberately
+/// omits cache_hit so hit and miss responses are byte-identical.
+std::string FormatResponseLine(const SchedulingResponse& response);
+
+/// Parses a response line produced by FormatResponseLine. Throws
+/// util::HarnessError (kFatal) on malformed input.
+SchedulingResponse ParseResponseLine(const std::string& line);
+
+/// Incremental frame assembler for a line-oriented transport: feed lines
+/// as they arrive; Done() flips when the END terminator lands. Reuse via
+/// Reset(). A frame abandoned mid-way (connection closed before END) is
+/// reported by Truncated(), which names how many lines arrived.
+class FrameAssembler {
+ public:
+  /// Consumes one line (without its newline). Returns true when this line
+  /// completed the frame.
+  bool Feed(const std::string& line);
+
+  [[nodiscard]] bool Done() const { return done_; }
+  [[nodiscard]] bool Empty() const { return lines_ == 0; }
+
+  /// Parses the assembled frame (requires Done()).
+  [[nodiscard]] SchedulingRequest Parse() const;
+
+  /// Error message for a frame cut off before END ("truncated request
+  /// frame after N line(s) — missing END terminator").
+  [[nodiscard]] std::string Truncated() const;
+
+  void Reset();
+
+ private:
+  std::string frame_;
+  std::size_t lines_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace fadesched::service

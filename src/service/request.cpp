@@ -1,0 +1,87 @@
+#include "service/request.hpp"
+
+#include <cstring>
+
+#include "geom/vec2.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::service {
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kShed: return "shed";
+    case ResponseStatus::kTimeout: return "timeout";
+    case ResponseStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+int SchedulingResponse::ExitCode() const {
+  if (Ok()) return util::kExitOk;
+  return util::ExitCodeForError(error_kind);
+}
+
+std::uint64_t Fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+namespace {
+
+void AppendDouble(std::string& out, double value) {
+  char bytes[sizeof(double)];
+  std::memcpy(bytes, &value, sizeof(double));
+  out.append(bytes, sizeof(double));
+}
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  out.append(bytes, sizeof(value));
+}
+
+}  // namespace
+
+Fingerprint FingerprintRequest(const SchedulingRequest& request) {
+  FS_CHECK_MSG(!request.scheduler.empty(),
+               "request carries no scheduler name");
+  const net::LinkSet& links = request.scenario.links;
+  const channel::ChannelParams& params = request.scenario.params;
+
+  Fingerprint fp;
+  std::string& blob = fp.canonical_scenario;
+  blob.reserve(64 + links.Size() * 6 * sizeof(double));
+  blob.append("fadesched-fp-v1");
+  blob.push_back('\0');
+  AppendDouble(blob, params.alpha);
+  AppendDouble(blob, params.epsilon);
+  AppendDouble(blob, params.gamma_th);
+  AppendDouble(blob, params.tx_power);
+  AppendDouble(blob, params.noise_power);
+  AppendU64(blob, static_cast<std::uint64_t>(links.Size()));
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    const geom::Vec2 sender = links.Sender(i);
+    const geom::Vec2 receiver = links.Receiver(i);
+    AppendDouble(blob, sender.x);
+    AppendDouble(blob, sender.y);
+    AppendDouble(blob, receiver.x);
+    AppendDouble(blob, receiver.y);
+    AppendDouble(blob, links.Rate(i));
+    AppendDouble(blob, links.TxPower(i));
+  }
+
+  fp.scheduler = request.scheduler;
+  fp.scenario_hash = Fnv1a64(fp.canonical_scenario);
+  // Chain the scheduler name (plus a separator that cannot appear in a
+  // name) so "rle" on scenario X never collides with "ldp" on X.
+  fp.request_hash = Fnv1a64(fp.scheduler, Fnv1a64("\n#scheduler:",
+                                                  fp.scenario_hash));
+  return fp;
+}
+
+}  // namespace fadesched::service

@@ -1,0 +1,99 @@
+// Request/response types of the scheduling service, plus the canonical
+// content fingerprint the cache is keyed by.
+//
+// A request is one `.scenario` instance (links + channel parameters, the
+// same format the fuzzer's reproducers use) plus the name of a registered
+// scheduler. Its fingerprint is a hash over the *canonical* serialization
+// of that content — %.17g doubles, fixed key order, provenance stripped —
+// so two requests that mean the same instance collide onto one cache
+// entry no matter how their wire bytes were formatted. Responses are
+// deterministic: identical request content yields a byte-identical
+// schedule whether it was computed or served from cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/link_set.hpp"
+#include "testing/corpus.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+
+struct SchedulingRequest {
+  /// The instance: links + channel parameters (+ free-form description,
+  /// which is provenance and explicitly NOT part of the fingerprint).
+  fadesched::testing::ScenarioCase scenario;
+  /// Registered scheduler name resolved at execution time.
+  std::string scheduler = "rle";
+  /// Admission deadline in seconds from enqueue; a request that waits
+  /// longer is answered with a timeout instead of being executed. 0 = the
+  /// batcher's default.
+  double deadline_seconds = 0.0;
+  /// Wire correlation tag (echoed in the response); not fingerprinted.
+  std::string id;
+};
+
+/// What happened to a request. kOk carries a schedule; the other three
+/// carry an error kind + single-line message. kShed and kTimeout are the
+/// admission-control outcomes (queue full / deadline passed); kError is
+/// an execution failure classified by the util::error taxonomy.
+enum class ResponseStatus { kOk, kShed, kTimeout, kError };
+
+/// Stable lowercase name ("ok", "shed", "timeout", "error").
+const char* ResponseStatusName(ResponseStatus status);
+
+struct SchedulingResponse {
+  ResponseStatus status = ResponseStatus::kOk;
+  /// Error taxonomy kind; meaningful iff status != kOk. Shed maps to
+  /// transient (retry later), timeout to timeout, drain to interrupted.
+  util::ErrorKind error_kind = util::ErrorKind::kFatal;
+  /// Single-line human-readable failure description (empty on kOk).
+  std::string message;
+
+  net::Schedule schedule;       ///< chosen link ids, ascending
+  double claimed_rate = 0.0;    ///< Σ λ over the schedule
+
+  /// Served from the response cache (diagnostics only — deliberately not
+  /// part of the wire format, so hit and miss responses stay
+  /// byte-identical).
+  bool cache_hit = false;
+  std::string id;               ///< echoed request correlation tag
+
+  [[nodiscard]] bool Ok() const { return status == ResponseStatus::kOk; }
+
+  /// Process exit code a CLI caller should propagate for this response:
+  /// 0 ok, 3 timeout, 1 shed/error (shed is transient — retry later).
+  [[nodiscard]] int ExitCode() const;
+};
+
+/// 64-bit FNV-1a over `bytes`, chainable via `seed`.
+std::uint64_t Fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = 14695981039346656037ull);
+
+/// Canonical content fingerprint of a request. `canonical_scenario` holds
+/// the canonical bytes themselves so the cache can reject the (vanishing
+/// but nonzero) chance of a 64-bit hash collision by exact comparison
+/// instead of serving someone else's schedule.
+///
+/// The canonical form is a versioned binary serialization — every channel
+/// parameter and per-link double memcpy'd raw, fixed field order, the
+/// description stripped. Value-identical scenarios produce bit-identical
+/// blobs (`.scenario` text stores %.17g, which round-trips doubles
+/// exactly, so text-level and binary-level identity coincide), and
+/// producing the blob is ~50× cheaper than re-serializing text — it IS
+/// the response-cache hot path.
+struct Fingerprint {
+  std::uint64_t scenario_hash = 0;  ///< over the canonical blob
+  std::uint64_t request_hash = 0;   ///< scenario_hash chained with scheduler
+  std::string canonical_scenario;   ///< canonical binary blob (see above)
+  std::string scheduler;            ///< scheduler name (response-cache key)
+};
+
+/// Canonicalizes and hashes. Deterministic: value-identical scenarios
+/// produce identical canonical bytes and hashes; the description and the
+/// request id are deliberately excluded.
+Fingerprint FingerprintRequest(const SchedulingRequest& request);
+
+}  // namespace fadesched::service

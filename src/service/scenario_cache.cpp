@@ -1,0 +1,192 @@
+#include "service/scenario_cache.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace fadesched::service {
+
+namespace {
+
+// Fixed per-node bookkeeping (list/map nodes, small strings) — a floor so
+// a cache of thousands of tiny responses still respects the budget.
+constexpr std::size_t kNodeOverheadBytes = 512;
+
+std::string ResponseGuard(const Fingerprint& fp) {
+  // Scheduler first, then its newline terminator (names cannot contain
+  // one), then the canonical blob: the split is unambiguous even though
+  // the blob is binary, and a response guard can never equal a scenario
+  // guard (which is the bare blob starting with the version magic).
+  std::string guard = fp.scheduler;
+  guard += '\n';
+  guard += fp.canonical_scenario;
+  return guard;
+}
+
+std::size_t EstimateResponseBytes(const Fingerprint& fp,
+                                  const SchedulingResponse& response) {
+  return kNodeOverheadBytes + fp.canonical_scenario.size() +
+         response.schedule.size() * sizeof(net::LinkId) +
+         response.message.size();
+}
+
+}  // namespace
+
+ScenarioCache::ScenarioCache(CacheOptions options, ServiceMetrics* metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  FS_CHECK_MSG(options_.engine.shared == nullptr,
+               "CacheOptions::engine.shared must be empty — the cache fills "
+               "it in per request");
+}
+
+void ScenarioCache::Bump(
+    std::atomic<std::uint64_t> ServiceMetrics::* counter) const {
+  if (metrics_ != nullptr) {
+    (metrics_->*counter).fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ScenarioCache::LruList::iterator ScenarioCache::FindLocked(
+    std::uint64_t hash, const std::string& guard) {
+  auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second->guard == guard) return it->second;
+    Bump(&ServiceMetrics::cache_collisions);
+  }
+  return lru_.end();
+}
+
+void ScenarioCache::TouchLocked(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void ScenarioCache::EvictLocked() {
+  while (current_bytes_ > options_.capacity_bytes && lru_.size() > 1) {
+    const auto victim = std::prev(lru_.end());
+    auto [begin, end] = index_.equal_range(victim->hash);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    current_bytes_ -= victim->cost_bytes;
+    lru_.erase(victim);
+    Bump(&ServiceMetrics::cache_evictions);
+  }
+}
+
+std::size_t ScenarioCache::EstimateScenarioBytes(
+    const Scenario& scenario, const channel::EngineOptions& engine) {
+  const std::size_t n = scenario.links.Size();
+  // LinkSet SoA (7 doubles/link) + the engine's per-link tables (another
+  // 7 doubles/link) + the canonical bytes held for the collision guard.
+  std::size_t bytes = kNodeOverheadBytes + scenario.canonical_scenario.size() +
+                      14 * sizeof(double) * n;
+  if (engine.backend == channel::FactorBackend::kMatrix) {
+    bytes += n * n * sizeof(double);  // the materialized factor matrix
+  }
+  return bytes;
+}
+
+ScenarioCache::ScenarioPtr ScenarioCache::ObtainScenario(
+    const Fingerprint& fp, const SchedulingRequest& request, bool* hit) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = FindLocked(fp.scenario_hash, fp.canonical_scenario);
+    if (it != lru_.end()) {
+      TouchLocked(it);
+      Bump(&ServiceMetrics::scenario_hits);
+      if (hit != nullptr) *hit = true;
+      return it->scenario;
+    }
+  }
+
+  // Miss: build outside the lock. The entry sits behind a shared_ptr, so
+  // `built->links` has its final address before the engine captures it.
+  Bump(&ServiceMetrics::scenario_misses);
+  if (hit != nullptr) *hit = false;
+  auto built = std::make_shared<Scenario>();
+  built->links = request.scenario.links;
+  built->params = request.scenario.params;
+  built->canonical_scenario = fp.canonical_scenario;
+  channel::EngineOptions engine_options = options_.engine;
+  engine_options.shared.reset();
+  built->engine.emplace(built->links, built->params, engine_options);
+  built->cost_bytes = EstimateScenarioBytes(*built, options_.engine);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Two threads may have raced the build; first insert wins and the loser
+  // adopts it (both engines are bit-identical, so either is correct).
+  const auto raced = FindLocked(fp.scenario_hash, fp.canonical_scenario);
+  if (raced != lru_.end()) {
+    TouchLocked(raced);
+    return raced->scenario;
+  }
+  Node node;
+  node.hash = fp.scenario_hash;
+  node.guard = fp.canonical_scenario;
+  node.scenario = built;
+  node.cost_bytes = built->cost_bytes;
+  lru_.push_front(std::move(node));
+  index_.emplace(fp.scenario_hash, lru_.begin());
+  current_bytes_ += built->cost_bytes;
+  EvictLocked();
+  return built;
+}
+
+bool ScenarioCache::LookupResponse(const Fingerprint& fp,
+                                   SchedulingResponse* out) {
+  const std::string guard = ResponseGuard(fp);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = FindLocked(fp.request_hash, guard);
+  if (it == lru_.end()) {
+    Bump(&ServiceMetrics::response_misses);
+    return false;
+  }
+  TouchLocked(it);
+  Bump(&ServiceMetrics::response_hits);
+  if (out != nullptr) *out = *it->response;
+  return true;
+}
+
+void ScenarioCache::StoreResponse(const Fingerprint& fp,
+                                  const SchedulingResponse& response) {
+  if (!response.Ok()) return;  // admission failures must not be replayed
+  SchedulingResponse stored = response;
+  stored.id.clear();          // correlation tag is per-request
+  stored.cache_hit = false;   // stamped by the caller on each serve
+  const std::string guard = ResponseGuard(fp);
+  const std::size_t cost = EstimateResponseBytes(fp, stored);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (FindLocked(fp.request_hash, guard) != lru_.end()) return;
+  Node node;
+  node.hash = fp.request_hash;
+  node.guard = guard;
+  node.response = std::move(stored);
+  node.cost_bytes = cost;
+  lru_.push_front(std::move(node));
+  index_.emplace(fp.request_hash, lru_.begin());
+  current_bytes_ += cost;
+  EvictLocked();
+}
+
+std::size_t ScenarioCache::CurrentBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_bytes_;
+}
+
+std::size_t ScenarioCache::NumEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ScenarioCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  current_bytes_ = 0;
+}
+
+}  // namespace fadesched::service

@@ -1,0 +1,127 @@
+// Bounded-memory LRU cache of scheduling state, keyed by the canonical
+// content fingerprint.
+//
+// Two levels share one byte budget and one recency list:
+//
+//   * scenario entries — the parsed LinkSet plus a built
+//     channel::InterferenceEngine (the service's configured backend), so
+//     a repeated or perturbed-then-repeated topology skips the O(N)
+//     table / O(N²) matrix rebuild. Entries are handed out as
+//     shared_ptr<const ...>, so eviction can never invalidate an engine a
+//     worker is scheduling against.
+//   * response entries — the completed SchedulingResponse for
+//     (scenario, scheduler), so an identical repeat request skips
+//     scheduling entirely.
+//
+// Hash collisions are rejected, not served: every entry stores the
+// canonical bytes it was keyed by and a lookup compares them before
+// declaring a hit (a 64-bit content hash makes collisions vanishingly
+// rare; comparing makes serving a wrong schedule impossible).
+//
+// All operations are thread-safe behind one mutex; engine builds happen
+// OUTSIDE the lock so a large miss cannot stall concurrent hits. Two
+// threads missing on the same key may both build — the first insert wins,
+// which is harmless because engine construction is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "channel/batch_interference.hpp"
+#include "channel/params.hpp"
+#include "net/link_set.hpp"
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+
+namespace fadesched::service {
+
+struct CacheOptions {
+  /// Total budget across scenario and response entries. Inserting an
+  /// over-budget entry evicts from the LRU tail first; a single entry
+  /// larger than the whole budget is still admitted (and evicted as soon
+  /// as anything newer lands) so a giant scenario cannot wedge the
+  /// service.
+  std::size_t capacity_bytes = 256ull << 20;
+
+  /// Backend configuration for memoized engines. `shared` must be empty;
+  /// the cache is the thing that fills it in.
+  channel::EngineOptions engine;
+};
+
+class ScenarioCache {
+ public:
+  /// Memoized per-scenario state. Immutable after construction; the
+  /// engine's internal LinkSet pointer targets `links`, which lives and
+  /// dies with the entry.
+  struct Scenario {
+    net::LinkSet links;
+    channel::ChannelParams params;
+    std::string canonical_scenario;
+    std::optional<channel::InterferenceEngine> engine;
+    std::size_t cost_bytes = 0;
+  };
+  using ScenarioPtr = std::shared_ptr<const Scenario>;
+
+  /// `metrics` may be null (the cache then keeps no counters).
+  explicit ScenarioCache(CacheOptions options = {},
+                         ServiceMetrics* metrics = nullptr);
+
+  /// Returns the memoized state for `fp`, building (links copied out of
+  /// `request.scenario`, engine constructed with the configured backend)
+  /// and inserting on miss. Sets *hit accordingly when non-null.
+  ScenarioPtr ObtainScenario(const Fingerprint& fp,
+                             const SchedulingRequest& request,
+                             bool* hit = nullptr);
+
+  /// Response memoization. Lookup copies the stored response into *out
+  /// (id/cache_hit fields left for the caller to stamp). Store ignores
+  /// non-kOk responses — admission failures must not be replayed.
+  bool LookupResponse(const Fingerprint& fp, SchedulingResponse* out);
+  void StoreResponse(const Fingerprint& fp, const SchedulingResponse& response);
+
+  [[nodiscard]] std::size_t CurrentBytes() const;
+  [[nodiscard]] std::size_t NumEntries() const;
+
+  /// Drops everything (tests; administrative reset).
+  void Clear();
+
+  /// Cost model used for the byte budget, exposed for tests.
+  static std::size_t EstimateScenarioBytes(const Scenario& scenario,
+                                           const channel::EngineOptions& engine);
+
+ private:
+  // One LRU node covers either level; exactly one of scenario/response is
+  // set. `guard` is the exact-match key (canonical bytes, plus the
+  // scheduler name for responses).
+  struct Node {
+    std::uint64_t hash = 0;
+    std::string guard;
+    ScenarioPtr scenario;
+    std::optional<SchedulingResponse> response;
+    std::size_t cost_bytes = 0;
+  };
+  using LruList = std::list<Node>;
+
+  /// Moves the node to the front (most recent). Caller holds the mutex.
+  void TouchLocked(LruList::iterator it);
+  /// Evicts LRU tail nodes until the budget holds. Caller holds the mutex.
+  void EvictLocked();
+  LruList::iterator FindLocked(std::uint64_t hash, const std::string& guard);
+
+  void Bump(std::atomic<std::uint64_t> ServiceMetrics::* counter) const;
+
+  CacheOptions options_;
+  ServiceMetrics* metrics_;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_multimap<std::uint64_t, LruList::iterator> index_;
+  std::size_t current_bytes_ = 0;
+};
+
+}  // namespace fadesched::service

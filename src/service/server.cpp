@@ -1,0 +1,204 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/protocol.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/signal_guard.hpp"
+
+namespace fadesched::service {
+
+namespace {
+
+constexpr int kPollTickMs = 200;
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw util::TransientError(what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer, retrying short writes; false if the peer went
+/// away (EPIPE et al.) — a vanished client is not a server error.
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      service_(std::make_unique<SchedulingService>(options_.service)) {}
+
+Server::~Server() {
+  Stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_socket_path.empty()) {
+    ::unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+void Server::Start() {
+  if (!options_.unix_socket_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) ThrowErrno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      throw util::FatalError("unix socket path too long: " +
+                             options_.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_socket_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ThrowErrno("bind(" + options_.unix_socket_path + ")");
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) ThrowErrno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      throw util::FatalError("invalid bind address: " + options_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ThrowErrno("bind(" + options_.host + ":" +
+                 std::to_string(options_.port) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+  if (::listen(listen_fd_, 64) < 0) ThrowErrno("listen");
+}
+
+bool Server::StopRequested() const {
+  return stop_.load(std::memory_order_relaxed) || util::ShutdownRequested();
+}
+
+void Server::Serve() {
+  FS_CHECK_MSG(listen_fd_ >= 0, "Serve() before Start()");
+  while (!StopRequested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // a signal landed — loop re-checks stop
+      ThrowErrno("poll(listen)");
+    }
+    if (ready == 0) continue;  // tick: re-check the stop flags
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      ThrowErrno("accept");
+    }
+    connections_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+  // Graceful drain: connections finish the frame they are serving, then
+  // the batcher completes everything already queued.
+  for (auto& connection : connections_) {
+    if (connection.joinable()) connection.join();
+  }
+  connections_.clear();
+  service_->Drain();
+}
+
+void Server::HandleConnection(int fd) {
+  FrameAssembler assembler;
+  std::string buffer;
+  char chunk[4096];
+  bool peer_closed = false;
+
+  while (!peer_closed) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      // Idle tick: only hang up between frames, never mid-frame — a
+      // client that already sent half a request gets its answer.
+      if (StopRequested() && assembler.Empty()) break;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      peer_closed = true;
+    } else {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    std::size_t line_end;
+    while ((line_end = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, line_end);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer.erase(0, line_end + 1);
+      if (!assembler.Feed(line)) continue;
+
+      SchedulingResponse response;
+      try {
+        response = service_->Execute(assembler.Parse());
+      } catch (const std::exception& e) {
+        response.status = ResponseStatus::kError;
+        response.error_kind = util::ErrorKind::kFatal;
+        response.message = e.what();
+        if (response.id.empty()) response.id = "-";
+      }
+      assembler.Reset();
+      if (!WriteAll(fd, FormatResponseLine(response) + "\n")) {
+        peer_closed = true;
+        break;
+      }
+    }
+
+    if (peer_closed && !assembler.Empty() && !assembler.Done()) {
+      // EOF mid-frame: best-effort error naming how far the frame got
+      // (the peer may keep its read side open after shutdown(SHUT_WR)).
+      SchedulingResponse response;
+      response.status = ResponseStatus::kError;
+      response.error_kind = util::ErrorKind::kFatal;
+      response.message = assembler.Truncated();
+      response.id = "-";
+      WriteAll(fd, FormatResponseLine(response) + "\n");
+    }
+  }
+  ::close(fd);
+}
+
+void Server::Stop() { stop_.store(true, std::memory_order_relaxed); }
+
+}  // namespace fadesched::service

@@ -1,0 +1,85 @@
+#include "service/service.hpp"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "sched/registry.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+
+SchedulingService::SchedulingService(ServiceOptions options)
+    : cache_(std::make_unique<ScenarioCache>(options.cache, &metrics_)),
+      batcher_(std::make_unique<RequestBatcher>(
+          [this](const SchedulingRequest& request) {
+            return HandleNow(request);
+          },
+          options.batcher, &metrics_)) {}
+
+SchedulingResponse SchedulingService::HandleNow(
+    const SchedulingRequest& request) {
+  SchedulingResponse response;
+  response.id = request.id;
+  try {
+    if (!sched::IsRegisteredScheduler(request.scheduler)) {
+      response.status = ResponseStatus::kError;
+      response.error_kind = util::ErrorKind::kFatal;
+      response.message = "unknown scheduler '" + request.scheduler + "'";
+      return response;
+    }
+    const Fingerprint fp = FingerprintRequest(request);
+
+    if (cache_->LookupResponse(fp, &response)) {
+      response.id = request.id;
+      response.cache_hit = true;
+      return response;
+    }
+
+    const ScenarioCache::ScenarioPtr entry =
+        cache_->ObtainScenario(fp, request);
+    channel::EngineOptions engine_options = entry->engine->Options();
+    // Aliasing: the engine pointer shares the entry's lifetime, so an
+    // eviction mid-schedule cannot free state the scheduler is reading.
+    engine_options.shared = std::shared_ptr<const channel::InterferenceEngine>(
+        entry, &*entry->engine);
+    const sched::SchedulerPtr scheduler =
+        sched::MakeScheduler(fp.scheduler, engine_options);
+
+    const sched::ScheduleResult result =
+        scheduler->Schedule(entry->links, entry->params);
+    response.status = ResponseStatus::kOk;
+    response.schedule = result.schedule;
+    response.claimed_rate = result.claimed_rate;
+    response.cache_hit = false;
+    cache_->StoreResponse(fp, response);
+    return response;
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    response.status = ResponseStatus::kError;
+    response.error_kind = util::ClassifyException(error);
+    response.schedule.clear();
+    response.claimed_rate = 0.0;
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      response.message = e.what();
+    } catch (...) {
+      response.message = "unknown failure";
+    }
+    return response;
+  }
+}
+
+std::future<SchedulingResponse> SchedulingService::Submit(
+    SchedulingRequest request) {
+  return batcher_->Submit(std::move(request));
+}
+
+SchedulingResponse SchedulingService::Execute(SchedulingRequest request) {
+  return batcher_->Execute(std::move(request));
+}
+
+void SchedulingService::Drain() { batcher_->Drain(); }
+
+}  // namespace fadesched::service

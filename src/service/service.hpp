@@ -1,0 +1,59 @@
+// The scheduling service: fingerprint → response cache → scenario cache →
+// registry-resolved scheduler, fronted by the RequestBatcher.
+//
+// Determinism contract: identical request content produces a byte-
+// identical schedule whether it is computed fresh, recomputed after an
+// eviction, or served from the response cache — the cache memoizes work,
+// never changes answers. This holds because (a) the fingerprint is over
+// canonical scenario bytes, (b) every scheduler is deterministic for a
+// fixed instance, and (c) a cached engine is bit-identical to a rebuilt
+// one (see channel::ObtainEngine).
+//
+// HandleNow() never throws: every failure is classified through the
+// util::error taxonomy into a kError response, so a malformed or oversized
+// instance poisons one response, not the worker thread.
+#pragma once
+
+#include <future>
+#include <memory>
+
+#include "service/batcher.hpp"
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+#include "service/scenario_cache.hpp"
+
+namespace fadesched::service {
+
+struct ServiceOptions {
+  CacheOptions cache;
+  BatcherOptions batcher;
+};
+
+class SchedulingService {
+ public:
+  explicit SchedulingService(ServiceOptions options = {});
+
+  /// The full request pipeline, synchronously on the calling thread
+  /// (workers call this; tests and the bench may too). Never throws.
+  SchedulingResponse HandleNow(const SchedulingRequest& request);
+
+  /// Admission-controlled path through the batcher (see batcher.hpp for
+  /// the shed/timeout contract). The future is always fulfilled.
+  std::future<SchedulingResponse> Submit(SchedulingRequest request);
+
+  /// Submit + wait.
+  SchedulingResponse Execute(SchedulingRequest request);
+
+  /// Graceful shutdown: stop admission, finish queued + in-flight work.
+  void Drain();
+
+  [[nodiscard]] ServiceMetrics& Metrics() { return metrics_; }
+  [[nodiscard]] ScenarioCache& Cache() { return *cache_; }
+
+ private:
+  ServiceMetrics metrics_;
+  std::unique_ptr<ScenarioCache> cache_;
+  std::unique_ptr<RequestBatcher> batcher_;
+};
+
+}  // namespace fadesched::service

@@ -122,6 +122,9 @@ ScenarioCase ParseScenario(const std::string& text) {
   // malformed values as "scenario row N" relative to this block.
   std::string csv_block((std::istreambuf_iterator<char>(is)),
                         std::istreambuf_iterator<char>());
+  FS_CHECK_MSG(!util::Trim(csv_block).empty(),
+               "scenario file: truncated after 'links:' — missing CSV "
+               "header row");
   result.links = net::FromCsv(util::CsvTable::ParseString(csv_block));
   return result;
 }

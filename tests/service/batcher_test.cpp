@@ -1,0 +1,169 @@
+#include "service/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fadesched::service {
+namespace {
+
+SchedulingRequest MakeRequest(const std::string& id) {
+  SchedulingRequest request;
+  request.id = id;
+  return request;
+}
+
+SchedulingResponse OkResponse() {
+  SchedulingResponse response;
+  response.status = ResponseStatus::kOk;
+  return response;
+}
+
+TEST(RequestBatcherTest, ExecutesAndEchoesTheRequestId) {
+  RequestBatcher batcher([](const SchedulingRequest&) { return OkResponse(); });
+  const SchedulingResponse response = batcher.Execute(MakeRequest("r7"));
+  EXPECT_TRUE(response.Ok());
+  EXPECT_EQ(response.id, "r7");
+}
+
+TEST(RequestBatcherTest, FullQueueShedsWithTransientKind) {
+  std::atomic<bool> release{false};
+  BatcherOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  RequestBatcher batcher(
+      [&](const SchedulingRequest&) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return OkResponse();
+      },
+      options);
+
+  // One request occupies the worker, two fill the queue; the rest shed.
+  std::vector<std::future<SchedulingResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(batcher.Submit(MakeRequest("r" + std::to_string(i))));
+  }
+  std::size_t shed = 0;
+  std::size_t ok = 0;
+  release.store(true);
+  for (auto& future : futures) {
+    const SchedulingResponse response = future.get();
+    if (response.status == ResponseStatus::kShed) {
+      ++shed;
+      EXPECT_EQ(response.error_kind, util::ErrorKind::kTransient);
+      EXPECT_EQ(response.ExitCode(), util::kExitRuntime);
+    } else {
+      EXPECT_TRUE(response.Ok());
+      ++ok;
+    }
+  }
+  EXPECT_GE(shed, 5u);  // at least 8 - (1 in flight + 2 queued)
+  EXPECT_GE(ok, 1u);
+  EXPECT_EQ(shed + ok, 8u);
+}
+
+TEST(RequestBatcherTest, ExpiredQueueDeadlineTimesOutWithoutExecuting) {
+  std::atomic<bool> release{false};
+  std::atomic<int> executed{0};
+  BatcherOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  RequestBatcher batcher(
+      [&](const SchedulingRequest&) {
+        ++executed;
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return OkResponse();
+      },
+      options);
+
+  auto blocker = batcher.Submit(MakeRequest("blocker"));
+  SchedulingRequest hurried = MakeRequest("hurried");
+  hurried.deadline_seconds = 0.02;  // expires while the blocker runs
+  auto timed = batcher.Submit(hurried);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  release.store(true);
+
+  const SchedulingResponse response = timed.get();
+  EXPECT_EQ(response.status, ResponseStatus::kTimeout);
+  EXPECT_EQ(response.error_kind, util::ErrorKind::kTimeout);
+  EXPECT_EQ(response.ExitCode(), util::kExitInterrupted);
+  EXPECT_TRUE(blocker.get().Ok());
+  EXPECT_EQ(executed.load(), 1);  // the timed-out request never ran
+}
+
+TEST(RequestBatcherTest, HandlerExceptionsAreClassifiedNotPropagated) {
+  RequestBatcher batcher([](const SchedulingRequest& request)
+                             -> SchedulingResponse {
+    if (request.id == "fatal") throw std::logic_error("bad invariant");
+    throw util::TimeoutError("watchdog fired");
+  });
+
+  const SchedulingResponse fatal = batcher.Execute(MakeRequest("fatal"));
+  EXPECT_EQ(fatal.status, ResponseStatus::kError);
+  EXPECT_EQ(fatal.error_kind, util::ErrorKind::kFatal);
+  EXPECT_EQ(fatal.message, "bad invariant");
+
+  const SchedulingResponse timeout = batcher.Execute(MakeRequest("t"));
+  EXPECT_EQ(timeout.status, ResponseStatus::kError);
+  EXPECT_EQ(timeout.error_kind, util::ErrorKind::kTimeout);
+}
+
+TEST(RequestBatcherTest, DrainCompletesQueuedWorkThenRejectsNew) {
+  BatcherOptions options;
+  options.num_workers = 2;
+  RequestBatcher batcher(
+      [](const SchedulingRequest&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return OkResponse();
+      },
+      options);
+  std::vector<std::future<SchedulingResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(batcher.Submit(MakeRequest("r" + std::to_string(i))));
+  }
+  batcher.Drain();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().Ok());  // queued work completed, none dropped
+  }
+
+  const SchedulingResponse rejected = batcher.Execute(MakeRequest("late"));
+  EXPECT_EQ(rejected.status, ResponseStatus::kShed);
+  EXPECT_EQ(rejected.error_kind, util::ErrorKind::kInterrupted);
+  EXPECT_EQ(rejected.ExitCode(), util::kExitInterrupted);
+}
+
+TEST(RequestBatcherTest, DrainIsIdempotent) {
+  RequestBatcher batcher([](const SchedulingRequest&) { return OkResponse(); });
+  batcher.Drain();
+  batcher.Drain();
+  EXPECT_TRUE(batcher.Draining());
+}
+
+TEST(RequestBatcherTest, MetricsCountEveryOutcome) {
+  ServiceMetrics metrics;
+  BatcherOptions options;
+  options.num_workers = 2;
+  RequestBatcher batcher(
+      [](const SchedulingRequest&) { return OkResponse(); }, options,
+      &metrics);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(batcher.Execute(MakeRequest("r")).Ok());
+  }
+  batcher.Drain();
+  EXPECT_EQ(metrics.admitted.load(), 5u);
+  EXPECT_EQ(metrics.completed.load(), 5u);
+  EXPECT_EQ(metrics.total_latency.Count(), 5u);
+  EXPECT_EQ(metrics.queue_latency.Count(), 5u);
+}
+
+}  // namespace
+}  // namespace fadesched::service

@@ -1,0 +1,93 @@
+#include "service/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace fadesched::service {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreWithinOneBinOfTruth) {
+  LatencyHistogram histogram;
+  // 100 samples spread over three decades.
+  for (int i = 0; i < 50; ++i) histogram.Record(100e-6);
+  for (int i = 0; i < 40; ++i) histogram.Record(1e-3);
+  for (int i = 0; i < 10; ++i) histogram.Record(50e-3);
+  EXPECT_EQ(histogram.Count(), 100u);
+  // Log-spaced bins at 3/octave have ~26% resolution; allow 30%.
+  EXPECT_NEAR(histogram.Percentile(0.50), 100e-6, 0.30 * 100e-6);
+  EXPECT_NEAR(histogram.Percentile(0.90), 1e-3, 0.30 * 1e-3);
+  EXPECT_NEAR(histogram.Percentile(0.99), 50e-3, 0.30 * 50e-3);
+}
+
+TEST(LatencyHistogramTest, DeterministicForAFixedSampleSet) {
+  LatencyHistogram a, b;
+  const std::vector<double> samples = {1e-6, 3e-5, 2e-4, 9e-4, 0.1, 2.0};
+  for (const double s : samples) a.Record(s);
+  // Insertion order must not matter.
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) b.Record(*it);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(LatencyHistogramTest, PathologicalInputsLandInTheEdgeBins) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);
+  histogram.Record(-1.0);
+  histogram.Record(std::nan(""));
+  histogram.Record(1e9);  // far beyond the covered range
+  EXPECT_EQ(histogram.Count(), 4u);  // nothing lost, nothing crashed
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAreAllCounted) {
+  LatencyHistogram histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) histogram.Record(1e-4);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(), 8000u);
+}
+
+TEST(ServiceMetricsTest, JsonCarriesEveryCounter) {
+  ServiceMetrics metrics;
+  metrics.admitted.store(3);
+  metrics.shed.store(2);
+  metrics.response_hits.store(1);
+  metrics.queue_latency.Record(1e-3);
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"admitted\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"response_hits\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
+}
+
+TEST(ServiceMetricsTest, DumpJsonWritesTheFile) {
+  ServiceMetrics metrics;
+  metrics.completed.store(7);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fs_metrics_test.json")
+          .string();
+  metrics.DumpJson(path);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"completed\": 7"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fadesched::service

@@ -1,0 +1,107 @@
+#include "service/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/fuzzer.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::service {
+namespace {
+
+SchedulingRequest MakeRequest(std::uint64_t seed = 1) {
+  fadesched::testing::ScenarioFuzzer fuzzer(seed);
+  SchedulingRequest request;
+  request.scenario = fuzzer.Case(0);
+  request.scheduler = "rle";
+  request.id = "r0";
+  return request;
+}
+
+TEST(Fnv1a64Test, MatchesReferenceVectors) {
+  // Canonical FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64Test, SeedChainsAcrossCalls) {
+  const std::uint64_t whole = Fnv1a64("foobar");
+  const std::uint64_t chained = Fnv1a64("bar", Fnv1a64("foo"));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(FingerprintTest, DeterministicAcrossCalls) {
+  const SchedulingRequest request = MakeRequest();
+  const Fingerprint a = FingerprintRequest(request);
+  const Fingerprint b = FingerprintRequest(request);
+  EXPECT_EQ(a.scenario_hash, b.scenario_hash);
+  EXPECT_EQ(a.request_hash, b.request_hash);
+  EXPECT_EQ(a.canonical_scenario, b.canonical_scenario);
+}
+
+TEST(FingerprintTest, DescriptionAndIdAreNotContent) {
+  SchedulingRequest request = MakeRequest();
+  const Fingerprint base = FingerprintRequest(request);
+  request.scenario.description = "some other provenance";
+  request.id = "completely-different";
+  const Fingerprint same = FingerprintRequest(request);
+  EXPECT_EQ(base.request_hash, same.request_hash);
+  EXPECT_EQ(base.canonical_scenario, same.canonical_scenario);
+}
+
+TEST(FingerprintTest, SchedulerNameSeparatesResponses) {
+  SchedulingRequest request = MakeRequest();
+  const Fingerprint rle = FingerprintRequest(request);
+  request.scheduler = "ldp";
+  const Fingerprint ldp = FingerprintRequest(request);
+  // Same scenario, different scheduler: scenario-level key shared,
+  // response-level key distinct.
+  EXPECT_EQ(rle.scenario_hash, ldp.scenario_hash);
+  EXPECT_NE(rle.request_hash, ldp.request_hash);
+}
+
+TEST(FingerprintTest, ScenarioContentChangesHash) {
+  const Fingerprint a = FingerprintRequest(MakeRequest(1));
+  const Fingerprint b = FingerprintRequest(MakeRequest(2));
+  EXPECT_NE(a.scenario_hash, b.scenario_hash);
+  EXPECT_NE(a.canonical_scenario, b.canonical_scenario);
+}
+
+TEST(FingerprintTest, ChannelParamsAreContent) {
+  SchedulingRequest request = MakeRequest();
+  const Fingerprint base = FingerprintRequest(request);
+  request.scenario.params.epsilon *= 0.5;
+  const Fingerprint changed = FingerprintRequest(request);
+  EXPECT_NE(base.scenario_hash, changed.scenario_hash);
+}
+
+TEST(FingerprintTest, EmptySchedulerNameIsRejected) {
+  SchedulingRequest request = MakeRequest();
+  request.scheduler.clear();
+  EXPECT_THROW(FingerprintRequest(request), util::CheckFailure);
+}
+
+TEST(ResponseTest, ExitCodesFollowTheTaxonomy) {
+  SchedulingResponse ok;
+  EXPECT_EQ(ok.ExitCode(), util::kExitOk);
+
+  SchedulingResponse shed;
+  shed.status = ResponseStatus::kShed;
+  shed.error_kind = util::ErrorKind::kTransient;
+  EXPECT_EQ(shed.ExitCode(), util::kExitRuntime);
+
+  SchedulingResponse timeout;
+  timeout.status = ResponseStatus::kTimeout;
+  timeout.error_kind = util::ErrorKind::kTimeout;
+  EXPECT_EQ(timeout.ExitCode(), util::kExitInterrupted);
+}
+
+TEST(ResponseTest, StatusNamesAreStable) {
+  EXPECT_STREQ(ResponseStatusName(ResponseStatus::kOk), "ok");
+  EXPECT_STREQ(ResponseStatusName(ResponseStatus::kShed), "shed");
+  EXPECT_STREQ(ResponseStatusName(ResponseStatus::kTimeout), "timeout");
+  EXPECT_STREQ(ResponseStatusName(ResponseStatus::kError), "error");
+}
+
+}  // namespace
+}  // namespace fadesched::service

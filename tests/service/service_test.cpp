@@ -1,0 +1,142 @@
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "service/protocol.hpp"
+#include "testing/fuzzer.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+namespace {
+
+SchedulingRequest MakeRequest(std::uint64_t case_index,
+                              const std::string& scheduler = "rle") {
+  fadesched::testing::ScenarioFuzzer fuzzer(7);
+  SchedulingRequest request;
+  request.scenario = fuzzer.Case(case_index);
+  request.scheduler = scheduler;
+  request.id = "c" + std::to_string(case_index);
+  return request;
+}
+
+TEST(SchedulingServiceTest, ServesAScheduleMatchingTheDirectScheduler) {
+  SchedulingService service;
+  const SchedulingRequest request = MakeRequest(0);
+  const SchedulingResponse response = service.HandleNow(request);
+  ASSERT_TRUE(response.Ok()) << response.message;
+
+  const sched::SchedulerPtr direct = sched::MakeScheduler("rle");
+  const sched::ScheduleResult expected =
+      direct->Schedule(request.scenario.links, request.scenario.params);
+  EXPECT_EQ(response.schedule, expected.schedule);
+  EXPECT_DOUBLE_EQ(response.claimed_rate, expected.claimed_rate);
+}
+
+TEST(SchedulingServiceTest, CacheHitIsByteIdenticalToTheMiss) {
+  SchedulingService service;
+  const SchedulingRequest request = MakeRequest(0);
+  const SchedulingResponse cold = service.HandleNow(request);
+  const SchedulingResponse warm = service.HandleNow(request);
+  ASSERT_TRUE(cold.Ok());
+  ASSERT_TRUE(warm.Ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  // The wire bytes are what the determinism contract covers — cache_hit
+  // is diagnostics and deliberately not serialized.
+  EXPECT_EQ(FormatResponseLine(cold), FormatResponseLine(warm));
+  EXPECT_EQ(service.Metrics().response_hits.load(), 1u);
+}
+
+TEST(SchedulingServiceTest, UnknownSchedulerIsAnErrorResponse) {
+  SchedulingService service;
+  SchedulingRequest request = MakeRequest(0);
+  request.scheduler = "no_such_algorithm";
+  const SchedulingResponse response = service.HandleNow(request);
+  EXPECT_EQ(response.status, ResponseStatus::kError);
+  EXPECT_EQ(response.error_kind, util::ErrorKind::kFatal);
+  EXPECT_NE(response.message.find("no_such_algorithm"), std::string::npos);
+}
+
+TEST(SchedulingServiceTest, OversizedExactInstanceFailsGracefully) {
+  SchedulingService service;
+  // exact_brute_force caps its instance size; a larger request must come
+  // back as a classified error response, not an exception.
+  fadesched::testing::FuzzerOptions fuzz;
+  fuzz.min_links = 40;
+  fuzz.max_links = 40;
+  fadesched::testing::ScenarioFuzzer fuzzer(11, fuzz);
+  SchedulingRequest request;
+  request.scenario = fuzzer.Case(0);
+  request.scheduler = "exact_brute_force";
+  request.id = "big";
+  const SchedulingResponse response = service.HandleNow(request);
+  EXPECT_EQ(response.status, ResponseStatus::kError);
+  EXPECT_FALSE(response.message.empty());
+}
+
+TEST(SchedulingServiceTest, DifferentSchedulersShareTheScenarioEntry) {
+  SchedulingService service;
+  const SchedulingRequest rle = MakeRequest(0, "rle");
+  const SchedulingRequest greedy = MakeRequest(0, "fading_greedy");
+  ASSERT_TRUE(service.HandleNow(rle).Ok());
+  ASSERT_TRUE(service.HandleNow(greedy).Ok());
+  // One scenario build, two response entries.
+  EXPECT_EQ(service.Metrics().scenario_misses.load(), 1u);
+  EXPECT_EQ(service.Metrics().scenario_hits.load(), 1u);
+  EXPECT_EQ(service.Metrics().response_misses.load(), 2u);
+}
+
+TEST(SchedulingServiceTest, BatchedPathMatchesDirectPath) {
+  SchedulingService service;
+  const SchedulingRequest request = MakeRequest(2);
+  const SchedulingResponse direct = service.HandleNow(request);
+  const SchedulingResponse batched = service.Execute(request);
+  ASSERT_TRUE(direct.Ok());
+  ASSERT_TRUE(batched.Ok());
+  EXPECT_EQ(FormatResponseLine(direct), FormatResponseLine(batched));
+  service.Drain();
+}
+
+TEST(SchedulingServiceTest, ConcurrentIdenticalRequestsAgreeByteForByte) {
+  ServiceOptions options;
+  options.batcher.num_workers = 4;
+  SchedulingService service(options);
+  constexpr std::size_t kPool = 4;
+  constexpr std::size_t kRequests = 64;
+  std::vector<std::future<SchedulingResponse>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    SchedulingRequest request = MakeRequest(i % kPool);
+    request.id = "p" + std::to_string(i % kPool);
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  std::vector<std::string> first(kPool);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const SchedulingResponse response = futures[i].get();
+    ASSERT_TRUE(response.Ok()) << response.message;
+    const std::string line = FormatResponseLine(response);
+    std::string& expected = first[i % kPool];
+    if (expected.empty()) {
+      expected = line;
+    } else {
+      EXPECT_EQ(expected, line);
+    }
+  }
+  service.Drain();
+}
+
+TEST(SchedulingServiceTest, EmptyLinkSetIsServed) {
+  SchedulingService service;
+  SchedulingRequest request;
+  request.scheduler = "rle";
+  request.scenario.params.Validate();
+  const SchedulingResponse response = service.HandleNow(request);
+  ASSERT_TRUE(response.Ok()) << response.message;
+  EXPECT_TRUE(response.schedule.empty());
+}
+
+}  // namespace
+}  // namespace fadesched::service

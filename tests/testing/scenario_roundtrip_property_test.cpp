@@ -1,0 +1,128 @@
+// Property test for the .scenario wire format: Format -> Parse -> Format
+// must be byte-identical, not just field-equal. The serving protocol
+// (src/service/protocol) embeds scenario text verbatim in request frames
+// and fingerprints canonical bytes, so a formatter that drifts between
+// writes — or a parser that loses precision — would silently split the
+// cache and break wire-level determinism. Truncation coverage pins the
+// row/line numbering that operators grep when a frame arrives cut short.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/corpus.hpp"
+#include "testing/fuzzer.hpp"
+
+namespace fadesched::testing {
+namespace {
+
+// Second-write idempotence over a broad seeded sweep. The fuzzer emits
+// 17-significant-digit doubles, optional per-link powers, weighted rates,
+// and extreme parameter corners — every case must reproduce its own bytes
+// after one parse, and the reparse must be a fixed point.
+TEST(ScenarioRoundTripPropertyTest, SecondWriteIsByteIdentical) {
+  for (const std::uint64_t seed : {1ull, 42ull, 20260805ull}) {
+    FuzzerOptions options;
+    options.extreme_params = true;
+    options.weighted_rates = true;
+    options.with_noise = true;
+    const ScenarioFuzzer fuzzer(seed, options);
+    for (std::uint64_t index = 0; index < 40; ++index) {
+      const ScenarioCase original = fuzzer.Case(index);
+      const std::string first = FormatScenario(original);
+      const ScenarioCase reparsed = ParseScenario(first);
+      const std::string second = FormatScenario(reparsed);
+      ASSERT_EQ(second, first) << "seed " << seed << " case " << index;
+      // Fixed point: a third write adds nothing new.
+      ASSERT_EQ(FormatScenario(ParseScenario(second)), second)
+          << "seed " << seed << " case " << index;
+    }
+  }
+}
+
+// %.17g is the precision contract: a value that needs all 17 significant
+// digits must survive the text round-trip exactly.
+TEST(ScenarioRoundTripPropertyTest, SeventeenDigitDoublesSurvive) {
+  const ScenarioFuzzer fuzzer(9);
+  ScenarioCase scenario = fuzzer.Case(0);
+  scenario.params.epsilon = 0.1000000000000000055511151231257827;
+  scenario.params.noise_power = 4.9406564584124654e-324;  // min denormal
+  const ScenarioCase reparsed = ParseScenario(FormatScenario(scenario));
+  EXPECT_EQ(reparsed.params.epsilon, scenario.params.epsilon);
+  EXPECT_EQ(reparsed.params.noise_power, scenario.params.noise_power);
+}
+
+std::string MessageOf(const std::string& text) {
+  try {
+    (void)ParseScenario(text);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// Truncate a well-formed scenario at every line boundary and require a
+// loud, located failure — never a silently shortened topology. The only
+// acceptable prefixes are those ending inside the CSV block with complete
+// rows, where the text is a legitimately smaller scenario.
+TEST(ScenarioRoundTripPropertyTest, EveryLineTruncationFailsLoudOrShrinks) {
+  const ScenarioFuzzer fuzzer(13);
+  const ScenarioCase original = fuzzer.Case(2);
+  const std::string full = FormatScenario(original);
+
+  std::vector<std::size_t> line_starts = {0};
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (full[i] == '\n' && i + 1 < full.size()) line_starts.push_back(i + 1);
+  }
+  ASSERT_GT(line_starts.size(), 9u);  // header + params + links: + rows
+
+  for (std::size_t cut = 1; cut < line_starts.size(); ++cut) {
+    const std::string prefix = full.substr(0, line_starts[cut]);
+    try {
+      const ScenarioCase parsed = ParseScenario(prefix);
+      // Accepted: must be a genuine prefix-scenario — fewer (or equal)
+      // links, and its own serialization must be a prefix of the full
+      // text. Anything else means truncation corrupted data silently.
+      EXPECT_LE(parsed.links.Size(), original.links.Size()) << cut;
+      const std::string rewritten = FormatScenario(parsed);
+      EXPECT_EQ(full.compare(0, rewritten.size(), rewritten), 0)
+          << "cut after line " << cut;
+    } catch (const std::exception& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("scenario"), std::string::npos)
+          << "cut after line " << cut << ": " << message;
+    }
+  }
+}
+
+// A frame cut mid-row (not at a line boundary) must name the 1-based CSV
+// row where parsing failed, so a truncated wire frame is diagnosable.
+TEST(ScenarioRoundTripPropertyTest, MidRowTruncationNamesTheRow) {
+  const std::string text =
+      "# fadesched scenario v1\n"
+      "alpha = 3\nepsilon = 0.01\ngamma_th = 1\ntx_power = 1\n"
+      "noise_power = 0\n"
+      "links:\n"
+      "sx,sy,rx,ry,rate\n"
+      "0,0,1,0,1\n"
+      "5,5,6\n";  // row 2 lost its tail
+  const std::string message = MessageOf(text);
+  EXPECT_NE(message.find("row 2"), std::string::npos) << message;
+}
+
+// Truncation above the CSV block: losing the links: marker or a required
+// parameter must be reported as such, never parsed as an empty topology.
+TEST(ScenarioRoundTripPropertyTest, HeaderTruncationsAreNamed) {
+  EXPECT_NE(MessageOf("# fadesched scenario v1\nalpha = 3\n")
+                .find("missing 'links:'"),
+            std::string::npos);
+  EXPECT_NE(MessageOf("# fadesched scenario v1\nalpha = 3\nlinks:\n"
+                      "sx,sy,rx,ry,rate\n")
+                .find("missing key 'epsilon'"),
+            std::string::npos);
+  EXPECT_NE(MessageOf("").find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fadesched::testing

@@ -9,6 +9,8 @@
 //   fadesched_cli sweep    --x links --xs 100,200,300 --algorithms ldp,rle
 //                              [--checkpoint sweep.ck --resume] --out sweep.csv
 //   fadesched_cli fuzz     --seed 1 --iters 2000 [--corpus-dir repros]
+//   fadesched_cli serve    --unix /tmp/fs.sock --workers 4 [--metrics-out m.json]
+//   fadesched_cli loadgen  --unix /tmp/fs.sock --requests 1000 --connections 4
 //
 // Every subcommand accepts --help.
 //
@@ -27,13 +29,17 @@
 #include "rng/distributions.hpp"
 #include "sched/feedback.hpp"
 #include "sched/ilp_export.hpp"
+#include "service/loadgen.hpp"
+#include "service/server.hpp"
 #include "sim/sweep.hpp"
 #include "testing/fuzz_driver.hpp"
+#include "util/atomic_io.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
+#include "util/signal_guard.hpp"
 #include "util/string_util.hpp"
 
 namespace {
@@ -471,6 +477,116 @@ int RunFuzzCmd(int argc, char** argv) {
   return report.Ok() ? 0 : 1;
 }
 
+channel::FactorBackend BackendFromName(const std::string& name) {
+  if (name == "calculator") return channel::FactorBackend::kCalculator;
+  if (name == "tables") return channel::FactorBackend::kTables;
+  if (name == "matrix") return channel::FactorBackend::kMatrix;
+  throw util::FatalError("unknown --backend '" + name +
+                         "' (calculator | tables | matrix)");
+}
+
+int RunServe(int argc, char** argv) {
+  util::CliParser cli("fadesched_cli serve",
+                      "line-protocol scheduling server (unix socket or TCP "
+                      "loopback); SIGTERM/SIGINT drain gracefully, exit 0");
+  auto& unix_path = cli.AddString(
+      "unix", "", "unix-domain socket path (empty = TCP)");
+  auto& host = cli.AddString("host", "127.0.0.1", "TCP bind address");
+  auto& port = cli.AddInt("port", 0, "TCP port (0 = ephemeral, printed)");
+  auto& workers = cli.AddInt("workers", 4, "scheduling worker threads");
+  auto& queue = cli.AddInt("queue-capacity", 256,
+                           "pending-request slots; beyond this, shed");
+  auto& deadline = cli.AddDouble(
+      "default-deadline", 0.0,
+      "queue deadline (s) for requests that carry none; 0 = unlimited");
+  auto& cache_mb = cli.AddInt("cache-mb", 256,
+                              "scenario+response cache budget (MiB)");
+  auto& backend = cli.AddString(
+      "backend", "tables",
+      "interference backend for cached engines (calculator|tables|matrix)");
+  auto& metrics_out = cli.AddString(
+      "metrics-out", "", "write the metrics JSON here on shutdown");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  service::ServerOptions options;
+  options.unix_socket_path = unix_path;
+  options.host = host;
+  options.port = static_cast<int>(port);
+  options.service.batcher.num_workers = static_cast<std::size_t>(workers);
+  options.service.batcher.queue_capacity = static_cast<std::size_t>(queue);
+  options.service.batcher.default_deadline_seconds = deadline;
+  options.service.cache.capacity_bytes =
+      static_cast<std::size_t>(cache_mb) << 20;
+  options.service.cache.engine.backend = BackendFromName(backend);
+
+  service::Server server(options);
+  server.Start();
+  if (!unix_path.empty()) {
+    std::printf("listening on unix:%s\n", unix_path.c_str());
+  } else {
+    std::printf("listening on %s:%d\n", host.c_str(), server.Port());
+  }
+  std::fflush(stdout);
+
+  // Serve() returns after a guarded SIGINT/SIGTERM: in-flight requests
+  // complete, the queue drains, workers join — a graceful drain is a
+  // SUCCESS for a server, hence exit 0 (unlike sweeps, where interrupted
+  // means incomplete work and exits 3).
+  util::ScopedSignalGuard guard;
+  server.Serve();
+  if (!metrics_out.empty()) {
+    server.Service().Metrics().DumpJson(metrics_out);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  std::printf("drained, shutting down\n");
+  return 0;
+}
+
+int RunLoadgen(int argc, char** argv) {
+  util::CliParser cli("fadesched_cli loadgen",
+                      "seeded load generator against a serve endpoint");
+  auto& unix_path = cli.AddString("unix", "",
+                                  "unix-domain socket path (empty = TCP)");
+  auto& host = cli.AddString("host", "127.0.0.1", "server address");
+  auto& port = cli.AddInt("port", 0, "server TCP port");
+  auto& requests = cli.AddInt("requests", 1000, "total requests to send");
+  auto& connections = cli.AddInt("connections", 4, "concurrent connections");
+  auto& pool = cli.AddInt("pool", 16, "distinct scenarios (replayed "
+                          "round-robin; small pool = cache-hit heavy)");
+  auto& links = cli.AddInt("links", 40, "links per generated scenario");
+  auto& seed = cli.AddInt("seed", 1, "scenario-pool seed");
+  auto& scheduler = cli.AddString("scheduler", "rle", "scheduler name");
+  auto& deadline = cli.AddDouble("deadline", 0.0,
+                                 "per-request queue deadline (s); 0 = none");
+  auto& rate = cli.AddDouble(
+      "rate", 0.0, "open-loop offered load (req/s); 0 = closed loop");
+  auto& report_out = cli.AddString("report-out", "",
+                                   "write the report JSON here");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  service::LoadgenOptions options;
+  options.unix_socket_path = unix_path;
+  options.host = host;
+  options.port = static_cast<int>(port);
+  options.num_requests = static_cast<std::size_t>(requests);
+  options.connections = static_cast<std::size_t>(connections);
+  options.pool_size = static_cast<std::size_t>(pool);
+  options.links = static_cast<std::size_t>(links);
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.scheduler = scheduler;
+  options.deadline_seconds = deadline;
+  options.rate_per_sec = rate;
+
+  const service::LoadgenReport report = service::RunLoadgen(options);
+  std::fputs(report.ToJson().c_str(), stdout);
+  if (!report_out.empty()) {
+    util::AtomicWriteFile(report_out, report.ToJson());
+  }
+  // Shed/timeout are legitimate under overload; divergent or failed
+  // responses are not.
+  return report.Clean() ? 0 : 1;
+}
+
 int RunList() {
   std::printf("registered schedulers:\n");
   for (const std::string& name : sched::KnownSchedulers()) {
@@ -492,7 +608,15 @@ void PrintTopLevelUsage() {
       "  ilp        export the ILP (paper formulas (20)-(22))\n"
       "  sweep      crash-safe multi-point sweep (checkpoint/resume)\n"
       "  fuzz       metamorphic fuzzing + oracle checks, shrunk reproducers\n"
+      "  serve      scheduling server (unix socket / TCP, line protocol)\n"
+      "  loadgen    seeded load generator against a serve endpoint\n"
       "  list       registered scheduler names\n"
+      "\n"
+      "exit codes (all subcommands): 0 success, 1 runtime failure,\n"
+      "2 usage error, 3 watchdog timeout or interrupted mid-run.\n"
+      "`serve` exits 0 on a graceful SIGINT/SIGTERM drain (a drained server\n"
+      "finished its work); `loadgen` exits 1 when any response failed or\n"
+      "diverged (shed/timeout under overload still exit 0).\n"
       "\n"
       "run `fadesched_cli <subcommand> --help` for flags.\n",
       stdout);
@@ -518,6 +642,8 @@ int main(int argc, char** argv) {
     if (command == "ilp") return RunIlp(sub_argc, sub_argv);
     if (command == "sweep") return RunSweep(sub_argc, sub_argv);
     if (command == "fuzz") return RunFuzzCmd(sub_argc, sub_argv);
+    if (command == "serve") return RunServe(sub_argc, sub_argv);
+    if (command == "loadgen") return RunLoadgen(sub_argc, sub_argv);
     if (command == "list") return RunList();
     if (command == "--help" || command == "-h" || command == "help") {
       PrintTopLevelUsage();
