@@ -1,0 +1,162 @@
+#include "service/chaos/chaos_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rng/splitmix64.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service::chaos {
+
+namespace {
+
+constexpr const char* kFamilyNames[kNumFaultFamilies] = {
+    "connect-reset", "send-corrupt",  "send-truncate", "send-duplicate",
+    "recv-stall",    "recv-corrupt",  "recv-kill",     "recv-duplicate",
+};
+
+}  // namespace
+
+const char* FaultFamilyName(FaultFamily family) {
+  return kFamilyNames[static_cast<std::size_t>(family)];
+}
+
+bool ChaosPlan::Enabled() const {
+  for (std::size_t f = 0; f < kNumFaultFamilies; ++f) {
+    if (Probability(static_cast<FaultFamily>(f)) > 0.0) return true;
+  }
+  return false;
+}
+
+double ChaosPlan::Probability(FaultFamily family) const {
+  switch (family) {
+    case FaultFamily::kConnectReset: return connect_reset;
+    case FaultFamily::kSendCorrupt: return send_corrupt;
+    case FaultFamily::kSendTruncate: return send_truncate;
+    case FaultFamily::kSendDuplicate: return send_duplicate;
+    case FaultFamily::kRecvStall: return recv_stall;
+    case FaultFamily::kRecvCorrupt: return recv_corrupt;
+    case FaultFamily::kRecvKill: return recv_kill;
+    case FaultFamily::kRecvDuplicate: return recv_duplicate;
+  }
+  return 0.0;
+}
+
+void ChaosPlan::SetProbability(FaultFamily family, double probability) {
+  switch (family) {
+    case FaultFamily::kConnectReset: connect_reset = probability; return;
+    case FaultFamily::kSendCorrupt: send_corrupt = probability; return;
+    case FaultFamily::kSendTruncate: send_truncate = probability; return;
+    case FaultFamily::kSendDuplicate: send_duplicate = probability; return;
+    case FaultFamily::kRecvStall: recv_stall = probability; return;
+    case FaultFamily::kRecvCorrupt: recv_corrupt = probability; return;
+    case FaultFamily::kRecvKill: recv_kill = probability; return;
+    case FaultFamily::kRecvDuplicate: recv_duplicate = probability; return;
+  }
+}
+
+ChaosPlan ChaosPlan::AllFamilies(double probability, std::uint64_t seed) {
+  ChaosPlan plan;
+  for (std::size_t f = 0; f < kNumFaultFamilies; ++f) {
+    plan.SetProbability(static_cast<FaultFamily>(f), probability);
+  }
+  plan.seed = seed;
+  return plan;
+}
+
+std::string ChaosPlan::Describe() const {
+  std::string out;
+  for (std::size_t f = 0; f < kNumFaultFamilies; ++f) {
+    const double p = Probability(static_cast<FaultFamily>(f));
+    if (p <= 0.0) continue;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%s%s=%g", out.empty() ? "" : " ",
+                  kFamilyNames[f], p);
+    out += buffer;
+  }
+  return out.empty() ? "inert" : out;
+}
+
+void ChaosPlan::Validate() const {
+  for (std::size_t f = 0; f < kNumFaultFamilies; ++f) {
+    const double p = Probability(static_cast<FaultFamily>(f));
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw util::FatalError(std::string("chaos plan: ") + kFamilyNames[f] +
+                             " probability must be in [0, 1], got " +
+                             std::to_string(p));
+    }
+  }
+  if (!(stall_seconds >= 0.0)) {
+    throw util::FatalError("chaos plan: stall_seconds must be non-negative");
+  }
+}
+
+rng::Xoshiro256 MakeFaultStream(const ChaosPlan& plan, std::uint64_t worker,
+                                std::uint64_t connection) {
+  // Two SplitMix64 rounds fold the coordinates in one at a time; the +1
+  // offsets keep worker 0 / connection 0 from degenerating into the
+  // master seed itself.
+  rng::SplitMix64 mix_worker(plan.seed ^
+                             (worker + 1) * 0x9e3779b97f4a7c15ULL);
+  rng::SplitMix64 mix_connection(mix_worker.Next() ^
+                                 (connection + 1) * 0xbf58476d1ce4e5b9ULL);
+  return rng::Xoshiro256(mix_connection.Next());
+}
+
+void FaultTrace::Record(const ChaosEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::size_t FaultTrace::Count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t FaultTrace::CountFamily(FaultFamily family) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const ChaosEvent& event : events_) {
+    if (event.family == family) ++count;
+  }
+  return count;
+}
+
+std::array<std::size_t, kNumFaultFamilies> FaultTrace::CountsByFamily() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::array<std::size_t, kNumFaultFamilies> counts{};
+  for (const ChaosEvent& event : events_) {
+    ++counts[static_cast<std::size_t>(event.family)];
+  }
+  return counts;
+}
+
+std::string FaultTrace::Format() const {
+  std::vector<ChaosEvent> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sorted = events_;
+  }
+  // Sorting by coordinates (not arrival order) is what makes the trace
+  // byte-identical across runs: per-stream sequences are deterministic,
+  // only their interleaving is not.
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ChaosEvent& a, const ChaosEvent& b) {
+              if (a.worker != b.worker) return a.worker < b.worker;
+              if (a.connection != b.connection) {
+                return a.connection < b.connection;
+              }
+              if (a.op != b.op) return a.op < b.op;
+              return static_cast<int>(a.family) < static_cast<int>(b.family);
+            });
+  std::string out;
+  for (const ChaosEvent& event : sorted) {
+    out += 'w' + std::to_string(event.worker) + " c" +
+           std::to_string(event.connection) + " op" +
+           std::to_string(event.op) + ' ' + FaultFamilyName(event.family) +
+           " detail=" + std::to_string(event.detail) + '\n';
+  }
+  return out;
+}
+
+}  // namespace fadesched::service::chaos

@@ -1,0 +1,125 @@
+// Seeded fault model for the service tier. A ChaosPlan is a set of
+// per-operation fault probabilities, one per fault family; the chaos
+// transport derives an independent SplitMix64→xoshiro stream per
+// (worker, connection-attempt) pair from `seed`, so a given seed yields
+// the exact same fault sequence no matter how the OS schedules threads —
+// the whole point is that a failing soak is replayable from its seed
+// alone.
+//
+// Every injected fault is recorded in a FaultTrace as a (worker,
+// connection, op, family, detail) event. The formatted trace is sorted by
+// those coordinates, which makes it byte-identical across runs of the
+// same seed even though threads interleave differently — CI diffs two
+// runs' traces with `cmp`.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::service::chaos {
+
+/// The injectable fault families, one per failure mode of a real
+/// network: refused/reset connects, corrupted or truncated or duplicated
+/// writes, and stalled, corrupted, killed, or duplicated reads.
+enum class FaultFamily {
+  kConnectReset = 0,  ///< connect attempt fails with a reset
+  kSendCorrupt,       ///< one byte of the outgoing frame is flipped
+  kSendTruncate,      ///< connection dies after a prefix of the frame
+  kSendDuplicate,     ///< the frame is delivered twice
+  kRecvStall,         ///< the response never arrives (slow-loris peer)
+  kRecvCorrupt,       ///< one byte of the response line is flipped
+  kRecvKill,          ///< connection reset before the response line
+  kRecvDuplicate,     ///< the response line is delivered twice
+};
+
+inline constexpr std::size_t kNumFaultFamilies = 8;
+
+/// Stable kebab-case name ("connect-reset", "send-corrupt", ...).
+const char* FaultFamilyName(FaultFamily family);
+
+/// Per-operation fault probabilities, all in [0, 1]. The zero plan is
+/// inert: Enabled() is false and the transport consumes no random draws,
+/// so wrapping a transport with an all-zero plan is behaviorally
+/// invisible (same idiom as distsim's FaultPlan).
+struct ChaosPlan {
+  double connect_reset = 0.0;
+  double send_corrupt = 0.0;
+  double send_truncate = 0.0;
+  double send_duplicate = 0.0;
+  double recv_stall = 0.0;
+  double recv_corrupt = 0.0;
+  double recv_kill = 0.0;
+  double recv_duplicate = 0.0;
+
+  /// How long an injected recv stall sleeps before surfacing as a
+  /// timeout; kept short — it models wasted wall-clock, not a real 30 s
+  /// hang.
+  double stall_seconds = 0.02;
+
+  /// Master seed; every (worker, connection) fault stream derives from
+  /// it.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool Enabled() const;
+  [[nodiscard]] double Probability(FaultFamily family) const;
+  void SetProbability(FaultFamily family, double probability);
+
+  /// All eight families at the same probability (the soak's default
+  /// shape).
+  [[nodiscard]] static ChaosPlan AllFamilies(double probability,
+                                             std::uint64_t seed);
+
+  /// One-line summary of the enabled families ("send-corrupt=0.02
+  /// recv-kill=0.05"), used by reproducer files; "inert" when disabled.
+  [[nodiscard]] std::string Describe() const;
+
+  /// Throws util::FatalError on probabilities outside [0, 1] or a
+  /// negative stall.
+  void Validate() const;
+};
+
+/// Derives the fault stream for one connection attempt: seeded from
+/// (plan.seed, worker, connection ordinal) via two SplitMix64 rounds, so
+/// streams are independent and reproducible per coordinate.
+rng::Xoshiro256 MakeFaultStream(const ChaosPlan& plan, std::uint64_t worker,
+                                std::uint64_t connection);
+
+/// One injected fault. `op` is the 1-based operation ordinal within the
+/// connection (Send and ReadLine each count); `detail` is
+/// family-specific (corrupted byte offset, truncation length, ...).
+struct ChaosEvent {
+  std::uint64_t worker = 0;
+  std::uint64_t connection = 0;
+  std::uint64_t op = 0;
+  FaultFamily family = FaultFamily::kConnectReset;
+  std::size_t detail = 0;
+};
+
+/// Thread-safe fault log. Format() sorts events by (worker, connection,
+/// op, family) so the text is deterministic for a given seed regardless
+/// of thread interleaving.
+class FaultTrace {
+ public:
+  void Record(const ChaosEvent& event);
+
+  [[nodiscard]] std::size_t Count() const;
+  [[nodiscard]] std::size_t CountFamily(FaultFamily family) const;
+  [[nodiscard]] std::array<std::size_t, kNumFaultFamilies> CountsByFamily()
+      const;
+
+  /// One line per event: "w<worker> c<connection> op<op> <family>
+  /// detail=<n>".
+  [[nodiscard]] std::string Format() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ChaosEvent> events_;
+};
+
+}  // namespace fadesched::service::chaos

@@ -1,0 +1,139 @@
+#include "service/chaos/faulty_transport.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fadesched::service::chaos {
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 ChaosPlan plan, std::uint64_t worker,
+                                 FaultTrace* trace, ServiceMetrics* metrics)
+    : inner_(std::move(inner)),
+      plan_(plan),
+      worker_(worker),
+      stream_(plan.seed),
+      trace_(trace),
+      metrics_(metrics) {
+  plan_.Validate();
+}
+
+bool FaultyTransport::Roll(double probability) {
+  if (probability <= 0.0) return false;  // inert families consume no draws
+  const double u =
+      static_cast<double>(stream_.Next() >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+std::size_t FaultyTransport::RollIndex(std::size_t n) {
+  return static_cast<std::size_t>(stream_.Next() % n);
+}
+
+void FaultyTransport::Inject(FaultFamily family, std::size_t detail) {
+  if (trace_ != nullptr) {
+    trace_->Record(ChaosEvent{worker_, connection_, op_, family, detail});
+  }
+  if (metrics_ != nullptr) {
+    metrics_->chaos_injected.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultyTransport::Connect() {
+  pending_lines_.clear();
+  connection_ = connection_attempts_++;
+  op_ = 0;
+  stream_ = MakeFaultStream(plan_, worker_, connection_);
+  if (Roll(plan_.connect_reset)) {
+    Inject(FaultFamily::kConnectReset, 0);
+    inner_->Close();
+    throw util::TransientError("injected connect-reset: connection refused");
+  }
+  inner_->Connect();
+}
+
+void FaultyTransport::Close() {
+  pending_lines_.clear();
+  inner_->Close();
+}
+
+bool FaultyTransport::Connected() const { return inner_->Connected(); }
+
+void FaultyTransport::Send(const std::string& bytes) {
+  ++op_;
+  std::string out = bytes;
+  if (!out.empty() && Roll(plan_.send_corrupt)) {
+    const std::size_t index = RollIndex(out.size());
+    const unsigned char mask =
+        static_cast<unsigned char>(1 + RollIndex(255));
+    out[index] =
+        static_cast<char>(static_cast<unsigned char>(out[index]) ^ mask);
+    Inject(FaultFamily::kSendCorrupt, index);
+  }
+  if (!out.empty() && Roll(plan_.send_truncate)) {
+    const std::size_t keep = RollIndex(out.size());
+    Inject(FaultFamily::kSendTruncate, keep);
+    if (keep > 0) {
+      try {
+        inner_->Send(out.substr(0, keep));
+      } catch (const util::HarnessError&) {
+        // The connection is dying anyway; the prefix is best-effort.
+      }
+    }
+    inner_->Close();
+    throw util::TransientError(
+        "injected send-truncate: connection reset after " +
+        std::to_string(keep) + " of " + std::to_string(out.size()) +
+        " bytes");
+  }
+  if (Roll(plan_.send_duplicate)) {
+    Inject(FaultFamily::kSendDuplicate, out.size());
+    inner_->Send(out);
+  }
+  inner_->Send(out);
+}
+
+std::string FaultyTransport::ReadLine() {
+  ++op_;
+  if (!pending_lines_.empty()) {
+    // A previously duplicated line is redelivered verbatim; no further
+    // faults apply to it.
+    std::string line = std::move(pending_lines_.front());
+    pending_lines_.pop_front();
+    return line;
+  }
+  if (Roll(plan_.recv_stall)) {
+    Inject(FaultFamily::kRecvStall,
+           static_cast<std::size_t>(plan_.stall_seconds * 1e3));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(plan_.stall_seconds));
+    // Models the client's poll deadline firing on a stalled peer: the
+    // response is abandoned with the connection, never consumed.
+    inner_->Close();
+    throw util::TimeoutError(
+        "injected recv-stall: no response byte within the deadline");
+  }
+  if (Roll(plan_.recv_kill)) {
+    Inject(FaultFamily::kRecvKill, 0);
+    inner_->Close();
+    throw util::TransientError(
+        "injected recv-kill: connection reset before the response line");
+  }
+  std::string line = inner_->ReadLine();
+  if (!line.empty() && Roll(plan_.recv_corrupt)) {
+    const std::size_t index = RollIndex(line.size());
+    const unsigned char mask =
+        static_cast<unsigned char>(1 + RollIndex(255));
+    line[index] =
+        static_cast<char>(static_cast<unsigned char>(line[index]) ^ mask);
+    Inject(FaultFamily::kRecvCorrupt, index);
+  }
+  if (Roll(plan_.recv_duplicate)) {
+    Inject(FaultFamily::kRecvDuplicate, line.size());
+    pending_lines_.push_back(line);
+  }
+  return line;
+}
+
+}  // namespace fadesched::service::chaos

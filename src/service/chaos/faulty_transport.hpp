@@ -1,0 +1,87 @@
+// Fault-injecting Transport decorator. Wraps any inner Transport and,
+// driven by a seeded per-(worker, connection) stream from the ChaosPlan,
+// injects the eight fault families at their configured per-operation
+// probabilities:
+//
+//   Connect   → connect-reset (throws before the inner connect runs)
+//   Send      → send-corrupt (one byte XOR-flipped), send-truncate (a
+//               prefix is delivered, then the connection dies),
+//               send-duplicate (the frame is delivered twice)
+//   ReadLine  → recv-stall (sleeps stall_seconds, then surfaces as
+//               kTimeout without consuming the response — it stays
+//               buffered in the dead connection), recv-kill (connection
+//               closed before the line), recv-corrupt (one byte of the
+//               delivered line flipped), recv-duplicate (the line is
+//               queued for redelivery on the next ReadLine)
+//
+// Determinism contract: for a fixed plan seed, the fault decisions on
+// connection attempt c of worker w are a pure function of (seed, w, c) —
+// wall-clock, thread scheduling, and other workers never perturb the
+// stream. Injected faults are recorded in the shared FaultTrace and
+// counted in ServiceMetrics::chaos_injected when a metrics sink is
+// given.
+//
+// Draw discipline (same as distsim::FaultInjector): a family whose
+// probability is zero consumes no draws, so an inert plan leaves the
+// stream untouched and disabling one family does not shift another
+// family's decisions arbitrarily — only draws for enabled families
+// advance the stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "rng/xoshiro256.hpp"
+#include "service/chaos/chaos_plan.hpp"
+#include "service/chaos/transport.hpp"
+#include "service/metrics.hpp"
+
+namespace fadesched::service::chaos {
+
+class FaultyTransport final : public Transport {
+ public:
+  /// `worker` namespaces this transport's fault streams; `trace` and
+  /// `metrics` may be null (events are then only thrown, not recorded).
+  FaultyTransport(std::unique_ptr<Transport> inner, ChaosPlan plan,
+                  std::uint64_t worker, FaultTrace* trace = nullptr,
+                  ServiceMetrics* metrics = nullptr);
+
+  void Connect() override;
+  void Close() override;
+  [[nodiscard]] bool Connected() const override;
+  void Send(const std::string& bytes) override;
+  std::string ReadLine() override;
+
+  /// Connection attempts so far (== the next attempt's ordinal).
+  [[nodiscard]] std::uint64_t ConnectionAttempts() const {
+    return connection_attempts_;
+  }
+
+ private:
+  /// One Bernoulli draw at probability `p`; zero-probability families
+  /// consume no draw.
+  bool Roll(double probability);
+  /// Uniform draw in [0, n); consumes one draw (n must be > 0).
+  std::size_t RollIndex(std::size_t n);
+  void Inject(FaultFamily family, std::size_t detail);
+
+  std::unique_ptr<Transport> inner_;
+  ChaosPlan plan_;
+  std::uint64_t worker_ = 0;
+
+  std::uint64_t connection_attempts_ = 0;  ///< ordinal of the next Connect
+  std::uint64_t connection_ = 0;           ///< ordinal of the current one
+  std::uint64_t op_ = 0;                   ///< op ordinal within it
+  rng::Xoshiro256 stream_;
+
+  /// Lines queued for redelivery by recv-duplicate. Cleared on
+  /// Connect/Close — a duplicate does not survive its connection.
+  std::deque<std::string> pending_lines_;
+
+  FaultTrace* trace_ = nullptr;
+  ServiceMetrics* metrics_ = nullptr;
+};
+
+}  // namespace fadesched::service::chaos

@@ -1,0 +1,100 @@
+// Hardened client: wraps a Transport with bounded retries so that every
+// fault the chaos layer (or a real network) can inject is either
+// absorbed — the caller still gets exactly one correct response — or
+// surfaced as a typed error after a bounded number of attempts. Never
+// hangs, never returns a wrong or stale response, never retries
+// unboundedly.
+//
+// Retry policy, by error class:
+//   - transport failures and timeouts (connect refused, reset, stalled
+//     peer) → reconnect + retry with exponential backoff + jitter;
+//   - retryable response statuses (shed, timeout, drain-interrupted, and
+//     transient execution errors) → same;
+//   - wire corruption, detected either client-side (response line fails
+//     its sum= check or does not parse — the server formats every line
+//     it writes, so garbage can only mean damage) or server-side (an
+//     error response naming *our* frame as malformed, which a client
+//     that formats via FormatRequestFrame never legitimately sends) →
+//     same, counted separately;
+//   - genuine fatal responses (unknown scheduler, infeasible instance)
+//     → returned to the caller as-is, first attempt or not;
+//   - local usage errors (kFatal from our own stack) → rethrown.
+//
+// Idempotency: a request's wire bytes are a pure function of its content
+// (FormatRequestFrame is deterministic), and the service is
+// deterministic + cached, so re-sending the same frame is safe — the
+// worst case is a duplicate execution that produces the byte-identical
+// response. Stale responses from an earlier attempt (e.g. a duplicate
+// delivery or an abandoned read) are discarded by id mismatch;
+// connection-level errors carry id "-" and are treated as applying to
+// the in-flight request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rng/xoshiro256.hpp"
+#include "service/chaos/transport.hpp"
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+
+namespace fadesched::service::chaos {
+
+struct RetryOptions {
+  /// Attempts per Call (>= 1); exhaustion throws kTransient naming the
+  /// last underlying error.
+  std::size_t max_attempts = 10;
+  /// Backoff before attempt n+1: initial * multiplier^(n-1), capped at
+  /// max, scaled by a uniform jitter factor in [1-j, 1+j].
+  double initial_backoff_seconds = 0.005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.25;
+  double jitter_fraction = 0.2;
+  /// Stale/duplicate response lines discarded within one attempt before
+  /// giving up on the connection (prevents a duplicate storm from
+  /// pinning an attempt forever).
+  std::size_t max_stale_reads = 8;
+  /// Seed for the jitter stream (deterministic backoff schedules in
+  /// tests).
+  std::uint64_t jitter_seed = 1;
+
+  void Validate() const;
+};
+
+/// Per-Call diagnostics, reset at the start of each Call.
+struct CallStats {
+  std::size_t attempts = 0;
+  std::size_t reconnects = 0;
+  std::size_t stale_discarded = 0;
+  std::size_t corruption_detected = 0;
+};
+
+class RetryingClient {
+ public:
+  /// `metrics` may be null; when given, chaos_recovered counts Calls
+  /// that succeeded after at least one failed attempt.
+  explicit RetryingClient(std::unique_ptr<Transport> transport,
+                          RetryOptions options = {},
+                          ServiceMetrics* metrics = nullptr);
+
+  /// Sends the request and returns its terminal response (OK or a
+  /// genuine fatal error response). Throws util::HarnessError: kFatal on
+  /// local usage errors, kTransient/kTimeout/kInterrupted when retries
+  /// are exhausted (the message names the last underlying failure).
+  SchedulingResponse Call(const SchedulingRequest& request);
+
+  [[nodiscard]] const CallStats& LastCallStats() const { return stats_; }
+  [[nodiscard]] Transport& TransportForTest() { return *transport_; }
+
+ private:
+  [[nodiscard]] double NextBackoffSeconds(std::size_t attempt);
+
+  std::unique_ptr<Transport> transport_;
+  RetryOptions options_;
+  ServiceMetrics* metrics_ = nullptr;
+  rng::Xoshiro256 jitter_;
+  CallStats stats_;
+};
+
+}  // namespace fadesched::service::chaos

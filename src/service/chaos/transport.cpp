@@ -1,0 +1,26 @@
+#include "service/chaos/transport.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fadesched::service::chaos {
+
+SocketTransport::SocketTransport(Endpoint endpoint, ClientOptions options)
+    : endpoint_(std::move(endpoint)), client_(options) {}
+
+void SocketTransport::Connect() {
+  client_.Close();
+  if (!endpoint_.unix_socket_path.empty()) {
+    client_.ConnectUnix(endpoint_.unix_socket_path);
+    return;
+  }
+  if (endpoint_.port <= 0) {
+    throw util::FatalError(
+        "SocketTransport endpoint has neither a unix socket path nor a "
+        "port");
+  }
+  client_.ConnectTcp(endpoint_.host, endpoint_.port);
+}
+
+}  // namespace fadesched::service::chaos

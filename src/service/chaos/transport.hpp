@@ -1,0 +1,60 @@
+// Byte-stream transport abstraction for the service client stack. The
+// retrying client talks to a Transport, not a socket: in production the
+// Transport is a SocketTransport over service::Client; under test it is
+// a FaultyTransport wrapping one (or an in-memory fake), which is how
+// the chaos layer injects faults deterministically *without* a proxy
+// process — fault decisions live client-side where their stream seed is
+// known, so a fault trace replays exactly from a seed.
+#pragma once
+
+#include <string>
+
+#include "service/client.hpp"
+
+namespace fadesched::service::chaos {
+
+/// Where a SocketTransport connects: a Unix-domain path when non-empty,
+/// else host:port TCP.
+struct Endpoint {
+  std::string unix_socket_path;
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Establishes a fresh connection (closing any current one). Throws
+  /// util::HarnessError: kTransient on refusal/reset, kTimeout on a
+  /// connect deadline.
+  virtual void Connect() = 0;
+  virtual void Close() = 0;
+  [[nodiscard]] virtual bool Connected() const = 0;
+
+  /// Writes all of `bytes`; throws kTransient/kTimeout on failure.
+  virtual void Send(const std::string& bytes) = 0;
+
+  /// Blocks (bounded by the underlying io deadline) for one line,
+  /// returned without its newline.
+  virtual std::string ReadLine() = 0;
+};
+
+/// The real thing: a service::Client bound to one endpoint, with the
+/// client's poll-based connect/io deadlines.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(Endpoint endpoint, ClientOptions options = {});
+
+  void Connect() override;
+  void Close() override { client_.Close(); }
+  [[nodiscard]] bool Connected() const override { return client_.Connected(); }
+  void Send(const std::string& bytes) override { client_.SendRaw(bytes); }
+  std::string ReadLine() override { return client_.ReadLine(); }
+
+ private:
+  Endpoint endpoint_;
+  Client client_;
+};
+
+}  // namespace fadesched::service::chaos

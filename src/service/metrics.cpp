@@ -89,6 +89,16 @@ std::string ServiceMetrics::ToJson() const {
   out << "    \"evictions\": " << get(cache_evictions) << ",\n";
   out << "    \"collisions\": " << get(cache_collisions) << "\n";
   out << "  },\n";
+  out << "  \"guards\": {\n";
+  out << "    \"protocol_errors\": " << get(protocol_errors) << ",\n";
+  out << "    \"oversized_frames\": " << get(oversized_frames) << ",\n";
+  out << "    \"evicted_slow\": " << get(evicted_slow) << ",\n";
+  out << "    \"checksum_failures\": " << get(checksum_failures) << "\n";
+  out << "  },\n";
+  out << "  \"chaos\": {\n";
+  out << "    \"injected\": " << get(chaos_injected) << ",\n";
+  out << "    \"recovered\": " << get(chaos_recovered) << "\n";
+  out << "  },\n";
   out << "  \"queue_latency\": " << queue_latency.ToJson() << ",\n";
   out << "  \"service_latency\": " << service_latency.ToJson() << ",\n";
   out << "  \"total_latency\": " << total_latency.ToJson() << "\n";

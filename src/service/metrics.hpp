@@ -64,6 +64,17 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> cache_evictions{0};
   std::atomic<std::uint64_t> cache_collisions{0};
 
+  // Connection guards (server-side chaos defenses).
+  std::atomic<std::uint64_t> protocol_errors{0};   ///< malformed frames → ERR
+  std::atomic<std::uint64_t> oversized_frames{0};  ///< max-frame guard fired
+  std::atomic<std::uint64_t> evicted_slow{0};      ///< read-deadline evictions
+  std::atomic<std::uint64_t> checksum_failures{0};  ///< check=/sum= mismatches
+
+  // Chaos layer (client-side; populated by the fault-injecting transport
+  // and the retrying client when handed this instance).
+  std::atomic<std::uint64_t> chaos_injected{0};   ///< faults injected
+  std::atomic<std::uint64_t> chaos_recovered{0};  ///< calls ok after ≥1 retry
+
   LatencyHistogram queue_latency;    ///< enqueue → worker pickup
   LatencyHistogram service_latency;  ///< handler execution
   LatencyHistogram total_latency;    ///< enqueue → response ready

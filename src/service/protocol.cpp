@@ -1,7 +1,9 @@
 #include "service/protocol.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -16,6 +18,24 @@ std::string FormatDouble(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return buffer;
+}
+
+std::string FormatHash(std::uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+std::uint64_t ParseHash(const std::string& text, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 16);
+  if (text.empty() || end == nullptr || *end != '\0' || errno != 0) {
+    throw util::FatalError(std::string("malformed ") + what + " '" + text +
+                           "' (expected hex)");
+  }
+  return static_cast<std::uint64_t>(value);
 }
 
 double ParseDouble(const std::string& text, const char* what) {
@@ -89,14 +109,19 @@ std::string FormatRequestFrame(const SchedulingRequest& request) {
     throw util::FatalError("scheduler name must be a non-empty token without "
                            "whitespace, got '" + request.scheduler + "'");
   }
-  std::string frame = "REQUEST id=" + request.id +
-                      " scheduler=" + request.scheduler;
+  std::string header = "REQUEST id=" + request.id +
+                       " scheduler=" + request.scheduler;
   if (request.deadline_seconds > 0.0) {
-    frame += " deadline=" + FormatDouble(request.deadline_seconds);
+    header += " deadline=" + FormatDouble(request.deadline_seconds);
   }
-  frame += '\n';
   std::string scenario = fadesched::testing::FormatScenario(request.scenario);
   if (!scenario.empty() && scenario.back() != '\n') scenario += '\n';
+  // check= covers the whole frame body (header without the check token
+  // itself, newline, payload) so a flipped bit anywhere — id, scheduler,
+  // deadline, or scenario — is detected as wire corruption.
+  const std::uint64_t check = Fnv1a64(header + '\n' + scenario);
+  std::string frame = header + " check=" + FormatHash(check);
+  frame += '\n';
   frame += scenario;
   frame += kFrameEnd;
   frame += '\n';
@@ -119,6 +144,7 @@ SchedulingRequest ParseRequestFrame(const std::string& frame) {
 
   SchedulingRequest request;
   request.scheduler.clear();
+  std::optional<std::uint64_t> check;
   for (std::size_t t = 1; t < tokens.size(); ++t) {
     const auto [key, value] = SplitKeyValue(tokens[t], 1);
     if (key == "id") {
@@ -126,10 +152,25 @@ SchedulingRequest ParseRequestFrame(const std::string& frame) {
     } else if (key == "scheduler") {
       request.scheduler = value;
     } else if (key == "deadline") {
-      request.deadline_seconds = ParseDouble(value, "deadline");
+      try {
+        request.deadline_seconds = ParseDouble(value, "deadline");
+      } catch (const util::HarnessError& e) {
+        // Prefixed so the retry client's corruption heuristic (fatal
+        // errors naming the frame on a frame *we* formatted correctly)
+        // covers a garbled deadline token too.
+        throw util::FatalError(std::string("request frame line 1: ") +
+                               e.what());
+      }
       if (request.deadline_seconds < 0.0) {
         throw util::FatalError(
             "request frame line 1: deadline must be non-negative");
+      }
+    } else if (key == "check") {
+      try {
+        check = ParseHash(value, "check");
+      } catch (const util::HarnessError& e) {
+        throw util::FatalError(std::string("request frame line 1: ") +
+                               e.what());
       }
     } else {
       throw util::FatalError("request frame line 1: unknown header key '" +
@@ -142,6 +183,16 @@ SchedulingRequest ParseRequestFrame(const std::string& frame) {
   if (request.scheduler.empty()) {
     throw util::FatalError("request frame line 1: missing scheduler=");
   }
+  if (!check.has_value()) {
+    // Mandatory, and deliberately transient: every in-repo client sends
+    // check=, so its absence on an otherwise well-formed frame is the
+    // signature of a corrupted separator — a flipped space merges the
+    // check token into its neighbour, which would otherwise disable
+    // verification exactly when it is needed (found by the chaos soak).
+    throw util::TransientError(
+        "request frame line 1: missing check= integrity token (wire "
+        "corruption, or a pre-checksum peer — retry with check=)");
+  }
 
   const std::string payload = frame.substr(header_end + 1);
   try {
@@ -153,8 +204,77 @@ SchedulingRequest ParseRequestFrame(const std::string& frame) {
         std::string("request frame scenario payload (frame line 2 onward): ") +
         e.what());
   }
+  // Verified after the parse on purpose: a corrupted payload that fails
+  // to parse keeps its precise row diagnostic; one that still parses —
+  // or a flipped header token that still splits as key=value — is caught
+  // here instead of silently scheduling the wrong instance. The body is
+  // the frame with the check token (and the one separator before it)
+  // spliced out, mirroring the format side. The token is located by any
+  // whitespace boundary, not just ' ': a space corrupted into a tab
+  // still tokenizes, and must not silently disable verification.
+  std::size_t pos = 0;
+  for (;;) {
+    pos = header.find("check=", pos);
+    if (pos == std::string::npos || pos == 0) {
+      // Unreachable when `check` parsed from a token, kept as a guard.
+      throw util::TransientError(
+          "request frame line 1: check= token lost during reparse (wire "
+          "corruption — retry)");
+    }
+    const char before = header[pos - 1];
+    if (before == ' ' || before == '\t') {
+      --pos;  // splice the separator out together with the token
+      break;
+    }
+    ++pos;
+  }
+  std::size_t token_end = header.find_first_of(" \t", pos + 1);
+  if (token_end == std::string::npos) token_end = header.size();
+  const std::string body =
+      header.substr(0, pos) + header.substr(token_end) + '\n' + payload;
+  if (*check != Fnv1a64(body)) {
+    throw util::TransientError(
+        "request frame checksum mismatch: " + std::to_string(body.size()) +
+        " frame byte(s) hash to " + FormatHash(Fnv1a64(body)) +
+        ", header claims check=" + FormatHash(*check) +
+        " (wire corruption — retry)");
+  }
   return request;
 }
+
+namespace {
+
+// `sum=` is spliced in right after the status word so it never collides
+// with msg=, which runs to end of line. The checksum covers the line
+// with the sum token removed, so verification is splice-inverse.
+std::string SpliceChecksum(const std::string& body) {
+  const std::size_t space = body.find(' ');
+  return body.substr(0, space) + " sum=" + FormatHash(Fnv1a64(body)) +
+         body.substr(space);
+}
+
+// Returns the line with a leading sum token stripped, after verifying it.
+// Lines without one (hand-written tests, pre-checksum peers) pass through.
+std::string VerifyAndStripChecksum(const std::string& line) {
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos || line.compare(space, 5, " sum=") != 0) {
+    return line;
+  }
+  std::size_t value_end = line.find(' ', space + 5);
+  if (value_end == std::string::npos) value_end = line.size();
+  const std::uint64_t claimed =
+      ParseHash(line.substr(space + 5, value_end - (space + 5)), "sum");
+  const std::string body = line.substr(0, space) + line.substr(value_end);
+  if (Fnv1a64(body) != claimed) {
+    throw util::TransientError(
+        "response checksum mismatch: line hashes to " +
+        FormatHash(Fnv1a64(body)) + ", carries sum=" + FormatHash(claimed) +
+        " (wire corruption — retry)");
+  }
+  return body;
+}
+
+}  // namespace
 
 std::string FormatResponseLine(const SchedulingResponse& response) {
   if (response.Ok()) {
@@ -169,15 +289,16 @@ std::string FormatResponseLine(const SchedulingResponse& response) {
         line += std::to_string(response.schedule[i]);
       }
     }
-    return line;
+    return SpliceChecksum(line);
   }
-  return "ERR id=" + response.id +
-         " status=" + ResponseStatusName(response.status) +
-         " kind=" + util::ErrorKindName(response.error_kind) +
-         " msg=" + Flatten(response.message);
+  return SpliceChecksum("ERR id=" + response.id +
+                        " status=" + ResponseStatusName(response.status) +
+                        " kind=" + util::ErrorKindName(response.error_kind) +
+                        " msg=" + Flatten(response.message));
 }
 
-SchedulingResponse ParseResponseLine(const std::string& line) {
+SchedulingResponse ParseResponseLine(const std::string& raw_line) {
+  const std::string line = VerifyAndStripChecksum(raw_line);
   SchedulingResponse response;
   const std::vector<std::string> tokens = SplitTokens(line);
   if (tokens.empty()) throw util::FatalError("empty response line");

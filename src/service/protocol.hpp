@@ -5,15 +5,15 @@
 //
 // Request frame (client → server):
 //
-//   REQUEST id=<token> scheduler=<name> [deadline=<seconds>]
+//   REQUEST id=<token> scheduler=<name> [deadline=<seconds>] check=<16hex>
 //   # fadesched scenario v1
 //   ...                                  (testing::FormatScenario output)
 //   END
 //
 // Response (server → client), exactly one line per request:
 //
-//   OK id=<token> rate=<%.17g> schedule=<i,j,k|->
-//   ERR id=<token> status=<shed|timeout|error> kind=<taxonomy> msg=<...>
+//   OK sum=<16hex> id=<token> rate=<%.17g> schedule=<i,j,k|->
+//   ERR sum=<16hex> id=<token> status=<shed|timeout|error> kind=<..> msg=<..>
 //
 // Framing rules: the header names the request; the scenario payload runs
 // until a line that is exactly `END` (no scenario line can be `END` — the
@@ -23,6 +23,23 @@
 // with the frame position. Responses are single-line by construction
 // (messages have newlines flattened), which is what makes "byte-identical
 // response" checkable with a line compare.
+//
+// Integrity (the chaos layer's corruption defense): `check=` is FNV-1a
+// over the whole frame body with the check token itself spliced out
+// (header tokens, newline, scenario payload — so a flipped bit in id=,
+// scheduler=, deadline=, or any payload byte all mismatch); `sum=` is
+// FNV-1a over the response line with its own sum token removed. `check=`
+// is REQUIRED on request frames: a missing token on an otherwise
+// well-formed header is itself answered as kTransient corruption,
+// because a single flipped separator byte can merge the check token into
+// its neighbour — optional integrity would be disabled exactly when it
+// is needed (found by the chaos soak). `sum=` stays optional on parse
+// for hand-written test lines. A mismatch of either throws a kTransient
+// error (wire corruption is retryable, not a caller bug). Because a
+// flipped bit can also yield a payload that still parses, the request
+// checksum is verified *after* a successful scenario parse: parse errors
+// keep their precise row diagnostics, and the checksum closes the
+// corrupted-but-parseable hole.
 #pragma once
 
 #include <string>
@@ -39,8 +56,9 @@ inline constexpr const char* kFrameEnd = "END";
 std::string FormatRequestFrame(const SchedulingRequest& request);
 
 /// Parses a complete frame (header line through the line before END).
-/// Throws util::HarnessError (kFatal) naming the offending 1-based frame
-/// line on malformed input.
+/// Throws util::HarnessError naming the offending 1-based frame line on
+/// malformed input: kFatal for structural errors (a caller bug),
+/// kTransient for a missing or mismatching check= (wire corruption).
 SchedulingRequest ParseRequestFrame(const std::string& frame);
 
 /// Formats the single response line (no trailing newline). Deliberately
@@ -63,6 +81,11 @@ class FrameAssembler {
 
   [[nodiscard]] bool Done() const { return done_; }
   [[nodiscard]] bool Empty() const { return lines_ == 0; }
+
+  /// Bytes accumulated so far (the server's max-frame guard sums this
+  /// with its unscanned buffer) and lines fed (named in guard errors).
+  [[nodiscard]] std::size_t ByteSize() const { return frame_.size(); }
+  [[nodiscard]] std::size_t Lines() const { return lines_; }
 
   /// Parses the assembled frame (requires Done()).
   [[nodiscard]] SchedulingRequest Parse() const;

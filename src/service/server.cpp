@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -115,6 +116,7 @@ void Server::Serve() {
       if (errno == EINTR) continue;  // a signal landed — loop re-checks stop
       ThrowErrno("poll(listen)");
     }
+    ReapFinishedConnections();
     if (ready == 0) continue;  // tick: re-check the stop flags
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -122,6 +124,18 @@ void Server::Serve() {
       ThrowErrno("accept");
     }
     connections_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+  // Stop accepting before draining: close the listener (and unlink the
+  // unix path) so that clients retrying during the drain fail fast with a
+  // typed connect error instead of hanging in a backlog nobody will ever
+  // accept — the chaos soak counts those as unserved-after-drain, not
+  // lost.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_socket_path.empty()) {
+    ::unlink(options_.unix_socket_path.c_str());
   }
   // Graceful drain: connections finish the frame they are serving, then
   // the batcher completes everything already queued.
@@ -133,10 +147,24 @@ void Server::Serve() {
 }
 
 void Server::HandleConnection(int fd) {
+  ServiceMetrics& metrics = service_->Metrics();
   FrameAssembler assembler;
   std::string buffer;
   char chunk[4096];
   bool peer_closed = false;
+  auto last_byte = std::chrono::steady_clock::now();
+
+  // Best-effort typed protocol error (connection-level failures carry the
+  // "-" id: no request header was successfully attributed).
+  const auto send_error = [&](util::ErrorKind kind,
+                              const std::string& message) {
+    SchedulingResponse response;
+    response.status = ResponseStatus::kError;
+    response.error_kind = kind;
+    response.message = message;
+    response.id = "-";
+    return WriteAll(fd, FormatResponseLine(response) + "\n");
+  };
 
   while (!peer_closed) {
     pollfd pfd{fd, POLLIN, 0};
@@ -145,10 +173,30 @@ void Server::HandleConnection(int fd) {
       if (errno == EINTR) continue;
       break;
     }
+    const bool mid_frame = !assembler.Empty() || !buffer.empty();
     if (ready == 0) {
       // Idle tick: only hang up between frames, never mid-frame — a
       // client that already sent half a request gets its answer.
-      if (StopRequested() && assembler.Empty()) break;
+      if (StopRequested() && !mid_frame) break;
+      // Slow-loris guard: a peer that started a frame must keep bytes
+      // coming; after read_deadline_seconds of mid-frame silence it is
+      // told why and evicted.
+      if (mid_frame && options_.read_deadline_seconds > 0.0) {
+        const double stalled =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          last_byte)
+                .count();
+        if (stalled > options_.read_deadline_seconds) {
+          metrics.evicted_slow.fetch_add(1, std::memory_order_relaxed);
+          send_error(util::ErrorKind::kTimeout,
+                     "read deadline: frame stalled after " +
+                         std::to_string(assembler.Lines()) +
+                         " line(s) with no byte for " +
+                         std::to_string(options_.read_deadline_seconds) +
+                         " s — connection evicted");
+          break;
+        }
+      }
       continue;
     }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -160,6 +208,7 @@ void Server::HandleConnection(int fd) {
       peer_closed = true;
     } else {
       buffer.append(chunk, static_cast<std::size_t>(n));
+      last_byte = std::chrono::steady_clock::now();
     }
 
     std::size_t line_end;
@@ -172,11 +221,25 @@ void Server::HandleConnection(int fd) {
       SchedulingResponse response;
       try {
         response = service_->Execute(assembler.Parse());
+      } catch (const util::HarnessError& e) {
+        // Parse failures keep their taxonomy kind on the wire: a check=
+        // mismatch is kTransient (corruption — the client should retry),
+        // a malformed frame is kFatal (caller bug — it should not).
+        if (e.kind() == util::ErrorKind::kTransient) {
+          metrics.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          metrics.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        response.status = ResponseStatus::kError;
+        response.error_kind = e.kind();
+        response.message = e.what();
+        response.id = "-";
       } catch (const std::exception& e) {
+        metrics.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         response.status = ResponseStatus::kError;
         response.error_kind = util::ErrorKind::kFatal;
         response.message = e.what();
-        if (response.id.empty()) response.id = "-";
+        response.id = "-";
       }
       assembler.Reset();
       if (!WriteAll(fd, FormatResponseLine(response) + "\n")) {
@@ -185,18 +248,49 @@ void Server::HandleConnection(int fd) {
       }
     }
 
+    // Max-frame guard (checked once per recv, so the effective cap has
+    // one chunk of slack): reject instead of buffering unboundedly.
+    const std::size_t frame_bytes = assembler.ByteSize() + buffer.size();
+    if (!peer_closed && frame_bytes > options_.max_frame_bytes) {
+      metrics.oversized_frames.fetch_add(1, std::memory_order_relaxed);
+      send_error(util::ErrorKind::kFatal,
+                 "request frame line " + std::to_string(assembler.Lines() + 1) +
+                     ": frame exceeds max_frame_bytes=" +
+                     std::to_string(options_.max_frame_bytes) + " (" +
+                     std::to_string(frame_bytes) +
+                     " bytes buffered) — rejected, connection closed");
+      break;
+    }
+
     if (peer_closed && !assembler.Empty() && !assembler.Done()) {
       // EOF mid-frame: best-effort error naming how far the frame got
       // (the peer may keep its read side open after shutdown(SHUT_WR)).
-      SchedulingResponse response;
-      response.status = ResponseStatus::kError;
-      response.error_kind = util::ErrorKind::kFatal;
-      response.message = assembler.Truncated();
-      response.id = "-";
-      WriteAll(fd, FormatResponseLine(response) + "\n");
+      metrics.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      send_error(util::ErrorKind::kFatal, assembler.Truncated());
     }
   }
   ::close(fd);
+  {
+    const std::lock_guard<std::mutex> lock(finished_mutex_);
+    finished_.push_back(std::this_thread::get_id());
+  }
+}
+
+void Server::ReapFinishedConnections() {
+  std::vector<std::thread::id> done;
+  {
+    const std::lock_guard<std::mutex> lock(finished_mutex_);
+    done.swap(finished_);
+  }
+  for (const std::thread::id id : done) {
+    for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+      if (it->get_id() == id) {
+        it->join();  // the thread already announced completion — no wait
+        connections_.erase(it);
+        break;
+      }
+    }
+  }
 }
 
 void Server::Stop() { stop_.store(true, std::memory_order_relaxed); }

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,17 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 = ephemeral (resolved port available via Port()).
   int port = 0;
+
+  /// Connection guards (the chaos layer's server-side defenses). A frame
+  /// accumulating beyond `max_frame_bytes` — including a single line that
+  /// long — is answered with a typed protocol error and the connection is
+  /// closed; without the cap a hostile or corrupted peer could buffer
+  /// unboundedly. A connection that has started a frame but delivers no
+  /// byte for `read_deadline_seconds` (slow-loris) is evicted the same
+  /// way; 0 disables the deadline. Idle connections *between* frames are
+  /// never evicted — keepalive is legitimate.
+  std::size_t max_frame_bytes = 1 << 20;
+  double read_deadline_seconds = 30.0;
 
   ServiceOptions service;
 };
@@ -59,6 +71,7 @@ class Server {
 
  private:
   void HandleConnection(int fd);
+  void ReapFinishedConnections();
   [[nodiscard]] bool StopRequested() const;
 
   ServerOptions options_;
@@ -67,6 +80,12 @@ class Server {
   int port_ = 0;
   std::atomic<bool> stop_{false};
   std::vector<std::thread> connections_;
+  // Connection threads announce completion here so the accept loop can
+  // join them as it goes; without reaping, a reconnect-heavy workload
+  // (the chaos soak retries by reconnecting) would pile up thousands of
+  // finished-but-unjoined threads until shutdown.
+  std::mutex finished_mutex_;
+  std::vector<std::thread::id> finished_;
 };
 
 }  // namespace fadesched::service

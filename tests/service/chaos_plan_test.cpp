@@ -1,0 +1,120 @@
+// ChaosPlan + fault-stream + FaultTrace determinism contracts.
+#include "service/chaos/chaos_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fadesched::service::chaos {
+namespace {
+
+TEST(ChaosPlanTest, DefaultPlanIsInert) {
+  const ChaosPlan plan;
+  EXPECT_FALSE(plan.Enabled());
+  EXPECT_EQ(plan.Describe(), "inert");
+}
+
+TEST(ChaosPlanTest, AllFamiliesSetsEveryProbability) {
+  const ChaosPlan plan = ChaosPlan::AllFamilies(0.25, 9);
+  EXPECT_TRUE(plan.Enabled());
+  EXPECT_EQ(plan.seed, 9u);
+  for (std::size_t f = 0; f < kNumFaultFamilies; ++f) {
+    EXPECT_DOUBLE_EQ(plan.Probability(static_cast<FaultFamily>(f)), 0.25);
+  }
+}
+
+TEST(ChaosPlanTest, SetProbabilityRoundTripsEveryFamily) {
+  ChaosPlan plan;
+  for (std::size_t f = 0; f < kNumFaultFamilies; ++f) {
+    const auto family = static_cast<FaultFamily>(f);
+    plan.SetProbability(family, 0.125 * static_cast<double>(f + 1));
+    EXPECT_DOUBLE_EQ(plan.Probability(family),
+                     0.125 * static_cast<double>(f + 1));
+  }
+}
+
+TEST(ChaosPlanTest, FamilyNamesAreDistinctAndStable) {
+  std::set<std::string> names;
+  for (std::size_t f = 0; f < kNumFaultFamilies; ++f) {
+    names.insert(FaultFamilyName(static_cast<FaultFamily>(f)));
+  }
+  EXPECT_EQ(names.size(), kNumFaultFamilies);
+  EXPECT_EQ(std::string(FaultFamilyName(FaultFamily::kConnectReset)),
+            "connect-reset");
+  EXPECT_EQ(std::string(FaultFamilyName(FaultFamily::kRecvDuplicate)),
+            "recv-duplicate");
+}
+
+TEST(ChaosPlanTest, DescribeListsOnlyEnabledFamilies) {
+  ChaosPlan plan;
+  plan.recv_kill = 0.05;
+  plan.send_corrupt = 0.01;
+  const std::string description = plan.Describe();
+  EXPECT_NE(description.find("recv-kill=0.05"), std::string::npos);
+  EXPECT_NE(description.find("send-corrupt=0.01"), std::string::npos);
+  EXPECT_EQ(description.find("connect-reset"), std::string::npos);
+}
+
+TEST(ChaosPlanTest, ValidateRejectsOutOfRangeProbabilities) {
+  ChaosPlan plan;
+  plan.recv_stall = 1.5;
+  EXPECT_THROW(plan.Validate(), util::HarnessError);
+  plan.recv_stall = -0.1;
+  EXPECT_THROW(plan.Validate(), util::HarnessError);
+  plan.recv_stall = 1.0;
+  EXPECT_NO_THROW(plan.Validate());
+  plan.stall_seconds = -1.0;
+  EXPECT_THROW(plan.Validate(), util::HarnessError);
+}
+
+TEST(FaultStreamTest, SameCoordinatesSameStream) {
+  ChaosPlan plan;
+  plan.seed = 42;
+  rng::Xoshiro256 a = MakeFaultStream(plan, 3, 7);
+  rng::Xoshiro256 b = MakeFaultStream(plan, 3, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(FaultStreamTest, DifferentCoordinatesDiverge) {
+  ChaosPlan plan;
+  plan.seed = 42;
+  rng::Xoshiro256 base = MakeFaultStream(plan, 3, 7);
+  rng::Xoshiro256 other_worker = MakeFaultStream(plan, 4, 7);
+  rng::Xoshiro256 other_connection = MakeFaultStream(plan, 3, 8);
+  ChaosPlan reseeded = plan;
+  reseeded.seed = 43;
+  rng::Xoshiro256 other_seed = MakeFaultStream(reseeded, 3, 7);
+  const std::uint64_t first = base.Next();
+  EXPECT_NE(first, other_worker.Next());
+  EXPECT_NE(first, other_connection.Next());
+  EXPECT_NE(first, other_seed.Next());
+}
+
+TEST(FaultTraceTest, FormatSortsByCoordinatesNotArrivalOrder) {
+  FaultTrace trace;
+  trace.Record({1, 0, 2, FaultFamily::kRecvKill, 0});
+  trace.Record({0, 1, 1, FaultFamily::kSendCorrupt, 5});
+  trace.Record({0, 0, 3, FaultFamily::kRecvStall, 20});
+  EXPECT_EQ(trace.Format(),
+            "w0 c0 op3 recv-stall detail=20\n"
+            "w0 c1 op1 send-corrupt detail=5\n"
+            "w1 c0 op2 recv-kill detail=0\n");
+}
+
+TEST(FaultTraceTest, CountsByFamily) {
+  FaultTrace trace;
+  trace.Record({0, 0, 1, FaultFamily::kRecvKill, 0});
+  trace.Record({0, 0, 2, FaultFamily::kRecvKill, 0});
+  trace.Record({0, 0, 3, FaultFamily::kConnectReset, 0});
+  EXPECT_EQ(trace.Count(), 3u);
+  EXPECT_EQ(trace.CountFamily(FaultFamily::kRecvKill), 2u);
+  EXPECT_EQ(trace.CountFamily(FaultFamily::kSendCorrupt), 0u);
+  const auto counts = trace.CountsByFamily();
+  EXPECT_EQ(counts[static_cast<std::size_t>(FaultFamily::kConnectReset)], 1u);
+}
+
+}  // namespace
+}  // namespace fadesched::service::chaos

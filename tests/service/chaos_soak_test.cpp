@@ -1,0 +1,125 @@
+// End-to-end chaos soak contract: zero loss under an all-families fault
+// storm, byte-identical fault traces for a fixed seed, a silent plan
+// injecting nothing, a clean mid-storm drain, and the failure shrinker
+// producing a reproducer line. These are the in-tree versions of what
+// CI's chaos-smoke job runs at 10k requests.
+#include "service/chaos/soak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/chaos/chaos_plan.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service::chaos {
+namespace {
+
+/// Small-but-real soak configuration: every fault family enabled, short
+/// stalls, fast retries. ~120 requests keeps the whole suite under a few
+/// seconds while still injecting dozens of faults.
+ChaosSoakOptions StormOptions(std::uint64_t seed) {
+  ChaosSoakOptions options;
+  options.num_requests = 120;
+  options.num_clients = 4;
+  options.pool_size = 8;
+  options.links = 12;
+  options.seed = seed;
+  options.plan = ChaosPlan::AllFamilies(0.05, seed);
+  options.plan.stall_seconds = 0.002;
+  options.retry.initial_backoff_seconds = 0.001;
+  options.retry.max_backoff_seconds = 0.01;
+  return options;
+}
+
+TEST(ChaosSoakTest, AllFaultFamiliesAtFivePercentLoseNothing) {
+  const ChaosSoakReport report = RunChaosSoak(StormOptions(3));
+  EXPECT_TRUE(report.Ok()) << report.first_failure << "\n" << report.ToJson();
+  EXPECT_EQ(report.sent, 120u);
+  EXPECT_EQ(report.ok, 120u);
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.duplicated, 0u);
+  EXPECT_EQ(report.corrupted, 0u);
+  // The storm was real: faults were injected and absorbed by retries.
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_GT(report.retries, 0u);
+  // Bounded recovery: no request may burn more than max_attempts.
+  EXPECT_LE(report.retries,
+            report.sent * (ChaosSoakOptions{}.retry.max_attempts - 1));
+}
+
+TEST(ChaosSoakTest, TheFaultTraceIsByteIdenticalAcrossRuns) {
+  const ChaosSoakReport first = RunChaosSoak(StormOptions(11));
+  const ChaosSoakReport second = RunChaosSoak(StormOptions(11));
+  ASSERT_GT(first.faults_injected, 0u);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
+  EXPECT_EQ(first.trace, second.trace);  // byte-for-byte, thread-order-free
+}
+
+TEST(ChaosSoakTest, DifferentSeedsProduceDifferentStorms) {
+  const ChaosSoakReport a = RunChaosSoak(StormOptions(21));
+  const ChaosSoakReport b = RunChaosSoak(StormOptions(22));
+  EXPECT_NE(a.trace, b.trace);
+  EXPECT_TRUE(a.Ok()) << a.first_failure;
+  EXPECT_TRUE(b.Ok()) << b.first_failure;
+}
+
+TEST(ChaosSoakTest, AnInertPlanInjectsNothingAndRetriesNothing) {
+  ChaosSoakOptions options = StormOptions(5);
+  options.plan = ChaosPlan{};  // all probabilities zero
+  options.num_requests = 40;
+  const ChaosSoakReport report = RunChaosSoak(options);
+  EXPECT_TRUE(report.Ok()) << report.first_failure;
+  EXPECT_EQ(report.ok, 40u);
+  EXPECT_EQ(report.faults_injected, 0u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_TRUE(report.trace.empty());
+}
+
+TEST(ChaosSoakTest, MidRunDrainIsCleanRefusalNotLoss) {
+  ChaosSoakOptions options = StormOptions(7);
+  options.num_requests = 80;
+  options.drain_mid_run = true;
+  const ChaosSoakReport report = RunChaosSoak(options);
+  EXPECT_TRUE(report.Ok()) << report.first_failure << "\n" << report.ToJson();
+  EXPECT_TRUE(report.drained);
+  // The drain landed mid-storm: some requests were served, the rest were
+  // refused loudly — none lost silently.
+  EXPECT_GT(report.ok, 0u);
+  EXPECT_GT(report.unserved_after_drain, 0u);
+  EXPECT_EQ(report.ok + report.unserved_after_drain, report.sent);
+}
+
+TEST(ChaosSoakTest, TheShrinkerNamesAMinimalFailingPlan) {
+  // Force failure: one attempt only (no retry budget) under a heavy
+  // all-families storm — some request WILL hit an injected fault and
+  // give up. The shrinker must then hand back a reproducer line.
+  ChaosSoakOptions options = StormOptions(9);
+  options.num_requests = 40;
+  options.plan = ChaosPlan::AllFamilies(0.4, 9);
+  options.plan.stall_seconds = 0.001;
+  options.retry.max_attempts = 1;
+  const ChaosSoakReport report = RunChaosSoak(options);
+  ASSERT_FALSE(report.Ok());
+  EXPECT_FALSE(report.first_failure.empty());
+  const std::string repro = ShrinkChaosFailure(options);
+  EXPECT_NE(repro.find("chaos repro:"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("seed=9"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("requests=40"), std::string::npos) << repro;
+}
+
+TEST(ChaosSoakTest, OptionsValidateRejectsNonsense) {
+  ChaosSoakOptions options;
+  options.num_requests = 0;
+  EXPECT_THROW(options.Validate(), util::HarnessError);
+  options = ChaosSoakOptions{};
+  options.num_clients = 0;
+  EXPECT_THROW(options.Validate(), util::HarnessError);
+  options = ChaosSoakOptions{};
+  options.plan.SetProbability(FaultFamily::kRecvKill, 1.5);
+  EXPECT_THROW(options.Validate(), util::HarnessError);
+  EXPECT_NO_THROW(ChaosSoakOptions{}.Validate());
+}
+
+}  // namespace
+}  // namespace fadesched::service::chaos

@@ -1,0 +1,122 @@
+// Client deadline hardening (a satellite of the chaos layer): a stalled
+// or vanished peer must surface as a typed error within the configured
+// budget — the client no longer owns a single code path that can block
+// forever.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "service/client.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+namespace {
+
+std::string UniqueSocketPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("fs_to_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+           ".sock"))
+      .string();
+}
+
+/// A listener that accepts nothing and answers nothing — the perfectly
+/// silent peer. Connects succeed (the backlog takes them); every read
+/// starves.
+class SilentListener {
+ public:
+  explicit SilentListener(const std::string& path) : path_(path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(fd_, 8);
+  }
+  ~SilentListener() {
+    if (fd_ >= 0) ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+TEST(ClientTimeoutTest, ReadLineTimesOutAgainstASilentPeer) {
+  const std::string path = UniqueSocketPath("silent");
+  SilentListener listener(path);
+  ClientOptions options;
+  options.io_timeout_seconds = 0.3;
+  Client client(options);
+  client.ConnectUnix(path);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    client.ReadLine();
+    FAIL() << "expected a timeout";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTimeout);
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.25);  // the budget was honored...
+  EXPECT_LT(elapsed, 3.0);   // ...and it did not hang
+}
+
+TEST(ClientTimeoutTest, ZeroIoTimeoutMeansNoDeadlineButEofStillSurfaces) {
+  // 0 disables the deadline; EOF (listener destroyed → reset) must still
+  // produce a typed transient error rather than a hang.
+  const std::string path = UniqueSocketPath("eof");
+  ClientOptions options;
+  options.io_timeout_seconds = 0.0;
+  Client client(options);
+  {
+    SilentListener listener(path);
+    client.ConnectUnix(path);
+  }  // listener gone: pending connection reset
+  EXPECT_THROW(client.ReadLine(), util::HarnessError);
+}
+
+TEST(ClientTimeoutTest, ConnectRefusalIsTypedAndImmediate) {
+  Client client;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    client.ConnectUnix(UniqueSocketPath("nonexistent"));
+    FAIL() << "expected a connect failure";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTransient);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 1.0);
+  EXPECT_FALSE(client.Connected());
+}
+
+TEST(ClientTimeoutTest, OperationsOnADisconnectedClientAreUsageErrors) {
+  Client client;
+  try {
+    client.ReadLine();
+    FAIL() << "expected a usage error";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kFatal);
+  }
+  try {
+    client.SendRaw("x");
+    FAIL() << "expected a usage error";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kFatal);
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::service

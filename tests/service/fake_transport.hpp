@@ -1,0 +1,58 @@
+// Scripted in-memory Transport for chaos-layer unit tests: records every
+// Send, serves ReadLine from a pre-loaded queue, and can be told to
+// refuse the next N connects. No sockets, no threads — the fault logic
+// under test (FaultyTransport, RetryingClient) is exercised against a
+// fully deterministic peer.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "service/chaos/transport.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service::chaos {
+
+class FakeTransport final : public Transport {
+ public:
+  void Connect() override {
+    ++connects;
+    if (fail_connects > 0) {
+      --fail_connects;
+      throw util::TransientError("fake: connection refused");
+    }
+    connected = true;
+  }
+
+  void Close() override {
+    if (connected) ++closes;
+    connected = false;
+  }
+
+  [[nodiscard]] bool Connected() const override { return connected; }
+
+  void Send(const std::string& bytes) override {
+    if (!connected) throw util::TransientError("fake: send while closed");
+    sent.push_back(bytes);
+  }
+
+  std::string ReadLine() override {
+    if (!connected) throw util::TransientError("fake: read while closed");
+    if (lines.empty()) {
+      throw util::TransientError("fake: connection closed before a line");
+    }
+    std::string line = lines.front();
+    lines.pop_front();
+    return line;
+  }
+
+  std::vector<std::string> sent;
+  std::deque<std::string> lines;
+  int fail_connects = 0;
+  int connects = 0;
+  int closes = 0;
+  bool connected = false;
+};
+
+}  // namespace fadesched::service::chaos

@@ -1,0 +1,208 @@
+// FaultyTransport unit tests against the scripted FakeTransport: each
+// fault family fires deterministically at probability 1, an inert plan
+// is invisible, and a fixed seed yields an identical fault trace.
+#include "service/chaos/faulty_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "fake_transport.hpp"
+#include "service/chaos/chaos_plan.hpp"
+#include "service/metrics.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service::chaos {
+namespace {
+
+/// Builds a FaultyTransport around a FakeTransport, returning both (the
+/// fake stays owned by the caller-visible raw pointer).
+std::pair<std::unique_ptr<FaultyTransport>, FakeTransport*> Wrap(
+    const ChaosPlan& plan, FaultTrace* trace = nullptr,
+    ServiceMetrics* metrics = nullptr) {
+  auto fake = std::make_unique<FakeTransport>();
+  FakeTransport* raw = fake.get();
+  auto faulty = std::make_unique<FaultyTransport>(std::move(fake), plan, 0,
+                                                  trace, metrics);
+  return {std::move(faulty), raw};
+}
+
+TEST(FaultyTransportTest, InertPlanIsInvisible) {
+  FaultTrace trace;
+  auto [transport, fake] = Wrap(ChaosPlan{}, &trace);
+  transport->Connect();
+  transport->Send("hello\n");
+  fake->lines.push_back("world");
+  EXPECT_EQ(transport->ReadLine(), "world");
+  ASSERT_EQ(fake->sent.size(), 1u);
+  EXPECT_EQ(fake->sent[0], "hello\n");
+  EXPECT_EQ(trace.Count(), 0u);
+}
+
+TEST(FaultyTransportTest, ConnectResetFiresBeforeTheInnerConnect) {
+  ChaosPlan plan;
+  plan.connect_reset = 1.0;
+  FaultTrace trace;
+  ServiceMetrics metrics;
+  auto [transport, fake] = Wrap(plan, &trace, &metrics);
+  try {
+    transport->Connect();
+    FAIL() << "expected an injected connect reset";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTransient);
+  }
+  EXPECT_EQ(fake->connects, 0);  // the fault preempts the real connect
+  EXPECT_FALSE(transport->Connected());
+  EXPECT_EQ(trace.CountFamily(FaultFamily::kConnectReset), 1u);
+  EXPECT_EQ(metrics.chaos_injected.load(), 1u);
+}
+
+TEST(FaultyTransportTest, SendCorruptFlipsExactlyOneByte) {
+  ChaosPlan plan;
+  plan.send_corrupt = 1.0;
+  FaultTrace trace;
+  auto [transport, fake] = Wrap(plan, &trace);
+  transport->Connect();
+  const std::string original = "REQUEST id=a scheduler=rle\npayload\nEND\n";
+  transport->Send(original);
+  ASSERT_EQ(fake->sent.size(), 1u);
+  const std::string& delivered = fake->sent[0];
+  ASSERT_EQ(delivered.size(), original.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (delivered[i] != original[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);
+  EXPECT_EQ(trace.CountFamily(FaultFamily::kSendCorrupt), 1u);
+}
+
+TEST(FaultyTransportTest, SendTruncateDeliversAPrefixAndKillsTheConnection) {
+  ChaosPlan plan;
+  plan.send_truncate = 1.0;
+  FaultTrace trace;
+  auto [transport, fake] = Wrap(plan, &trace);
+  transport->Connect();
+  const std::string frame = "0123456789";
+  EXPECT_THROW(transport->Send(frame), util::HarnessError);
+  EXPECT_FALSE(transport->Connected());
+  // Whatever was delivered is a strict prefix of the frame.
+  if (!fake->sent.empty()) {
+    ASSERT_EQ(fake->sent.size(), 1u);
+    EXPECT_LT(fake->sent[0].size(), frame.size());
+    EXPECT_EQ(frame.rfind(fake->sent[0], 0), 0u);
+  }
+  EXPECT_EQ(trace.CountFamily(FaultFamily::kSendTruncate), 1u);
+}
+
+TEST(FaultyTransportTest, SendDuplicateDeliversTheFrameTwice) {
+  ChaosPlan plan;
+  plan.send_duplicate = 1.0;
+  auto [transport, fake] = Wrap(plan);
+  transport->Connect();
+  transport->Send("frame\n");
+  ASSERT_EQ(fake->sent.size(), 2u);
+  EXPECT_EQ(fake->sent[0], "frame\n");
+  EXPECT_EQ(fake->sent[1], "frame\n");
+}
+
+TEST(FaultyTransportTest, RecvStallSurfacesAsTimeoutWithoutConsumingTheLine) {
+  ChaosPlan plan;
+  plan.recv_stall = 1.0;
+  plan.stall_seconds = 0.0;  // don't actually sleep in a unit test
+  auto [transport, fake] = Wrap(plan);
+  transport->Connect();
+  fake->lines.push_back("the response");
+  try {
+    transport->ReadLine();
+    FAIL() << "expected an injected stall";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTimeout);
+  }
+  // The response was abandoned with the connection, not consumed.
+  EXPECT_FALSE(transport->Connected());
+  EXPECT_EQ(fake->lines.size(), 1u);
+}
+
+TEST(FaultyTransportTest, RecvKillResetsBeforeTheLine) {
+  ChaosPlan plan;
+  plan.recv_kill = 1.0;
+  auto [transport, fake] = Wrap(plan);
+  transport->Connect();
+  fake->lines.push_back("never seen");
+  try {
+    transport->ReadLine();
+    FAIL() << "expected an injected kill";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTransient);
+  }
+  EXPECT_FALSE(transport->Connected());
+}
+
+TEST(FaultyTransportTest, RecvCorruptFlipsExactlyOneByteOfTheLine) {
+  ChaosPlan plan;
+  plan.recv_corrupt = 1.0;
+  auto [transport, fake] = Wrap(plan);
+  transport->Connect();
+  const std::string original = "OK id=a rate=1 schedule=-";
+  fake->lines.push_back(original);
+  const std::string delivered = transport->ReadLine();
+  ASSERT_EQ(delivered.size(), original.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (delivered[i] != original[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(FaultyTransportTest, RecvDuplicateRedeliversTheLineOnTheNextRead) {
+  ChaosPlan plan;
+  plan.recv_duplicate = 1.0;
+  auto [transport, fake] = Wrap(plan);
+  transport->Connect();
+  fake->lines.push_back("line one");
+  const std::string first = transport->ReadLine();
+  EXPECT_EQ(first, "line one");
+  // The duplicate is served from the transport's own queue — the inner
+  // transport has nothing more to deliver.
+  const std::string second = transport->ReadLine();
+  EXPECT_EQ(second, "line one");
+}
+
+TEST(FaultyTransportTest, DuplicatesDoNotSurviveReconnect) {
+  ChaosPlan plan;
+  plan.recv_duplicate = 1.0;
+  auto [transport, fake] = Wrap(plan);
+  transport->Connect();
+  fake->lines.push_back("stale");
+  EXPECT_EQ(transport->ReadLine(), "stale");
+  transport->Connect();  // new connection: the pending duplicate is gone
+  fake->lines.push_back("fresh");
+  EXPECT_EQ(transport->ReadLine(), "fresh");
+}
+
+TEST(FaultyTransportTest, SameSeedSameFaultDecisions) {
+  const ChaosPlan plan = ChaosPlan::AllFamilies(0.5, 77);
+  const auto run = [&plan] {
+    FaultTrace trace;
+    auto [transport, fake] = Wrap(plan, &trace);
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      try {
+        if (!transport->Connected()) transport->Connect();
+        transport->Send("frame line\nEND\n");
+        fake->lines.push_back("OK id=a rate=1 schedule=-");
+        (void)transport->ReadLine();
+      } catch (const util::HarnessError&) {
+        // Faults are the point; keep going.
+      }
+    }
+    return trace.Format();
+  };
+  const std::string first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run());
+}
+
+}  // namespace
+}  // namespace fadesched::service::chaos

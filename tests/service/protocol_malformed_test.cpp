@@ -1,0 +1,201 @@
+// Malformed-frame hardening (a satellite of the chaos layer): truncated,
+// oversized, garbage, and checksum-tampered frames must each produce a
+// typed, line/byte-named error response — never a crash, never an
+// unbounded buffer — and the server must keep serving afterwards. Run
+// under ASan/UBSan in CI's chaos-smoke job.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "testing/fuzzer.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service {
+namespace {
+
+std::string UniqueSocketPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("fs_mal_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+           ".sock"))
+      .string();
+}
+
+SchedulingRequest MakeRequest(const std::string& id) {
+  fadesched::testing::ScenarioFuzzer fuzzer(5);
+  SchedulingRequest request;
+  request.scenario = fuzzer.Case(0);
+  request.scheduler = "rle";
+  request.id = id;
+  return request;
+}
+
+/// Server + serve-thread fixture shared by every case.
+class MalformedFrameTest : public ::testing::Test {
+ protected:
+  void StartServer(const char* tag,
+                   const std::function<void(ServerOptions&)>& tweak = {}) {
+    options_.unix_socket_path = UniqueSocketPath(tag);
+    if (tweak) tweak(options_);
+    server_ = std::make_unique<Server>(options_);
+    server_->Start();
+    serving_ = std::thread([this] { server_->Serve(); });
+  }
+
+  void TearDown() override {
+    if (server_) {
+      server_->Stop();
+      if (serving_.joinable()) serving_.join();
+    }
+  }
+
+  ServiceMetrics& Metrics() { return server_->Service().Metrics(); }
+
+  ServerOptions options_;
+  std::unique_ptr<Server> server_;
+  std::thread serving_;
+};
+
+TEST_F(MalformedFrameTest, TruncatedFrameNamesHowManyLinesArrived) {
+  StartServer("trunc");
+  Client client;
+  client.ConnectUnix(options_.unix_socket_path);
+  client.SendRaw("REQUEST id=t scheduler=rle\nrow one\nrow two\n");
+  client.ShutdownWrite();  // EOF mid-frame, read side stays open
+  const SchedulingResponse err = ParseResponseLine(client.ReadLine());
+  EXPECT_EQ(err.status, ResponseStatus::kError);
+  EXPECT_EQ(err.error_kind, util::ErrorKind::kFatal);
+  EXPECT_NE(err.message.find("truncated request frame after 3 line(s)"),
+            std::string::npos)
+      << err.message;
+  EXPECT_GE(Metrics().protocol_errors.load(), 1u);
+}
+
+TEST_F(MalformedFrameTest, OversizedFrameIsRejectedNamingTheCap) {
+  StartServer("big", [](ServerOptions& options) {
+    options.max_frame_bytes = 4096;
+  });
+  Client client;
+  client.ConnectUnix(options_.unix_socket_path);
+  // One endless line, no newline at all — the degenerate slowest case
+  // for a line-oriented parser; must be capped, not buffered forever.
+  client.SendRaw("REQUEST id=big scheduler=rle\n" +
+                 std::string(8192, 'a'));
+  const SchedulingResponse err = ParseResponseLine(client.ReadLine());
+  EXPECT_EQ(err.status, ResponseStatus::kError);
+  EXPECT_EQ(err.error_kind, util::ErrorKind::kFatal);
+  EXPECT_NE(err.message.find("max_frame_bytes=4096"), std::string::npos)
+      << err.message;
+  EXPECT_EQ(Metrics().oversized_frames.load(), 1u);
+  // The guard closes the connection: the next read sees EOF.
+  EXPECT_THROW(client.ReadLine(), util::HarnessError);
+}
+
+TEST_F(MalformedFrameTest, GarbageBytesGetATypedErrorAndServiceContinues) {
+  StartServer("garbage");
+  Client client;
+  client.ConnectUnix(options_.unix_socket_path);
+  client.SendRaw("\x01\x02\x7f not a header\nEND\n");
+  const SchedulingResponse err = ParseResponseLine(client.ReadLine());
+  EXPECT_EQ(err.status, ResponseStatus::kError);
+  EXPECT_EQ(err.error_kind, util::ErrorKind::kFatal);
+  EXPECT_NE(err.message.find("request frame line 1"), std::string::npos)
+      << err.message;
+  // Same connection, valid request: still served.
+  const SchedulingResponse ok = client.Call(MakeRequest("after-garbage"));
+  EXPECT_TRUE(ok.Ok()) << ok.message;
+}
+
+TEST_F(MalformedFrameTest, TamperedChecksumIsATransientNotACallerBug) {
+  StartServer("sum");
+  std::string frame = FormatRequestFrame(MakeRequest("tamper"));
+  const std::size_t pos = frame.find("check=");
+  ASSERT_NE(pos, std::string::npos);
+  // Flip one hex digit of the claimed checksum: the frame still parses,
+  // so only the integrity check can catch it — and it must classify as
+  // kTransient (wire corruption is retryable).
+  frame[pos + 6] = frame[pos + 6] == '0' ? '1' : '0';
+  Client client;
+  client.ConnectUnix(options_.unix_socket_path);
+  client.SendRaw(frame);
+  const SchedulingResponse err = ParseResponseLine(client.ReadLine());
+  EXPECT_EQ(err.status, ResponseStatus::kError);
+  EXPECT_EQ(err.error_kind, util::ErrorKind::kTransient);
+  EXPECT_NE(err.message.find("checksum mismatch"), std::string::npos)
+      << err.message;
+  EXPECT_EQ(Metrics().checksum_failures.load(), 1u);
+}
+
+TEST_F(MalformedFrameTest, HeaderTamperingIsCaughtByTheFrameChecksum) {
+  StartServer("hdr");
+  std::string frame = FormatRequestFrame(MakeRequest("hdr"));
+  // Corrupt the scheduler NAME (still a parseable token): without the
+  // frame-wide checksum this would surface as "unknown scheduler" — a
+  // fake caller bug.
+  const std::size_t pos = frame.find("scheduler=rle");
+  ASSERT_NE(pos, std::string::npos);
+  frame[pos + 10] = 'x';  // rle -> xle
+  Client client;
+  client.ConnectUnix(options_.unix_socket_path);
+  client.SendRaw(frame);
+  const SchedulingResponse err = ParseResponseLine(client.ReadLine());
+  EXPECT_EQ(err.error_kind, util::ErrorKind::kTransient);
+  EXPECT_NE(err.message.find("checksum mismatch"), std::string::npos)
+      << err.message;
+}
+
+TEST_F(MalformedFrameTest, MidFrameDisconnectDoesNotPoisonTheServer) {
+  StartServer("vanish");
+  {
+    Client client;
+    client.ConnectUnix(options_.unix_socket_path);
+    client.SendRaw("REQUEST id=v scheduler=rle\nhalf a frame\n");
+    client.Close();  // vanish entirely, both directions
+  }
+  // A fresh client is served normally afterwards.
+  Client client;
+  client.ConnectUnix(options_.unix_socket_path);
+  const SchedulingResponse ok = client.Call(MakeRequest("survivor"));
+  EXPECT_TRUE(ok.Ok()) << ok.message;
+}
+
+TEST_F(MalformedFrameTest, SlowLorisMidFrameIsEvictedWithATimeout) {
+  StartServer("loris", [](ServerOptions& options) {
+    options.read_deadline_seconds = 0.3;
+  });
+  Client client;
+  client.ConnectUnix(options_.unix_socket_path);
+  client.SendRaw("REQUEST id=slow scheduler=rle\n");  // then... nothing
+  const SchedulingResponse err = ParseResponseLine(client.ReadLine());
+  EXPECT_EQ(err.status, ResponseStatus::kError);
+  EXPECT_EQ(err.error_kind, util::ErrorKind::kTimeout);
+  EXPECT_NE(err.message.find("read deadline"), std::string::npos)
+      << err.message;
+  EXPECT_EQ(Metrics().evicted_slow.load(), 1u);
+}
+
+TEST_F(MalformedFrameTest, IdleBetweenFramesIsNeverEvicted) {
+  StartServer("idle", [](ServerOptions& options) {
+    options.read_deadline_seconds = 0.2;
+  });
+  Client client;
+  client.ConnectUnix(options_.unix_socket_path);
+  // Sit idle well past the read deadline WITHOUT starting a frame:
+  // keepalive is legitimate, only mid-frame stalls are evicted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  const SchedulingResponse ok = client.Call(MakeRequest("keepalive"));
+  EXPECT_TRUE(ok.Ok()) << ok.message;
+  EXPECT_EQ(Metrics().evicted_slow.load(), 0u);
+}
+
+}  // namespace
+}  // namespace fadesched::service

@@ -78,6 +78,50 @@ TEST(RequestFrameTest, RejectsMalformedHeadersNamingLineOne) {
   EXPECT_NE(msg4.find("unknown header key 'frobnicate'"), std::string::npos);
 }
 
+TEST(RequestFrameTest, MissingCheckTokenIsTransientCorruptionNotACallerBug) {
+  // check= is mandatory: a flipped separator byte can merge the token
+  // into its neighbour, and treating the result as a checkless frame
+  // would disable verification exactly when it is needed.
+  try {
+    (void)ParseRequestFrame("REQUEST id=a scheduler=rle\nx\n");
+    FAIL() << "expected a missing-check error";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTransient);
+    EXPECT_NE(std::string(e.what()).find("missing check="), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("request frame"), std::string::npos);
+  }
+}
+
+TEST(RequestFrameTest, ASeparatorCorruptedIntoATabIsStillCaught) {
+  // A space flipped into a tab keeps every token parseable (istream
+  // splitting treats both as whitespace), so only the checksum can flag
+  // it — and the check-token splice must be whitespace-aware or the tab
+  // variant would silently skip verification instead.
+  const std::string frame = FormatRequestFrame(MakeRequest());
+  std::string tampered = frame.substr(0, frame.size() - 4);  // strip END
+  const std::size_t space = tampered.find(" scheduler=");
+  ASSERT_NE(space, std::string::npos);
+  tampered[space] = '\t';
+  try {
+    (void)ParseRequestFrame(tampered);
+    FAIL() << "expected a checksum mismatch";
+  } catch (const util::HarnessError& e) {
+    EXPECT_EQ(e.kind(), util::ErrorKind::kTransient);
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos);
+  }
+
+  // The degenerate cousin: the separator *before the check token itself*
+  // flipped to a tab is spliced out with the token, reconstructing the
+  // exact body the sender hashed — the frame verifies and parses, which
+  // is correct: the corruption changed nothing the request means.
+  std::string benign = frame.substr(0, frame.size() - 4);
+  const std::size_t check_space = benign.find(" check=");
+  ASSERT_NE(check_space, std::string::npos);
+  benign[check_space] = '\t';
+  EXPECT_EQ(ParseRequestFrame(benign).scheduler, "rle");
+}
+
 TEST(RequestFrameTest, ScenarioPayloadErrorsKeepTheirRowNumbers) {
   const SchedulingRequest request = MakeRequest();
   std::string frame = FormatRequestFrame(request);

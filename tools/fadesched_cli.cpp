@@ -11,6 +11,7 @@
 //   fadesched_cli fuzz     --seed 1 --iters 2000 [--corpus-dir repros]
 //   fadesched_cli serve    --unix /tmp/fs.sock --workers 4 [--metrics-out m.json]
 //   fadesched_cli loadgen  --unix /tmp/fs.sock --requests 1000 --connections 4
+//   fadesched_cli chaos-soak --seed 7 --requests 10000 --fault-prob 0.02
 //
 // Every subcommand accepts --help.
 //
@@ -29,6 +30,7 @@
 #include "rng/distributions.hpp"
 #include "sched/feedback.hpp"
 #include "sched/ilp_export.hpp"
+#include "service/chaos/soak.hpp"
 #include "service/loadgen.hpp"
 #include "service/server.hpp"
 #include "sim/sweep.hpp"
@@ -587,6 +589,144 @@ int RunLoadgen(int argc, char** argv) {
   return report.Clean() ? 0 : 1;
 }
 
+int RunChaosSoak(int argc, char** argv) {
+  util::CliParser cli(
+      "fadesched_cli chaos-soak",
+      "seeded fault-injection soak: every request must reach exactly one "
+      "byte-identical response or a typed error — 0 lost, 0 duplicated, "
+      "0 corrupted");
+  auto& unix_path = cli.AddString(
+      "unix", "", "existing server's unix socket (empty + port 0 = spin up "
+      "an in-process server)");
+  auto& host = cli.AddString("host", "127.0.0.1", "existing server address");
+  auto& port = cli.AddInt("port", 0, "existing server TCP port");
+  auto& requests = cli.AddInt("requests", 1000, "total requests");
+  auto& clients = cli.AddInt("clients", 4, "concurrent retrying clients");
+  auto& pool = cli.AddInt("pool", 16, "distinct scenario instances");
+  auto& links = cli.AddInt("links", 30, "links per instance");
+  auto& seed = cli.AddInt("seed", 1,
+                          "master seed (scenario pool + fault streams)");
+  auto& scheduler = cli.AddString("scheduler", "rle", "scheduler name");
+  auto& fault_prob = cli.AddDouble(
+      "fault-prob", 0.02,
+      "per-operation probability applied to every fault family");
+  auto& connect_reset = cli.AddDouble(
+      "connect-reset", -1.0, "override for connect-reset (-1 = fault-prob)");
+  auto& send_corrupt = cli.AddDouble(
+      "send-corrupt", -1.0, "override for send-corrupt (-1 = fault-prob)");
+  auto& send_truncate = cli.AddDouble(
+      "send-truncate", -1.0, "override for send-truncate (-1 = fault-prob)");
+  auto& send_duplicate = cli.AddDouble(
+      "send-duplicate", -1.0,
+      "override for send-duplicate (-1 = fault-prob)");
+  auto& recv_stall = cli.AddDouble(
+      "recv-stall", -1.0, "override for recv-stall (-1 = fault-prob)");
+  auto& recv_corrupt = cli.AddDouble(
+      "recv-corrupt", -1.0, "override for recv-corrupt (-1 = fault-prob)");
+  auto& recv_kill = cli.AddDouble(
+      "recv-kill", -1.0, "override for recv-kill (-1 = fault-prob)");
+  auto& recv_duplicate = cli.AddDouble(
+      "recv-duplicate", -1.0,
+      "override for recv-duplicate (-1 = fault-prob)");
+  auto& stall_seconds = cli.AddDouble(
+      "stall-seconds", 0.02, "injected recv stall duration (s)");
+  auto& max_attempts = cli.AddInt("max-attempts", 10,
+                                  "retry attempts per request");
+  auto& backoff = cli.AddDouble("backoff", 0.005,
+                                "initial retry backoff (s)");
+  auto& max_backoff = cli.AddDouble("max-backoff", 0.25,
+                                    "retry backoff cap (s)");
+  auto& connect_timeout = cli.AddDouble(
+      "connect-timeout", 5.0, "client connect deadline (s); 0 = none");
+  auto& io_timeout = cli.AddDouble(
+      "io-timeout", 5.0, "client per-operation send/recv deadline (s)");
+  auto& drain_mid_run = cli.AddBool(
+      "drain-mid-run", false,
+      "raise SIGTERM halfway through (in-process server only): the drain "
+      "must be clean — pre-drain requests answered, later ones refused "
+      "with typed errors");
+  auto& allow_unserved = cli.AddBool(
+      "allow-unserved", false,
+      "count post-drain refusals as unserved instead of failures");
+  auto& shrink = cli.AddBool(
+      "shrink", false,
+      "on failure, delta-debug the fault plan down to a minimal "
+      "reproducer");
+  auto& trace_out = cli.AddString(
+      "trace-out", "", "write the deterministic fault trace here");
+  auto& report_out = cli.AddString("report-out", "",
+                                   "write the report JSON here");
+  auto& repro_out = cli.AddString(
+      "repro-out", "", "write the shrunk reproducer line here (--shrink)");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  service::chaos::ChaosSoakOptions options;
+  options.endpoint.unix_socket_path = unix_path;
+  options.endpoint.host = host;
+  options.endpoint.port = static_cast<int>(port);
+  options.num_requests = static_cast<std::size_t>(requests);
+  options.num_clients = static_cast<std::size_t>(clients);
+  options.pool_size = static_cast<std::size_t>(pool);
+  options.links = static_cast<std::size_t>(links);
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.scheduler = scheduler;
+
+  options.plan = service::chaos::ChaosPlan::AllFamilies(
+      fault_prob, static_cast<std::uint64_t>(seed));
+  using service::chaos::FaultFamily;
+  const std::pair<FaultFamily, double> overrides[] = {
+      {FaultFamily::kConnectReset, connect_reset},
+      {FaultFamily::kSendCorrupt, send_corrupt},
+      {FaultFamily::kSendTruncate, send_truncate},
+      {FaultFamily::kSendDuplicate, send_duplicate},
+      {FaultFamily::kRecvStall, recv_stall},
+      {FaultFamily::kRecvCorrupt, recv_corrupt},
+      {FaultFamily::kRecvKill, recv_kill},
+      {FaultFamily::kRecvDuplicate, recv_duplicate},
+  };
+  for (const auto& [family, probability] : overrides) {
+    if (probability >= 0.0) options.plan.SetProbability(family, probability);
+  }
+  options.plan.stall_seconds = stall_seconds;
+  options.retry.max_attempts = static_cast<std::size_t>(max_attempts);
+  options.retry.initial_backoff_seconds = backoff;
+  options.retry.max_backoff_seconds = max_backoff;
+  options.client.connect_timeout_seconds = connect_timeout;
+  options.client.io_timeout_seconds = io_timeout;
+  options.drain_mid_run = drain_mid_run;
+  options.allow_unserved = allow_unserved;
+  if (drain_mid_run) {
+    // Exercise the real signal path: the guard converts the raise into
+    // util::ShutdownRequested(), which the in-process server's accept
+    // loop polls — the same drain a production SIGTERM triggers.
+    options.on_drain = [] { std::raise(SIGTERM); };
+  }
+
+  util::ScopedSignalGuard guard;
+  std::printf("chaos plan: %s (seed %llu)\n",
+              options.plan.Describe().c_str(),
+              static_cast<unsigned long long>(options.seed));
+  std::fflush(stdout);
+  const service::chaos::ChaosSoakReport report =
+      service::chaos::RunChaosSoak(options);
+  std::fputs(report.ToJson().c_str(), stdout);
+  if (!report_out.empty()) {
+    util::AtomicWriteFile(report_out, report.ToJson());
+  }
+  if (!trace_out.empty()) {
+    util::AtomicWriteFile(trace_out, report.trace);
+  }
+  if (report.Ok()) return 0;
+  std::fprintf(stderr, "chaos-soak FAILED: %s\n",
+               report.first_failure.c_str());
+  if (shrink) {
+    const std::string repro = service::chaos::ShrinkChaosFailure(options);
+    std::fprintf(stderr, "%s\n", repro.c_str());
+    if (!repro_out.empty()) util::AtomicWriteFile(repro_out, repro + "\n");
+  }
+  return 1;
+}
+
 int RunList() {
   std::printf("registered schedulers:\n");
   for (const std::string& name : sched::KnownSchedulers()) {
@@ -610,6 +750,8 @@ void PrintTopLevelUsage() {
       "  fuzz       metamorphic fuzzing + oracle checks, shrunk reproducers\n"
       "  serve      scheduling server (unix socket / TCP, line protocol)\n"
       "  loadgen    seeded load generator against a serve endpoint\n"
+      "  chaos-soak seeded socket-fault soak; fails unless zero requests\n"
+      "             are lost, duplicated, or corrupted\n"
       "  list       registered scheduler names\n"
       "\n"
       "exit codes (all subcommands): 0 success, 1 runtime failure,\n"
@@ -644,6 +786,7 @@ int main(int argc, char** argv) {
     if (command == "fuzz") return RunFuzzCmd(sub_argc, sub_argv);
     if (command == "serve") return RunServe(sub_argc, sub_argv);
     if (command == "loadgen") return RunLoadgen(sub_argc, sub_argv);
+    if (command == "chaos-soak") return RunChaosSoak(sub_argc, sub_argv);
     if (command == "list") return RunList();
     if (command == "--help" || command == "-h" || command == "help") {
       PrintTopLevelUsage();
