@@ -6,11 +6,17 @@
 //   * warm (cached) serving ≥ 5× faster than cold at N = 2000 links,
 //   * zero byte-level response divergence across ≥ 4 worker threads,
 //   * a saturated queue sheds (status=shed, kind=transient, exit code 1).
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/scenario.hpp"
@@ -49,6 +55,35 @@ service::SchedulingRequest MakeRequest(const testing::ScenarioCase& scenario,
   return request;
 }
 
+// Same deterministic warm/cold interleaving as the loadgen: request i is
+// warm iff the Bresenham accumulator crosses an integer at i.
+bool IsWarmIndex(std::size_t i, double hot_fraction) {
+  return std::floor(static_cast<double>(i + 1) * hot_fraction) >
+         std::floor(static_cast<double>(i) * hot_fraction);
+}
+
+// One point of the open-loop throughput/latency curve.
+struct LoadPoint {
+  double multiplier = 0.0;
+  double offered_rps = 0.0;
+  /// Submissions per second the pacing thread actually achieved; when
+  /// this falls below offered_rps the arrival process, not the service,
+  /// was the bottleneck, and the point understates the intended load.
+  double achieved_rps = 0.0;
+  std::size_t requests = 0;
+  std::size_t warm_ok = 0, cold_ok = 0;
+  std::size_t warm_shed = 0, cold_shed = 0;
+  std::size_t timed_out = 0;
+  /// Service-side percentiles (enqueue → response ready, per-class
+  /// histograms in ServiceMetrics): the latency the serving tier is
+  /// answerable for, free of the bench's own client-thread scheduling
+  /// noise — which on a small CI box dwarfs the service's contribution.
+  double warm_p50_ms = 0.0, warm_p99_ms = 0.0, cold_p99_ms = 0.0;
+  /// Client-observed p99s (submit → future consumed) for comparison.
+  double observed_warm_p99_ms = 0.0, observed_cold_p99_ms = 0.0;
+  std::uint64_t brownout_entries = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +97,24 @@ int main(int argc, char** argv) {
                                  "batcher workers for the determinism run");
   auto& det_requests = cli.AddInt("det-requests", 200,
                                   "requests in the determinism run");
+  auto& load_links = cli.AddInt("load-links", 600,
+                                "instance size for the open-loop curve");
+  auto& load_requests = cli.AddInt("load-requests", 400,
+                                   "request floor per open-loop load point");
+  auto& load_seconds = cli.AddDouble(
+      "load-seconds", 1.2,
+      "target duration per load point; must comfortably exceed the "
+      "controller's interval or shedding can never engage");
+  auto& load_workers = cli.AddInt("load-workers", 2,
+                                  "batcher workers for the open-loop curve");
+  // The default keeps the post-shed residual (warm work that cannot be
+  // shed under the cold-only policy) well below capacity even at 2×
+  // offered load — a controller can only defend the warm p99 when the
+  // unsheddable work itself still fits the machine. On a single-core CI
+  // box that means warm requests must be a modest share of the offered
+  // *work*, hence 0.5 rather than a production-like 0.9.
+  auto& hot_fraction = cli.AddDouble(
+      "hot-fraction", 0.5, "warm share of the open-loop request mix");
   auto& out_path = cli.AddString("out", "BENCH_service.json", "JSON output");
   auto& check = cli.AddBool(
       "check", false, "exit 1 unless speedup >= 5, zero divergence, and the "
@@ -106,6 +159,13 @@ int main(int argc, char** argv) {
   {
     service::ServiceOptions options;
     options.batcher.num_workers = static_cast<std::size_t>(det_workers);
+    // This section measures byte-determinism, not admission: every request
+    // in the burst is a first-touch cold (responses are not cached at
+    // submit time), so the queue must hold all of them. The cold-lane
+    // bulkhead caps colds at half the shared bound, hence capacity = 2×
+    // the burst size, and the delay controller is off (target 0).
+    options.batcher.queue_capacity = 2 * static_cast<std::size_t>(det_requests);
+    options.batcher.overload.queue_delay_target_ms = 0.0;
     service::SchedulingService svc(options);
     constexpr std::size_t kPool = 8;
     std::vector<testing::ScenarioCase> pool;
@@ -159,6 +219,220 @@ int main(int argc, char** argv) {
     svc.Drain();
   }
 
+  // --- 4. Open-loop throughput vs client-observed p99 ---------------------
+  // Offered load is paced by the wall clock (open loop: a slow service
+  // does not slow the arrival process), at multiples of an empirically
+  // calibrated capacity. The controller's job under 2× overload: shed
+  // cold requests, keep warm p99 near the uncontended value. Each series
+  // entry reports achieved_rps next to offered_rps — on a small CI box
+  // the pacing thread timeshares with the workers, and the delta is the
+  // honest record of how much of the intended load actually arrived.
+  // Timing here is recorded, never gated — CI boxes are too noisy for
+  // latency assertions.
+  const std::size_t kLoadLinks = static_cast<std::size_t>(load_links);
+  const std::size_t kLoadWorkers = static_cast<std::size_t>(load_workers);
+  const std::size_t kLoadRequests = static_cast<std::size_t>(load_requests);
+  double cold_small_ms = 0.0;
+  double warm_small_ms = 0.0;
+  {
+    service::SchedulingService svc;
+    for (int i = 0; i < 3; ++i) {
+      const testing::ScenarioCase scenario =
+          MakeCase(kLoadLinks, 5000 + static_cast<std::uint64_t>(i));
+      util::Stopwatch timer;
+      svc.HandleNow(MakeRequest(scenario, scheduler, "m" + std::to_string(i)));
+      cold_small_ms += timer.Seconds() * 1e3 / 3.0;
+    }
+    const service::SchedulingRequest warm_probe =
+        MakeRequest(MakeCase(kLoadLinks, 5000), scheduler, "m0");
+    double best = cold_small_ms;
+    for (int r = 0; r < 10; ++r) {
+      util::Stopwatch timer;
+      svc.HandleNow(warm_probe);
+      best = std::min(best, timer.Seconds() * 1e3);
+    }
+    warm_small_ms = best;
+  }
+  // Capacity is calibrated empirically — a closed-loop burst of the same
+  // warm/cold mix through the same Submit path, controller off and the
+  // queue wide open so nothing sheds. This folds in every real cost the
+  // analytic workers/service-time figure misses: fingerprinting on the
+  // submit thread, scenario generation for colds, and (on small CI boxes)
+  // the arrival and service paths timesharing the same cores.
+  double capacity_rps = 0.0;
+  {
+    service::ServiceOptions options;
+    options.batcher.num_workers = kLoadWorkers;
+    options.batcher.queue_capacity = 1 << 14;
+    options.batcher.overload.queue_delay_target_ms = 0.0;
+    service::SchedulingService svc(options);
+    constexpr std::size_t kPool = 8;
+    std::vector<service::SchedulingRequest> warm_pool;
+    for (std::size_t p = 0; p < kPool; ++p) {
+      warm_pool.push_back(MakeRequest(MakeCase(kLoadLinks, 8000 + p),
+                                      scheduler, "w" + std::to_string(p)));
+      svc.HandleNow(warm_pool.back());
+    }
+    constexpr std::size_t kCalibration = 1000;
+    std::vector<std::future<service::SchedulingResponse>> futures;
+    futures.reserve(kCalibration);
+    util::Stopwatch timer;
+    for (std::size_t i = 0; i < kCalibration; ++i) {
+      futures.push_back(svc.Submit(
+          IsWarmIndex(i, hot_fraction)
+              ? warm_pool[i % kPool]
+              : MakeRequest(MakeCase(kLoadLinks, 7000 + i), scheduler,
+                            "k" + std::to_string(i))));
+    }
+    for (auto& future : futures) future.get();
+    capacity_rps = static_cast<double>(kCalibration) / timer.Seconds();
+    svc.Drain();
+  }
+
+  std::vector<LoadPoint> curve;
+  for (const double multiplier : {0.5, 1.0, 2.0}) {
+    LoadPoint point;
+    point.multiplier = multiplier;
+    point.offered_rps = multiplier * capacity_rps;
+    // Each point must run long enough for sustained queue delay to
+    // outlast the controller's interval, so the request count scales
+    // with the offered rate instead of being fixed.
+    point.requests = std::max(
+        kLoadRequests,
+        static_cast<std::size_t>(point.offered_rps * load_seconds));
+
+    service::ServiceOptions options;
+    options.batcher.num_workers = kLoadWorkers;
+    // Tighter than the production defaults (5 ms target / 100 ms
+    // interval): at these request rates an interval of queued work is
+    // what the warm tail rides out, so a fast-reacting controller is
+    // what keeps the p99 curve flat. Brownout likewise engages early —
+    // on a small box every cold build milli-second is CPU stolen from
+    // the warm lane's worker.
+    options.batcher.overload.queue_delay_target_ms = 1.0;
+    options.batcher.overload.interval_ms = 10.0;
+    options.batcher.overload.brownout_enter_factor = 2.0;
+    options.batcher.overload.brownout_exit_factor = 0.5;
+    service::SchedulingService svc(options);
+
+    // Pre-warmed pool: these are the cache hits of the steady state.
+    constexpr std::size_t kPool = 8;
+    std::vector<service::SchedulingRequest> warm_pool;
+    for (std::size_t p = 0; p < kPool; ++p) {
+      warm_pool.push_back(MakeRequest(MakeCase(kLoadLinks, 8000 + p),
+                                      scheduler, "w" + std::to_string(p)));
+      svc.HandleNow(warm_pool.back());
+    }
+    using SteadyClock = std::chrono::steady_clock;
+    struct Pending {
+      std::future<service::SchedulingResponse> future;
+      SteadyClock::time_point submitted;
+    };
+    // One collector per class: within a class the batcher is FIFO, so
+    // in-order get() observes completion times faithfully. A single
+    // shared collector would charge a lagging cold build's wait to every
+    // warm completion queued behind it in the inbox — exactly the skew
+    // the warm-priority queue exists to remove.
+    struct Lane {
+      std::deque<Pending> inbox;
+      std::mutex mutex;
+      std::condition_variable ready;
+      bool done = false;
+      std::size_t ok = 0, shed = 0, timed_out = 0;
+      service::LatencyHistogram hist;
+      std::thread collector;
+
+      void Start() {
+        collector = std::thread([this] {
+          for (;;) {
+            Pending pending;
+            {
+              std::unique_lock<std::mutex> lock(mutex);
+              ready.wait(lock, [this] { return !inbox.empty() || done; });
+              if (inbox.empty()) return;
+              pending = std::move(inbox.front());
+              inbox.pop_front();
+            }
+            const service::SchedulingResponse response =
+                pending.future.get();
+            if (response.Ok()) {
+              hist.Record(std::chrono::duration<double>(SteadyClock::now() -
+                                                        pending.submitted)
+                              .count());
+              ok += 1;
+            } else if (response.status == service::ResponseStatus::kShed) {
+              shed += 1;
+            } else if (response.status ==
+                       service::ResponseStatus::kTimeout) {
+              timed_out += 1;
+            }
+          }
+        });
+      }
+      void Push(Pending pending) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          inbox.push_back(std::move(pending));
+        }
+        ready.notify_one();
+      }
+      void Finish() {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          done = true;
+        }
+        ready.notify_all();
+        collector.join();
+      }
+    };
+    Lane warm_lane, cold_lane;
+    warm_lane.Start();
+    cold_lane.Start();
+
+    const auto interarrival =
+        std::chrono::duration_cast<SteadyClock::duration>(
+            std::chrono::duration<double>(1.0 / point.offered_rps));
+    const SteadyClock::time_point start = SteadyClock::now();
+    std::size_t cold_next = 0;
+    for (std::size_t i = 0; i < point.requests; ++i) {
+      std::this_thread::sleep_until(
+          start + interarrival * static_cast<std::int64_t>(i));
+      const bool warm = IsWarmIndex(i, hot_fraction);
+      // Cold scenarios are unique (guaranteed cache misses), generated
+      // lazily here so a long run never holds thousands of instances in
+      // memory at once. The clock for this request starts *after*
+      // generation — scenario construction is the client's cost, not the
+      // service's.
+      service::SchedulingRequest request =
+          warm ? warm_pool[i % kPool]
+               : MakeRequest(MakeCase(kLoadLinks, 9000 + i), scheduler,
+                             "c" + std::to_string(cold_next++));
+      Pending pending;
+      pending.submitted = SteadyClock::now();
+      pending.future = svc.Submit(std::move(request));
+      (warm ? warm_lane : cold_lane).Push(std::move(pending));
+    }
+    point.achieved_rps =
+        static_cast<double>(point.requests) /
+        std::chrono::duration<double>(SteadyClock::now() - start).count();
+    warm_lane.Finish();
+    cold_lane.Finish();
+    svc.Drain();
+
+    point.warm_ok = warm_lane.ok;
+    point.cold_ok = cold_lane.ok;
+    point.warm_shed = warm_lane.shed;
+    point.cold_shed = cold_lane.shed;
+    point.timed_out = warm_lane.timed_out + cold_lane.timed_out;
+    point.warm_p50_ms = svc.Metrics().warm_total_latency.Percentile(0.50) * 1e3;
+    point.warm_p99_ms = svc.Metrics().warm_total_latency.Percentile(0.99) * 1e3;
+    point.cold_p99_ms = svc.Metrics().cold_total_latency.Percentile(0.99) * 1e3;
+    point.observed_warm_p99_ms = warm_lane.hist.Percentile(0.99) * 1e3;
+    point.observed_cold_p99_ms = cold_lane.hist.Percentile(0.99) * 1e3;
+    point.brownout_entries = svc.Metrics().brownout_entries.load();
+    curve.push_back(point);
+  }
+
   std::ostringstream json;
   json << "{\n";
   json << "  \"links\": " << n_links << ",\n";
@@ -175,7 +449,36 @@ int main(int argc, char** argv) {
        << ", \"mismatches\": " << det_mismatches << "},\n";
   json << "  \"overload\": {\"queue_capacity\": 8, \"submitted\": 64, "
        << "\"shed\": " << shed_count << ", \"shed_error_kind\": \""
-       << shed_kind << "\", \"shed_exit_code\": " << shed_exit_code << "}\n";
+       << shed_kind << "\", \"shed_exit_code\": " << shed_exit_code << "},\n";
+  json << "  \"throughput_vs_p99\": {\n";
+  json << "    \"links\": " << load_links << ",\n";
+  json << "    \"workers\": " << load_workers << ",\n";
+  json << "    \"hot_fraction\": " << hot_fraction << ",\n";
+  json << "    \"cold_ms\": " << cold_small_ms << ",\n";
+  json << "    \"warm_ms\": " << warm_small_ms << ",\n";
+  json << "    \"capacity_rps\": " << capacity_rps << ",\n";
+  json << "    \"series\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const LoadPoint& point = curve[i];
+    json << "      {\"multiplier\": " << point.multiplier
+         << ", \"offered_rps\": " << point.offered_rps
+         << ", \"achieved_rps\": " << point.achieved_rps
+         << ", \"requests\": " << point.requests
+         << ", \"warm_ok\": " << point.warm_ok
+         << ", \"cold_ok\": " << point.cold_ok
+         << ", \"warm_shed\": " << point.warm_shed
+         << ", \"cold_shed\": " << point.cold_shed
+         << ", \"timed_out\": " << point.timed_out
+         << ", \"warm_p50_ms\": " << point.warm_p50_ms
+         << ", \"warm_p99_ms\": " << point.warm_p99_ms
+         << ", \"cold_p99_ms\": " << point.cold_p99_ms
+         << ", \"observed_warm_p99_ms\": " << point.observed_warm_p99_ms
+         << ", \"observed_cold_p99_ms\": " << point.observed_cold_p99_ms
+         << ", \"brownout_entries\": " << point.brownout_entries << "}"
+         << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n";
+  json << "  }\n";
   json << "}\n";
   util::AtomicWriteFile(out_path, json.str());
   std::fputs(json.str().c_str(), stdout);

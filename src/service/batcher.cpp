@@ -1,5 +1,6 @@
 #include "service/batcher.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
@@ -29,22 +30,30 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 RequestBatcher::RequestBatcher(Handler handler, BatcherOptions options,
                                ServiceMetrics* metrics)
-    : handler_(std::move(handler)), options_(options), metrics_(metrics) {
+    : handler_(std::move(handler)),
+      options_(options),
+      metrics_(metrics),
+      overload_(options.overload, metrics) {
   FS_CHECK_MSG(handler_ != nullptr, "RequestBatcher needs a handler");
   FS_CHECK_MSG(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
   if (options_.num_workers == 0) options_.num_workers = 1;
   workers_.reserve(options_.num_workers);
   for (std::size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    const bool warm_only = options_.reserve_warm_worker &&
+                           options_.num_workers >= 2 && i == 0;
+    workers_.emplace_back([this, warm_only] { WorkerLoop(warm_only); });
   }
 }
 
 RequestBatcher::~RequestBatcher() { Drain(); }
 
-std::future<SchedulingResponse> RequestBatcher::Submit(
-    SchedulingRequest request) {
+std::future<SchedulingResponse> RequestBatcher::Submit(SchedulingRequest request,
+                                                       RequestClass cls) {
   std::promise<SchedulingResponse> promise;
   std::future<SchedulingResponse> future = promise.get_future();
+  if (metrics_ != nullptr) {
+    metrics_->submitted.fetch_add(1, std::memory_order_relaxed);
+  }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -57,15 +66,51 @@ std::future<SchedulingResponse> RequestBatcher::Submit(
           "service draining — not accepting new requests", request.id));
       return future;
     }
-    if (queue_.size() >= options_.queue_capacity) {
+    const AdmitDecision decision = overload_.Admit(
+        cls, DepthLocked(), std::chrono::steady_clock::now());
+    if (!decision.admit) {
+      if (metrics_ != nullptr) {
+        metrics_->shed_overload.fetch_add(1, std::memory_order_relaxed);
+        if (cls == RequestClass::kCold) {
+          metrics_->shed_cold.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      SchedulingResponse shed = MakeFailure(
+          ResponseStatus::kShed, util::ErrorKind::kTransient,
+          std::string("overloaded — shed ") +
+              (cls == RequestClass::kCold ? "cold" : "warm") +
+              " request, retry later",
+          request.id);
+      shed.retry_after_ms = decision.retry_after_ms;
+      promise.set_value(std::move(shed));
+      return future;
+    }
+    // Hard bounds: the shared capacity, plus a bulkhead on the cold lane.
+    // Warm-priority dequeue starves the cold lane under warm pressure, so
+    // without its own cap a pile of slow cold builds would fill the
+    // shared bound and hard-shed *warm* admissions — the inversion of
+    // what the two-tier shedder promises.
+    const std::size_t cold_capacity =
+        std::max<std::size_t>(1, options_.queue_capacity / 2);
+    const bool cold_lane_full = cls == RequestClass::kCold &&
+                                cold_queue_.size() >= cold_capacity;
+    if (cold_lane_full || DepthLocked() >= options_.queue_capacity) {
       if (metrics_ != nullptr) {
         metrics_->shed.fetch_add(1, std::memory_order_relaxed);
+        if (cls == RequestClass::kCold) {
+          metrics_->shed_cold.fetch_add(1, std::memory_order_relaxed);
+        }
       }
-      promise.set_value(MakeFailure(
+      SchedulingResponse shed = MakeFailure(
           ResponseStatus::kShed, util::ErrorKind::kTransient,
-          "queue full (" + std::to_string(options_.queue_capacity) +
-              " pending) — shed, retry later",
-          request.id));
+          cold_lane_full
+              ? "cold lane full (" + std::to_string(cold_capacity) +
+                    " pending builds) — shed, retry later"
+              : "queue full (" + std::to_string(options_.queue_capacity) +
+                    " pending) — shed, retry later",
+          request.id);
+      shed.retry_after_ms = overload_.RetryAfterMs();
+      promise.set_value(std::move(shed));
       return future;
     }
     if (metrics_ != nullptr) {
@@ -79,38 +124,60 @@ std::future<SchedulingResponse> RequestBatcher::Submit(
     item.enqueued = std::chrono::steady_clock::now();
     item.request = std::move(request);
     item.promise = std::move(promise);
-    queue_.push_back(std::move(item));
+    item.cls = cls;
+    (cls == RequestClass::kCold ? cold_queue_ : warm_queue_)
+        .push_back(std::move(item));
+    SetDepthGauge(DepthLocked());
   }
-  cv_.notify_one();
+  // notify_all, not notify_one: workers are heterogeneous (a reserved
+  // warm-only worker may be the one woken for a cold item, which it will
+  // ignore), so a single notify can be swallowed by the wrong waiter.
+  cv_.notify_all();
   return future;
 }
 
-SchedulingResponse RequestBatcher::Execute(SchedulingRequest request) {
-  return Submit(std::move(request)).get();
+SchedulingResponse RequestBatcher::Execute(SchedulingRequest request,
+                                           RequestClass cls) {
+  return Submit(std::move(request), cls).get();
 }
 
 void RequestBatcher::Reply(
     Item& item, SchedulingResponse response,
     std::chrono::steady_clock::time_point enqueued) const {
   if (metrics_ != nullptr) {
-    metrics_->total_latency.Record(SecondsSince(enqueued));
+    const double seconds = SecondsSince(enqueued);
+    metrics_->total_latency.Record(seconds);
+    (item.cls == RequestClass::kCold ? metrics_->cold_total_latency
+                                     : metrics_->warm_total_latency)
+        .Record(seconds);
   }
   item.promise.set_value(std::move(response));
 }
 
-void RequestBatcher::WorkerLoop() {
+void RequestBatcher::WorkerLoop(bool warm_only) {
   for (;;) {
     Item item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // draining and nothing left
-      item = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this, warm_only] {
+        return draining_ ||
+               (warm_only ? !warm_queue_.empty() : DepthLocked() > 0);
+      });
+      // Predicate held, so an empty view of the queue implies draining.
+      // A reserved worker exits with colds still queued — the general
+      // workers own them (reservation requires ≥ 2 workers).
+      if (warm_only ? warm_queue_.empty() : DepthLocked() == 0) return;
+      std::deque<Item>& lane =
+          warm_queue_.empty() ? cold_queue_ : warm_queue_;
+      item = std::move(lane.front());
+      lane.pop_front();
+      SetDepthGauge(DepthLocked());
     }
 
+    const double queue_delay = SecondsSince(item.enqueued);
+    overload_.ObserveQueueDelay(queue_delay, std::chrono::steady_clock::now());
     if (metrics_ != nullptr) {
-      metrics_->queue_latency.Record(SecondsSince(item.enqueued));
+      metrics_->queue_latency.Record(queue_delay);
     }
 
     if (item.deadline.Expired()) {
@@ -172,7 +239,13 @@ bool RequestBatcher::Draining() const {
 
 std::size_t RequestBatcher::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return DepthLocked();
+}
+
+void RequestBatcher::SetDepthGauge(std::size_t depth) const {
+  if (metrics_ != nullptr) {
+    metrics_->queue_depth.store(depth, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace fadesched::service

@@ -7,6 +7,7 @@
 // repo-wide exit-code contract:
 //
 //   * queue full  → kShed    (ErrorKind::kTransient, exit 1 — retry later)
+//   * overloaded  → kShed    (ErrorKind::kTransient; adaptive, see below)
 //   * draining    → kShed    (ErrorKind::kInterrupted, exit 3)
 //   * deadline passed while queued → kTimeout (ErrorKind::kTimeout, exit 3)
 //
@@ -16,6 +17,25 @@
 // — shed/timeout responses are fulfilled without running the handler, and
 // handler exceptions are classified (util::ClassifyException) into kError
 // responses rather than propagating into a worker thread.
+//
+// On top of the hard capacity bound sits an OverloadController
+// (overload.hpp): workers feed it the queue delay each request actually
+// waited, and when that delay has exceeded the CoDel target for a full
+// interval, Submit() sheds adaptively — cold-fingerprint requests first —
+// long before the queue fills. Every shed response (adaptive or hard)
+// carries a retry_after_ms hint derived from the live delay EWMA.
+//
+// The queue itself is two-lane with strict warm priority: admitted warm
+// (cache-hit) requests are dequeued before any cold request, FIFO within
+// each lane. Admission control alone cannot protect warm latency — the
+// controller only reacts after a full interval of elevated delay, so a
+// FIFO queue makes every warm request ride the cold backlog that built up
+// during that window. Priority dequeue bounds a warm request's wait by
+// warm work plus at most one in-flight cold build per worker. Cold
+// requests can in principle starve while warm arrivals alone saturate the
+// workers, but that is exactly the regime where the shedder is refusing
+// cold anyway, and queued colds still time out at dequeue if they carry a
+// deadline.
 //
 // Drain() stops admission, lets queued + in-flight requests complete, and
 // joins the workers; it is idempotent and also runs from the destructor.
@@ -31,6 +51,7 @@
 #include <vector>
 
 #include "service/metrics.hpp"
+#include "service/overload.hpp"
 #include "service/request.hpp"
 #include "util/deadline.hpp"
 
@@ -43,6 +64,15 @@ struct BatcherOptions {
   std::size_t queue_capacity = 256;
   /// Applied to requests with deadline_seconds == 0; 0 = no deadline.
   double default_deadline_seconds = 0.0;
+  /// With ≥ 2 workers, dedicate one worker to the warm lane. Priority
+  /// dequeue alone still lets every worker pick up a cold build when the
+  /// warm lane is momentarily empty, so a warm request arriving a moment
+  /// later waits a full build anyway; a reserved worker bounds warm wait
+  /// by warm work, period. Ignored with 1 worker (it must serve both).
+  bool reserve_warm_worker = true;
+  /// Adaptive admission control (overload.hpp). Set queue_delay_target_ms
+  /// to 0 to disable and keep only the hard capacity bound.
+  OverloadOptions overload;
 };
 
 class RequestBatcher {
@@ -61,11 +91,19 @@ class RequestBatcher {
 
   /// Enqueues and returns the eventual response. Shed/timeout outcomes
   /// resolve the future with the corresponding status — the future never
-  /// carries an exception and is always fulfilled.
-  std::future<SchedulingResponse> Submit(SchedulingRequest request);
+  /// carries an exception and is always fulfilled. `cls` feeds the
+  /// two-tier shedder; callers that cannot classify pass the default
+  /// kWarm, which is only shed under ShedPolicy::kAll.
+  std::future<SchedulingResponse> Submit(SchedulingRequest request,
+                                         RequestClass cls = RequestClass::kWarm);
 
   /// Submit + wait (convenience for synchronous callers).
-  SchedulingResponse Execute(SchedulingRequest request);
+  SchedulingResponse Execute(SchedulingRequest request,
+                             RequestClass cls = RequestClass::kWarm);
+
+  /// The adaptive admission controller (live state: Overloaded(),
+  /// Brownout(), QueueDelayEwmaSeconds()).
+  [[nodiscard]] OverloadController& Overload() { return overload_; }
 
   /// Stops admission, completes queued + in-flight work, joins workers.
   /// Idempotent; safe to call concurrently with Submit().
@@ -80,19 +118,30 @@ class RequestBatcher {
     std::promise<SchedulingResponse> promise;
     util::Deadline deadline;
     std::chrono::steady_clock::time_point enqueued;
+    RequestClass cls = RequestClass::kWarm;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(bool warm_only);
   void Reply(Item& item, SchedulingResponse response,
              std::chrono::steady_clock::time_point enqueued) const;
+
+  void SetDepthGauge(std::size_t depth) const;
 
   Handler handler_;
   BatcherOptions options_;
   ServiceMetrics* metrics_;
+  OverloadController overload_;
+
+  [[nodiscard]] std::size_t DepthLocked() const {
+    return warm_queue_.size() + cold_queue_.size();
+  }
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Item> queue_;
+  // Two-lane queue, strict warm priority (see file comment). The shared
+  // capacity bound applies to the sum.
+  std::deque<Item> warm_queue_;
+  std::deque<Item> cold_queue_;
   bool draining_ = false;
   std::vector<std::thread> workers_;
 };

@@ -49,13 +49,24 @@ RetryingClient::RetryingClient(std::unique_ptr<Transport> transport,
 }
 
 double RetryingClient::NextBackoffSeconds(std::size_t attempt) {
-  double backoff = options_.initial_backoff_seconds;
-  for (std::size_t i = 1;
-       i < attempt && backoff < options_.max_backoff_seconds; ++i) {
-    backoff *= options_.backoff_multiplier;
-  }
-  if (backoff > options_.max_backoff_seconds) {
-    backoff = options_.max_backoff_seconds;
+  double backoff;
+  if (hinted_backoff_seconds_ > 0.0) {
+    // A server hint replaces the blind ladder for this one backoff: the
+    // service derived it from its live queue-delay EWMA, so it tracks
+    // actual congestion. Consumed once — a hint-less failure on the next
+    // attempt falls back to the ladder.
+    backoff = hinted_backoff_seconds_;
+    hinted_backoff_seconds_ = 0.0;
+    ++stats_.retry_after_honored;
+  } else {
+    backoff = options_.initial_backoff_seconds;
+    for (std::size_t i = 1;
+         i < attempt && backoff < options_.max_backoff_seconds; ++i) {
+      backoff *= options_.backoff_multiplier;
+    }
+    if (backoff > options_.max_backoff_seconds) {
+      backoff = options_.max_backoff_seconds;
+    }
   }
   const double u = static_cast<double>(jitter_.Next() >> 11) * 0x1.0p-53;
   return backoff * (1.0 + options_.jitter_fraction * (2.0 * u - 1.0));
@@ -67,6 +78,7 @@ SchedulingResponse RetryingClient::Call(const SchedulingRequest& request) {
   // fingerprint → same cached, byte-identical response).
   const std::string frame = FormatRequestFrame(request);
   stats_ = CallStats{};
+  hinted_backoff_seconds_ = 0.0;
   std::string last_error = "no attempt made";
 
   for (std::size_t attempt = 1; attempt <= options_.max_attempts;
@@ -108,6 +120,9 @@ SchedulingResponse RetryingClient::Call(const SchedulingRequest& request) {
             // Shed, deadline timeout, drain, transient execution
             // failure: retryable, preserving the kind for the final
             // exhaustion error.
+            if (response.retry_after_ms > 0.0) {
+              hinted_backoff_seconds_ = response.retry_after_ms * 1e-3;
+            }
             throw util::HarnessError(
                 response.error_kind,
                 ResponseStatusName(response.status) +
@@ -133,8 +148,9 @@ SchedulingResponse RetryingClient::Call(const SchedulingRequest& request) {
       // what keeps stale bytes from leaking into the next attempt.
       transport_->Close();
       if (attempt < options_.max_attempts) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(NextBackoffSeconds(attempt)));
+        const double backoff = NextBackoffSeconds(attempt);
+        stats_.backoffs.push_back(backoff);
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       }
     }
   }

@@ -9,7 +9,10 @@
 //   - transport failures and timeouts (connect refused, reset, stalled
 //     peer) → reconnect + retry with exponential backoff + jitter;
 //   - retryable response statuses (shed, timeout, drain-interrupted, and
-//     transient execution errors) → same;
+//     transient execution errors) → same; a shed/err response carrying a
+//     retry_after_ms hint overrides the ladder for the next backoff (the
+//     server derives the hint from its live queue-delay EWMA, so it knows
+//     better than our blind exponential), jittered identically;
 //   - wire corruption, detected either client-side (response line fails
 //     its sum= check or does not parse — the server formats every line
 //     it writes, so garbage can only mean damage) or server-side (an
@@ -33,6 +36,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "rng/xoshiro256.hpp"
 #include "service/chaos/transport.hpp"
@@ -68,6 +72,10 @@ struct CallStats {
   std::size_t reconnects = 0;
   std::size_t stale_discarded = 0;
   std::size_t corruption_detected = 0;
+  std::size_t retry_after_honored = 0;  ///< backoffs driven by a server hint
+  /// Every backoff actually slept (seconds, post-jitter), in order —
+  /// what the deterministic-jitter tests pin.
+  std::vector<double> backoffs;
 };
 
 class RetryingClient {
@@ -95,6 +103,9 @@ class RetryingClient {
   ServiceMetrics* metrics_ = nullptr;
   rng::Xoshiro256 jitter_;
   CallStats stats_;
+  /// Server retry_after_ms hint from the last retryable response, in
+  /// seconds; consumed by the next NextBackoffSeconds. 0 = no hint.
+  double hinted_backoff_seconds_ = 0.0;
 };
 
 }  // namespace fadesched::service::chaos

@@ -187,4 +187,9 @@ SchedulingResponse Client::Call(const SchedulingRequest& request) {
   return ParseResponseLine(ReadLine());
 }
 
+StatsSnapshot Client::Stats() {
+  SendRaw(std::string(kStatsVerb) + "\n");
+  return ParseStatsLine(ReadLine());
+}
+
 }  // namespace fadesched::service

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "service/protocol.hpp"
 #include "service/request.hpp"
 
 namespace fadesched::service {
@@ -55,6 +56,12 @@ class Client {
   /// single response line. Throws util::HarnessError on transport
   /// failure, timeout, or malformed response.
   SchedulingResponse Call(const SchedulingRequest& request);
+
+  /// Sends the bare STATS verb and parses the checksummed counter line —
+  /// a point-in-time snapshot of the worker this connection landed on
+  /// (under `supervise`, siblings have independent counters). Throws
+  /// util::HarnessError on transport failure or a corrupt line.
+  StatsSnapshot Stats();
 
   /// Raw variants (the bench uses these to measure serialization
   /// separately and the tests to send malformed frames).

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "service/client.hpp"
+#include "service/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/request.hpp"
 #include "testing/fuzzer.hpp"
@@ -18,8 +20,28 @@ namespace fadesched::service {
 
 namespace {
 
-std::vector<fadesched::testing::ScenarioCase> BuildPool(
-    const LoadgenOptions& options) {
+/// Request i is warm iff the Bresenham accumulator crosses an integer —
+/// exactly round(n·hot_fraction) warm requests, spread evenly, and the
+/// classification depends only on i (not on which connection draws it).
+bool IsWarmIndex(std::size_t i, double hot_fraction) {
+  return std::floor(static_cast<double>(i + 1) * hot_fraction) >
+         std::floor(static_cast<double>(i) * hot_fraction);
+}
+
+struct RequestPlan {
+  /// Pre-serialized frames: [0, pool_size) warm pool, then one unique
+  /// frame per cold request.
+  std::vector<std::string> frames;
+  /// Per request index: frame to send and its tier.
+  struct Slot {
+    std::size_t frame = 0;
+    bool cold = false;
+  };
+  std::vector<Slot> slots;
+  std::size_t pool_size = 0;
+};
+
+RequestPlan BuildPlan(const LoadgenOptions& options) {
   fadesched::testing::FuzzerOptions fuzz;
   fuzz.min_links = options.links;
   fuzz.max_links = options.links;
@@ -29,12 +51,40 @@ std::vector<fadesched::testing::ScenarioCase> BuildPool(
   fuzz.weighted_rates = false;
   fuzz.with_noise = false;
   fadesched::testing::ScenarioFuzzer fuzzer(options.seed, fuzz);
-  std::vector<fadesched::testing::ScenarioCase> pool;
-  pool.reserve(options.pool_size);
+
+  RequestPlan plan;
+  plan.pool_size = options.pool_size;
+  plan.slots.resize(options.num_requests);
+
+  auto serialize = [&](std::size_t case_index, std::string id) {
+    SchedulingRequest request;
+    request.scenario = fuzzer.Case(case_index);
+    request.scheduler = options.scheduler;
+    request.deadline_seconds = options.deadline_seconds;
+    request.id = std::move(id);
+    return FormatRequestFrame(request);
+  };
+
+  plan.frames.reserve(options.pool_size);
   for (std::size_t i = 0; i < options.pool_size; ++i) {
-    pool.push_back(fuzzer.Case(i));
+    plan.frames.push_back(serialize(i, "r" + std::to_string(i)));
   }
-  return pool;
+
+  std::size_t warm_ordinal = 0, cold_ordinal = 0;
+  for (std::size_t i = 0; i < options.num_requests; ++i) {
+    if (IsWarmIndex(i, options.hot_fraction)) {
+      plan.slots[i] = {warm_ordinal % options.pool_size, /*cold=*/false};
+      ++warm_ordinal;
+    } else {
+      // Cold = a scenario no other request shares: fuzzer indices past
+      // the pool are never replayed, so the server cannot have it cached.
+      plan.frames.push_back(serialize(options.pool_size + cold_ordinal,
+                                      "c" + std::to_string(cold_ordinal)));
+      plan.slots[i] = {plan.frames.size() - 1, /*cold=*/true};
+      ++cold_ordinal;
+    }
+  }
+  return plan;
 }
 
 }  // namespace
@@ -47,10 +97,17 @@ std::string LoadgenReport::ToJson() const {
   out << "  \"shed\": " << shed << ",\n";
   out << "  \"timed_out\": " << timed_out << ",\n";
   out << "  \"errors\": " << errors << ",\n";
+  out << "  \"retried\": " << retried << ",\n";
   out << "  \"transport_failures\": " << transport_failures << ",\n";
   out << "  \"determinism_mismatches\": " << determinism_mismatches << ",\n";
   out.precision(6);
   out << std::fixed;
+  out << "  \"warm\": {\"ok\": " << warm_ok << ", \"shed\": " << warm_shed
+      << ", \"p50_ms\": " << warm_p50_ms << ", \"p95_ms\": " << warm_p95_ms
+      << ", \"p99_ms\": " << warm_p99_ms << "},\n";
+  out << "  \"cold\": {\"ok\": " << cold_ok << ", \"shed\": " << cold_shed
+      << ", \"p50_ms\": " << cold_p50_ms << ", \"p95_ms\": " << cold_p95_ms
+      << ", \"p99_ms\": " << cold_p99_ms << "},\n";
   out << "  \"wall_seconds\": " << wall_seconds << ",\n";
   out << "  \"throughput_rps\": " << throughput_rps << "\n";
   out << "}\n";
@@ -60,31 +117,24 @@ std::string LoadgenReport::ToJson() const {
 LoadgenReport RunLoadgen(const LoadgenOptions& options) {
   FS_CHECK_MSG(options.num_requests > 0, "num_requests must be positive");
   FS_CHECK_MSG(options.pool_size > 0, "pool_size must be positive");
+  FS_CHECK_MSG(options.hot_fraction >= 0.0 && options.hot_fraction <= 1.0,
+               "hot_fraction must be within [0, 1]");
   const std::size_t connections =
       options.connections > 0 ? options.connections : 1;
 
-  const std::vector<fadesched::testing::ScenarioCase> pool =
-      BuildPool(options);
+  const RequestPlan plan = BuildPlan(options);
 
-  // Pre-serialize every frame once: the loadgen should spend its time on
-  // the wire, not re-formatting %.17g doubles per request.
-  std::vector<std::string> frames(pool.size());
-  for (std::size_t i = 0; i < pool.size(); ++i) {
-    SchedulingRequest request;
-    request.scenario = pool[i];
-    request.scheduler = options.scheduler;
-    request.deadline_seconds = options.deadline_seconds;
-    request.id = "r" + std::to_string(i);
-    frames[i] = FormatRequestFrame(request);
-  }
-
-  // First OK response line seen per pool entry; later OKs must match.
-  std::vector<std::string> expected(pool.size());
+  // First OK response line seen per warm pool entry; later OKs must
+  // match. Cold scenarios are sent exactly once, so there is nothing to
+  // cross-check for them.
+  std::vector<std::string> expected(plan.pool_size);
   std::mutex expected_mutex;
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> ok{0}, shed{0}, timed_out{0}, errors{0},
-      transport{0}, mismatches{0};
+      retried{0}, transport{0}, mismatches{0};
+  std::atomic<std::size_t> warm_ok{0}, cold_ok{0}, warm_shed{0}, cold_shed{0};
+  LatencyHistogram warm_latency, cold_latency;
 
   const auto start = std::chrono::steady_clock::now();
   const bool open_loop = options.rate_per_sec > 0.0;
@@ -120,36 +170,72 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
                               static_cast<double>(i) * interarrival));
           std::this_thread::sleep_until(due);
         }
-        const std::size_t pool_index = i % pool.size();
-        std::string line;
-        try {
-          client.SendRaw(frames[pool_index]);
-          line = client.ReadLine();
-        } catch (const std::exception&) {
-          transport.fetch_add(1, std::memory_order_relaxed);
-          return;  // this connection is dead; others keep draining
-        }
+        const RequestPlan::Slot slot = plan.slots[i];
+        const std::string& frame = plan.frames[slot.frame];
+
         SchedulingResponse response;
-        try {
-          response = ParseResponseLine(line);
-        } catch (const std::exception&) {
-          errors.fetch_add(1, std::memory_order_relaxed);
-          continue;
+        std::string line;
+        bool answered = false;
+        const auto first_send = std::chrono::steady_clock::now();
+        for (std::size_t attempt = 0;; ++attempt) {
+          try {
+            client.SendRaw(frame);
+            line = client.ReadLine();
+          } catch (const std::exception&) {
+            transport.fetch_add(1, std::memory_order_relaxed);
+            return;  // this connection is dead; others keep draining
+          }
+          try {
+            response = ParseResponseLine(line);
+          } catch (const std::exception&) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          if (response.status == ResponseStatus::kShed &&
+              options.retry_on_shed && response.retry_after_ms > 0.0 &&
+              attempt < options.max_shed_retries) {
+            // Honor the server's hint, then re-send the identical frame;
+            // the response cache makes the re-send idempotent.
+            retried.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                response.retry_after_ms * 1e-3));
+            continue;
+          }
+          answered = true;
+          break;
         }
+        if (!answered) continue;  // unparsable line already counted
+
         switch (response.status) {
           case ResponseStatus::kOk: {
             ok.fetch_add(1, std::memory_order_relaxed);
-            std::lock_guard<std::mutex> lock(expected_mutex);
-            std::string& first = expected[pool_index];
-            if (first.empty()) {
-              first = line;
-            } else if (first != line) {
-              mismatches.fetch_add(1, std::memory_order_relaxed);
+            // Latency is first-send → final OK: a retried request pays
+            // its backoff in the client-observed percentile, as it
+            // should.
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - first_send)
+                    .count();
+            if (slot.cold) {
+              cold_ok.fetch_add(1, std::memory_order_relaxed);
+              cold_latency.Record(seconds);
+            } else {
+              warm_ok.fetch_add(1, std::memory_order_relaxed);
+              warm_latency.Record(seconds);
+              std::lock_guard<std::mutex> lock(expected_mutex);
+              std::string& first = expected[slot.frame];
+              if (first.empty()) {
+                first = line;
+              } else if (first != line) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
             }
             break;
           }
           case ResponseStatus::kShed:
             shed.fetch_add(1, std::memory_order_relaxed);
+            (slot.cold ? cold_shed : warm_shed)
+                .fetch_add(1, std::memory_order_relaxed);
             break;
           case ResponseStatus::kTimeout:
             timed_out.fetch_add(1, std::memory_order_relaxed);
@@ -175,6 +261,7 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
   report.shed = shed.load();
   report.timed_out = timed_out.load();
   report.errors = errors.load();
+  report.retried = retried.load();
   report.transport_failures = transport.load();
   report.determinism_mismatches = mismatches.load();
   report.sent = report.ok + report.shed + report.timed_out + report.errors;
@@ -182,6 +269,16 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
       report.wall_seconds > 0.0
           ? static_cast<double>(report.sent) / report.wall_seconds
           : 0.0;
+  report.warm_ok = warm_ok.load();
+  report.cold_ok = cold_ok.load();
+  report.warm_shed = warm_shed.load();
+  report.cold_shed = cold_shed.load();
+  report.warm_p50_ms = warm_latency.Percentile(0.50) * 1e3;
+  report.warm_p95_ms = warm_latency.Percentile(0.95) * 1e3;
+  report.warm_p99_ms = warm_latency.Percentile(0.99) * 1e3;
+  report.cold_p50_ms = cold_latency.Percentile(0.50) * 1e3;
+  report.cold_p95_ms = cold_latency.Percentile(0.95) * 1e3;
+  report.cold_p99_ms = cold_latency.Percentile(0.99) * 1e3;
   return report;
 }
 

@@ -7,6 +7,11 @@
 // of `rate_per_sec`, which keeps offered load constant even when the
 // server slows down — the correct way to demonstrate shedding).
 //
+// `hot_fraction` carves the request stream into a warm tier (pool
+// replays, cache-hot) and a cold tier (unique scenarios, guaranteed
+// cache misses) so the two-tier shed policy is observable from the
+// client side: the report carries per-class ok/shed counts and p50/95/99.
+//
 // Because requests use the pool index as their wire id, every OK response
 // for pool entry k must be byte-identical across the whole run and across
 // connections — the loadgen records the first OK line per entry and counts
@@ -40,6 +45,20 @@ struct LoadgenOptions {
 
   /// 0 = closed loop; > 0 = open loop at this many requests/second.
   double rate_per_sec = 0.0;
+
+  /// Fraction of requests drawn from the warm pool (replayed round-robin,
+  /// cache-hot after the first pass). The rest are *unique* scenarios —
+  /// each sent exactly once, so every one misses the cache. The split is
+  /// deterministic in the request index (Bresenham spread), independent
+  /// of which connection draws the request.
+  double hot_fraction = 1.0;
+
+  /// When a SHED response carries a retry_after_ms hint, sleep the hint
+  /// and re-send the same frame (up to max_shed_retries times) instead of
+  /// abandoning the request — the polite-client behaviour the overload
+  /// controller's hint is designed for.
+  bool retry_on_shed = false;
+  std::size_t max_shed_retries = 3;
 };
 
 struct LoadgenReport {
@@ -48,12 +67,27 @@ struct LoadgenReport {
   std::size_t shed = 0;
   std::size_t timed_out = 0;
   std::size_t errors = 0;
+  /// Re-sends after a SHED carrying a retry_after_ms hint (each request
+  /// still counts exactly once in ok/shed/timed_out/errors — this is the
+  /// extra wire traffic the backpressure cost).
+  std::size_t retried = 0;
   std::size_t transport_failures = 0;
   /// OK responses whose bytes differ from the first OK response for the
   /// same pool entry — must be zero for a deterministic server.
   std::size_t determinism_mismatches = 0;
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;
+
+  /// Client-observed send→response latency of OK responses, split by
+  /// request class. Warm p99 is the overload controller's protected
+  /// quantity: under 2× offered load it must stay near uncontended while
+  /// the cold tier absorbs the shedding.
+  std::size_t warm_ok = 0;
+  std::size_t cold_ok = 0;
+  std::size_t cold_shed = 0;
+  std::size_t warm_shed = 0;
+  double warm_p50_ms = 0.0, warm_p95_ms = 0.0, warm_p99_ms = 0.0;
+  double cold_p50_ms = 0.0, cold_p95_ms = 0.0, cold_p99_ms = 0.0;
 
   /// True when every request was answered, none diverged, and no
   /// transport failure occurred (shed/timeout are legitimate outcomes —

@@ -75,8 +75,11 @@ std::string ServiceMetrics::ToJson() const {
   };
   std::ostringstream out;
   out << "{\n";
+  out << "  \"submitted\": " << get(submitted) << ",\n";
   out << "  \"admitted\": " << get(admitted) << ",\n";
   out << "  \"shed\": " << get(shed) << ",\n";
+  out << "  \"shed_overload\": " << get(shed_overload) << ",\n";
+  out << "  \"shed_cold\": " << get(shed_cold) << ",\n";
   out << "  \"rejected_draining\": " << get(rejected_draining) << ",\n";
   out << "  \"timed_out\": " << get(timed_out) << ",\n";
   out << "  \"completed\": " << get(completed) << ",\n";
@@ -99,9 +102,19 @@ std::string ServiceMetrics::ToJson() const {
   out << "    \"injected\": " << get(chaos_injected) << ",\n";
   out << "    \"recovered\": " << get(chaos_recovered) << "\n";
   out << "  },\n";
+  out << "  \"overload\": {\n";
+  out << "    \"queue_depth\": " << get(queue_depth) << ",\n";
+  out << "    \"queue_delay_ewma_us\": " << get(queue_delay_ewma_us) << ",\n";
+  out << "    \"brownout_active\": " << get(brownout_active) << ",\n";
+  out << "    \"brownout_entries\": " << get(brownout_entries) << ",\n";
+  out << "    \"brownout_builds\": " << get(brownout_builds) << ",\n";
+  out << "    \"worker_restarts\": " << get(worker_restarts) << "\n";
+  out << "  },\n";
   out << "  \"queue_latency\": " << queue_latency.ToJson() << ",\n";
   out << "  \"service_latency\": " << service_latency.ToJson() << ",\n";
-  out << "  \"total_latency\": " << total_latency.ToJson() << "\n";
+  out << "  \"total_latency\": " << total_latency.ToJson() << ",\n";
+  out << "  \"warm_total_latency\": " << warm_total_latency.ToJson() << ",\n";
+  out << "  \"cold_total_latency\": " << cold_total_latency.ToJson() << "\n";
   out << "}\n";
   return out.str();
 }

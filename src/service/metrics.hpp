@@ -46,9 +46,14 @@ class LatencyHistogram {
 /// One counter per admission/execution/cache outcome. Monotonic; read
 /// with relaxed loads (snapshots need not be mutually consistent).
 struct ServiceMetrics {
-  // Admission control.
+  // Admission control. submitted counts every Submit call, so at
+  // quiescence: submitted == admitted + shed + shed_overload +
+  // rejected_draining, and admitted == completed + failed + timed_out.
+  std::atomic<std::uint64_t> submitted{0};  ///< every Submit call
   std::atomic<std::uint64_t> admitted{0};   ///< accepted into the queue
   std::atomic<std::uint64_t> shed{0};       ///< rejected, queue full
+  std::atomic<std::uint64_t> shed_overload{0};  ///< rejected by controller
+  std::atomic<std::uint64_t> shed_cold{0};  ///< sheds that were cold-class
   std::atomic<std::uint64_t> rejected_draining{0};  ///< rejected, draining
   std::atomic<std::uint64_t> timed_out{0};  ///< deadline passed in queue
 
@@ -75,9 +80,30 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> chaos_injected{0};   ///< faults injected
   std::atomic<std::uint64_t> chaos_recovered{0};  ///< calls ok after ≥1 retry
 
+  // Overload controller (src/service/overload.hpp). brownout_entries
+  // counts idle→brownout transitions; brownout_builds counts engine
+  // builds actually degraded to the fast backend.
+  std::atomic<std::uint64_t> brownout_entries{0};
+  std::atomic<std::uint64_t> brownout_builds{0};
+  /// Worker-restart count inherited from the supervisor at fork time
+  /// (how many restarts preceded this worker); 0 outside `supervise`.
+  std::atomic<std::uint64_t> worker_restarts{0};
+
+  // Gauges (instantaneous, not monotone — excluded from the
+  // snapshot-consistency monotonicity test).
+  std::atomic<std::uint64_t> queue_depth{0};
+  std::atomic<std::uint64_t> queue_delay_ewma_us{0};
+  std::atomic<std::uint64_t> brownout_active{0};  ///< 0 or 1
+
   LatencyHistogram queue_latency;    ///< enqueue → worker pickup
   LatencyHistogram service_latency;  ///< handler execution
   LatencyHistogram total_latency;    ///< enqueue → response ready
+  // total_latency split by admission class: the overload controller's
+  // whole point is that these two diverge under pressure (cold absorbs
+  // the queueing, warm stays near its uncontended value), and that claim
+  // is only checkable if the service itself keeps the split.
+  LatencyHistogram warm_total_latency;  ///< enqueue → ready, warm class
+  LatencyHistogram cold_total_latency;  ///< enqueue → ready, cold class
 
   ServiceMetrics() = default;
   ServiceMetrics(const ServiceMetrics&) = delete;

@@ -1,0 +1,130 @@
+// Overload controller for the request batcher: CoDel-style adaptive
+// admission, two-tier load shedding, and a brownout ladder.
+//
+// The hard queue-capacity bound (batcher.hpp) protects memory; this
+// controller protects *latency*. It watches the queue delay each request
+// actually experienced (recorded by the worker at dequeue) and, like
+// CoDel, declares the service overloaded only when that delay has stayed
+// above `queue_delay_target_ms` continuously for `interval_ms` — a burst
+// that drains inside one interval never sheds. While overloaded:
+//
+//   * two-tier shedding: requests classified kCold (their fingerprint is
+//     not in the scenario/response cache, so serving them costs a full
+//     engine build — ~20× a warm hit per BENCH_service.json) are shed
+//     first; kWarm requests are only shed under ShedPolicy::kAll. Every
+//     shed carries a `retry_after_ms` hint derived from the current
+//     queue-delay EWMA so clients back off proportionally to the actual
+//     congestion instead of a blind ladder;
+//   * brownout: when the delay EWMA climbs past
+//     `brownout_enter_factor × target`, the service degrades cold builds
+//     to the fast kTables backend (bit-identical responses — the backends
+//     are exact, so brownout trades build speed for memory locality,
+//     never correctness). Hysteresis: brownout exits only when the EWMA
+//     falls back below `brownout_exit_factor × target`.
+//
+// An empty queue resets everything: overload state is a statement about
+// the queue, and a drained queue has none. All decisions are pure
+// functions of the observation stream and the injected timestamps, which
+// is what makes the unit tests deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "service/metrics.hpp"
+
+namespace fadesched::service {
+
+/// Admission class of a request: kWarm = its fingerprint is already
+/// cached (cheap to serve), kCold = it will need a full engine build.
+enum class RequestClass { kWarm, kCold };
+
+/// Who gets shed while overloaded. kNone disables adaptive shedding
+/// (the hard queue cap still applies), kCold sheds cold-fingerprint
+/// requests only, kAll sheds everything.
+enum class ShedPolicy { kNone, kCold, kAll };
+
+/// Stable names ("none" | "cold" | "all"); parse throws on unknown.
+const char* ShedPolicyName(ShedPolicy policy);
+ShedPolicy ParseShedPolicy(const std::string& name);
+
+struct OverloadOptions {
+  /// CoDel target: the queue delay the controller defends. 0 disables
+  /// the controller entirely (no shedding, no brownout).
+  double queue_delay_target_ms = 5.0;
+  /// Delay must exceed the target continuously this long before the
+  /// service counts as overloaded.
+  double interval_ms = 100.0;
+  /// EWMA smoothing for the delay estimate (per observation).
+  double ewma_alpha = 0.2;
+  /// Brownout hysteresis, as multiples of the target (enter > exit).
+  double brownout_enter_factor = 4.0;
+  double brownout_exit_factor = 1.0;
+  /// Shed hints: retry_after = clamp(2 × EWMA, min, max).
+  double retry_after_min_ms = 10.0;
+  double retry_after_max_ms = 250.0;
+
+  ShedPolicy shed_policy = ShedPolicy::kCold;
+  /// false pins the full-fidelity backend even under pressure.
+  bool brownout_enabled = true;
+
+  /// Throws util::FatalError on non-positive intervals, alpha outside
+  /// (0, 1], or exit factor above enter factor.
+  void Validate() const;
+};
+
+struct AdmitDecision {
+  bool admit = true;
+  /// Backoff hint attached to the shed response (ms); 0 when admitted.
+  double retry_after_ms = 0.0;
+};
+
+class OverloadController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `metrics` may be null; when given, the controller keeps the
+  /// queue_delay_ewma_us and brownout_active gauges and the
+  /// brownout_entries counter current (shed counters belong to the
+  /// batcher, which knows the request class).
+  explicit OverloadController(OverloadOptions options,
+                              ServiceMetrics* metrics = nullptr);
+
+  /// One dequeue observation: how long the request sat in the queue.
+  /// Called by batcher workers; drives the overload and brownout state.
+  void ObserveQueueDelay(double seconds, Clock::time_point now);
+
+  /// Admission check at Submit time. `queue_depth` is the depth the
+  /// request would join; depth 0 resets the overload state (an empty
+  /// queue is never overloaded).
+  AdmitDecision Admit(RequestClass cls, std::size_t queue_depth,
+                      Clock::time_point now);
+
+  /// Hint for sheds decided elsewhere (the hard queue-full path).
+  [[nodiscard]] double RetryAfterMs() const;
+
+  [[nodiscard]] bool Overloaded() const;
+  [[nodiscard]] bool Brownout() const;
+  [[nodiscard]] double QueueDelayEwmaSeconds() const;
+  [[nodiscard]] const OverloadOptions& Options() const { return options_; }
+
+ private:
+  [[nodiscard]] double RetryAfterMsLocked() const;
+  void SetBrownoutLocked(bool on);
+  void ResetLocked();
+
+  OverloadOptions options_;
+  ServiceMetrics* metrics_;
+
+  mutable std::mutex mutex_;
+  double ewma_seconds_ = 0.0;
+  bool have_ewma_ = false;
+  bool overloaded_ = false;
+  bool brownout_ = false;
+  bool above_target_ = false;
+  Clock::time_point first_above_{};
+};
+
+}  // namespace fadesched::service

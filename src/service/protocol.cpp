@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -291,10 +292,15 @@ std::string FormatResponseLine(const SchedulingResponse& response) {
     }
     return SpliceChecksum(line);
   }
-  return SpliceChecksum("ERR id=" + response.id +
-                        " status=" + ResponseStatusName(response.status) +
-                        " kind=" + util::ErrorKindName(response.error_kind) +
-                        " msg=" + Flatten(response.message));
+  std::string line = "ERR id=" + response.id +
+                     " status=" + ResponseStatusName(response.status) +
+                     " kind=" + util::ErrorKindName(response.error_kind);
+  // Before msg= on purpose: msg= runs to end of line, so any token after
+  // it would be swallowed into the message.
+  if (response.retry_after_ms > 0.0) {
+    line += " retry_after_ms=" + FormatDouble(response.retry_after_ms);
+  }
+  return SpliceChecksum(line + " msg=" + Flatten(response.message));
 }
 
 SchedulingResponse ParseResponseLine(const std::string& raw_line) {
@@ -336,6 +342,12 @@ SchedulingResponse ParseResponseLine(const std::string& raw_line) {
         response.status = ParseStatusName(value);
       } else if (key == "kind") {
         response.error_kind = ParseKindName(value);
+      } else if (key == "retry_after_ms") {
+        response.retry_after_ms = ParseDouble(value, "retry_after_ms");
+        if (response.retry_after_ms < 0.0) {
+          throw util::FatalError("retry_after_ms must be non-negative, got '" +
+                                 value + "'");
+        }
       } else if (key == "msg") {
         // msg= runs to end of line (it may contain spaces).
         const std::size_t pos = line.find(" msg=");
@@ -355,6 +367,113 @@ SchedulingResponse ParseResponseLine(const std::string& raw_line) {
 
   throw util::FatalError("response line must start with OK or ERR, got '" +
                          line + "'");
+}
+
+StatsSnapshot CaptureStats(const ServiceMetrics& metrics) {
+  const auto get = [](const std::atomic<std::uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  };
+  StatsSnapshot s;
+  s.submitted = get(metrics.submitted);
+  s.admitted = get(metrics.admitted);
+  s.completed = get(metrics.completed);
+  s.failed = get(metrics.failed);
+  s.timed_out = get(metrics.timed_out);
+  s.shed = get(metrics.shed);
+  s.shed_overload = get(metrics.shed_overload);
+  s.shed_cold = get(metrics.shed_cold);
+  s.rejected_draining = get(metrics.rejected_draining);
+  s.brownout_entries = get(metrics.brownout_entries);
+  s.brownout_builds = get(metrics.brownout_builds);
+  s.worker_restarts = get(metrics.worker_restarts);
+  s.queue_depth = get(metrics.queue_depth);
+  s.queue_delay_ewma_us = get(metrics.queue_delay_ewma_us);
+  s.brownout_active = get(metrics.brownout_active);
+  return s;
+}
+
+namespace {
+
+// Field table driving both the format and the parse, so the two cannot
+// drift. Order is the wire order.
+struct StatsField {
+  const char* key;
+  std::uint64_t StatsSnapshot::* member;
+};
+
+constexpr StatsField kStatsFields[] = {
+    {"submitted", &StatsSnapshot::submitted},
+    {"admitted", &StatsSnapshot::admitted},
+    {"completed", &StatsSnapshot::completed},
+    {"failed", &StatsSnapshot::failed},
+    {"timed_out", &StatsSnapshot::timed_out},
+    {"shed", &StatsSnapshot::shed},
+    {"shed_overload", &StatsSnapshot::shed_overload},
+    {"shed_cold", &StatsSnapshot::shed_cold},
+    {"rejected_draining", &StatsSnapshot::rejected_draining},
+    {"brownout_entries", &StatsSnapshot::brownout_entries},
+    {"brownout_builds", &StatsSnapshot::brownout_builds},
+    {"worker_restarts", &StatsSnapshot::worker_restarts},
+    {"queue_depth", &StatsSnapshot::queue_depth},
+    {"queue_delay_ewma_us", &StatsSnapshot::queue_delay_ewma_us},
+    {"brownout_active", &StatsSnapshot::brownout_active},
+};
+
+std::uint64_t ParseCounter(const std::string& text, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || errno != 0) {
+    throw util::FatalError(std::string("malformed STATS counter ") + what +
+                           "='" + text + "'");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+std::string FormatStatsLine(const StatsSnapshot& snapshot) {
+  std::string line = kStatsVerb;
+  for (const StatsField& field : kStatsFields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    line += std::to_string(snapshot.*(field.member));
+  }
+  return SpliceChecksum(line);
+}
+
+StatsSnapshot ParseStatsLine(const std::string& raw_line) {
+  const std::string line = VerifyAndStripChecksum(raw_line);
+  const std::vector<std::string> tokens = SplitTokens(line);
+  if (tokens.empty() || tokens[0] != kStatsVerb) {
+    throw util::FatalError("expected a STATS response line, got '" + line +
+                           "'");
+  }
+  StatsSnapshot snapshot;
+  bool seen[std::size(kStatsFields)] = {};
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    const auto [key, value] = SplitKeyValue(tokens[t], 1);
+    bool known = false;
+    for (std::size_t f = 0; f < std::size(kStatsFields); ++f) {
+      if (key == kStatsFields[f].key) {
+        snapshot.*(kStatsFields[f].member) = ParseCounter(value, key.c_str());
+        seen[f] = true;
+        known = true;
+        break;
+      }
+    }
+    // Unknown keys are tolerated so older clients can read stats lines
+    // from newer workers.
+    (void)known;
+  }
+  for (std::size_t f = 0; f < std::size(kStatsFields); ++f) {
+    if (!seen[f]) {
+      throw util::FatalError(std::string("STATS line missing ") +
+                             kStatsFields[f].key + "=");
+    }
+  }
+  return snapshot;
 }
 
 bool FrameAssembler::Feed(const std::string& line) {

@@ -40,16 +40,59 @@
 // checksum is verified *after* a successful scenario parse: parse errors
 // keep their precise row diagnostics, and the checksum closes the
 // corrupted-but-parseable hole.
+// Besides scheduling frames, a connection may send the bare line `STATS`
+// (no payload, no END) between frames; the server answers with one
+// `STATS sum=<16hex> key=value ...` line — a consistent-enough snapshot
+// of the worker's ServiceMetrics counters for monitoring and the
+// snapshot-consistency tests.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "service/metrics.hpp"
 #include "service/request.hpp"
 
 namespace fadesched::service {
 
 /// Terminator line of a request frame.
 inline constexpr const char* kFrameEnd = "END";
+
+/// Single-line metrics query, valid only between frames.
+inline constexpr const char* kStatsVerb = "STATS";
+
+/// Point-in-time view of a worker's ServiceMetrics, as served by the
+/// STATS verb. Counters are monotone; the last three are gauges.
+struct StatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t shed = 0;           ///< hard queue-full sheds
+  std::uint64_t shed_overload = 0;  ///< adaptive controller sheds
+  std::uint64_t shed_cold = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t brownout_entries = 0;
+  std::uint64_t brownout_builds = 0;
+  std::uint64_t worker_restarts = 0;
+  std::uint64_t queue_depth = 0;           ///< gauge
+  std::uint64_t queue_delay_ewma_us = 0;   ///< gauge
+  std::uint64_t brownout_active = 0;       ///< gauge (0/1)
+
+  /// Total sheds of any flavour (the "shed" term of the admission
+  /// identity: submitted == admitted + Sheds() + rejected_draining).
+  [[nodiscard]] std::uint64_t Sheds() const { return shed + shed_overload; }
+};
+
+/// Relaxed-load snapshot of the counters this protocol exports.
+StatsSnapshot CaptureStats(const ServiceMetrics& metrics);
+
+/// Formats/parses the STATS response line (sum=-protected like every
+/// other response). Parse throws util::HarnessError: kTransient on a
+/// checksum mismatch, kFatal on structural errors.
+std::string FormatStatsLine(const StatsSnapshot& snapshot);
+StatsSnapshot ParseStatsLine(const std::string& line);
 
 /// Serializes a request as a full frame (header + scenario + END), ready
 /// to write to a socket. Requires a non-empty id without spaces.

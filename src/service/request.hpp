@@ -51,6 +51,10 @@ struct SchedulingResponse {
   util::ErrorKind error_kind = util::ErrorKind::kFatal;
   /// Single-line human-readable failure description (empty on kOk).
   std::string message;
+  /// Backoff hint on shed responses, derived from the live queue-delay
+  /// EWMA (see overload.hpp). 0 = no hint; the wire format omits the
+  /// token then, so pre-overload response lines stay byte-identical.
+  double retry_after_ms = 0.0;
 
   net::Schedule schedule;       ///< chosen link ids, ascending
   double claimed_rate = 0.0;    ///< Σ λ over the schedule

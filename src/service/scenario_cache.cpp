@@ -89,8 +89,23 @@ std::size_t ScenarioCache::EstimateScenarioBytes(
   return bytes;
 }
 
+bool ScenarioCache::IsWarm(const Fingerprint& fp) const {
+  const std::string response_guard = ResponseGuard(fp);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto resident = [this](std::uint64_t hash, const std::string& guard) {
+    auto [begin, end] = index_.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second->guard == guard) return true;
+    }
+    return false;
+  };
+  return resident(fp.request_hash, response_guard) ||
+         resident(fp.scenario_hash, fp.canonical_scenario);
+}
+
 ScenarioCache::ScenarioPtr ScenarioCache::ObtainScenario(
-    const Fingerprint& fp, const SchedulingRequest& request, bool* hit) {
+    const Fingerprint& fp, const SchedulingRequest& request, bool* hit,
+    std::optional<channel::FactorBackend> backend_override) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = FindLocked(fp.scenario_hash, fp.canonical_scenario);
@@ -112,8 +127,11 @@ ScenarioCache::ScenarioPtr ScenarioCache::ObtainScenario(
   built->canonical_scenario = fp.canonical_scenario;
   channel::EngineOptions engine_options = options_.engine;
   engine_options.shared.reset();
+  if (backend_override.has_value()) {
+    engine_options.backend = *backend_override;
+  }
   built->engine.emplace(built->links, built->params, engine_options);
-  built->cost_bytes = EstimateScenarioBytes(*built, options_.engine);
+  built->cost_bytes = EstimateScenarioBytes(*built, engine_options);
 
   std::lock_guard<std::mutex> lock(mutex_);
   // Two threads may have raced the build; first insert wins and the loser

@@ -74,9 +74,20 @@ class ScenarioCache {
   /// Returns the memoized state for `fp`, building (links copied out of
   /// `request.scenario`, engine constructed with the configured backend)
   /// and inserting on miss. Sets *hit accordingly when non-null.
-  ScenarioPtr ObtainScenario(const Fingerprint& fp,
-                             const SchedulingRequest& request,
-                             bool* hit = nullptr);
+  /// `backend_override` swaps the engine backend for this build only (the
+  /// brownout path degrades misses to the cheap kTables build); safe
+  /// because all backends are bit-identical, so whichever entry lands
+  /// first serves everyone correctly.
+  ScenarioPtr ObtainScenario(
+      const Fingerprint& fp, const SchedulingRequest& request,
+      bool* hit = nullptr,
+      std::optional<channel::FactorBackend> backend_override = std::nullopt);
+
+  /// True when serving `fp` would be cheap: its response or its built
+  /// scenario is resident. A pure peek — no LRU touch, no counters — so
+  /// admission-time classification cannot perturb eviction order or the
+  /// hit-rate metrics.
+  [[nodiscard]] bool IsWarm(const Fingerprint& fp) const;
 
   /// Response memoization. Lookup copies the stored response into *out
   /// (id/cache_hit fields left for the caller to stamp). Store ignores

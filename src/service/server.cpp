@@ -1,6 +1,7 @@
 #include "service/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -9,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -43,7 +45,68 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ThrowErrno("fcntl(O_NONBLOCK)");
+  }
+}
+
 }  // namespace
+
+int BindListenSocket(const ServerOptions& options, int* resolved_port) {
+  int fd = -1;
+  if (!options.unix_socket_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) ThrowErrno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      throw util::FatalError("unix socket path too long: " +
+                             options.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options.unix_socket_path.c_str());  // stale socket from a crash
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      ThrowErrno("bind(" + options.unix_socket_path + ")");
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) ThrowErrno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+    if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw util::FatalError("invalid bind address: " + options.host);
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      ThrowErrno("bind(" + options.host + ":" + std::to_string(options.port) +
+                 ")");
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (resolved_port != nullptr &&
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+            0) {
+      *resolved_port = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("listen");
+  }
+  SetNonBlocking(fd);
+  return fd;
+}
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
@@ -55,52 +118,20 @@ Server::~Server() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (!options_.unix_socket_path.empty()) {
+  if (!options_.unix_socket_path.empty() && options_.inherited_listen_fd < 0) {
     ::unlink(options_.unix_socket_path.c_str());
   }
 }
 
 void Server::Start() {
-  if (!options_.unix_socket_path.empty()) {
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) ThrowErrno("socket(AF_UNIX)");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
-      throw util::FatalError("unix socket path too long: " +
-                             options_.unix_socket_path);
-    }
-    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    ::unlink(options_.unix_socket_path.c_str());  // stale socket from a crash
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-        0) {
-      ThrowErrno("bind(" + options_.unix_socket_path + ")");
-    }
-  } else {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) ThrowErrno("socket(AF_INET)");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-      throw util::FatalError("invalid bind address: " + options_.host);
-    }
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-        0) {
-      ThrowErrno("bind(" + options_.host + ":" +
-                 std::to_string(options_.port) + ")");
-    }
-    sockaddr_in bound{};
-    socklen_t bound_len = sizeof(bound);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                      &bound_len) == 0) {
-      port_ = static_cast<int>(ntohs(bound.sin_port));
-    }
+  if (options_.inherited_listen_fd >= 0) {
+    // A worker under the supervisor: the socket is already bound and
+    // listening; just adopt it. Not ours to unlink on shutdown.
+    listen_fd_ = options_.inherited_listen_fd;
+    SetNonBlocking(listen_fd_);
+    return;
   }
-  if (::listen(listen_fd_, 64) < 0) ThrowErrno("listen");
+  listen_fd_ = BindListenSocket(options_, &port_);
 }
 
 bool Server::StopRequested() const {
@@ -120,7 +151,14 @@ void Server::Serve() {
     if (ready == 0) continue;  // tick: re-check the stop flags
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // EAGAIN: with the listener shared across worker processes, a
+      // sibling can win the accept race between our poll and accept —
+      // the non-blocking listener turns that into a harmless re-poll
+      // instead of a block that would stop us noticing Stop().
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
       ThrowErrno("accept");
     }
     connections_.emplace_back([this, fd] { HandleConnection(fd); });
@@ -134,7 +172,9 @@ void Server::Serve() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (!options_.unix_socket_path.empty()) {
+  if (!options_.unix_socket_path.empty() && options_.inherited_listen_fd < 0) {
+    // Inherited sockets stay linked: a draining worker must not yank the
+    // path out from under its siblings — the supervisor owns it.
     ::unlink(options_.unix_socket_path.c_str());
   }
   // Graceful drain: connections finish the frame they are serving, then
@@ -216,6 +256,15 @@ void Server::HandleConnection(int fd) {
       std::string line = buffer.substr(0, line_end);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       buffer.erase(0, line_end + 1);
+      if (assembler.Empty() && line == kStatsVerb) {
+        // Metrics query, valid only between frames — inside a frame the
+        // same bytes are scenario payload.
+        if (!WriteAll(fd, FormatStatsLine(CaptureStats(metrics)) + "\n")) {
+          peer_closed = true;
+          break;
+        }
+        continue;
+      }
       if (!assembler.Feed(line)) continue;
 
       SchedulingResponse response;
@@ -242,6 +291,14 @@ void Server::HandleConnection(int fd) {
         response.id = "-";
       }
       assembler.Reset();
+      if (options_.chaos_abort_before_reply > 0 &&
+          replies_written_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+              options_.chaos_abort_before_reply) {
+        // Crash drill: die after executing but before acking — the
+        // client must recover via an idempotent re-send to a sibling.
+        // _Exit, not exit: a crash-only worker takes no cleanup path.
+        std::_Exit(137);
+      }
       if (!WriteAll(fd, FormatResponseLine(response) + "\n")) {
         peer_closed = true;
         break;

@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <chrono>
 #include <exception>
 #include <string>
 #include <utility>
@@ -36,8 +37,20 @@ SchedulingResponse SchedulingService::HandleNow(
       return response;
     }
 
+    // Brownout: while the overload controller says the queue delay is
+    // critical, degrade this miss to the cheap kTables build. Responses
+    // stay byte-identical (the backends are exact), only the build cost
+    // changes; hits are untouched.
+    std::optional<channel::FactorBackend> backend_override;
+    if (batcher_ != nullptr && batcher_->Overload().Brownout()) {
+      backend_override = channel::FactorBackend::kTables;
+    }
+    bool scenario_hit = false;
     const ScenarioCache::ScenarioPtr entry =
-        cache_->ObtainScenario(fp, request);
+        cache_->ObtainScenario(fp, request, &scenario_hit, backend_override);
+    if (!scenario_hit && backend_override.has_value()) {
+      metrics_.brownout_builds.fetch_add(1, std::memory_order_relaxed);
+    }
     channel::EngineOptions engine_options = entry->engine->Options();
     // Aliasing: the engine pointer shares the entry's lifetime, so an
     // eviction mid-schedule cannot free state the scheduler is reading.
@@ -73,11 +86,52 @@ SchedulingResponse SchedulingService::HandleNow(
 
 std::future<SchedulingResponse> SchedulingService::Submit(
     SchedulingRequest request) {
-  return batcher_->Submit(std::move(request));
+  // Fingerprinting costs a canonical serialization (~µs), paid again
+  // inside HandleNow on admitted requests — accepted: admission cannot
+  // reuse it without threading cache state through the request, and
+  // sheds/fast-path hits (the cases this exists for) never reach
+  // HandleNow at all. A request whose fingerprint throws is submitted
+  // kWarm so the handler, not the shedder, reports the real error.
+  try {
+    const auto submitted_at = std::chrono::steady_clock::now();
+    const Fingerprint fp = FingerprintRequest(request);
+
+    // Fast path: a resident response is a pure lookup, so it is served
+    // inline on the caller thread. Routing it through the worker queue
+    // would price every cache hit at the queue's current delay — the
+    // exact coupling of warm latency to cold backlog that the two-tier
+    // design exists to break. Under drain we fall through so the batcher
+    // issues the canonical typed rejection and the admission ledger
+    // stays consistent.
+    SchedulingResponse response;
+    if (!batcher_->Draining() && cache_->LookupResponse(fp, &response)) {
+      response.id = request.id;
+      response.cache_hit = true;
+      metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+      metrics_.admitted.fetch_add(1, std::memory_order_relaxed);
+      metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        submitted_at)
+              .count();
+      metrics_.service_latency.Record(seconds);
+      metrics_.total_latency.Record(seconds);
+      metrics_.warm_total_latency.Record(seconds);
+      std::promise<SchedulingResponse> ready;
+      ready.set_value(std::move(response));
+      return ready.get_future();
+    }
+
+    const RequestClass cls =
+        cache_->IsWarm(fp) ? RequestClass::kWarm : RequestClass::kCold;
+    return batcher_->Submit(std::move(request), cls);
+  } catch (...) {
+    return batcher_->Submit(std::move(request), RequestClass::kWarm);
+  }
 }
 
 SchedulingResponse SchedulingService::Execute(SchedulingRequest request) {
-  return batcher_->Execute(std::move(request));
+  return Submit(std::move(request)).get();
 }
 
 void SchedulingService::Drain() { batcher_->Drain(); }

@@ -38,7 +38,13 @@ class SchedulingService {
   SchedulingResponse HandleNow(const SchedulingRequest& request);
 
   /// Admission-controlled path through the batcher (see batcher.hpp for
-  /// the shed/timeout contract). The future is always fulfilled.
+  /// the shed/timeout contract). The future is always fulfilled. Submit
+  /// fingerprints the request; a response-cache hit is served inline on
+  /// the calling thread (the future comes back already fulfilled), so
+  /// warm latency never rides the worker queue. Misses are classified
+  /// warm/cold (a pure cache peek) for the two-tier shedder; under
+  /// overload, cold requests — the ones that would trigger a full engine
+  /// build — are shed first.
   std::future<SchedulingResponse> Submit(SchedulingRequest request);
 
   /// Submit + wait.
@@ -49,6 +55,7 @@ class SchedulingService {
 
   [[nodiscard]] ServiceMetrics& Metrics() { return metrics_; }
   [[nodiscard]] ScenarioCache& Cache() { return *cache_; }
+  [[nodiscard]] OverloadController& Overload() { return batcher_->Overload(); }
 
  private:
   ServiceMetrics metrics_;

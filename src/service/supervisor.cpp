@@ -1,0 +1,473 @@
+#include "service/supervisor.hpp"
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/signal_guard.hpp"
+
+namespace fadesched::service {
+
+namespace {
+
+constexpr int kTickMs = 20;
+constexpr int kStartupCrashExit = 77;
+
+// SIGHUP = rolling restart. async-signal-safe flag, polled by the loop
+// (same pattern as util::signal_guard's SIGTERM flag, which the CLI
+// installs and the workers inherit across fork).
+volatile std::sig_atomic_t g_hup_requested = 0;
+
+void HupHandler(int) { g_hup_requested = 1; }
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Uniform double in [0, 1) from a SplitMix64 draw.
+double UnitDraw(rng::SplitMix64& rng) {
+  return static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void ProcessChaosOptions::Validate() const {
+  if (window_seconds <= 0.0) {
+    throw util::FatalError("process chaos: window_seconds must be positive");
+  }
+  if (stall_seconds < 0.0) {
+    throw util::FatalError("process chaos: stall_seconds must be >= 0");
+  }
+}
+
+std::vector<ProcessFaultEvent> BuildProcessFaultPlan(
+    const ProcessChaosOptions& chaos, std::size_t num_workers) {
+  chaos.Validate();
+  FS_CHECK_MSG(num_workers >= 1, "fault plan needs >= 1 worker");
+  std::vector<ProcessFaultEvent> plan;
+  plan.reserve(chaos.kills + chaos.stalls + chaos.startup_crashes);
+  // One derived stream per event kind so adding stalls never perturbs
+  // where the kills land (the same isolation idea as the per-connection
+  // socket fault streams).
+  rng::SplitMix64 kill_rng(chaos.seed * 0x9e3779b97f4a7c15ULL + 1);
+  rng::SplitMix64 stall_rng(chaos.seed * 0x9e3779b97f4a7c15ULL + 2);
+  for (std::size_t k = 0; k < chaos.kills; ++k) {
+    ProcessFaultEvent event;
+    event.kind = ProcessFaultEvent::Kind::kKill;
+    event.at_seconds = UnitDraw(kill_rng) * chaos.window_seconds;
+    event.slot = static_cast<std::size_t>(kill_rng.Next() % num_workers);
+    plan.push_back(event);
+  }
+  for (std::size_t s = 0; s < chaos.stalls; ++s) {
+    ProcessFaultEvent event;
+    event.kind = ProcessFaultEvent::Kind::kStall;
+    event.at_seconds = UnitDraw(stall_rng) * chaos.window_seconds;
+    event.slot = static_cast<std::size_t>(stall_rng.Next() % num_workers);
+    event.stall_seconds = chaos.stall_seconds;
+    plan.push_back(event);
+  }
+  // Startup crashes are not timed events — they poison the first N
+  // spawns — but they ride in the plan so one trace shows the whole
+  // injected history. at_seconds 0, slot = spawn ordinal.
+  for (std::size_t c = 0; c < chaos.startup_crashes; ++c) {
+    ProcessFaultEvent event;
+    event.kind = ProcessFaultEvent::Kind::kStartupCrash;
+    event.at_seconds = 0.0;
+    event.slot = c;
+    plan.push_back(event);
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const ProcessFaultEvent& a, const ProcessFaultEvent& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+  return plan;
+}
+
+std::string FormatProcessFaultPlan(
+    const std::vector<ProcessFaultEvent>& plan) {
+  std::ostringstream out;
+  for (const ProcessFaultEvent& event : plan) {
+    char time_buf[32];
+    std::snprintf(time_buf, sizeof(time_buf), "%.3f", event.at_seconds);
+    switch (event.kind) {
+      case ProcessFaultEvent::Kind::kKill:
+        out << "t=" << time_buf << " slot=" << event.slot << " kill\n";
+        break;
+      case ProcessFaultEvent::Kind::kStall: {
+        char stall_buf[32];
+        std::snprintf(stall_buf, sizeof(stall_buf), "%.3f",
+                      event.stall_seconds);
+        out << "t=" << time_buf << " slot=" << event.slot
+            << " stall=" << stall_buf << "\n";
+        break;
+      }
+      case ProcessFaultEvent::Kind::kStartupCrash:
+        out << "spawn=" << event.slot << " startup-crash\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+void SupervisorOptions::Validate() const {
+  if (num_workers == 0) {
+    throw util::FatalError("supervisor: num_workers must be >= 1");
+  }
+  if (backoff_initial_seconds < 0.0 || backoff_max_seconds < 0.0 ||
+      backoff_multiplier < 1.0) {
+    throw util::FatalError(
+        "supervisor: backoff needs initial/max >= 0 and multiplier >= 1");
+  }
+  if (max_restarts_in_window == 0 || restart_window_seconds <= 0.0) {
+    throw util::FatalError(
+        "supervisor: breaker needs max_restarts_in_window >= 1 and a "
+        "positive window");
+  }
+  if (drain_grace_seconds < 0.0) {
+    throw util::FatalError("supervisor: drain_grace_seconds must be >= 0");
+  }
+  chaos.Validate();
+}
+
+std::string SupervisorReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"spawned\": " << spawned << ",\n";
+  out << "  \"restarts\": " << restarts << ",\n";
+  out << "  \"rolled\": " << rolled << ",\n";
+  out << "  \"crashes\": " << crashes << ",\n";
+  out << "  \"startup_crashes\": " << startup_crashes << ",\n";
+  out << "  \"injected_kills\": " << injected_kills << ",\n";
+  out << "  \"injected_stalls\": " << injected_stalls << ",\n";
+  out << "  \"breaker_open\": " << (breaker_open ? "true" : "false") << ",\n";
+  char wall_buf[32];
+  std::snprintf(wall_buf, sizeof(wall_buf), "%.3f", wall_seconds);
+  out << "  \"wall_seconds\": " << wall_buf << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+Supervisor::Supervisor(WorkerMain worker_main, SupervisorOptions options)
+    : worker_main_(std::move(worker_main)), options_(options) {
+  FS_CHECK_MSG(worker_main_ != nullptr, "Supervisor needs a worker_main");
+  options_.Validate();
+}
+
+double Supervisor::BackoffSeconds(std::size_t consecutive_crashes) const {
+  if (consecutive_crashes == 0) return 0.0;
+  double backoff = options_.backoff_initial_seconds;
+  for (std::size_t i = 1;
+       i < consecutive_crashes && backoff < options_.backoff_max_seconds;
+       ++i) {
+    backoff *= options_.backoff_multiplier;
+  }
+  return std::min(backoff, options_.backoff_max_seconds);
+}
+
+std::size_t Supervisor::LiveWorkers() const {
+  std::size_t live = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.pid > 0) ++live;
+  }
+  return live;
+}
+
+void Supervisor::SpawnWorker(std::size_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  const std::size_t spawn_ordinal = report_.spawned;
+  const bool crash_on_start = slot.startup_crash_next;
+  slot.startup_crash_next = false;
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    // Treat a failed fork like a crashed spawn: back off and retry, so a
+    // transient EAGAIN (pid pressure) cannot take the tier down.
+    slot.pid = -1;
+    slot.consecutive_crashes += 1;
+    slot.respawn_pending = true;
+    slot.respawn_at = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              BackoffSeconds(slot.consecutive_crashes)));
+    return;
+  }
+  if (pid == 0) {
+    // Child. Crash-only hygiene: drop inherited shutdown state (the
+    // parent's guard flag is ours too after fork), then run the worker
+    // and _exit without unwinding through supervisor state — a worker
+    // that "returns" must not run the parent's destructors or atexit
+    // handlers.
+    util::ClearShutdownRequest();
+    g_hup_requested = 0;
+    if (crash_on_start) {
+      ::_exit(kStartupCrashExit);  // injected boot failure
+    }
+    int rc = 1;
+    try {
+      rc = worker_main_(slot_index, spawn_ordinal);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[worker %zu] fatal: %s\n", slot_index, e.what());
+      rc = 1;
+    } catch (...) {
+      rc = 1;
+    }
+    ::_exit(rc);
+  }
+  // Parent.
+  slot.pid = pid;
+  slot.spawned_at = std::chrono::steady_clock::now();
+  slot.respawn_pending = false;
+  report_.spawned += 1;
+}
+
+void Supervisor::RecordRestartForBreaker() {
+  const auto now = std::chrono::steady_clock::now();
+  restart_times_.push_back(now);
+  const auto cutoff =
+      now - std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(options_.restart_window_seconds));
+  restart_times_.erase(
+      std::remove_if(restart_times_.begin(), restart_times_.end(),
+                     [cutoff](auto t) { return t < cutoff; }),
+      restart_times_.end());
+  if (restart_times_.size() > options_.max_restarts_in_window) {
+    report_.breaker_open = true;
+  }
+}
+
+void Supervisor::ReapWorkers() {
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.pid != pid) continue;
+      slot.pid = -1;
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      // A clean self-exit outside a rolling restart is still a failure
+      // of the supervision contract (workers serve until told), but the
+      // restart itself is what matters; count it as a crash too.
+      report_.crashes += (clean ? 0 : 1);
+      if (WIFEXITED(status) && WEXITSTATUS(status) == kStartupCrashExit) {
+        report_.startup_crashes += 1;
+      }
+      const bool was_stable =
+          Seconds(now - slot.spawned_at) >= options_.stable_seconds;
+      slot.consecutive_crashes =
+          was_stable ? 1 : slot.consecutive_crashes + 1;
+      slot.respawn_pending = true;
+      slot.respawn_at =
+          now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        BackoffSeconds(slot.consecutive_crashes)));
+      report_.restarts += 1;
+      RecordRestartForBreaker();
+      break;
+    }
+  }
+}
+
+void Supervisor::FireDueFaults() {
+  const double elapsed = Seconds(std::chrono::steady_clock::now() - start_);
+  while (next_fault_ < fault_plan_.size() &&
+         fault_plan_[next_fault_].at_seconds <= elapsed) {
+    const ProcessFaultEvent& event = fault_plan_[next_fault_];
+    if (event.kind == ProcessFaultEvent::Kind::kStartupCrash) {
+      ++next_fault_;  // consumed at spawn time, not here
+      continue;
+    }
+    // Land on the planned slot if alive, else the first live worker; if
+    // nobody is alive yet (everyone mid-backoff), hold the event.
+    std::size_t victim = slots_.size();
+    if (slots_[event.slot].pid > 0) {
+      victim = event.slot;
+    } else {
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].pid > 0) {
+          victim = i;
+          break;
+        }
+      }
+    }
+    if (victim == slots_.size()) break;  // nobody alive: retry next tick
+    if (event.kind == ProcessFaultEvent::Kind::kKill) {
+      ::kill(slots_[victim].pid, SIGKILL);
+      report_.injected_kills += 1;
+      ++next_fault_;
+      // At most one kill per tick: the victim must be reaped before the
+      // next event fires, or a same-tick second kill would land on the
+      // already-dying pid and silently merge two planned faults into one
+      // observed crash — breaking the drill's `restarts == kills` ledger.
+      break;
+    }
+    ::kill(slots_[victim].pid, SIGSTOP);
+    report_.injected_stalls += 1;
+    pending_conts_.push_back(
+        {std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(event.stall_seconds)),
+         victim, slots_[victim].pid});
+    ++next_fault_;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = pending_conts_.begin(); it != pending_conts_.end();) {
+    if (it->due > now) {
+      ++it;
+      continue;
+    }
+    // Only wake the exact process we stopped: if the slot's pid moved
+    // on, the stalled worker is already dead — signalling the number
+    // again could hit a recycled pid.
+    if (slots_[it->slot].pid == it->pid) {
+      ::kill(it->pid, SIGCONT);
+    }
+    it = pending_conts_.erase(it);
+  }
+}
+
+void Supervisor::HandleRollingRestart() {
+  // One slot at a time, oldest first: SIGTERM → graceful drain (the
+  // worker finishes in-flight frames; new connections go to siblings) →
+  // respawn → next. The grace/SIGKILL escalation bounds a worker that
+  // ignores SIGTERM.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.pid <= 0) continue;
+    ::kill(slot.pid, SIGTERM);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.drain_grace_seconds));
+    bool reaped = false;
+    for (;;) {
+      int status = 0;
+      const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+      if (r == slot.pid) {
+        reaped = true;
+        break;
+      }
+      if (r < 0 && errno == ECHILD) {
+        reaped = true;  // already reaped elsewhere
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(kTickMs));
+    }
+    if (!reaped) {
+      ::kill(slot.pid, SIGKILL);
+      ::waitpid(slot.pid, nullptr, 0);
+    }
+    slot.pid = -1;
+    slot.consecutive_crashes = 0;  // a rolled worker did nothing wrong
+    SpawnWorker(i);
+    report_.rolled += 1;
+  }
+}
+
+void Supervisor::DrainAll() {
+  for (Slot& slot : slots_) {
+    if (slot.pid > 0) ::kill(slot.pid, SIGTERM);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.drain_grace_seconds));
+  for (;;) {
+    bool any_alive = false;
+    for (Slot& slot : slots_) {
+      if (slot.pid <= 0) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+      if (r == slot.pid || (r < 0 && errno == ECHILD)) {
+        slot.pid = -1;
+      } else {
+        any_alive = true;
+      }
+    }
+    if (!any_alive) return;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kTickMs));
+  }
+  for (Slot& slot : slots_) {
+    if (slot.pid <= 0) continue;
+    // SIGKILL lands even on a SIGSTOPped worker (KILL and CONT are the
+    // two signals that cannot be held off), so an injected stall cannot
+    // wedge shutdown.
+    ::kill(slot.pid, SIGKILL);
+    ::waitpid(slot.pid, nullptr, 0);
+    slot.pid = -1;
+  }
+}
+
+SupervisorReport Supervisor::Run() {
+  report_ = SupervisorReport{};
+  slots_.assign(options_.num_workers, Slot{});
+  fault_plan_ = BuildProcessFaultPlan(options_.chaos, options_.num_workers);
+  next_fault_ = 0;
+  startup_crashes_left_ = options_.chaos.startup_crashes;
+  pending_conts_.clear();
+  restart_times_.clear();
+  start_ = std::chrono::steady_clock::now();
+
+  // SIGHUP → rolling restart, for this Run only.
+  struct sigaction hup_action {};
+  struct sigaction old_hup {};
+  hup_action.sa_handler = HupHandler;
+  sigemptyset(&hup_action.sa_mask);
+  ::sigaction(SIGHUP, &hup_action, &old_hup);
+  g_hup_requested = 0;
+
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (startup_crashes_left_ > 0) {
+      slots_[i].startup_crash_next = true;
+      --startup_crashes_left_;
+    }
+    SpawnWorker(i);
+  }
+
+  while (!stop_.load(std::memory_order_relaxed) &&
+         !util::ShutdownRequested() && !report_.breaker_open) {
+    ReapWorkers();
+    FireDueFaults();
+    if (g_hup_requested != 0) {
+      g_hup_requested = 0;
+      HandleRollingRestart();
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.pid > 0 || !slot.respawn_pending || slot.respawn_at > now) {
+        continue;
+      }
+      if (startup_crashes_left_ > 0) {
+        slot.startup_crash_next = true;
+        --startup_crashes_left_;
+      }
+      SpawnWorker(i);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(kTickMs));
+  }
+
+  DrainAll();
+  ::sigaction(SIGHUP, &old_hup, nullptr);
+  report_.wall_seconds = Seconds(std::chrono::steady_clock::now() - start_);
+  return report_;
+}
+
+void Supervisor::Stop() { stop_.store(true, std::memory_order_relaxed); }
+
+}  // namespace fadesched::service

@@ -1,0 +1,189 @@
+// Crash-only worker supervision for the serving tier.
+//
+// The supervisor forks N worker processes that share one listening socket
+// (bound once by the caller, inherited by fd — the kernel load-balances
+// accepts across the workers' poll loops), then runs a single-threaded
+// control loop that only ever does four things:
+//
+//   * reap: waitpid(WNOHANG) notices dead workers. A non-zero or
+//     signalled exit is a crash; the slot is respawned after a bounded
+//     exponential backoff that resets once a worker survives
+//     `stable_seconds`. A clean exit outside a rolling restart is
+//     treated the same way (a worker has no business exiting on its own).
+//   * circuit-break: more than `max_restarts_in_window` restarts inside
+//     `restart_window_seconds` means the workers are flapping (crash on
+//     boot, poisoned state); instead of burning CPU forever the breaker
+//     opens, everything is torn down, and Run() returns with
+//     breaker_open=true so the caller can exit non-zero.
+//   * rolling restart (SIGHUP): one slot at a time — SIGTERM, wait for
+//     the worker's graceful drain (in-flight requests complete, new
+//     accepts race to the siblings), respawn, move on. At every instant
+//     N-1 workers are accepting, which is why the chaos-soak ledger
+//     stays zero-loss through a mid-soak SIGHUP.
+//   * shutdown (Stop()/SIGTERM/SIGINT): SIGTERM to every worker, wait up
+//     to `drain_grace_seconds`, escalate to SIGKILL, reap, return.
+//
+// Crash-only rationale: workers are the only state holders, and their
+// state is a cache — so the recovery path IS the startup path. The
+// supervisor never pickles or hands over state; it just re-forks. That
+// makes the injected-SIGKILL drill (below) exercise the exact same code
+// as a real segfault, OOM-kill, or deploy.
+//
+// Process-fault injection: a ProcessChaosOptions seed expands into a
+// deterministic, time-sorted plan of SIGKILLs, SIGSTOP stalls, and
+// startup crashes (same SplitMix64→Xoshiro idiom as the socket-level
+// ChaosPlan, so one seed replays one recovery history). The plan is a
+// plain vector — shrinking a failure is dropping events and re-running.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fadesched::service {
+
+/// One scheduled process fault. `at_seconds` is relative to Run() start.
+struct ProcessFaultEvent {
+  enum class Kind { kKill, kStall, kStartupCrash };
+  Kind kind = Kind::kKill;
+  double at_seconds = 0.0;
+  /// Preferred victim slot; if it happens to be down when the event
+  /// fires, the first live worker is hit instead (the fault must land
+  /// for `restarts == injected kills` to be assertable).
+  std::size_t slot = 0;
+  double stall_seconds = 0.0;  ///< kStall: SIGSTOP → SIGCONT gap
+};
+
+/// Seeded process-fault generator. kills/stalls are spread uniformly
+/// over [0, window_seconds); startup_crashes poison the first N spawns
+/// (the child _exit(77)s before serving), exercising the backoff and
+/// breaker paths deterministically.
+struct ProcessChaosOptions {
+  std::uint64_t seed = 1;
+  std::size_t kills = 0;
+  std::size_t stalls = 0;
+  std::size_t startup_crashes = 0;
+  double window_seconds = 10.0;
+  double stall_seconds = 0.2;
+
+  void Validate() const;
+};
+
+/// Expands the options into a time-sorted plan (deterministic per seed).
+std::vector<ProcessFaultEvent> BuildProcessFaultPlan(
+    const ProcessChaosOptions& chaos, std::size_t num_workers);
+
+/// One line per event ("t=1.234 slot=2 kill" / "... stall=0.200" /
+/// "spawn=3 startup-crash"), sorted — byte-identical across runs of the
+/// same seed, diffable like the socket-level FaultTrace.
+std::string FormatProcessFaultPlan(const std::vector<ProcessFaultEvent>& plan);
+
+struct SupervisorOptions {
+  std::size_t num_workers = 2;
+
+  /// Crash-restart backoff: initial × multiplier^(consecutive crashes),
+  /// capped at max; a worker alive for `stable_seconds` resets its
+  /// slot's streak.
+  double backoff_initial_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 2.0;
+  double stable_seconds = 5.0;
+
+  /// Flap breaker: opening threshold, counted across all slots.
+  std::size_t max_restarts_in_window = 8;
+  double restart_window_seconds = 10.0;
+
+  /// Shutdown/rolling-restart escalation: SIGTERM, then SIGKILL after
+  /// this grace period.
+  double drain_grace_seconds = 10.0;
+
+  ProcessChaosOptions chaos;
+
+  void Validate() const;
+};
+
+/// What happened over one Run(), dumped as JSON by `supervise
+/// --status-out` and asserted by the CI crash drill.
+struct SupervisorReport {
+  std::size_t spawned = 0;          ///< total forks, initial set included
+  std::size_t restarts = 0;         ///< crash-driven respawns
+  std::size_t rolled = 0;           ///< rolling-restart respawns (SIGHUP)
+  std::size_t crashes = 0;          ///< non-clean worker exits observed
+  std::size_t startup_crashes = 0;  ///< injected boot failures
+  std::size_t injected_kills = 0;
+  std::size_t injected_stalls = 0;
+  bool breaker_open = false;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::string ToJson() const;
+};
+
+class Supervisor {
+ public:
+  /// Runs inside the forked child: typically builds a Server on the
+  /// inherited listener fd and Serve()s. The return value becomes the
+  /// worker's exit code. `slot` is the stable worker index,
+  /// `spawn_ordinal` the global fork count before this one (stored in
+  /// ServiceMetrics::worker_restarts so the STATS verb can report it).
+  /// Must not return through supervisor state — the child _exit()s with
+  /// the returned code immediately after.
+  using WorkerMain =
+      std::function<int(std::size_t slot, std::size_t spawn_ordinal)>;
+
+  Supervisor(WorkerMain worker_main, SupervisorOptions options);
+
+  /// Forks the initial workers and supervises until Stop(), a guarded
+  /// SIGTERM/SIGINT, or the breaker opens. SIGHUP triggers a rolling
+  /// restart. Workers running at exit are drained (SIGTERM → grace →
+  /// SIGKILL). Not reentrant.
+  SupervisorReport Run();
+
+  /// Requests shutdown from any thread (idempotent).
+  void Stop();
+
+ private:
+  struct Slot {
+    pid_t pid = -1;
+    std::size_t consecutive_crashes = 0;
+    std::chrono::steady_clock::time_point spawned_at{};
+    std::chrono::steady_clock::time_point respawn_at{};
+    bool respawn_pending = false;
+    bool startup_crash_next = false;
+  };
+
+  void SpawnWorker(std::size_t slot_index);
+  void ReapWorkers();
+  void FireDueFaults();
+  void HandleRollingRestart();
+  void DrainAll();
+  [[nodiscard]] double BackoffSeconds(std::size_t consecutive_crashes) const;
+  void RecordRestartForBreaker();
+  [[nodiscard]] std::size_t LiveWorkers() const;
+
+  WorkerMain worker_main_;
+  SupervisorOptions options_;
+  SupervisorReport report_;
+  std::vector<Slot> slots_;
+  std::vector<ProcessFaultEvent> fault_plan_;
+  std::size_t next_fault_ = 0;
+  std::size_t startup_crashes_left_ = 0;
+  /// {due time, slot, pid at SIGSTOP time} — SIGCONT is skipped if the
+  /// slot's pid changed (the stalled worker died; never signal a reused
+  /// pid).
+  struct PendingCont {
+    std::chrono::steady_clock::time_point due;
+    std::size_t slot;
+    pid_t pid;
+  };
+  std::vector<PendingCont> pending_conts_;
+  std::vector<std::chrono::steady_clock::time_point> restart_times_;
+  std::chrono::steady_clock::time_point start_{};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace fadesched::service

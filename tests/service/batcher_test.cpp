@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -163,6 +164,139 @@ TEST(RequestBatcherTest, MetricsCountEveryOutcome) {
   EXPECT_EQ(metrics.completed.load(), 5u);
   EXPECT_EQ(metrics.total_latency.Count(), 5u);
   EXPECT_EQ(metrics.queue_latency.Count(), 5u);
+}
+
+TEST(RequestBatcherTest, WarmPriorityDequeueServesWarmBeforeQueuedCold) {
+  std::atomic<bool> release{false};
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  BatcherOptions options;
+  options.num_workers = 1;  // single worker: dequeue order IS service order
+  options.queue_capacity = 100;
+  RequestBatcher batcher(
+      [&](const SchedulingRequest& request) {
+        if (request.id == "gate") {
+          while (!release.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(request.id);
+        return OkResponse();
+      },
+      options);
+
+  std::vector<std::future<SchedulingResponse>> futures;
+  futures.push_back(batcher.Submit(MakeRequest("gate")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // gate in-flight
+  // Colds enqueued first; warms submitted later must still jump them.
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(
+        batcher.Submit(MakeRequest("c" + std::to_string(i)),
+                       RequestClass::kCold));
+  }
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(batcher.Submit(MakeRequest("w" + std::to_string(i))));
+  }
+  release.store(true);
+  for (auto& future : futures) EXPECT_TRUE(future.get().Ok());
+
+  ASSERT_EQ(order.size(), 7u);
+  EXPECT_EQ(order[0], "gate");
+  const std::vector<std::string> expected = {"w0", "w1", "w2",
+                                             "c0", "c1", "c2"};
+  EXPECT_EQ(std::vector<std::string>(order.begin() + 1, order.end()),
+            expected);
+}
+
+TEST(RequestBatcherTest, ColdLaneBulkheadShedsColdButAdmitsWarm) {
+  std::atomic<bool> release{false};
+  BatcherOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;  // cold lane capped at 4 / 2 = 2
+  RequestBatcher batcher(
+      [&](const SchedulingRequest&) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return OkResponse();
+      },
+      options);
+
+  std::vector<std::future<SchedulingResponse>> futures;
+  futures.push_back(batcher.Submit(MakeRequest("gate")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Four colds against a cold cap of two: the lane fills while half the
+  // shared capacity is still free.
+  std::vector<std::future<SchedulingResponse>> colds;
+  for (int i = 0; i < 4; ++i) {
+    colds.push_back(batcher.Submit(MakeRequest("c" + std::to_string(i)),
+                                   RequestClass::kCold));
+  }
+  // Warm admissions still have the other half of the queue.
+  std::vector<std::future<SchedulingResponse>> warms;
+  for (int i = 0; i < 2; ++i) {
+    warms.push_back(batcher.Submit(MakeRequest("w" + std::to_string(i))));
+  }
+  // Depth is now 4 (2 cold + 2 warm): the shared bound sheds everyone.
+  const SchedulingResponse overflow =
+      batcher.Submit(MakeRequest("w2")).get();
+  EXPECT_EQ(overflow.status, ResponseStatus::kShed);
+  EXPECT_NE(overflow.message.find("queue full"), std::string::npos);
+
+  release.store(true);
+  std::size_t cold_ok = 0, cold_shed = 0;
+  for (auto& future : colds) {
+    const SchedulingResponse response = future.get();
+    if (response.Ok()) {
+      ++cold_ok;
+    } else {
+      ASSERT_EQ(response.status, ResponseStatus::kShed);
+      EXPECT_EQ(response.error_kind, util::ErrorKind::kTransient);
+      EXPECT_NE(response.message.find("cold lane full"), std::string::npos);
+      ++cold_shed;
+    }
+  }
+  EXPECT_EQ(cold_ok, 2u);
+  EXPECT_EQ(cold_shed, 2u);
+  for (auto& future : warms) EXPECT_TRUE(future.get().Ok());
+}
+
+TEST(RequestBatcherTest, ReservedWarmWorkerServesWarmWhileColdBuildsBlock) {
+  std::atomic<bool> release{false};
+  BatcherOptions options;
+  options.num_workers = 2;  // worker 0 reserved for the warm lane
+  RequestBatcher batcher(
+      [&](const SchedulingRequest& request) {
+        if (request.id[0] == 'c') {
+          while (!release.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        return OkResponse();
+      },
+      options);
+
+  // One cold occupies the general worker; the second sits queued, and the
+  // reserved worker must refuse to pick it up.
+  std::vector<std::future<SchedulingResponse>> colds;
+  colds.push_back(batcher.Submit(MakeRequest("c0"), RequestClass::kCold));
+  colds.push_back(batcher.Submit(MakeRequest("c1"), RequestClass::kCold));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Warm requests complete while every cold is still blocked — only the
+  // reserved worker can be serving them.
+  for (int i = 0; i < 3; ++i) {
+    std::future<SchedulingResponse> warm =
+        batcher.Submit(MakeRequest("w" + std::to_string(i)));
+    ASSERT_EQ(warm.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    EXPECT_TRUE(warm.get().Ok());
+  }
+
+  release.store(true);
+  for (auto& future : colds) EXPECT_TRUE(future.get().Ok());
 }
 
 }  // namespace

@@ -241,6 +241,105 @@ TEST(RetryingClientTest, BackoffScheduleIsDeterministicBoundedAndCapped) {
   EXPECT_EQ(client.LastCallStats().attempts, 8u);
 }
 
+std::string ShedLine(const std::string& id, double retry_after_ms) {
+  SchedulingResponse response;
+  response.status = ResponseStatus::kShed;
+  response.error_kind = util::ErrorKind::kTransient;
+  response.message = "overloaded";
+  response.retry_after_ms = retry_after_ms;
+  response.id = id;
+  return FormatResponseLine(response);
+}
+
+/// The exact jitter the client will draw: same seed, same formula.
+double Jittered(double backoff, const RetryOptions& options,
+                rng::Xoshiro256& jitter) {
+  const double u = static_cast<double>(jitter.Next() >> 11) * 0x1.0p-53;
+  return backoff * (1.0 + options.jitter_fraction * (2.0 * u - 1.0));
+}
+
+TEST(RetryingClientTest, RetryAfterHintRoundTripsTheWire) {
+  const SchedulingResponse parsed = ParseResponseLine(ShedLine("w", 35.5));
+  EXPECT_EQ(parsed.status, ResponseStatus::kShed);
+  EXPECT_DOUBLE_EQ(parsed.retry_after_ms, 35.5);
+  // No hint → the token is omitted entirely (byte-compat with pre-hint
+  // readers), and parses back as 0.
+  const std::string bare = ShedLine("w", 0.0);
+  EXPECT_EQ(bare.find("retry_after_ms="), std::string::npos);
+  EXPECT_DOUBLE_EQ(ParseResponseLine(bare).retry_after_ms, 0.0);
+}
+
+TEST(RetryingClientTest, ShedHintOverridesLadderOnceWithDeterministicJitter) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff_seconds = 0.002;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_seconds = 0.25;
+  options.jitter_fraction = 0.2;
+  options.jitter_seed = 11;
+  auto [client, fake] = MakeClient(options);
+  // Attempt 1: shed with a 20 ms hint. Attempt 2: shed with no hint.
+  // Attempt 3: served.
+  fake->lines.push_back(ShedLine("h", 20.0));
+  fake->lines.push_back(ShedLine("h", 0.0));
+  fake->lines.push_back(OkLine("h"));
+
+  const SchedulingResponse response = client.Call(MakeRequest("h"));
+  EXPECT_TRUE(response.Ok());
+  const CallStats& stats = client.LastCallStats();
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retry_after_honored, 1u);
+  ASSERT_EQ(stats.backoffs.size(), 2u);
+
+  // Replay the client's jitter stream: backoff 1 is the 20 ms hint (not
+  // the 2 ms ladder rung), backoff 2 falls back to the ladder
+  // (initial × multiplier, attempt 2) because the hint is consumed once.
+  rng::Xoshiro256 jitter(options.jitter_seed);
+  EXPECT_DOUBLE_EQ(stats.backoffs[0], Jittered(0.020, options, jitter));
+  EXPECT_DOUBLE_EQ(stats.backoffs[1], Jittered(0.004, options, jitter));
+  // Jitter stays inside ±jitter_fraction of the hint.
+  EXPECT_GE(stats.backoffs[0], 0.020 * 0.8);
+  EXPECT_LE(stats.backoffs[0], 0.020 * 1.2);
+}
+
+TEST(RetryingClientTest, HintlessShedStaysOnTheLadder) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_seconds = 0.001;
+  options.jitter_seed = 3;
+  auto [client, fake] = MakeClient(options);
+  fake->lines.push_back(ShedLine("n", 0.0));
+  fake->lines.push_back(OkLine("n"));
+  EXPECT_TRUE(client.Call(MakeRequest("n")).Ok());
+  const CallStats& stats = client.LastCallStats();
+  EXPECT_EQ(stats.retry_after_honored, 0u);
+  ASSERT_EQ(stats.backoffs.size(), 1u);
+  rng::Xoshiro256 jitter(options.jitter_seed);
+  EXPECT_DOUBLE_EQ(stats.backoffs[0], Jittered(0.001, options, jitter));
+}
+
+TEST(RetryingClientTest, StaleHintDoesNotLeakIntoTheNextCall) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_seconds = 0.001;
+  options.jitter_seed = 7;
+  auto [client, fake] = MakeClient(options);
+  // Call 1 ends in exhaustion with a 50 ms hint pending from its last
+  // shed response.
+  fake->lines.push_back(ShedLine("a", 50.0));
+  fake->lines.push_back(ShedLine("a", 50.0));
+  fake->lines.push_back(ShedLine("a", 50.0));
+  fake->lines.push_back(ShedLine("a", 50.0));
+  EXPECT_THROW(client.Call(MakeRequest("a")), util::HarnessError);
+  // Call 2's first backoff must be the ladder, not the 50 ms leftover —
+  // the hint is per-call state.
+  fake->lines.push_back(ShedLine("b", 0.0));
+  fake->lines.push_back(OkLine("b"));
+  EXPECT_TRUE(client.Call(MakeRequest("b")).Ok());
+  ASSERT_EQ(client.LastCallStats().backoffs.size(), 1u);
+  EXPECT_LT(client.LastCallStats().backoffs[0], 0.01);
+}
+
 TEST(RetryOptionsTest, ValidateRejectsNonsense) {
   RetryOptions options;
   options.max_attempts = 0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <vector>
 
@@ -126,6 +127,40 @@ TEST(SchedulingServiceTest, ConcurrentIdenticalRequestsAgreeByteForByte) {
     }
   }
   service.Drain();
+}
+
+TEST(SchedulingServiceTest, ResponseCacheHitIsServedInlineAlreadyFulfilled) {
+  SchedulingService service;
+  const SchedulingRequest request = MakeRequest(0);
+  ASSERT_TRUE(service.Execute(request).Ok());  // populate the response cache
+
+  const auto submitted_before = service.Metrics().submitted.load();
+  std::future<SchedulingResponse> warm = service.Submit(request);
+  // The fast path fulfills the future on the calling thread — it must be
+  // ready the instant Submit returns, without a worker ever touching it.
+  ASSERT_EQ(warm.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const SchedulingResponse response = warm.get();
+  ASSERT_TRUE(response.Ok()) << response.message;
+  EXPECT_TRUE(response.cache_hit);
+  EXPECT_EQ(response.id, request.id);
+  // The inline path still keeps the admission ledger consistent.
+  EXPECT_EQ(service.Metrics().submitted.load(), submitted_before + 1);
+  EXPECT_EQ(service.Metrics().completed.load(),
+            service.Metrics().admitted.load());
+  service.Drain();
+}
+
+TEST(SchedulingServiceTest, DrainClosesTheInlineFastPathToo) {
+  SchedulingService service;
+  const SchedulingRequest request = MakeRequest(0);
+  ASSERT_TRUE(service.Execute(request).Ok());
+  service.Drain();
+  // A cached response must not be a backdoor around drain: the rejection
+  // comes from the batcher with the canonical typed kind.
+  const SchedulingResponse rejected = service.Submit(request).get();
+  EXPECT_EQ(rejected.status, ResponseStatus::kShed);
+  EXPECT_EQ(rejected.error_kind, util::ErrorKind::kInterrupted);
 }
 
 TEST(SchedulingServiceTest, EmptyLinkSetIsServed) {
