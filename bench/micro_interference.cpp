@@ -1,13 +1,18 @@
 // Microbenchmark: batched interference-matrix construction and factor
 // queries, across instance sizes. Emits BENCH_interference.json with the
-// serial-baseline vs tiled-build timings the engine's speedup claim rests
-// on, plus a ULP differential check of every path against the reference
-// calculator. With --check the exit code reflects ONLY that differential
-// check — timings are reported but never gate anything.
+// serial-baseline vs tiled vs precision-ladder (SIMD) build timings the
+// engine's speedup claims rest on, random vs row-blocked query costs (the
+// cache cliff once the matrix outgrows the LLC), and a ULP differential
+// check: tiled/tables vs the reference calculator, and both ladder builds
+// (dispatched tier and forced scalar) vs the exact matrix build. With
+// --check the exit code reflects ONLY those differential checks — timings
+// are reported but never gate anything. Run with FADESCHED_NO_SIMD=1 to
+// measure the forced-scalar dispatch path end to end.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <limits>
@@ -18,6 +23,7 @@
 
 #include "channel/batch_interference.hpp"
 #include "channel/interference.hpp"
+#include "channel/simd_dispatch.hpp"
 #include "mathx/ulp.hpp"
 #include "net/scenario.hpp"
 #include "rng/xoshiro256.hpp"
@@ -60,15 +66,27 @@ struct SizeReport {
   double serial_build_ms = 0.0;
   double tiled_build_ms = 0.0;
   double tiled_pool_build_ms = 0.0;
+  double fast_build_ms = 0.0;         // precision ladder, dispatched tier
+  double fast_scalar_build_ms = 0.0;  // precision ladder, forced scalar
+  std::size_t working_set_bytes = 0;  // n·n·8: the matrix the queries walk
   double calculator_ns_per_pair = 0.0;
   double tables_ns_per_pair = 0.0;
   double matrix_ns_per_pair = 0.0;
+  // Same query pairs sorted by victim row: row-major locality instead of
+  // random walks over the n²·8-byte working set. The random-vs-blocked
+  // gap is the cache cliff once the matrix outgrows L2/L3 (N ≥ 4000).
+  double matrix_blocked_ns_per_pair = 0.0;
   double rle_calculator_ms = 0.0;
   double rle_tables_ms = 0.0;
   double greedy_calculator_ms = 0.0;
   double greedy_tables_ms = 0.0;
   std::uint64_t max_ulp = 0;
+  // Fast (ladder) builds vs the exact matrix build — the ladder's own
+  // accuracy contract, measured at the dispatched tier and forced scalar.
+  std::uint64_t max_ulp_fast_simd = 0;
+  std::uint64_t max_ulp_fast_scalar = 0;
   std::size_t entries_checked = 0;
+  channel::LadderStats ladder;  // stats of the dispatched-tier fast build
 };
 
 std::string Json(const std::vector<SizeReport>& reports, std::uint64_t seed,
@@ -82,6 +100,8 @@ std::string Json(const std::vector<SizeReport>& reports, std::uint64_t seed,
   out << "  \"reps\": " << reps << ",\n";
   out << "  \"threads\": " << threads << ",\n";
   out << "  \"ulp_tolerance\": " << kUlpTolerance << ",\n";
+  out << "  \"simd_level\": \""
+      << channel::SimdLevelName(channel::ActiveSimdLevel()) << "\",\n";
   out << "  \"differential_check_passed\": "
       << (check_passed ? "true" : "false") << ",\n";
   out << "  \"sizes\": [\n";
@@ -93,17 +113,39 @@ std::string Json(const std::vector<SizeReport>& reports, std::uint64_t seed,
     out << "        \"serial_ms\": " << r.serial_build_ms << ",\n";
     out << "        \"tiled_ms\": " << r.tiled_build_ms << ",\n";
     out << "        \"tiled_pool_ms\": " << r.tiled_pool_build_ms << ",\n";
+    out << "        \"fast_ms\": " << r.fast_build_ms << ",\n";
+    out << "        \"fast_scalar_ms\": " << r.fast_scalar_build_ms << ",\n";
     out << "        \"speedup_tiled_vs_serial\": "
         << (r.tiled_build_ms > 0.0 ? r.serial_build_ms / r.tiled_build_ms
                                    : 0.0)
+        << ",\n";
+    out << "        \"speedup_fast_vs_tiled\": "
+        << (r.fast_build_ms > 0.0 ? r.tiled_build_ms / r.fast_build_ms : 0.0)
         << "\n";
     out << "      },\n";
+    out << "      \"ladder\": {\n";
+    out << "        \"level\": \"" << channel::SimdLevelName(r.ladder.level)
+        << "\",\n";
+    out << "        \"entries\": " << r.ladder.entries << ",\n";
+    out << "        \"promoted_domain\": " << r.ladder.promoted_domain
+        << ",\n";
+    out << "        \"promoted_verify\": " << r.ladder.promoted_verify
+        << ",\n";
+    out << "        \"promoted_rows\": " << r.ladder.promoted_rows << ",\n";
+    out << "        \"verified_entries\": " << r.ladder.verified_entries
+        << ",\n";
+    out << "        \"verified_rows\": " << r.ladder.verified_rows << "\n";
+    out << "      },\n";
     out << "      \"query\": {\n";
+    out << "        \"working_set_bytes\": " << r.working_set_bytes << ",\n";
     out << "        \"calculator_ns_per_pair\": " << r.calculator_ns_per_pair
         << ",\n";
     out << "        \"tables_ns_per_pair\": " << r.tables_ns_per_pair
         << ",\n";
-    out << "        \"matrix_ns_per_pair\": " << r.matrix_ns_per_pair << "\n";
+    out << "        \"matrix_ns_per_pair\": " << r.matrix_ns_per_pair
+        << ",\n";
+    out << "        \"matrix_blocked_ns_per_pair\": "
+        << r.matrix_blocked_ns_per_pair << "\n";
     out << "      },\n";
     out << "      \"schedule\": {\n";
     out << "        \"rle_calculator_ms\": " << r.rle_calculator_ms << ",\n";
@@ -114,6 +156,9 @@ std::string Json(const std::vector<SizeReport>& reports, std::uint64_t seed,
     out << "      },\n";
     out << "      \"check\": {\n";
     out << "        \"max_ulp\": " << r.max_ulp << ",\n";
+    out << "        \"max_ulp_fast_simd\": " << r.max_ulp_fast_simd << ",\n";
+    out << "        \"max_ulp_fast_scalar\": " << r.max_ulp_fast_scalar
+        << ",\n";
     out << "        \"entries_checked\": " << r.entries_checked << "\n";
     out << "      }\n";
     out << "    }" << (k + 1 < reports.size() ? "," : "") << "\n";
@@ -173,6 +218,28 @@ int main(int argc, char** argv) {
               channel::BuildInterferenceMatrixTiled(links, params, options);
         });
 
+    // Precision-ladder (fast SIMD) engine builds: dispatched tier and
+    // forced scalar. Timed serially like tiled_ms so fast/tiled compare
+    // one thread against one thread; the ladder's sampled verification
+    // work is part of the timed build, as in production.
+    channel::EngineOptions fast_options;
+    fast_options.backend = channel::FactorBackend::kMatrix;
+    fast_options.ladder.enabled = true;
+    channel::EngineOptions fast_scalar_options = fast_options;
+    fast_scalar_options.ladder.force_level = channel::SimdLevel::kScalar;
+    report.fast_build_ms = 1e3 * BestOf(static_cast<int>(reps), [&] {
+      const channel::InterferenceEngine engine(links, params, fast_options);
+    });
+    report.fast_scalar_build_ms = 1e3 * BestOf(static_cast<int>(reps), [&] {
+      const channel::InterferenceEngine engine(links, params,
+                                               fast_scalar_options);
+    });
+    const channel::InterferenceEngine fast(links, params, fast_options);
+    const channel::InterferenceEngine fast_scalar(links, params,
+                                                  fast_scalar_options);
+    report.ladder = fast.Ladder();
+    report.working_set_bytes = n * n * sizeof(double);
+
     // Query timings: random pairs through each backend. The sink defeats
     // dead-code elimination.
     const channel::InterferenceCalculator calc(links, params);
@@ -203,6 +270,41 @@ int main(int argc, char** argv) {
         [&](std::size_t i, std::size_t j) { return tables.Factor(i, j); });
     report.matrix_ns_per_pair = time_queries(
         [&](std::size_t i, std::size_t j) { return matrix.Factor(i, j); });
+
+    // The same pairs sorted by victim row, i.e. the order a row-blocked
+    // consumer (tiled scheduler sweep) touches the matrix. Random order
+    // takes a cache miss per query once n²·8 bytes outgrow the LLC
+    // (N ≥ 4000 here); sorted order streams whole rows. Reporting both
+    // makes the cliff a measured number instead of a surprise.
+    {
+      std::vector<std::uint32_t> blocked_idx = idx;
+      std::vector<std::uint32_t> order(pairs);
+      for (std::size_t k = 0; k < pairs; ++k) {
+        order[k] = static_cast<std::uint32_t>(k);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  // Victim-major: Factor(i, j) reads row j of the matrix.
+                  if (idx[2 * a + 1] != idx[2 * b + 1]) {
+                    return idx[2 * a + 1] < idx[2 * b + 1];
+                  }
+                  return idx[2 * a] < idx[2 * b];
+                });
+      for (std::size_t k = 0; k < pairs; ++k) {
+        blocked_idx[2 * k] = idx[2 * order[k]];
+        blocked_idx[2 * k + 1] = idx[2 * order[k] + 1];
+      }
+      report.matrix_blocked_ns_per_pair =
+          1e9 *
+          BestOf(static_cast<int>(reps),
+                 [&] {
+                   for (std::size_t k = 0; k < pairs; ++k) {
+                     sink += matrix.Factor(blocked_idx[2 * k],
+                                           blocked_idx[2 * k + 1]);
+                   }
+                 }) /
+          static_cast<double>(pairs);
+    }
     if (sink == 0.12345) std::cerr << "";  // keep `sink` observable
 
     // End-to-end schedule timings of the two engine-heavy schedulers on
@@ -232,7 +334,14 @@ int main(int argc, char** argv) {
         [&] { return std::make_unique<sched::FadingGreedyScheduler>(); });
 
     // Differential check: tiled matrix and fast tables vs the reference
-    // calculator, over sampled entries (full coverage for small N).
+    // calculator, plus both precision-ladder builds vs the exact matrix
+    // build (the ladder's own ≤ band contract), over sampled entries
+    // (full coverage for small N). Bit-equality short-circuits before
+    // UlpDistance so promoted non-finite entries compare as exact.
+    const auto ulp_or_equal = [](double got, double want) -> std::uint64_t {
+      if (std::memcmp(&got, &want, sizeof(double)) == 0) return 0;
+      return mathx::UlpDistance(got, want);
+    };
     const channel::InterferenceMatrix tiled =
         channel::BuildInterferenceMatrixTiled(links, params, {});
     const std::size_t samples = std::min<std::size_t>(n * n, 1u << 18);
@@ -246,19 +355,31 @@ int main(int argc, char** argv) {
       const std::uint64_t ulp_tables =
           mathx::UlpDistance(tables.Factor(i, j), want);
       report.max_ulp = std::max({report.max_ulp, ulp_matrix, ulp_tables});
+      const double exact = matrix.Factor(i, j);
+      report.max_ulp_fast_simd = std::max(
+          report.max_ulp_fast_simd, ulp_or_equal(fast.Factor(i, j), exact));
+      report.max_ulp_fast_scalar =
+          std::max(report.max_ulp_fast_scalar,
+                   ulp_or_equal(fast_scalar.Factor(i, j), exact));
     }
     report.entries_checked = samples;
-    if (report.max_ulp > kUlpTolerance) {
+    const std::uint64_t worst = std::max(
+        {report.max_ulp, report.max_ulp_fast_simd, report.max_ulp_fast_scalar});
+    if (worst > kUlpTolerance) {
       check_passed = false;
       std::cerr << "DIFFERENTIAL MISMATCH at n=" << n
-                << ": max ULP distance " << report.max_ulp << " > "
+                << ": max ULP distance " << worst << " > "
                 << kUlpTolerance << "\n";
     }
     reports.push_back(report);
     std::cerr << "n=" << n << " serial=" << report.serial_build_ms
               << "ms tiled=" << report.tiled_build_ms
               << "ms pool=" << report.tiled_pool_build_ms
-              << "ms max_ulp=" << report.max_ulp << "\n";
+              << "ms fast=" << report.fast_build_ms
+              << "ms fast_scalar=" << report.fast_scalar_build_ms
+              << "ms max_ulp=" << report.max_ulp
+              << " fast_ulp=" << report.max_ulp_fast_simd << "/"
+              << report.max_ulp_fast_scalar << "\n";
   }
 
   util::AtomicWriteFile(

@@ -1,12 +1,17 @@
 #include "channel/batch_interference.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <optional>
 
+#include "channel/simd_kernel.hpp"
 #include "geom/spatial_hash.hpp"
 #include "mathx/summation.hpp"
+#include "mathx/ulp.hpp"
+#include "rng/splitmix64.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fadesched::channel {
@@ -59,14 +64,16 @@ InterferenceEngine::InterferenceEngine(const net::LinkSet& links,
 
   if (options_.backend == FactorBackend::kMatrix && n_ > 0) {
     double slack = 0.0;
+    LadderStats stats;
     if (options_.affectance_matrix) {
-      affectance_data_ = BuildMatrixData(/*affectance=*/true, slack);
+      affectance_data_ = BuildMatrixData(/*affectance=*/true, slack, stats);
     } else {
       factor_matrix_ = std::make_unique<InterferenceMatrix>(
-          n_, BuildMatrixData(/*affectance=*/false, slack),
+          n_, BuildMatrixData(/*affectance=*/false, slack, stats),
           options_.cutoff_radius, slack);
     }
     certified_slack_ = slack;
+    ladder_stats_ = stats;
   }
 }
 
@@ -163,11 +170,189 @@ double InterferenceEngine::FillTile(bool affectance,
   return worst_slack;
 }
 
-std::vector<double> InterferenceEngine::BuildMatrixData(
-    bool affectance, double& certified_slack) const {
-  std::vector<double> data(n_ * n_, 0.0);
+std::size_t InterferenceEngine::FillFastTile(bool affectance, SimdLevel level,
+                                             std::size_t row_begin,
+                                             std::size_t row_end,
+                                             double* data) const {
+  const simd::RowKernelSpec spec{kernel_.WholeSteps(), kernel_.UsesSqrt(),
+                                 kernel_.UsesQuarter(), affectance};
+  const double* sx = sender_x_.data();
+  const double* sy = sender_y_.data();
+  const double* pw = power_.data();
+  // The kernel accumulates a per-row "wrote a non-finite value" flag
+  // in-register, so the rung-1 scan below touches only flagged rows —
+  // on clean geometry the O(N²) output, freshly streamed past the cache
+  // to DRAM, is never read back during the build.
+  std::vector<std::size_t> flagged;
+  std::size_t j = row_begin;
+  for (; j + 2 <= row_end; j += 2) {
+    const double rx[2] = {receiver_x_[j], receiver_x_[j + 1]};
+    const double ry[2] = {receiver_y_[j], receiver_y_[j + 1]};
+    const double coeff[2] = {victim_coeff_[j], victim_coeff_[j + 1]};
+    if (simd::FillFastRowPair(level, spec, sx, sy, pw, rx, ry, coeff, n_,
+                              data + j * n_, data + (j + 1) * n_)) {
+      flagged.push_back(j);
+      flagged.push_back(j + 1);
+    }
+  }
+  for (; j < row_end; ++j) {
+    if (simd::FillFastRow(level, spec, sx, sy, pw, receiver_x_[j],
+                          receiver_y_[j], victim_coeff_[j], n_,
+                          data + j * n_)) {
+      flagged.push_back(j);
+    }
+  }
+  // Drain the streaming stores before this core reads flagged rows back
+  // (and before the tile is published to other threads via the pool's
+  // future synchronization).
+  simd::StoreFence();
+
+  for (j = row_begin; j < row_end; ++j) data[j * n_ + j] = 0.0;
+
+  // Ladder rung 1 (domain): the fast kernel passes non-finite lanes
+  // through untouched — coincident positions and d^α overflow at extreme
+  // geometry surface as inf/NaN and flag their row. Recompute every
+  // non-finite entry exactly; FastAffectance re-raises the exact build's
+  // FS_CHECK on coincident positions. (The diagonal is finite in the fast
+  // expression — d_jj is the link length — and zeroed above, so it never
+  // flags a row by itself.)
+  std::size_t promoted = 0;
+  for (const std::size_t row_j : flagged) {
+    double* row = data + row_j * n_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (i == row_j || std::isfinite(row[i])) continue;
+      const double a = FastAffectance(i, row_j);
+      row[i] = affectance ? a : std::log1p(a);
+      ++promoted;
+    }
+  }
+  return promoted;
+}
+
+void InterferenceEngine::VerifyLadder(bool affectance, double* data,
+                                      LadderStats& stats) const {
+  const PrecisionLadderOptions& ladder = options_.ladder;
+  if (n_ < 2) return;
+  const std::size_t off_diag = n_ * (n_ - 1);
+
+  // Rung 2 (entry): recompute a seeded sample — or everything — through
+  // the exact expression; promote whatever sits outside the ULP band.
+  // Bit equality is checked before UlpDistance so entries the domain rung
+  // already promoted (possibly to ±inf, where UlpDistance saturates)
+  // count as distance zero.
+  const auto check_entry = [&](std::size_t i, std::size_t j) {
+    double* slot = data + j * n_ + i;
+    const double a = FastAffectance(i, j);
+    const double want = affectance ? a : std::log1p(a);
+    ++stats.verified_entries;
+    if (std::bit_cast<std::uint64_t>(*slot) ==
+        std::bit_cast<std::uint64_t>(want)) {
+      return;
+    }
+    const std::uint64_t ulp = mathx::UlpDistance(*slot, want);
+    stats.max_verify_ulp = std::max(stats.max_verify_ulp, ulp);
+    if (ulp > ladder.ulp_band) {
+      *slot = want;
+      ++stats.promoted_verify;
+    }
+  };
+  switch (ladder.verify) {
+    case PrecisionLadderOptions::Verify::kOff:
+      break;
+    case PrecisionLadderOptions::Verify::kSampled: {
+      rng::SplitMix64 rng(ladder.verify_seed);
+      const std::size_t samples = std::min(ladder.verify_samples, off_diag);
+      for (std::size_t k = 0; k < samples; ++k) {
+        const std::size_t j = rng.Next() % n_;
+        std::size_t i = rng.Next() % (n_ - 1);
+        if (i >= j) ++i;
+        check_entry(i, j);
+      }
+      break;
+    }
+    case PrecisionLadderOptions::Verify::kFull:
+      for (std::size_t j = 0; j < n_; ++j) {
+        for (std::size_t i = 0; i < n_; ++i) {
+          if (i != j) check_entry(i, j);
+        }
+      }
+      break;
+  }
+
+  // Rung 3 (row): seeded rows are re-summed with Neumaier compensation
+  // in the exact expression. The tolerance scales the band by the
+  // compensated-summation error model — per-entry disagreements of up to
+  // `ulp_band` ULP displace the row sum by at most ~band·ε·Σ|e_i| — with
+  // an n·ε·|Σ| envelope plus a denormal floor so an all-tiny row cannot
+  // trip on absolute noise. A drifting row is rewritten exactly.
+  const std::size_t rows = std::min(ladder.verify_rows, n_);
+  if (rows == 0) return;
+  rng::SplitMix64 row_rng(ladder.verify_seed ^ 0xda3e39cb94b95bdbull);
+  std::vector<double> exact_row(n_, 0.0);
+  for (std::size_t k = 0; k < rows; ++k) {
+    const std::size_t j = row_rng.Next() % n_;
+    ++stats.verified_rows;
+    double* row = data + j * n_;
+    mathx::NeumaierSum exact_sum;
+    mathx::NeumaierSum fast_sum;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (i == j) {
+        exact_row[i] = 0.0;
+        continue;
+      }
+      const double a = FastAffectance(i, j);
+      exact_row[i] = affectance ? a : std::log1p(a);
+      exact_sum.Add(exact_row[i]);
+      fast_sum.Add(row[i]);
+    }
+    const double want = exact_sum.Total();
+    const double tol =
+        static_cast<double>(ladder.ulp_band) *
+        (std::numeric_limits<double>::epsilon() * static_cast<double>(n_) *
+             std::abs(want) +
+         std::numeric_limits<double>::min());
+    if (std::abs(fast_sum.Total() - want) > tol) {
+      std::copy(exact_row.begin(), exact_row.end(), row);
+      ++stats.promoted_rows;
+    }
+  }
+}
+
+FactorBuffer InterferenceEngine::BuildMatrixData(bool affectance,
+                                                 double& certified_slack,
+                                                 LadderStats& stats) const {
   certified_slack = 0.0;
+  stats = LadderStats{};
+  FactorBuffer data;
   if (n_ == 0) return data;
+
+  // Ladder eligibility: the fast kernel evaluates every off-diagonal
+  // entry of a dense matrix through the quarter-integer chain — a
+  // far-field cutoff (sparse rows via the spatial index) or a generic α
+  // (libm pow) keeps the exact tile loop.
+  bool fast = false;
+  if (options_.ladder.enabled) {
+    if (options_.cutoff_radius > 0.0) {
+      stats.fallback_reason = "far-field cutoff uses the exact indexed build";
+    } else if (!kernel_.IsSpecialized()) {
+      stats.fallback_reason = "generic (non-quarter-integer) alpha";
+    } else {
+      fast = true;
+    }
+  }
+  const SimdLevel level = ResolveSimdLevel(options_.ladder.force_level);
+
+  if (fast) {
+    // The fast kernel writes every entry (diagonal included), so the
+    // buffer stays uninitialized — the allocator's default-init resize()
+    // skips a full zero-fill pass over the O(N²) working set.
+    data.resize(n_ * n_);
+  } else {
+    // The exact indexed build relies on the zero background for entries
+    // outside the far-field cutoff.
+    data.assign(n_ * n_, 0.0);
+  }
+
   std::optional<geom::SpatialHash> sender_index;
   if (options_.cutoff_radius > 0.0) {
     sender_index.emplace(links_->Senders(), options_.cutoff_radius);
@@ -176,31 +361,40 @@ std::vector<double> InterferenceEngine::BuildMatrixData(
   const std::size_t tile = std::max<std::size_t>(1, options_.tile_rows);
   const std::size_t num_tiles = (n_ + tile - 1) / tile;
   std::vector<double> tile_slack(num_tiles, 0.0);
-  if (options_.pool == nullptr) {
-    for (std::size_t t = 0; t < num_tiles; ++t) {
-      const std::size_t row_begin = t * tile;
-      const std::size_t row_end = std::min(n_, row_begin + tile);
+  std::vector<std::size_t> tile_promoted(num_tiles, 0);
+  const auto run_tile = [&](std::size_t t) {
+    const std::size_t row_begin = t * tile;
+    const std::size_t row_end = std::min(n_, row_begin + tile);
+    if (fast) {
+      tile_promoted[t] =
+          FillFastTile(affectance, level, row_begin, row_end, data.data());
+    } else {
       tile_slack[t] =
           FillTile(affectance, index, row_begin, row_end, data.data());
     }
+  };
+  if (options_.pool == nullptr) {
+    for (std::size_t t = 0; t < num_tiles; ++t) run_tile(t);
   } else {
     // Tiles own disjoint row ranges, so workers never write the same
     // element and the result is identical for any thread count.
     std::vector<std::future<void>> futures;
     futures.reserve(num_tiles);
     for (std::size_t t = 0; t < num_tiles; ++t) {
-      futures.push_back(options_.pool->Submit([this, affectance, index, t,
-                                               tile, &data, &tile_slack] {
-        const std::size_t row_begin = t * tile;
-        const std::size_t row_end = std::min(n_, row_begin + tile);
-        tile_slack[t] =
-            FillTile(affectance, index, row_begin, row_end, data.data());
-      }));
+      futures.push_back(options_.pool->Submit([&run_tile, t] { run_tile(t); }));
     }
     util::WaitAll(futures).Rethrow();
   }
   certified_slack =
       *std::max_element(tile_slack.begin(), tile_slack.end());
+
+  if (fast) {
+    stats.active = true;
+    stats.level = level;
+    stats.entries = n_ * (n_ - 1);
+    for (const std::size_t p : tile_promoted) stats.promoted_domain += p;
+    VerifyLadder(affectance, data.data(), stats);
+  }
   return data;
 }
 
@@ -214,8 +408,9 @@ InterferenceMatrix BuildInterferenceMatrixTiled(
   engine_options.cutoff_radius = options.cutoff_radius;
   const InterferenceEngine engine(links, params, engine_options);
   double slack = 0.0;
-  std::vector<double> data =
-      engine.BuildMatrixData(/*affectance=*/false, slack);
+  LadderStats stats;  // ladder never enabled here — the exact tile loop
+  FactorBuffer data =
+      engine.BuildMatrixData(/*affectance=*/false, slack, stats);
   return InterferenceMatrix(links.Size(), std::move(data),
                             options.cutoff_radius, slack);
 }
@@ -287,10 +482,16 @@ const InterferenceEngine& ObtainEngine(
     // Cutoff and affectance shape only a materialized matrix; the other
     // backends derive both quantities on the fly.
     const EngineOptions& built = shared->Options();
+    // Ladder settings shape a materialized matrix too; two disabled
+    // ladders are interchangeable regardless of their other knobs.
+    const bool ladder_match =
+        (!built.ladder.enabled && !options.ladder.enabled) ||
+        built.ladder == options.ladder;
     if (built.backend == options.backend &&
         (options.backend != FactorBackend::kMatrix ||
          (built.cutoff_radius == options.cutoff_radius &&
-          built.affectance_matrix == options.affectance_matrix))) {
+          built.affectance_matrix == options.affectance_matrix &&
+          ladder_match))) {
       return *shared;
     }
   }

@@ -19,6 +19,16 @@
 //                 by a row-blocked tiled build, parallel across a
 //                 ThreadPool when one is supplied. Queries are loads.
 //
+// The kMatrix build has an opt-in *precision ladder*
+// (EngineOptions::ladder): tiles are filled by the runtime-dispatched
+// SIMD kernel in channel/simd_kernel (AVX-512 / AVX2 / scalar), entries
+// the fast expression cannot certify (non-finite lanes, verification
+// misses outside the configured ULP band, rows whose Neumaier re-sum
+// drifts) are *promoted* — recomputed through the exact kTables kernel —
+// and the promotion counts are surfaced via InterferenceEngine::Ladder().
+// With the ladder off (the default) the build is the exact tile loop,
+// bit-identical to prior releases.
+//
 // The optional far-field cutoff (EngineOptions::cutoff_radius) skips
 // matrix entries for senders farther than R from the victim's receiver
 // and certifies the neglected mass: every skipped factor is bounded by
@@ -31,6 +41,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -39,6 +50,7 @@
 #include "channel/deterministic.hpp"
 #include "channel/interference.hpp"
 #include "channel/params.hpp"
+#include "channel/simd_dispatch.hpp"
 #include "net/link_set.hpp"
 #include "util/check.hpp"
 
@@ -71,6 +83,13 @@ class HalfPowerKernel {
 
   [[nodiscard]] bool IsSpecialized() const { return !generic_; }
 
+  /// Chain decomposition d^α = (d²)^WholeSteps · √d²^UsesSqrt · (d²)^¼^…,
+  /// exposed so the SIMD row kernel can replicate the chain lane-wise.
+  /// Meaningful only when IsSpecialized().
+  [[nodiscard]] int WholeSteps() const { return whole_; }
+  [[nodiscard]] bool UsesSqrt() const { return use_sqrt_; }
+  [[nodiscard]] bool UsesQuarter() const { return use_quarter_; }
+
  private:
   double half_alpha_ = 0.0;  ///< α/2 — the exponent applied to d²
   int whole_ = 0;            ///< ⌊α/2⌋ integer multiplications
@@ -87,6 +106,66 @@ enum class FactorBackend {
 };
 
 class InterferenceEngine;
+
+/// Opt-in fast kMatrix build with verified precision (the "ladder"): the
+/// vectorized fast kernel fills the matrix, then ascending verification
+/// rungs promote any entry it cannot certify back to the exact kTables
+/// expression. Rungs, cheapest first:
+///
+///   1. domain   — non-finite fast entries (coincident positions, d^α
+///                 overflow at extreme geometry) are always recomputed
+///                 exactly; coincident positions therefore raise the same
+///                 FS_CHECK as the exact build.
+///   2. entry    — a seeded sample (or, under kFull, every entry) is
+///                 recomputed in the exact expression; entries beyond
+///                 `ulp_band` ULP are promoted.
+///   3. row      — `verify_rows` whole rows are re-summed with Neumaier
+///                 compensation in the exact expression; a row whose sum
+///                 drifts beyond the band-scaled tolerance is rewritten
+///                 exactly.
+///
+/// Applies to kMatrix only. Builds with a cutoff radius or a generic
+/// (non-quarter-integer) α fall back to the exact tile loop and report
+/// why via LadderStats::fallback_reason.
+struct PrecisionLadderOptions {
+  bool enabled = false;
+
+  /// Post-build verification depth for the entry rung.
+  enum class Verify { kOff, kSampled, kFull };
+  Verify verify = Verify::kSampled;
+
+  /// Promotion threshold: fast entries farther than this many ULP from
+  /// the exact expression are recomputed exactly. 16 matches the repo's
+  /// cross-backend accuracy contract.
+  std::uint64_t ulp_band = 16;
+
+  std::size_t verify_samples = 4096;  ///< entry rung sample count (kSampled)
+  std::size_t verify_rows = 8;        ///< row rung: rows re-summed exactly
+  std::uint64_t verify_seed = 0x9e3779b97f4a7c15ull;  ///< sampling stream
+
+  /// Pins the SIMD tier (tests run fast-vs-fast_scalar differentials in
+  /// one process); kAuto defers to hardware + environment.
+  SimdLevel force_level = SimdLevel::kAuto;
+
+  friend bool operator==(const PrecisionLadderOptions&,
+                         const PrecisionLadderOptions&) = default;
+};
+
+/// Observed outcome of one ladder build (InterferenceEngine::Ladder()).
+struct LadderStats {
+  bool active = false;  ///< fast build ran (vs. exact tile loop)
+  SimdLevel level = SimdLevel::kScalar;  ///< resolved dispatch tier
+  /// Why the fast build did not run (nullptr when it did): ladder
+  /// disabled, cutoff enabled, generic alpha, or empty set.
+  const char* fallback_reason = nullptr;
+  std::size_t entries = 0;          ///< off-diagonal entries built fast
+  std::size_t promoted_domain = 0;  ///< rung 1 promotions (non-finite)
+  std::size_t promoted_verify = 0;  ///< rung 2 promotions (> ulp_band)
+  std::size_t promoted_rows = 0;    ///< rung 3 rewrites
+  std::size_t verified_entries = 0; ///< rung 2 entries checked
+  std::size_t verified_rows = 0;    ///< rung 3 rows checked
+  std::uint64_t max_verify_ulp = 0; ///< worst rung-2 distance observed
+};
 
 struct EngineOptions {
   FactorBackend backend = FactorBackend::kTables;
@@ -112,6 +191,10 @@ struct EngineOptions {
   /// kMatrix only: materialize the deterministic affectance a_ij instead of
   /// the Rayleigh factor f_ij = ln(1 + a_ij) (ApproxDiversity's quantity).
   bool affectance_matrix = false;
+
+  /// kMatrix only: fast SIMD build with verified promotion (off = the
+  /// exact tile loop, bit-identical to prior releases).
+  PrecisionLadderOptions ladder;
 };
 
 /// Options for the standalone tiled InterferenceMatrix builder.
@@ -181,6 +264,10 @@ class InterferenceEngine {
   /// far-field cutoff (0 when the cutoff is off or nothing was skipped).
   [[nodiscard]] double CertifiedSlack() const { return certified_slack_; }
 
+  /// What the precision ladder did during this engine's kMatrix build
+  /// (all-zero / inactive for other backends or when the ladder is off).
+  [[nodiscard]] const LadderStats& Ladder() const { return ladder_stats_; }
+
  private:
   friend class IncrementalFeasibility;
   friend InterferenceMatrix BuildInterferenceMatrixTiled(
@@ -208,10 +295,25 @@ class InterferenceEngine {
                   std::size_t row_begin, std::size_t row_end,
                   double* data) const;
 
+  /// Ladder rung 1: fills a tile with the SIMD fast kernel (rows paired
+  /// for the AVX-512 register blocking), zeroes the diagonal, and promotes
+  /// every non-finite fast entry through the exact expression. Returns the
+  /// tile's promotion count.
+  std::size_t FillFastTile(bool affectance, SimdLevel level,
+                           std::size_t row_begin, std::size_t row_end,
+                           double* data) const;
+
+  /// Ladder rungs 2 and 3 (serial, deterministic): entry sampling and
+  /// exact Neumaier row re-sums over the fast-built matrix; promotes in
+  /// place and accumulates into `stats`.
+  void VerifyLadder(bool affectance, double* data, LadderStats& stats) const;
+
   /// Runs the tiled build (serial or on options_.pool) and returns the
-  /// matrix data plus the certified slack via out-parameter.
-  std::vector<double> BuildMatrixData(bool affectance,
-                                      double& certified_slack) const;
+  /// matrix data plus the certified slack via out-parameter. With the
+  /// precision ladder enabled (and eligible) tiles go through
+  /// FillFastTile + VerifyLadder; `stats` records what happened.
+  FactorBuffer BuildMatrixData(bool affectance, double& certified_slack,
+                               LadderStats& stats) const;
 
   const net::LinkSet* links_;
   EngineOptions options_;
@@ -229,8 +331,9 @@ class InterferenceEngine {
   double max_power_ = 0.0;           // max effective power (cutoff bound)
 
   std::unique_ptr<InterferenceMatrix> factor_matrix_;
-  std::vector<double> affectance_data_;  // kMatrix + affectance_matrix
+  FactorBuffer affectance_data_;  // kMatrix + affectance_matrix
   double certified_slack_ = 0.0;
+  LadderStats ladder_stats_;
 };
 
 /// Per-receiver Neumaier running sums of interference (Rayleigh factor or

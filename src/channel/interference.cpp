@@ -89,7 +89,7 @@ InterferenceMatrix::InterferenceMatrix(const net::LinkSet& links,
   }
 }
 
-InterferenceMatrix::InterferenceMatrix(std::size_t n, std::vector<double> data,
+InterferenceMatrix::InterferenceMatrix(std::size_t n, FactorBuffer data,
                                        double cutoff_radius,
                                        double certified_slack)
     : n_(n),

@@ -12,8 +12,19 @@
 
 #include "channel/params.hpp"
 #include "net/link_set.hpp"
+#include "util/page_recycler.hpp"
 
 namespace fadesched::channel {
+
+/// Backing storage for dense factor/affectance matrices. 64-byte aligned
+/// so the vectorized builders can use cache-line streaming stores on
+/// whole rows (glibc malloc only guarantees 16 bytes for large blocks),
+/// recycled through util::PageRecycler so rebuilds of O(N²) matrices skip
+/// the page-fault storm of a fresh mapping, and — via the allocator's
+/// default-initializing construct() — NOT zero-filled by resize(): use
+/// assign(n, 0.0) when a zero background is required.
+using FactorBuffer =
+    std::vector<double, util::RecyclingAlignedAllocator<double, 64>>;
 
 /// Computes factors on demand from link geometry. Cheap to copy; holds a
 /// reference to the LinkSet, which must outlive it.
@@ -62,7 +73,7 @@ class InterferenceMatrix {
   /// entries) — the constructor the batched builders feed. When built
   /// under a far-field cutoff, entries beyond `cutoff_radius` are 0 and
   /// `certified_slack` bounds the per-victim mass neglected that way.
-  InterferenceMatrix(std::size_t n, std::vector<double> data,
+  InterferenceMatrix(std::size_t n, FactorBuffer data,
                      double cutoff_radius = 0.0, double certified_slack = 0.0);
 
   [[nodiscard]] std::size_t Size() const { return n_; }
@@ -81,7 +92,7 @@ class InterferenceMatrix {
 
  private:
   std::size_t n_;
-  std::vector<double> data_;
+  FactorBuffer data_;
   double cutoff_radius_ = 0.0;
   double certified_slack_ = 0.0;
 };

@@ -1,0 +1,76 @@
+#include "channel/simd_dispatch.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace fadesched::channel {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAuto:
+      return "auto";
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectSimdLevel() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const SimdLevel detected = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return SimdLevel::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return SimdLevel::kAvx2;
+    }
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ApplySimdEnv(SimdLevel hardware, const char* no_simd,
+                       const char* level_cap) {
+  SimdLevel level = hardware;
+  if (level_cap != nullptr) {
+    const std::string cap(level_cap);
+    SimdLevel parsed = hardware;
+    if (cap == "scalar") {
+      parsed = SimdLevel::kScalar;
+    } else if (cap == "avx2") {
+      parsed = SimdLevel::kAvx2;
+    } else if (cap == "avx512") {
+      parsed = SimdLevel::kAvx512;
+    }
+    if (parsed < level) level = parsed;
+  }
+  if (no_simd != nullptr && no_simd[0] != '\0' &&
+      std::string(no_simd) != "0") {
+    level = SimdLevel::kScalar;
+  }
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel active =
+      ApplySimdEnv(DetectSimdLevel(), std::getenv("FADESCHED_NO_SIMD"),
+                   std::getenv("FADESCHED_SIMD_LEVEL"));
+  return active;
+}
+
+SimdLevel ResolveSimdLevel(SimdLevel requested) {
+  if (requested == SimdLevel::kAuto) return ActiveSimdLevel();
+  const SimdLevel hardware = DetectSimdLevel();
+  return requested < hardware ? requested : hardware;
+}
+
+}  // namespace fadesched::channel

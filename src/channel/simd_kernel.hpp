@@ -1,0 +1,85 @@
+// Vectorized fast row kernel of the precision-ladder matrix build.
+//
+// One victim row of the dense interference matrix is
+//
+//   out[i] = ln(1 + a_i),   a_i = coeff · pw[i] / d((sx[i],sy[i]),(rx,ry))^α
+//
+// (or a_i itself for affectance matrices), evaluated over the engine's
+// contiguous SoA sender tables. Three dispatch tiers share one algebraic
+// definition — the "fast expression":
+//
+//   d² = fma(dy, dy, dx·dx)
+//   d^α via the HalfPowerKernel quarter-integer chain (RowKernelSpec)
+//   a  = cp / d^α
+//   ln(1+a): an 8-term alternating series for a < 2⁻⁶, otherwise an
+//   fdlibm-style log over u = 1+a with a low-order correction term
+//   alow·(2−u) recovering the rounding of 1+a; non-finite a passes
+//   through unchanged (the caller promotes those entries to the exact
+//   scalar path — that is how domain errors like coincident positions
+//   keep raising the same FS_CHECK as the exact build).
+//
+// kScalar and kAvx2 execute the fast expression with correctly-rounded
+// IEEE operations in the same order and are bit-identical to each other.
+// kAvx512 replaces divide/sqrt with rsqrt14/rcp14 seeds plus Newton
+// iterations (and one reciprocal refinement of d^-α against the chain's
+// d^α), which is a few ULP away from the other tiers; the precision
+// ladder in batch_interference verifies and bounds that gap.
+//
+// Determinism: lane grids are anchored at sender index 0 and the tail is
+// always evaluated with the scalar fast expression, so a row's bits
+// depend only on (spec, tables, victim, level) — never on tiling or
+// thread count.
+#pragma once
+
+#include <cstddef>
+
+#include "channel/simd_dispatch.hpp"
+
+namespace fadesched::channel::simd {
+
+/// HalfPowerKernel decomposition replicated lane-wise:
+/// d^α = (d²)^whole · (√d²)^use_sqrt · ((d²)^¼)^use_quarter.
+struct RowKernelSpec {
+  int whole = 0;
+  bool use_sqrt = false;
+  bool use_quarter = false;
+  bool affectance = false;  ///< emit a_i instead of ln(1 + a_i)
+};
+
+/// Fills out[0..n) with the fast expression for one victim. `level` is
+/// resolved via ResolveSimdLevel (pass a concrete tier to skip that).
+/// AVX-512 uses non-temporal stores when `out` is 64-byte aligned; call
+/// StoreFence() after the last row of a tile before publishing it.
+///
+/// Returns true iff some written entry is non-finite (a domain-promotion
+/// candidate). The flag is accumulated in-register during the fill, so
+/// the caller only pays a read-back scan of the O(N) row — which the
+/// streaming stores pushed out to DRAM — when there is something to
+/// promote; flag-false rows need no scan at all. The flag is a property
+/// of the written values alone, so it is identical across tiers.
+[[nodiscard]] bool FillFastRow(SimdLevel level, const RowKernelSpec& spec,
+                               const double* sx, const double* sy,
+                               const double* pw, double rx, double ry,
+                               double coeff, std::size_t n, double* out0);
+
+/// Two victim rows sharing one pass over the sender tables (the AVX-512
+/// tier's register blocking). Values are identical to two FillFastRow
+/// calls — pairing shares loads, never arithmetic. The returned flag
+/// covers both rows.
+[[nodiscard]] bool FillFastRowPair(SimdLevel level, const RowKernelSpec& spec,
+                                   const double* sx, const double* sy,
+                                   const double* pw, const double rx[2],
+                                   const double ry[2], const double coeff[2],
+                                   std::size_t n, double* out0, double* out1);
+
+/// The scalar fast expression for a single entry (cp = coeff·pw). This is
+/// the kScalar tier, every vector tier's tail, and the value the kAvx2
+/// tier reproduces bit-for-bit.
+[[nodiscard]] double ScalarFastEntry(const RowKernelSpec& spec, double dx,
+                                     double dy, double cp);
+
+/// Drains any pending non-temporal stores issued by FillFastRow[Pair]
+/// (no-op on tiers and platforms that never stream).
+void StoreFence();
+
+}  // namespace fadesched::channel::simd

@@ -105,7 +105,7 @@ bool ScenarioCache::IsWarm(const Fingerprint& fp) const {
 
 ScenarioCache::ScenarioPtr ScenarioCache::ObtainScenario(
     const Fingerprint& fp, const SchedulingRequest& request, bool* hit,
-    std::optional<channel::FactorBackend> backend_override) {
+    bool degrade_build) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = FindLocked(fp.scenario_hash, fp.canonical_scenario);
@@ -127,8 +127,15 @@ ScenarioCache::ScenarioPtr ScenarioCache::ObtainScenario(
   built->canonical_scenario = fp.canonical_scenario;
   channel::EngineOptions engine_options = options_.engine;
   engine_options.shared.reset();
-  if (backend_override.has_value()) {
-    engine_options.backend = *backend_override;
+  if (degrade_build) {
+    // Brownout: a matrix backend keeps matrix-speed queries but takes the
+    // ~10× cheaper SIMD ladder build; everything else degrades to the
+    // tables-only build as before.
+    if (engine_options.backend == channel::FactorBackend::kMatrix) {
+      engine_options.ladder.enabled = true;
+    } else {
+      engine_options.backend = channel::FactorBackend::kTables;
+    }
   }
   built->engine.emplace(built->links, built->params, engine_options);
   built->cost_bytes = EstimateScenarioBytes(*built, engine_options);

@@ -74,14 +74,15 @@ class ScenarioCache {
   /// Returns the memoized state for `fp`, building (links copied out of
   /// `request.scenario`, engine constructed with the configured backend)
   /// and inserting on miss. Sets *hit accordingly when non-null.
-  /// `backend_override` swaps the engine backend for this build only (the
-  /// brownout path degrades misses to the cheap kTables build); safe
-  /// because all backends are bit-identical, so whichever entry lands
-  /// first serves everyone correctly.
-  ScenarioPtr ObtainScenario(
-      const Fingerprint& fp, const SchedulingRequest& request,
-      bool* hit = nullptr,
-      std::optional<channel::FactorBackend> backend_override = std::nullopt);
+  /// `degrade_build` cheapens the engine build for this miss only (the
+  /// brownout path): a kMatrix backend keeps its matrix but builds it
+  /// through the SIMD precision ladder; any other backend drops to the
+  /// kTables tables-only build. Safe because the ladder stays inside the
+  /// backends' accuracy contract and schedules are identical, so
+  /// whichever entry lands first serves everyone correctly.
+  ScenarioPtr ObtainScenario(const Fingerprint& fp,
+                             const SchedulingRequest& request,
+                             bool* hit = nullptr, bool degrade_build = false);
 
   /// True when serving `fp` would be cheap: its response or its built
   /// scenario is resident. A pure peek — no LRU touch, no counters — so

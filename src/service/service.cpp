@@ -38,17 +38,16 @@ SchedulingResponse SchedulingService::HandleNow(
     }
 
     // Brownout: while the overload controller says the queue delay is
-    // critical, degrade this miss to the cheap kTables build. Responses
-    // stay byte-identical (the backends are exact), only the build cost
-    // changes; hits are untouched.
-    std::optional<channel::FactorBackend> backend_override;
-    if (batcher_ != nullptr && batcher_->Overload().Brownout()) {
-      backend_override = channel::FactorBackend::kTables;
-    }
+    // critical, degrade this miss to a cheap build — the SIMD precision
+    // ladder for matrix backends (keeps matrix-speed queries), the
+    // tables-only build otherwise. Schedules are identical and factors
+    // stay within the cross-backend ULP contract; hits are untouched.
+    const bool degrade_build =
+        batcher_ != nullptr && batcher_->Overload().Brownout();
     bool scenario_hit = false;
     const ScenarioCache::ScenarioPtr entry =
-        cache_->ObtainScenario(fp, request, &scenario_hit, backend_override);
-    if (!scenario_hit && backend_override.has_value()) {
+        cache_->ObtainScenario(fp, request, &scenario_hit, degrade_build);
+    if (!scenario_hit && degrade_build) {
       metrics_.brownout_builds.fetch_add(1, std::memory_order_relaxed);
     }
     channel::EngineOptions engine_options = entry->engine->Options();

@@ -1,0 +1,113 @@
+#include "util/page_recycler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace fadesched::util {
+namespace {
+
+void* RawAllocate(std::size_t bytes, std::size_t alignment) {
+  return ::operator new(bytes, std::align_val_t(alignment));
+}
+
+void RawFree(const PageRecycler::Block& block) noexcept {
+  ::operator delete(block.ptr, std::align_val_t(block.alignment));
+}
+
+}  // namespace
+
+PageRecycler::PageRecycler() {
+#if defined(__SANITIZE_ADDRESS__)
+  enabled_ = false;  // reuse would defeat use-after-free poisoning
+#else
+  const char* env = std::getenv("FADESCHED_NO_RECYCLE");
+  enabled_ = env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0;
+#endif
+  // Pre-size so the noexcept Release() never needs a growing push_back.
+  free_.reserve(kMaxCachedBlocks + 1);
+}
+
+PageRecycler& PageRecycler::Instance() {
+  static PageRecycler* instance = new PageRecycler;  // leaked: see header
+  return *instance;
+}
+
+void* PageRecycler::Acquire(std::size_t bytes, std::size_t alignment) {
+  if (!enabled_) return RawAllocate(bytes, alignment);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Best fit: the smallest cached block that holds the request without
+    // pinning gross overcapacity to a long-lived small buffer.
+    std::size_t best = free_.size();
+    for (std::size_t k = 0; k < free_.size(); ++k) {
+      if (free_[k].alignment != alignment) continue;
+      if (free_[k].bytes < bytes || free_[k].bytes / 4 > bytes) continue;
+      if (best == free_.size() || free_[k].bytes < free_[best].bytes) {
+        best = k;
+      }
+    }
+    if (best != free_.size()) {
+      const Block block = free_[best];
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+      live_.emplace(block.ptr, block);
+      return block.ptr;
+    }
+  }
+  void* ptr = RawAllocate(bytes, alignment);
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_.emplace(ptr, Block{ptr, bytes, alignment});
+  return ptr;
+}
+
+void PageRecycler::Release(void* block, std::size_t alignment) noexcept {
+  if (block == nullptr) return;
+  if (!enabled_) {
+    RawFree(Block{block, 0, alignment});
+    return;
+  }
+  Block spill[kMaxCachedBlocks + 1];
+  std::size_t spill_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = live_.find(block);
+    if (it == live_.end()) {
+      // Not ours (should not happen) — free conservatively.
+      RawFree(Block{block, 0, alignment});
+      return;
+    }
+    free_.push_back(it->second);  // capacity reserved in the constructor
+    live_.erase(it);
+    // Evict smallest-first until within the block/byte budget: the big
+    // blocks are the ones whose page faults are worth avoiding.
+    std::sort(free_.begin(), free_.end(),
+              [](const Block& a, const Block& b) { return a.bytes < b.bytes; });
+    std::size_t total = 0;
+    for (const Block& b : free_) total += b.bytes;
+    while (!free_.empty() && (free_.size() > kMaxCachedBlocks ||
+                              total > kMaxCachedBytes)) {
+      spill[spill_count++] = free_.front();
+      total -= free_.front().bytes;
+      free_.erase(free_.begin());
+    }
+  }
+  for (std::size_t k = 0; k < spill_count; ++k) RawFree(spill[k]);
+}
+
+std::size_t PageRecycler::CachedBytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const Block& b : free_) total += b.bytes;
+  return total;
+}
+
+void PageRecycler::Trim() {
+  std::vector<Block> spill;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spill.swap(free_);
+  }
+  for (const Block& b : spill) RawFree(b);
+}
+
+}  // namespace fadesched::util

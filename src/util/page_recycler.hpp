@@ -1,0 +1,132 @@
+// Process-wide cache of huge allocations. glibc serves blocks this large
+// straight from mmap and hands them back to the kernel on free, so every
+// rebuild of an O(N²) matrix pays the page-fault cost of touching
+// hundreds of MB of fresh zero pages again (~250 ms for the 512 MB
+// N=8000 factor matrix on this host — more than the SIMD fill itself).
+// Recycling the last few freed blocks keeps the pages resident: a rebuild
+// of the same or smaller size skips the fault storm entirely.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace fadesched::util {
+
+/// Bounded free-cache for over-aligned blocks of at least kMinBytes.
+///
+/// At most kMaxCachedBlocks blocks / kMaxCachedBytes total are parked;
+/// anything beyond that is released to the OS immediately, and a cached
+/// block is only handed out again when it wastes less than 4× the
+/// requested size. The cache is disabled under AddressSanitizer (reuse
+/// defeats use-after-free poisoning) and by FADESCHED_NO_RECYCLE=1.
+class PageRecycler {
+ public:
+  static constexpr std::size_t kMinBytes = std::size_t{1} << 20;
+  static constexpr std::size_t kMaxCachedBlocks = 2;
+  static constexpr std::size_t kMaxCachedBytes = std::size_t{2} << 30;
+
+  /// The process-wide instance (leaked on purpose: buffers owned by
+  /// statics may release after ordinary static destructors have run).
+  static PageRecycler& Instance();
+
+  /// An `alignment`-aligned block of at least `bytes`, recycled when a
+  /// suitable cached block exists. Pair every call with Release().
+  [[nodiscard]] void* Acquire(std::size_t bytes, std::size_t alignment);
+
+  /// Returns a block from Acquire() to the cache (or the OS).
+  void Release(void* block, std::size_t alignment) noexcept;
+
+  /// False when caching is compiled/configured out (AddressSanitizer or
+  /// FADESCHED_NO_RECYCLE=1): Acquire/Release degrade to plain new/delete.
+  [[nodiscard]] bool Enabled() const { return enabled_; }
+
+  /// Bytes currently parked in the free cache (test hook).
+  [[nodiscard]] std::size_t CachedBytes();
+
+  /// Drops every cached block back to the OS.
+  void Trim();
+
+  struct Block {
+    void* ptr = nullptr;
+    std::size_t bytes = 0;
+    std::size_t alignment = 0;
+  };
+
+ private:
+  PageRecycler();
+
+  bool enabled_ = true;
+  std::mutex mutex_;
+  std::vector<Block> free_;
+  // Capacity of every live recycled block: a reused block may be larger
+  // than the size the caller asked for, so Release() cannot trust the
+  // container's own byte count.
+  std::unordered_map<void*, Block> live_;
+};
+
+/// Allocator for huge SoA/matrix buffers: over-aligned like
+/// util::AlignedAllocator, backed by the PageRecycler for blocks of at
+/// least PageRecycler::kMinBytes, and — deliberately — default-
+/// initializing in construct(). For trivially-constructible element
+/// types, `resize(n)` therefore leaves new elements UNINITIALIZED: an
+/// O(N²) buffer whose every entry is about to be overwritten must not be
+/// zero-filled first (that is a full extra write pass over the working
+/// set). Use `assign(n, value)` when a background value is required.
+template <class T, std::size_t Alignment>
+struct RecyclingAlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  RecyclingAlignedAllocator() noexcept = default;
+  template <class U>
+  RecyclingAlignedAllocator(
+      const RecyclingAlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = RecyclingAlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes >= PageRecycler::kMinBytes) {
+      return static_cast<T*>(PageRecycler::Instance().Acquire(bytes, Alignment));
+    }
+    return static_cast<T*>(::operator new(bytes, std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n * sizeof(T) >= PageRecycler::kMinBytes) {
+      PageRecycler::Instance().Release(p, Alignment);
+      return;
+    }
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(static_cast<Args&&>(args)...);
+  }
+  template <class U>
+  void construct(U* p) {
+    ::new (static_cast<void*>(p)) U;  // default-init: trivial T stays raw
+  }
+
+  friend bool operator==(const RecyclingAlignedAllocator&,
+                         const RecyclingAlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const RecyclingAlignedAllocator&,
+                         const RecyclingAlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace fadesched::util

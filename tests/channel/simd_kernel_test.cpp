@@ -1,0 +1,369 @@
+// The vectorized fast row kernel: dispatch-tier contracts (AVX2 ≡ scalar
+// bit-for-bit, AVX-512 within the ULP band), environment-override
+// parsing, and kernel edge cases — generic α fallback, large quarter-
+// integer α, near-zero and huge distances, subnormal gains, duplicate
+// and coincident positions.
+#include "channel/simd_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "channel/batch_interference.hpp"
+#include "channel/simd_dispatch.hpp"
+#include "mathx/ulp.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::channel {
+namespace {
+
+constexpr std::uint64_t kUlpTolerance = 16;
+
+/// ULP distance that treats bit-identical values (including ±inf and a
+/// shared NaN pattern) as zero — UlpDistance alone saturates on
+/// non-finite inputs.
+std::uint64_t UlpOrBitEqual(double got, double want) {
+  if (std::bit_cast<std::uint64_t>(got) == std::bit_cast<std::uint64_t>(want)) {
+    return 0;
+  }
+  return mathx::UlpDistance(got, want);
+}
+
+/// All dispatch tiers this machine can actually execute.
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar};
+  if (DetectSimdLevel() >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  if (DetectSimdLevel() >= SimdLevel::kAvx512) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+  return levels;
+}
+
+struct Soa {
+  std::vector<double> sx, sy, pw;
+};
+
+Soa RandomSoa(std::uint64_t seed, std::size_t n, double scale = 500.0) {
+  rng::Xoshiro256 gen(seed);
+  const auto uniform = [&gen](double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(gen.Next() >> 11) * 0x1.0p-53);
+  };
+  Soa soa;
+  for (std::size_t i = 0; i < n; ++i) {
+    soa.sx.push_back(uniform(0.0, scale));
+    soa.sy.push_back(uniform(0.0, scale));
+    soa.pw.push_back(uniform(0.5, 2.0));
+  }
+  return soa;
+}
+
+simd::RowKernelSpec SpecFor(double alpha, bool affectance = false) {
+  const HalfPowerKernel kernel(alpha);
+  EXPECT_TRUE(kernel.IsSpecialized()) << "alpha=" << alpha;
+  return {kernel.WholeSteps(), kernel.UsesSqrt(), kernel.UsesQuarter(),
+          affectance};
+}
+
+TEST(SimdKernelTest, EveryTierWithinBandOfExactExpression) {
+  // Exact reference: the kTables expression with the plain (non-fma) d²
+  // and libm log1p. The fast kernel reorders the arithmetic, so entries
+  // may differ — but never beyond the promotion band.
+  for (double alpha : {2.5, 3.0, 4.0, 7.0, 10.0}) {
+    const HalfPowerKernel kernel(alpha);
+    const simd::RowKernelSpec spec = SpecFor(alpha);
+    const std::size_t n = 97;  // odd: exercises the scalar tail
+    const Soa soa = RandomSoa(7 * static_cast<std::uint64_t>(alpha * 4), n);
+    const double rx = 250.0, ry = 240.0, coeff = 1.75;
+    for (SimdLevel level : SupportedLevels()) {
+      std::vector<double> out(n, 0.0);
+      const bool bad =
+          simd::FillFastRow(level, spec, soa.sx.data(), soa.sy.data(),
+                            soa.pw.data(), rx, ry, coeff, n, out.data());
+      simd::StoreFence();
+      EXPECT_FALSE(bad) << "clean geometry must not flag the row, level="
+                        << SimdLevelName(level);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double dx = soa.sx[i] - rx;
+        const double dy = soa.sy[i] - ry;
+        const double a =
+            coeff * soa.pw[i] / kernel.DistPowAlpha(dx * dx + dy * dy);
+        EXPECT_LE(UlpOrBitEqual(out[i], std::log1p(a)), kUlpTolerance)
+            << "alpha=" << alpha << " level=" << SimdLevelName(level)
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, Avx2IsBitIdenticalToScalar) {
+  if (DetectSimdLevel() < SimdLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  for (double alpha : {2.5, 3.0, 3.5, 4.0, 10.0}) {
+    for (bool affectance : {false, true}) {
+      const simd::RowKernelSpec spec = SpecFor(alpha, affectance);
+      const std::size_t n = 131;
+      const Soa soa = RandomSoa(991, n);
+      std::vector<double> scalar(n, 0.0), avx2(n, 0.0);
+      const bool bad_scalar = simd::FillFastRow(
+          SimdLevel::kScalar, spec, soa.sx.data(), soa.sy.data(),
+          soa.pw.data(), 260.0, 255.5, 2.25, n, scalar.data());
+      const bool bad_avx2 = simd::FillFastRow(
+          SimdLevel::kAvx2, spec, soa.sx.data(), soa.sy.data(), soa.pw.data(),
+          260.0, 255.5, 2.25, n, avx2.data());
+      EXPECT_EQ(bad_scalar, bad_avx2);
+      EXPECT_EQ(0, std::memcmp(scalar.data(), avx2.data(), n * sizeof(double)))
+          << "alpha=" << alpha << " affectance=" << affectance;
+    }
+  }
+}
+
+TEST(SimdKernelTest, RowPairMatchesTwoSingleRows) {
+  const simd::RowKernelSpec spec = SpecFor(3.0);
+  const std::size_t n = 61;
+  const Soa soa = RandomSoa(1717, n);
+  const double rx[2] = {100.0, 380.0};
+  const double ry[2] = {90.0, 410.0};
+  const double coeff[2] = {1.5, 0.75};
+  for (SimdLevel level : SupportedLevels()) {
+    std::vector<double> single0(n, 0.0), single1(n, 0.0);
+    std::vector<double> pair0(n, 0.0), pair1(n, 0.0);
+    const bool bad0 =
+        simd::FillFastRow(level, spec, soa.sx.data(), soa.sy.data(),
+                          soa.pw.data(), rx[0], ry[0], coeff[0], n,
+                          single0.data());
+    const bool bad1 =
+        simd::FillFastRow(level, spec, soa.sx.data(), soa.sy.data(),
+                          soa.pw.data(), rx[1], ry[1], coeff[1], n,
+                          single1.data());
+    const bool bad_pair = simd::FillFastRowPair(
+        level, spec, soa.sx.data(), soa.sy.data(), soa.pw.data(), rx, ry,
+        coeff, n, pair0.data(), pair1.data());
+    simd::StoreFence();
+    EXPECT_EQ(bad_pair, bad0 || bad1) << SimdLevelName(level);
+    EXPECT_EQ(0, std::memcmp(single0.data(), pair0.data(), n * sizeof(double)))
+        << SimdLevelName(level);
+    EXPECT_EQ(0, std::memcmp(single1.data(), pair1.data(), n * sizeof(double)))
+        << SimdLevelName(level);
+  }
+}
+
+TEST(SimdKernelTest, NonFiniteFastValuesPassThrough) {
+  // d² = 0 (duplicate position) must reach the caller as a non-finite
+  // entry at every tier — that is the promotion signal the ladder's
+  // domain rung (and its FS_CHECK re-raise) depends on.
+  const simd::RowKernelSpec spec = SpecFor(3.0);
+  const std::size_t n = 9;
+  Soa soa = RandomSoa(55, n);
+  soa.sx[4] = 123.0;
+  soa.sy[4] = 321.0;
+  for (SimdLevel level : SupportedLevels()) {
+    std::vector<double> out(n, 0.0);
+    const bool bad =
+        simd::FillFastRow(level, spec, soa.sx.data(), soa.sy.data(),
+                          soa.pw.data(), 123.0, 321.0, 1.0, n, out.data());
+    simd::StoreFence();
+    EXPECT_TRUE(bad) << "non-finite entry must flag the row, level="
+                     << SimdLevelName(level);
+    EXPECT_FALSE(std::isfinite(out[4])) << SimdLevelName(level);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != 4) {
+        EXPECT_TRUE(std::isfinite(out[i])) << SimdLevelName(level);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ExtremeDistancesAndSubnormalGains) {
+  // Near-zero distance (subnormal d²), huge distance (d^α overflow), and
+  // a subnormal power product: each tier must either match the exact
+  // expression in the band or flag the lane non-finite for promotion —
+  // silently wrong finite values are the one forbidden outcome.
+  const HalfPowerKernel kernel(3.0);
+  const simd::RowKernelSpec spec = SpecFor(3.0);
+  const std::size_t n = 8;
+  Soa soa = RandomSoa(77, n);
+  soa.sx[1] = 1e-160;  // d² = 1e-320: subnormal
+  soa.sy[1] = 0.0;
+  soa.sx[3] = 1e150;  // d^3 overflows
+  soa.sy[3] = 0.0;
+  soa.pw[5] = 1e-290;  // subnormal affectance
+  for (SimdLevel level : SupportedLevels()) {
+    std::vector<double> out(n, 0.0);
+    const bool bad =
+        simd::FillFastRow(level, spec, soa.sx.data(), soa.sy.data(),
+                          soa.pw.data(), 0.0, 0.0, 1e-20, n, out.data());
+    simd::StoreFence();
+    bool any_bad = false;
+    for (std::size_t i = 0; i < n; ++i) any_bad |= !std::isfinite(out[i]);
+    EXPECT_EQ(bad, any_bad) << SimdLevelName(level);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(out[i])) continue;  // flagged for promotion: fine
+      const double dx = soa.sx[i];
+      const double dy = soa.sy[i];
+      const double a =
+          1e-20 * soa.pw[i] / kernel.DistPowAlpha(dx * dx + dy * dy);
+      EXPECT_LE(UlpOrBitEqual(out[i], std::log1p(a)), kUlpTolerance)
+          << SimdLevelName(level) << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, EnvOverridesOnlyCap) {
+  const SimdLevel hw = SimdLevel::kAvx512;
+  EXPECT_EQ(ApplySimdEnv(hw, nullptr, nullptr), SimdLevel::kAvx512);
+  EXPECT_EQ(ApplySimdEnv(hw, "1", nullptr), SimdLevel::kScalar);
+  EXPECT_EQ(ApplySimdEnv(hw, "0", nullptr), SimdLevel::kAvx512);
+  EXPECT_EQ(ApplySimdEnv(hw, "", nullptr), SimdLevel::kAvx512);
+  EXPECT_EQ(ApplySimdEnv(hw, nullptr, "avx2"), SimdLevel::kAvx2);
+  EXPECT_EQ(ApplySimdEnv(hw, nullptr, "scalar"), SimdLevel::kScalar);
+  EXPECT_EQ(ApplySimdEnv(hw, nullptr, "bogus"), SimdLevel::kAvx512);
+  // The cap cannot raise above hardware.
+  EXPECT_EQ(ApplySimdEnv(SimdLevel::kAvx2, nullptr, "avx512"),
+            SimdLevel::kAvx2);
+  // NO_SIMD wins over a higher cap.
+  EXPECT_EQ(ApplySimdEnv(hw, "1", "avx512"), SimdLevel::kScalar);
+}
+
+TEST(SimdDispatchTest, ResolveClampsToHardware) {
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_LE(ResolveSimdLevel(SimdLevel::kAvx512), DetectSimdLevel());
+  EXPECT_LE(ResolveSimdLevel(SimdLevel::kAuto), DetectSimdLevel());
+  EXPECT_NE(ResolveSimdLevel(SimdLevel::kAuto), SimdLevel::kAuto);
+}
+
+// ---------------------------------------------------------------------------
+// Golden edge cases through the engine (the kernel's real consumer).
+// ---------------------------------------------------------------------------
+
+net::LinkSet RandomLinks(std::uint64_t seed, std::size_t n = 40) {
+  rng::Xoshiro256 gen(seed);
+  return net::MakeUniformScenario(n, {}, gen);
+}
+
+EngineOptions LadderOptions() {
+  EngineOptions options;
+  options.backend = FactorBackend::kMatrix;
+  options.ladder.enabled = true;
+  return options;
+}
+
+TEST(SimdKernelGoldenTest, GenericAlphaFallsBackToExactBuild) {
+  const net::LinkSet links = RandomLinks(3001);
+  ChannelParams params;
+  params.alpha = 2.01;  // not a quarter integer
+  const InterferenceEngine fast(links, params, LadderOptions());
+  EXPECT_FALSE(fast.Ladder().active);
+  ASSERT_NE(fast.Ladder().fallback_reason, nullptr);
+  EngineOptions exact_options;
+  exact_options.backend = FactorBackend::kMatrix;
+  const InterferenceEngine exact(links, params, exact_options);
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_DOUBLE_EQ(fast.Factor(i, j), exact.Factor(i, j));
+    }
+  }
+}
+
+TEST(SimdKernelGoldenTest, LargeQuarterIntegerAlphasStayInBand) {
+  // The ladder's hard guarantee is vs. the exact kMatrix build: within
+  // ulp_band everywhere. Vs. the reference calculator two budgets stack —
+  // the ladder band plus the exact build's own rounding distance from the
+  // pow-ratio formulation (itself a handful of ULP, growing with the
+  // chain length at large α) — so that check gets the summed envelope.
+  for (double alpha : {7.0, 10.0}) {
+    const net::LinkSet links = RandomLinks(3100 + static_cast<int>(alpha));
+    ChannelParams params;
+    params.alpha = alpha;
+    const InterferenceEngine fast(links, params, LadderOptions());
+    EXPECT_TRUE(fast.Ladder().active) << alpha;
+    EngineOptions exact_options;
+    exact_options.backend = FactorBackend::kMatrix;
+    const InterferenceEngine exact(links, params, exact_options);
+    EngineOptions calc_options;
+    calc_options.backend = FactorBackend::kCalculator;
+    const InterferenceEngine calc(links, params, calc_options);
+    for (net::LinkId i = 0; i < links.Size(); ++i) {
+      for (net::LinkId j = 0; j < links.Size(); ++j) {
+        EXPECT_LE(UlpOrBitEqual(fast.Factor(i, j), exact.Factor(i, j)),
+                  kUlpTolerance)
+            << "alpha=" << alpha << " i=" << i << " j=" << j;
+        EXPECT_LE(UlpOrBitEqual(fast.Factor(i, j), calc.Factor(i, j)),
+                  2 * kUlpTolerance)
+            << "alpha=" << alpha << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelGoldenTest, CoincidentPositionsThrowInFastBuild) {
+  // An interfering sender sitting exactly on a victim's receiver must
+  // raise the same FS_CHECK as the exact build — the fast kernel routes
+  // it through the non-finite promotion scan, whose exact recomputation
+  // re-raises.
+  net::LinkSet links;
+  links.Add({{0.0, 0.0}, {10.0, 0.0}});
+  links.Add({{10.0, 0.0}, {20.0, 0.0}});  // sender on link 0's receiver
+  ChannelParams params;
+  EXPECT_THROW(InterferenceEngine(links, params, LadderOptions()),
+               util::CheckFailure);
+  EngineOptions exact_options;
+  exact_options.backend = FactorBackend::kMatrix;
+  EXPECT_THROW(InterferenceEngine(links, params, exact_options),
+               util::CheckFailure);
+}
+
+TEST(SimdKernelGoldenTest, DuplicateLinksAgreeWithExactBuild) {
+  // Two identical links (same sender, same receiver — a duplicated
+  // request) are legal: cross distances equal the link length.
+  net::LinkSet links;
+  links.Add({{0.0, 0.0}, {10.0, 0.0}});
+  links.Add({{0.0, 0.0}, {10.0, 0.0}});
+  links.Add({{100.0, 5.0}, {110.0, 5.0}});
+  ChannelParams params;
+  const InterferenceEngine fast(links, params, LadderOptions());
+  EngineOptions calc_options;
+  calc_options.backend = FactorBackend::kCalculator;
+  const InterferenceEngine calc(links, params, calc_options);
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_LE(UlpOrBitEqual(fast.Factor(i, j), calc.Factor(i, j)),
+                kUlpTolerance)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(SimdKernelGoldenTest, SubnormalGainsAgreeWithExactBuild) {
+  // A vanishing per-link transmit power drives affectances into the
+  // subnormal range on some victims and enormous victim coefficients on
+  // others; relative-error arithmetic keeps both inside the band (or
+  // promotes).
+  net::LinkSet links;
+  net::Link weak{{0.0, 0.0}, {10.0, 0.0}};
+  weak.tx_power = 1e-290;
+  links.Add(weak);
+  links.Add({{200.0, 0.0}, {210.0, 0.0}});
+  links.Add({{50.0, 80.0}, {55.0, 90.0}});
+  ChannelParams params;
+  const InterferenceEngine fast(links, params, LadderOptions());
+  EngineOptions exact_options;
+  exact_options.backend = FactorBackend::kMatrix;
+  const InterferenceEngine exact(links, params, exact_options);
+  for (net::LinkId i = 0; i < links.Size(); ++i) {
+    for (net::LinkId j = 0; j < links.Size(); ++j) {
+      EXPECT_LE(UlpOrBitEqual(fast.Factor(i, j), exact.Factor(i, j)),
+                kUlpTolerance)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::channel

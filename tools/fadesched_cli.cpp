@@ -513,8 +513,8 @@ OverloadFlags AddOverloadFlags(util::CliParser& cli) {
       "requests first) | all");
   flags.brownout = &cli.AddBool(
       "brownout", true,
-      "degrade cold engine builds to the fast tables backend under "
-      "critical queue delay (responses stay byte-identical)");
+      "degrade cold engine builds under critical queue delay (matrix "
+      "backends: SIMD precision-ladder build; others: tables backend)");
   return flags;
 }
 
