@@ -77,6 +77,73 @@ InterferenceEngine::InterferenceEngine(const net::LinkSet& links,
   }
 }
 
+InterferenceEngine::InterferenceEngine(
+    std::shared_ptr<const InterferenceEngine> parent,
+    const net::LinkSet& subset_links, std::span<const net::LinkId> ids)
+    : links_(&subset_links),
+      options_(parent->options_),
+      calc_(subset_links, parent->Params()),
+      det_(subset_links, parent->Params()),
+      kernel_(parent->kernel_),
+      n_(ids.size()) {
+  FS_CHECK_MSG(subset_links.Size() == ids.size(),
+               "subset view: LinkSet size does not match id count");
+  // A view must never pin a third engine alive, and has nothing left to
+  // build in parallel.
+  options_.shared.reset();
+  options_.pool = nullptr;
+
+  sender_x_.resize(n_);
+  sender_y_.resize(n_);
+  receiver_x_.resize(n_);
+  receiver_y_.resize(n_);
+  power_.resize(n_);
+  victim_coeff_.resize(n_);
+  noise_factor_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const net::LinkId id = ids[k];
+    FS_CHECK_MSG(id < parent->n_, "subset view: link id out of parent range");
+    // `subset_links` must be parent->Links().Subset(ids): Subset() copies
+    // coordinates bitwise, so exact equality is the correct test.
+    const geom::Vec2 s = subset_links.Sender(k);
+    const geom::Vec2 r = subset_links.Receiver(k);
+    FS_CHECK_MSG(s.x == parent->sender_x_[id] && s.y == parent->sender_y_[id] &&
+                     r.x == parent->receiver_x_[id] &&
+                     r.y == parent->receiver_y_[id],
+                 "subset view: link geometry does not match parent");
+    FS_CHECK_MSG(subset_links.EffectiveTxPower(k, parent->Params().tx_power) ==
+                     parent->power_[id],
+                 "subset view: link power does not match parent");
+    sender_x_[k] = parent->sender_x_[id];
+    sender_y_[k] = parent->sender_y_[id];
+    receiver_x_[k] = parent->receiver_x_[id];
+    receiver_y_[k] = parent->receiver_y_[id];
+    power_[k] = parent->power_[id];
+    victim_coeff_[k] = parent->victim_coeff_[id];
+    noise_factor_[k] = parent->noise_factor_[id];
+  }
+  max_power_ =
+      n_ == 0 ? 0.0 : *std::max_element(power_.begin(), power_.end());
+
+  // The certified cutoff slack bounds per-victim neglected mass over the
+  // FULL interferer set, so it stays a sound (if looser) bound for any
+  // subset; the ladder stats describe the parent's build the view reads.
+  certified_slack_ = parent->certified_slack_;
+  ladder_stats_ = parent->ladder_stats_;
+
+  // Views of views collapse to one indirection: remap through the
+  // intermediate view and adopt its parent, so a chain of per-slot
+  // subsets never degrades query cost.
+  if (parent->IsSubsetView()) {
+    remap_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) remap_[k] = parent->remap_[ids[k]];
+    parent_ = parent->parent_;
+  } else {
+    remap_.assign(ids.begin(), ids.end());
+    parent_ = std::move(parent);
+  }
+}
+
 double InterferenceEngine::Factor(net::LinkId interferer,
                                   net::LinkId victim) const {
   if (interferer == victim) return 0.0;
@@ -84,6 +151,19 @@ double InterferenceEngine::Factor(net::LinkId interferer,
     case FactorBackend::kCalculator:
       return calc_.Factor(interferer, victim);
     case FactorBackend::kMatrix:
+      if (parent_ != nullptr) {
+        // Subset view: remap into the parent's materialized data.
+        const net::LinkId pi = remap_[interferer];
+        const net::LinkId pj = remap_[victim];
+        if (parent_->factor_matrix_) {
+          return parent_->factor_matrix_->Factor(pi, pj);
+        }
+        if (!parent_->affectance_data_.empty()) {
+          return std::log1p(
+              parent_->affectance_data_[pj * parent_->n_ + pi]);
+        }
+        break;  // parent matrix elided (empty set) — fall through to tables
+      }
       if (factor_matrix_) return factor_matrix_->Factor(interferer, victim);
       if (!affectance_data_.empty()) {
         return std::log1p(affectance_data_[victim * n_ + interferer]);
@@ -102,6 +182,13 @@ double InterferenceEngine::Affectance(net::LinkId interferer,
     case FactorBackend::kCalculator:
       return det_.Affectance(interferer, victim);
     case FactorBackend::kMatrix:
+      if (parent_ != nullptr) {
+        if (!parent_->affectance_data_.empty()) {
+          return parent_->affectance_data_[remap_[victim] * parent_->n_ +
+                                           remap_[interferer]];
+        }
+        break;  // factor matrix materialized — recompute from tables
+      }
       if (!affectance_data_.empty()) {
         return affectance_data_[victim * n_ + interferer];
       }
@@ -469,6 +556,14 @@ void IncrementalFeasibility::Remove(net::LinkId interferer) {
 double IncrementalFeasibility::SumWith(net::LinkId extra,
                                        net::LinkId victim) const {
   return Sum(victim) + (extra == victim ? 0.0 : Term(extra, victim));
+}
+
+std::shared_ptr<const InterferenceEngine> MakeSubsetEngineView(
+    std::shared_ptr<const InterferenceEngine> parent,
+    const net::LinkSet& subset_links, std::span<const net::LinkId> ids) {
+  FS_CHECK_MSG(parent != nullptr, "subset view requires a parent engine");
+  return std::make_shared<const InterferenceEngine>(std::move(parent),
+                                                    subset_links, ids);
 }
 
 const InterferenceEngine& ObtainEngine(

@@ -219,6 +219,19 @@ class InterferenceEngine {
   InterferenceEngine(const net::LinkSet& links, const ChannelParams& params,
                      EngineOptions options = {});
 
+  /// Warm subset view (see MakeSubsetEngineView): an engine over
+  /// `subset_links` — which must equal parent->Links().Subset(ids) — whose
+  /// per-link tables are gathered from `parent` in O(|ids|) and whose
+  /// kMatrix queries remap into the parent's materialized matrix instead
+  /// of rebuilding O(|ids|²) factors. With the parent built by the exact
+  /// tile loop (ladder off), every query is bit-identical to a cold
+  /// engine built over `subset_links` with the same options; a laddered
+  /// parent stays within the ladder's ULP band. `subset_links` must
+  /// outlive the view; the parent is kept alive by the shared_ptr.
+  InterferenceEngine(std::shared_ptr<const InterferenceEngine> parent,
+                     const net::LinkSet& subset_links,
+                     std::span<const net::LinkId> ids);
+
   [[nodiscard]] const net::LinkSet& Links() const { return *links_; }
   [[nodiscard]] const ChannelParams& Params() const { return calc_.Params(); }
   [[nodiscard]] FactorBackend Backend() const { return options_.backend; }
@@ -267,6 +280,19 @@ class InterferenceEngine {
   /// What the precision ladder did during this engine's kMatrix build
   /// (all-zero / inactive for other backends or when the ladder is off).
   [[nodiscard]] const LadderStats& Ladder() const { return ladder_stats_; }
+
+  /// True when this engine is a warm subset view over a parent engine.
+  [[nodiscard]] bool IsSubsetView() const { return parent_ != nullptr; }
+
+  /// The parent of a subset view (nullptr for a directly built engine).
+  [[nodiscard]] const InterferenceEngine* Parent() const {
+    return parent_.get();
+  }
+
+  /// Parent link id backing subset id `i` (valid only for subset views).
+  [[nodiscard]] net::LinkId ParentId(net::LinkId i) const {
+    return remap_[i];
+  }
 
  private:
   friend class IncrementalFeasibility;
@@ -334,7 +360,22 @@ class InterferenceEngine {
   FactorBuffer affectance_data_;  // kMatrix + affectance_matrix
   double certified_slack_ = 0.0;
   LadderStats ladder_stats_;
+
+  // Subset-view state: the parent engine (kept alive) and the map from
+  // this engine's link ids to the parent's. Empty for direct builds.
+  std::shared_ptr<const InterferenceEngine> parent_;
+  std::vector<net::LinkId> remap_;
 };
+
+/// Builds a warm subset view of `parent` over `subset_links` =
+/// parent->Links().Subset(ids). O(|ids|) — no matrix rebuild. The view is
+/// returned as a shared_ptr so it can ride EngineOptions::shared straight
+/// into a scheduler: set `options.shared = view` with the view's own
+/// Options() and pass `subset_links` to Scheduler::Schedule, and
+/// ObtainEngine reuses the view instead of rebuilding factors per slot.
+std::shared_ptr<const InterferenceEngine> MakeSubsetEngineView(
+    std::shared_ptr<const InterferenceEngine> parent,
+    const net::LinkSet& subset_links, std::span<const net::LinkId> ids);
 
 /// Per-receiver Neumaier running sums of interference (Rayleigh factor or
 /// deterministic affectance) from a dynamically maintained transmitter

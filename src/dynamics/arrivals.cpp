@@ -1,0 +1,153 @@
+#include "dynamics/arrivals.hpp"
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace fadesched::dynamics {
+
+namespace {
+
+// Per-link substream salt — a distinct odd constant per consumer keeps the
+// dynamics layer's streams (arrivals / churn / fading) disjoint even when
+// they share the user-facing seed.
+constexpr std::uint64_t kArrivalSalt = 0x9e6c63d0876a3f35ULL;
+
+}  // namespace
+
+const char* ArrivalFamilyName(ArrivalFamily family) {
+  switch (family) {
+    case ArrivalFamily::kBernoulli: return "bernoulli";
+    case ArrivalFamily::kPoissonBatch: return "poisson";
+    case ArrivalFamily::kOnOff: return "onoff";
+    case ArrivalFamily::kLeakyBucket: return "leaky";
+  }
+  return "?";
+}
+
+bool ParseArrivalFamily(std::string_view name, ArrivalFamily& out) {
+  if (name == "bernoulli") {
+    out = ArrivalFamily::kBernoulli;
+  } else if (name == "poisson") {
+    out = ArrivalFamily::kPoissonBatch;
+  } else if (name == "onoff") {
+    out = ArrivalFamily::kOnOff;
+  } else if (name == "leaky") {
+    out = ArrivalFamily::kLeakyBucket;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<ArrivalFamily> AllArrivalFamilies() {
+  return {ArrivalFamily::kBernoulli, ArrivalFamily::kPoissonBatch,
+          ArrivalFamily::kOnOff, ArrivalFamily::kLeakyBucket};
+}
+
+void ArrivalSpec::Validate() const {
+  FS_CHECK_MSG(rate >= 0.0 && std::isfinite(rate),
+               "arrival rate must be finite and >= 0");
+  switch (family) {
+    case ArrivalFamily::kBernoulli:
+      FS_CHECK_MSG(rate <= 1.0, "Bernoulli arrival rate must be <= 1");
+      break;
+    case ArrivalFamily::kPoissonBatch:
+      break;
+    case ArrivalFamily::kOnOff:
+      FS_CHECK_MSG(duty_cycle > 0.0 && duty_cycle < 1.0,
+                   "on/off duty cycle must be in (0, 1)");
+      FS_CHECK_MSG(rate <= duty_cycle,
+                   "on/off peak rate/duty exceeds 1 packet per slot");
+      FS_CHECK_MSG(mean_burst_slots >= 1.0,
+                   "mean burst length must be >= 1 slot");
+      break;
+    case ArrivalFamily::kLeakyBucket:
+      FS_CHECK_MSG(bucket_depth >= 1.0, "bucket depth must be >= 1 packet");
+      FS_CHECK_MSG(release_probability >= 0.0 && release_probability <= 1.0,
+                   "release probability must be in [0, 1]");
+      break;
+  }
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, std::size_t num_links,
+                               std::uint64_t seed)
+    : spec_(spec) {
+  spec_.Validate();
+  states_.reserve(num_links);
+  for (std::size_t i = 0; i < num_links; ++i) {
+    rng::SplitMix64 mix(seed ^ (kArrivalSalt * (i + 1)));
+    LinkState state{rng::Xoshiro256(mix.Next()), /*on=*/true, /*tokens=*/0.0};
+    if (spec_.family == ArrivalFamily::kOnOff) {
+      // Start each modulator in its stationary distribution so the
+      // measured rate has no initial-state transient.
+      state.on = rng::UniformUnit(state.gen) < spec_.duty_cycle;
+    }
+    states_.push_back(state);
+  }
+}
+
+std::uint64_t ArrivalProcess::ArrivalsFor(net::LinkId i) {
+  FS_CHECK_MSG(i < states_.size(), "arrival draw for out-of-range link");
+  LinkState& st = states_[i];
+  switch (spec_.family) {
+    case ArrivalFamily::kBernoulli:
+      return rng::UniformUnit(st.gen) < spec_.rate ? 1 : 0;
+
+    case ArrivalFamily::kPoissonBatch: {
+      // Knuth's product-of-uniforms sampler: exact, inverse-CDF-free, and
+      // cheap at the per-slot rates the frontier search probes (λ « 10).
+      const double floor = std::exp(-spec_.rate);
+      std::uint64_t count = 0;
+      double product = rng::UniformUnit(st.gen);
+      while (product > floor) {
+        ++count;
+        product *= rng::UniformUnit(st.gen);
+      }
+      return count;
+    }
+
+    case ArrivalFamily::kOnOff: {
+      // Fixed two draws per slot (arrival candidate, then transition) so
+      // the substream advances identically in both states.
+      const double arrival_u = rng::UniformUnit(st.gen);
+      const double switch_u = rng::UniformUnit(st.gen);
+      const double peak = spec_.rate / spec_.duty_cycle;
+      const std::uint64_t packets = (st.on && arrival_u < peak) ? 1 : 0;
+      // Geometric sojourns with stationary ON-fraction = duty:
+      // P(on→off) = 1/burst, P(off→on) = duty/((1−duty)·burst).
+      const double p_off = 1.0 / spec_.mean_burst_slots;
+      const double p_on =
+          spec_.duty_cycle / ((1.0 - spec_.duty_cycle) * spec_.mean_burst_slots);
+      if (st.on) {
+        if (switch_u < p_off) st.on = false;
+      } else {
+        if (switch_u < p_on) st.on = true;
+      }
+      return packets;
+    }
+
+    case ArrivalFamily::kLeakyBucket: {
+      // ρ tokens accrue per slot; the source dumps the whole accumulated
+      // burst when the bucket fills (forced) or on a random early release.
+      st.tokens += spec_.rate;
+      const bool full = st.tokens >= spec_.bucket_depth;
+      const bool release =
+          full || rng::UniformUnit(st.gen) < spec_.release_probability;
+      if (full) {
+        // The forced release still consumes the slot's uniform so the
+        // stream advances one draw per slot regardless of fill level.
+        (void)rng::UniformUnit(st.gen);
+      }
+      if (!release) return 0;
+      const auto burst = static_cast<std::uint64_t>(st.tokens);
+      st.tokens -= static_cast<double>(burst);
+      return burst;
+    }
+  }
+  FS_CHECK_MSG(false, "unknown arrival family");
+  return 0;
+}
+
+}  // namespace fadesched::dynamics

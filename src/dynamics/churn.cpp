@@ -1,0 +1,61 @@
+#include "dynamics/churn.hpp"
+
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace fadesched::dynamics {
+
+namespace {
+
+constexpr std::uint64_t kMembershipSalt = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kMobilitySalt = 0x94d049bb133111ebULL;
+
+rng::Xoshiro256 SubStream(std::uint64_t seed, std::uint64_t salt) {
+  rng::SplitMix64 mix(seed ^ salt);
+  return rng::Xoshiro256(mix.Next());
+}
+
+}  // namespace
+
+ChurnProcess::ChurnProcess(const net::LinkSet& universe,
+                           const ChurnOptions& options, std::uint64_t seed)
+    : options_(options),
+      mobility_(universe, options.mobility,
+                SubStream(seed, kMobilitySalt)),
+      membership_gen_(SubStream(seed, kMembershipSalt)),
+      active_(universe.Size(), 1) {
+  options_.Validate();
+}
+
+SlotChurn ChurnProcess::Step() {
+  SlotChurn churn;
+  if (!options_.enabled) return churn;
+
+  // One uniform per universe link, ascending id order; the [0, 1) range is
+  // partitioned into [0, p_move) → membership flip and
+  // [p_move, p_move + p_fade) → fading recheck, where p_move is the
+  // leave/enter probability for the link's current state.
+  for (net::LinkId i = 0; i < active_.size(); ++i) {
+    const double u = rng::UniformUnit(membership_gen_);
+    const double p_move =
+        active_[i] ? options_.leave_probability : options_.enter_probability;
+    if (u < p_move) {
+      if (active_[i]) {
+        active_[i] = 0;
+        ++churn.left;
+      } else {
+        active_[i] = 1;
+        ++churn.entered;
+      }
+    } else if (u < p_move + options_.fade_recheck_probability) {
+      ++churn.fade_rechecks;
+    }
+  }
+
+  if (options_.drift_steps_per_slot > 0) {
+    mobility_.Advance(options_.drift_steps_per_slot);
+  }
+  return churn;
+}
+
+}  // namespace fadesched::dynamics

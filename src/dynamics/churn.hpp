@@ -1,0 +1,107 @@
+// Mobility and membership churn for the dynamics simulator, after the
+// classic PCS cellular workload (see SNIPPETS.md): links hand off out of
+// the cell (HANDOFF_LEAVE), hand back in (HANDOFF_RECV), request fading
+// rechecks, and drift through the region between slots.
+//
+// The process runs over a fixed *universe* LinkSet: membership is an
+// active-flag per universe link, so link ids are stable across the whole
+// run (queues, arrival substreams, and traces key on them). Geometry
+// drifts via net::RandomWaypointMobility (rigid-pair moves, so link
+// lengths — and every scheduler constant derived from them — are
+// invariant).
+//
+// Replay discipline: each slot consumes exactly one uniform per universe
+// link from the churn stream — the draw is partitioned into
+// leave/enter/fade-recheck outcomes — so the membership trajectory is a
+// pure function of (seed, options) and replays byte-identically no matter
+// what the scheduler, engine mode, or fading did. The mobility stream is
+// separate (waypoint picks consume a state-dependent number of draws).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link_set.hpp"
+#include "net/mobility.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::dynamics {
+
+struct ChurnOptions {
+  bool enabled = false;
+
+  /// Per-slot chance an *active* link hands off and leaves the cell.
+  double leave_probability = 0.0;
+
+  /// Per-slot chance an *inactive* link hands back in and rejoins.
+  double enter_probability = 0.0;
+
+  /// Per-slot chance a link raises a fading recheck — the PCS event that
+  /// invalidates cached channel state. Rechecks feed the engine-refresh
+  /// policy's churn budget; they do not change membership.
+  double fade_recheck_probability = 0.0;
+
+  /// Mobility steps taken per slot (0 = static geometry).
+  std::size_t drift_steps_per_slot = 0;
+  net::MobilityParams mobility;
+
+  void Validate() const {
+    FS_CHECK_MSG(leave_probability >= 0.0 && leave_probability <= 1.0,
+                 "leave probability must be in [0, 1]");
+    FS_CHECK_MSG(enter_probability >= 0.0 && enter_probability <= 1.0,
+                 "enter probability must be in [0, 1]");
+    FS_CHECK_MSG(
+        fade_recheck_probability >= 0.0 && fade_recheck_probability <= 1.0,
+        "fade recheck probability must be in [0, 1]");
+    FS_CHECK_MSG(leave_probability + fade_recheck_probability <= 1.0,
+                 "leave + fade-recheck probability exceeds 1");
+    FS_CHECK_MSG(enter_probability + fade_recheck_probability <= 1.0,
+                 "enter + fade-recheck probability exceeds 1");
+  }
+};
+
+/// What one slot of churn did (per-slot counts, not cumulative).
+struct SlotChurn {
+  std::uint64_t left = 0;
+  std::uint64_t entered = 0;
+  std::uint64_t fade_rechecks = 0;
+
+  /// Events that age a cached interference engine: membership changes
+  /// don't (the engine is built over the universe and subset per slot),
+  /// but drifted geometry and fading invalidations do.
+  [[nodiscard]] std::uint64_t StalenessEvents() const {
+    return fade_rechecks;
+  }
+};
+
+class ChurnProcess {
+ public:
+  /// `universe` is copied into the internal mobility model; ids are
+  /// positions in it. All links start active.
+  ChurnProcess(const net::LinkSet& universe, const ChurnOptions& options,
+               std::uint64_t seed);
+
+  /// Advances one slot: membership draws (one uniform per link, ascending
+  /// id order) then drift. Disabled churn is a no-op returning zeros.
+  SlotChurn Step();
+
+  /// Active flag per universe link (1 = in the cell).
+  [[nodiscard]] const std::vector<char>& Active() const { return active_; }
+
+  /// The universe at its *current* (drifted) positions — the ground truth
+  /// the transmission-success evaluation must use.
+  [[nodiscard]] const net::LinkSet& UniverseNow() const {
+    return mobility_.Current();
+  }
+
+  [[nodiscard]] const ChurnOptions& Options() const { return options_; }
+
+ private:
+  ChurnOptions options_;
+  net::RandomWaypointMobility mobility_;
+  rng::Xoshiro256 membership_gen_;
+  std::vector<char> active_;
+};
+
+}  // namespace fadesched::dynamics

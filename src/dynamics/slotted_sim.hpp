@@ -1,0 +1,180 @@
+// The slotted dynamics simulator — the time-domain workload on top of the
+// one-shot scheduling problem.
+//
+// Every slot: churn moves links in/out of the cell and drifts geometry,
+// packets arrive per an ArrivalProcess, the scheduler is invoked on the
+// backlogged active links, and scheduled transmissions succeed or fail
+// under per-slot fading evaluated on the *true* (drifted) geometry.
+//
+// Engine modes — the tentpole contrast this module exists to measure:
+//
+//   kWarmSubset  — one InterferenceEngine is built over a snapshot of the
+//                  full universe; each slot the backlogged subset is
+//                  scheduled through an O(m) subset *view* of it
+//                  (channel::MakeSubsetEngineView) that remaps queries
+//                  into the warm factors instead of rebuilding them.
+//   kColdRebuild — each slot the scheduler rebuilds its engine over the
+//                  backlogged subset from scratch (O(m²) factor work for
+//                  the kMatrix backend). The reference the warm path must
+//                  be schedule-identical to.
+//
+// Both modes schedule on the same bounded-staleness *snapshot* geometry
+// (refreshed by EngineRefreshPolicy), so the only difference between them
+// is how factors are obtained — which the warm/cold oracle pins to
+// bit-identical schedules. Ground-truth transmission success always uses
+// the current drifted positions, so a stale snapshot costs real failures,
+// making the refresh cadence a measurable knob rather than a free win.
+//
+// Determinism: arrivals, membership churn, mobility, and fading draw from
+// four disjoint seeded substreams; fading additionally uses a fresh
+// generator per slot keyed on (seed, slot), so a schedule difference in
+// one slot cannot desynchronize later slots. Same (universe, params,
+// scheduler, options) → byte-identical per-slot trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "channel/batch_interference.hpp"
+#include "channel/params.hpp"
+#include "dynamics/arrivals.hpp"
+#include "dynamics/churn.hpp"
+#include "mathx/stats.hpp"
+#include "net/link_set.hpp"
+#include "sim/fading_models.hpp"
+
+namespace fadesched::dynamics {
+
+enum class EngineMode {
+  kWarmSubset,   ///< warm full-universe engine + per-slot subset view
+  kColdRebuild,  ///< per-slot engine rebuild over the backlogged subset
+};
+
+const char* EngineModeName(EngineMode mode);
+
+/// Bounded-staleness policy for the scheduling snapshot (and, in warm
+/// mode, the engine built over it). Both triggers may be active at once;
+/// with neither set the snapshot from slot 0 is used for the whole run.
+struct EngineRefreshPolicy {
+  /// Refresh every this many slots (0 = no periodic refresh).
+  std::size_t period_slots = 0;
+  /// Refresh once this many staleness events (fading rechecks) accumulate
+  /// since the last refresh (0 = no budget trigger).
+  std::uint64_t churn_budget = 0;
+};
+
+/// One slot's observable outcome — the unit of the determinism trace and
+/// the warm/cold oracle diff.
+struct SlotRecord {
+  std::uint64_t slot = 0;
+  std::uint64_t arrivals = 0;    ///< packets generated this slot
+  std::uint64_t backlogged = 0;  ///< active links with nonempty queues
+  net::Schedule schedule;        ///< scheduled links (universe ids, ascending)
+  std::uint64_t delivered = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t entered = 0;
+  std::uint64_t left = 0;
+  std::uint64_t fade_rechecks = 0;
+  bool snapshot_refreshed = false;
+  std::uint64_t total_backlog = 0;  ///< after this slot's transmissions
+};
+
+/// Canonical one-line rendering (the byte-identity unit of the trace
+/// tests): every field in fixed order, schedule as comma-joined ids.
+std::string FormatSlotRecord(const SlotRecord& record);
+
+/// Exact packet conservation: every generated packet is delivered, dropped
+/// (blocked at an inactive link, or overflowed a bounded queue), or still
+/// queued. Holds after every slot, including interrupted runs.
+struct PacketLedger {
+  std::uint64_t arrivals = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_blocked = 0;   ///< arrivals at handed-off links
+  std::uint64_t dropped_overflow = 0;  ///< queue-capacity drops
+  std::uint64_t residual = 0;          ///< queued when the run ended
+
+  [[nodiscard]] bool Balanced() const {
+    return arrivals ==
+           delivered + dropped_blocked + dropped_overflow + residual;
+  }
+};
+
+struct DynamicsOptions {
+  std::size_t num_slots = 2000;
+  /// Slots excluded from the backlog/delay statistics (the ledger and the
+  /// trace always cover every slot).
+  std::size_t warmup_slots = 200;
+  std::uint64_t seed = 1;
+
+  ArrivalSpec arrivals;
+  ChurnOptions churn;
+  sim::FadingOptions fading;
+
+  EngineMode engine_mode = EngineMode::kWarmSubset;
+  /// Factor backend for the scheduling engine (both modes). kMatrix is
+  /// where warm-vs-cold matters most; kTables/kCalculator also work.
+  channel::FactorBackend backend = channel::FactorBackend::kMatrix;
+  EngineRefreshPolicy refresh;
+
+  /// Per-link queue bound; arrivals beyond it are dropped (0 = unbounded).
+  std::size_t queue_capacity = 0;
+
+  /// Optional per-slot trace hook (called after each completed slot).
+  std::function<void(const SlotRecord&)> slot_observer;
+  /// Optional graceful-interrupt poll, checked at each slot boundary; a
+  /// true return stops the run with `interrupted` set and the ledger
+  /// still exactly balanced (the SIGTERM path of the conservation test).
+  std::function<bool()> stop_requested;
+
+  void Validate() const;
+};
+
+struct DynamicsResult {
+  mathx::RunningStats backlog;      ///< post-warmup per-slot total backlog
+  mathx::RunningStats delay_slots;  ///< post-warmup delivery delays
+  /// Post-warmup delivery delays, in delivery order (percentile input).
+  std::vector<double> delay_samples;
+  /// Post-warmup per-slot total backlog (the drift-test input).
+  std::vector<double> backlog_series;
+
+  PacketLedger ledger;
+  std::uint64_t scheduled_transmissions = 0;
+  std::uint64_t failed_transmissions = 0;
+  std::uint64_t slots_run = 0;
+  bool interrupted = false;
+
+  std::uint64_t snapshot_refreshes = 0;  ///< refreshes after the initial build
+  std::uint64_t links_entered = 0;
+  std::uint64_t links_left = 0;
+  std::uint64_t fade_rechecks = 0;
+
+  /// Wall-clock seconds spent obtaining engines and scheduling (the
+  /// quantity the warm-vs-cold speedup compares). Excludes arrivals,
+  /// fading evaluation, and bookkeeping.
+  double schedule_seconds = 0.0;
+  /// Slots that actually invoked the scheduler (nonempty backlog).
+  std::uint64_t scheduled_slots = 0;
+
+  [[nodiscard]] double FailureRate() const {
+    return scheduled_transmissions == 0
+               ? 0.0
+               : static_cast<double>(failed_transmissions) /
+                     static_cast<double>(scheduled_transmissions);
+  }
+  [[nodiscard]] double ScheduleSecondsPerSlot() const {
+    return scheduled_slots == 0
+               ? 0.0
+               : schedule_seconds / static_cast<double>(scheduled_slots);
+  }
+};
+
+/// Runs the slotted simulation with the named registered scheduler.
+/// Deterministic given (universe, params, scheduler_name, options).
+DynamicsResult RunSlottedSimulation(const net::LinkSet& universe,
+                                    const channel::ChannelParams& params,
+                                    const std::string& scheduler_name,
+                                    const DynamicsOptions& options);
+
+}  // namespace fadesched::dynamics

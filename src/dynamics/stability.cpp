@@ -1,0 +1,129 @@
+#include "dynamics/stability.hpp"
+
+#include <cmath>
+
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::dynamics {
+
+DriftAssessment AssessBacklogDrift(std::span<const double> backlog_series,
+                                   double offered_load_per_slot,
+                                   const DriftTestOptions& options) {
+  FS_CHECK_MSG(options.windows >= 2, "drift test needs at least two windows");
+  FS_CHECK_MSG(options.slope_tolerance > 0.0,
+               "slope tolerance must be positive");
+  FS_CHECK_MSG(offered_load_per_slot >= 0.0, "offered load must be >= 0");
+
+  DriftAssessment out;
+  out.threshold = options.slope_tolerance *
+                  std::max(offered_load_per_slot, 1e-12);
+  if (backlog_series.size() < options.min_samples ||
+      backlog_series.size() < options.windows) {
+    // Too short to fit a slope: call it stable only when the tail is
+    // essentially empty relative to what one slot can inject.
+    double tail = 0.0;
+    if (!backlog_series.empty()) tail = backlog_series.back();
+    out.stable = tail <= out.threshold * static_cast<double>(
+                             backlog_series.empty() ? 1 : backlog_series.size());
+    return out;
+  }
+
+  // Window means, then a least-squares line through (window center slot,
+  // window mean). Centering the abscissa makes the slope formula a plain
+  // covariance ratio with no cancellation risk at these magnitudes.
+  const std::size_t w = options.windows;
+  const std::size_t len = backlog_series.size() / w;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  std::vector<double> ys(w, 0.0);
+  std::vector<double> xs(w, 0.0);
+  for (std::size_t k = 0; k < w; ++k) {
+    double sum = 0.0;
+    for (std::size_t t = k * len; t < (k + 1) * len; ++t) {
+      sum += backlog_series[t];
+    }
+    ys[k] = sum / static_cast<double>(len);
+    xs[k] = (static_cast<double>(k) + 0.5) * static_cast<double>(len);
+    mean_x += xs[k];
+    mean_y += ys[k];
+  }
+  mean_x /= static_cast<double>(w);
+  mean_y /= static_cast<double>(w);
+  double cov = 0.0;
+  double var = 0.0;
+  for (std::size_t k = 0; k < w; ++k) {
+    const double dx = xs[k] - mean_x;
+    cov += dx * (ys[k] - mean_y);
+    var += dx * dx;
+  }
+  out.slope_per_slot = var == 0.0 ? 0.0 : cov / var;
+  out.stable = out.slope_per_slot <= out.threshold;
+  return out;
+}
+
+namespace {
+
+constexpr std::uint64_t kProbeSalt = 0xa0761d6478bd642fULL;
+
+bool ProbeStable(const net::LinkSet& universe,
+                 const channel::ChannelParams& params,
+                 const std::string& scheduler_name,
+                 const DynamicsOptions& base, const FrontierOptions& options,
+                 double rate, std::size_t probe_index) {
+  DynamicsOptions probe = base;
+  probe.arrivals.rate = rate;
+  rng::SplitMix64 mix(base.seed ^ (kProbeSalt * (probe_index + 1)));
+  probe.seed = mix.Next();
+  const DynamicsResult run =
+      RunSlottedSimulation(universe, params, scheduler_name, probe);
+  const double offered = rate * static_cast<double>(universe.Size());
+  return AssessBacklogDrift(run.backlog_series, offered, options.drift).stable;
+}
+
+}  // namespace
+
+FrontierResult FindStabilityFrontier(const net::LinkSet& universe,
+                                     const channel::ChannelParams& params,
+                                     const std::string& scheduler_name,
+                                     const DynamicsOptions& base,
+                                     const FrontierOptions& options) {
+  FS_CHECK_MSG(options.lambda_hi > options.lambda_lo,
+               "frontier bracket must have lambda_hi > lambda_lo");
+  FS_CHECK_MSG(options.lambda_lo >= 0.0, "lambda_lo must be >= 0");
+
+  FrontierResult out;
+  out.lambda_lo = options.lambda_lo;
+  out.lambda_hi = options.lambda_hi;
+
+  // Trust nothing: probe the upper bracket first. A stable lambda_hi
+  // means the true frontier is beyond the search range — report that
+  // honestly instead of bisecting toward a fictitious boundary.
+  ++out.probes;
+  if (ProbeStable(universe, params, scheduler_name, base, options,
+                  options.lambda_hi, out.probes)) {
+    out.saturated = true;
+    out.lambda_star = options.lambda_hi;
+    out.lambda_lo = options.lambda_hi;
+    return out;
+  }
+
+  double lo = options.lambda_lo;  // invariant: stable (λ = 0 idles)
+  double hi = options.lambda_hi;  // invariant: unstable (just probed)
+  for (std::size_t k = 0; k < options.iterations; ++k) {
+    const double mid = 0.5 * (lo + hi);
+    ++out.probes;
+    if (ProbeStable(universe, params, scheduler_name, base, options, mid,
+                    out.probes)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.lambda_lo = lo;
+  out.lambda_hi = hi;
+  out.lambda_star = lo;
+  return out;
+}
+
+}  // namespace fadesched::dynamics

@@ -1,0 +1,88 @@
+// Empirical stability: backlog-drift detection and the λ* frontier search.
+//
+// A scheduler is *stable* at offered load λ when queues stay bounded —
+// equivalently, when the time-averaged backlog has no positive drift. We
+// measure that directly: split the post-warmup backlog series into equal
+// windows, take each window's mean, and fit a least-squares slope over
+// the window means. A stable run's slope fluctuates around zero; an
+// unstable run's backlog grows linearly at a rate bounded below by the
+// excess arrival rate, so the slope test separates the two phases
+// sharply once the run is a few multiples of the mixing time.
+//
+// The frontier λ* per scheduler is then located by bisection on λ,
+// maintaining the invariant [lo stable, hi unstable]. Probes are
+// seed-pure: probe k of a search uses a seed derived from (seed, k), so
+// the whole frontier is a deterministic function of its inputs — the
+// reproducibility property the CI stability-smoke job asserts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "channel/params.hpp"
+#include "dynamics/slotted_sim.hpp"
+#include "net/link_set.hpp"
+
+namespace fadesched::dynamics {
+
+struct DriftTestOptions {
+  /// Number of equal windows the series is split into (≥ 2).
+  std::size_t windows = 8;
+  /// Stability threshold: the fitted backlog slope (packets per slot) must
+  /// stay below tolerance × total offered load (packets per slot). The
+  /// offered load is the natural scale — an unstable queue grows at the
+  /// excess rate, a fraction of the offered rate.
+  double slope_tolerance = 0.05;
+  /// Series shorter than this are judged stable only if the final window
+  /// mean is no larger than tolerance allows — too little data to fit.
+  std::size_t min_samples = 32;
+};
+
+struct DriftAssessment {
+  bool stable = false;
+  /// Fitted backlog growth in packets per slot.
+  double slope_per_slot = 0.0;
+  /// The threshold the slope was compared against.
+  double threshold = 0.0;
+};
+
+/// Windowed least-squares slope test on a post-warmup backlog series.
+/// `offered_load_per_slot` is the expected total packet arrivals per slot
+/// (num_links × per-link rate).
+DriftAssessment AssessBacklogDrift(std::span<const double> backlog_series,
+                                   double offered_load_per_slot,
+                                   const DriftTestOptions& options = {});
+
+struct FrontierOptions {
+  /// Initial bracket on the per-link arrival rate. `lambda_hi` should be
+  /// comfortably unstable (it is probed and trusted, not assumed).
+  double lambda_lo = 0.0;
+  double lambda_hi = 0.2;
+  /// Bisection steps after bracketing (each halves the interval).
+  std::size_t iterations = 7;
+  DriftTestOptions drift;
+};
+
+struct FrontierResult {
+  /// The frontier estimate: the highest probed rate judged stable.
+  double lambda_star = 0.0;
+  /// Final bracket [stable, unstable] around λ*.
+  double lambda_lo = 0.0;
+  double lambda_hi = 0.0;
+  /// True when even lambda_hi was stable (λ* ≥ lambda_hi; bracket open).
+  bool saturated = false;
+  std::size_t probes = 0;
+};
+
+/// Bisection search for the named scheduler's stability frontier λ* (per
+/// link, packets per slot). `base` supplies everything but the arrival
+/// rate; probe k runs with seed mixed from (base.seed, k) so repeated
+/// searches are byte-identical.
+FrontierResult FindStabilityFrontier(const net::LinkSet& universe,
+                                     const channel::ChannelParams& params,
+                                     const std::string& scheduler_name,
+                                     const DynamicsOptions& base,
+                                     const FrontierOptions& options = {});
+
+}  // namespace fadesched::dynamics

@@ -194,6 +194,156 @@ bool SweepCheckpoint::Load(const std::string& path,
   return true;
 }
 
+namespace {
+
+/// Series/metric names are embedded as whitespace-separated tokens, so a
+/// name with whitespace would corrupt the framing — refuse loudly.
+void CheckTokenName(const std::string& name, const char* what) {
+  if (name.empty() ||
+      name.find_first_of(" \t\r\n") != std::string::npos) {
+    throw util::FatalError(std::string("checkpoint: ") + what + " name '" +
+                           name + "' must be nonempty with no whitespace");
+  }
+}
+
+void WriteStats(std::ostringstream& os, const mathx::RunningStats& stats) {
+  os << "stat " << stats.Count() << " " << HexDouble(stats.RawMean()) << " "
+     << HexDouble(stats.RawM2()) << " " << HexDouble(stats.Min()) << " "
+     << HexDouble(stats.Max()) << "\n";
+}
+
+mathx::RunningStats ReadStats(std::istringstream& is) {
+  ExpectToken(is, "stat");
+  const std::size_t count = NextSize(is, "stat count");
+  const double mean = ParseHexDouble(NextToken(is, "stat mean"));
+  const double m2 = ParseHexDouble(NextToken(is, "stat m2"));
+  const double min = ParseHexDouble(NextToken(is, "stat min"));
+  const double max = ParseHexDouble(NextToken(is, "stat max"));
+  return mathx::RunningStats::FromRawMoments(count, mean, m2, min, max);
+}
+
+}  // namespace
+
+std::string MetricSweepCheckpoint::Serialize() const {
+  std::ostringstream os;
+  os << "fadesched-metric-checkpoint " << kFormatVersion << "\n";
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016" PRIx64, fingerprint);
+  os << "fingerprint " << fp << "\n";
+  os << "series " << series.size();
+  for (const std::string& name : series) {
+    CheckTokenName(name, "series");
+    os << " " << name;
+  }
+  os << "\n";
+  os << "metrics " << metrics.size();
+  for (const std::string& name : metrics) {
+    CheckTokenName(name, "metric");
+    os << " " << name;
+  }
+  os << "\n";
+  os << "points " << points.size() << "\n";
+  const std::size_t grid = series.size() * metrics.size();
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const MetricPointCheckpoint& point = points[p];
+    if (point.stats.size() != grid) {
+      throw util::FatalError(
+          "checkpoint: metric point stats size does not match the "
+          "series x metric grid");
+    }
+    os << "point " << p << " " << HexDouble(point.x) << " seeds_done "
+       << point.seeds_done << " failed " << point.failed_seeds
+       << " timed_out " << point.timed_out_seeds << " complete "
+       << (point.complete ? 1 : 0) << "\n";
+    for (const mathx::RunningStats& stats : point.stats) {
+      WriteStats(os, stats);
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+MetricSweepCheckpoint MetricSweepCheckpoint::Deserialize(
+    const std::string& text) {
+  std::istringstream is(text);
+  ExpectToken(is, "fadesched-metric-checkpoint");
+  const std::size_t version = NextSize(is, "format version");
+  if (version != static_cast<std::size_t>(kFormatVersion)) {
+    throw util::FatalError(
+        "checkpoint: unsupported metric format version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  MetricSweepCheckpoint checkpoint;
+  ExpectToken(is, "fingerprint");
+  {
+    const std::string token = NextToken(is, "fingerprint");
+    char* end = nullptr;
+    checkpoint.fingerprint = std::strtoull(token.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') {
+      throw util::FatalError("checkpoint: malformed fingerprint '" + token +
+                             "'");
+    }
+  }
+  ExpectToken(is, "series");
+  checkpoint.series.resize(NextSize(is, "series count"));
+  for (std::string& name : checkpoint.series) {
+    name = NextToken(is, "series name");
+  }
+  ExpectToken(is, "metrics");
+  checkpoint.metrics.resize(NextSize(is, "metric count"));
+  for (std::string& name : checkpoint.metrics) {
+    name = NextToken(is, "metric name");
+  }
+  ExpectToken(is, "points");
+  const std::size_t num_points = NextSize(is, "point count");
+  checkpoint.points.resize(num_points);
+  const std::size_t grid =
+      checkpoint.series.size() * checkpoint.metrics.size();
+  for (std::size_t p = 0; p < num_points; ++p) {
+    MetricPointCheckpoint& point = checkpoint.points[p];
+    ExpectToken(is, "point");
+    const std::size_t index = NextSize(is, "point index");
+    if (index != p) {
+      throw util::FatalError("checkpoint: point index out of order");
+    }
+    point.x = ParseHexDouble(NextToken(is, "point x"));
+    ExpectToken(is, "seeds_done");
+    point.seeds_done = NextSize(is, "seeds_done");
+    ExpectToken(is, "failed");
+    point.failed_seeds = NextSize(is, "failed seeds");
+    ExpectToken(is, "timed_out");
+    point.timed_out_seeds = NextSize(is, "timed out seeds");
+    ExpectToken(is, "complete");
+    point.complete = NextSize(is, "complete flag") != 0;
+    point.stats.resize(grid);
+    for (mathx::RunningStats& stats : point.stats) {
+      stats = ReadStats(is);
+    }
+  }
+  ExpectToken(is, "end");
+  return checkpoint;
+}
+
+void MetricSweepCheckpoint::Save(const std::string& path) const {
+  util::AtomicWriteFile(path, Serialize());
+}
+
+bool MetricSweepCheckpoint::Load(const std::string& path,
+                                 std::uint64_t expected_fingerprint,
+                                 MetricSweepCheckpoint& out) {
+  if (!util::FileExists(path)) return false;
+  out = Deserialize(util::ReadFileToString(path));
+  if (out.fingerprint != expected_fingerprint) {
+    throw util::FatalError(
+        "checkpoint '" + path +
+        "' was written under a different sweep configuration "
+        "(fingerprint mismatch); delete it or rerun with the original "
+        "flags to resume");
+  }
+  return true;
+}
+
 std::uint64_t FingerprintInit() { return 0xcbf29ce484222325ULL; }
 
 std::uint64_t FingerprintMix64(std::uint64_t h, std::uint64_t value) {

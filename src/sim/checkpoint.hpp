@@ -52,6 +52,38 @@ struct SweepCheckpoint {
                    std::uint64_t expected_fingerprint, SweepCheckpoint& out);
 };
 
+/// Progress of one metric-sweep point (see RunMetricSweep): a
+/// RunningStats accumulator per (series, metric), flattened row-major as
+/// stats[series_index * num_metrics + metric_index].
+struct MetricPointCheckpoint {
+  double x = 0.0;
+  std::size_t seeds_done = 0;
+  std::size_t failed_seeds = 0;
+  std::size_t timed_out_seeds = 0;
+  bool complete = false;
+  std::vector<mathx::RunningStats> stats;
+};
+
+/// Checkpoint for the generic metric sweep. Same persistence contract as
+/// SweepCheckpoint (atomic save, hex-float round-trip, fingerprint-guarded
+/// load), but the payload is the caller-defined series × metric grid
+/// instead of the hardwired AlgoSummary.
+struct MetricSweepCheckpoint {
+  static constexpr int kFormatVersion = 1;
+
+  std::uint64_t fingerprint = 0;
+  std::vector<std::string> series;   ///< whitespace-free names
+  std::vector<std::string> metrics;  ///< whitespace-free names
+  std::vector<MetricPointCheckpoint> points;
+
+  [[nodiscard]] std::string Serialize() const;
+  static MetricSweepCheckpoint Deserialize(const std::string& text);
+  void Save(const std::string& path) const;
+  static bool Load(const std::string& path,
+                   std::uint64_t expected_fingerprint,
+                   MetricSweepCheckpoint& out);
+};
+
 /// FNV-1a-style 64-bit mixing helpers for config fingerprints.
 std::uint64_t FingerprintInit();
 std::uint64_t FingerprintMix64(std::uint64_t h, std::uint64_t value);

@@ -285,4 +285,226 @@ SweepResult RunExperimentSweep(const SweepSpec& spec,
   return result;
 }
 
+int MetricSweepResult::ExitCode() const {
+  return interrupted ? util::kExitInterrupted : util::kExitOk;
+}
+
+MetricSweepResult RunMetricSweep(const MetricSweepSpec& spec,
+                                 const MetricSweepOptions& options) {
+  FS_CHECK_MSG(!spec.xs.empty(), "metric sweep has no x values");
+  FS_CHECK_MSG(!spec.series.empty(), "metric sweep has no series");
+  FS_CHECK_MSG(!spec.metrics.empty(), "metric sweep has no metrics");
+  FS_CHECK_MSG(static_cast<bool>(spec.run_seed), "metric sweep has no run_seed");
+  FS_CHECK_MSG(spec.num_seeds > 0, "need at least one seed");
+  FS_CHECK_MSG(options.retry.max_attempts > 0, "need at least one attempt");
+
+  std::uint64_t fingerprint = FingerprintInit();
+  fingerprint = FingerprintMix64(fingerprint,
+                                 MetricSweepCheckpoint::kFormatVersion);
+  fingerprint = FingerprintMixString(fingerprint, spec.name);
+  fingerprint = FingerprintMix64(fingerprint, spec.xs.size());
+  for (const double x : spec.xs) {
+    fingerprint = FingerprintMixDouble(fingerprint, x);
+  }
+  fingerprint = FingerprintMix64(fingerprint, spec.series.size());
+  for (const std::string& name : spec.series) {
+    fingerprint = FingerprintMixString(fingerprint, name);
+  }
+  fingerprint = FingerprintMix64(fingerprint, spec.metrics.size());
+  for (const std::string& name : spec.metrics) {
+    fingerprint = FingerprintMixString(fingerprint, name);
+  }
+  fingerprint = FingerprintMix64(fingerprint, spec.num_seeds);
+  fingerprint = FingerprintMix64(fingerprint, spec.config_fingerprint);
+
+  const std::size_t grid = spec.series.size() * spec.metrics.size();
+  const bool checkpointing = !options.checkpoint_path.empty();
+  MetricSweepCheckpoint checkpoint;
+  checkpoint.fingerprint = fingerprint;
+  checkpoint.series = spec.series;
+  checkpoint.metrics = spec.metrics;
+
+  MetricSweepResult result;
+  result.points_total = spec.xs.size();
+
+  if (checkpointing && options.resume &&
+      MetricSweepCheckpoint::Load(options.checkpoint_path, fingerprint,
+                                  checkpoint)) {
+    FS_CHECK_MSG(checkpoint.points.size() == spec.xs.size(),
+                 "checkpoint point count mismatch");
+    FS_CHECK_MSG(checkpoint.series == spec.series &&
+                     checkpoint.metrics == spec.metrics,
+                 "checkpoint series/metric mismatch");
+    for (const MetricPointCheckpoint& point : checkpoint.points) {
+      if (point.complete) ++result.points_resumed;
+      result.seeds_resumed += point.seeds_done;
+      result.failed_seeds += point.failed_seeds;
+      result.timed_out_seeds += point.timed_out_seeds;
+    }
+  }
+  checkpoint.points.resize(spec.xs.size());
+  // Size every point's stats grid up front: Serialize() refuses a
+  // misshapen grid, and the first persist happens while later points are
+  // still untouched.
+  for (std::size_t p = 0; p < spec.xs.size(); ++p) {
+    checkpoint.points[p].x = spec.xs[p];
+    if (checkpoint.points[p].stats.empty()) {
+      checkpoint.points[p].stats.resize(grid);
+    }
+  }
+
+  const auto persist = [&](std::size_t point_index, bool point_complete) {
+    if (!checkpointing) return;
+    checkpoint.Save(options.checkpoint_path);
+    if (options.after_checkpoint) {
+      options.after_checkpoint(point_index,
+                               checkpoint.points[point_index].seeds_done,
+                               point_complete);
+    }
+  };
+
+  util::ScopedSignalGuard signal_guard;
+
+  std::vector<std::string> header{spec.x_name, "series"};
+  for (const std::string& metric : spec.metrics) {
+    header.push_back(metric + "_mean");
+    header.push_back(metric + "_ci95");
+  }
+  result.table = util::CsvTable(header);
+
+  const auto append_rows = [&](double x, const MetricPointCheckpoint& point) {
+    for (std::size_t k = 0; k < spec.series.size(); ++k) {
+      util::CsvRowBuilder row(result.table);
+      row.Add(x).Add(spec.series[k]);
+      for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+        const mathx::RunningStats& stats =
+            point.stats[k * spec.metrics.size() + m];
+        row.Add(stats.Mean()).Add(stats.ConfidenceHalfWidth95());
+      }
+      row.Commit();
+    }
+  };
+
+  const auto flush_partial = [&] {
+    if (!options.out_path.empty()) result.table.Save(options.out_path);
+  };
+
+  for (std::size_t p = 0; p < spec.xs.size(); ++p) {
+    const double x = spec.xs[p];
+    MetricPointCheckpoint& point_state = checkpoint.points[p];
+    point_state.x = x;
+    if (point_state.stats.empty()) point_state.stats.resize(grid);
+
+    if (point_state.complete) {
+      append_rows(x, point_state);
+      ++result.points_completed;
+      std::fprintf(stderr, "[%s] %s=%g resumed from checkpoint\n",
+                   spec.name.c_str(), spec.x_name.c_str(), x);
+      continue;
+    }
+
+    util::Stopwatch point_watch;
+    for (std::size_t s = point_state.seeds_done; s < spec.num_seeds; ++s) {
+      if (util::ShutdownRequested()) {
+        persist(p, false);
+        flush_partial();
+        result.interrupted = true;
+        return result;
+      }
+
+      bool seed_ok = false;
+      for (std::size_t attempt = 1; attempt <= options.retry.max_attempts;
+           ++attempt) {
+        const util::Deadline deadline =
+            util::Deadline::After(options.retry.seed_deadline_seconds);
+        try {
+          // One seed covers every series; values are held back until the
+          // whole seed succeeds, so a mid-seed failure contributes
+          // nothing to any accumulator.
+          std::vector<std::vector<double>> seed_values(spec.series.size());
+          for (std::size_t k = 0; k < spec.series.size(); ++k) {
+            if (deadline.Expired()) {
+              throw util::TimeoutError("seed " + std::to_string(s) +
+                                       " exceeded its watchdog deadline");
+            }
+            if (util::ShutdownRequested()) {
+              throw util::InterruptedError("shutdown requested");
+            }
+            seed_values[k] = spec.run_seed(p, k, s, deadline);
+            FS_CHECK_MSG(seed_values[k].size() == spec.metrics.size(),
+                         "run_seed returned the wrong number of metrics");
+          }
+          for (std::size_t k = 0; k < spec.series.size(); ++k) {
+            for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+              point_state.stats[k * spec.metrics.size() + m].Add(
+                  seed_values[k][m]);
+            }
+          }
+          seed_ok = true;
+          break;
+        } catch (...) {
+          const util::ErrorKind kind =
+              util::ClassifyException(std::current_exception());
+          if (kind == util::ErrorKind::kFatal) throw;
+          if (kind == util::ErrorKind::kInterrupted) {
+            persist(p, false);
+            flush_partial();
+            result.interrupted = true;
+            return result;
+          }
+          std::string what = "(unknown)";
+          try {
+            throw;
+          } catch (const std::exception& e) {
+            what = e.what();
+          } catch (...) {
+          }
+          if (kind == util::ErrorKind::kTimeout) {
+            std::fprintf(stderr,
+                         "[%s] %s=%g seed %zu timed out; recording as "
+                         "failed\n",
+                         spec.name.c_str(), spec.x_name.c_str(), x, s);
+            ++result.timed_out_seeds;
+            ++point_state.timed_out_seeds;
+            break;  // never retry a watchdog timeout
+          }
+          if (attempt < options.retry.max_attempts) {
+            std::fprintf(stderr,
+                         "[%s] %s=%g seed %zu transient failure "
+                         "(attempt %zu/%zu): %s\n",
+                         spec.name.c_str(), spec.x_name.c_str(), x, s,
+                         attempt, options.retry.max_attempts, what.c_str());
+            ++result.retried_seeds;
+          } else {
+            std::fprintf(stderr,
+                         "[%s] %s=%g seed %zu failed after %zu attempts: "
+                         "%s\n",
+                         spec.name.c_str(), spec.x_name.c_str(), x, s,
+                         options.retry.max_attempts, what.c_str());
+          }
+        }
+      }
+      if (!seed_ok) {
+        ++result.failed_seeds;
+        ++point_state.failed_seeds;
+      }
+      point_state.seeds_done = s + 1;
+      persist(p, false);
+    }
+
+    point_state.complete = true;
+    persist(p, true);
+    append_rows(x, point_state);
+    ++result.points_completed;
+    std::fprintf(stderr, "[%s] %s=%g done in %.1fs\n", spec.name.c_str(),
+                 spec.x_name.c_str(), x, point_watch.Seconds());
+  }
+
+  flush_partial();
+  if (checkpointing && !options.keep_checkpoint) {
+    util::RemoveFile(options.checkpoint_path);
+  }
+  return result;
+}
+
 }  // namespace fadesched::sim

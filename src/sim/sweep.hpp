@@ -25,6 +25,7 @@
 
 #include "sim/experiment.hpp"
 #include "util/csv.hpp"
+#include "util/deadline.hpp"
 
 namespace fadesched::sim {
 
@@ -96,5 +97,68 @@ struct SweepResult {
 /// everything else is absorbed into the result counters.
 SweepResult RunExperimentSweep(const SweepSpec& spec,
                                const SweepOptions& options);
+
+/// A generic crash-safe sweep: points (x values) × seeds × series, each
+/// seed of each series yielding one double per metric. Same checkpoint /
+/// retry / watchdog / graceful-shutdown machinery as RunExperimentSweep,
+/// but the measurement is caller-supplied instead of hardwired to the
+/// one-shot experiment pipeline — the dynamics benches (queue delay vs
+/// load, the stability frontier) run on this.
+struct MetricSweepSpec {
+  /// Stable sweep identifier; part of the checkpoint fingerprint.
+  std::string name;
+  std::string x_name;
+  std::vector<double> xs;
+  /// Row labels, e.g. scheduler names. Whitespace-free (they are
+  /// checkpoint tokens and CSV cells).
+  std::vector<std::string> series;
+  /// Column labels; each becomes `<metric>_mean` / `<metric>_ci95`.
+  std::vector<std::string> metrics;
+  std::size_t num_seeds = 1;
+  /// Hash of every caller option that shapes results (mix with the
+  /// Fingerprint* helpers); combined with name/xs/series/metrics/seeds
+  /// to guard resume.
+  std::uint64_t config_fingerprint = 0;
+  /// run_seed(point_index, series_index, seed_index, deadline) → one
+  /// value per metric, in metrics order. Runs under the retry policy:
+  /// throw TimeoutError for watchdog expiry (never retried),
+  /// InterruptedError for shutdown, anything non-fatal for a transient
+  /// failure (retried up to the attempt budget).
+  std::function<std::vector<double>(std::size_t, std::size_t, std::size_t,
+                                    const util::Deadline&)>
+      run_seed;
+};
+
+struct MetricSweepOptions {
+  RetryPolicy retry;
+  std::string checkpoint_path;
+  bool resume = false;
+  bool keep_checkpoint = false;
+  /// Final CSV destination (atomic write); the partial table is flushed
+  /// here on interruption too.
+  std::string out_path;
+  /// Same fault-drill hook as SweepOptions::after_checkpoint.
+  std::function<void(std::size_t, std::size_t, bool)> after_checkpoint;
+};
+
+struct MetricSweepResult {
+  /// Columns: x_name, "series", then mean/ci95 per metric. One row per
+  /// (x, series) once the point completes.
+  util::CsvTable table;
+  bool interrupted = false;
+  std::size_t points_total = 0;
+  std::size_t points_completed = 0;
+  std::size_t points_resumed = 0;
+  std::size_t seeds_resumed = 0;
+  std::size_t failed_seeds = 0;
+  std::size_t timed_out_seeds = 0;
+  std::size_t retried_seeds = 0;
+
+  /// 0 on success (even with degraded seeds), 3 when interrupted.
+  [[nodiscard]] int ExitCode() const;
+};
+
+MetricSweepResult RunMetricSweep(const MetricSweepSpec& spec,
+                                 const MetricSweepOptions& options);
 
 }  // namespace fadesched::sim

@@ -1,0 +1,142 @@
+#include "dynamics/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fadesched::dynamics {
+namespace {
+
+TEST(ArrivalFamilyTest, NamesRoundTrip) {
+  for (const ArrivalFamily family : AllArrivalFamilies()) {
+    ArrivalFamily parsed = ArrivalFamily::kBernoulli;
+    ASSERT_TRUE(ParseArrivalFamily(ArrivalFamilyName(family), parsed));
+    EXPECT_EQ(parsed, family);
+  }
+  ArrivalFamily out = ArrivalFamily::kBernoulli;
+  EXPECT_FALSE(ParseArrivalFamily("gaussian", out));
+}
+
+TEST(ArrivalSpecTest, ValidateRejectsBadParameters) {
+  ArrivalSpec spec;
+  spec.rate = -0.1;
+  EXPECT_THROW(spec.Validate(), util::CheckFailure);
+
+  spec = {};
+  spec.family = ArrivalFamily::kBernoulli;
+  spec.rate = 1.5;  // Bernoulli needs rate <= 1
+  EXPECT_THROW(spec.Validate(), util::CheckFailure);
+
+  spec = {};
+  spec.family = ArrivalFamily::kOnOff;
+  spec.duty_cycle = 0.1;
+  spec.rate = 0.5;  // peak rate rate/duty would exceed 1
+  EXPECT_THROW(spec.Validate(), util::CheckFailure);
+
+  spec = {};
+  spec.family = ArrivalFamily::kLeakyBucket;
+  spec.bucket_depth = 0.0;
+  EXPECT_THROW(spec.Validate(), util::CheckFailure);
+}
+
+// Every family is calibrated to the same long-run mean: rate packets per
+// slot per link. 40 links × 20k slots gives 800k link-slots, so the
+// sample mean concentrates well within 5% of the target.
+TEST(ArrivalProcessTest, LongRunRateMatchesSpecAcrossFamilies) {
+  constexpr std::size_t kLinks = 40;
+  constexpr std::size_t kSlots = 20000;
+  for (const ArrivalFamily family : AllArrivalFamilies()) {
+    ArrivalSpec spec;
+    spec.family = family;
+    spec.rate = 0.08;
+    ArrivalProcess process(spec, kLinks, /*seed=*/99);
+    std::uint64_t total = 0;
+    for (std::size_t slot = 0; slot < kSlots; ++slot) {
+      for (net::LinkId i = 0; i < kLinks; ++i) total += process.ArrivalsFor(i);
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(kLinks * kSlots);
+    EXPECT_NEAR(mean, spec.rate, 0.05 * spec.rate)
+        << "family " << ArrivalFamilyName(family);
+  }
+}
+
+// Link i's substream depends only on (seed, i): the same link produces the
+// same arrivals no matter how many other links share the process.
+TEST(ArrivalProcessTest, PerLinkSubstreamsAreIndependentOfPopulation) {
+  for (const ArrivalFamily family : AllArrivalFamilies()) {
+    ArrivalSpec spec;
+    spec.family = family;
+    spec.rate = 0.1;
+    ArrivalProcess small(spec, 3, /*seed=*/7);
+    ArrivalProcess large(spec, 11, /*seed=*/7);
+    for (std::size_t slot = 0; slot < 500; ++slot) {
+      std::uint64_t small_arrivals[3];
+      for (net::LinkId i = 0; i < 3; ++i) {
+        small_arrivals[i] = small.ArrivalsFor(i);
+      }
+      for (net::LinkId i = 0; i < 11; ++i) {
+        const std::uint64_t got = large.ArrivalsFor(i);
+        if (i < 3) {
+          ASSERT_EQ(got, small_arrivals[i])
+              << "family " << ArrivalFamilyName(family) << " slot " << slot
+              << " link " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ArrivalProcessTest, SameSeedReplaysByteIdentically) {
+  ArrivalSpec spec;
+  spec.family = ArrivalFamily::kOnOff;
+  spec.rate = 0.1;
+  ArrivalProcess a(spec, 8, 42);
+  ArrivalProcess b(spec, 8, 42);
+  for (std::size_t slot = 0; slot < 2000; ++slot) {
+    for (net::LinkId i = 0; i < 8; ++i) {
+      ASSERT_EQ(a.ArrivalsFor(i), b.ArrivalsFor(i));
+    }
+  }
+}
+
+// The on/off modulation actually modulates: there are silent stretches
+// (OFF) and the ON fraction approaches the configured duty cycle.
+TEST(ArrivalProcessTest, OnOffDutyCycleIsRespected) {
+  ArrivalSpec spec;
+  spec.family = ArrivalFamily::kOnOff;
+  spec.rate = 0.2;
+  spec.duty_cycle = 0.4;
+  spec.mean_burst_slots = 10.0;
+  constexpr std::size_t kSlots = 50000;
+  ArrivalProcess process(spec, 1, /*seed=*/3);
+  std::uint64_t total = 0;
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    total += process.ArrivalsFor(0);
+  }
+  const double mean = static_cast<double>(total) / kSlots;
+  EXPECT_NEAR(mean, spec.rate, 0.1 * spec.rate);
+}
+
+// A (σ, ρ) leaky-bucket source never exceeds its envelope: cumulative
+// arrivals by slot t are at most σ + ρ·(t + 1).
+TEST(ArrivalProcessTest, LeakyBucketConformsToSigmaRhoEnvelope) {
+  ArrivalSpec spec;
+  spec.family = ArrivalFamily::kLeakyBucket;
+  spec.rate = 0.15;
+  spec.bucket_depth = 5.0;
+  spec.release_probability = 0.3;
+  ArrivalProcess process(spec, 1, /*seed=*/11);
+  double cumulative = 0.0;
+  for (std::size_t slot = 0; slot < 20000; ++slot) {
+    cumulative += static_cast<double>(process.ArrivalsFor(0));
+    const double envelope =
+        spec.bucket_depth + spec.rate * static_cast<double>(slot + 1);
+    ASSERT_LE(cumulative, envelope + 1e-9) << "slot " << slot;
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::dynamics

@@ -1,0 +1,116 @@
+#include "dynamics/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+#include "util/check.hpp"
+
+namespace fadesched::dynamics {
+namespace {
+
+net::LinkSet MakeUniverse(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  net::UniformScenarioParams params;
+  params.region_size = 300.0;
+  return net::MakeUniformScenario(n, params, gen);
+}
+
+ChurnOptions ActiveChurn() {
+  ChurnOptions options;
+  options.enabled = true;
+  options.leave_probability = 0.05;
+  options.enter_probability = 0.3;
+  options.fade_recheck_probability = 0.1;
+  options.drift_steps_per_slot = 1;
+  options.mobility.region_size = 300.0;
+  return options;
+}
+
+TEST(ChurnOptionsTest, ValidateRejectsBadProbabilities) {
+  ChurnOptions options;
+  options.leave_probability = 1.2;
+  EXPECT_THROW(options.Validate(), util::CheckFailure);
+
+  options = {};
+  options.leave_probability = 0.6;
+  options.fade_recheck_probability = 0.6;  // partition exceeds 1
+  EXPECT_THROW(options.Validate(), util::CheckFailure);
+}
+
+TEST(ChurnProcessTest, DisabledChurnIsANoOp) {
+  const net::LinkSet universe = MakeUniverse(10, 1);
+  ChurnProcess churn(universe, ChurnOptions{}, 5);
+  for (int slot = 0; slot < 50; ++slot) {
+    const SlotChurn result = churn.Step();
+    EXPECT_EQ(result.left, 0u);
+    EXPECT_EQ(result.entered, 0u);
+    EXPECT_EQ(result.fade_rechecks, 0u);
+  }
+  for (const char active : churn.Active()) EXPECT_TRUE(active);
+  // Static geometry: positions never drifted.
+  for (net::LinkId i = 0; i < universe.Size(); ++i) {
+    EXPECT_EQ(churn.UniverseNow().At(i).sender.x, universe.At(i).sender.x);
+  }
+}
+
+// The membership trajectory is a pure function of (universe, options,
+// seed): two processes replay byte-identically.
+TEST(ChurnProcessTest, ReplayIsByteIdentical) {
+  const net::LinkSet universe = MakeUniverse(24, 2);
+  const ChurnOptions options = ActiveChurn();
+  ChurnProcess a(universe, options, 77);
+  ChurnProcess b(universe, options, 77);
+  for (int slot = 0; slot < 400; ++slot) {
+    const SlotChurn ra = a.Step();
+    const SlotChurn rb = b.Step();
+    ASSERT_EQ(ra.left, rb.left);
+    ASSERT_EQ(ra.entered, rb.entered);
+    ASSERT_EQ(ra.fade_rechecks, rb.fade_rechecks);
+    ASSERT_EQ(a.Active(), b.Active());
+    for (net::LinkId i = 0; i < universe.Size(); ++i) {
+      ASSERT_EQ(a.UniverseNow().At(i).sender.x, b.UniverseNow().At(i).sender.x);
+      ASSERT_EQ(a.UniverseNow().At(i).sender.y, b.UniverseNow().At(i).sender.y);
+    }
+  }
+}
+
+TEST(ChurnProcessTest, MembershipActuallyChurns) {
+  const net::LinkSet universe = MakeUniverse(30, 3);
+  ChurnProcess churn(universe, ActiveChurn(), 9);
+  std::uint64_t left = 0;
+  std::uint64_t entered = 0;
+  std::uint64_t rechecks = 0;
+  for (int slot = 0; slot < 500; ++slot) {
+    const SlotChurn result = churn.Step();
+    left += result.left;
+    entered += result.entered;
+    rechecks += result.fade_rechecks;
+    EXPECT_EQ(result.StalenessEvents(), result.fade_rechecks);
+  }
+  EXPECT_GT(left, 0u);
+  EXPECT_GT(entered, 0u);
+  EXPECT_GT(rechecks, 0u);
+}
+
+// Mobility moves links as rigid pairs: lengths (and thus every scheduler
+// constant derived from them) are invariant while positions drift.
+TEST(ChurnProcessTest, DriftPreservesLinkLengths) {
+  const net::LinkSet universe = MakeUniverse(16, 4);
+  ChurnProcess churn(universe, ActiveChurn(), 13);
+  for (int slot = 0; slot < 200; ++slot) churn.Step();
+  bool moved = false;
+  for (net::LinkId i = 0; i < universe.Size(); ++i) {
+    // Rigid-pair translation preserves lengths up to accumulated
+    // floating-point drift over 200 slots of moves.
+    EXPECT_NEAR(churn.UniverseNow().At(i).Length(), universe.At(i).Length(),
+                1e-9 * universe.At(i).Length());
+    if (churn.UniverseNow().At(i).sender.x != universe.At(i).sender.x) {
+      moved = true;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace fadesched::dynamics

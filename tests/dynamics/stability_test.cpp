@@ -1,0 +1,122 @@
+// Stability estimation: the windowed drift test must classify synthetic
+// series correctly, and the λ* frontier search must be a reproducible,
+// bracketing bisection over real simulator runs.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/params.hpp"
+#include "dynamics/stability.hpp"
+#include "net/scenario.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace fadesched::dynamics {
+namespace {
+
+// Deterministic pseudo-noise (no real randomness needed — the drift test
+// only cares about the trend, not the distribution).
+double Wiggle(std::size_t i) { return std::sin(static_cast<double>(i)); }
+
+TEST(DriftTest, FlatNoisySeriesIsStable) {
+  std::vector<double> series;
+  for (std::size_t i = 0; i < 1024; ++i) series.push_back(10.0 + Wiggle(i));
+  const DriftAssessment verdict = AssessBacklogDrift(series, 2.0);
+  EXPECT_TRUE(verdict.stable);
+  EXPECT_LT(std::abs(verdict.slope_per_slot), verdict.threshold);
+}
+
+TEST(DriftTest, LinearlyGrowingSeriesIsUnstable) {
+  std::vector<double> series;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    // Grows at 0.5 packets/slot against an offered load of 2/slot —
+    // well past the 5% tolerance.
+    series.push_back(0.5 * static_cast<double>(i) + Wiggle(i));
+  }
+  const DriftAssessment verdict = AssessBacklogDrift(series, 2.0);
+  EXPECT_FALSE(verdict.stable);
+  EXPECT_NEAR(verdict.slope_per_slot, 0.5, 0.05);
+}
+
+// The threshold scales with offered load: the same mild drift is
+// unstable for a trickle of traffic but within tolerance for a heavy one.
+TEST(DriftTest, ThresholdScalesWithOfferedLoad) {
+  std::vector<double> series;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    series.push_back(0.02 * static_cast<double>(i));
+  }
+  EXPECT_FALSE(AssessBacklogDrift(series, 0.1).stable);
+  EXPECT_TRUE(AssessBacklogDrift(series, 10.0).stable);
+}
+
+TEST(DriftTest, ShortSeriesFallsBackToFinalWindowCheck) {
+  // Too short to fit a slope: judged by the terminal backlog against
+  // threshold × length (0.05 × 1.0 × 8 = 0.4 here).
+  const std::vector<double> small(8, 0.3);
+  EXPECT_TRUE(AssessBacklogDrift(small, 1.0).stable);
+  const std::vector<double> large(8, 500.0);
+  EXPECT_FALSE(AssessBacklogDrift(large, 1.0).stable);
+}
+
+class FrontierTest : public testing::Test {
+ protected:
+  FrontierTest() {
+    rng::Xoshiro256 gen(33);
+    universe_ = net::MakeUniformScenario(25, {}, gen);
+    base_.num_slots = 600;
+    base_.warmup_slots = 100;
+    base_.seed = 5;
+    options_.lambda_hi = 0.4;
+    options_.iterations = 5;
+  }
+
+  net::LinkSet universe_;
+  channel::ChannelParams params_;
+  DynamicsOptions base_;
+  FrontierOptions options_;
+};
+
+TEST_F(FrontierTest, BisectionBracketsTheFrontier) {
+  const FrontierResult result = FindStabilityFrontier(
+      universe_, params_, "fading_greedy", base_, options_);
+  EXPECT_GT(result.probes, 0u);
+  EXPECT_GT(result.lambda_star, 0.0);
+  if (!result.saturated) {
+    EXPECT_LE(result.lambda_lo, result.lambda_hi);
+    EXPECT_DOUBLE_EQ(result.lambda_star, result.lambda_lo);
+    EXPECT_LE(result.lambda_hi, options_.lambda_hi);
+    // `iterations` halvings of the initial bracket.
+    EXPECT_LE(result.lambda_hi - result.lambda_lo,
+              options_.lambda_hi / std::pow(2.0, 4.0));
+  }
+}
+
+// The whole search is a deterministic function of its inputs — the
+// property the CI stability-smoke job asserts across two full runs.
+TEST_F(FrontierTest, SearchIsByteReproducible) {
+  const FrontierResult a = FindStabilityFrontier(
+      universe_, params_, "ldp", base_, options_);
+  const FrontierResult b = FindStabilityFrontier(
+      universe_, params_, "ldp", base_, options_);
+  EXPECT_EQ(a.lambda_star, b.lambda_star);
+  EXPECT_EQ(a.lambda_lo, b.lambda_lo);
+  EXPECT_EQ(a.lambda_hi, b.lambda_hi);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.probes, b.probes);
+}
+
+// Per-link capacity shrinks as the network densifies, so the per-link
+// frontier must not grow with network size — the frontier responds to
+// the physics, not just the knobs.
+TEST_F(FrontierTest, FrontierShrinksWithNetworkSize) {
+  rng::Xoshiro256 gen(34);
+  const net::LinkSet denser = net::MakeUniformScenario(50, {}, gen);
+  const FrontierResult sparse = FindStabilityFrontier(
+      universe_, params_, "fading_greedy", base_, options_);
+  const FrontierResult dense = FindStabilityFrontier(
+      denser, params_, "fading_greedy", base_, options_);
+  EXPECT_GE(sparse.lambda_star, dense.lambda_star);
+}
+
+}  // namespace
+}  // namespace fadesched::dynamics

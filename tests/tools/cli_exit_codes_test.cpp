@@ -101,5 +101,46 @@ TEST(CliExitCodesTest, SweepResumeRoundTripViaCli) {
   std::remove(resumed.c_str());
 }
 
+TEST(CliExitCodesTest, QueueSimSweepTraceAndErrors) {
+  const std::string links = TempPath("links_qsim.csv");
+  const std::string out = TempPath("qsim.csv");
+  ASSERT_EQ(RunCommand(Cli() + " generate --links 15 --out " + links),
+            util::kExitOk);
+
+  EXPECT_EQ(RunCommand(Cli() + " queue-sim --in " + links +
+                       " --slots 60 --warmup 10 --rates 0.05"
+                       " --algorithms ldp --out " + out),
+            util::kExitOk);
+  EXPECT_EQ(RunCommand("test -s " + out), 0) << "no CSV written";
+
+  EXPECT_EQ(RunCommand(Cli() + " queue-sim --in " + links +
+                       " --slots 40 --rates 0.05 --algorithms ldp --trace"),
+            util::kExitOk);
+  EXPECT_EQ(RunCommand(Cli() + " queue-sim --in " + links +
+                       " --slots 60 --frontier --frontier-iters 2"
+                       " --algorithms ldp"),
+            util::kExitOk);
+
+  // --trace needs exactly one algorithm and rate; a bogus engine mode is
+  // a runtime failure, an unknown flag a usage error.
+  EXPECT_EQ(RunCommand(Cli() + " queue-sim --in " + links +
+                       " --slots 40 --rates 0.05 --algorithms ldp,rle"
+                       " --trace"),
+            util::kExitRuntime);
+  EXPECT_EQ(RunCommand(Cli() + " queue-sim --in " + links +
+                       " --mode lukewarm"),
+            util::kExitRuntime);
+  EXPECT_EQ(RunCommand(Cli() + " queue-sim --no-such-flag"),
+            util::kExitUsage);
+  std::remove(links.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(CliExitCodesTest, DynamicFuzzSmokeIsClean) {
+  EXPECT_EQ(RunCommand(Cli() + " fuzz --dynamic --iters 3 --max-links 6"
+                       " --max-slots 60 --log-every 0"),
+            util::kExitOk);
+}
+
 }  // namespace
 }  // namespace fadesched

@@ -8,7 +8,10 @@
 //   fadesched_cli ilp      --in l.csv --out problem.lp
 //   fadesched_cli sweep    --x links --xs 100,200,300 --algorithms ldp,rle
 //                              [--checkpoint sweep.ck --resume] --out sweep.csv
+//   fadesched_cli queue-sim --algorithms ldp,rle --rates 0.01,0.02
+//                              [--frontier] [--churn] [--checkpoint qs.ck]
 //   fadesched_cli fuzz     --seed 1 --iters 2000 [--corpus-dir repros]
+//                              [--dynamic]
 //   fadesched_cli serve    --unix /tmp/fs.sock --workers 4 [--metrics-out m.json]
 //   fadesched_cli supervise --unix /tmp/fs.sock --workers 3 --chaos-kills 5
 //   fadesched_cli loadgen  --unix /tmp/fs.sock --requests 1000 --connections 4
@@ -27,8 +30,13 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/fadesched.hpp"
 #include "distsim/dls_protocol.hpp"
+#include "dynamics/slotted_sim.hpp"
+#include "dynamics/stability.hpp"
+#include "mathx/stats.hpp"
 #include "multislot/multislot.hpp"
 #include "rng/distributions.hpp"
 #include "sched/feedback.hpp"
@@ -37,7 +45,9 @@
 #include "service/loadgen.hpp"
 #include "service/server.hpp"
 #include "service/supervisor.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/sweep.hpp"
+#include "testing/dyn_fuzzer.hpp"
 #include "testing/fuzz_driver.hpp"
 #include "util/atomic_io.hpp"
 #include "util/check.hpp"
@@ -433,7 +443,64 @@ int RunFuzzCmd(int argc, char** argv) {
   auto& max_failures =
       cli.AddInt("max-failures", 8, "stop after this many distinct failures");
   auto& log_every = cli.AddInt("log-every", 500, "progress period (0 = off)");
+  auto& dynamic = cli.AddBool(
+      "dynamic", false,
+      "fuzz the dynamics subsystem instead: slotted runs with random "
+      "arrival/churn knobs, checked against the warm-vs-cold "
+      "schedule-identity + replay oracle (.dynscenario reproducers)");
+  auto& min_slots =
+      cli.AddInt("min-slots", 40, "shortest dynamic run (--dynamic)");
+  auto& max_slots =
+      cli.AddInt("max-slots", 160, "longest dynamic run (--dynamic)");
   if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  if (dynamic) {
+    testing::DynFuzzDriverOptions dyn;
+    dyn.seed = static_cast<std::uint64_t>(seed);
+    dyn.iterations = static_cast<std::uint64_t>(iters);
+    dyn.fuzzer.topology.min_links = static_cast<std::size_t>(min_links);
+    dyn.fuzzer.topology.max_links = static_cast<std::size_t>(max_links);
+    dyn.fuzzer.min_slots = static_cast<std::size_t>(min_slots);
+    dyn.fuzzer.max_slots = static_cast<std::size_t>(max_slots);
+    dyn.shrink = shrink;
+    dyn.corpus_dir = corpus_dir;
+    dyn.max_failures = static_cast<std::size_t>(max_failures);
+    dyn.log_every = static_cast<std::uint64_t>(log_every);
+    dyn.log = [](const std::string& message) {
+      std::fprintf(stderr, "%s\n", message.c_str());
+    };
+    for (const std::string& name : util::Split(schedulers, ',')) {
+      if (!name.empty()) dyn.fuzzer.schedulers.push_back(name);
+    }
+    if (!check) {
+      const testing::DynamicFuzzer fuzzer(dyn.seed, dyn.fuzzer);
+      std::size_t total_links = 0;
+      for (std::uint64_t i = 0; i < dyn.iterations; ++i) {
+        total_links += fuzzer.Case(i).scenario.links.Size();
+      }
+      std::printf(
+          "generated %llu dynamic instances (%zu links total), checks off\n",
+          static_cast<unsigned long long>(dyn.iterations), total_links);
+      return 0;
+    }
+    const testing::DynFuzzReport report = testing::RunDynamicFuzz(dyn);
+    std::printf("dynfuzz: %llu/%llu instances checked, %llu failing, "
+                "%zu distinct failure class(es)\n",
+                static_cast<unsigned long long>(report.iterations_run),
+                static_cast<unsigned long long>(dyn.iterations),
+                static_cast<unsigned long long>(report.cases_with_failures),
+                report.failures.size());
+    for (const testing::DynFuzzFailure& failure : report.failures) {
+      std::printf("  [%s/%s] shrunk to %zu links, %zu slots%s%s\n",
+                  failure.original.scheduler.c_str(),
+                  failure.outcome.check.c_str(),
+                  failure.shrunk.scenario.links.Size(),
+                  failure.shrunk.dynamics.num_slots,
+                  failure.corpus_path.empty() ? "" : " -> ",
+                  failure.corpus_path.c_str());
+    }
+    return report.Ok() ? 0 : 1;
+  }
 
   testing::FuzzDriverOptions options;
   options.seed = static_cast<std::uint64_t>(seed);
@@ -489,6 +556,238 @@ channel::FactorBackend BackendFromName(const std::string& name) {
   if (name == "matrix") return channel::FactorBackend::kMatrix;
   throw util::FatalError("unknown --backend '" + name +
                          "' (calculator | tables | matrix)");
+}
+
+int RunQueueSim(int argc, char** argv) {
+  util::CliParser cli(
+      "fadesched_cli queue-sim",
+      "slotted dynamic-traffic simulation on the crash-safe sweep harness: "
+      "arrival processes, churn, warm-engine scheduling; --frontier "
+      "binary-searches the stability frontier lambda*");
+  auto& in = cli.AddString("in", "", "scenario CSV (empty = generate "
+                                     "uniform from --links/--seed)");
+  auto& num_links = cli.AddInt("links", 150, "links when generating");
+  auto& topo_seed = cli.AddInt("seed", 5, "topology seed when generating");
+  auto& sim_seed = cli.AddInt("sim-seed", 1, "dynamics seed (arrivals/"
+                                             "churn/fading substreams)");
+  auto& algorithms_text =
+      cli.AddString("algorithms", "ldp,rle", "comma-separated schedulers");
+  auto& num_slots = cli.AddInt("slots", 1000, "simulated slots");
+  auto& warmup = cli.AddInt(
+      "warmup", -1, "slots excluded from statistics (-1 = slots/5)");
+  auto& family_text = cli.AddString(
+      "arrivals", "bernoulli",
+      "arrival family: bernoulli | poisson | onoff | leaky");
+  auto& rates_text = cli.AddString(
+      "rates", "0.01,0.02,0.04", "comma-separated mean arrival rates (the "
+                                 "sweep's x axis)");
+  auto& duty = cli.AddDouble("duty-cycle", 0.25, "onoff: ON fraction");
+  auto& burst = cli.AddDouble("burst-slots", 8.0, "onoff: mean ON sojourn");
+  auto& depth = cli.AddDouble("bucket-depth", 4.0, "leaky: bucket depth");
+  auto& release = cli.AddDouble("release-prob", 0.25,
+                                "leaky: early-release probability");
+  auto& mode_text = cli.AddString(
+      "mode", "warm", "engine mode: warm (subset views) | cold (rebuild)");
+  auto& backend_text =
+      cli.AddString("backend", "matrix", "calculator | tables | matrix");
+  auto& capacity = cli.AddInt("queue-capacity", 0,
+                              "per-link queue bound (0 = unbounded)");
+  auto& churn = cli.AddBool("churn", false, "enable membership churn/drift");
+  auto& leave = cli.AddDouble("leave-prob", 0.01, "churn: leave/slot");
+  auto& enter = cli.AddDouble("enter-prob", 0.1, "churn: re-enter/slot");
+  auto& fade_recheck = cli.AddDouble(
+      "fade-recheck-prob", 0.02, "churn: fading-recheck (staleness)/slot");
+  auto& drift = cli.AddInt("drift", 1, "churn: mobility steps per slot");
+  auto& region = cli.AddDouble("region", 500.0, "churn: mobility region");
+  auto& refresh_period = cli.AddInt(
+      "refresh-period", 0, "rebuild the scheduling snapshot every N slots "
+                           "(0 = never)");
+  auto& refresh_budget = cli.AddInt(
+      "refresh-budget", 0, "rebuild after N staleness events (0 = never)");
+  auto& seeds = cli.AddInt("seeds", 1, "simulation seeds per point");
+  auto& trace = cli.AddBool(
+      "trace", false, "print the per-slot trace (single rate + algorithm; "
+                      "byte-identical across reruns and engine modes)");
+  auto& frontier = cli.AddBool(
+      "frontier", false, "binary-search lambda* per scheduler instead of "
+                         "sweeping --rates");
+  auto& frontier_iters =
+      cli.AddInt("frontier-iters", 6, "bisection refinements (--frontier)");
+  auto& lambda_hi = cli.AddDouble(
+      "lambda-hi", 0.3, "initial upper bracket (--frontier)");
+  auto& checkpoint = cli.AddString(
+      "checkpoint", "", "checkpoint file (enables crash-safe resume)");
+  auto& resume = cli.AddBool("resume", false,
+                             "resume from --checkpoint if it exists");
+  auto& keep = cli.AddBool("keep-checkpoint", false,
+                           "keep the checkpoint after success");
+  auto& out = cli.AddString("out", "", "write the CSV here (atomic)");
+  auto& seed_deadline = cli.AddDouble(
+      "seed-deadline", 0.0, "per-seed watchdog deadline (seconds; 0 = off)");
+  auto& retries =
+      cli.AddInt("retries", 1, "retries per seed for transient failures");
+  double *alpha, *epsilon, *gamma_th, *noise;
+  AddChannelFlags(cli, alpha, epsilon, gamma_th, noise);
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  const auto params = MakeChannel(*alpha, *epsilon, *gamma_th, *noise);
+  net::LinkSet links;
+  if (!in.empty()) {
+    links = net::LoadLinkSet(in);
+  } else {
+    rng::Xoshiro256 gen(static_cast<std::uint64_t>(topo_seed));
+    links = net::MakeUniformScenario(static_cast<std::size_t>(num_links), {},
+                                     gen);
+  }
+
+  std::vector<std::string> algorithms;
+  for (const std::string& token : util::Split(algorithms_text, ',')) {
+    const std::string name(util::Trim(token));
+    if (!name.empty()) algorithms.push_back(name);
+  }
+  FS_CHECK_MSG(!algorithms.empty(), "--algorithms must be non-empty");
+  std::vector<double> rates;
+  for (const std::string& token : util::Split(rates_text, ',')) {
+    const auto value = util::ParseDouble(util::Trim(token));
+    FS_CHECK_MSG(value.has_value(), "malformed --rates value: '" + token +
+                                        "'");
+    rates.push_back(*value);
+  }
+  FS_CHECK_MSG(!rates.empty(), "--rates must be non-empty");
+  FS_CHECK_MSG(mode_text == "warm" || mode_text == "cold",
+               "--mode must be 'warm' or 'cold'");
+
+  dynamics::DynamicsOptions base;
+  base.num_slots = static_cast<std::size_t>(num_slots);
+  base.warmup_slots = warmup < 0 ? base.num_slots / 5
+                                 : static_cast<std::size_t>(warmup);
+  base.seed = static_cast<std::uint64_t>(sim_seed);
+  FS_CHECK_MSG(
+      dynamics::ParseArrivalFamily(family_text, base.arrivals.family),
+      "unknown --arrivals family '" + family_text + "'");
+  base.arrivals.duty_cycle = duty;
+  base.arrivals.mean_burst_slots = burst;
+  base.arrivals.bucket_depth = depth;
+  base.arrivals.release_probability = release;
+  base.engine_mode = mode_text == "warm" ? dynamics::EngineMode::kWarmSubset
+                                         : dynamics::EngineMode::kColdRebuild;
+  base.backend = BackendFromName(backend_text);
+  base.queue_capacity = static_cast<std::size_t>(capacity);
+  if (churn) {
+    base.churn.enabled = true;
+    base.churn.leave_probability = leave;
+    base.churn.enter_probability = enter;
+    base.churn.fade_recheck_probability = fade_recheck;
+    base.churn.drift_steps_per_slot = static_cast<std::size_t>(drift);
+    base.churn.mobility.region_size = region;
+  }
+  base.refresh.period_slots = static_cast<std::size_t>(refresh_period);
+  base.refresh.churn_budget = static_cast<std::uint64_t>(refresh_budget);
+
+  if (trace) {
+    FS_CHECK_MSG(algorithms.size() == 1 && rates.size() == 1,
+                 "--trace needs exactly one --algorithms entry and one "
+                 "--rates entry");
+    dynamics::DynamicsOptions options = base;
+    options.arrivals.rate = rates[0];
+    options.slot_observer = [](const dynamics::SlotRecord& record) {
+      std::printf("%s\n", dynamics::FormatSlotRecord(record).c_str());
+    };
+    const dynamics::DynamicsResult result = dynamics::RunSlottedSimulation(
+        links, params, algorithms[0], options);
+    std::printf("# ledger arrivals=%llu delivered=%llu blocked=%llu "
+                "overflow=%llu residual=%llu balanced=%d\n",
+                static_cast<unsigned long long>(result.ledger.arrivals),
+                static_cast<unsigned long long>(result.ledger.delivered),
+                static_cast<unsigned long long>(result.ledger.dropped_blocked),
+                static_cast<unsigned long long>(
+                    result.ledger.dropped_overflow),
+                static_cast<unsigned long long>(result.ledger.residual),
+                result.ledger.Balanced() ? 1 : 0);
+    return 0;
+  }
+
+  sim::MetricSweepSpec spec;
+  spec.series = algorithms;
+  spec.num_seeds = static_cast<std::size_t>(seeds);
+  {
+    std::uint64_t h = sim::FingerprintInit();
+    h = sim::FingerprintMix64(h, links.Size());
+    h = sim::FingerprintMix64(h, base.num_slots);
+    h = sim::FingerprintMix64(h, base.seed);
+    h = sim::FingerprintMixString(h, family_text);
+    h = sim::FingerprintMixString(h, mode_text);
+    h = sim::FingerprintMixDouble(h, *alpha);
+    spec.config_fingerprint = h;
+  }
+
+  if (frontier) {
+    spec.name = "queue-sim frontier";
+    spec.x_name = "alpha";
+    spec.xs = {*alpha};
+    spec.metrics = {"lambda_star", "lambda_lo", "lambda_hi", "saturated",
+                    "probes"};
+    dynamics::FrontierOptions frontier_options;
+    frontier_options.lambda_hi = lambda_hi;
+    frontier_options.iterations = static_cast<std::size_t>(frontier_iters);
+    spec.run_seed = [&, frontier_options](
+                        std::size_t /*point*/, std::size_t series,
+                        std::size_t seed_index,
+                        const util::Deadline& /*deadline*/) {
+      dynamics::DynamicsOptions options = base;
+      options.seed = base.seed + seed_index;
+      const dynamics::FrontierResult result =
+          dynamics::FindStabilityFrontier(links, params, algorithms[series],
+                                          options, frontier_options);
+      return std::vector<double>{result.lambda_star, result.lambda_lo,
+                                 result.lambda_hi,
+                                 result.saturated ? 1.0 : 0.0,
+                                 static_cast<double>(result.probes)};
+    };
+  } else {
+    spec.name = "queue-sim";
+    spec.x_name = "arrival_rate";
+    spec.xs = rates;
+    spec.metrics = {"mean_backlog", "mean_delay_slots", "delay_p95",
+                    "delivered", "failure_rate_pct"};
+    spec.run_seed = [&](std::size_t point, std::size_t series,
+                        std::size_t seed_index,
+                        const util::Deadline& /*deadline*/) {
+      dynamics::DynamicsOptions options = base;
+      options.seed = base.seed + seed_index;
+      options.arrivals.rate = rates[point];
+      dynamics::DynamicsResult result = dynamics::RunSlottedSimulation(
+          links, params, algorithms[series], options);
+      std::sort(result.delay_samples.begin(), result.delay_samples.end());
+      const double p95 = result.delay_samples.empty()
+                             ? 0.0
+                             : mathx::Percentile(result.delay_samples, 0.95);
+      return std::vector<double>{result.backlog.Mean(),
+                                 result.delay_slots.Mean(), p95,
+                                 static_cast<double>(result.ledger.delivered),
+                                 100.0 * result.FailureRate()};
+    };
+  }
+
+  sim::MetricSweepOptions options;
+  options.retry.max_attempts = static_cast<std::size_t>(retries) + 1;
+  options.retry.seed_deadline_seconds = seed_deadline;
+  options.checkpoint_path = checkpoint;
+  options.resume = resume;
+  options.keep_checkpoint = keep;
+  options.out_path = out;
+
+  const sim::MetricSweepResult result = sim::RunMetricSweep(spec, options);
+  std::fputs(result.table.ToString().c_str(), stdout);
+  if (result.failed_seeds > 0) {
+    std::fprintf(stderr, "warning: %zu seed(s) failed (%zu timed out)\n",
+                 result.failed_seeds, result.timed_out_seeds);
+  }
+  if (result.interrupted) {
+    std::fprintf(stderr, "interrupted: %zu/%zu points complete\n",
+                 result.points_completed, result.points_total);
+  }
+  return result.ExitCode();
 }
 
 struct OverloadFlags {
@@ -948,7 +1247,10 @@ void PrintTopLevelUsage() {
       "  fault-inject  distributed DLS under control-plane faults\n"
       "  ilp        export the ILP (paper formulas (20)-(22))\n"
       "  sweep      crash-safe multi-point sweep (checkpoint/resume)\n"
+      "  queue-sim  slotted dynamic-traffic simulation (arrivals, churn,\n"
+      "             warm-engine scheduling); --frontier finds lambda*\n"
       "  fuzz       metamorphic fuzzing + oracle checks, shrunk reproducers\n"
+      "             (--dynamic: warm-vs-cold + replay oracle on slotted runs)\n"
       "  serve      scheduling server (unix socket / TCP, line protocol)\n"
       "  supervise  crash-only multi-process server: forked workers share\n"
       "             the listener; crashes restart with backoff, SIGHUP\n"
@@ -988,6 +1290,7 @@ int main(int argc, char** argv) {
     if (command == "fault-inject") return RunFaultInject(sub_argc, sub_argv);
     if (command == "ilp") return RunIlp(sub_argc, sub_argv);
     if (command == "sweep") return RunSweep(sub_argc, sub_argv);
+    if (command == "queue-sim") return RunQueueSim(sub_argc, sub_argv);
     if (command == "fuzz") return RunFuzzCmd(sub_argc, sub_argv);
     if (command == "serve") return RunServe(sub_argc, sub_argv);
     if (command == "supervise") return RunSupervise(sub_argc, sub_argv);
