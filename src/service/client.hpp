@@ -52,6 +52,12 @@ class Client {
 
   [[nodiscard]] const ClientOptions& Options() const { return options_; }
 
+  /// Raw socket fd (-1 when disconnected). The socket is non-blocking
+  /// for its whole life, so a caller may drive it through its own
+  /// readiness loop — the multiplexed loadgen registers many Client fds
+  /// with one epoll and owns all I/O on them while doing so.
+  [[nodiscard]] int NativeHandle() const { return fd_; }
+
   /// Sends one frame and blocks (bounded by io_timeout_seconds) for the
   /// single response line. Throws util::HarnessError on transport
   /// failure, timeout, or malformed response.

@@ -1,8 +1,16 @@
 #include "service/loadgen.hpp"
 
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -70,10 +78,27 @@ RequestPlan BuildPlan(const LoadgenOptions& options) {
     plan.frames.push_back(serialize(i, "r" + std::to_string(i)));
   }
 
+  // Drifting working set: the warm pool is a window that slides one
+  // entry every `drift_period` requests. Drift scenarios draw from a
+  // fuzzer index range disjoint from both the pool and the cold stream
+  // so no scenario is accidentally shared across tiers.
+  constexpr std::size_t kDriftCaseBase = 1u << 20;
+  std::vector<std::size_t> pool_frames(options.pool_size);
+  for (std::size_t k = 0; k < options.pool_size; ++k) pool_frames[k] = k;
+  std::size_t drift_cursor = 0, drift_ordinal = 0;
+
   std::size_t warm_ordinal = 0, cold_ordinal = 0;
   for (std::size_t i = 0; i < options.num_requests; ++i) {
+    if (options.drift_period > 0 && i > 0 && i % options.drift_period == 0) {
+      plan.frames.push_back(serialize(kDriftCaseBase + drift_ordinal,
+                                      "d" + std::to_string(drift_ordinal)));
+      pool_frames[drift_cursor] = plan.frames.size() - 1;
+      drift_cursor = (drift_cursor + 1) % options.pool_size;
+      ++drift_ordinal;
+    }
     if (IsWarmIndex(i, options.hot_fraction)) {
-      plan.slots[i] = {warm_ordinal % options.pool_size, /*cold=*/false};
+      plan.slots[i] = {pool_frames[warm_ordinal % options.pool_size],
+                       /*cold=*/false};
       ++warm_ordinal;
     } else {
       // Cold = a scenario no other request shares: fuzzer indices past
@@ -85,6 +110,398 @@ RequestPlan BuildPlan(const LoadgenOptions& options) {
     }
   }
   return plan;
+}
+
+/// Multiplexed harness: one thread, `connections` sockets, one epoll.
+///
+/// Open-loop releases follow the same global start + i·Δ schedule as the
+/// threaded path, but a released request that finds every connection busy
+/// waits in a client-side ready queue instead of in sleep_until — its
+/// corrected latency (reply − intended release) keeps charging while it
+/// queues, which is the coordinated-omission story the report fields
+/// exist to tell. Closed loop assigns the next request the instant a
+/// connection goes idle (intended == send, corrected == raw).
+///
+/// Accounting mirrors the threaded path exactly: one outcome per request,
+/// transport failure counted once per dead connection (its in-flight
+/// request is abandoned, as when a loadgen thread dies), shed-retry
+/// re-sends the identical frame after the hinted backoff without
+/// resetting first_send.
+LoadgenReport RunLoadgenMux(const LoadgenOptions& options,
+                            const RequestPlan& plan) {
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::size_t index = 0;
+    Clock::time_point intended{};
+    Clock::time_point first_send{};
+    std::size_t attempts = 0;
+    bool sent_once = false;
+  };
+  struct MuxConn {
+    std::unique_ptr<Client> client;
+    int fd = -1;
+    std::string in;    ///< bytes read, not yet a full line
+    std::string out;   ///< bytes not yet accepted by the kernel
+    bool want_write = false;
+    bool busy = false;
+    Pending current;
+    Clock::time_point io_deadline = Clock::time_point::max();
+  };
+
+  const std::size_t connections =
+      options.connections > 0 ? options.connections : 1;
+  const bool open_loop = options.rate_per_sec > 0.0;
+  const double interarrival = open_loop ? 1.0 / options.rate_per_sec : 0.0;
+
+  std::size_t ok = 0, shed = 0, timed_out = 0, errors = 0, retried = 0,
+              transport = 0, mismatches = 0;
+  std::size_t warm_ok = 0, cold_ok = 0, warm_shed = 0, cold_shed = 0;
+  LatencyHistogram warm_latency, cold_latency;
+  LatencyHistogram warm_corrected, cold_corrected;
+  std::vector<std::string> expected(plan.frames.size());
+
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    throw util::TransientError("loadgen epoll_create1 failed");
+  }
+
+  std::vector<MuxConn> conns;
+  conns.reserve(connections);
+  std::size_t live = 0;
+  for (std::size_t c = 0; c < connections; ++c) {
+    MuxConn conn;
+    conn.client = std::make_unique<Client>();
+    try {
+      if (!options.unix_socket_path.empty()) {
+        conn.client->ConnectUnix(options.unix_socket_path);
+      } else {
+        conn.client->ConnectTcp(options.host, options.port);
+      }
+    } catch (const std::exception&) {
+      continue;  // counted below via live == 0 / partial fleet
+    }
+    conn.fd = conn.client->NativeHandle();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conns.size();
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, conn.fd, &ev) < 0) {
+      continue;
+    }
+    conns.push_back(std::move(conn));
+    ++live;
+  }
+  if (live == 0) {
+    ::close(epoll_fd);
+    throw util::TransientError("loadgen could not connect to the endpoint");
+  }
+
+  const auto start = Clock::now();
+  const auto due_at = [&](std::size_t i) {
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(
+                           static_cast<double>(i) * interarrival));
+  };
+
+  std::deque<Pending> ready;
+  std::multimap<Clock::time_point, Pending> retries;
+  std::size_t next_release = 0;
+  std::size_t settled = 0;  ///< accounted (ok/shed/timeout/error) + abandoned
+
+  const auto set_interest = [&](std::size_t idx) {
+    MuxConn& conn = conns[idx];
+    const bool want = !conn.out.empty();
+    if (want == conn.want_write) return;
+    conn.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = idx;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+  };
+
+  // A dead connection abandons its in-flight request, exactly like a
+  // loadgen thread dying mid-call: one transport failure, the request
+  // settles without an outcome, siblings keep draining the plan.
+  const auto kill_conn = [&](std::size_t idx) {
+    MuxConn& conn = conns[idx];
+    if (conn.fd < 0) return;
+    ++transport;
+    if (conn.busy) {
+      conn.busy = false;
+      ++settled;
+    }
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    conn.client->Close();
+    conn.fd = -1;
+    --live;
+  };
+
+  /// Returns false when the connection died mid-flush.
+  const auto flush_out = [&](std::size_t idx) {
+    MuxConn& conn = conns[idx];
+    std::size_t written = 0;
+    while (written < conn.out.size()) {
+      const ssize_t n = ::send(conn.fd, conn.out.data() + written,
+                               conn.out.size() - written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        conn.out.clear();
+        kill_conn(idx);
+        return false;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    conn.out.erase(0, written);
+    set_interest(idx);
+    return true;
+  };
+
+  const auto assign = [&](std::size_t idx, Pending pending) {
+    MuxConn& conn = conns[idx];
+    const auto now = Clock::now();
+    if (!pending.sent_once) {
+      pending.first_send = now;
+      pending.sent_once = true;
+      if (!open_loop) pending.intended = now;
+    }
+    conn.current = pending;
+    conn.busy = true;
+    const double budget = conn.client->Options().io_timeout_seconds;
+    conn.io_deadline =
+        budget > 0.0 ? now + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(budget))
+                     : Clock::time_point::max();
+    conn.out += plan.frames[plan.slots[pending.index].frame];
+    flush_out(idx);
+  };
+
+  const auto settle_line = [&](std::size_t idx, const std::string& line) {
+    MuxConn& conn = conns[idx];
+    if (!conn.busy) return;  // stray line; the server never volunteers one
+    const Pending pending = conn.current;
+    conn.busy = false;
+    SchedulingResponse response;
+    try {
+      response = ParseResponseLine(line);
+    } catch (const std::exception&) {
+      ++errors;
+      ++settled;
+      return;
+    }
+    if (response.status == ResponseStatus::kShed && options.retry_on_shed &&
+        response.retry_after_ms > 0.0 &&
+        pending.attempts < options.max_shed_retries) {
+      ++retried;
+      Pending again = pending;
+      ++again.attempts;
+      retries.emplace(
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 response.retry_after_ms * 1e-3)),
+          again);
+      return;  // not settled yet — the backoff clock is running
+    }
+    const RequestPlan::Slot slot = plan.slots[pending.index];
+    switch (response.status) {
+      case ResponseStatus::kOk: {
+        ++ok;
+        const auto reply_at = Clock::now();
+        const double seconds =
+            std::chrono::duration<double>(reply_at - pending.first_send)
+                .count();
+        const double corrected =
+            std::chrono::duration<double>(reply_at - pending.intended).count();
+        if (slot.cold) {
+          ++cold_ok;
+          cold_latency.Record(seconds);
+          cold_corrected.Record(corrected);
+        } else {
+          ++warm_ok;
+          warm_latency.Record(seconds);
+          warm_corrected.Record(corrected);
+          std::string& first = expected[slot.frame];
+          if (first.empty()) {
+            first = line;
+          } else if (first != line) {
+            ++mismatches;
+          }
+        }
+        break;
+      }
+      case ResponseStatus::kShed:
+        ++shed;
+        (slot.cold ? cold_shed : warm_shed) += 1;
+        break;
+      case ResponseStatus::kTimeout:
+        ++timed_out;
+        break;
+      case ResponseStatus::kError:
+        ++errors;
+        break;
+    }
+    ++settled;
+  };
+
+  const auto drain_readable = [&](std::size_t idx) {
+    MuxConn& conn = conns[idx];
+    char chunk[16384];
+    for (;;) {
+      if (conn.fd < 0) return;
+      const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        kill_conn(idx);
+        return;
+      }
+      if (n == 0) {
+        kill_conn(idx);
+        return;
+      }
+      conn.in.append(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+    }
+    std::size_t line_end;
+    while ((line_end = conn.in.find('\n')) != std::string::npos) {
+      std::string line = conn.in.substr(0, line_end);
+      conn.in.erase(0, line_end + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      settle_line(idx, line);
+    }
+  };
+
+  std::vector<epoll_event> events(64);
+  while (settled < options.num_requests && live > 0) {
+    const auto now = Clock::now();
+
+    // Stage 1: move everything due into the ready queue. Retries first —
+    // they were released before anything still waiting on the schedule.
+    while (!retries.empty() && retries.begin()->first <= now) {
+      ready.push_back(retries.begin()->second);
+      retries.erase(retries.begin());
+    }
+    if (open_loop) {
+      while (next_release < options.num_requests &&
+             due_at(next_release) <= now) {
+        Pending pending;
+        pending.index = next_release;
+        pending.intended = due_at(next_release);
+        ready.push_back(pending);
+        ++next_release;
+      }
+    } else {
+      std::size_t idle = 0;
+      for (const MuxConn& conn : conns) {
+        if (conn.fd >= 0 && !conn.busy) ++idle;
+      }
+      while (next_release < options.num_requests && ready.size() < idle) {
+        Pending pending;
+        pending.index = next_release;
+        ready.push_back(pending);
+        ++next_release;
+      }
+    }
+
+    // Stage 2: hand ready requests to idle connections.
+    for (std::size_t idx = 0; idx < conns.size() && !ready.empty(); ++idx) {
+      MuxConn& conn = conns[idx];
+      if (conn.fd < 0 || conn.busy || !conn.out.empty()) continue;
+      Pending pending = std::move(ready.front());
+      ready.pop_front();
+      assign(idx, pending);
+    }
+
+    // Released work that no live connection can ever take settles as
+    // abandoned, otherwise the loop would spin forever on a dead fleet.
+    if (live == 0) break;
+
+    // Stage 3: wait for readiness, the next scheduled release, or the
+    // supervision tick (io deadlines).
+    int timeout_ms = 20;
+    const auto clamp_to = [&](Clock::time_point when) {
+      const auto delta =
+          std::chrono::duration_cast<std::chrono::milliseconds>(when - now)
+              .count();
+      const int ms = delta < 0 ? 0 : static_cast<int>(delta) + 1;
+      if (ms < timeout_ms) timeout_ms = ms;
+    };
+    if (open_loop && next_release < options.num_requests) {
+      clamp_to(due_at(next_release));
+    }
+    if (!retries.empty()) clamp_to(retries.begin()->first);
+    if (!ready.empty()) timeout_ms = 0;
+
+    const int n_ready =
+        ::epoll_wait(epoll_fd, events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n_ready < 0 && errno != EINTR) break;
+    for (int e = 0; e < (n_ready > 0 ? n_ready : 0); ++e) {
+      const std::size_t idx = static_cast<std::size_t>(events[e].data.u64);
+      if (idx >= conns.size() || conns[idx].fd < 0) continue;
+      if (events[e].events & (EPOLLERR | EPOLLHUP)) {
+        // Let recv observe the error/EOF so half-delivered lines settle.
+        drain_readable(idx);
+        if (conns[idx].fd >= 0 && conns[idx].in.empty()) kill_conn(idx);
+        continue;
+      }
+      if (events[e].events & EPOLLIN) drain_readable(idx);
+      if (conns[idx].fd >= 0 && (events[e].events & EPOLLOUT)) {
+        flush_out(idx);
+      }
+    }
+
+    // Tick: enforce per-request I/O budgets like the threaded Client.
+    const auto tick = Clock::now();
+    for (std::size_t idx = 0; idx < conns.size(); ++idx) {
+      MuxConn& conn = conns[idx];
+      if (conn.fd >= 0 && conn.busy && tick > conn.io_deadline) {
+        kill_conn(idx);
+      }
+    }
+  }
+
+  for (std::size_t idx = 0; idx < conns.size(); ++idx) {
+    if (conns[idx].fd >= 0) {
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conns[idx].fd, nullptr);
+      conns[idx].client->Close();
+      conns[idx].fd = -1;
+    }
+  }
+  ::close(epoll_fd);
+
+  LoadgenReport report;
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.ok = ok;
+  report.shed = shed;
+  report.timed_out = timed_out;
+  report.errors = errors;
+  report.retried = retried;
+  report.transport_failures = transport;
+  report.determinism_mismatches = mismatches;
+  report.sent = ok + shed + timed_out + errors;
+  report.throughput_rps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.sent) / report.wall_seconds
+          : 0.0;
+  report.warm_ok = warm_ok;
+  report.cold_ok = cold_ok;
+  report.warm_shed = warm_shed;
+  report.cold_shed = cold_shed;
+  report.warm_p50_ms = warm_latency.Percentile(0.50) * 1e3;
+  report.warm_p95_ms = warm_latency.Percentile(0.95) * 1e3;
+  report.warm_p99_ms = warm_latency.Percentile(0.99) * 1e3;
+  report.cold_p50_ms = cold_latency.Percentile(0.50) * 1e3;
+  report.cold_p95_ms = cold_latency.Percentile(0.95) * 1e3;
+  report.cold_p99_ms = cold_latency.Percentile(0.99) * 1e3;
+  report.warm_corrected_p50_ms = warm_corrected.Percentile(0.50) * 1e3;
+  report.warm_corrected_p95_ms = warm_corrected.Percentile(0.95) * 1e3;
+  report.warm_corrected_p99_ms = warm_corrected.Percentile(0.99) * 1e3;
+  report.cold_corrected_p50_ms = cold_corrected.Percentile(0.50) * 1e3;
+  report.cold_corrected_p95_ms = cold_corrected.Percentile(0.95) * 1e3;
+  report.cold_corrected_p99_ms = cold_corrected.Percentile(0.99) * 1e3;
+  return report;
 }
 
 }  // namespace
@@ -104,10 +521,16 @@ std::string LoadgenReport::ToJson() const {
   out << std::fixed;
   out << "  \"warm\": {\"ok\": " << warm_ok << ", \"shed\": " << warm_shed
       << ", \"p50_ms\": " << warm_p50_ms << ", \"p95_ms\": " << warm_p95_ms
-      << ", \"p99_ms\": " << warm_p99_ms << "},\n";
+      << ", \"p99_ms\": " << warm_p99_ms
+      << ", \"corrected_p50_ms\": " << warm_corrected_p50_ms
+      << ", \"corrected_p95_ms\": " << warm_corrected_p95_ms
+      << ", \"corrected_p99_ms\": " << warm_corrected_p99_ms << "},\n";
   out << "  \"cold\": {\"ok\": " << cold_ok << ", \"shed\": " << cold_shed
       << ", \"p50_ms\": " << cold_p50_ms << ", \"p95_ms\": " << cold_p95_ms
-      << ", \"p99_ms\": " << cold_p99_ms << "},\n";
+      << ", \"p99_ms\": " << cold_p99_ms
+      << ", \"corrected_p50_ms\": " << cold_corrected_p50_ms
+      << ", \"corrected_p95_ms\": " << cold_corrected_p95_ms
+      << ", \"corrected_p99_ms\": " << cold_corrected_p99_ms << "},\n";
   out << "  \"wall_seconds\": " << wall_seconds << ",\n";
   out << "  \"throughput_rps\": " << throughput_rps << "\n";
   out << "}\n";
@@ -123,11 +546,12 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
       options.connections > 0 ? options.connections : 1;
 
   const RequestPlan plan = BuildPlan(options);
+  if (options.multiplex) return RunLoadgenMux(options, plan);
 
-  // First OK response line seen per warm pool entry; later OKs must
-  // match. Cold scenarios are sent exactly once, so there is nothing to
-  // cross-check for them.
-  std::vector<std::string> expected(plan.pool_size);
+  // First OK response line seen per replayed frame (pool + drift
+  // entries); later OKs must match. Cold scenarios are sent exactly
+  // once, so there is nothing to cross-check for them.
+  std::vector<std::string> expected(plan.frames.size());
   std::mutex expected_mutex;
 
   std::atomic<std::size_t> next{0};
@@ -135,6 +559,7 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
       retried{0}, transport{0}, mismatches{0};
   std::atomic<std::size_t> warm_ok{0}, cold_ok{0}, warm_shed{0}, cold_shed{0};
   LatencyHistogram warm_latency, cold_latency;
+  LatencyHistogram warm_corrected, cold_corrected;
 
   const auto start = std::chrono::steady_clock::now();
   const bool open_loop = options.rate_per_sec > 0.0;
@@ -160,6 +585,7 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= options.num_requests) return;
+        std::chrono::steady_clock::time_point intended{};
         if (open_loop) {
           // Global schedule: request i is released at start + i·Δ no
           // matter which connection draws it.
@@ -169,6 +595,7 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
                           std::chrono::duration<double>(
                               static_cast<double>(i) * interarrival));
           std::this_thread::sleep_until(due);
+          intended = due;
         }
         const RequestPlan::Slot slot = plan.slots[i];
         const std::string& frame = plan.frames[slot.frame];
@@ -177,6 +604,7 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
         std::string line;
         bool answered = false;
         const auto first_send = std::chrono::steady_clock::now();
+        if (!open_loop) intended = first_send;
         for (std::size_t attempt = 0;; ++attempt) {
           try {
             client.SendRaw(frame);
@@ -212,16 +640,19 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
             // Latency is first-send → final OK: a retried request pays
             // its backoff in the client-observed percentile, as it
             // should.
+            const auto reply_at = std::chrono::steady_clock::now();
             const double seconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - first_send)
-                    .count();
+                std::chrono::duration<double>(reply_at - first_send).count();
+            const double corrected =
+                std::chrono::duration<double>(reply_at - intended).count();
             if (slot.cold) {
               cold_ok.fetch_add(1, std::memory_order_relaxed);
               cold_latency.Record(seconds);
+              cold_corrected.Record(corrected);
             } else {
               warm_ok.fetch_add(1, std::memory_order_relaxed);
               warm_latency.Record(seconds);
+              warm_corrected.Record(corrected);
               std::lock_guard<std::mutex> lock(expected_mutex);
               std::string& first = expected[slot.frame];
               if (first.empty()) {
@@ -279,6 +710,12 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
   report.cold_p50_ms = cold_latency.Percentile(0.50) * 1e3;
   report.cold_p95_ms = cold_latency.Percentile(0.95) * 1e3;
   report.cold_p99_ms = cold_latency.Percentile(0.99) * 1e3;
+  report.warm_corrected_p50_ms = warm_corrected.Percentile(0.50) * 1e3;
+  report.warm_corrected_p95_ms = warm_corrected.Percentile(0.95) * 1e3;
+  report.warm_corrected_p99_ms = warm_corrected.Percentile(0.99) * 1e3;
+  report.cold_corrected_p50_ms = cold_corrected.Percentile(0.50) * 1e3;
+  report.cold_corrected_p95_ms = cold_corrected.Percentile(0.95) * 1e3;
+  report.cold_corrected_p99_ms = cold_corrected.Percentile(0.99) * 1e3;
   return report;
 }
 

@@ -59,6 +59,22 @@ struct LoadgenOptions {
   /// controller's hint is designed for.
   bool retry_on_shed = false;
   std::size_t max_shed_retries = 3;
+
+  /// Multiplexed mode: one thread drives all `connections` sockets
+  /// through epoll instead of one OS thread per connection. This is the
+  /// harness that scales to hundreds of connections against the sharded
+  /// tier; open- and closed-loop pacing and the shed-retry hint all work
+  /// identically. Semantual difference worth knowing: a released request
+  /// that finds every connection busy queues client-side — which is
+  /// exactly the queueing the corrected (intended-start) latency makes
+  /// visible.
+  bool multiplex = false;
+
+  /// > 0: every `drift_period` requests, one warm-pool entry (round
+  /// robin) is replaced by a fresh scenario — a drifting working set, so
+  /// affinity routing has to keep absorbing new fingerprints instead of
+  /// serving a frozen pool. 0 = static pool.
+  std::size_t drift_period = 0;
 };
 
 struct LoadgenReport {
@@ -88,6 +104,18 @@ struct LoadgenReport {
   std::size_t warm_shed = 0;
   double warm_p50_ms = 0.0, warm_p95_ms = 0.0, warm_p99_ms = 0.0;
   double cold_p50_ms = 0.0, cold_p95_ms = 0.0, cold_p99_ms = 0.0;
+
+  /// Coordinated-omission-corrected latency: measured from the request's
+  /// *intended* release instant on the open-loop schedule (start + i·Δ)
+  /// rather than from the actual send. When the server (or a saturated
+  /// client connection) slows down, sends lag the schedule and
+  /// send-to-reply understates what an arrival actually waited — the
+  /// corrected numbers include that client-side lag. In closed-loop runs
+  /// intended == actual send, so the two coincide by construction.
+  double warm_corrected_p50_ms = 0.0, warm_corrected_p95_ms = 0.0,
+         warm_corrected_p99_ms = 0.0;
+  double cold_corrected_p50_ms = 0.0, cold_corrected_p95_ms = 0.0,
+         cold_corrected_p99_ms = 0.0;
 
   /// True when every request was answered, none diverged, and no
   /// transport failure occurred (shed/timeout are legitimate outcomes —

@@ -386,10 +386,36 @@ StatsSnapshot CaptureStats(const ServiceMetrics& metrics) {
   s.brownout_entries = get(metrics.brownout_entries);
   s.brownout_builds = get(metrics.brownout_builds);
   s.worker_restarts = get(metrics.worker_restarts);
+  s.response_hits = get(metrics.response_hits);
+  s.response_misses = get(metrics.response_misses);
+  s.scenario_hits = get(metrics.scenario_hits);
+  s.scenario_misses = get(metrics.scenario_misses);
   s.queue_depth = get(metrics.queue_depth);
   s.queue_delay_ewma_us = get(metrics.queue_delay_ewma_us);
   s.brownout_active = get(metrics.brownout_active);
   return s;
+}
+
+void AccumulateStats(StatsSnapshot& into, const StatsSnapshot& from) {
+  into.submitted += from.submitted;
+  into.admitted += from.admitted;
+  into.completed += from.completed;
+  into.failed += from.failed;
+  into.timed_out += from.timed_out;
+  into.shed += from.shed;
+  into.shed_overload += from.shed_overload;
+  into.shed_cold += from.shed_cold;
+  into.rejected_draining += from.rejected_draining;
+  into.brownout_entries += from.brownout_entries;
+  into.brownout_builds += from.brownout_builds;
+  into.worker_restarts += from.worker_restarts;
+  into.response_hits += from.response_hits;
+  into.response_misses += from.response_misses;
+  into.scenario_hits += from.scenario_hits;
+  into.scenario_misses += from.scenario_misses;
+  into.queue_depth += from.queue_depth;
+  into.queue_delay_ewma_us += from.queue_delay_ewma_us;
+  into.brownout_active += from.brownout_active;
 }
 
 namespace {
@@ -414,6 +440,10 @@ constexpr StatsField kStatsFields[] = {
     {"brownout_entries", &StatsSnapshot::brownout_entries},
     {"brownout_builds", &StatsSnapshot::brownout_builds},
     {"worker_restarts", &StatsSnapshot::worker_restarts},
+    {"response_hits", &StatsSnapshot::response_hits},
+    {"response_misses", &StatsSnapshot::response_misses},
+    {"scenario_hits", &StatsSnapshot::scenario_hits},
+    {"scenario_misses", &StatsSnapshot::scenario_misses},
     {"queue_depth", &StatsSnapshot::queue_depth},
     {"queue_delay_ewma_us", &StatsSnapshot::queue_delay_ewma_us},
     {"brownout_active", &StatsSnapshot::brownout_active},
@@ -474,6 +504,21 @@ StatsSnapshot ParseStatsLine(const std::string& raw_line) {
     }
   }
   return snapshot;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::string out = "{\n";
+  for (const StatsField& field : kStatsFields) {
+    out += "  \"";
+    out += field.key;
+    out += "\": ";
+    out += std::to_string(this->*(field.member));
+    out += ",\n";
+  }
+  char rate[64];
+  std::snprintf(rate, sizeof(rate), "%.6f", WarmHitRate());
+  out += std::string("  \"warm_hit_rate\": ") + rate + "\n}\n";
+  return out;
 }
 
 bool FrameAssembler::Feed(const std::string& line) {

@@ -76,6 +76,10 @@ struct StatsSnapshot {
   std::uint64_t brownout_entries = 0;
   std::uint64_t brownout_builds = 0;
   std::uint64_t worker_restarts = 0;
+  std::uint64_t response_hits = 0;    ///< whole-response cache hits
+  std::uint64_t response_misses = 0;
+  std::uint64_t scenario_hits = 0;    ///< warm-engine cache hits
+  std::uint64_t scenario_misses = 0;
   std::uint64_t queue_depth = 0;           ///< gauge
   std::uint64_t queue_delay_ewma_us = 0;   ///< gauge
   std::uint64_t brownout_active = 0;       ///< gauge (0/1)
@@ -83,7 +87,29 @@ struct StatsSnapshot {
   /// Total sheds of any flavour (the "shed" term of the admission
   /// identity: submitted == admitted + Sheds() + rejected_draining).
   [[nodiscard]] std::uint64_t Sheds() const { return shed + shed_overload; }
+
+  /// Fraction of completed lookups served from the response cache — the
+  /// warm-locality figure the sharded tier's affinity routing maximizes.
+  /// 0 when nothing has been looked up yet.
+  [[nodiscard]] double WarmHitRate() const {
+    const std::uint64_t total = response_hits + response_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(response_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// The counters as a JSON object — one key per STATS wire field plus
+  /// the derived warm_hit_rate. What `fadesched_cli stats` prints, and
+  /// what CI parses for its warm-hit-rate floor assertion.
+  [[nodiscard]] std::string ToJson() const;
 };
+
+/// Accumulates `from` into `into`, counter by counter. Used by the shard
+/// router's STATS fan-out: per-shard snapshots sum into one tier-wide
+/// line. Gauges sum too (queue_depth is additive across shards;
+/// queue_delay_ewma_us and brownout_active become tier totals — callers
+/// wanting a mean divide by the shard count).
+void AccumulateStats(StatsSnapshot& into, const StatsSnapshot& from);
 
 /// Relaxed-load snapshot of the counters this protocol exports.
 StatsSnapshot CaptureStats(const ServiceMetrics& metrics);
@@ -132,6 +158,11 @@ class FrameAssembler {
 
   /// Parses the assembled frame (requires Done()).
   [[nodiscard]] SchedulingRequest Parse() const;
+
+  /// Raw frame bytes accumulated so far (each fed line + '\n'). The shard
+  /// router forwards this verbatim to a worker instead of re-serializing,
+  /// so the worker sees — and checksums — exactly what the client sent.
+  [[nodiscard]] const std::string& Body() const { return frame_; }
 
   /// Error message for a frame cut off before END ("truncated request
   /// frame after N line(s) — missing END terminator").

@@ -161,12 +161,13 @@ ScenarioCache::ScenarioPtr ScenarioCache::ObtainScenario(
 }
 
 bool ScenarioCache::LookupResponse(const Fingerprint& fp,
-                                   SchedulingResponse* out) {
+                                   SchedulingResponse* out,
+                                   bool count_miss) {
   const std::string guard = ResponseGuard(fp);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = FindLocked(fp.request_hash, guard);
   if (it == lru_.end()) {
-    Bump(&ServiceMetrics::response_misses);
+    if (count_miss) Bump(&ServiceMetrics::response_misses);
     return false;
   }
   TouchLocked(it);

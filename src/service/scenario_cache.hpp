@@ -93,7 +93,12 @@ class ScenarioCache {
   /// Response memoization. Lookup copies the stored response into *out
   /// (id/cache_hit fields left for the caller to stamp). Store ignores
   /// non-kOk responses — admission failures must not be replayed.
-  bool LookupResponse(const Fingerprint& fp, SchedulingResponse* out);
+  /// `count_miss=false` is for pre-handler probes (the Submit fast path):
+  /// a probe that misses hands the request to HandleNow, whose own lookup
+  /// is the authoritative miss — counting both would double every cold
+  /// request in the warm-hit-rate denominator.
+  bool LookupResponse(const Fingerprint& fp, SchedulingResponse* out,
+                      bool count_miss = true);
   void StoreResponse(const Fingerprint& fp, const SchedulingResponse& response);
 
   [[nodiscard]] std::size_t CurrentBytes() const;

@@ -103,7 +103,8 @@ std::future<SchedulingResponse> SchedulingService::Submit(
     // issues the canonical typed rejection and the admission ledger
     // stays consistent.
     SchedulingResponse response;
-    if (!batcher_->Draining() && cache_->LookupResponse(fp, &response)) {
+    if (!batcher_->Draining() &&
+        cache_->LookupResponse(fp, &response, /*count_miss=*/false)) {
       response.id = request.id;
       response.cache_hit = true;
       metrics_.submitted.fetch_add(1, std::memory_order_relaxed);

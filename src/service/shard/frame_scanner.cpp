@@ -1,0 +1,62 @@
+#include "service/shard/frame_scanner.hpp"
+
+#include "service/request.hpp"
+
+namespace fadesched::service::shard {
+
+void FrameScanner::Feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+std::vector<ScanEvent> FrameScanner::Drain() {
+  std::vector<ScanEvent> events;
+  std::size_t line_end;
+  while ((line_end = buffer_.find('\n')) != std::string::npos) {
+    std::string line = buffer_.substr(0, line_end);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    buffer_.erase(0, line_end + 1);
+    if (assembler_.Empty() && line == kStatsVerb) {
+      ScanEvent event;
+      event.kind = ScanEvent::Kind::kStats;
+      events.push_back(std::move(event));
+      continue;
+    }
+    if (!assembler_.Feed(line)) continue;
+    ScanEvent event;
+    event.kind = ScanEvent::Kind::kFrame;
+    event.frame = assembler_.Body();
+    events.push_back(std::move(event));
+    assembler_.Reset();
+  }
+  return events;
+}
+
+std::uint64_t RoutingKey(const std::string& frame) {
+  // Header is the first line; payload is everything after it (including
+  // the END terminator — constant across frames, so harmless to hash).
+  const std::size_t header_end = frame.find('\n');
+  if (header_end == std::string::npos) return Fnv1a64(frame);
+  const std::string_view header(frame.data(), header_end);
+  const std::string_view payload(frame.data() + header_end + 1,
+                                 frame.size() - header_end - 1);
+  // Extract the scheduler= token value from the header by scanning
+  // space-separated tokens; no full parse — a malformed header must
+  // still route somewhere deterministic.
+  std::string_view scheduler;
+  std::size_t pos = 0;
+  while (pos < header.size()) {
+    std::size_t end = header.find(' ', pos);
+    if (end == std::string_view::npos) end = header.size();
+    const std::string_view token = header.substr(pos, end - pos);
+    constexpr std::string_view kKey = "scheduler=";
+    if (token.size() > kKey.size() && token.substr(0, kKey.size()) == kKey) {
+      scheduler = token.substr(kKey.size());
+      break;
+    }
+    pos = end + 1;
+  }
+  if (scheduler.empty()) return Fnv1a64(frame);
+  return Fnv1a64(payload, Fnv1a64(scheduler));
+}
+
+}  // namespace fadesched::service::shard

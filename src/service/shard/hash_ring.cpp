@@ -1,0 +1,138 @@
+#include "service/shard/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "service/request.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace fadesched::service::shard {
+namespace {
+
+// Vnode positions must be a pure function of (seed, shard, vnode) so that
+// every ring built from the same options — across processes, restarts,
+// and shard-count comparisons in tests — places them identically.
+std::uint64_t VNodePosition(std::uint64_t seed, std::uint32_t shard,
+                            std::uint32_t vnode) {
+  char key[20];
+  std::uint64_t s = seed;
+  for (int i = 0; i < 8; ++i) key[i] = static_cast<char>(s >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    key[8 + i] = static_cast<char>(shard >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    key[12 + i] = static_cast<char>(vnode >> (8 * i));
+  // Double-hash: a single FNV-1a pass over near-identical short keys
+  // leaves the low bits correlated across consecutive vnode indices,
+  // which clumps arcs and ruins the balance bound.
+  std::uint64_t h = Fnv1a64(std::string_view(key, 16));
+  for (int i = 0; i < 4; ++i) key[16 + i] = static_cast<char>(h >> (8 * i));
+  return Fnv1a64(std::string_view(key, 20), h);
+}
+
+}  // namespace
+
+void HashRingOptions::Validate() const {
+  if (num_shards < 1 || num_shards > 1024) {
+    throw util::FatalError("hash ring: num_shards must be in [1, 1024]");
+  }
+  if (vnodes_per_shard < 1) {
+    throw util::FatalError("hash ring: vnodes_per_shard must be >= 1");
+  }
+}
+
+HashRing::HashRing(HashRingOptions options) : options_(options) {
+  options_.Validate();
+  vnodes_.reserve(options_.num_shards * options_.vnodes_per_shard);
+  for (std::uint32_t s = 0; s < options_.num_shards; ++s) {
+    for (std::uint32_t v = 0; v < options_.vnodes_per_shard; ++v) {
+      vnodes_.push_back(VNode{VNodePosition(options_.seed, s, v), s});
+    }
+  }
+  // Tie-break by shard so equal positions (astronomically rare but
+  // possible) still order deterministically.
+  std::sort(vnodes_.begin(), vnodes_.end(),
+            [](const VNode& a, const VNode& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.shard < b.shard;
+            });
+  live_.assign(options_.num_shards, true);
+  live_count_ = options_.num_shards;
+}
+
+void HashRing::SetLive(std::size_t shard, bool live) {
+  FS_CHECK_MSG(shard < options_.num_shards, "shard index out of range");
+  if (live_[shard] == live) return;
+  live_[shard] = live;
+  live_count_ += live ? 1 : -1;
+}
+
+std::size_t HashRing::ShardFor(std::uint64_t key) const {
+  if (live_count_ == 0) return options_.num_shards;
+  // First vnode at or clockwise from `key`; wrap to the start past the
+  // highest position. Dead shards are skipped in ring order, which is
+  // exactly the "only the lost arc remaps" property: a key whose
+  // successor is live resolves identically whether or not other shards
+  // are dead.
+  auto it = std::lower_bound(
+      vnodes_.begin(), vnodes_.end(), key,
+      [](const VNode& v, std::uint64_t k) { return v.position < k; });
+  for (std::size_t probes = 0; probes < vnodes_.size(); ++probes, ++it) {
+    if (it == vnodes_.end()) it = vnodes_.begin();
+    if (live_[it->shard]) return it->shard;
+  }
+  return options_.num_shards;  // unreachable: live_count_ > 0
+}
+
+double HashRing::ArcShare(std::size_t shard) const {
+  FS_CHECK_MSG(shard < options_.num_shards, "shard index out of range");
+  if (!live_[shard] || live_count_ == 0) return 0.0;
+  // Walk the ring once, attributing to each live vnode the arc that ends
+  // at it (i.e. keys in (prev_live_position, position] resolve to it).
+  long double owned = 0.0L;
+  constexpr long double kRing = 18446744073709551616.0L;  // 2^64
+  // Find the last live vnode to anchor the first arc (wraparound).
+  std::size_t prev = vnodes_.size();
+  for (std::size_t i = vnodes_.size(); i-- > 0;) {
+    if (live_[vnodes_[i].shard]) {
+      prev = i;
+      break;
+    }
+  }
+  if (prev == vnodes_.size()) return 0.0;
+  std::uint64_t prev_pos = vnodes_[prev].position;
+  for (const VNode& v : vnodes_) {
+    if (!live_[v.shard]) continue;
+    // Arc length from the previous live vnode, wrapping modulo 2^64.
+    std::uint64_t arc = v.position - prev_pos;
+    if (v.shard == shard) owned += static_cast<long double>(arc);
+    prev_pos = v.position;
+  }
+  // With a single live vnode total the loop above attributes arc 0 to it;
+  // it owns the whole ring.
+  if (owned == 0.0L) {
+    std::size_t live_vnodes = 0;
+    std::size_t live_mine = 0;
+    for (const VNode& v : vnodes_) {
+      if (!live_[v.shard]) continue;
+      ++live_vnodes;
+      if (v.shard == shard) ++live_mine;
+    }
+    if (live_vnodes == live_mine && live_vnodes > 0) return 1.0;
+  }
+  return static_cast<double>(owned / kRing);
+}
+
+std::uint64_t HashRing::AssignmentDigest(
+    const std::vector<std::uint64_t>& keys) const {
+  std::uint64_t digest = 14695981039346656037ULL;
+  for (std::uint64_t key : keys) {
+    std::size_t shard = ShardFor(key);
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+      buf[i] = static_cast<char>(static_cast<std::uint64_t>(shard) >> (8 * i));
+    digest = Fnv1a64(std::string_view(buf, 8), digest);
+  }
+  return digest;
+}
+
+}  // namespace fadesched::service::shard

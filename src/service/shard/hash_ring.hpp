@@ -1,0 +1,81 @@
+// Consistent-hash ring for fingerprint-affinity request routing.
+//
+// Each of the `num_shards` shards owns `vnodes_per_shard` virtual nodes
+// whose positions on the 64-bit ring are a pure function of
+// (seed, shard, vnode) — membership changes never move them. A key is
+// served by the first *live* vnode clockwise from it, so:
+//
+//   * determinism: two rings built from the same options agree on every
+//     assignment, byte for byte — the router can be restarted (or a
+//     sibling front-end brought up) without a remap storm;
+//   * minimal remap: marking shard s dead remaps exactly the keys whose
+//     successor vnode belonged to s (they slide forward to the next live
+//     owner); marking it live again restores the original assignment
+//     exactly. No other shard's keys move in either direction — which is
+//     why a worker crash costs one shard's cache warmth, not the tier's.
+//
+// The ring is a routing table, not a registry: it always knows all
+// `num_shards` shards and only tracks which are live. Shard workers are
+// respawned into the same slot (same arc) by the supervisor, so a
+// crash + respawn is arc-preserving by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fadesched::service::shard {
+
+struct HashRingOptions {
+  std::size_t num_shards = 1;
+  /// Virtual nodes per shard. More vnodes → tighter load balance
+  /// (max/mean load concentrates as ~1 + O(1/sqrt(vnodes))) at the cost
+  /// of a larger table; 128 keeps max/mean under ~1.35 for ≤16 shards.
+  std::size_t vnodes_per_shard = 128;
+  /// Salts every vnode position; two tiers with different seeds shard
+  /// the same keyspace differently.
+  std::uint64_t seed = 0x5eedU;
+
+  void Validate() const;
+};
+
+class HashRing {
+ public:
+  explicit HashRing(HashRingOptions options);
+
+  [[nodiscard]] std::size_t NumShards() const { return options_.num_shards; }
+  [[nodiscard]] std::size_t LiveCount() const { return live_count_; }
+  [[nodiscard]] bool Live(std::size_t shard) const { return live_[shard]; }
+
+  /// Marks a shard live/dead (idempotent). All shards start live.
+  void SetLive(std::size_t shard, bool live);
+
+  /// Owner of `key` among the live shards: the shard of the first live
+  /// vnode at or clockwise from `key`'s ring position. Returns
+  /// NumShards() when no shard is live.
+  [[nodiscard]] std::size_t ShardFor(std::uint64_t key) const;
+
+  /// Fraction of the 64-bit keyspace currently owned by `shard` (sums to
+  /// 1 over live shards; 0 for dead ones). Reported per slot in the
+  /// supervisor status JSON so the CI drill can assert arcs survive a
+  /// respawn unchanged.
+  [[nodiscard]] double ArcShare(std::size_t shard) const;
+
+  /// FNV-1a over the ShardFor assignment of `keys` — a one-value digest
+  /// of the whole routing table for determinism and minimal-remap tests.
+  [[nodiscard]] std::uint64_t AssignmentDigest(
+      const std::vector<std::uint64_t>& keys) const;
+
+ private:
+  struct VNode {
+    std::uint64_t position;
+    std::uint32_t shard;
+  };
+
+  HashRingOptions options_;
+  std::vector<VNode> vnodes_;  ///< sorted by (position, shard)
+  std::vector<bool> live_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace fadesched::service::shard

@@ -152,7 +152,18 @@ std::string SupervisorReport::ToJson() const {
   out << "  \"breaker_open\": " << (breaker_open ? "true" : "false") << ",\n";
   char wall_buf[32];
   std::snprintf(wall_buf, sizeof(wall_buf), "%.3f", wall_seconds);
-  out << "  \"wall_seconds\": " << wall_buf << "\n";
+  out << "  \"wall_seconds\": " << wall_buf << ",\n";
+  out << "  \"slots\": [";
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const SlotStatus& s = slots[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"slot\": " << s.slot << ", \"pid\": " << s.pid
+        << ", \"spawns\": " << s.spawns << ", \"last_respawn_reason\": \""
+        << s.last_respawn_reason << "\"";
+    if (!s.annotation.empty()) out << ", " << s.annotation;
+    out << "}";
+  }
+  out << (slots.empty() ? "]\n" : "\n  ]\n");
   out << "}\n";
   return out.str();
 }
@@ -188,6 +199,8 @@ void Supervisor::SpawnWorker(std::size_t slot_index) {
   const bool crash_on_start = slot.startup_crash_next;
   slot.startup_crash_next = false;
 
+  if (options_.hooks.prepare_spawn) options_.hooks.prepare_spawn(slot_index);
+
   const pid_t pid = ::fork();
   if (pid < 0) {
     // Treat a failed fork like a crashed spawn: back off and retry, so a
@@ -195,6 +208,7 @@ void Supervisor::SpawnWorker(std::size_t slot_index) {
     slot.pid = -1;
     slot.consecutive_crashes += 1;
     slot.respawn_pending = true;
+    slot.next_spawn_reason = "fork-failed";
     slot.respawn_at = std::chrono::steady_clock::now() +
                       std::chrono::duration_cast<
                           std::chrono::steady_clock::duration>(
@@ -228,7 +242,13 @@ void Supervisor::SpawnWorker(std::size_t slot_index) {
   slot.pid = pid;
   slot.spawned_at = std::chrono::steady_clock::now();
   slot.respawn_pending = false;
+  slot.shutting_down = false;
+  slot.last_respawn_reason = slot.next_spawn_reason;
+  slot.spawns += 1;
   report_.spawned += 1;
+  if (options_.hooks.worker_spawned) {
+    options_.hooks.worker_spawned(slot_index, pid);
+  }
 }
 
 void Supervisor::RecordRestartForBreaker() {
@@ -256,14 +276,33 @@ void Supervisor::ReapWorkers() {
       Slot& slot = slots_[i];
       if (slot.pid != pid) continue;
       slot.pid = -1;
+      if (slot.shutting_down) {
+        // Expected exit (BeginSlotShutdown): not a crash, no backoff, no
+        // breaker pressure — the supervisor asked for this. Respawn at
+        // once so the slot's arc goes back live as fast as the fork.
+        slot.shutting_down = false;
+        slot.consecutive_crashes = 0;
+        slot.respawn_pending = true;
+        slot.respawn_at = now;
+        slot.next_spawn_reason = slot.pending_reason;
+        if (slot.pending_reason == "rolled") report_.rolled += 1;
+        if (options_.hooks.worker_down) {
+          options_.hooks.worker_down(i, slot.pending_reason);
+        }
+        break;
+      }
       const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
       // A clean self-exit outside a rolling restart is still a failure
       // of the supervision contract (workers serve until told), but the
       // restart itself is what matters; count it as a crash too.
       report_.crashes += (clean ? 0 : 1);
-      if (WIFEXITED(status) && WEXITSTATUS(status) == kStartupCrashExit) {
+      const bool startup_crash =
+          WIFEXITED(status) && WEXITSTATUS(status) == kStartupCrashExit;
+      if (startup_crash) {
         report_.startup_crashes += 1;
       }
+      slot.next_spawn_reason =
+          startup_crash ? "startup-crash" : (clean ? "clean-exit" : "crash");
       const bool was_stable =
           Seconds(now - slot.spawned_at) >= options_.stable_seconds;
       slot.consecutive_crashes =
@@ -275,6 +314,9 @@ void Supervisor::ReapWorkers() {
                         BackoffSeconds(slot.consecutive_crashes)));
       report_.restarts += 1;
       RecordRestartForBreaker();
+      if (options_.hooks.worker_down) {
+        options_.hooks.worker_down(i, slot.next_spawn_reason);
+      }
       break;
     }
   }
@@ -373,6 +415,8 @@ void Supervisor::HandleRollingRestart() {
     }
     slot.pid = -1;
     slot.consecutive_crashes = 0;  // a rolled worker did nothing wrong
+    slot.next_spawn_reason = "rolled";
+    if (options_.hooks.worker_down) options_.hooks.worker_down(i, "rolled");
     SpawnWorker(i);
     report_.rolled += 1;
   }
@@ -413,7 +457,16 @@ void Supervisor::DrainAll() {
   }
 }
 
-SupervisorReport Supervisor::Run() {
+namespace {
+// Saved SIGHUP disposition across Begin()/End(). File-static rather than
+// a member so the header stays free of <csignal>; supervisors are "not
+// reentrant" by contract and never nested.
+struct sigaction g_old_hup;
+}  // namespace
+
+void Supervisor::Begin() {
+  FS_CHECK_MSG(!began_, "Supervisor::Begin() called twice");
+  began_ = true;
   report_ = SupervisorReport{};
   slots_.assign(options_.num_workers, Slot{});
   fault_plan_ = BuildProcessFaultPlan(options_.chaos, options_.num_workers);
@@ -423,12 +476,11 @@ SupervisorReport Supervisor::Run() {
   restart_times_.clear();
   start_ = std::chrono::steady_clock::now();
 
-  // SIGHUP → rolling restart, for this Run only.
+  // SIGHUP → rolling restart, for this supervision span only.
   struct sigaction hup_action {};
-  struct sigaction old_hup {};
   hup_action.sa_handler = HupHandler;
   sigemptyset(&hup_action.sa_mask);
-  ::sigaction(SIGHUP, &hup_action, &old_hup);
+  ::sigaction(SIGHUP, &hup_action, &g_old_hup);
   g_hup_requested = 0;
 
   for (std::size_t i = 0; i < slots_.size(); ++i) {
@@ -438,34 +490,104 @@ SupervisorReport Supervisor::Run() {
     }
     SpawnWorker(i);
   }
+}
 
-  while (!stop_.load(std::memory_order_relaxed) &&
-         !util::ShutdownRequested() && !report_.breaker_open) {
-    ReapWorkers();
-    FireDueFaults();
-    if (g_hup_requested != 0) {
-      g_hup_requested = 0;
-      HandleRollingRestart();
+void Supervisor::Step() {
+  ReapWorkers();
+  FireDueFaults();
+  const auto now = std::chrono::steady_clock::now();
+  // Escalate slot shutdowns that outlived their grace: SIGKILL cannot be
+  // ignored, and the subsequent reap still classifies the exit as the
+  // expected `pending_reason`.
+  for (Slot& slot : slots_) {
+    if (slot.shutting_down && slot.pid > 0 && now >= slot.shutdown_deadline) {
+      ::kill(slot.pid, SIGKILL);
+      slot.shutdown_deadline =
+          now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(1.0));
     }
-    const auto now = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      Slot& slot = slots_[i];
-      if (slot.pid > 0 || !slot.respawn_pending || slot.respawn_at > now) {
-        continue;
-      }
-      if (startup_crashes_left_ > 0) {
-        slot.startup_crash_next = true;
-        --startup_crashes_left_;
-      }
-      SpawnWorker(i);
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.pid > 0 || !slot.respawn_pending || slot.respawn_at > now) {
+      continue;
+    }
+    if (startup_crashes_left_ > 0) {
+      slot.startup_crash_next = true;
+      --startup_crashes_left_;
+    }
+    SpawnWorker(i);
+  }
+}
+
+void Supervisor::FillSlotStatus() {
+  report_.slots.clear();
+  report_.slots.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    SlotStatus status;
+    status.slot = i;
+    status.pid = slots_[i].pid;
+    status.spawns = slots_[i].spawns;
+    status.last_respawn_reason = slots_[i].last_respawn_reason;
+    if (options_.hooks.slot_annotation) {
+      status.annotation = options_.hooks.slot_annotation(i);
+    }
+    report_.slots.push_back(std::move(status));
+  }
+}
+
+SupervisorReport Supervisor::End() {
+  FS_CHECK_MSG(began_, "Supervisor::End() without Begin()");
+  // Snapshot slot status before the drain wipes the pids — the report
+  // should show who was serving, not a row of -1s.
+  FillSlotStatus();
+  DrainAll();
+  ::sigaction(SIGHUP, &g_old_hup, nullptr);
+  report_.wall_seconds = Seconds(std::chrono::steady_clock::now() - start_);
+  began_ = false;
+  return report_;
+}
+
+bool Supervisor::ConsumeHupRequest() {
+  if (g_hup_requested == 0) return false;
+  g_hup_requested = 0;
+  return true;
+}
+
+bool Supervisor::StopRequested() const {
+  return stop_.load(std::memory_order_relaxed) || util::ShutdownRequested();
+}
+
+pid_t Supervisor::SlotPid(std::size_t slot) const {
+  FS_CHECK_MSG(slot < slots_.size(), "SlotPid: slot out of range");
+  return slots_[slot].pid;
+}
+
+void Supervisor::BeginSlotShutdown(std::size_t slot_index,
+                                   const std::string& reason) {
+  FS_CHECK_MSG(slot_index < slots_.size(),
+               "BeginSlotShutdown: slot out of range");
+  Slot& slot = slots_[slot_index];
+  if (slot.pid <= 0 || slot.shutting_down) return;
+  slot.shutting_down = true;
+  slot.pending_reason = reason;
+  slot.shutdown_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.drain_grace_seconds));
+  ::kill(slot.pid, SIGTERM);
+}
+
+SupervisorReport Supervisor::Run() {
+  Begin();
+  while (!StopRequested() && !report_.breaker_open) {
+    Step();
+    if (ConsumeHupRequest()) {
+      HandleRollingRestart();
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(kTickMs));
   }
-
-  DrainAll();
-  ::sigaction(SIGHUP, &old_hup, nullptr);
-  report_.wall_seconds = Seconds(std::chrono::steady_clock::now() - start_);
-  return report_;
+  return End();
 }
 
 void Supervisor::Stop() { stop_.store(true, std::memory_order_relaxed); }

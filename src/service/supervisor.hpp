@@ -83,6 +83,26 @@ std::vector<ProcessFaultEvent> BuildProcessFaultPlan(
 /// same seed, diffable like the socket-level FaultTrace.
 std::string FormatProcessFaultPlan(const std::vector<ProcessFaultEvent>& plan);
 
+/// Lifecycle callbacks for embedders that multiplex supervision with
+/// their own event loop (the shard router). All fire on the supervising
+/// thread/loop, never in the child.
+struct SupervisorHooks {
+  /// Immediately before fork() for `slot` — the router creates a fresh
+  /// socketpair here so the child inherits its end.
+  std::function<void(std::size_t slot)> prepare_spawn;
+  /// After a successful fork, parent side.
+  std::function<void(std::size_t slot, pid_t pid)> worker_spawned;
+  /// A worker left its slot (reaped). `reason` is the slot's respawn
+  /// reason ("crash", "clean-exit", "startup-crash", "rolled", ...); the
+  /// router fails that shard's in-flight tickets and closes its pipe end
+  /// here. Fires before the respawn is scheduled.
+  std::function<void(std::size_t slot, const std::string& reason)> worker_down;
+  /// Extra JSON fields for this slot's entry in the status report, e.g.
+  /// `"ring_arc": 0.25, "live": true`. Must be valid JSON object-body
+  /// fragments (no braces); empty string for none.
+  std::function<std::string(std::size_t slot)> slot_annotation;
+};
+
 struct SupervisorOptions {
   std::size_t num_workers = 2;
 
@@ -104,7 +124,21 @@ struct SupervisorOptions {
 
   ProcessChaosOptions chaos;
 
+  SupervisorHooks hooks;
+
   void Validate() const;
+};
+
+/// Per-slot line of the status report: who is (or last was) in the
+/// slot, how many times it has been forked, and why the most recent
+/// spawn happened — the CI shard drill asserts the killed slot (and only
+/// it) reads "crash" while a SIGHUP roll marks every slot "rolled".
+struct SlotStatus {
+  std::size_t slot = 0;
+  pid_t pid = -1;
+  std::size_t spawns = 0;
+  std::string last_respawn_reason;  ///< "initial", "crash", "rolled", ...
+  std::string annotation;           ///< hooks.slot_annotation fragment
 };
 
 /// What happened over one Run(), dumped as JSON by `supervise
@@ -119,6 +153,7 @@ struct SupervisorReport {
   std::size_t injected_stalls = 0;
   bool breaker_open = false;
   double wall_seconds = 0.0;
+  std::vector<SlotStatus> slots;
 
   [[nodiscard]] std::string ToJson() const;
 };
@@ -140,8 +175,45 @@ class Supervisor {
   /// Forks the initial workers and supervises until Stop(), a guarded
   /// SIGTERM/SIGINT, or the breaker opens. SIGHUP triggers a rolling
   /// restart. Workers running at exit are drained (SIGTERM → grace →
-  /// SIGKILL). Not reentrant.
+  /// SIGKILL). Not reentrant. Equivalent to Begin() + a Step() loop at
+  /// the tick cadence + End().
   SupervisorReport Run();
+
+  /// Stepwise API for embedders with their own event loop (the shard
+  /// router multiplexes supervision ticks with epoll readiness — a
+  /// blocking Run() could never coordinate ring-aware draining, because
+  /// drain progress depends on that same loop pumping responses).
+  ///
+  /// Begin() installs the SIGHUP handler and forks the initial workers.
+  /// Step() is one non-blocking supervision tick: reap, fire due faults,
+  /// respawn due slots, escalate overdue slot shutdowns. End() drains
+  /// everything, restores handlers, and returns the report. A SIGHUP
+  /// between Step()s is NOT auto-handled — the embedder polls
+  /// ConsumeHupRequest() and runs its own drain-aware roll via
+  /// BeginSlotShutdown(); Run() wires the same flag to the built-in
+  /// blocking roll.
+  void Begin();
+  void Step();
+  SupervisorReport End();
+
+  /// True once per delivered SIGHUP (clears the flag).
+  [[nodiscard]] bool ConsumeHupRequest();
+
+  /// Breaker / external stop state, for embedder loop conditions.
+  [[nodiscard]] bool BreakerOpen() const { return report_.breaker_open; }
+  [[nodiscard]] bool StopRequested() const;
+
+  /// Pid of the worker currently in `slot` (-1 while between spawns).
+  [[nodiscard]] pid_t SlotPid(std::size_t slot) const;
+
+  /// Starts a graceful, expected shutdown of one slot: SIGTERM now,
+  /// SIGKILL escalation after the drain grace (enforced by Step()). The
+  /// exit is classified as `reason` (not a crash — no backoff, no
+  /// breaker count; "rolled" also bumps report.rolled), and the slot
+  /// respawns immediately after the reap. The embedder observes the
+  /// sequence via hooks: worker_down(slot, reason) → prepare_spawn →
+  /// worker_spawned.
+  void BeginSlotShutdown(std::size_t slot, const std::string& reason);
 
   /// Requests shutdown from any thread (idempotent).
   void Stop();
@@ -154,10 +226,21 @@ class Supervisor {
     std::chrono::steady_clock::time_point respawn_at{};
     bool respawn_pending = false;
     bool startup_crash_next = false;
+    /// BeginSlotShutdown state: the next exit is expected (classified as
+    /// `pending_reason`, respawned without backoff); past
+    /// `shutdown_deadline` Step() escalates to SIGKILL.
+    bool shutting_down = false;
+    std::chrono::steady_clock::time_point shutdown_deadline{};
+    std::string pending_reason;
+    /// Why the *next* spawn happens / why the last one happened.
+    std::string next_spawn_reason = "initial";
+    std::string last_respawn_reason;
+    std::size_t spawns = 0;
   };
 
   void SpawnWorker(std::size_t slot_index);
   void ReapWorkers();
+  void FillSlotStatus();
   void FireDueFaults();
   void HandleRollingRestart();
   void DrainAll();
@@ -184,6 +267,7 @@ class Supervisor {
   std::vector<std::chrono::steady_clock::time_point> restart_times_;
   std::chrono::steady_clock::time_point start_{};
   std::atomic<bool> stop_{false};
+  bool began_ = false;
 };
 
 }  // namespace fadesched::service

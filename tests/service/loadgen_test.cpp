@@ -1,0 +1,128 @@
+// The load generator itself: threaded vs multiplexed harnesses must
+// agree on the accounting contract (every request reaches exactly one
+// outcome, determinism cross-checked per frame), the drift option must
+// keep the determinism ledger indexed correctly past the original pool,
+// and the coordinated-omission-corrected latency must behave: equal to
+// send-to-reply in closed loop (intended == send by construction), and
+// never below it in open loop.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "service/loadgen.hpp"
+#include "service/server.hpp"
+
+namespace fadesched::service {
+namespace {
+
+std::string UniqueSocketPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("fs_loadgen_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+class LoadgenTest : public ::testing::Test {
+ protected:
+  void StartServer(const char* tag) {
+    options_.unix_socket_path = UniqueSocketPath(tag);
+    options_.service.batcher.num_workers = 2;
+    server_ = std::make_unique<Server>(options_);
+    server_->Start();
+    serving_ = std::thread([this] { server_->Serve(); });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      serving_.join();
+    }
+  }
+
+  LoadgenOptions BaseOptions(std::size_t requests) const {
+    LoadgenOptions load;
+    load.unix_socket_path = options_.unix_socket_path;
+    load.num_requests = requests;
+    load.connections = 4;
+    load.pool_size = 8;
+    load.links = 20;
+    load.hot_fraction = 0.75;
+    return load;
+  }
+
+  ServerOptions options_;
+  std::unique_ptr<Server> server_;
+  std::thread serving_;
+};
+
+void ExpectClean(const LoadgenReport& report, std::size_t requests) {
+  EXPECT_TRUE(report.Clean())
+      << "mismatches=" << report.determinism_mismatches
+      << " transport=" << report.transport_failures
+      << " errors=" << report.errors;
+  EXPECT_EQ(report.sent, requests);
+  EXPECT_EQ(report.ok, requests) << "nothing sheds at this load";
+  EXPECT_EQ(report.warm_ok + report.cold_ok, requests);
+}
+
+TEST_F(LoadgenTest, ThreadedAndMuxAgreeOnTheAccountingContract) {
+  StartServer("agree");
+  LoadgenOptions load = BaseOptions(200);
+  const LoadgenReport threaded = RunLoadgen(load);
+  ExpectClean(threaded, 200);
+  load.multiplex = true;
+  const LoadgenReport mux = RunLoadgen(load);
+  ExpectClean(mux, 200);
+  // Same plan, same seed → identical warm/cold split either way.
+  EXPECT_EQ(mux.warm_ok, threaded.warm_ok);
+  EXPECT_EQ(mux.cold_ok, threaded.cold_ok);
+}
+
+TEST_F(LoadgenTest, ClosedLoopCorrectedEqualsSendToReply) {
+  StartServer("closed");
+  LoadgenOptions load = BaseOptions(150);
+  load.multiplex = true;
+  const LoadgenReport report = RunLoadgen(load);
+  ExpectClean(report, 150);
+  // Closed loop: intended == actual send, so the corrected percentiles
+  // are the same samples (identical histogram bins, so exactly equal).
+  EXPECT_DOUBLE_EQ(report.warm_corrected_p50_ms, report.warm_p50_ms);
+  EXPECT_DOUBLE_EQ(report.warm_corrected_p99_ms, report.warm_p99_ms);
+  EXPECT_DOUBLE_EQ(report.cold_corrected_p99_ms, report.cold_p99_ms);
+}
+
+TEST_F(LoadgenTest, OpenLoopCorrectedNeverUndercutsRaw) {
+  StartServer("open");
+  LoadgenOptions load = BaseOptions(200);
+  load.multiplex = true;
+  load.connections = 2;
+  load.rate_per_sec = 2000.0;  // brisk enough to queue client-side
+  const LoadgenReport report = RunLoadgen(load);
+  ExpectClean(report, 200);
+  // Corrected latency includes the wait from intended release to actual
+  // send — it can only add.
+  EXPECT_GE(report.warm_corrected_p99_ms, report.warm_p99_ms - 1e-9);
+  EXPECT_GE(report.cold_corrected_p99_ms, report.cold_p99_ms - 1e-9);
+}
+
+TEST_F(LoadgenTest, DriftingPoolStaysDeterministic) {
+  StartServer("drift");
+  for (const bool mux : {false, true}) {
+    LoadgenOptions load = BaseOptions(300);
+    load.multiplex = mux;
+    load.drift_period = 20;  // 14 pool replacements over the run
+    const LoadgenReport report = RunLoadgen(load);
+    ExpectClean(report, 300);
+    EXPECT_EQ(report.determinism_mismatches, 0u)
+        << "drift frames must cross-check against their own ledger slot "
+           "(mux=" << mux << ")";
+  }
+}
+
+}  // namespace
+}  // namespace fadesched::service

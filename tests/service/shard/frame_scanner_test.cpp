@@ -1,0 +1,118 @@
+// The router's per-connection scanner: carves whole frames and bare
+// STATS verbs out of arbitrary byte chunks without parsing anything, and
+// derives the routing fingerprint. Contracts:
+//
+//   * frames survive any chunking byte-identically (the worker checksums
+//     exactly what the client sent — the router must not reassemble
+//     lossily);
+//   * STATS is a verb only BETWEEN frames — inside a frame it's payload;
+//   * the routing key depends on (scenario payload, scheduler) and
+//     nothing else, so repeats of a scenario land on the same shard no
+//     matter what id= or check= their headers carry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/request.hpp"
+#include "service/shard/frame_scanner.hpp"
+#include "testing/fuzzer.hpp"
+
+namespace fadesched::service::shard {
+namespace {
+
+std::string Frame(std::uint64_t case_index, const std::string& id,
+                  const std::string& scheduler = "rle") {
+  fadesched::testing::ScenarioFuzzer fuzzer(3);
+  SchedulingRequest request;
+  request.scenario = fuzzer.Case(case_index);
+  request.scheduler = scheduler;
+  request.id = id;
+  return FormatRequestFrame(request);
+}
+
+TEST(FrameScannerTest, CarvesFramesByteIdenticallyUnderChunking) {
+  const std::string f1 = Frame(0, "a");
+  const std::string f2 = Frame(1, "b");
+  const std::string wire = f1 + f2;
+
+  for (const std::size_t chunk : {1UL, 3UL, 7UL, wire.size()}) {
+    FrameScanner scanner;
+    std::vector<ScanEvent> events;
+    for (std::size_t at = 0; at < wire.size(); at += chunk) {
+      const std::size_t n = std::min(chunk, wire.size() - at);
+      scanner.Feed(wire.data() + at, n);
+      for (auto& event : scanner.Drain()) events.push_back(std::move(event));
+    }
+    ASSERT_EQ(events.size(), 2u) << "chunk=" << chunk;
+    EXPECT_EQ(events[0].kind, ScanEvent::Kind::kFrame);
+    // The scanner's frame is the assembler body: every line up to (but
+    // not including) the END terminator, LF-normalized. The serialized
+    // frame is already LF-terminated, so the bytes must match the
+    // formatted frame minus its "END\n" exactly — this is what lets the
+    // worker verify the client's check= untouched.
+    const auto body = [](const std::string& frame) {
+      constexpr std::string_view kTerminator = "END\n";
+      return frame.substr(0, frame.size() - kTerminator.size());
+    };
+    EXPECT_EQ(events[0].frame, body(f1)) << "chunk=" << chunk;
+    EXPECT_EQ(events[1].frame, body(f2)) << "chunk=" << chunk;
+    EXPECT_FALSE(scanner.MidFrame());
+  }
+}
+
+TEST(FrameScannerTest, StatsIsAVerbOnlyBetweenFrames) {
+  const std::string frame_with_stats_line =
+      "not-a-header x=1\nSTATS\nEND\n";
+  FrameScanner scanner;
+  const std::string wire =
+      std::string(kStatsVerb) + "\n" + frame_with_stats_line +
+      std::string(kStatsVerb) + "\r\n";
+  scanner.Feed(wire.data(), wire.size());
+  const std::vector<ScanEvent> events = scanner.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, ScanEvent::Kind::kStats);
+  EXPECT_EQ(events[1].kind, ScanEvent::Kind::kFrame);
+  EXPECT_NE(events[1].frame.find("STATS\n"), std::string::npos)
+      << "STATS inside a frame must stay payload";
+  EXPECT_EQ(events[2].kind, ScanEvent::Kind::kStats);
+}
+
+TEST(FrameScannerTest, MidFrameTracksPartialInput) {
+  FrameScanner scanner;
+  EXPECT_FALSE(scanner.MidFrame());
+  const std::string partial = "header line\nscenario";
+  scanner.Feed(partial.data(), partial.size());
+  EXPECT_TRUE(scanner.Drain().empty());
+  EXPECT_TRUE(scanner.MidFrame()) << "buffered half-line counts";
+  const std::string rest = " rest\nEND\n";
+  scanner.Feed(rest.data(), rest.size());
+  EXPECT_EQ(scanner.Drain().size(), 1u);
+  EXPECT_FALSE(scanner.MidFrame());
+}
+
+TEST(RoutingKeyTest, IgnoresIdAndChecksum) {
+  // Same scenario, same scheduler, different request ids (and therefore
+  // different check= values): the fingerprint must coincide so repeat
+  // traffic lands on the warm shard.
+  EXPECT_EQ(RoutingKey(Frame(0, "first")), RoutingKey(Frame(0, "second")));
+}
+
+TEST(RoutingKeyTest, DependsOnScenarioAndScheduler) {
+  EXPECT_NE(RoutingKey(Frame(0, "a")), RoutingKey(Frame(1, "a")))
+      << "different scenarios must fingerprint differently";
+  EXPECT_NE(RoutingKey(Frame(0, "a", "rle")), RoutingKey(Frame(0, "a", "ldp")))
+      << "scheduler is part of the cache key, so also of the fingerprint";
+}
+
+TEST(RoutingKeyTest, MalformedFramesRouteDeterministically) {
+  const std::string garbage = "no newline at all";
+  EXPECT_EQ(RoutingKey(garbage), RoutingKey(garbage));
+  const std::string no_scheduler = "header-without-token\nbody\nEND\n";
+  EXPECT_EQ(RoutingKey(no_scheduler), RoutingKey(no_scheduler));
+  EXPECT_NE(RoutingKey(garbage), RoutingKey(no_scheduler));
+}
+
+}  // namespace
+}  // namespace fadesched::service::shard

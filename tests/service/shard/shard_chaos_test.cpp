@@ -1,0 +1,86 @@
+// The zero-loss chaos soak pointed at the sharded front-end: the same
+// seeded storm of socket faults (truncate, corrupt, duplicate, stall,
+// reset, kill) the single-process server survives must also be survived
+// through the router — per-request ledger exactly-one outcome, every OK
+// byte-identical per fingerprint, retries bounded. Run at 1 shard and at
+// 4 shards: the ledger's byte-identity check doubles as the proof that
+// shard count never leaks into response bytes, even under faults.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "service/chaos/soak.hpp"
+#include "service/shard/shard_server.hpp"
+
+namespace fadesched::service::shard {
+namespace {
+
+std::string UniqueSocketPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("fs_shchaos_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+chaos::ChaosSoakReport SoakThroughShards(const char* tag,
+                                         std::size_t shards) {
+  ShardServerOptions options;
+  options.server.unix_socket_path = UniqueSocketPath(tag);
+  options.server.service.batcher.num_workers = 2;
+  options.server.service.cache.capacity_bytes = 32u << 20;
+  options.num_shards = shards;
+  options.supervisor.drain_grace_seconds = 5.0;
+
+  ShardServer server(options);
+  server.Start();
+  std::thread serving([&server] { server.Serve(); });
+
+  chaos::ChaosSoakOptions soak;
+  soak.endpoint.unix_socket_path = options.server.unix_socket_path;
+  soak.num_requests = 400;
+  soak.num_clients = 4;
+  soak.pool_size = 10;
+  soak.links = 25;
+  soak.seed = 1234;
+  // Every fault family at once — send-side truncation/corruption/dup
+  // exercises the router's frame scanner, recv-side the re-sequencer.
+  soak.plan = chaos::ChaosPlan::AllFamilies(0.02, soak.seed);
+  soak.plan.stall_seconds = 0.01;
+  soak.retry.max_attempts = 12;
+  soak.retry.initial_backoff_seconds = 0.002;
+  soak.retry.max_backoff_seconds = 0.05;
+
+  const chaos::ChaosSoakReport report = chaos::RunChaosSoak(soak);
+  server.Stop();
+  serving.join();
+  return report;
+}
+
+TEST(ShardChaosTest, ZeroLossThroughOneShard) {
+  const chaos::ChaosSoakReport report = SoakThroughShards("one", 1);
+  EXPECT_TRUE(report.Ok()) << report.first_failure;
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.duplicated, 0u);
+  EXPECT_EQ(report.corrupted, 0u);
+  EXPECT_EQ(report.sent, 400u);
+  EXPECT_GT(report.faults_injected, 0u) << "the storm must actually storm";
+}
+
+TEST(ShardChaosTest, ZeroLossThroughFourShards) {
+  const chaos::ChaosSoakReport report = SoakThroughShards("four", 4);
+  EXPECT_TRUE(report.Ok()) << report.first_failure;
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.duplicated, 0u);
+  EXPECT_EQ(report.corrupted, 0u) << "response bytes must not depend on "
+                                     "which shard served the fingerprint";
+  EXPECT_EQ(report.sent, 400u);
+  EXPECT_GT(report.faults_injected, 0u);
+}
+
+}  // namespace
+}  // namespace fadesched::service::shard

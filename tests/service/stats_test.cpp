@@ -54,6 +54,10 @@ StatsSnapshot DistinctSnapshot() {
   s.brownout_entries = 2;
   s.brownout_builds = 5;
   s.worker_restarts = 12;
+  s.response_hits = 30;
+  s.response_misses = 10;
+  s.scenario_hits = 21;
+  s.scenario_misses = 8;
   s.queue_depth = 13;
   s.queue_delay_ewma_us = 12345;
   s.brownout_active = 1;
@@ -75,10 +79,47 @@ TEST(StatsProtocolTest, FormatParseRoundTripsEveryField) {
   EXPECT_EQ(out.brownout_entries, in.brownout_entries);
   EXPECT_EQ(out.brownout_builds, in.brownout_builds);
   EXPECT_EQ(out.worker_restarts, in.worker_restarts);
+  EXPECT_EQ(out.response_hits, in.response_hits);
+  EXPECT_EQ(out.response_misses, in.response_misses);
+  EXPECT_EQ(out.scenario_hits, in.scenario_hits);
+  EXPECT_EQ(out.scenario_misses, in.scenario_misses);
   EXPECT_EQ(out.queue_depth, in.queue_depth);
   EXPECT_EQ(out.queue_delay_ewma_us, in.queue_delay_ewma_us);
   EXPECT_EQ(out.brownout_active, in.brownout_active);
   EXPECT_EQ(out.Sheds(), in.shed + in.shed_overload);
+}
+
+TEST(StatsProtocolTest, WarmHitRateDerivesFromResponseCacheCounters) {
+  StatsSnapshot s;
+  EXPECT_EQ(s.WarmHitRate(), 0.0);  // no lookups yet — not NaN
+  s.response_hits = 3;
+  s.response_misses = 1;
+  EXPECT_DOUBLE_EQ(s.WarmHitRate(), 0.75);
+}
+
+TEST(StatsProtocolTest, AccumulateSumsEveryFieldIncludingGauges) {
+  StatsSnapshot total;
+  const StatsSnapshot one = DistinctSnapshot();
+  AccumulateStats(total, one);
+  AccumulateStats(total, one);
+  // Accumulating the same snapshot twice doubles every field; checking
+  // through the wire round-trip covers the full field table at once.
+  const StatsSnapshot out = ParseStatsLine(FormatStatsLine(total));
+  EXPECT_EQ(out.submitted, 2 * one.submitted);
+  EXPECT_EQ(out.worker_restarts, 2 * one.worker_restarts);
+  EXPECT_EQ(out.response_hits, 2 * one.response_hits);
+  EXPECT_EQ(out.scenario_misses, 2 * one.scenario_misses);
+  EXPECT_EQ(out.queue_depth, 2 * one.queue_depth);  // gauges sum too
+  EXPECT_EQ(out.brownout_active, 2 * one.brownout_active);
+}
+
+TEST(StatsProtocolTest, ToJsonCarriesEveryWireFieldAndWarmHitRate) {
+  StatsSnapshot s = DistinctSnapshot();
+  const std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"submitted\": 101"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"response_hits\": 30"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warm_hit_rate\": 0.750000"), std::string::npos)
+      << json;
 }
 
 TEST(StatsProtocolTest, TamperedPayloadIsTransient) {

@@ -44,17 +44,19 @@ TEST(DeterminismAuditTest, NoEnvironmentEntropyInProductionCode) {
   // uses are latency histograms, queue-age deadlines, open-loop load
   // pacing, the server's slow-client read deadline, the chaos soak's
   // wall-clock report, the overload controller's queue-delay clocking,
-  // the supervisor's backoff/uptime/fault-instant bookkeeping, and the
-  // inline fast-path latency stamp — durations that never feed a
-  // schedule (the behavioural check below, the loadgen determinism
-  // comparison, and the soak's byte-identical fault trace all pin that).
+  // the supervisor's backoff/uptime/fault-instant bookkeeping, the
+  // inline fast-path latency stamp, and the shard front-end's
+  // drain-grace/roll deadlines — durations that never feed a schedule
+  // (the behavioural check below, the loadgen determinism comparison,
+  // and the soak's byte-identical fault trace all pin that).
   const std::vector<std::string> steady_clock_allowlist = {
       "util/deadline.hpp",      "util/stopwatch.hpp",
       "service/batcher.hpp",    "service/batcher.cpp",
       "service/loadgen.cpp",    "service/server.cpp",
       "service/chaos/soak.cpp", "service/overload.hpp",
       "service/service.cpp",    "service/supervisor.hpp",
-      "service/supervisor.cpp"};
+      "service/supervisor.cpp", "service/shard/shard_server.hpp",
+      "service/shard/shard_server.cpp"};
   const std::vector<std::string> forbidden = {
       "std::random_device", "random_device{", "system_clock",
       "high_resolution_clock", "srand(", "time(nullptr)", "time(NULL)",

@@ -42,8 +42,10 @@
 #include "sched/feedback.hpp"
 #include "sched/ilp_export.hpp"
 #include "service/chaos/soak.hpp"
+#include "service/client.hpp"
 #include "service/loadgen.hpp"
 #include "service/server.hpp"
+#include "service/shard/shard_server.hpp"
 #include "service/supervisor.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/sweep.hpp"
@@ -827,27 +829,71 @@ service::OverloadOptions MakeOverloadOptions(const OverloadFlags& flags) {
   return overload;
 }
 
+service::shard::RoutingMode RoutingFromName(const std::string& name) {
+  if (name == "affinity") return service::shard::RoutingMode::kAffinity;
+  if (name == "round_robin") return service::shard::RoutingMode::kRoundRobin;
+  throw util::FatalError("unknown routing mode '" + name +
+                         "' (expected affinity or round_robin)");
+}
+
 int RunServe(int argc, char** argv) {
-  util::CliParser cli("fadesched_cli serve",
-                      "line-protocol scheduling server (unix socket or TCP "
-                      "loopback); SIGTERM/SIGINT drain gracefully, exit 0");
+  util::CliParser cli(
+      "fadesched_cli serve",
+      "line-protocol scheduling server (unix socket or TCP loopback); "
+      "--shards N forks N worker processes behind a consistent-hash "
+      "fingerprint router (SIGHUP rolls them one arc at a time); "
+      "SIGTERM/SIGINT drain gracefully, exit 0");
   auto& unix_path = cli.AddString(
       "unix", "", "unix-domain socket path (empty = TCP)");
   auto& host = cli.AddString("host", "127.0.0.1", "TCP bind address");
   auto& port = cli.AddInt("port", 0, "TCP port (0 = ephemeral, printed)");
-  auto& workers = cli.AddInt("workers", 4, "scheduling worker threads");
+  auto& workers = cli.AddInt(
+      "workers", 4,
+      "scheduling threads (per shard process when --shards > 0)");
   auto& queue = cli.AddInt("queue-capacity", 256,
                            "pending-request slots; beyond this, shed");
   auto& deadline = cli.AddDouble(
       "default-deadline", 0.0,
       "queue deadline (s) for requests that carry none; 0 = unlimited");
-  auto& cache_mb = cli.AddInt("cache-mb", 256,
-                              "scenario+response cache budget (MiB)");
+  auto& cache_mb = cli.AddInt(
+      "cache-mb", 256,
+      "scenario+response cache budget (MiB; per shard when sharded)");
   auto& backend = cli.AddString(
       "backend", "tables",
       "interference backend for cached engines (calculator|tables|matrix)");
   auto& metrics_out = cli.AddString(
-      "metrics-out", "", "write the metrics JSON here on shutdown");
+      "metrics-out", "",
+      "write the metrics JSON here on shutdown (single-process mode only; "
+      "sharded metrics aggregate through the STATS verb)");
+  auto& shards = cli.AddInt(
+      "shards", 0,
+      "fork this many shard worker processes behind the epoll router; "
+      "0 = classic single-process thread-per-connection server");
+  auto& vnodes = cli.AddInt("vnodes", 128,
+                            "virtual nodes per shard on the hash ring");
+  auto& routing = cli.AddString(
+      "routing", "affinity",
+      "request placement: affinity (consistent-hash on the scenario "
+      "fingerprint, cache-warm) | round_robin (the bench's control arm)");
+  auto& completion_threads = cli.AddInt(
+      "completion-threads", 2, "reply-drainer threads per shard worker");
+  auto& drain_grace = cli.AddDouble(
+      "drain-grace", 10.0, "SIGTERM → SIGKILL escalation grace (s)");
+  auto& max_restarts = cli.AddInt(
+      "max-restarts", 8,
+      "shard restarts inside --restart-window before the flap breaker "
+      "opens (serve then exits 1)");
+  auto& restart_window = cli.AddDouble("restart-window", 10.0,
+                                       "flap-breaker sliding window (s)");
+  auto& chaos_kills = cli.AddInt(
+      "chaos-kills", 0,
+      "injected shard SIGKILLs (seeded, deterministic; sharded mode)");
+  auto& chaos_seed = cli.AddInt("chaos-seed", 1, "process-fault plan seed");
+  auto& chaos_window = cli.AddDouble(
+      "chaos-window", 10.0, "injected faults land inside [0, this) (s)");
+  auto& status_out = cli.AddString(
+      "status-out", "",
+      "write the shard supervision report JSON here on exit");
   const OverloadFlags overload_flags = AddOverloadFlags(cli);
   if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
 
@@ -862,6 +908,53 @@ int RunServe(int argc, char** argv) {
   options.service.cache.capacity_bytes =
       static_cast<std::size_t>(cache_mb) << 20;
   options.service.cache.engine.backend = BackendFromName(backend);
+
+  if (shards > 0) {
+    service::shard::ShardServerOptions shard_options;
+    shard_options.server = options;
+    shard_options.num_shards = static_cast<std::size_t>(shards);
+    shard_options.vnodes_per_shard = static_cast<std::size_t>(vnodes);
+    shard_options.routing = RoutingFromName(routing);
+    shard_options.completion_threads_per_shard =
+        static_cast<std::size_t>(completion_threads);
+    shard_options.supervisor.drain_grace_seconds = drain_grace;
+    shard_options.supervisor.max_restarts_in_window =
+        static_cast<std::size_t>(max_restarts);
+    shard_options.supervisor.restart_window_seconds = restart_window;
+    shard_options.supervisor.chaos.seed =
+        static_cast<std::uint64_t>(chaos_seed);
+    shard_options.supervisor.chaos.kills =
+        static_cast<std::size_t>(chaos_kills);
+    shard_options.supervisor.chaos.window_seconds = chaos_window;
+
+    service::shard::ShardServer server(shard_options);
+    server.Start();
+    if (!unix_path.empty()) {
+      std::printf("listening on unix:%s (%d shards, %s routing)\n",
+                  unix_path.c_str(), static_cast<int>(shards),
+                  routing.c_str());
+    } else {
+      std::printf("listening on %s:%d (%d shards, %s routing)\n",
+                  host.c_str(), server.Port(), static_cast<int>(shards),
+                  routing.c_str());
+    }
+    std::fflush(stdout);
+
+    server.Serve();  // installs its own signal guard; workers inherit it
+    const service::SupervisorReport& report = server.Report();
+    std::fputs(report.ToJson().c_str(), stdout);
+    if (!status_out.empty()) {
+      util::AtomicWriteFile(status_out, report.ToJson());
+    }
+    if (report.breaker_open) {
+      std::fprintf(stderr,
+                   "flap breaker open: %zu restarts inside %.1fs window\n",
+                   report.restarts, restart_window);
+      return 1;
+    }
+    std::printf("drained, shutting down\n");
+    return 0;
+  }
 
   service::Server server(options);
   server.Start();
@@ -1059,6 +1152,15 @@ int RunLoadgen(int argc, char** argv) {
       "sleep the server's retry_after_ms hint and re-send shed requests");
   auto& max_shed_retries = cli.AddInt(
       "max-shed-retries", 3, "re-send budget per request");
+  auto& mux = cli.AddBool(
+      "mux", false,
+      "multiplexed mode: one thread drives all connections through epoll "
+      "(scales to hundreds of connections; corrected latency then shows "
+      "client-side queueing when releases outpace the fleet)");
+  auto& drift = cli.AddInt(
+      "drift", 0,
+      "every N requests, replace one warm-pool entry with a fresh "
+      "scenario (drifting working set; 0 = static pool)");
   auto& report_out = cli.AddString("report-out", "",
                                    "write the report JSON here");
   if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
@@ -1078,6 +1180,8 @@ int RunLoadgen(int argc, char** argv) {
   options.hot_fraction = hot_fraction;
   options.retry_on_shed = retry_on_shed;
   options.max_shed_retries = static_cast<std::size_t>(max_shed_retries);
+  options.multiplex = mux;
+  options.drift_period = static_cast<std::size_t>(drift);
 
   const service::LoadgenReport report = service::RunLoadgen(options);
   std::fputs(report.ToJson().c_str(), stdout);
@@ -1087,6 +1191,33 @@ int RunLoadgen(int argc, char** argv) {
   // Shed/timeout are legitimate under overload; divergent or failed
   // responses are not.
   return report.Clean() ? 0 : 1;
+}
+
+int RunStats(int argc, char** argv) {
+  util::CliParser cli(
+      "fadesched_cli stats",
+      "send the STATS verb to a serve endpoint and print the counter "
+      "snapshot as JSON (a sharded server answers with the tier-wide "
+      "aggregate; warm_hit_rate is derived from the response-cache "
+      "counters)");
+  auto& unix_path = cli.AddString(
+      "unix", "", "unix-domain socket path (empty = TCP)");
+  auto& host = cli.AddString("host", "127.0.0.1", "server address");
+  auto& port = cli.AddInt("port", 0, "server TCP port");
+  auto& out = cli.AddString("out", "", "write the JSON here too");
+  if (!cli.Parse(argc, argv)) return cli.UsageExitCode();
+
+  service::Client client;
+  if (!unix_path.empty()) {
+    client.ConnectUnix(unix_path);
+  } else {
+    client.ConnectTcp(host, static_cast<int>(port));
+  }
+  const service::StatsSnapshot stats = client.Stats();
+  const std::string json = stats.ToJson();
+  std::fputs(json.c_str(), stdout);
+  if (!out.empty()) util::AtomicWriteFile(out, json);
+  return 0;
 }
 
 int RunChaosSoak(int argc, char** argv) {
@@ -1251,11 +1382,16 @@ void PrintTopLevelUsage() {
       "             warm-engine scheduling); --frontier finds lambda*\n"
       "  fuzz       metamorphic fuzzing + oracle checks, shrunk reproducers\n"
       "             (--dynamic: warm-vs-cold + replay oracle on slotted runs)\n"
-      "  serve      scheduling server (unix socket / TCP, line protocol)\n"
+      "  serve      scheduling server (unix socket / TCP, line protocol);\n"
+      "             --shards N forks N workers behind a consistent-hash\n"
+      "             fingerprint router (SIGHUP = rolling restart)\n"
       "  supervise  crash-only multi-process server: forked workers share\n"
       "             the listener; crashes restart with backoff, SIGHUP\n"
       "             rolls workers with zero downtime\n"
       "  loadgen    seeded load generator against a serve endpoint\n"
+      "             (--mux: one epoll thread drives hundreds of\n"
+      "             connections; --drift: sliding warm working set)\n"
+      "  stats      STATS snapshot of a serve endpoint as JSON\n"
       "  chaos-soak seeded socket-fault soak; fails unless zero requests\n"
       "             are lost, duplicated, or corrupted\n"
       "  list       registered scheduler names\n"
@@ -1295,6 +1431,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return RunServe(sub_argc, sub_argv);
     if (command == "supervise") return RunSupervise(sub_argc, sub_argv);
     if (command == "loadgen") return RunLoadgen(sub_argc, sub_argv);
+    if (command == "stats") return RunStats(sub_argc, sub_argv);
     if (command == "chaos-soak") return RunChaosSoak(sub_argc, sub_argv);
     if (command == "list") return RunList();
     if (command == "--help" || command == "-h" || command == "help") {
