@@ -5,7 +5,6 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -231,7 +230,7 @@ void ShardServer::OnWorkerDown(std::size_t slot_index,
   // Fail what the dead worker still owed. The error is kTransient: the
   // work was lost, not wrong — an idempotent re-send lands on a live
   // arc. A mid-fan-out STATS ticket just loses this shard's contribution.
-  std::vector<std::uint64_t> owed;
+  std::unordered_set<std::uint64_t> owed;
   owed.swap(slot.in_flight);
   for (const std::uint64_t ticket_id : owed) {
     auto it = tickets_.find(ticket_id);
@@ -300,7 +299,23 @@ void ShardServer::CompleteTicket(std::uint64_t ticket_id,
     tickets_.erase(it);  // client vanished first; drop the orphan
     return;
   }
-  FlushConn(conn_it->second);
+  // Defer the flush: FlushConn can CloseConn (a failed write to a gone
+  // peer), which erases the Conn from conns_ — lethal to any caller up
+  // the stack still holding a Conn& (RouteFrame/RouteStats can complete
+  // synchronously from inside HandleConnReadable's drain loop). Every
+  // event-loop stage drains this queue once references are dropped.
+  flush_pending_.insert(it->second.conn_id);
+}
+
+void ShardServer::DrainPendingFlushes() {
+  while (!flush_pending_.empty()) {
+    std::unordered_set<std::uint64_t> batch;
+    batch.swap(flush_pending_);
+    for (const std::uint64_t conn_id : batch) {
+      auto it = conns_.find(conn_id);
+      if (it != conns_.end()) FlushConn(it->second);
+    }
+  }
 }
 
 void ShardServer::FlushConn(Conn& conn) {
@@ -388,7 +403,7 @@ void ShardServer::RouteFrame(Conn& conn, std::string frame) {
   msg.ticket = ticket_id;
   msg.payload = std::move(frame);
   AppendPipeMsg(slot.out, msg);
-  slot.in_flight.push_back(ticket_id);
+  slot.in_flight.insert(ticket_id);
   FlushShard(slot_index);
 }
 
@@ -401,7 +416,11 @@ void ShardServer::RouteStats(Conn& conn) {
 
   std::vector<std::size_t> targets;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].router_fd >= 0 && supervisor_.SlotPid(i) > 0) {
+    // Same backpressure contract as RouteFrame: a stalled worker's pipe
+    // must not grow past the cap. Its snapshot drops out of the
+    // aggregate, exactly as if the shard died mid-fan-out.
+    if (slots_[i].router_fd >= 0 && supervisor_.SlotPid(i) > 0 &&
+        slots_[i].out.size() <= options_.shard_pipe_cap_bytes) {
       targets.push_back(i);
     }
   }
@@ -418,7 +437,7 @@ void ShardServer::RouteStats(Conn& conn) {
     msg.kind = PipeMsgKind::kStatsQuery;
     msg.ticket = ticket_id;
     AppendPipeMsg(slots_[slot_index].out, msg);
-    slots_[slot_index].in_flight.push_back(ticket_id);
+    slots_[slot_index].in_flight.insert(ticket_id);
     FlushShard(slot_index);
   }
 }
@@ -427,8 +446,14 @@ void ShardServer::AcceptNewConnections() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN (drained) or a transient accept error: re-armed by ET
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        // EMFILE/ENFILE/ENOBUFS/...: the backlog is NOT drained, and the
+        // edge-triggered listener only re-fires on a brand-new SYN — the
+        // queued connections would stall forever. Retry on the next tick.
+        accept_retry_ = true;
+      }
+      return;
     }
     SetNonBlockingFd(fd);
     const std::uint64_t conn_id = next_conn_id_++;
@@ -498,7 +523,11 @@ void ShardServer::HandleConnReadable(std::uint64_t conn_id) {
       SyntheticError(conn, util::ErrorKind::kFatal, conn.scanner.Truncated());
     }
   }
-  FlushConn(conn);  // may CloseConn; `conn` is dead after this line
+  // `conn` was safe to hold through the drain loop above because ticket
+  // completion only queues flushes; now that the reference is done with,
+  // flush this conn (and any other whose ticket completed synchronously).
+  flush_pending_.insert(conn_id);
+  DrainPendingFlushes();  // may CloseConn; `conn` is dead after this line
 }
 
 void ShardServer::HandleConnWritable(std::uint64_t conn_id) {
@@ -522,9 +551,7 @@ void ShardServer::HandleShardReadable(std::size_t slot_index) {
   }
   try {
     while (auto msg = slot.decoder.Pop()) {
-      const auto owed = std::find(slot.in_flight.begin(),
-                                  slot.in_flight.end(), msg->ticket);
-      if (owed != slot.in_flight.end()) slot.in_flight.erase(owed);
+      slot.in_flight.erase(msg->ticket);
       if (msg->kind == PipeMsgKind::kResponse) {
         CompleteTicket(msg->ticket, std::move(msg->payload));
       } else if (msg->kind == PipeMsgKind::kStatsReply) {
@@ -552,6 +579,7 @@ void ShardServer::HandleShardReadable(std::size_t slot_index) {
     const pid_t pid = supervisor_.SlotPid(slot_index);
     if (pid > 0) ::kill(pid, SIGKILL);
   }
+  DrainPendingFlushes();
 }
 
 void ShardServer::HandleShardWritable(std::size_t slot_index) {
@@ -582,6 +610,12 @@ void ShardServer::HandleTick() {
     for (std::size_t i = 0; i < slots_.size(); ++i) roll_queue_.push_back(i);
   }
   AdvanceRoll();
+  DrainPendingFlushes();  // worker death above may have failed tickets
+
+  if (accept_retry_ && listen_fd_ >= 0) {
+    accept_retry_ = false;
+    AcceptNewConnections();  // re-sets the flag if fds are still short
+  }
 
   const auto now = std::chrono::steady_clock::now();
   const double deadline = options_.server.read_deadline_seconds;
@@ -690,6 +724,7 @@ void ShardServer::Serve() {
   for (const auto& [conn_id, conn] : conns_) remaining.push_back(conn_id);
   for (const std::uint64_t conn_id : remaining) CloseConn(conn_id);
   tickets_.clear();
+  flush_pending_.clear();
   report_ = supervisor_.End();
   for (ShardSlot& slot : slots_) {
     if (slot.router_fd >= 0) {

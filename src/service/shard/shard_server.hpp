@@ -36,6 +36,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "service/protocol.hpp"
@@ -135,7 +136,10 @@ class ShardServer {
     int worker_fd = -1;   ///< child's end, alive only across the fork
     std::string out;      ///< bytes pending toward the worker
     PipeDecoder decoder;
-    std::vector<std::uint64_t> in_flight;  ///< tickets awaiting replies
+    /// Tickets awaiting replies. A set, not a vector: worker completion
+    /// threads reply out of order, and at the pipe cap this can hold
+    /// tens of thousands of entries — per-reply removal must be O(1).
+    std::unordered_set<std::uint64_t> in_flight;
   };
 
   // Event-loop stages.
@@ -153,6 +157,7 @@ class ShardServer {
   void SyntheticError(Conn& conn, util::ErrorKind kind,
                       const std::string& message);
   void CompleteTicket(std::uint64_t ticket_id, std::string response_line);
+  void DrainPendingFlushes();
   void FlushConn(Conn& conn);
   void CloseConn(std::uint64_t conn_id);
   void FlushShard(std::size_t slot);
@@ -189,6 +194,18 @@ class ShardServer {
   std::uint64_t next_conn_id_ = 1;
   std::uint64_t next_ticket_id_ = 1;
   std::size_t round_robin_next_ = 0;
+
+  /// Connections with a newly completed ticket, awaiting FlushConn.
+  /// CompleteTicket only enqueues here: flushing can close the conn and
+  /// erase it from conns_, which must never happen synchronously under a
+  /// caller still holding a Conn& (e.g. HandleConnReadable's drain loop).
+  /// Drained at the end of each event-loop stage (DrainPendingFlushes).
+  std::unordered_set<std::uint64_t> flush_pending_;
+
+  /// Listener hit a transient accept error (EMFILE/ENFILE/...). The
+  /// edge-triggered listener won't re-fire for connections already
+  /// queued, so HandleTick retries the accept sweep instead of stalling.
+  bool accept_retry_ = false;
 
   /// SIGHUP roll state: slots still to roll; the head is in one of two
   /// phases — arc dead + draining its in-flight, or waiting for the

@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "service/protocol.hpp"
 #include "service/shard/shard_server.hpp"
 #include "testing/fuzzer.hpp"
+#include "util/error.hpp"
 
 namespace fadesched::service::shard {
 namespace {
@@ -44,7 +46,8 @@ std::string Frame(std::uint64_t case_index, const std::string& id) {
 class ShardServerTest : public ::testing::Test {
  protected:
   void StartServer(const char* tag, std::size_t shards,
-                   RoutingMode routing = RoutingMode::kAffinity) {
+                   RoutingMode routing = RoutingMode::kAffinity,
+                   const std::function<void(ShardServerOptions&)>& tweak = {}) {
     options_ = ShardServerOptions{};
     options_.server.unix_socket_path = UniqueSocketPath(tag);
     options_.server.service.batcher.num_workers = 2;
@@ -52,6 +55,7 @@ class ShardServerTest : public ::testing::Test {
     options_.num_shards = shards;
     options_.routing = routing;
     options_.supervisor.drain_grace_seconds = 5.0;
+    if (tweak) tweak(options_);
     server_ = std::make_unique<ShardServer>(options_);
     server_->Start();
     serving_ = std::thread([this] { server_->Serve(); });
@@ -242,6 +246,103 @@ TEST_F(ShardServerTest, SighupRollsEveryShardUnderLiveTraffic) {
   ASSERT_EQ(report.slots.size(), 2u);
   EXPECT_EQ(report.slots[0].last_respawn_reason, "rolled");
   EXPECT_EQ(report.slots[1].last_respawn_reason, "rolled");
+}
+
+TEST_F(ShardServerTest, DeadClientMidDrainBatchDoesNotKillTheRouter) {
+  // Regression drill for a use-after-free: with the ring dead,
+  // RouteFrame/RouteStats complete their tickets synchronously from
+  // inside HandleConnReadable's drain loop, and the completion used to
+  // flush immediately — a failed write to a vanished client then closed
+  // (destroyed) the Conn that the drain loop still held a reference to.
+  StartServer("uaf", 1, RoutingMode::kAffinity, [](ShardServerOptions& o) {
+    // Hold the killed shard down long enough to drive traffic through
+    // the no-live-shard / zero-stats-targets synchronous paths.
+    o.supervisor.backoff_initial_seconds = 3.0;
+  });
+  {
+    const std::unique_ptr<Client> warm = Connect();
+    warm->SendRaw(Frame(0, "w0"));
+    ASSERT_TRUE(ParseResponseLine(warm->ReadLine()).Ok());
+  }
+  const pid_t victim = server_->WorkerPid(0);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->WorkerPid(0) > 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "killed shard never reaped";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // One write burst mixing frames and a STATS verb, then vanish without
+  // reading: every event fails/completes synchronously against the dead
+  // ring, and the flush hits a peer-closed socket (EPIPE).
+  for (int round = 0; round < 8; ++round) {
+    const std::unique_ptr<Client> ghost = Connect();
+    ghost->SendRaw(Frame(1, "g0") + "STATS\n" + Frame(2, "g1") +
+                   Frame(3, "g2"));
+    ghost->Close();
+  }
+
+  // The router must have survived: a live client still gets typed
+  // answers on the same paths the ghosts just abused.
+  const std::unique_ptr<Client> after = Connect();
+  after->SendRaw(Frame(4, "a0"));
+  const SchedulingResponse response = ParseResponseLine(after->ReadLine());
+  EXPECT_FALSE(response.Ok());
+  EXPECT_EQ(response.error_kind, util::ErrorKind::kTransient)
+      << response.message;
+  const StatsSnapshot zero = after->Stats();  // zero-target fan-out
+  EXPECT_EQ(zero.submitted, 0u);
+}
+
+TEST_F(ShardServerTest, StatsSkipsShardsOverThePipeCap) {
+  // Regression: the STATS fan-out used to enqueue onto a worker pipe
+  // regardless of shard_pipe_cap_bytes — growing router memory past the
+  // documented cap and parking the stats ticket behind a stalled worker.
+  // With the only shard over cap, STATS must answer (zero snapshot, the
+  // stalled shard's contribution is lost) instead of hanging.
+  StartServer("cap", 1, RoutingMode::kAffinity, [](ShardServerOptions& o) {
+    o.shard_pipe_cap_bytes = 1024;
+  });
+  {
+    const std::unique_ptr<Client> warm = Connect();
+    warm->SendRaw(Frame(0, "w0"));
+    ASSERT_TRUE(ParseResponseLine(warm->ReadLine()).Ok());
+  }
+  const pid_t pid = server_->WorkerPid(0);
+  ASSERT_GT(pid, 0);
+  ASSERT_EQ(::kill(pid, SIGSTOP), 0);
+
+  // Flood without reading until the kernel pipe is full and slot.out
+  // grows past the cap. Junk envelopes keep the post-SIGCONT backlog
+  // cheap (the worker rejects them without scheduling anything).
+  const std::string junk = std::string(512, 'x') + "\nEND\n";
+  const std::unique_ptr<Client> flood = Connect();
+  std::string burst;
+  for (int i = 0; i < 64; ++i) burst += junk;
+  for (int i = 0; i < 32; ++i) flood->SendRaw(burst);  // ~1 MiB total
+  // The router consumes the flood fast (every over-cap frame fails
+  // without touching the worker); give it a beat to finish.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  // Fresh connection, fresh FIFO: a frame must shed with the typed
+  // backpressure error, and STATS must answer instead of queueing onto
+  // the stalled pipe.
+  const std::unique_ptr<Client> probe = Connect();
+  probe->SendRaw(junk);
+  const SchedulingResponse shed = ParseResponseLine(probe->ReadLine());
+  EXPECT_FALSE(shed.Ok());
+  EXPECT_EQ(shed.error_kind, util::ErrorKind::kTransient) << shed.message;
+  EXPECT_NE(shed.message.find("backpressure"), std::string::npos)
+      << shed.message;
+  const StatsSnapshot snap = probe->Stats();
+  EXPECT_EQ(snap.submitted, 0u)
+      << "the over-cap shard's contribution must drop out";
+
+  ASSERT_EQ(::kill(pid, SIGCONT), 0);
+  flood->Close();
 }
 
 TEST_F(ShardServerTest, DrainsCleanlyAndUnlinksTheSocket) {
